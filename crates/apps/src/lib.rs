@@ -1,0 +1,26 @@
+//! Application layers built on bandwidth-constrained clustering — the two
+//! workloads the paper's introduction motivates, implemented end-to-end:
+//!
+//! - [`grid`] — P2P desktop-grid scheduling: jobs claim bandwidth-
+//!   constrained clusters, busy hosts leave the overlay (the churn
+//!   machinery doubles as the allocator), and transfer-bound completion
+//!   times quantify the win over random placement.
+//! - [`cdn`] — CDN replication planning: subscribers are partitioned into
+//!   high-bandwidth clusters with hub-chosen representatives, cutting
+//!   wide-area sends and total distribution time.
+//!
+//! Both modules use only the public API of the lower crates — they double
+//! as large integration examples of how a downstream system composes the
+//! library.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cdn;
+pub mod grid;
+
+pub use cdn::{plan, DistributionEstimate, DistributionPlan, PlanConfig, PlannedCluster};
+pub use grid::{
+    run_workload, transfer_seconds, GridScheduler, Job, JobId, Placement, PlacementError,
+    PlacementPolicy, WorkloadReport,
+};

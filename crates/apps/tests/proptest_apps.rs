@@ -1,0 +1,79 @@
+//! Property tests for the application layers: allocation safety of the
+//! grid scheduler and partition validity of the CDN planner under random
+//! workloads.
+
+use bcc_apps::{plan, GridScheduler, Job, PlacementPolicy, PlanConfig};
+use bcc_core::BandwidthClasses;
+use bcc_metric::{BandwidthMatrix, NodeId, RationalTransform};
+use bcc_simnet::SystemConfig;
+use proptest::prelude::*;
+
+fn system_config() -> SystemConfig {
+    let classes = BandwidthClasses::linspace(10.0, 120.0, 8, RationalTransform::default());
+    SystemConfig::new(classes)
+}
+
+/// Random access-link universe.
+fn arb_universe() -> impl Strategy<Value = BandwidthMatrix> {
+    proptest::collection::vec(10.0f64..150.0, 10..24).prop_map(|caps| {
+        BandwidthMatrix::from_fn(caps.len(), |i, j| caps[i].min(caps[j]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scheduler_never_double_allocates(
+        bw in arb_universe(),
+        ops in proptest::collection::vec((2usize..5, 10.0f64..80.0, any::<bool>()), 1..12),
+    ) {
+        let n = bw.len();
+        let mut grid = GridScheduler::new(bw, system_config(), 3);
+        let mut live: Vec<(bcc_apps::JobId, Vec<NodeId>)> = Vec::new();
+        for (tasks, min_bw, complete_one) in ops {
+            if complete_one {
+                if let Some((id, _)) = live.pop() {
+                    grid.complete(id).expect("running job completes");
+                }
+                continue;
+            }
+            let job = Job::new(tasks, 1.0, min_bw);
+            if let Ok(p) = grid.submit(job, PlacementPolicy::ClusterAware) {
+                // No host may appear in two live placements.
+                for (_, hosts) in &live {
+                    for h in &p.hosts {
+                        prop_assert!(!hosts.contains(h), "host {h} double-allocated");
+                    }
+                }
+                prop_assert_eq!(p.hosts.len(), tasks);
+                live.push((p.job, p.hosts.clone()));
+            }
+            // Book-keeping is consistent.
+            let allocated: usize = live.iter().map(|(_, h)| h.len()).sum();
+            prop_assert_eq!(grid.free_hosts() + allocated, n);
+        }
+        // Drain everything; the grid returns to full capacity.
+        for (id, _) in live {
+            grid.complete(id).expect("drain");
+        }
+        prop_assert_eq!(grid.free_hosts(), n);
+    }
+
+    #[test]
+    fn cdn_plan_is_a_partition(bw in arb_universe(), size in 2usize..5, b in 15.0f64..90.0) {
+        let n = bw.len();
+        let p = plan(&bw, system_config(), PlanConfig { cluster_size: size, min_bandwidth: b });
+        let mut seen: Vec<NodeId> = p.singletons.clone();
+        for c in &p.clusters {
+            prop_assert_eq!(c.members.len(), size);
+            prop_assert!(c.members.contains(&c.representative));
+            seen.extend(c.members.iter().copied());
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), n, "every subscriber exactly once");
+        // The estimate is always an improvement or break-even in sends.
+        prop_assert!(p.wide_area_sends() <= n);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion benches for the bipartite matching / maximum-independent-set
+//! substrate used by the Euclidean baseline clustering.
+
+use bcc_core::bipartite::BipartiteGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_graph(left: usize, right: usize, p: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = BipartiteGraph::new(left, right);
+    for l in 0..left {
+        for r in 0..right {
+            if rng.gen_bool(p) {
+                g.add_edge(l, r);
+            }
+        }
+    }
+    g
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for &n in &[32usize, 128, 512] {
+        let g = random_graph(n, n, 0.1, 9);
+        group.bench_with_input(BenchmarkId::new("sparse_p0.1", n), &g, |b, g| {
+            b.iter(|| black_box(g.max_matching()))
+        });
+        let dense = random_graph(n, n, 0.5, 10);
+        group.bench_with_input(BenchmarkId::new("dense_p0.5", n), &dense, |b, g| {
+            b.iter(|| black_box(g.max_matching()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_independent_set");
+    for &n in &[32usize, 128, 512] {
+        let g = random_graph(n, n, 0.2, 11);
+        group.bench_with_input(BenchmarkId::new("p0.2", n), &g, |b, g| {
+            b.iter(|| black_box(g.max_independent_set()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_mis);
+criterion_main!(benches);

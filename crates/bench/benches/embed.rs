@@ -1,0 +1,87 @@
+//! Criterion benches for the prediction-tree embedding: full framework
+//! builds under both end strategies and with/without robustness heuristics.
+
+use bcc_datasets::{generate, SynthConfig};
+use bcc_embed::{EndStrategy, FrameworkConfig, PredictionFramework};
+use bcc_metric::RationalTransform;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dataset(n: usize) -> bcc_metric::DistanceMatrix {
+    let mut cfg = SynthConfig::small(321);
+    cfg.nodes = n;
+    RationalTransform::default().distance_matrix(&generate(&cfg))
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framework_build");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 190] {
+        let d = dataset(n);
+        group.bench_with_input(BenchmarkId::new("exact_global", n), &d, |b, d| {
+            b.iter(|| {
+                black_box(PredictionFramework::build_from_matrix(
+                    d,
+                    FrameworkConfig::default(),
+                ))
+            })
+        });
+        let descent = FrameworkConfig {
+            end: EndStrategy::AnchorDescent,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("anchor_descent", n), &d, |b, d| {
+            b.iter(|| black_box(PredictionFramework::build_from_matrix(d, descent)))
+        });
+        let naive = FrameworkConfig {
+            base_candidates: 1,
+            fit_leaf_weight: false,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("naive_placement", n), &d, |b, d| {
+            b.iter(|| black_box(PredictionFramework::build_from_matrix(d, naive)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance_queries(c: &mut Criterion) {
+    let d = dataset(100);
+    let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+    let mut group = c.benchmark_group("distance_query");
+    group.bench_function("tree_bfs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100usize {
+                acc += fw
+                    .distance(
+                        bcc_metric::NodeId::new(i),
+                        bcc_metric::NodeId::new((i * 7 + 1) % 100),
+                    )
+                    .unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("label_based", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100usize {
+                acc += fw
+                    .label_distance(
+                        bcc_metric::NodeId::new(i),
+                        bcc_metric::NodeId::new((i * 7 + 1) % 100),
+                    )
+                    .unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("materialize_matrix", |b| {
+        b.iter(|| black_box(fw.predicted_matrix()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_distance_queries);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Not a Criterion microbench: running `cargo bench` regenerates every
+//! paper figure at standard effort and prints the tables, so a single
+//! command produces both kernel timings and the evaluation results.
+//!
+//! (Registered with `harness = false`, like the Criterion targets.)
+
+use bcc_eval::{
+    run_convergence, run_fig3, run_fig4, run_fig5, run_fig6, ConvergenceConfig, Fig3Config,
+    Fig4Config, Fig5Config, Fig6Config,
+};
+
+fn main() {
+    // Honor `cargo bench -- --test`: smoke mode runs the fast configs.
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    println!("=== Regenerating paper figures ({} effort) ===\n", if smoke { "fast" } else { "standard" });
+
+    let fig3_cfgs = if smoke {
+        vec![Fig3Config::fast(bcc_eval::DatasetKind::Custom(bcc_datasets::SynthConfig::small(1)))]
+    } else {
+        let mut hp = Fig3Config::paper_hp();
+        hp.rounds = 3;
+        hp.queries_per_round = 300;
+        let mut umd = Fig3Config::paper_umd();
+        umd.rounds = 3;
+        umd.queries_per_round = 300;
+        vec![hp, umd]
+    };
+    for cfg in &fig3_cfgs {
+        for table in run_fig3(cfg).tables() {
+            println!("{}", table.render());
+        }
+    }
+
+    let fig4_cfgs = if smoke {
+        vec![Fig4Config::fast(bcc_eval::DatasetKind::Custom(bcc_datasets::SynthConfig::small(1)))]
+    } else {
+        let mut hp = Fig4Config::paper_hp();
+        hp.rounds = 5;
+        let mut umd = Fig4Config::paper_umd();
+        umd.rounds = 5;
+        vec![hp, umd]
+    };
+    for cfg in &fig4_cfgs {
+        println!("{}", run_fig4(cfg).table().render());
+    }
+
+    let fig5_cfg = if smoke {
+        Fig5Config::fast()
+    } else {
+        let mut cfg = Fig5Config::paper();
+        cfg.rounds = 3;
+        cfg.queries_per_round = 500;
+        cfg.eps_samples = 20_000;
+        cfg
+    };
+    for table in run_fig5(&fig5_cfg).tables() {
+        println!("{}", table.render());
+    }
+
+    let fig6_cfg = if smoke {
+        Fig6Config::fast()
+    } else {
+        let mut cfg = Fig6Config::paper();
+        cfg.subsets_per_size = 3;
+        cfg.rounds_per_subset = 2;
+        cfg.queries_per_round = 100;
+        cfg
+    };
+    println!("{}", run_fig6(&fig6_cfg).table().render());
+
+    let conv_cfg = if smoke { ConvergenceConfig::fast() } else { ConvergenceConfig::standard() };
+    println!("{}", run_convergence(&conv_cfg).table().render());
+}

@@ -1,0 +1,67 @@
+//! Criterion benches for Algorithm 1 (`FindCluster`) and the max-cluster
+//! size search, including the binary-search-vs-direct ablation from
+//! Algorithm 3.
+
+use bcc_core::{
+    find_cluster, find_cluster_ordered, max_cluster_size, max_cluster_size_binary_search, PairOrder,
+};
+use bcc_datasets::{generate, SynthConfig};
+use bcc_metric::RationalTransform;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dataset(n: usize) -> bcc_metric::DistanceMatrix {
+    let mut cfg = SynthConfig::small(123);
+    cfg.nodes = n;
+    RationalTransform::default().distance_matrix(&generate(&cfg))
+}
+
+fn bench_find_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_cluster");
+    for &n in &[50usize, 100, 200] {
+        let d = dataset(n);
+        // Satisfiable query: k = 5% of n at a generous constraint.
+        let l_easy = RationalTransform::default().distance_constraint(20.0);
+        group.bench_with_input(BenchmarkId::new("satisfiable", n), &d, |b, d| {
+            b.iter(|| black_box(find_cluster(d, (n / 20).max(2), l_easy)))
+        });
+        // Unsatisfiable query: forces the full O(n^3) scan.
+        let l_hard = RationalTransform::default().distance_constraint(5000.0);
+        group.bench_with_input(BenchmarkId::new("unsatisfiable", n), &d, |b, d| {
+            b.iter(|| black_box(find_cluster(d, 3, l_hard)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_order(c: &mut Criterion) {
+    let d = dataset(100);
+    let l = RationalTransform::default().distance_constraint(25.0);
+    let mut group = c.benchmark_group("pair_order");
+    group.bench_function("row_major", |b| {
+        b.iter(|| black_box(find_cluster_ordered(&d, 5, l, PairOrder::RowMajor)))
+    });
+    group.bench_function("ascending_diameter", |b| {
+        b.iter(|| black_box(find_cluster_ordered(&d, 5, l, PairOrder::AscendingDiameter)))
+    });
+    group.finish();
+}
+
+fn bench_max_cluster_size(c: &mut Criterion) {
+    let d = dataset(80);
+    let l = RationalTransform::default().distance_constraint(30.0);
+    let mut group = c.benchmark_group("max_cluster_size");
+    group.bench_function("direct", |b| b.iter(|| black_box(max_cluster_size(&d, l))));
+    group.bench_function("binary_search", |b| {
+        b.iter(|| black_box(max_cluster_size_binary_search(&d, l)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_find_cluster,
+    bench_pair_order,
+    bench_max_cluster_size
+);
+criterion_main!(benches);

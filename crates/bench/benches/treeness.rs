@@ -1,0 +1,49 @@
+//! Criterion benches for the treeness statistics (quartet ε, δ) that gate
+//! dataset generation and the Fig. 5 experiment.
+
+use bcc_datasets::{generate, SynthConfig};
+use bcc_metric::{fourpoint, gromov, RationalTransform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn dataset(n: usize) -> bcc_metric::DistanceMatrix {
+    let mut cfg = SynthConfig::small(42);
+    cfg.nodes = n;
+    RationalTransform::default().distance_matrix(&generate(&cfg))
+}
+
+fn bench_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epsilon_avg");
+    let d30 = dataset(30);
+    group.bench_function("exact_n30", |b| {
+        b.iter(|| black_box(fourpoint::epsilon_avg_exact(&d30)))
+    });
+    for &n in &[100usize, 300] {
+        let d = dataset(n);
+        group.bench_with_input(BenchmarkId::new("sampled_20k", n), &d, |b, d| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(fourpoint::epsilon_avg_sampled(d, 20_000, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quartets(c: &mut Criterion) {
+    let d = dataset(100);
+    c.bench_function("quartet_epsilon_single", |b| {
+        b.iter(|| black_box(fourpoint::quartet_epsilon(&d, 1, 17, 42, 93)))
+    });
+    c.bench_function("delta_hyperbolicity_sampled_10k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(gromov::delta_hyperbolicity_sampled(&d, 10_000, &mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, bench_epsilon, bench_quartets);
+criterion_main!(benches);

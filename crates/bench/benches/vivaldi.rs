@@ -1,0 +1,47 @@
+//! Criterion benches for the Vivaldi baseline embedding.
+
+use bcc_datasets::{generate, SynthConfig};
+use bcc_metric::RationalTransform;
+use bcc_vivaldi::{VivaldiConfig, VivaldiSystem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dataset(n: usize) -> bcc_metric::DistanceMatrix {
+    let mut cfg = SynthConfig::small(555);
+    cfg.nodes = n;
+    RationalTransform::default().distance_matrix(&generate(&cfg))
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vivaldi_embed");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 190] {
+        let d = dataset(n);
+        let cfg = VivaldiConfig {
+            rounds: 100,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("rounds_100_dim2", n), &d, |b, d| {
+            b.iter(|| black_box(VivaldiSystem::embed(d.clone(), cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_step(c: &mut Criterion) {
+    let d = dataset(100);
+    let cfg = VivaldiConfig {
+        rounds: 0,
+        ..Default::default()
+    };
+    c.bench_function("vivaldi_single_round_n100", |b| {
+        let mut sys = VivaldiSystem::new(d.clone(), cfg);
+        b.iter(|| {
+            sys.step();
+            black_box(())
+        })
+    });
+}
+
+criterion_group!(benches, bench_embed, bench_step);
+criterion_main!(benches);

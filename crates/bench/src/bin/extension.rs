@@ -1,0 +1,42 @@
+//! Runs the extension experiment: convergence cost of the decentralized
+//! state vs system size, under both simulator engines.
+//!
+//! ```sh
+//! cargo run --release -p bcc-bench --bin extension
+//! ```
+
+use bcc_bench::{banner, Effort};
+use bcc_eval::{run_convergence, run_embedding, ConvergenceConfig, EmbeddingConfig};
+
+fn main() {
+    let effort = Effort::from_args();
+    banner("Extension (convergence cost vs n)", effort);
+    let cfg = match effort {
+        Effort::Fast => ConvergenceConfig::fast(),
+        Effort::Standard => ConvergenceConfig::standard(),
+        Effort::Paper => {
+            let mut cfg = ConvergenceConfig::standard();
+            cfg.rounds = 10;
+            cfg
+        }
+    };
+    let start = std::time::Instant::now();
+    let result = run_convergence(&cfg);
+    let table = result.table();
+    println!("{}", table.render());
+    println!("{}", table.render_chart(12));
+    println!(
+        "rounds/size = {}, elapsed = {:.1?}",
+        cfg.rounds,
+        start.elapsed()
+    );
+
+    let emb_cfg = match effort {
+        Effort::Fast => EmbeddingConfig::fast(),
+        _ => EmbeddingConfig::standard(),
+    };
+    let emb = run_embedding(&emb_cfg);
+    println!();
+    println!("{}", emb.table().render());
+    println!("strategies: {}", emb.legend());
+}

@@ -1,0 +1,55 @@
+//! Regenerates Fig. 3: clustering accuracy (WPR vs `b`) and the
+//! bandwidth-prediction relative-error CDFs, for both datasets.
+//!
+//! ```sh
+//! cargo run --release -p bcc-bench --bin fig3            # standard effort
+//! cargo run --release -p bcc-bench --bin fig3 -- --paper # full parameters
+//! ```
+
+use bcc_bench::{banner, Effort};
+use bcc_datasets::SynthConfig;
+use bcc_eval::{run_fig3, DatasetKind, Fig3Config};
+
+fn main() {
+    let effort = Effort::from_args();
+    banner("Fig. 3 (accuracy: WPR vs b; prediction-error CDFs)", effort);
+
+    let configs: Vec<Fig3Config> = match effort {
+        Effort::Fast => {
+            let mut synth = SynthConfig::small(0);
+            synth.nodes = 30;
+            let mut cfg = Fig3Config::fast(DatasetKind::Custom(synth));
+            cfg.b_range = (10.0, 60.0);
+            cfg.k = 3;
+            vec![cfg]
+        }
+        Effort::Standard => {
+            let mut hp = Fig3Config::paper_hp();
+            hp.rounds = 3;
+            hp.queries_per_round = 300;
+            let mut umd = Fig3Config::paper_umd();
+            umd.rounds = 3;
+            umd.queries_per_round = 300;
+            vec![hp, umd]
+        }
+        Effort::Paper => vec![Fig3Config::paper_hp(), Fig3Config::paper_umd()],
+    };
+
+    for cfg in &configs {
+        let start = std::time::Instant::now();
+        let result = run_fig3(cfg);
+        for table in result.tables() {
+            println!("{}", table.render());
+            println!("{}", table.render_chart(12));
+        }
+        println!(
+            "[{}] rounds = {}, queries/round = {}, RR (dec/cen/eucl) = {:?}, elapsed = {:.1?}",
+            result.label,
+            cfg.rounds,
+            cfg.queries_per_round,
+            result.rr,
+            start.elapsed()
+        );
+        println!();
+    }
+}

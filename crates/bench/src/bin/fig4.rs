@@ -1,0 +1,51 @@
+//! Regenerates Fig. 4: the decentralization tradeoff (RR vs `k`) for both
+//! datasets.
+//!
+//! ```sh
+//! cargo run --release -p bcc-bench --bin fig4
+//! cargo run --release -p bcc-bench --bin fig4 -- --paper
+//! ```
+
+use bcc_bench::{banner, Effort};
+use bcc_datasets::SynthConfig;
+use bcc_eval::{run_fig4, DatasetKind, Fig4Config};
+
+fn main() {
+    let effort = Effort::from_args();
+    banner("Fig. 4 (tradeoff of decentralization: RR vs k)", effort);
+
+    let configs: Vec<Fig4Config> = match effort {
+        Effort::Fast => {
+            let mut synth = SynthConfig::small(0);
+            synth.nodes = 30;
+            let mut cfg = Fig4Config::fast(DatasetKind::Custom(synth));
+            cfg.b_range = (10.0, 60.0);
+            vec![cfg]
+        }
+        Effort::Standard => {
+            let mut hp = Fig4Config::paper_hp();
+            hp.rounds = 10;
+            let mut umd = Fig4Config::paper_umd();
+            umd.rounds = 10;
+            vec![hp, umd]
+        }
+        Effort::Paper => vec![Fig4Config::paper_hp(), Fig4Config::paper_umd()],
+    };
+
+    for cfg in &configs {
+        let start = std::time::Instant::now();
+        let result = run_fig4(cfg);
+        let table = result.table();
+        println!("{}", table.render());
+        println!("{}", table.render_chart(12));
+        println!(
+            "[{}] rounds = {}, queries/round = {}, n_cut = {}, elapsed = {:.1?}",
+            result.label,
+            cfg.rounds,
+            cfg.queries_per_round,
+            cfg.n_cut,
+            start.elapsed()
+        );
+        println!();
+    }
+}

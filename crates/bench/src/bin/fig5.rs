@@ -1,0 +1,49 @@
+//! Regenerates Fig. 5: the effect of treeness — WPR vs `f_b`, raw and
+//! normalized by `(·)^{f_a*}` with `α = 3.2`, over a family of datasets of
+//! varying `ε_avg`.
+//!
+//! ```sh
+//! cargo run --release -p bcc-bench --bin fig5
+//! cargo run --release -p bcc-bench --bin fig5 -- --paper
+//! ```
+
+use bcc_bench::{banner, Effort};
+use bcc_eval::{run_fig5, Fig5Config};
+
+fn main() {
+    let effort = Effort::from_args();
+    banner("Fig. 5 (effect of treeness on WPR)", effort);
+
+    let cfg = match effort {
+        Effort::Fast => Fig5Config::fast(),
+        Effort::Standard => {
+            let mut cfg = Fig5Config::paper();
+            cfg.rounds = 3;
+            cfg.queries_per_round = 500;
+            cfg.eps_samples = 20_000;
+            cfg
+        }
+        Effort::Paper => Fig5Config::paper(),
+    };
+
+    let start = std::time::Instant::now();
+    let result = run_fig5(&cfg);
+    for table in result.tables() {
+        println!("{}", table.render());
+        println!("{}", table.render_chart(12));
+    }
+    println!("datasets (noise sigma -> eps_avg):");
+    for d in &result.datasets {
+        println!(
+            "  sigma = {:.2} -> eps_avg = {:.4}",
+            d.noise_sigma, d.epsilon_avg
+        );
+    }
+    println!(
+        "rounds = {}, queries/round/dataset = {}, alpha = {}, elapsed = {:.1?}",
+        cfg.rounds,
+        cfg.queries_per_round,
+        cfg.alpha,
+        start.elapsed()
+    );
+}

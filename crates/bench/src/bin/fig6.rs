@@ -1,0 +1,40 @@
+//! Regenerates Fig. 6: scalability — mean query routing hops vs system
+//! size.
+//!
+//! ```sh
+//! cargo run --release -p bcc-bench --bin fig6
+//! cargo run --release -p bcc-bench --bin fig6 -- --paper
+//! ```
+
+use bcc_bench::{banner, Effort};
+use bcc_eval::{run_fig6, Fig6Config};
+
+fn main() {
+    let effort = Effort::from_args();
+    banner("Fig. 6 (scalability: routing hops vs n)", effort);
+
+    let cfg = match effort {
+        Effort::Fast => Fig6Config::fast(),
+        Effort::Standard => {
+            let mut cfg = Fig6Config::paper();
+            cfg.subsets_per_size = 3;
+            cfg.rounds_per_subset = 2;
+            cfg.queries_per_round = 100;
+            cfg
+        }
+        Effort::Paper => Fig6Config::paper(),
+    };
+
+    let start = std::time::Instant::now();
+    let result = run_fig6(&cfg);
+    let table = result.table();
+    println!("{}", table.render());
+    println!("{}", table.render_chart(12));
+    println!(
+        "subsets/size = {}, rounds/subset = {}, queries/round = {}, elapsed = {:.1?}",
+        cfg.subsets_per_size,
+        cfg.rounds_per_subset,
+        cfg.queries_per_round,
+        start.elapsed()
+    );
+}

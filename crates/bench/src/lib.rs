@@ -1,0 +1,75 @@
+//! Benchmark and figure-regeneration support for the bandwidth-constrained
+//! clustering reproduction.
+//!
+//! The binaries (`fig3`…`fig6`, `ablations`) regenerate every figure of the
+//! paper's evaluation as plain-text tables; the Criterion benches measure
+//! the algorithmic kernels (Algorithm 1, tree embedding, Vivaldi, bipartite
+//! matching, query routing, treeness statistics).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Effort level selected on the command line of a figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Seconds-scale smoke run (tiny synthetic datasets).
+    Fast,
+    /// Minutes-scale run at reduced round counts (default).
+    Standard,
+    /// The paper's full parameters.
+    Paper,
+}
+
+impl Effort {
+    /// Parses the process arguments: `--fast`, `--paper`, or nothing.
+    pub fn from_args() -> Effort {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--fast") {
+            Effort::Fast
+        } else if args.iter().any(|a| a == "--paper") {
+            Effort::Paper
+        } else {
+            Effort::Standard
+        }
+    }
+
+    /// Scales a round count: fast → 1, standard → `standard`, paper →
+    /// `paper`.
+    pub fn rounds(self, standard: usize, paper: usize) -> usize {
+        match self {
+            Effort::Fast => 1,
+            Effort::Standard => standard,
+            Effort::Paper => paper,
+        }
+    }
+
+    /// Scales a query count.
+    pub fn queries(self, standard: usize, paper: usize) -> usize {
+        match self {
+            Effort::Fast => standard.min(50),
+            Effort::Standard => standard,
+            Effort::Paper => paper,
+        }
+    }
+}
+
+/// Prints the standard run header for a figure binary.
+pub fn banner(figure: &str, effort: Effort) {
+    println!("=== {figure} — Searching for Bandwidth-Constrained Clusters (ICDCS 2011) ===");
+    println!("effort: {effort:?} (use --fast / --paper to change)");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_scaling() {
+        assert_eq!(Effort::Fast.rounds(5, 10), 1);
+        assert_eq!(Effort::Standard.rounds(5, 10), 5);
+        assert_eq!(Effort::Paper.rounds(5, 10), 10);
+        assert_eq!(Effort::Fast.queries(200, 1000), 50);
+        assert_eq!(Effort::Paper.queries(200, 1000), 1000);
+    }
+}

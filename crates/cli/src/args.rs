@@ -1,0 +1,212 @@
+//! Minimal flag parser for the `bcc` binary (no external dependencies).
+//!
+//! Grammar: `bcc <command> [positional…] [--flag value]…`. Flags may appear
+//! in any order after the command; unknown flags are errors so typos fail
+//! loudly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    command: String,
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No command given.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A flag the command does not accept.
+    UnknownFlag(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending text.
+        value: String,
+    },
+    /// A required flag was absent.
+    MissingFlag(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `bcc help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "could not parse --{flag} value '{value}'")
+            }
+            ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without the program name) against a set of
+    /// allowed flags.
+    pub fn parse(raw: &[String], allowed_flags: &[&str]) -> Result<ParsedArgs, ArgError> {
+        let mut it = raw.iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?.clone();
+        let mut positional = Vec::new();
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if !allowed_flags.contains(&name) {
+                    return Err(ArgError::UnknownFlag(name.to_string()));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                flags.insert(name.to_string(), value.clone());
+            } else {
+                positional.push(tok.clone());
+            }
+        }
+        Ok(ParsedArgs {
+            command,
+            positional,
+            flags,
+        })
+    }
+
+    /// The command word.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// Positional arguments after the command.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A required, typed flag.
+    pub fn require<T: std::str::FromStr>(&self, flag: &str) -> Result<T, ArgError> {
+        let raw = self
+            .flags
+            .get(flag)
+            .ok_or_else(|| ArgError::MissingFlag(flag.to_string()))?;
+        raw.parse().map_err(|_| ArgError::BadValue {
+            flag: flag.to_string(),
+            value: raw.clone(),
+        })
+    }
+
+    /// An optional, typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.clone(),
+            }),
+        }
+    }
+
+    /// An optional string flag.
+    pub fn get_str(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Parses a comma-separated list of `usize` (for `--targets 1,2,3`).
+    pub fn get_usize_list(&self, flag: &str) -> Result<Option<Vec<usize>>, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .split(',')
+                .map(|tok| {
+                    tok.trim().parse::<usize>().map_err(|_| ArgError::BadValue {
+                        flag: flag.to_string(),
+                        value: raw.clone(),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_positional_and_flags() {
+        let p = ParsedArgs::parse(
+            &v(&["query", "m.txt", "--k", "5", "--b", "40.5"]),
+            &["k", "b"],
+        )
+        .unwrap();
+        assert_eq!(p.command(), "query");
+        assert_eq!(p.positional(), &["m.txt".to_string()]);
+        assert_eq!(p.require::<usize>("k").unwrap(), 5);
+        assert_eq!(p.require::<f64>("b").unwrap(), 40.5);
+    }
+
+    #[test]
+    fn missing_command() {
+        assert_eq!(ParsedArgs::parse(&[], &[]), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let e = ParsedArgs::parse(&v(&["gen", "--nope", "1"]), &["nodes"]);
+        assert_eq!(e, Err(ArgError::UnknownFlag("nope".into())));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = ParsedArgs::parse(&v(&["gen", "--nodes"]), &["nodes"]);
+        assert_eq!(e, Err(ArgError::MissingValue("nodes".into())));
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let p = ParsedArgs::parse(&v(&["gen", "--nodes", "many"]), &["nodes"]).unwrap();
+        assert!(matches!(
+            p.require::<usize>("nodes"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = ParsedArgs::parse(&v(&["gen"]), &["nodes"]).unwrap();
+        assert_eq!(p.get_or::<usize>("nodes", 40).unwrap(), 40);
+        assert!(matches!(
+            p.require::<usize>("nodes"),
+            Err(ArgError::MissingFlag(_))
+        ));
+    }
+
+    #[test]
+    fn usize_lists() {
+        let p = ParsedArgs::parse(&v(&["hub", "--targets", "1, 2,3"]), &["targets"]).unwrap();
+        assert_eq!(p.get_usize_list("targets").unwrap(), Some(vec![1, 2, 3]));
+        let p = ParsedArgs::parse(&v(&["hub"]), &["targets"]).unwrap();
+        assert_eq!(p.get_usize_list("targets").unwrap(), None);
+        let p = ParsedArgs::parse(&v(&["hub", "--targets", "1,x"]), &["targets"]).unwrap();
+        assert!(p.get_usize_list("targets").is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ArgError::MissingCommand.to_string().contains("bcc help"));
+        assert!(ArgError::UnknownFlag("x".into())
+            .to_string()
+            .contains("--x"));
+    }
+}

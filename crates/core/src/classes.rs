@@ -1,0 +1,219 @@
+//! Bandwidth classes — the quantized query constraints of the decentralized
+//! protocol.
+//!
+//! As a tradeoff for decentralization (Sec. III-B3), users pick the
+//! bandwidth constraint `b` from a predetermined set of *bandwidth classes*
+//! rather than choosing arbitrary values; this bounds the size of every
+//! node's cluster routing table at `|neighbors| × |classes|`. A query with
+//! arbitrary `b` is *snapped up* to the next class at or above it: a cluster
+//! whose pairwise bandwidth meets the higher class also meets `b`, so
+//! snapping up preserves correctness (it can only make queries harder).
+
+use bcc_metric::RationalTransform;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// An ordered set of bandwidth classes (Mbps) with their distance-domain
+/// images under a fixed rational transform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthClasses {
+    bandwidths: Vec<f64>, // ascending
+    distances: Vec<f64>,  // descending (same order as bandwidths)
+    transform: RationalTransform,
+}
+
+impl BandwidthClasses {
+    /// Creates a class set from bandwidth values (any order, duplicates
+    /// removed) and the transform that converts constraints to distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidths` is empty or contains non-positive or
+    /// non-finite values.
+    pub fn new(mut bandwidths: Vec<f64>, transform: RationalTransform) -> Self {
+        assert!(
+            !bandwidths.is_empty(),
+            "at least one bandwidth class required"
+        );
+        assert!(
+            bandwidths.iter().all(|b| b.is_finite() && *b > 0.0),
+            "bandwidth classes must be positive and finite"
+        );
+        bandwidths.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        bandwidths.dedup();
+        let distances = bandwidths
+            .iter()
+            .map(|&b| transform.to_distance(b))
+            .collect();
+        BandwidthClasses {
+            bandwidths,
+            distances,
+            transform,
+        }
+    }
+
+    /// Evenly spaced classes covering `[lo, hi]` with `count` entries —
+    /// convenient for matching an experiment's query range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 1` or the range is invalid.
+    pub fn linspace(lo: f64, hi: f64, count: usize, transform: RationalTransform) -> Self {
+        assert!(count >= 1, "need at least one class");
+        assert!(
+            lo > 0.0 && hi >= lo && hi.is_finite(),
+            "invalid class range"
+        );
+        let vals = if count == 1 {
+            vec![lo]
+        } else {
+            (0..count)
+                .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+                .collect()
+        };
+        BandwidthClasses::new(vals, transform)
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.bandwidths.len()
+    }
+
+    /// Returns `true` if there are no classes (never; construction forbids
+    /// it).
+    pub fn is_empty(&self) -> bool {
+        self.bandwidths.is_empty()
+    }
+
+    /// The class bandwidths in ascending order.
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.bandwidths
+    }
+
+    /// The distance-domain constraints `l = C / b`, in the same order as
+    /// [`BandwidthClasses::bandwidths`] (hence descending).
+    pub fn distances(&self) -> &[f64] {
+        &self.distances
+    }
+
+    /// The transform the classes were built with.
+    pub fn transform(&self) -> RationalTransform {
+        self.transform
+    }
+
+    /// Index of the smallest class at or above `b` (snap *up*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoMatchingClass`] when `b` is above every
+    /// class.
+    pub fn snap_up(&self, b: f64) -> Result<usize, ClusterError> {
+        let idx = self.bandwidths.partition_point(|&v| v < b);
+        if idx == self.bandwidths.len() {
+            Err(ClusterError::NoMatchingClass { bandwidth: b })
+        } else {
+            Ok(idx)
+        }
+    }
+
+    /// The distance constraint of class `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn distance_of(&self, idx: usize) -> f64 {
+        self.distances[idx]
+    }
+
+    /// The bandwidth of class `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn bandwidth_of(&self, idx: usize) -> f64 {
+        self.bandwidths[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> BandwidthClasses {
+        BandwidthClasses::new(vec![30.0, 10.0, 50.0, 30.0], RationalTransform::new(100.0))
+    }
+
+    #[test]
+    fn sorted_and_deduped() {
+        let c = classes();
+        assert_eq!(c.bandwidths(), &[10.0, 30.0, 50.0]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn distances_match_transform() {
+        let c = classes();
+        assert_eq!(c.distances(), &[10.0, 100.0 / 30.0, 2.0]);
+        assert_eq!(c.distance_of(2), 2.0);
+        assert_eq!(c.bandwidth_of(0), 10.0);
+    }
+
+    #[test]
+    fn snap_up_behaviour() {
+        let c = classes();
+        assert_eq!(c.snap_up(5.0).unwrap(), 0);
+        assert_eq!(c.snap_up(10.0).unwrap(), 0);
+        assert_eq!(c.snap_up(10.1).unwrap(), 1);
+        assert_eq!(c.snap_up(30.0).unwrap(), 1);
+        assert_eq!(c.snap_up(49.0).unwrap(), 2);
+        assert!(matches!(
+            c.snap_up(50.1),
+            Err(ClusterError::NoMatchingClass { .. })
+        ));
+    }
+
+    #[test]
+    fn snapping_up_is_conservative() {
+        // A cluster built for the snapped class satisfies the original b.
+        let c = classes();
+        let b = 22.0;
+        let idx = c.snap_up(b).unwrap();
+        assert!(c.bandwidth_of(idx) >= b);
+        // ...and in the distance domain the constraint is tighter.
+        assert!(c.distance_of(idx) <= c.transform().distance_constraint(b));
+    }
+
+    #[test]
+    fn linspace_covers_range() {
+        let c = BandwidthClasses::linspace(15.0, 75.0, 13, RationalTransform::default());
+        assert_eq!(c.len(), 13);
+        assert_eq!(c.bandwidths()[0], 15.0);
+        assert_eq!(*c.bandwidths().last().unwrap(), 75.0);
+        // Every b in range snaps to a class within one step.
+        let step = (75.0 - 15.0) / 12.0;
+        for b in [15.0, 20.0, 44.4, 74.9, 75.0] {
+            let idx = c.snap_up(b).unwrap();
+            assert!(c.bandwidth_of(idx) - b <= step + 1e-9);
+        }
+    }
+
+    #[test]
+    fn linspace_single_class() {
+        let c = BandwidthClasses::linspace(40.0, 40.0, 1, RationalTransform::default());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.snap_up(40.0).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_classes_rejected() {
+        BandwidthClasses::new(vec![], RationalTransform::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_class_rejected() {
+        BandwidthClasses::new(vec![10.0, 0.0], RationalTransform::default());
+    }
+}

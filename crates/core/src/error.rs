@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by clustering queries and protocol state updates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The query's size constraint was below the problem's minimum
+    /// (`k >= 2` per the paper's problem statement).
+    InvalidSizeConstraint {
+        /// The offending `k`.
+        k: usize,
+    },
+    /// The query's diameter/bandwidth constraint was not positive and finite.
+    InvalidDiameterConstraint {
+        /// The offending `l` (distance domain).
+        l: f64,
+    },
+    /// A bandwidth constraint was above every configured bandwidth class, so
+    /// no routing-table column can answer it.
+    NoMatchingClass {
+        /// The requested minimum bandwidth.
+        bandwidth: f64,
+    },
+    /// A protocol message referenced a neighbor this node does not have.
+    UnknownNeighbor {
+        /// The claimed neighbor index.
+        neighbor: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidSizeConstraint { k } => {
+                write!(f, "cluster size constraint must be at least 2, got {k}")
+            }
+            ClusterError::InvalidDiameterConstraint { l } => {
+                write!(
+                    f,
+                    "diameter constraint must be positive and finite, got {l}"
+                )
+            }
+            ClusterError::NoMatchingClass { bandwidth } => {
+                write!(f, "no bandwidth class at or above {bandwidth}")
+            }
+            ClusterError::UnknownNeighbor { neighbor } => {
+                write!(f, "unknown neighbor n{neighbor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ClusterError::InvalidSizeConstraint { k: 1 }
+            .to_string()
+            .contains("at least 2"));
+        assert!(ClusterError::InvalidDiameterConstraint { l: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(ClusterError::NoMatchingClass { bandwidth: 500.0 }
+            .to_string()
+            .contains("500"));
+        assert!(ClusterError::UnknownNeighbor { neighbor: 3 }
+            .to_string()
+            .contains("n3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,272 @@
+//! The comparison model's clustering algorithm: `k`-diameter search in the
+//! plane (Sec. IV-A).
+//!
+//! The paper compares its tree-metric clustering against a centralized
+//! algorithm on Vivaldi's 2-d embedding, adapted from Aggarwal et al.'s
+//! minimum-diameter `k`-point algorithm: for each node pair `(p, q)` with
+//! `d(p, q) ≤ l`, collect the *lune* `{x : d(x,p) ≤ d(p,q) ∧ d(x,q) ≤
+//! d(p,q)}`, split it by the line through `p q` (two points on the same side
+//! are within `d(p, q)` of each other), connect cross-side pairs farther
+//! than `l` in a bipartite conflict graph, and take a maximum independent
+//! set. Any `k` of its members form a cluster of diameter at most `l`.
+
+use bcc_metric::{EuclideanPoints, FiniteMetric};
+
+use crate::bipartite::BipartiteGraph;
+
+/// Finds `k` points of the 2-d set with diameter at most `l`, or `None`.
+///
+/// Unlike [`crate::find_cluster`] this is *exact* in the plane (no tree
+/// assumption): the returned set always satisfies `diam ≤ l` in the
+/// embedded space, and `None` means no such `k`-subset exists. Inaccuracy
+/// in the paper's comparison therefore comes only from the Vivaldi
+/// embedding, as Sec. IV-A notes.
+///
+/// # Panics
+///
+/// Panics if `points` is not 2-dimensional.
+///
+/// ```
+/// use bcc_core::find_cluster_euclidean;
+/// use bcc_metric::EuclideanPoints;
+///
+/// let pts = EuclideanPoints::new(2, vec![0.0, 0.0, 1.0, 0.0, 0.5, 0.5, 9.0, 9.0]);
+/// let x = find_cluster_euclidean(&pts, 3, 1.5).expect("tight triangle exists");
+/// assert_eq!(x.len(), 3);
+/// assert!(!x.contains(&3));
+/// ```
+pub fn find_cluster_euclidean(points: &EuclideanPoints, k: usize, l: f64) -> Option<Vec<usize>> {
+    assert_eq!(
+        points.dim(),
+        2,
+        "the baseline clustering is defined in the plane"
+    );
+    let n = points.len();
+    if k > n || k == 0 {
+        return None;
+    }
+    if k == 1 {
+        return Some(vec![0]);
+    }
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if let Some(mut found) = check_lune(points, p, q, k, l) {
+                found.truncate(k);
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+/// The largest `k` for which [`find_cluster_euclidean`] succeeds.
+pub fn max_cluster_size_euclidean(points: &EuclideanPoints, l: f64) -> usize {
+    let n = points.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 1;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if let Some(found) = check_lune(points, p, q, 2, l) {
+                best = best.max(found.len());
+            }
+        }
+    }
+    best
+}
+
+/// Examines the lune of `(p, q)`: returns the maximum independent set of
+/// its conflict graph when that set has at least `k` members (callers that
+/// only want the maximum size pass `k = 2` and read the length).
+fn check_lune(
+    points: &EuclideanPoints,
+    p: usize,
+    q: usize,
+    k: usize,
+    l: f64,
+) -> Option<Vec<usize>> {
+    let r = points.distance(p, q);
+    if r > l {
+        return None;
+    }
+    let (px, py) = (points.point(p)[0], points.point(p)[1]);
+    let (qx, qy) = (points.point(q)[0], points.point(q)[1]);
+    let (ux, uy) = (qx - px, qy - py);
+
+    let mut side_a = Vec::new(); // cross >= 0, including the p–q line
+    let mut side_b = Vec::new();
+    for x in 0..points.len() {
+        if points.distance(x, p) <= r && points.distance(x, q) <= r {
+            let (vx, vy) = (points.point(x)[0] - px, points.point(x)[1] - py);
+            if ux * vy - uy * vx >= 0.0 {
+                side_a.push(x);
+            } else {
+                side_b.push(x);
+            }
+        }
+    }
+    if side_a.len() + side_b.len() < k {
+        return None;
+    }
+    // Conflict edges: cross-side pairs farther apart than l.
+    let mut g = BipartiteGraph::new(side_a.len(), side_b.len());
+    for (ai, &a) in side_a.iter().enumerate() {
+        for (bi, &b) in side_b.iter().enumerate() {
+            if points.distance(a, b) > l {
+                g.add_edge(ai, bi);
+            }
+        }
+    }
+    let mis = g.max_independent_set();
+    if mis.len() < k {
+        return None;
+    }
+    let mut out: Vec<usize> = mis
+        .left
+        .iter()
+        .map(|&ai| side_a[ai])
+        .chain(mis.right.iter().map(|&bi| side_b[bi]))
+        .collect();
+    out.sort_unstable();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> EuclideanPoints {
+        EuclideanPoints::new(2, coords.iter().flat_map(|&(x, y)| [x, y]).collect())
+    }
+
+    fn diam(points: &EuclideanPoints, set: &[usize]) -> f64 {
+        let mut d = 0.0f64;
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                d = d.max(points.distance(a, b));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn finds_tight_triangle() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (0.5, 0.5), (9.0, 9.0)]);
+        let x = find_cluster_euclidean(&p, 3, 1.5).unwrap();
+        assert_eq!(x, vec![0, 1, 2]);
+        assert!(diam(&p, &x) <= 1.5);
+    }
+
+    #[test]
+    fn none_when_spread_out() {
+        let p = pts(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)]);
+        assert_eq!(find_cluster_euclidean(&p, 2, 5.0), None);
+        assert!(find_cluster_euclidean(&p, 2, 10.0).is_some());
+    }
+
+    #[test]
+    fn result_always_within_l() {
+        // A ring of points: naive lune collection (without the MIS step)
+        // would include cross-side pairs beyond l.
+        let coords: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let a = i as f64 * std::f64::consts::TAU / 12.0;
+                (a.cos(), a.sin())
+            })
+            .collect();
+        let p = pts(&coords);
+        for k in 2..=6 {
+            for l in [0.6, 1.0, 1.4, 1.9] {
+                if let Some(x) = find_cluster_euclidean(&p, k, l) {
+                    assert_eq!(x.len(), k);
+                    assert!(
+                        diam(&p, &x) <= l + 1e-12,
+                        "k={k} l={l} diam={}",
+                        diam(&p, &x)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_against_brute_force() {
+        use bcc_metric::DistanceMatrix;
+        // Random-ish small point sets: the algorithm must find a cluster
+        // exactly when one exists.
+        let sets = [
+            pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (1.0, -1.0), (5.0, 5.0)]),
+            pts(&[
+                (0.0, 0.0),
+                (0.3, 0.1),
+                (0.1, 0.4),
+                (2.0, 2.0),
+                (2.2, 2.1),
+                (4.0, 0.0),
+            ]),
+            pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]),
+        ];
+        for p in &sets {
+            let m = DistanceMatrix::from_fn(p.len(), |i, j| p.distance(i, j));
+            for k in 2..=p.len() {
+                for l in [0.4, 0.6, 1.0, 1.5, 2.0, 3.0, 8.0] {
+                    let ours = find_cluster_euclidean(p, k, l).is_some();
+                    let brute = crate::find_cluster::exists_cluster_brute_force(&m, k, l);
+                    assert_eq!(ours, brute, "k={k} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_points_cluster() {
+        let p = pts(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0), (9.0, 9.0)]);
+        let x = find_cluster_euclidean(&p, 3, 0.001).unwrap();
+        assert_eq!(x, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn max_cluster_size_matches_search() {
+        let p = pts(&[
+            (0.0, 0.0),
+            (0.5, 0.0),
+            (1.0, 0.0),
+            (0.5, 0.4),
+            (6.0, 6.0),
+            (6.5, 6.0),
+        ]);
+        for l in [0.3, 0.55, 1.0, 1.2, 9.0, 20.0] {
+            let m = max_cluster_size_euclidean(&p, l);
+            assert!(find_cluster_euclidean(&p, m, l).is_some(), "l={l} m={m}");
+            if m < p.len() {
+                assert!(
+                    find_cluster_euclidean(&p, m + 1, l).is_none(),
+                    "l={l} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_bounds() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(find_cluster_euclidean(&p, 3, 100.0), None);
+        assert_eq!(find_cluster_euclidean(&p, 0, 100.0), None);
+        assert_eq!(find_cluster_euclidean(&p, 1, 100.0), Some(vec![0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "plane")]
+    fn rejects_non_planar_points() {
+        let p = EuclideanPoints::new(3, vec![0.0; 6]);
+        find_cluster_euclidean(&p, 2, 1.0);
+    }
+
+    #[test]
+    fn boundary_pairs_included() {
+        let p = pts(&[(0.0, 0.0), (5.0, 0.0)]);
+        assert!(find_cluster_euclidean(&p, 2, 5.0).is_some());
+        assert!(find_cluster_euclidean(&p, 2, 4.9999).is_none());
+    }
+}

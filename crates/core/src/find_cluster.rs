@@ -1,0 +1,525 @@
+//! Algorithm 1: centralized cluster search in a tree metric space.
+//!
+//! `FindCluster(V, d, k, l)` returns `X ⊆ V` with `|X| = k` and
+//! `diam(X) ≤ l`, or nothing when no such set exists. The paper proves
+//! (Theorem 3.1) that in a tree metric space it suffices to examine, for
+//! every node pair `(p, q)`, the *pair-bounded set*
+//! `S*_pq = {x : d(x,p) ≤ d(p,q) ∧ d(x,q) ≤ d(p,q)}`, whose diameter is
+//! exactly `d(p, q)`. The search is therefore `O(n³)` instead of the
+//! NP-complete general-graph `k`-Clique.
+
+use bcc_metric::FiniteMetric;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// A clustering query in the distance domain: find `k` nodes with pairwise
+/// distance at most `l`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Cluster size constraint (`k ≥ 2`).
+    pub k: usize,
+    /// Diameter constraint in the distance domain (`l = C / b`).
+    pub l: f64,
+}
+
+impl Query {
+    /// Creates a validated query.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusterError::InvalidSizeConstraint`] when `k < 2`.
+    /// - [`ClusterError::InvalidDiameterConstraint`] when `l` is not
+    ///   positive and finite.
+    pub fn new(k: usize, l: f64) -> Result<Self, ClusterError> {
+        if k < 2 {
+            return Err(ClusterError::InvalidSizeConstraint { k });
+        }
+        if !l.is_finite() || l <= 0.0 {
+            return Err(ClusterError::InvalidDiameterConstraint { l });
+        }
+        Ok(Query { k, l })
+    }
+}
+
+/// Order in which Algorithm 1 scans node pairs.
+///
+/// The choice does not affect correctness (any satisfying `S*_pq` may be
+/// returned) but changes which cluster is found first and how soon an easy
+/// query exits — measured by the `ablations` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairOrder {
+    /// Natural row-major order, the paper's presentation.
+    #[default]
+    RowMajor,
+    /// Pairs sorted by ascending `d(p, q)`: finds the *tightest* satisfying
+    /// cluster and exits earliest on dense spaces, at an `O(n² log n)`
+    /// sorting cost.
+    AscendingDiameter,
+}
+
+/// Algorithm 1. Finds `k` nodes of `metric` with diameter at most `l`,
+/// returning their indices, or `None` when no pair-bounded set satisfies
+/// the constraints.
+///
+/// On a perfect tree metric the result is *complete*: `None` means no such
+/// cluster exists (Theorem 3.1). On an approximate tree metric the returned
+/// set's true diameter may exceed `l` by the metric's 4PC slack — this is
+/// exactly the prediction error the paper's WPR metric measures.
+///
+/// ```
+/// use bcc_core::find_cluster;
+/// use bcc_metric::DistanceMatrix;
+///
+/// // Star metric with radii 1, 1, 1, 10: the three close nodes cluster.
+/// let r = [1.0, 1.0, 1.0, 10.0];
+/// let d = DistanceMatrix::from_fn(4, |i, j| r[i] + r[j]);
+/// let x = find_cluster(&d, 3, 2.5).expect("cluster exists");
+/// assert_eq!(x, vec![0, 1, 2]);
+/// assert_eq!(find_cluster(&d, 4, 2.5), None);
+/// ```
+pub fn find_cluster<M: FiniteMetric>(metric: &M, k: usize, l: f64) -> Option<Vec<usize>> {
+    find_cluster_ordered(metric, k, l, PairOrder::RowMajor)
+}
+
+/// Algorithm 1 with an explicit pair scan order. See [`find_cluster`].
+pub fn find_cluster_ordered<M: FiniteMetric>(
+    metric: &M,
+    k: usize,
+    l: f64,
+    order: PairOrder,
+) -> Option<Vec<usize>> {
+    let n = metric.len();
+    if k > n || k == 0 {
+        return None;
+    }
+    if k == 1 {
+        return Some(vec![0]);
+    }
+    match order {
+        PairOrder::RowMajor => {
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    if let Some(s) = check_pair(metric, p, q, k, l) {
+                        return Some(s);
+                    }
+                }
+            }
+            None
+        }
+        PairOrder::AscendingDiameter => {
+            let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (n - 1) / 2);
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let d = metric.distance(p, q);
+                    if d <= l {
+                        pairs.push((p, q, d));
+                    }
+                }
+            }
+            pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("distances are comparable"));
+            for (p, q, _) in pairs {
+                if let Some(s) = check_pair(metric, p, q, k, l) {
+                    return Some(s);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Builds `S*_pq` and returns its first `k` members when the pair satisfies
+/// the constraints.
+fn check_pair<M: FiniteMetric>(
+    metric: &M,
+    p: usize,
+    q: usize,
+    k: usize,
+    l: f64,
+) -> Option<Vec<usize>> {
+    let dpq = metric.distance(p, q);
+    // In a tree metric diam(S*_pq) = d(p, q), so the diameter constraint
+    // reduces to d(p, q) <= l and pairs beyond l are skipped outright.
+    if dpq > l {
+        return None;
+    }
+    let mut s = Vec::new();
+    for x in 0..metric.len() {
+        if metric.distance(x, p) <= dpq && metric.distance(x, q) <= dpq {
+            s.push(x);
+            if s.len() == k {
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+/// The optimization variant of Algorithm 1: the `k`-subset of *minimum*
+/// diameter (the problem Aggarwal et al. solve in the plane), exact on tree
+/// metric spaces.
+///
+/// In a tree metric every candidate cluster is pair-bounded, so scanning
+/// pairs in ascending `d(p, q)` order and returning the first whose
+/// `S*_pq` reaches size `k` yields a minimum-diameter cluster. Returns the
+/// members and their diameter, or `None` when `k` exceeds the space
+/// (`k == 1` returns a singleton of diameter `0`).
+///
+/// ```
+/// use bcc_core::min_diameter_cluster;
+/// use bcc_metric::DistanceMatrix;
+///
+/// // Line 0-1-2 ... with a tight pair at the end.
+/// let pos = [0.0f64, 4.0, 8.0, 12.0, 12.5];
+/// let d = DistanceMatrix::from_fn(5, |i, j| (pos[i] - pos[j]).abs());
+/// let (cluster, diam) = min_diameter_cluster(&d, 2).unwrap();
+/// assert_eq!(cluster, vec![3, 4]);
+/// assert_eq!(diam, 0.5);
+/// ```
+pub fn min_diameter_cluster<M: FiniteMetric>(metric: &M, k: usize) -> Option<(Vec<usize>, f64)> {
+    let n = metric.len();
+    if k > n || k == 0 {
+        return None;
+    }
+    if k == 1 {
+        return Some((vec![0], 0.0));
+    }
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (n - 1) / 2);
+    for p in 0..n {
+        for q in (p + 1)..n {
+            pairs.push((p, q, metric.distance(p, q)));
+        }
+    }
+    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("distances are comparable"));
+    for (p, q, dpq) in pairs {
+        if let Some(s) = check_pair(metric, p, q, k, f64::INFINITY) {
+            debug_assert!(metric.distance(p, q) == dpq);
+            return Some((s, dpq));
+        }
+    }
+    None
+}
+
+/// The largest cluster size achievable under diameter `l`:
+/// `max k` such that [`find_cluster`] returns a set.
+///
+/// Computed directly as the maximum `|S*_pq|` over pairs with
+/// `d(p, q) ≤ l` (falling back to `min(1, n)` — a single node is always a
+/// diameter-0 cluster). This is the quantity each node's cluster routing
+/// table stores per bandwidth class (Algorithm 3, line 8).
+pub fn max_cluster_size<M: FiniteMetric>(metric: &M, l: f64) -> usize {
+    let n = metric.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 1;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let dpq = metric.distance(p, q);
+            if dpq > l {
+                continue;
+            }
+            let mut count = 0;
+            for x in 0..n {
+                if metric.distance(x, p) <= dpq && metric.distance(x, q) <= dpq {
+                    count += 1;
+                }
+            }
+            best = best.max(count);
+        }
+    }
+    best
+}
+
+/// The largest cluster size found by *binary search* over `k`, invoking
+/// [`find_cluster`] per probe — the strategy Algorithm 3 suggests.
+///
+/// Exists alongside the direct [`max_cluster_size`] so the ablation bench
+/// can compare the two; both return identical values (tested).
+pub fn max_cluster_size_binary_search<M: FiniteMetric>(metric: &M, l: f64) -> usize {
+    let n = metric.len();
+    if n == 0 {
+        return 0;
+    }
+    let (mut lo, mut hi) = (1usize, n); // find_cluster(k=1) always succeeds
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if find_cluster(metric, mid, l).is_some() {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Exact diameter of a node subset under `metric`.
+///
+/// # Panics
+///
+/// Panics if `subset` contains an out-of-bounds index.
+pub fn diameter<M: FiniteMetric>(metric: &M, subset: &[usize]) -> f64 {
+    let mut d = 0.0f64;
+    for (i, &a) in subset.iter().enumerate() {
+        for &b in &subset[i + 1..] {
+            d = d.max(metric.distance(a, b));
+        }
+    }
+    d
+}
+
+/// Brute-force reference: does *any* `k`-subset with diameter ≤ `l` exist?
+///
+/// Exponential; only for cross-checking [`find_cluster`] on small fixtures
+/// and property tests.
+pub fn exists_cluster_brute_force<M: FiniteMetric>(metric: &M, k: usize, l: f64) -> bool {
+    let n = metric.len();
+    if k > n {
+        return false;
+    }
+    // Build the threshold graph and search for a k-clique with pruning.
+    let adj: Vec<Vec<bool>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| i != j && metric.distance(i, j) <= l)
+                .collect()
+        })
+        .collect();
+    fn extend(adj: &[Vec<bool>], clique: &mut Vec<usize>, cand: &[usize], k: usize) -> bool {
+        if clique.len() == k {
+            return true;
+        }
+        if clique.len() + cand.len() < k {
+            return false;
+        }
+        for (idx, &v) in cand.iter().enumerate() {
+            clique.push(v);
+            let next: Vec<usize> = cand[idx + 1..]
+                .iter()
+                .copied()
+                .filter(|&u| adj[v][u])
+                .collect();
+            if extend(adj, clique, &next, k) {
+                return true;
+            }
+            clique.pop();
+        }
+        false
+    }
+    let all: Vec<usize> = (0..n).collect();
+    extend(&adj, &mut Vec::new(), &all, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::DistanceMatrix;
+
+    fn star(radii: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(radii.len(), |i, j| radii[i] + radii[j])
+    }
+
+    fn line(pos: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs())
+    }
+
+    #[test]
+    fn query_validation() {
+        assert!(Query::new(2, 1.0).is_ok());
+        assert!(matches!(
+            Query::new(1, 1.0),
+            Err(ClusterError::InvalidSizeConstraint { .. })
+        ));
+        assert!(matches!(
+            Query::new(3, 0.0),
+            Err(ClusterError::InvalidDiameterConstraint { .. })
+        ));
+        assert!(matches!(
+            Query::new(3, f64::NAN),
+            Err(ClusterError::InvalidDiameterConstraint { .. })
+        ));
+    }
+
+    #[test]
+    fn finds_obvious_cluster() {
+        let d = star(&[1.0, 1.0, 1.0, 50.0]);
+        let x = find_cluster(&d, 3, 2.0).unwrap();
+        assert_eq!(x.len(), 3);
+        assert!(diameter(&d, &x) <= 2.0);
+    }
+
+    #[test]
+    fn result_satisfies_both_constraints() {
+        let d = line(&[0.0, 1.0, 2.0, 3.0, 10.0, 11.0]);
+        let x = find_cluster(&d, 4, 3.0).unwrap();
+        assert_eq!(x.len(), 4);
+        assert!(diameter(&d, &x) <= 3.0);
+    }
+
+    #[test]
+    fn none_when_no_cluster() {
+        let d = line(&[0.0, 10.0, 20.0, 30.0]);
+        assert_eq!(find_cluster(&d, 2, 5.0), None);
+        assert_eq!(find_cluster(&d, 3, 10.0), None);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_none() {
+        let d = star(&[1.0, 1.0]);
+        assert_eq!(find_cluster(&d, 3, 100.0), None);
+    }
+
+    #[test]
+    fn k_equals_n_when_everything_close() {
+        let d = star(&[1.0; 6]);
+        let x = find_cluster(&d, 6, 2.0).unwrap();
+        assert_eq!(x, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_one_degenerate() {
+        let d = star(&[1.0, 2.0]);
+        assert_eq!(find_cluster(&d, 1, 0.001), Some(vec![0]));
+        assert_eq!(find_cluster(&d, 0, 0.001), None);
+    }
+
+    #[test]
+    fn boundary_diameter_included() {
+        // d(0,1) exactly l must qualify (constraint is <=).
+        let d = line(&[0.0, 5.0]);
+        assert!(find_cluster(&d, 2, 5.0).is_some());
+        assert!(find_cluster(&d, 2, 4.999).is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_on_tree_metrics() {
+        let d = line(&[0.0, 2.0, 3.0, 7.0, 8.0, 8.5, 15.0]);
+        for k in 2..=7 {
+            for l in [0.5, 1.0, 2.0, 4.0, 6.0, 10.0, 20.0] {
+                let ours = find_cluster(&d, k, l).is_some();
+                let brute = exists_cluster_brute_force(&d, k, l);
+                assert_eq!(ours, brute, "k={k} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn ascending_order_finds_tightest_first() {
+        let d = line(&[0.0, 1.0, 10.0, 10.1]);
+        // Both {0,1} (diam 1) and {2,3} (diam 0.1) satisfy k=2, l=2.
+        let x = find_cluster_ordered(&d, 2, 2.0, PairOrder::AscendingDiameter).unwrap();
+        assert_eq!(x, vec![2, 3], "tightest pair first");
+        let y = find_cluster_ordered(&d, 2, 2.0, PairOrder::RowMajor).unwrap();
+        assert_eq!(y, vec![0, 1], "row-major finds (0,1) first");
+    }
+
+    #[test]
+    fn max_cluster_size_direct() {
+        let d = line(&[0.0, 1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(max_cluster_size(&d, 3.0), 4);
+        assert_eq!(max_cluster_size(&d, 1.0), 2);
+        assert_eq!(max_cluster_size(&d, 0.5), 1);
+        assert_eq!(max_cluster_size(&d, 100.0), 5);
+    }
+
+    #[test]
+    fn max_cluster_size_binary_agrees_with_direct() {
+        let d = line(&[0.0, 2.0, 3.0, 7.0, 8.0, 8.5, 15.0]);
+        for l in [0.1, 0.5, 1.0, 1.5, 4.0, 6.5, 7.0, 15.0, 100.0] {
+            assert_eq!(
+                max_cluster_size(&d, l),
+                max_cluster_size_binary_search(&d, l),
+                "l = {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_cluster_size_empty_space() {
+        let d = DistanceMatrix::new(0);
+        assert_eq!(max_cluster_size(&d, 1.0), 0);
+        assert_eq!(max_cluster_size_binary_search(&d, 1.0), 0);
+    }
+
+    #[test]
+    fn max_cluster_size_singleton() {
+        let d = DistanceMatrix::new(1);
+        assert_eq!(max_cluster_size(&d, 1.0), 1);
+        assert_eq!(max_cluster_size_binary_search(&d, 1.0), 1);
+    }
+
+    #[test]
+    fn diameter_of_subsets() {
+        let d = line(&[0.0, 3.0, 5.0]);
+        assert_eq!(diameter(&d, &[0, 2]), 5.0);
+        assert_eq!(diameter(&d, &[1]), 0.0);
+        assert_eq!(diameter(&d, &[]), 0.0);
+    }
+
+    #[test]
+    fn min_diameter_is_optimal_on_tree_metrics() {
+        let d = line(&[0.0, 2.0, 3.0, 7.0, 8.0, 8.5]);
+        // Brute-force optimum per k.
+        fn brute(d: &DistanceMatrix, k: usize) -> f64 {
+            let n = d.len();
+            let mut best = f64::INFINITY;
+            let idx: Vec<usize> = (0..n).collect();
+            fn rec(
+                d: &DistanceMatrix,
+                rest: &[usize],
+                chosen: &mut Vec<usize>,
+                k: usize,
+                best: &mut f64,
+            ) {
+                if chosen.len() == k {
+                    *best = best.min(diameter(d, chosen));
+                    return;
+                }
+                if rest.len() + chosen.len() < k {
+                    return;
+                }
+                let (head, tail) = rest.split_first().unwrap();
+                chosen.push(*head);
+                rec(d, tail, chosen, k, best);
+                chosen.pop();
+                rec(d, tail, chosen, k, best);
+            }
+            rec(d, &idx, &mut Vec::new(), k, &mut best);
+            best
+        }
+        for k in 2..=6 {
+            let (cluster, diam) = min_diameter_cluster(&d, k).unwrap();
+            assert_eq!(cluster.len(), k);
+            assert!((diam - brute(&d, k)).abs() < 1e-12, "k = {k}");
+            assert!((diameter(&d, &cluster) - diam).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_diameter_edge_cases() {
+        let d = line(&[0.0, 5.0]);
+        assert_eq!(min_diameter_cluster(&d, 1), Some((vec![0], 0.0)));
+        assert_eq!(min_diameter_cluster(&d, 2), Some((vec![0, 1], 5.0)));
+        assert_eq!(min_diameter_cluster(&d, 3), None);
+        assert_eq!(min_diameter_cluster(&d, 0), None);
+    }
+
+    #[test]
+    fn min_diameter_consistent_with_find_cluster() {
+        let d = line(&[0.0, 1.0, 4.0, 4.5, 9.0]);
+        for k in 2..=5 {
+            let (_, diam) = min_diameter_cluster(&d, k).unwrap();
+            // find_cluster succeeds exactly at l >= diam.
+            assert!(find_cluster(&d, k, diam).is_some());
+            assert!(find_cluster(&d, k, diam * 0.999).is_none());
+        }
+    }
+
+    #[test]
+    fn brute_force_small_cases() {
+        let d = line(&[0.0, 1.0, 2.0]);
+        assert!(exists_cluster_brute_force(&d, 3, 2.0));
+        assert!(!exists_cluster_brute_force(&d, 3, 1.5));
+        assert!(!exists_cluster_brute_force(&d, 4, 100.0));
+    }
+}

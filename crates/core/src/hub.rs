@@ -1,0 +1,153 @@
+//! Hub search — the paper's first future-work extension (Sec. VI).
+//!
+//! Given a set of hosts `S`, find a single host `x ∉ S` with high bandwidth
+//! to *every* member of `S` (e.g. a data-distribution source for a
+//! scheduled job set, or a cluster representative in the CDN scenario). In
+//! the distance domain this is a 1-center problem restricted to candidate
+//! hosts: minimize `max_{s ∈ S} d(x, s)`.
+//!
+//! Unlike clustering, hub search is polynomial in *any* metric space
+//! (`O(n·|S|)` by direct scan), so no tree-metric assumption is needed —
+//! but running it on predicted distances inherits the prediction quality of
+//! the underlying framework just like Algorithm 1 does.
+
+use bcc_metric::FiniteMetric;
+
+/// The best hub for `targets`: the non-member minimizing the maximum
+/// distance to the set, returned with that radius. Ties break toward the
+/// smallest index. `None` when every host is a target or `targets` is
+/// empty.
+///
+/// ```
+/// use bcc_core::hub::best_hub;
+/// use bcc_metric::DistanceMatrix;
+///
+/// // Line: 0 -1- 1 -1- 2 -1- 3. Hub of {0, 2} is 1 (radius 1).
+/// let d = DistanceMatrix::from_fn(4, |i, j| (i as f64 - j as f64).abs());
+/// assert_eq!(best_hub(&d, &[0, 2]), Some((1, 1.0)));
+/// ```
+pub fn best_hub<M: FiniteMetric>(metric: &M, targets: &[usize]) -> Option<(usize, f64)> {
+    if targets.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for x in 0..metric.len() {
+        if targets.contains(&x) {
+            continue;
+        }
+        let radius = targets
+            .iter()
+            .map(|&s| metric.distance(x, s))
+            .fold(0.0f64, f64::max);
+        match best {
+            Some((_, br)) if br <= radius => {}
+            _ => best = Some((x, radius)),
+        }
+    }
+    best
+}
+
+/// Finds any host whose distance to every target is at most `l`
+/// (equivalently, whose bandwidth to every target is at least `b = C/l`).
+///
+/// Returns the best such hub so callers get the strongest candidate.
+pub fn find_hub<M: FiniteMetric>(metric: &M, targets: &[usize], l: f64) -> Option<usize> {
+    match best_hub(metric, targets) {
+        Some((x, radius)) if radius <= l => Some(x),
+        _ => None,
+    }
+}
+
+/// Ranks all non-target hosts by their hub radius, best first.
+pub fn rank_hubs<M: FiniteMetric>(metric: &M, targets: &[usize]) -> Vec<(usize, f64)> {
+    let mut out: Vec<(usize, f64)> = (0..metric.len())
+        .filter(|x| !targets.contains(x))
+        .map(|x| {
+            let radius = targets
+                .iter()
+                .map(|&s| metric.distance(x, s))
+                .fold(0.0f64, f64::max);
+            (x, radius)
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite radii")
+            .then(a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::DistanceMatrix;
+
+    fn line(n: usize) -> DistanceMatrix {
+        DistanceMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs())
+    }
+
+    #[test]
+    fn best_hub_on_line() {
+        let d = line(5);
+        assert_eq!(best_hub(&d, &[0, 2]), Some((1, 1.0)));
+        assert_eq!(best_hub(&d, &[0, 4]), Some((2, 2.0)));
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_index() {
+        let d = line(4);
+        // Targets {1, 2}: hubs 0 and 3 both have radius 2.
+        assert_eq!(best_hub(&d, &[1, 2]), Some((0, 2.0)));
+    }
+
+    #[test]
+    fn empty_targets_none() {
+        assert_eq!(best_hub(&line(3), &[]), None);
+        assert_eq!(find_hub(&line(3), &[], 1.0), None);
+    }
+
+    #[test]
+    fn all_hosts_targeted_none() {
+        let d = line(3);
+        assert_eq!(best_hub(&d, &[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn find_hub_respects_constraint() {
+        let d = line(5);
+        assert_eq!(find_hub(&d, &[0, 2], 1.0), Some(1));
+        assert_eq!(find_hub(&d, &[0, 2], 0.5), None);
+        assert_eq!(find_hub(&d, &[0, 4], 2.0), Some(2));
+    }
+
+    #[test]
+    fn single_target_picks_nearest_other() {
+        let d = line(4);
+        assert_eq!(best_hub(&d, &[3]), Some((2, 1.0)));
+    }
+
+    #[test]
+    fn rank_hubs_sorted() {
+        let d = line(6);
+        let ranked = rank_hubs(&d, &[0, 2]);
+        assert_eq!(ranked.len(), 4);
+        assert_eq!(ranked[0], (1, 1.0));
+        for w in ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // The worst hub is the far end of the line.
+        assert_eq!(ranked.last().unwrap().0, 5);
+    }
+
+    #[test]
+    fn star_metric_hub_is_lowest_radius_leaf() {
+        // Star: d(i, j) = w_i + w_j. The best hub for any target set is
+        // the non-target with the smallest own radius.
+        let w = [5.0, 1.0, 3.0, 2.0];
+        let d = DistanceMatrix::from_fn(4, |i, j| w[i] + w[j]);
+        let (hub, radius) = best_hub(&d, &[0, 2]).unwrap();
+        assert_eq!(hub, 1);
+        assert_eq!(radius, 1.0 + 5.0);
+    }
+}

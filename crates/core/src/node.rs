@@ -1,0 +1,444 @@
+//! Per-node protocol state for decentralized clustering (Sec. III-B).
+//!
+//! Each participating host keeps:
+//!
+//! - `aggrNode[v]` for every overlay neighbor `v` — the `n_cut` closest
+//!   nodes reachable through `v` (Algorithm 2, *dynamic aggregation of close
+//!   nodes*);
+//! - its own *clustering space* `V_x = {x} ∪ ⋃_v aggrNode[v]`, the only
+//!   nodes it may put in a cluster;
+//! - `aggrCRT[v][l]` for every neighbor and bandwidth class — the maximum
+//!   cluster size available through `v` (Algorithm 3, the *cluster routing
+//!   table*), plus `aggrCRT[x][l]`, the maximum it can build locally.
+//!
+//! [`ClusterNode`] is pure state plus message construction/consumption; it
+//! performs no I/O. The round engine in `bcc-simnet` moves the messages, and
+//! [`crate::process_query`] walks the overlay using the CRTs.
+
+use std::collections::BTreeMap;
+
+use bcc_metric::{DistanceMatrix, NodeId};
+
+use crate::classes::BandwidthClasses;
+use crate::error::ClusterError;
+use crate::find_cluster;
+
+/// Configuration shared by every node of a clustering overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// Maximum number of node records per neighbor direction (the paper's
+    /// `n_cut`; its tradeoff experiment uses 10).
+    pub n_cut: usize,
+    /// The quantized bandwidth constraints every CRT is keyed by.
+    pub classes: BandwidthClasses,
+}
+
+impl ProtocolConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cut` is zero.
+    pub fn new(n_cut: usize, classes: BandwidthClasses) -> Self {
+        assert!(n_cut > 0, "n_cut must be positive");
+        ProtocolConfig { n_cut, classes }
+    }
+}
+
+/// Protocol state of one host.
+#[derive(Debug, Clone)]
+pub struct ClusterNode {
+    id: NodeId,
+    neighbors: Vec<NodeId>,
+    /// aggrNode[v]: closest nodes reachable via neighbor v.
+    aggr_node: BTreeMap<NodeId, Vec<NodeId>>,
+    /// aggrCRT[x][l]: the max cluster size buildable from the local space.
+    own_max: Vec<usize>,
+    /// aggrCRT[v][l] for each neighbor v.
+    aggr_crt: BTreeMap<NodeId, Vec<usize>>,
+    class_count: usize,
+}
+
+impl ClusterNode {
+    /// Creates a node with its overlay neighbor set.
+    pub fn new(id: NodeId, neighbors: Vec<NodeId>, class_count: usize) -> Self {
+        ClusterNode {
+            id,
+            neighbors,
+            aggr_node: BTreeMap::new(),
+            own_max: vec![0; class_count],
+            aggr_crt: BTreeMap::new(),
+            class_count,
+        }
+    }
+
+    /// This node's host id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Overlay neighbors.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Algorithm 2, sender side: the `propNode` message for neighbor `to` —
+    /// the `n_cut` candidates closest to `to` among `{self} ∪
+    /// ⋃_{v ≠ to} aggrNode[v]`.
+    ///
+    /// `dist` must return the *predicted* distance between two hosts (tree
+    /// or label distance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNeighbor`] if `to` is not a neighbor.
+    pub fn node_info_for(
+        &self,
+        to: NodeId,
+        n_cut: usize,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Result<Vec<NodeId>, ClusterError> {
+        if !self.neighbors.contains(&to) {
+            return Err(ClusterError::UnknownNeighbor {
+                neighbor: to.index(),
+            });
+        }
+        let mut cand: Vec<NodeId> = vec![self.id];
+        for (&v, nodes) in &self.aggr_node {
+            if v == to {
+                continue;
+            }
+            cand.extend(nodes.iter().copied());
+        }
+        cand.sort_unstable();
+        cand.dedup();
+        cand.retain(|&u| u != to);
+        // Top n_cut by predicted distance to `to`; ties break by id so the
+        // protocol is deterministic.
+        let mut keyed: Vec<(f64, NodeId)> = cand.into_iter().map(|u| (dist(to, u), u)).collect();
+        keyed.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("distances are comparable")
+                .then(a.1.cmp(&b.1))
+        });
+        keyed.truncate(n_cut);
+        Ok(keyed.into_iter().map(|(_, u)| u).collect())
+    }
+
+    /// Algorithm 2, receiver side: stores `propNode` received from `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNeighbor`] if `from` is not a
+    /// neighbor.
+    pub fn receive_node_info(
+        &mut self,
+        from: NodeId,
+        info: Vec<NodeId>,
+    ) -> Result<(), ClusterError> {
+        if !self.neighbors.contains(&from) {
+            return Err(ClusterError::UnknownNeighbor {
+                neighbor: from.index(),
+            });
+        }
+        self.aggr_node.insert(from, info);
+        Ok(())
+    }
+
+    /// The node's clustering space `V_x = {x} ∪ ⋃_v aggrNode[v]`, sorted.
+    pub fn clustering_space(&self) -> Vec<NodeId> {
+        let mut space: Vec<NodeId> = vec![self.id];
+        for nodes in self.aggr_node.values() {
+            space.extend(nodes.iter().copied());
+        }
+        space.sort_unstable();
+        space.dedup();
+        space
+    }
+
+    /// Algorithm 3, line 8: recomputes `aggrCRT[x][l]` for every class by
+    /// running the centralized search over the local clustering space.
+    pub fn recompute_own_max(
+        &mut self,
+        classes: &BandwidthClasses,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    ) {
+        let space = self.clustering_space();
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        self.own_max = classes
+            .distances()
+            .iter()
+            .map(|&l| find_cluster::max_cluster_size(&local, l))
+            .collect();
+    }
+
+    /// `aggrCRT[x][l]` — the maximum cluster size this node can build
+    /// locally, per class index.
+    pub fn own_max(&self) -> &[usize] {
+        &self.own_max
+    }
+
+    /// Algorithm 3, sender side: the `propCRT` row for neighbor `to` —
+    /// per class, the best cluster size among this node and every direction
+    /// except `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNeighbor`] if `to` is not a neighbor.
+    pub fn crt_for(&self, to: NodeId) -> Result<Vec<usize>, ClusterError> {
+        if !self.neighbors.contains(&to) {
+            return Err(ClusterError::UnknownNeighbor {
+                neighbor: to.index(),
+            });
+        }
+        let mut row = self.own_max.clone();
+        for (&v, crt) in &self.aggr_crt {
+            if v == to {
+                continue;
+            }
+            for (slot, &val) in row.iter_mut().zip(crt) {
+                *slot = (*slot).max(val);
+            }
+        }
+        Ok(row)
+    }
+
+    /// Algorithm 3, receiver side: stores the `propCRT` row from `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNeighbor`] if `from` is not a
+    /// neighbor, and [`ClusterError::NoMatchingClass`] if the row length
+    /// does not match the class count.
+    pub fn receive_crt(&mut self, from: NodeId, row: Vec<usize>) -> Result<(), ClusterError> {
+        if !self.neighbors.contains(&from) {
+            return Err(ClusterError::UnknownNeighbor {
+                neighbor: from.index(),
+            });
+        }
+        if row.len() != self.class_count {
+            return Err(ClusterError::NoMatchingClass {
+                bandwidth: f64::NAN,
+            });
+        }
+        self.aggr_crt.insert(from, row);
+        Ok(())
+    }
+
+    /// `aggrCRT[v][class_idx]` for a neighbor, `0` when nothing has been
+    /// received yet.
+    pub fn crt_entry(&self, v: NodeId, class_idx: usize) -> usize {
+        self.aggr_crt.get(&v).map_or(0, |row| row[class_idx])
+    }
+
+    /// Algorithm 4, local half: answers `(k, class_idx)` from the local
+    /// clustering space if `aggrCRT[x][l]` admits it.
+    pub fn answer_locally(
+        &self,
+        k: usize,
+        class_idx: usize,
+        classes: &BandwidthClasses,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Option<Vec<NodeId>> {
+        if k == 0 || k > self.own_max[class_idx] {
+            return None;
+        }
+        let space = self.clustering_space();
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        let l = classes.distance_of(class_idx);
+        find_cluster::find_cluster(&local, k, l)
+            .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
+    }
+
+    /// Algorithm 4, routing half: a neighbor (≠ `exclude`) whose direction
+    /// promises a cluster of size ≥ `k` for this class.
+    pub fn route(&self, k: usize, class_idx: usize, exclude: Option<NodeId>) -> Option<NodeId> {
+        self.route_with_policy(k, class_idx, exclude, RoutePolicy::FirstFit)
+    }
+
+    /// Like [`ClusterNode::route`] but with an explicit neighbor-selection
+    /// policy.
+    pub fn route_with_policy(
+        &self,
+        k: usize,
+        class_idx: usize,
+        exclude: Option<NodeId>,
+        policy: RoutePolicy,
+    ) -> Option<NodeId> {
+        let eligible = self
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|&v| Some(v) != exclude)
+            .filter(|&v| self.crt_entry(v, class_idx) >= k);
+        match policy {
+            RoutePolicy::FirstFit => eligible.min_by_key(|&v| {
+                // Neighbor order = parent first, then children (join order):
+                // the paper's "any neighbor" reading, made deterministic.
+                self.neighbors
+                    .iter()
+                    .position(|&n| n == v)
+                    .expect("eligible is a neighbor")
+            }),
+            RoutePolicy::BestFit => eligible.max_by_key(|&v| (self.crt_entry(v, class_idx), v)),
+            RoutePolicy::TightestFit => eligible.min_by_key(|&v| (self.crt_entry(v, class_idx), v)),
+        }
+    }
+}
+
+/// How a node picks among multiple neighbors whose CRT promises a
+/// satisfying cluster (the paper says "any"; the choice affects hop counts
+/// but never correctness — measured by the `ablations` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// The first eligible neighbor in overlay order (parent, then children).
+    #[default]
+    FirstFit,
+    /// The neighbor promising the *largest* cluster — heads toward dense
+    /// regions, usually minimizing hops.
+    BestFit,
+    /// The neighbor promising the *smallest* sufficient cluster — leaves
+    /// dense regions available for harder queries.
+    TightestFit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::RationalTransform;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn classes() -> BandwidthClasses {
+        BandwidthClasses::new(vec![25.0, 50.0], RationalTransform::new(100.0))
+    }
+
+    /// Line metric over ids: d(i, j) = |i − j|.
+    fn line_dist(a: NodeId, b: NodeId) -> f64 {
+        (a.index() as f64 - b.index() as f64).abs()
+    }
+
+    #[test]
+    fn config_rejects_zero_ncut() {
+        let result = std::panic::catch_unwind(|| ProtocolConfig::new(0, classes()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn node_info_includes_self_and_caps_at_ncut() {
+        let mut m = ClusterNode::new(n(1), vec![n(0), n(2)], 2);
+        m.receive_node_info(n(2), vec![n(3), n(4), n(5)]).unwrap();
+        // Info for n0: candidates {1} ∪ aggrNode[2] = {1, 3, 4, 5}, closest
+        // two to n0 under the line metric are 1 and 3.
+        let info = m.node_info_for(n(0), 2, line_dist).unwrap();
+        assert_eq!(info, vec![n(1), n(3)]);
+    }
+
+    #[test]
+    fn node_info_excludes_target_direction() {
+        let mut m = ClusterNode::new(n(1), vec![n(0), n(2)], 2);
+        m.receive_node_info(n(0), vec![n(9)]).unwrap();
+        m.receive_node_info(n(2), vec![n(3)]).unwrap();
+        // Info destined to n0 must not echo what came from n0.
+        let info = m.node_info_for(n(0), 10, line_dist).unwrap();
+        assert_eq!(info, vec![n(1), n(3)]);
+    }
+
+    #[test]
+    fn node_info_rejects_strangers() {
+        let m = ClusterNode::new(n(1), vec![n(0)], 1);
+        assert!(matches!(
+            m.node_info_for(n(7), 3, line_dist),
+            Err(ClusterError::UnknownNeighbor { neighbor: 7 })
+        ));
+        let mut m2 = m.clone();
+        assert!(m2.receive_node_info(n(7), vec![]).is_err());
+    }
+
+    #[test]
+    fn clustering_space_dedups() {
+        let mut x = ClusterNode::new(n(0), vec![n(1), n(2)], 2);
+        x.receive_node_info(n(1), vec![n(3), n(4)]).unwrap();
+        x.receive_node_info(n(2), vec![n(4), n(5)]).unwrap();
+        assert_eq!(x.clustering_space(), vec![n(0), n(3), n(4), n(5)]);
+    }
+
+    #[test]
+    fn own_max_over_local_space() {
+        // Space {0, 1, 2, 3} on a line; class distances are 4 (b=25) and
+        // 2 (b=50): max sizes 4 and 3.
+        let mut x = ClusterNode::new(n(0), vec![n(1)], 2);
+        x.receive_node_info(n(1), vec![n(1), n(2), n(3)]).unwrap();
+        x.recompute_own_max(&classes(), line_dist);
+        assert_eq!(x.own_max(), &[4, 3]);
+    }
+
+    #[test]
+    fn crt_row_takes_max_over_other_directions() {
+        let mut x = ClusterNode::new(n(1), vec![n(0), n(2), n(3)], 2);
+        x.receive_crt(n(0), vec![5, 1]).unwrap();
+        x.receive_crt(n(2), vec![2, 4]).unwrap();
+        x.receive_crt(n(3), vec![3, 3]).unwrap();
+        // Row for n0 excludes n0's own direction.
+        assert_eq!(x.crt_for(n(0)).unwrap(), vec![3, 4]);
+        // Row for n2 excludes n2: max(own=0, n0, n3).
+        assert_eq!(x.crt_for(n(2)).unwrap(), vec![5, 3]);
+    }
+
+    #[test]
+    fn crt_row_length_checked() {
+        let mut x = ClusterNode::new(n(1), vec![n(0)], 2);
+        assert!(x.receive_crt(n(0), vec![1]).is_err());
+        assert!(x.receive_crt(n(0), vec![1, 2]).is_ok());
+    }
+
+    #[test]
+    fn answer_locally_respects_crt_gate() {
+        let mut x = ClusterNode::new(n(0), vec![n(1)], 2);
+        x.receive_node_info(n(1), vec![n(1), n(2), n(3)]).unwrap();
+        x.recompute_own_max(&classes(), line_dist);
+        // Class 1 (b = 50, l = 2): max is 3.
+        let got = x.answer_locally(3, 1, &classes(), line_dist).unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(x.answer_locally(4, 1, &classes(), line_dist).is_none());
+        assert!(x.answer_locally(0, 1, &classes(), line_dist).is_none());
+        // Class 0 (l = 4): all four fit.
+        assert_eq!(
+            x.answer_locally(4, 0, &classes(), line_dist).unwrap().len(),
+            4
+        );
+    }
+
+    #[test]
+    fn answered_cluster_satisfies_constraint() {
+        let mut x = ClusterNode::new(n(0), vec![n(1)], 2);
+        x.receive_node_info(n(1), vec![n(1), n(2), n(3), n(7), n(8)])
+            .unwrap();
+        x.recompute_own_max(&classes(), line_dist);
+        let got = x.answer_locally(3, 1, &classes(), line_dist).unwrap();
+        for (i, &a) in got.iter().enumerate() {
+            for &b in &got[i + 1..] {
+                assert!(line_dist(a, b) <= 2.0, "pair ({a}, {b}) violates l");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_skips_excluded_neighbor() {
+        let mut x = ClusterNode::new(n(1), vec![n(0), n(2)], 1);
+        x.receive_crt(n(0), vec![5]).unwrap();
+        x.receive_crt(n(2), vec![5]).unwrap();
+        assert_eq!(x.route(4, 0, Some(n(0))), Some(n(2)));
+        assert_eq!(x.route(4, 0, None), Some(n(0)));
+        assert_eq!(x.route(6, 0, None), None);
+    }
+
+    #[test]
+    fn routing_before_any_crt_is_none() {
+        let x = ClusterNode::new(n(1), vec![n(0), n(2)], 1);
+        assert_eq!(x.route(2, 0, None), None);
+        assert_eq!(x.crt_entry(n(0), 0), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Algorithm 4: decentralized query processing.
+//!
+//! A query `(k, b)` enters at any node. The node snaps `b` up to a
+//! bandwidth class, tries to answer from its own clustering space, and
+//! otherwise forwards toward a neighbor whose CRT column promises a
+//! large-enough cluster — never back toward the neighbor it came from, so
+//! on the tree overlay the walk is a simple path and always terminates.
+
+use bcc_metric::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::classes::BandwidthClasses;
+use crate::error::ClusterError;
+use crate::node::{ClusterNode, RoutePolicy};
+
+/// The result of routing one query through the overlay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The cluster found, if any (host ids).
+    pub cluster: Option<Vec<NodeId>>,
+    /// Number of forwarding hops (0 when the entry node answered).
+    pub hops: usize,
+    /// Every node that processed the query, in order (entry node first).
+    pub path: Vec<NodeId>,
+}
+
+impl QueryOutcome {
+    /// `true` when a cluster was returned.
+    pub fn found(&self) -> bool {
+        self.cluster.is_some()
+    }
+}
+
+/// Routes the query `(k, bandwidth)` starting at `start`.
+///
+/// `nodes` maps dense host ids to protocol state; `dist` is the predicted
+/// distance oracle every node consults (labels / prediction tree).
+///
+/// # Errors
+///
+/// - [`ClusterError::InvalidSizeConstraint`] when `k < 2`.
+/// - [`ClusterError::NoMatchingClass`] when `bandwidth` exceeds every
+///   configured class.
+/// - [`ClusterError::UnknownNeighbor`] when `start` is out of range.
+pub fn process_query(
+    nodes: &[ClusterNode],
+    start: NodeId,
+    k: usize,
+    bandwidth: f64,
+    classes: &BandwidthClasses,
+    dist: impl FnMut(NodeId, NodeId) -> f64,
+) -> Result<QueryOutcome, ClusterError> {
+    process_query_with_policy(
+        nodes,
+        start,
+        k,
+        bandwidth,
+        classes,
+        dist,
+        RoutePolicy::FirstFit,
+    )
+}
+
+/// [`process_query`] with an explicit forwarding policy.
+///
+/// # Errors
+///
+/// Same as [`process_query`].
+pub fn process_query_with_policy(
+    nodes: &[ClusterNode],
+    start: NodeId,
+    k: usize,
+    bandwidth: f64,
+    classes: &BandwidthClasses,
+    mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    policy: RoutePolicy,
+) -> Result<QueryOutcome, ClusterError> {
+    if k < 2 {
+        return Err(ClusterError::InvalidSizeConstraint { k });
+    }
+    let class_idx = classes.snap_up(bandwidth)?;
+    if start.index() >= nodes.len() {
+        return Err(ClusterError::UnknownNeighbor {
+            neighbor: start.index(),
+        });
+    }
+
+    let mut current = start;
+    let mut previous: Option<NodeId> = None;
+    let mut path = vec![start];
+    let mut hops = 0;
+
+    loop {
+        let node = &nodes[current.index()];
+        debug_assert_eq!(node.id(), current, "nodes must be indexed by id");
+        if let Some(cluster) = node.answer_locally(k, class_idx, classes, &mut dist) {
+            return Ok(QueryOutcome {
+                cluster: Some(cluster),
+                hops,
+                path,
+            });
+        }
+        match node.route_with_policy(k, class_idx, previous, policy) {
+            Some(next) => {
+                previous = Some(current);
+                current = next;
+                hops += 1;
+                path.push(current);
+                // Safety net: on a tree overlay the no-backtrack walk is a
+                // simple path, so it can never exceed the node count.
+                if hops > nodes.len() {
+                    return Ok(QueryOutcome {
+                        cluster: None,
+                        hops,
+                        path,
+                    });
+                }
+            }
+            None => {
+                return Ok(QueryOutcome {
+                    cluster: None,
+                    hops,
+                    path,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::RationalTransform;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn classes() -> BandwidthClasses {
+        BandwidthClasses::new(vec![50.0], RationalTransform::new(100.0))
+    }
+
+    /// Line metric over ids.
+    fn line_dist(a: NodeId, b: NodeId) -> f64 {
+        (a.index() as f64 - b.index() as f64).abs()
+    }
+
+    /// A 4-node path overlay 0—1—2—3 where only node 3's corner of the
+    /// line metric holds a tight cluster {2,3} plus aggregated {4?}… keep
+    /// simple: node 3 aggregates {2, 3} so it can build k=2 clusters; other
+    /// nodes know nothing locally but their CRTs point toward 3.
+    fn path_overlay() -> Vec<ClusterNode> {
+        let cls = classes();
+        let mut nodes = vec![
+            ClusterNode::new(n(0), vec![n(1)], 1),
+            ClusterNode::new(n(1), vec![n(0), n(2)], 1),
+            ClusterNode::new(n(2), vec![n(1), n(3)], 1),
+            ClusterNode::new(n(3), vec![n(2)], 1),
+        ];
+        // Node 3 learns about node 2 through its neighbor.
+        nodes[3].receive_node_info(n(2), vec![n(2)]).unwrap();
+        for node in &mut nodes {
+            node.recompute_own_max(&cls, line_dist);
+        }
+        // Propagate CRTs toward node 0 (3 → 2 → 1 → 0).
+        let row = nodes[3].crt_for(n(2)).unwrap();
+        nodes[2].receive_crt(n(3), row).unwrap();
+        let row = nodes[2].crt_for(n(1)).unwrap();
+        nodes[1].receive_crt(n(2), row).unwrap();
+        let row = nodes[1].crt_for(n(0)).unwrap();
+        nodes[0].receive_crt(n(1), row).unwrap();
+        nodes
+    }
+
+    #[test]
+    fn local_answer_zero_hops() {
+        let nodes = path_overlay();
+        let out = process_query(&nodes, n(3), 2, 50.0, &classes(), line_dist).unwrap();
+        assert!(out.found());
+        assert_eq!(out.hops, 0);
+        assert_eq!(out.path, vec![n(3)]);
+    }
+
+    #[test]
+    fn query_routes_across_overlay() {
+        let nodes = path_overlay();
+        let out = process_query(&nodes, n(0), 2, 50.0, &classes(), line_dist).unwrap();
+        assert!(out.found(), "cluster reachable via routing");
+        assert_eq!(out.hops, 3);
+        assert_eq!(out.path, vec![n(0), n(1), n(2), n(3)]);
+        let cluster = out.cluster.unwrap();
+        assert_eq!(cluster.len(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_query_returns_empty() {
+        let nodes = path_overlay();
+        let out = process_query(&nodes, n(0), 4, 50.0, &classes(), line_dist).unwrap();
+        assert!(!out.found());
+    }
+
+    #[test]
+    fn no_backtrack_to_sender() {
+        // Node 1's only promising direction is back to 0; a query arriving
+        // from 0 must not bounce back.
+        let cls = classes();
+        let mut nodes = vec![
+            ClusterNode::new(n(0), vec![n(1)], 1),
+            ClusterNode::new(n(1), vec![n(0)], 1),
+        ];
+        for node in &mut nodes {
+            node.recompute_own_max(&cls, line_dist);
+        }
+        // Node 1 believes direction 0 holds size-2 clusters (stale info).
+        nodes[1].receive_crt(n(0), vec![2]).unwrap();
+        nodes[0].receive_crt(n(1), vec![2]).unwrap();
+        let out = process_query(&nodes, n(0), 2, 50.0, &cls, line_dist).unwrap();
+        // 0 forwards to 1; 1 cannot forward back to 0; returns empty.
+        assert!(!out.found());
+        assert_eq!(out.hops, 1);
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let nodes = path_overlay();
+        assert!(matches!(
+            process_query(&nodes, n(0), 1, 50.0, &classes(), line_dist),
+            Err(ClusterError::InvalidSizeConstraint { .. })
+        ));
+        assert!(matches!(
+            process_query(&nodes, n(0), 2, 90.0, &classes(), line_dist),
+            Err(ClusterError::NoMatchingClass { .. })
+        ));
+        assert!(matches!(
+            process_query(&nodes, n(9), 2, 50.0, &classes(), line_dist),
+            Err(ClusterError::UnknownNeighbor { .. })
+        ));
+    }
+
+    #[test]
+    fn routing_policies_pick_different_forks() {
+        use crate::node::RoutePolicy;
+        // Star overlay: center 1 with neighbors 0 (entry), 2 and 3. Both 2
+        // and 3 promise clusters but of different sizes.
+        let mut center = ClusterNode::new(n(1), vec![n(0), n(2), n(3)], 1);
+        center.receive_crt(n(2), vec![2]).unwrap();
+        center.receive_crt(n(3), vec![5]).unwrap();
+        assert_eq!(
+            center.route_with_policy(2, 0, Some(n(0)), RoutePolicy::FirstFit),
+            Some(n(2))
+        );
+        assert_eq!(
+            center.route_with_policy(2, 0, Some(n(0)), RoutePolicy::BestFit),
+            Some(n(3))
+        );
+        assert_eq!(
+            center.route_with_policy(2, 0, Some(n(0)), RoutePolicy::TightestFit),
+            Some(n(2))
+        );
+        // Policies only choose among *eligible* directions.
+        assert_eq!(
+            center.route_with_policy(3, 0, Some(n(0)), RoutePolicy::TightestFit),
+            Some(n(3))
+        );
+        assert_eq!(
+            center.route_with_policy(6, 0, Some(n(0)), RoutePolicy::BestFit),
+            None
+        );
+    }
+
+    #[test]
+    fn policy_variants_agree_on_feasibility() {
+        use crate::node::RoutePolicy;
+        let nodes = path_overlay();
+        for policy in [
+            RoutePolicy::FirstFit,
+            RoutePolicy::BestFit,
+            RoutePolicy::TightestFit,
+        ] {
+            let out =
+                process_query_with_policy(&nodes, n(0), 2, 50.0, &classes(), line_dist, policy)
+                    .unwrap();
+            assert!(out.found(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_snaps_up_to_class() {
+        // b = 30 snaps to class 50 (harder), so the answered cluster also
+        // satisfies 30.
+        let nodes = path_overlay();
+        let out = process_query(&nodes, n(3), 2, 30.0, &classes(), line_dist).unwrap();
+        assert!(out.found());
+        for c in out.cluster.unwrap().windows(2) {
+            assert!(line_dist(c[0], c[1]) <= 2.0);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Plain-text persistence for bandwidth matrices.
+//!
+//! Format: first line is the node count, then one whitespace-separated row
+//! per node (the diagonal is written as `inf` and ignored on load). The
+//! format round-trips through [`save_matrix`]/[`load_matrix`] and is easy
+//! to feed to external plotting tools.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use bcc_metric::{BandwidthMatrix, MetricError};
+
+/// Serializes a bandwidth matrix to the text format.
+pub fn matrix_to_string(bw: &BandwidthMatrix) -> String {
+    let n = bw.len();
+    let mut out = String::new();
+    let _ = writeln!(out, "{n}");
+    for i in 0..n {
+        let mut first = true;
+        for j in 0..n {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            if i == j {
+                out.push_str("inf");
+            } else {
+                let _ = write!(out, "{:.6}", bw.get(i, j));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format produced by [`matrix_to_string`].
+///
+/// # Errors
+///
+/// Returns [`MetricError::Parse`] on malformed input and
+/// [`MetricError::InvalidValue`] if any off-diagonal entry is not a
+/// positive finite number.
+pub fn matrix_from_string(text: &str) -> Result<BandwidthMatrix, MetricError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| MetricError::Parse("empty input".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| MetricError::Parse(format!("bad node count: {e}")))?;
+    let mut bw = BandwidthMatrix::new(n);
+    for i in 0..n {
+        let line = lines
+            .next()
+            .ok_or_else(|| MetricError::Parse(format!("missing row {i}")))?;
+        let mut values = line.split_whitespace();
+        for j in 0..n {
+            let tok = values
+                .next()
+                .ok_or_else(|| MetricError::Parse(format!("row {i} truncated at column {j}")))?;
+            if i == j {
+                continue; // diagonal token ignored (conventionally "inf")
+            }
+            if j < i {
+                // Lower triangle already set via symmetry; verify agreement.
+                continue;
+            }
+            let v: f64 = tok
+                .parse()
+                .map_err(|e| MetricError::Parse(format!("row {i} col {j}: {e}")))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(MetricError::InvalidValue { i, j, value: v });
+            }
+            bw.set(i, j, v);
+        }
+        if values.next().is_some() {
+            return Err(MetricError::Parse(format!("row {i} has extra columns")));
+        }
+    }
+    if lines.next().is_some() {
+        return Err(MetricError::Parse("extra rows after matrix".into()));
+    }
+    Ok(bw)
+}
+
+/// Writes a matrix to a file.
+///
+/// # Errors
+///
+/// Returns [`MetricError::Parse`] wrapping the I/O error message.
+pub fn save_matrix(bw: &BandwidthMatrix, path: &Path) -> Result<(), MetricError> {
+    fs::write(path, matrix_to_string(bw))
+        .map_err(|e| MetricError::Parse(format!("write {}: {e}", path.display())))
+}
+
+/// Reads a matrix from a file.
+///
+/// # Errors
+///
+/// Returns [`MetricError::Parse`] on I/O or format errors.
+pub fn load_matrix(path: &Path) -> Result<BandwidthMatrix, MetricError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| MetricError::Parse(format!("read {}: {e}", path.display())))?;
+    matrix_from_string(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn string_roundtrip() {
+        let bw = generate(&SynthConfig::small(13));
+        let parsed = matrix_from_string(&matrix_to_string(&bw)).unwrap();
+        assert_eq!(parsed.len(), bw.len());
+        for (i, j, v) in bw.iter_pairs() {
+            assert!((parsed.get(i, j) - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let bw = generate(&SynthConfig::small(14));
+        let dir = std::env::temp_dir().join("bcc-datasets-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matrix.txt");
+        save_matrix(&bw, &path).unwrap();
+        let loaded = load_matrix(&path).unwrap();
+        assert_eq!(loaded.len(), bw.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matrix_from_string("").is_err());
+        assert!(matrix_from_string("x").is_err());
+        assert!(matrix_from_string("2\ninf 5.0").is_err()); // missing row
+        assert!(matrix_from_string("2\ninf 5.0\n5.0").is_err()); // short row
+        assert!(matrix_from_string("2\ninf 5.0 7.0\n5.0 inf").is_err()); // long row
+        assert!(matrix_from_string("2\ninf -1.0\n-1.0 inf").is_err()); // negative
+        assert!(matrix_from_string("2\ninf 5.0\n5.0 inf\n1 2").is_err()); // extra rows
+    }
+
+    #[test]
+    fn tiny_matrix() {
+        let text = "2\ninf 42.5\n42.5 inf\n";
+        let bw = matrix_from_string(text).unwrap();
+        assert_eq!(bw.get(0, 1), 42.5);
+        assert_eq!(bw.get(1, 0), 42.5);
+    }
+}

@@ -1,0 +1,172 @@
+//! Synthetic latency datasets (for the paper's future-work extension #3).
+//!
+//! Latency composes *additively* along network paths, so a capacitated
+//! hierarchy yields a path metric on a tree — a perfect tree metric before
+//! noise, like the bandwidth model but with sums instead of bottleneck
+//! minima. The paper notes latency also embeds well into tree metrics
+//! (citing the Sequoia study), so the same clustering machinery applies
+//! with the latency value used directly as the distance (no rational
+//! transform).
+
+use bcc_metric::DistanceMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic latency generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// Number of hosts.
+    pub nodes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Last-mile delay range per host (ms, uniform).
+    pub host_delay: (f64, f64),
+    /// Site uplink delay range (ms).
+    pub site_delay: (f64, f64),
+    /// Region backbone delay range (ms).
+    pub region_delay: (f64, f64),
+    /// Number of sites.
+    pub sites: usize,
+    /// Number of regions.
+    pub regions: usize,
+    /// Log-normal σ of per-direction measurement noise (0 = perfect tree
+    /// metric); directions are averaged like the bandwidth preprocessing.
+    pub noise_sigma: f64,
+}
+
+impl LatencyConfig {
+    /// A small, fast default for tests: 40 hosts, mild noise.
+    pub fn small(seed: u64) -> Self {
+        LatencyConfig {
+            nodes: 40,
+            seed,
+            host_delay: (1.0, 8.0),
+            site_delay: (2.0, 15.0),
+            region_delay: (20.0, 80.0),
+            sites: 10,
+            regions: 3,
+            noise_sigma: 0.05,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.nodes >= 2, "need at least two hosts");
+        assert!(self.sites >= 1 && self.regions >= 1, "need at least one site and region");
+        for &(lo, hi) in [&self.host_delay, &self.site_delay, &self.region_delay] {
+            assert!(lo > 0.0 && hi >= lo, "invalid delay range");
+        }
+        assert!(self.noise_sigma >= 0.0, "sigma must be non-negative");
+    }
+}
+
+/// Generates a symmetric latency matrix (milliseconds).
+///
+/// Same-site pairs pay both last-mile delays; cross-site adds both site
+/// uplinks; cross-region adds both region backbones — additive path delay
+/// on the hierarchy tree.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`LatencyConfig`]).
+pub fn generate_latency(config: &LatencyConfig) -> DistanceMatrix {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.nodes;
+
+    let site_of: Vec<usize> = (0..n).map(|_| rng.gen_range(0..config.sites)).collect();
+    let region_of_site: Vec<usize> =
+        (0..config.sites).map(|_| rng.gen_range(0..config.regions)).collect();
+    let host_delay: Vec<f64> =
+        (0..n).map(|_| rng.gen_range(config.host_delay.0..=config.host_delay.1)).collect();
+    let site_delay: Vec<f64> = (0..config.sites)
+        .map(|_| rng.gen_range(config.site_delay.0..=config.site_delay.1))
+        .collect();
+    let region_delay: Vec<f64> = (0..config.regions)
+        .map(|_| rng.gen_range(config.region_delay.0..=config.region_delay.1))
+        .collect();
+
+    let clean = DistanceMatrix::from_fn(n, |i, j| {
+        let (si, sj) = (site_of[i], site_of[j]);
+        let mut lat = host_delay[i] + host_delay[j];
+        if si != sj {
+            lat += site_delay[si] + site_delay[sj];
+            let (ri, rj) = (region_of_site[si], region_of_site[sj]);
+            if ri != rj {
+                lat += region_delay[ri] + region_delay[rj];
+            }
+        }
+        lat
+    });
+
+    if config.noise_sigma == 0.0 {
+        return clean;
+    }
+    DistanceMatrix::from_fn(n, |i, j| {
+        let base = clean.get(i, j);
+        let fwd = base * lognormal(&mut rng, config.noise_sigma);
+        let rev = base * lognormal(&mut rng, config.noise_sigma);
+        0.5 * (fwd + rev)
+    })
+}
+
+fn lognormal<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::fourpoint;
+
+    #[test]
+    fn noiseless_latency_is_tree_metric() {
+        let mut cfg = LatencyConfig::small(4);
+        cfg.noise_sigma = 0.0;
+        cfg.nodes = 20;
+        let d = generate_latency(&cfg);
+        assert!(fourpoint::satisfies_four_point(&d, 1e-9));
+        d.validate().unwrap();
+        // Additive hierarchies are true metrics: triangle inequality holds.
+        assert_eq!(d.triangle_violation(1e-9), None);
+    }
+
+    #[test]
+    fn cross_region_pairs_are_slowest() {
+        let mut cfg = LatencyConfig::small(5);
+        cfg.noise_sigma = 0.0;
+        cfg.nodes = 30;
+        let d = generate_latency(&cfg);
+        // Maximum latency exceeds twice the max host+site delay, i.e. some
+        // pair crossed regions.
+        let max = d.pair_values().into_iter().fold(0.0f64, f64::max);
+        assert!(max > 2.0 * (8.0 + 15.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = LatencyConfig::small(9);
+        assert_eq!(generate_latency(&cfg), generate_latency(&cfg));
+        assert_ne!(generate_latency(&cfg), generate_latency(&LatencyConfig::small(10)));
+    }
+
+    #[test]
+    fn noise_breaks_treeness() {
+        let mut cfg = LatencyConfig::small(11);
+        cfg.nodes = 24;
+        cfg.noise_sigma = 0.3;
+        let d = generate_latency(&cfg);
+        assert!(fourpoint::epsilon_avg_exact(&d) > 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid delay range")]
+    fn bad_range_rejected() {
+        let mut cfg = LatencyConfig::small(0);
+        cfg.host_delay = (5.0, 1.0);
+        generate_latency(&cfg);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic PlanetLab-like bandwidth datasets with controllable treeness.
+//!
+//! The paper's raw datasets (HP-PlanetLab, UMD-PlanetLab) are not publicly
+//! available; this crate substitutes a principled generator (see
+//! `DESIGN.md` §4 for the substitution argument):
+//!
+//! - [`SynthConfig`] / [`generate`] — a capacitated hierarchy where pairwise
+//!   bandwidth is the minimum capacity on the tree path (a perfect tree
+//!   metric), plus log-normal measurement noise that raises `ε_avg`
+//!   controllably and asymmetry that is re-symmetrized by averaging.
+//! - [`hp_planetlab`] / [`umd_planetlab`] — presets matched to the paper's
+//!   dataset sizes (190 / 317 hosts) and query percentile bands.
+//! - [`treeness_family`] — equal-size datasets sweeping `ε_avg` (Fig. 5).
+//! - [`random_subset`] — size sweeps for the scalability study (Fig. 6).
+//! - [`save_matrix`] / [`load_matrix`] — plain-text persistence.
+//!
+//! # Example
+//!
+//! ```
+//! use bcc_datasets::{generate, SynthConfig};
+//!
+//! let bw = generate(&SynthConfig::small(42));
+//! assert_eq!(bw.len(), 40);
+//! bw.validate()?;
+//! # Ok::<(), bcc_metric::MetricError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod io;
+mod latency;
+mod presets;
+mod synth;
+mod treeness;
+
+pub use io::{load_matrix, matrix_from_string, matrix_to_string, save_matrix};
+pub use latency::{generate_latency, LatencyConfig};
+pub use presets::{hp_config, hp_planetlab, umd_config, umd_planetlab, HP_NODES, UMD_NODES};
+pub use synth::{generate, SynthConfig};
+pub use treeness::{random_subset, treeness_family, TreenessDataset};

@@ -1,0 +1,122 @@
+//! Preset configurations standing in for the paper's two datasets.
+//!
+//! | Paper dataset | Nodes | Query range (20th–80th pct) | Our stand-in |
+//! |---------------|-------|------------------------------|--------------|
+//! | HP-PlanetLab  | 190   | 15–75 Mbps                   | [`hp_planetlab`] |
+//! | UMD-PlanetLab | 317   | 30–110 Mbps                  | [`umd_planetlab`] |
+//!
+//! The capacity mixtures are tuned so each synthetic matrix's 20th/80th
+//! bandwidth percentiles land near the paper's stated query ranges
+//! (verified by tests with generous tolerances — the *shape* of the
+//! distribution matters, not exact percentiles).
+
+use bcc_metric::BandwidthMatrix;
+
+use crate::synth::{generate, SynthConfig};
+
+/// Number of hosts in the HP-PlanetLab stand-in.
+pub const HP_NODES: usize = 190;
+
+/// Number of hosts in the UMD-PlanetLab stand-in.
+pub const UMD_NODES: usize = 317;
+
+/// Configuration of the HP-PlanetLab stand-in (2008-era available
+/// bandwidth: slower access links, 15–75 Mbps core query band).
+pub fn hp_config(seed: u64) -> SynthConfig {
+    SynthConfig {
+        nodes: HP_NODES,
+        seed,
+        capacity_modes: vec![(15.0, 0.20), (42.0, 0.28), (90.0, 0.36), (190.0, 0.16)],
+        capacity_jitter: 0.35,
+        sites: 48,
+        regions: 8,
+        site_uplink: (90.0, 320.0),
+        region_uplink: (220.0, 750.0),
+        noise_sigma: 0.12,
+    }
+}
+
+/// Configuration of the UMD-PlanetLab stand-in (late-2010 measurements:
+/// faster links, 30–110 Mbps query band).
+pub fn umd_config(seed: u64) -> SynthConfig {
+    SynthConfig {
+        nodes: UMD_NODES,
+        seed,
+        capacity_modes: vec![(28.0, 0.20), (70.0, 0.28), (135.0, 0.36), (280.0, 0.16)],
+        capacity_jitter: 0.35,
+        sites: 80,
+        regions: 10,
+        site_uplink: (150.0, 500.0),
+        region_uplink: (320.0, 1100.0),
+        noise_sigma: 0.12,
+    }
+}
+
+/// Generates the HP-PlanetLab stand-in (190 hosts).
+pub fn hp_planetlab(seed: u64) -> BandwidthMatrix {
+    generate(&hp_config(seed))
+}
+
+/// Generates the UMD-PlanetLab stand-in (317 hosts).
+pub fn umd_planetlab(seed: u64) -> BandwidthMatrix {
+    generate(&umd_config(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::stats::EmpiricalCdf;
+    use bcc_metric::{fourpoint, RationalTransform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hp_size_and_validity() {
+        let bw = hp_planetlab(1);
+        assert_eq!(bw.len(), HP_NODES);
+        bw.validate().unwrap();
+    }
+
+    #[test]
+    fn umd_size_and_validity() {
+        let bw = umd_planetlab(1);
+        assert_eq!(bw.len(), UMD_NODES);
+        bw.validate().unwrap();
+    }
+
+    #[test]
+    fn hp_percentile_band_matches_query_range() {
+        // The paper picks b between the 20th and 80th percentiles: 15–75.
+        let cdf = EmpiricalCdf::new(hp_planetlab(2).pair_values());
+        let p20 = cdf.percentile(20.0);
+        let p80 = cdf.percentile(80.0);
+        assert!((8.0..=25.0).contains(&p20), "HP p20 = {p20}");
+        assert!((50.0..=110.0).contains(&p80), "HP p80 = {p80}");
+    }
+
+    #[test]
+    fn umd_percentile_band_matches_query_range() {
+        let cdf = EmpiricalCdf::new(umd_planetlab(2).pair_values());
+        let p20 = cdf.percentile(20.0);
+        let p80 = cdf.percentile(80.0);
+        assert!((18.0..=45.0).contains(&p20), "UMD p20 = {p20}");
+        assert!((75.0..=160.0).contains(&p80), "UMD p80 = {p80}");
+    }
+
+    #[test]
+    fn presets_are_approximately_tree_metric() {
+        // Small but nonzero ε_avg, like the paper's real matrices.
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = RationalTransform::default().distance_matrix(&hp_planetlab(3));
+        let eps = fourpoint::epsilon_avg_sampled(&d, 20_000, &mut rng);
+        assert!(eps > 0.01, "eps = {eps}");
+        assert!(eps < 0.6, "eps = {eps}");
+    }
+
+    #[test]
+    fn umd_is_faster_than_hp() {
+        let hp = EmpiricalCdf::new(hp_planetlab(4).pair_values());
+        let umd = EmpiricalCdf::new(umd_planetlab(4).pair_values());
+        assert!(umd.percentile(50.0) > hp.percentile(50.0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Dataset families with controlled treeness (for the Fig. 5 experiment).
+//!
+//! The paper built six 100-node datasets of varying `ε_avg` by selecting
+//! subsets of HP-PlanetLab. With a generator we control treeness directly:
+//! sweep the measurement-noise σ and report the resulting sampled `ε_avg`
+//! for each dataset.
+
+use bcc_metric::{fourpoint, BandwidthMatrix, RationalTransform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::synth::{generate, SynthConfig};
+
+/// One dataset of a treeness family.
+#[derive(Debug, Clone)]
+pub struct TreenessDataset {
+    /// Noise σ that produced the dataset.
+    pub noise_sigma: f64,
+    /// Sampled average quartet ε of the rational-transformed metric.
+    pub epsilon_avg: f64,
+    /// The bandwidth matrix.
+    pub bandwidth: BandwidthMatrix,
+}
+
+/// Generates a family of equal-size datasets whose only difference is the
+/// measurement-noise σ (and hence `ε_avg`).
+///
+/// `base` supplies everything but `noise_sigma`; each family member gets a
+/// distinct derived seed so datasets are independent draws. `ε_avg` is
+/// estimated from `eps_samples` random quartets.
+///
+/// # Panics
+///
+/// Panics if `sigmas` is empty or `base` is invalid.
+pub fn treeness_family(
+    base: &SynthConfig,
+    sigmas: &[f64],
+    eps_samples: usize,
+    transform: RationalTransform,
+) -> Vec<TreenessDataset> {
+    assert!(!sigmas.is_empty(), "need at least one sigma");
+    base.validate();
+    sigmas
+        .iter()
+        .enumerate()
+        .map(|(i, &sigma)| {
+            let mut cfg = base.clone();
+            cfg.noise_sigma = sigma;
+            cfg.seed = base
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+            let bandwidth = generate(&cfg);
+            let d = transform.distance_matrix(&bandwidth);
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_A5A5);
+            let epsilon_avg = fourpoint::epsilon_avg_sampled(&d, eps_samples, &mut rng);
+            TreenessDataset {
+                noise_sigma: sigma,
+                epsilon_avg,
+                bandwidth,
+            }
+        })
+        .collect()
+}
+
+/// A uniformly random `size`-host subset of a bandwidth matrix (used by the
+/// scalability experiment's `n`-sweeps and to mimic the paper's subset
+/// selection).
+///
+/// # Panics
+///
+/// Panics if `size` exceeds the matrix dimension or is zero.
+pub fn random_subset<R: Rng>(bw: &BandwidthMatrix, size: usize, rng: &mut R) -> BandwidthMatrix {
+    assert!(size >= 1 && size <= bw.len(), "invalid subset size");
+    let mut idx: Vec<usize> = (0..bw.len()).collect();
+    idx.shuffle(rng);
+    idx.truncate(size);
+    idx.sort_unstable();
+    bw.restrict(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_epsilon_increases_with_sigma() {
+        let mut base = SynthConfig::small(21);
+        base.nodes = 40;
+        let family = treeness_family(
+            &base,
+            &[0.0, 0.15, 0.45],
+            10_000,
+            RationalTransform::default(),
+        );
+        assert_eq!(family.len(), 3);
+        assert!(family[0].epsilon_avg < 1e-9, "σ=0 is a tree metric");
+        assert!(family[1].epsilon_avg > family[0].epsilon_avg);
+        assert!(family[2].epsilon_avg > family[1].epsilon_avg);
+    }
+
+    #[test]
+    fn family_members_have_same_size() {
+        let base = SynthConfig::small(5);
+        let family = treeness_family(&base, &[0.1, 0.2], 2_000, RationalTransform::default());
+        assert!(family.iter().all(|d| d.bandwidth.len() == base.nodes));
+    }
+
+    #[test]
+    fn family_is_deterministic() {
+        let base = SynthConfig::small(5);
+        let a = treeness_family(&base, &[0.1], 2_000, RationalTransform::default());
+        let b = treeness_family(&base, &[0.1], 2_000, RationalTransform::default());
+        assert_eq!(a[0].bandwidth, b[0].bandwidth);
+        assert_eq!(a[0].epsilon_avg, b[0].epsilon_avg);
+    }
+
+    #[test]
+    fn subset_preserves_pairwise_values() {
+        let bw = generate(&SynthConfig::small(6));
+        let mut rng = StdRng::seed_from_u64(1);
+        let sub = random_subset(&bw, 10, &mut rng);
+        assert_eq!(sub.len(), 10);
+        sub.validate().unwrap();
+        // Every subset value appears in the original.
+        let orig: Vec<f64> = bw.pair_values();
+        for v in sub.pair_values() {
+            assert!(orig.iter().any(|&o| (o - v).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn subset_full_size_is_identity() {
+        let bw = generate(&SynthConfig::small(6));
+        let mut rng = StdRng::seed_from_u64(2);
+        let sub = random_subset(&bw, bw.len(), &mut rng);
+        assert_eq!(sub, bw);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid subset size")]
+    fn oversized_subset_rejected() {
+        let bw = generate(&SynthConfig::small(6));
+        let mut rng = StdRng::seed_from_u64(3);
+        random_subset(&bw, bw.len() + 1, &mut rng);
+    }
+}

@@ -1,0 +1,323 @@
+//! The *anchor tree*: the rooted, unweighted overlay the framework maintains.
+//!
+//! The first host is the root; every later host becomes a child of its
+//! anchor node (the host that owns the prediction-tree edge its inner vertex
+//! landed on). The decentralized protocol of `bcc-core` gossips along anchor
+//! tree edges, so this overlay *is* the system's communication graph.
+
+use bcc_metric::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::EmbedError;
+
+/// A rooted unweighted tree over hosts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnchorTree {
+    root: Option<NodeId>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    present: Vec<bool>,
+}
+
+impl AnchorTree {
+    /// Creates an empty anchor tree.
+    pub fn new() -> Self {
+        AnchorTree::default()
+    }
+
+    fn ensure(&mut self, host: NodeId) {
+        let need = host.index() + 1;
+        if self.parent.len() < need {
+            self.parent.resize(need, None);
+            self.children.resize(need, Vec::new());
+            self.present.resize(need, false);
+        }
+    }
+
+    /// The root host (first joiner), if any.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Number of hosts in the overlay.
+    pub fn len(&self) -> usize {
+        self.present.iter().filter(|&&p| p).count()
+    }
+
+    /// Returns `true` if the overlay has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Returns `true` if `host` participates in the overlay.
+    pub fn contains(&self, host: NodeId) -> bool {
+        self.present.get(host.index()).copied().unwrap_or(false)
+    }
+
+    /// Adds the root host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::HostExists`] if a root already exists.
+    pub fn add_root(&mut self, host: NodeId) -> Result<(), EmbedError> {
+        if self.root.is_some() {
+            return Err(EmbedError::HostExists(host));
+        }
+        self.ensure(host);
+        self.present[host.index()] = true;
+        self.root = Some(host);
+        Ok(())
+    }
+
+    /// Adds `host` as a child of `anchor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::HostExists`] if `host` is already present, or
+    /// [`EmbedError::UnknownHost`] if `anchor` is not.
+    pub fn add_child(&mut self, host: NodeId, anchor: NodeId) -> Result<(), EmbedError> {
+        if self.contains(host) {
+            return Err(EmbedError::HostExists(host));
+        }
+        if !self.contains(anchor) {
+            return Err(EmbedError::UnknownHost(anchor));
+        }
+        self.ensure(host);
+        self.present[host.index()] = true;
+        self.parent[host.index()] = Some(anchor);
+        self.children[anchor.index()].push(host);
+        Ok(())
+    }
+
+    /// The anchor (parent) of `host`; `None` for the root or unknown hosts.
+    pub fn parent(&self, host: NodeId) -> Option<NodeId> {
+        self.parent.get(host.index()).copied().flatten()
+    }
+
+    /// The anchor-children of `host` (empty for unknown hosts).
+    pub fn children(&self, host: NodeId) -> &[NodeId] {
+        self.children
+            .get(host.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Overlay neighbors of `host`: its parent (if any) followed by its
+    /// children.
+    pub fn neighbors(&self, host: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if let Some(p) = self.parent(host) {
+            out.push(p);
+        }
+        out.extend_from_slice(self.children(host));
+        out
+    }
+
+    /// Chain of hosts from the root to `host` (inclusive), following anchor
+    /// parents. `None` if `host` is unknown.
+    pub fn chain_from_root(&self, host: NodeId) -> Option<Vec<NodeId>> {
+        if !self.contains(host) {
+            return None;
+        }
+        let mut chain = vec![host];
+        let mut cur = host;
+        while let Some(p) = self.parent(cur) {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Depth of `host` (root has depth 0). `None` if unknown.
+    pub fn depth(&self, host: NodeId) -> Option<usize> {
+        self.chain_from_root(host).map(|c| c.len() - 1)
+    }
+
+    /// All hosts in breadth-first order from the root.
+    pub fn bfs_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(h) = queue.pop_front() {
+            out.push(h);
+            for &c in self.children(h) {
+                queue.push_back(c);
+            }
+        }
+        out
+    }
+
+    /// Hosts of the subtree rooted at `host`, in BFS order (including
+    /// `host`). Empty if `host` is unknown.
+    pub fn subtree(&self, host: NodeId) -> Vec<NodeId> {
+        if !self.contains(host) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut queue = std::collections::VecDeque::from([host]);
+        while let Some(h) = queue.pop_front() {
+            out.push(h);
+            for &c in self.children(h) {
+                queue.push_back(c);
+            }
+        }
+        out
+    }
+
+    /// Removes a host with no anchor-children.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::UnknownHost`] if `host` is absent and
+    /// [`EmbedError::HostExists`] (reused to signal "children exist") if the
+    /// host still has children — remove or re-anchor them first.
+    pub fn remove_leaf(&mut self, host: NodeId) -> Result<(), EmbedError> {
+        if !self.contains(host) {
+            return Err(EmbedError::UnknownHost(host));
+        }
+        if !self.children(host).is_empty() {
+            return Err(EmbedError::HostExists(host));
+        }
+        if let Some(p) = self.parent(host) {
+            self.children[p.index()].retain(|&c| c != host);
+        } else {
+            self.root = None;
+        }
+        self.parent[host.index()] = None;
+        self.present[host.index()] = false;
+        Ok(())
+    }
+
+    /// Maximum number of overlay neighbors over all hosts — the paper's
+    /// `max{n_neigh}` bound in the decentralization tradeoff discussion.
+    pub fn max_degree(&self) -> usize {
+        self.bfs_order()
+            .iter()
+            .map(|&h| self.neighbors(h).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> AnchorTree {
+        // root 0 — child 1 — children 2, 3; 3 — child 4.
+        let mut t = AnchorTree::new();
+        t.add_root(n(0)).unwrap();
+        t.add_child(n(1), n(0)).unwrap();
+        t.add_child(n(2), n(1)).unwrap();
+        t.add_child(n(3), n(1)).unwrap();
+        t.add_child(n(4), n(3)).unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_query() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.root(), Some(n(0)));
+        assert_eq!(t.parent(n(2)), Some(n(1)));
+        assert_eq!(t.children(n(1)), &[n(2), n(3)]);
+        assert_eq!(t.neighbors(n(1)), vec![n(0), n(2), n(3)]);
+        assert_eq!(t.neighbors(n(0)), vec![n(1)]);
+    }
+
+    #[test]
+    fn duplicate_root_rejected() {
+        let mut t = AnchorTree::new();
+        t.add_root(n(0)).unwrap();
+        assert!(matches!(t.add_root(n(1)), Err(EmbedError::HostExists(_))));
+    }
+
+    #[test]
+    fn unknown_anchor_rejected() {
+        let mut t = AnchorTree::new();
+        t.add_root(n(0)).unwrap();
+        assert!(matches!(
+            t.add_child(n(2), n(9)),
+            Err(EmbedError::UnknownHost(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_child_rejected() {
+        let mut t = sample();
+        assert!(matches!(
+            t.add_child(n(2), n(0)),
+            Err(EmbedError::HostExists(_))
+        ));
+    }
+
+    #[test]
+    fn chain_and_depth() {
+        let t = sample();
+        assert_eq!(
+            t.chain_from_root(n(4)).unwrap(),
+            vec![n(0), n(1), n(3), n(4)]
+        );
+        assert_eq!(t.depth(n(4)), Some(3));
+        assert_eq!(t.depth(n(0)), Some(0));
+        assert_eq!(t.chain_from_root(n(9)), None);
+    }
+
+    #[test]
+    fn bfs_order_starts_at_root() {
+        let t = sample();
+        let order = t.bfs_order();
+        assert_eq!(order[0], n(0));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn subtree_collects_descendants() {
+        let t = sample();
+        assert_eq!(t.subtree(n(1)).len(), 4);
+        assert_eq!(t.subtree(n(3)), vec![n(3), n(4)]);
+        assert!(t.subtree(n(9)).is_empty());
+    }
+
+    #[test]
+    fn remove_leaf_rules() {
+        let mut t = sample();
+        assert!(matches!(
+            t.remove_leaf(n(1)),
+            Err(EmbedError::HostExists(_))
+        ));
+        t.remove_leaf(n(4)).unwrap();
+        assert!(!t.contains(n(4)));
+        assert_eq!(t.children(n(3)), &[] as &[NodeId]);
+        t.remove_leaf(n(3)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(matches!(
+            t.remove_leaf(n(9)),
+            Err(EmbedError::UnknownHost(_))
+        ));
+    }
+
+    #[test]
+    fn removing_root_when_alone() {
+        let mut t = AnchorTree::new();
+        t.add_root(n(0)).unwrap();
+        t.remove_leaf(n(0)).unwrap();
+        assert!(t.is_empty());
+        // Can re-root afterwards.
+        t.add_root(n(5)).unwrap();
+        assert_eq!(t.root(), Some(n(5)));
+    }
+
+    #[test]
+    fn max_degree() {
+        let t = sample();
+        // n1 has parent + two children = 3.
+        assert_eq!(t.max_degree(), 3);
+        assert_eq!(AnchorTree::new().max_degree(), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Ensembles of prediction trees.
+//!
+//! A single prediction tree commits to one topology; on noisy data,
+//! different join orders and base choices give slightly different trees
+//! whose errors are only weakly correlated. Sequoia exploits this by
+//! keeping several trees and aggregating their predictions — typically the
+//! median, which discards each tree's worst mistakes. [`TreeEnsemble`]
+//! implements that technique on top of [`PredictionFramework`]: members
+//! differ in RNG seed and in (shuffled) join order.
+//!
+//! Cost scales linearly with the member count (probes, memory); the
+//! `ablations` bench measures the accuracy return.
+
+use bcc_metric::{DistanceMatrix, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::framework::{FrameworkConfig, PredictionFramework};
+
+/// How member predictions are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnsembleAggregation {
+    /// Median member distance (robust; the usual choice).
+    #[default]
+    Median,
+    /// Smallest member distance (optimistic: highest bandwidth estimate).
+    Min,
+    /// Largest member distance (pessimistic: safest bandwidth estimate).
+    Max,
+}
+
+/// Configuration of a [`TreeEnsemble`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// Number of member trees (≥ 1).
+    pub members: usize,
+    /// Template for each member; the seed is re-derived per member.
+    pub member_config: FrameworkConfig,
+    /// Prediction aggregation rule.
+    pub aggregation: EnsembleAggregation,
+    /// Master seed (derives member seeds and join-order shuffles).
+    pub seed: u64,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            members: 3,
+            member_config: FrameworkConfig::default(),
+            aggregation: EnsembleAggregation::Median,
+            seed: 0,
+        }
+    }
+}
+
+/// Several independently grown prediction trees answering as one.
+#[derive(Debug, Clone)]
+pub struct TreeEnsemble {
+    members: Vec<PredictionFramework>,
+    aggregation: EnsembleAggregation,
+}
+
+impl TreeEnsemble {
+    /// Builds the ensemble from a measurement matrix; member `i` joins the
+    /// hosts in an independently shuffled order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.members == 0` or the matrix has fewer than two
+    /// hosts.
+    pub fn build_from_matrix(d: &DistanceMatrix, config: EnsembleConfig) -> Self {
+        assert!(config.members >= 1, "an ensemble needs at least one member");
+        assert!(d.len() >= 2, "an ensemble needs at least two hosts");
+        let mut members = Vec::with_capacity(config.members);
+        for m in 0..config.members {
+            let member_seed = config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(m as u64 + 1));
+            let mut order: Vec<NodeId> = (0..d.len()).map(NodeId::new).collect();
+            if m > 0 {
+                // Member 0 keeps the natural order so a 1-member ensemble
+                // is exactly a plain framework.
+                let mut rng = StdRng::seed_from_u64(member_seed);
+                order.shuffle(&mut rng);
+            }
+            let mut cfg = config.member_config;
+            cfg.seed = member_seed;
+            let fw = PredictionFramework::build_from_matrix_in_order(d, &order, cfg)
+                .expect("shuffled order has no duplicates");
+            members.push(fw);
+        }
+        TreeEnsemble {
+            members,
+            aggregation: config.aggregation,
+        }
+    }
+
+    /// Number of member trees.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always `false` (construction requires one member).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member frameworks.
+    pub fn members(&self) -> &[PredictionFramework] {
+        &self.members
+    }
+
+    /// Aggregated predicted distance between two hosts.
+    ///
+    /// Returns `None` if either host is missing from any member (members
+    /// are built from the same matrix, so this only happens for foreign
+    /// ids).
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let mut preds = Vec::with_capacity(self.members.len());
+        for m in &self.members {
+            preds.push(m.distance(u, v)?);
+        }
+        Some(aggregate(&mut preds, self.aggregation))
+    }
+
+    /// Total measurement probes across all members.
+    pub fn probe_count(&self) -> u64 {
+        self.members
+            .iter()
+            .map(PredictionFramework::probe_count)
+            .sum()
+    }
+
+    /// Materializes the aggregated metric over dense host ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if members' host ids are not dense `0..n`.
+    pub fn predicted_matrix(&self) -> DistanceMatrix {
+        let mats: Vec<DistanceMatrix> = self
+            .members
+            .iter()
+            .map(PredictionFramework::predicted_matrix)
+            .collect();
+        let n = mats[0].len();
+        DistanceMatrix::from_fn(n, |i, j| {
+            let mut preds: Vec<f64> = mats.iter().map(|m| m.get(i, j)).collect();
+            aggregate(&mut preds, self.aggregation)
+        })
+    }
+}
+
+fn aggregate(preds: &mut [f64], rule: EnsembleAggregation) -> f64 {
+    debug_assert!(!preds.is_empty());
+    match rule {
+        EnsembleAggregation::Min => preds.iter().copied().fold(f64::INFINITY, f64::min),
+        EnsembleAggregation::Max => preds.iter().copied().fold(0.0, f64::max),
+        EnsembleAggregation::Median => {
+            preds.sort_by(|a, b| a.partial_cmp(b).expect("finite predictions"));
+            let mid = preds.len() / 2;
+            if preds.len() % 2 == 1 {
+                preds[mid]
+            } else {
+                0.5 * (preds[mid - 1] + preds[mid])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn star(radii: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(radii.len(), |i, j| radii[i] + radii[j])
+    }
+
+    fn noisy_star(n: usize, seed: u64, sigma: f64) -> (DistanceMatrix, DistanceMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let radii: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        let clean = star(&radii);
+        let noisy = DistanceMatrix::from_fn(n, |i, j| {
+            clean.get(i, j) * rng.gen_range(1.0 - sigma..1.0 + sigma)
+        });
+        (clean, noisy)
+    }
+
+    #[test]
+    fn single_member_equals_plain_framework() {
+        let d = star(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let cfg = EnsembleConfig {
+            members: 1,
+            ..Default::default()
+        };
+        let ens = TreeEnsemble::build_from_matrix(&d, cfg);
+        let plain = PredictionFramework::build_from_matrix(
+            &d,
+            FrameworkConfig {
+                seed: cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+                ..Default::default()
+            },
+        );
+        let (me, mp) = (ens.predicted_matrix(), plain.predicted_matrix());
+        for (i, j, _) in d.iter_pairs() {
+            assert!((me.get(i, j) - mp.get(i, j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_on_tree_metrics_for_all_aggregations() {
+        let d = star(&[1.0, 4.0, 2.0, 8.0, 3.0, 5.0]);
+        for agg in [
+            EnsembleAggregation::Median,
+            EnsembleAggregation::Min,
+            EnsembleAggregation::Max,
+        ] {
+            let cfg = EnsembleConfig {
+                members: 3,
+                aggregation: agg,
+                ..Default::default()
+            };
+            let ens = TreeEnsemble::build_from_matrix(&d, cfg);
+            let m = ens.predicted_matrix();
+            for (i, j, v) in d.iter_pairs() {
+                assert!((m.get(i, j) - v).abs() < 1e-6, "{agg:?} ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn median_ensemble_no_worse_than_single_on_noisy_data() {
+        let (clean, noisy) = noisy_star(24, 5, 0.25);
+        let median_err = |m: &DistanceMatrix| {
+            let mut errs: Vec<f64> = clean
+                .iter_pairs()
+                .map(|(i, j, v)| (m.get(i, j) - v).abs() / v)
+                .collect();
+            errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            errs[errs.len() / 2]
+        };
+        let single = PredictionFramework::build_from_matrix(&noisy, FrameworkConfig::default());
+        let ens = TreeEnsemble::build_from_matrix(
+            &noisy,
+            EnsembleConfig {
+                members: 5,
+                ..Default::default()
+            },
+        );
+        let e_single = median_err(&single.predicted_matrix());
+        let e_ens = median_err(&ens.predicted_matrix());
+        assert!(
+            e_ens <= e_single * 1.05,
+            "ensemble {e_ens:.4} should not lose to single {e_single:.4}"
+        );
+    }
+
+    #[test]
+    fn aggregation_rules_order() {
+        let (_, noisy) = noisy_star(12, 9, 0.3);
+        let build = |agg| {
+            TreeEnsemble::build_from_matrix(
+                &noisy,
+                EnsembleConfig {
+                    members: 3,
+                    aggregation: agg,
+                    ..Default::default()
+                },
+            )
+            .predicted_matrix()
+        };
+        let (lo, med, hi) = (
+            build(EnsembleAggregation::Min),
+            build(EnsembleAggregation::Median),
+            build(EnsembleAggregation::Max),
+        );
+        for (i, j, _) in noisy.iter_pairs() {
+            assert!(lo.get(i, j) <= med.get(i, j) + 1e-12);
+            assert!(med.get(i, j) <= hi.get(i, j) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn probes_scale_with_members() {
+        let d = star(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let one = TreeEnsemble::build_from_matrix(
+            &d,
+            EnsembleConfig {
+                members: 1,
+                ..Default::default()
+            },
+        );
+        let three = TreeEnsemble::build_from_matrix(
+            &d,
+            EnsembleConfig {
+                members: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(three.probe_count(), 3 * one.probe_count());
+        assert_eq!(three.len(), 3);
+    }
+
+    #[test]
+    fn distance_for_unknown_host_is_none() {
+        let d = star(&[1.0, 2.0, 3.0]);
+        let ens = TreeEnsemble::build_from_matrix(&d, EnsembleConfig::default());
+        assert_eq!(ens.distance(NodeId::new(0), NodeId::new(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_rejected() {
+        let d = star(&[1.0, 2.0]);
+        TreeEnsemble::build_from_matrix(
+            &d,
+            EnsembleConfig {
+                members: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+use bcc_metric::NodeId;
+
+/// Errors produced while building or editing a prediction tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbedError {
+    /// The host is already embedded in the tree.
+    HostExists(NodeId),
+    /// The host is not present in the tree.
+    UnknownHost(NodeId),
+    /// A measured distance was negative, `NaN` or infinite.
+    InvalidDistance {
+        /// The host the distance was measured to.
+        to: NodeId,
+        /// The offending value.
+        value: f64,
+    },
+    /// An operation needed more hosts than the tree currently has.
+    TooFewHosts {
+        /// Number of hosts required.
+        required: usize,
+        /// Number of hosts present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::HostExists(h) => write!(f, "host {h} is already embedded"),
+            EmbedError::UnknownHost(h) => write!(f, "host {h} is not in the tree"),
+            EmbedError::InvalidDistance { to, value } => {
+                write!(f, "invalid measured distance {value} to host {to}")
+            }
+            EmbedError::TooFewHosts { required, actual } => {
+                write!(f, "operation needs {required} hosts, tree has {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_host() {
+        let e = EmbedError::HostExists(NodeId::new(4));
+        assert!(e.to_string().contains("n4"));
+        let e = EmbedError::InvalidDistance {
+            to: NodeId::new(1),
+            value: -2.0,
+        };
+        assert!(e.to_string().contains("-2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmbedError>();
+    }
+}

@@ -1,0 +1,749 @@
+//! The decentralized bandwidth prediction framework (Sec. II-D).
+//!
+//! [`PredictionFramework`] ties the three structures together: the
+//! edge-weighted [`PredictionTree`], the rooted [`AnchorTree`] overlay, and
+//! per-host [`DistanceLabel`]s. Hosts join one at a time; each join performs
+//! a bounded number of *measurements* (calls into the caller-supplied
+//! distance oracle), grows the prediction tree, and extends the overlay.
+//!
+//! Two end-node selection strategies are provided:
+//!
+//! - [`EndStrategy::ExactGlobal`] — measure against every embedded host and
+//!   take the global Gromov-product maximizer (the centralized Sequoia
+//!   construction; `O(n)` probes per join).
+//! - [`EndStrategy::AnchorDescent`] — greedily descend the anchor tree from
+//!   the root, following the child with the largest product until no child
+//!   improves (the decentralized construction; `O(depth × fanout)` probes).
+//!
+//! The framework records how many measurements each join performed so the
+//! evaluation can report probe costs.
+
+use bcc_metric::{DistanceMatrix, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::anchor::AnchorTree;
+use crate::error::EmbedError;
+use crate::grow;
+use crate::label::DistanceLabel;
+use crate::tree::PredictionTree;
+
+/// Median of a sample (in-place partial sort); `0` for an empty slice.
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mid = values.len() / 2;
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+/// Total order on finite `f64` keys for the descent priority queue.
+mod ordered {
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub(crate) struct F64(pub f64);
+
+    impl Eq for F64 {}
+
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for F64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .partial_cmp(&other.0)
+                .expect("descent keys are never NaN")
+        }
+    }
+}
+
+/// How the base leaf `z` is chosen for a join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BaseStrategy {
+    /// Always the overlay root (first joiner). Deterministic; the paper
+    /// notes any leaf works.
+    #[default]
+    Root,
+    /// The most recently joined host.
+    LastJoined,
+    /// A uniformly random embedded host (seeded via [`FrameworkConfig`]).
+    Random,
+}
+
+/// How the end leaf `y` (Gromov-product maximizer) is found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EndStrategy {
+    /// Exhaustive search over all embedded hosts (centralized).
+    #[default]
+    ExactGlobal,
+    /// Greedy descent of the anchor tree (decentralized).
+    AnchorDescent,
+}
+
+/// Configuration for a [`PredictionFramework`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameworkConfig {
+    /// Base-leaf selection strategy.
+    pub base: BaseStrategy,
+    /// End-leaf selection strategy.
+    pub end: EndStrategy,
+    /// Seed for any randomized choices (base selection).
+    pub seed: u64,
+    /// Number of candidate base leaves evaluated per join (≥ 1). Extra
+    /// candidates are random leaves; the placement with the smallest mean
+    /// relative prediction error over the measured hosts wins. This is one
+    /// of the robustness heuristics the paper's prior work relies on for
+    /// accurate embedding of *noisy* (non-tree) data — a single
+    /// noise-corrupted base can misplace a host badly. Only applies to
+    /// [`EndStrategy::ExactGlobal`] (the descent has one base by design).
+    pub base_candidates: usize,
+    /// Fit the new host's leaf-edge weight as the median residual against
+    /// every measured host instead of the three-measurement Gromov product
+    /// `(y|z)_x`. Exact on tree metrics, far more robust under noise.
+    pub fit_leaf_weight: bool,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            base: BaseStrategy::Root,
+            end: EndStrategy::ExactGlobal,
+            seed: 0,
+            base_candidates: 4,
+            fit_leaf_weight: true,
+        }
+    }
+}
+
+/// A live prediction framework: prediction tree + anchor tree + labels.
+#[derive(Debug, Clone)]
+pub struct PredictionFramework {
+    tree: PredictionTree,
+    anchor: AnchorTree,
+    labels: Vec<Option<DistanceLabel>>,
+    config: FrameworkConfig,
+    rng: StdRng,
+    join_order: Vec<NodeId>,
+    probes: u64,
+}
+
+impl PredictionFramework {
+    /// Creates an empty framework.
+    pub fn new(config: FrameworkConfig) -> Self {
+        PredictionFramework {
+            tree: PredictionTree::new(),
+            anchor: AnchorTree::new(),
+            labels: Vec::new(),
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            join_order: Vec::new(),
+            probes: 0,
+        }
+    }
+
+    /// Builds a framework by joining hosts `0..d.len()` in order, measuring
+    /// distances from the matrix `d`.
+    ///
+    /// This is the standard evaluation path: `d` holds rational-transformed
+    /// *real* bandwidth measurements, and the framework's tree distances are
+    /// the *predictions*.
+    pub fn build_from_matrix(d: &DistanceMatrix, config: FrameworkConfig) -> Self {
+        let mut fw = PredictionFramework::new(config);
+        for i in 0..d.len() {
+            fw.join(NodeId::new(i), |a, b| d.get(a.index(), b.index()))
+                .expect("dense join order cannot fail");
+        }
+        fw
+    }
+
+    /// Builds a framework joining hosts in the given order (ids must be
+    /// dense indices into `d`, each appearing once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::HostExists`] on duplicate ids.
+    pub fn build_from_matrix_in_order(
+        d: &DistanceMatrix,
+        order: &[NodeId],
+        config: FrameworkConfig,
+    ) -> Result<Self, EmbedError> {
+        let mut fw = PredictionFramework::new(config);
+        for &h in order {
+            fw.join(h, |a, b| d.get(a.index(), b.index()))?;
+        }
+        Ok(fw)
+    }
+
+    /// Joins `x`, measuring distances through `oracle(x, other)`.
+    ///
+    /// The oracle is only invoked for pairs involving `x`; the number of
+    /// invocations is recorded (see [`PredictionFramework::probe_count`]).
+    ///
+    /// # Errors
+    ///
+    /// - [`EmbedError::HostExists`] if `x` already joined.
+    /// - [`EmbedError::InvalidDistance`] if the oracle returns a negative,
+    ///   `NaN` or infinite distance.
+    pub fn join(
+        &mut self,
+        x: NodeId,
+        mut oracle: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Result<(), EmbedError> {
+        if self.tree.contains(x) {
+            return Err(EmbedError::HostExists(x));
+        }
+        let n = self.tree.host_count();
+        if n == 0 {
+            grow::attach_first_host(&mut self.tree, x);
+            self.anchor.add_root(x)?;
+            self.set_label(x, DistanceLabel::root(x));
+            self.join_order.push(x);
+            return Ok(());
+        }
+
+        // Measurement cache: each pair (x, u) is probed at most once per
+        // join, no matter how many placement candidates consult it.
+        let mut cache: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
+        let mut new_probes = 0u64;
+        let mut measure = |to: NodeId| -> Result<f64, EmbedError> {
+            if let Some(&v) = cache.get(&to) {
+                return Ok(v);
+            }
+            let v = oracle(x, to);
+            new_probes += 1;
+            if !v.is_finite() || v < 0.0 {
+                return Err(EmbedError::InvalidDistance { to, value: v });
+            }
+            cache.insert(to, v);
+            Ok(v)
+        };
+
+        if n == 1 {
+            let first = self.anchor.root().expect("root exists");
+            let d = measure(first)?;
+            #[allow(clippy::drop_non_drop)] // ends the closure's borrows early
+            drop(measure);
+            self.probes += new_probes;
+            let placement = grow::attach_second_host(&mut self.tree, x, first, d);
+            self.anchor.add_child(x, placement.anchor)?;
+            let label = self.label(placement.anchor).expect("anchor labeled").child(
+                x,
+                placement.pos_on_anchor,
+                placement.leaf_weight,
+            );
+            self.set_label(x, label);
+            self.join_order.push(x);
+            return Ok(());
+        }
+
+        // Choose the primary base z.
+        let z = match self.config.base {
+            BaseStrategy::Root => self.anchor.root().expect("root exists"),
+            BaseStrategy::LastJoined => *self.join_order.last().expect("non-empty"),
+            BaseStrategy::Random => {
+                let hosts = self.tree.hosts();
+                hosts[self.rng.gen_range(0..hosts.len())]
+            }
+        };
+        let d_xz = measure(z)?;
+
+        // Candidate (base, end) pairs per strategy.
+        let candidate_pairs: Vec<(NodeId, NodeId)> = match self.config.end {
+            EndStrategy::ExactGlobal => {
+                let hosts = self.tree.hosts();
+                // Measure everyone once (the centralized Sequoia probe set).
+                for &cand in &hosts {
+                    if cand != x {
+                        measure(cand)?;
+                    }
+                }
+                // Primary base plus extra random base candidates; for each
+                // base the end node is the Gromov-product maximizer.
+                let mut bases = vec![z];
+                for _ in 1..self.config.base_candidates.max(1) {
+                    bases.push(hosts[self.rng.gen_range(0..hosts.len())]);
+                }
+                bases.sort_unstable();
+                bases.dedup();
+                let mut pairs = Vec::with_capacity(bases.len());
+                for &zc in &bases {
+                    let dz_row = self.tree.distances_from(zc).expect("base embedded");
+                    let d_xzc = measure(zc)?;
+                    let mut best: Option<(NodeId, f64)> = None;
+                    for &cand in &hosts {
+                        if cand == zc {
+                            continue;
+                        }
+                        let p = 0.5 * (d_xzc + dz_row[cand.index()] - measure(cand)?);
+                        match best {
+                            Some((_, bp)) if bp >= p => {}
+                            _ => best = Some((cand, p)),
+                        }
+                    }
+                    if let Some((y, _)) = best {
+                        pairs.push((zc, y));
+                    }
+                }
+                pairs
+            }
+            EndStrategy::AnchorDescent => {
+                // Pruned best-first traversal of the anchor tree. In a tree
+                // metric, every host's Gromov product equals the depth (from
+                // z) of the point where its route diverges from z~x, and a
+                // branch whose top product is strictly below the best seen
+                // cannot hide a better host — so strictly worse branches are
+                // pruned. Ties *must* be explored: the maximizer can sit in
+                // either tied branch (plateaus arise from coincident
+                // attachment points), which is why this is not a plain
+                // greedy descent.
+                const TIE_EPS: f64 = 1e-12;
+                let root = self.anchor.root().expect("root exists");
+                let product = |this: &Self, cand: NodeId, d_xc: f64| -> f64 {
+                    let d_zc = this.tree.distance(z, cand).expect("embedded");
+                    0.5 * (d_xz + d_zc - d_xc)
+                };
+                let mut best: Option<(NodeId, f64)> = None; // (y, product)
+                if root != z {
+                    let d_xr = measure(root)?;
+                    best = Some((root, product(self, root, d_xr)));
+                }
+                // Max-heap keyed by product so the most promising branch is
+                // expanded first; everything strictly below the incumbent
+                // best is then pruned without measuring its children.
+                let mut heap: std::collections::BinaryHeap<(ordered::F64, NodeId)> =
+                    std::collections::BinaryHeap::new();
+                heap.push((ordered::F64(f64::INFINITY), root));
+                while let Some((p_h, h)) = heap.pop() {
+                    let best_p = best.map_or(f64::NEG_INFINITY, |(_, bp)| bp);
+                    if p_h.0 < best_p - TIE_EPS {
+                        continue; // pruned: no deeper host can beat the best
+                    }
+                    let children: Vec<NodeId> = self.anchor.children(h).to_vec();
+                    for c in children {
+                        if c == z {
+                            // z is not a candidate end node, but its anchor
+                            // subtree still holds candidates.
+                            heap.push((p_h, c));
+                            continue;
+                        }
+                        let d_xc = measure(c)?;
+                        let p = product(self, c, d_xc);
+                        let best_p = best.map_or(f64::NEG_INFINITY, |(_, bp)| bp);
+                        if p > best_p {
+                            best = Some((c, p));
+                        }
+                        if p >= best_p - TIE_EPS {
+                            heap.push((ordered::F64(p), c));
+                        }
+                    }
+                }
+                let (y, _) = best.expect("n >= 2 guarantees a non-z host");
+                vec![(z, y)]
+            }
+        };
+
+        // Every candidate base/end is already in the measurement cache;
+        // release the oracle, then account the probes.
+        #[allow(clippy::drop_non_drop)] // ends the closure's borrows early
+        drop(measure);
+        self.probes += new_probes;
+
+        // Evaluate every candidate placement against all measured hosts and
+        // keep the one with the smallest mean relative prediction error.
+        // For a perfect tree metric the true placement scores zero, so the
+        // heuristics are exact there; under noise they dominate the naive
+        // three-measurement placement.
+        let eval_hosts: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = cache.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut best: Option<(f64, NodeId, NodeId, f64, f64)> = None; // score, z, y, g, w
+        for &(zc, yc) in &candidate_pairs {
+            let d_xzc = cache[&zc];
+            let d_xyc = cache[&yc];
+            let dz_row = self.tree.distances_from(zc).expect("base embedded");
+            let dy_row = self.tree.distances_from(yc).expect("end embedded");
+            let d_zy = dz_row[yc.index()];
+            let g = (0.5 * (d_xzc + d_zy - d_xyc)).clamp(0.0, d_zy);
+
+            // Tree distance from the candidate attachment point to every
+            // measured host u: the attachment sits on the path z~y at
+            // offset g, u's path meets that path at offset a_u.
+            let mut tree_dists = Vec::with_capacity(eval_hosts.len());
+            let mut residuals = Vec::with_capacity(eval_hosts.len());
+            for &u in &eval_hosts {
+                let a_u = (0.5 * (dz_row[u.index()] + d_zy - dy_row[u.index()])).clamp(0.0, d_zy);
+                let d_tu = (g - a_u).abs() + (dz_row[u.index()] - a_u).max(0.0);
+                tree_dists.push(d_tu);
+                residuals.push(cache[&u] - d_tu);
+            }
+            let w = if self.config.fit_leaf_weight {
+                median(&mut residuals.clone()).max(0.0)
+            } else {
+                (0.5 * (d_xyc + d_xzc - d_zy)).max(0.0)
+            };
+            let mut score = 0.0;
+            for (&u, &d_tu) in eval_hosts.iter().zip(&tree_dists) {
+                let measured_d = cache[&u];
+                score += (d_tu + w - measured_d).abs() / measured_d.max(1e-9);
+            }
+            score /= eval_hosts.len() as f64;
+            match best {
+                Some((bs, ..)) if bs <= score => {}
+                _ => best = Some((score, zc, yc, g, w)),
+            }
+        }
+        let (_, z_best, y_best, g_best, w_best) = best.expect("at least one candidate placement");
+
+        let placement = grow::attach_host_at(&mut self.tree, x, z_best, y_best, g_best, w_best);
+        self.anchor.add_child(x, placement.anchor)?;
+        let label = self.label(placement.anchor).expect("anchor labeled").child(
+            x,
+            placement.pos_on_anchor,
+            placement.leaf_weight,
+        );
+        self.set_label(x, label);
+        self.join_order.push(x);
+        debug_assert!(self.tree.check_invariants().is_ok());
+        Ok(())
+    }
+
+    /// Removes a host, physically detaching its anchor subtree and re-joining
+    /// the orphaned descendants (the framework's dynamic restructuring).
+    ///
+    /// The oracle is consulted for the re-joins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::UnknownHost`] if `x` never joined.
+    pub fn leave(
+        &mut self,
+        x: NodeId,
+        mut oracle: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Result<(), EmbedError> {
+        if !self.tree.contains(x) {
+            return Err(EmbedError::UnknownHost(x));
+        }
+        let subtree = self.anchor.subtree(x);
+        // Detach physically and from the overlay, deepest first.
+        for &h in subtree.iter().rev() {
+            self.tree.remove_leaf_host(h);
+            self.anchor.remove_leaf(h)?;
+            self.labels[h.index()] = None;
+        }
+        self.join_order.retain(|h| !subtree.contains(h));
+        // Re-join the orphaned descendants (everything but x itself), in
+        // their original BFS order so anchors are available again.
+        for &h in subtree.iter().filter(|&&h| h != x) {
+            self.join(h, &mut oracle)?;
+        }
+        Ok(())
+    }
+
+    /// Predicted tree distance `d_T(u, v)`, or `None` if either host is
+    /// absent.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.tree.distance(u, v)
+    }
+
+    /// Predicted distance computed *from labels only* — what a decentralized
+    /// node can evaluate locally. Equal to [`PredictionFramework::distance`]
+    /// (verified by property tests).
+    pub fn label_distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        Some(self.label(u)?.distance(self.label(v)?))
+    }
+
+    /// The label of `u`, if joined.
+    pub fn label(&self, u: NodeId) -> Option<&DistanceLabel> {
+        self.labels.get(u.index()).and_then(Option::as_ref)
+    }
+
+    /// The underlying prediction tree.
+    pub fn tree(&self) -> &PredictionTree {
+        &self.tree
+    }
+
+    /// The anchor-tree overlay.
+    pub fn anchor(&self) -> &AnchorTree {
+        &self.anchor
+    }
+
+    /// Number of hosts currently joined.
+    pub fn host_count(&self) -> usize {
+        self.tree.host_count()
+    }
+
+    /// Total measurements performed across all joins so far.
+    pub fn probe_count(&self) -> u64 {
+        self.probes
+    }
+
+    /// Materializes the predicted metric over dense host ids `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if joined host ids are not exactly `0..n`.
+    pub fn predicted_matrix(&self) -> DistanceMatrix {
+        self.tree.to_distance_matrix()
+    }
+
+    fn set_label(&mut self, host: NodeId, label: DistanceLabel) {
+        if self.labels.len() <= host.index() {
+            self.labels.resize(host.index() + 1, None);
+        }
+        self.labels[host.index()] = Some(label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::fourpoint;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// A perfect tree metric: star with per-leaf radii.
+    fn star(weights: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(weights.len(), |i, j| weights[i] + weights[j])
+    }
+
+    /// A random-ish tree metric built from a caterpillar tree.
+    fn caterpillar(n_hosts: usize) -> DistanceMatrix {
+        // Host i sits at spine position i with a pendant of length (i % 3)+1.
+        let spine = |i: usize| i as f64 * 2.0;
+        let pend = |i: usize| ((i % 3) + 1) as f64;
+        DistanceMatrix::from_fn(n_hosts, |i, j| {
+            (spine(i) - spine(j)).abs() + pend(i) + pend(j)
+        })
+    }
+
+    #[test]
+    fn exact_embedding_of_tree_metric() {
+        for d in [star(&[1.0, 5.0, 2.0, 8.0, 3.0, 3.0]), caterpillar(9)] {
+            let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+            let m = fw.predicted_matrix();
+            for (i, j, v) in d.iter_pairs() {
+                assert!(
+                    (m.get(i, j) - v).abs() < 1e-9,
+                    "({i},{j}): predicted {} want {v}",
+                    m.get(i, j)
+                );
+            }
+            assert!(fourpoint::satisfies_four_point(&m, 1e-9));
+        }
+    }
+
+    #[test]
+    fn label_distance_equals_tree_distance() {
+        let d = caterpillar(12);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        for i in 0..12 {
+            for j in 0..12 {
+                let by_tree = fw.distance(n(i), n(j)).unwrap();
+                let by_label = fw.label_distance(n(i), n(j)).unwrap();
+                assert!(
+                    (by_tree - by_label).abs() < 1e-9,
+                    "({i},{j}): tree {by_tree} vs label {by_label}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_descent_also_embeds_tree_metric_exactly() {
+        // On a perfect tree metric the greedy descent finds a global
+        // maximizer (Gromov products are unimodal along the tree).
+        let d = caterpillar(10);
+        let cfg = FrameworkConfig {
+            end: EndStrategy::AnchorDescent,
+            ..Default::default()
+        };
+        let fw = PredictionFramework::build_from_matrix(&d, cfg);
+        let m = fw.predicted_matrix();
+        for (i, j, v) in d.iter_pairs() {
+            assert!(
+                (m.get(i, j) - v).abs() < 1e-6,
+                "({i},{j}): {} vs {v}",
+                m.get(i, j)
+            );
+        }
+    }
+
+    /// Two-level hierarchy: `groups` clusters of `size` hosts. Within a
+    /// group `d = a_i + a_j`; across groups an extra `2 W` separates them.
+    /// This is a tree metric (star of stars).
+    fn hierarchy(groups: usize, size: usize, w: f64) -> DistanceMatrix {
+        let n = groups * size;
+        DistanceMatrix::from_fn(n, |i, j| {
+            let (gi, gj) = (i / size, j / size);
+            let a = 1.0 + (i % size) as f64 * 0.25;
+            let b = 1.0 + (j % size) as f64 * 0.25;
+            if gi == gj {
+                a + b
+            } else {
+                a + b + 2.0 * w
+            }
+        })
+    }
+
+    #[test]
+    fn anchor_descent_never_probes_more_than_exact() {
+        let d = caterpillar(40);
+        let exact = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let cfg = FrameworkConfig {
+            end: EndStrategy::AnchorDescent,
+            ..Default::default()
+        };
+        let descent = PredictionFramework::build_from_matrix(&d, cfg);
+        assert!(descent.probe_count() <= exact.probe_count());
+        // Exact mode probes every pair once: n(n-1)/2 plus the base probes.
+        assert!(exact.probe_count() >= (40 * 39 / 2) as u64);
+    }
+
+    #[test]
+    fn anchor_descent_prunes_on_hierarchical_metric() {
+        // 8 groups of 8: descent should probe one root fanout plus one
+        // group's fanout per join instead of all 64 hosts.
+        let d = hierarchy(8, 8, 50.0);
+        let exact = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let cfg = FrameworkConfig {
+            end: EndStrategy::AnchorDescent,
+            ..Default::default()
+        };
+        let descent = PredictionFramework::build_from_matrix(&d, cfg);
+        assert!(
+            descent.probe_count() * 4 < exact.probe_count() * 3,
+            "descent {} should be well under exact {}",
+            descent.probe_count(),
+            exact.probe_count()
+        );
+        // And it must still embed the tree metric exactly.
+        let m = descent.predicted_matrix();
+        for (i, j, v) in d.iter_pairs() {
+            assert!(
+                (m.get(i, j) - v).abs() < 1e-6,
+                "({i},{j}): {} vs {v}",
+                m.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let d = star(&[1.0, 2.0, 3.0]);
+        let mut fw = PredictionFramework::new(FrameworkConfig::default());
+        fw.join(n(0), |a, b| d.get(a.index(), b.index())).unwrap();
+        let err = fw.join(n(0), |a, b| d.get(a.index(), b.index()));
+        assert!(matches!(err, Err(EmbedError::HostExists(_))));
+    }
+
+    #[test]
+    fn invalid_measurement_rejected() {
+        let mut fw = PredictionFramework::new(FrameworkConfig::default());
+        fw.join(n(0), |_, _| 0.0).unwrap();
+        let err = fw.join(n(1), |_, _| f64::NAN);
+        assert!(matches!(err, Err(EmbedError::InvalidDistance { .. })));
+    }
+
+    #[test]
+    fn join_orders_all_strategies_stay_valid() {
+        let d = caterpillar(15);
+        for base in [
+            BaseStrategy::Root,
+            BaseStrategy::LastJoined,
+            BaseStrategy::Random,
+        ] {
+            for end in [EndStrategy::ExactGlobal, EndStrategy::AnchorDescent] {
+                let cfg = FrameworkConfig {
+                    base,
+                    end,
+                    seed: 42,
+                    ..Default::default()
+                };
+                let fw = PredictionFramework::build_from_matrix(&d, cfg);
+                fw.tree().check_invariants().unwrap();
+                assert_eq!(fw.host_count(), 15);
+                assert_eq!(fw.anchor().len(), 15);
+                // Every host has a label consistent with the tree.
+                for i in 0..15 {
+                    for j in 0..15 {
+                        let t = fw.distance(n(i), n(j)).unwrap();
+                        let l = fw.label_distance(n(i), n(j)).unwrap();
+                        assert!((t - l).abs() < 1e-9, "base {base:?} end {end:?} ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leave_and_rejoin_preserves_tree_metric() {
+        let d = caterpillar(10);
+        let oracle = |a: NodeId, b: NodeId| d.get(a.index(), b.index());
+        let mut fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        fw.leave(n(4), oracle).unwrap();
+        assert_eq!(fw.host_count(), 9);
+        fw.tree().check_invariants().unwrap();
+        // Remaining pairs still exact (re-joined descendants included).
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                if i == 4 || j == 4 {
+                    continue;
+                }
+                let got = fw.distance(n(i), n(j)).unwrap();
+                assert!((got - d.get(i, j)).abs() < 1e-6, "({i},{j})");
+            }
+        }
+        // The host can come back.
+        fw.join(n(4), oracle).unwrap();
+        assert_eq!(fw.host_count(), 10);
+        assert!((fw.distance(n(4), n(7)).unwrap() - d.get(4, 7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leave_unknown_host_errors() {
+        let mut fw = PredictionFramework::new(FrameworkConfig::default());
+        assert!(matches!(
+            fw.leave(n(3), |_, _| 0.0),
+            Err(EmbedError::UnknownHost(_))
+        ));
+    }
+
+    #[test]
+    fn leave_root_rebuilds_everything() {
+        let d = star(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let oracle = |a: NodeId, b: NodeId| d.get(a.index(), b.index());
+        let mut fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        fw.leave(n(0), oracle).unwrap();
+        assert_eq!(fw.host_count(), 4);
+        fw.tree().check_invariants().unwrap();
+        for i in 1..5 {
+            for j in (i + 1)..5 {
+                assert!((fw.distance(n(i), n(j)).unwrap() - d.get(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_join_order_supported() {
+        // Ids 5, 2, 9 — non-dense; distance queries work, matrix does not.
+        let d = star(&[0.0, 0.0, 2.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 3.0]);
+        let order = [n(5), n(2), n(9)];
+        let fw =
+            PredictionFramework::build_from_matrix_in_order(&d, &order, FrameworkConfig::default())
+                .unwrap();
+        assert_eq!(fw.host_count(), 3);
+        assert!((fw.distance(n(5), n(9)).unwrap() - d.get(5, 9)).abs() < 1e-9);
+        assert_eq!(fw.distance(n(0), n(5)), None);
+    }
+}

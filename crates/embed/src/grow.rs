@@ -1,0 +1,429 @@
+//! Geometric placement of a new host in a prediction tree (Sec. II-D).
+//!
+//! To add host `x`, the framework chooses a *base* leaf `z` and an *end*
+//! leaf `y` that maximizes the Gromov product `(x|y)_z`. The new host's inner
+//! vertex `t_x` is placed on the tree path `z ~ y` at distance `(x|y)_z` from
+//! `z`, and `x` hangs off `t_x` with edge weight `(y|z)_x`.
+
+use bcc_metric::NodeId;
+
+use crate::tree::{PredictionTree, Vertex, VertexIdx};
+
+/// Relative tolerance for snapping an attachment point onto an existing
+/// vertex instead of splitting an edge at a zero-length offset.
+const SNAP_EPS: f64 = 1e-9;
+
+/// Result of attaching a host: everything the anchor tree and distance
+/// labels need to record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Inner vertex the new host hangs from.
+    pub(crate) attachment: VertexIdx,
+    /// The new host's anchor node: owner of the edge its inner vertex landed
+    /// on (the paper's anchor-tree parent).
+    pub anchor: NodeId,
+    /// `d_T(anchor, t_x)` — position of the attachment point on the anchor's
+    /// spine, measured from the anchor host.
+    pub pos_on_anchor: f64,
+    /// Weight of the new leaf edge `(t_x, x)`, i.e. `(y|z)_x`.
+    pub leaf_weight: f64,
+}
+
+/// Selects the end node for `x` by exhaustively maximizing the Gromov
+/// product `(x|y)_z` over every embedded host `y ≠ z`.
+///
+/// `d_x(u)` must return the measured distance from `x` to embedded host `u`;
+/// `d_zy(u)` the distance from `z` to `u` (measured or predicted — the
+/// centralized framework uses measured, the decentralized one predicted).
+///
+/// Returns `(y, product)`; ties break toward the smallest host id so growth
+/// is deterministic.
+pub fn select_end_exact(
+    hosts: &[NodeId],
+    z: NodeId,
+    mut d_x: impl FnMut(NodeId) -> f64,
+    mut d_z: impl FnMut(NodeId) -> f64,
+    d_xz: f64,
+) -> Option<(NodeId, f64)> {
+    let mut best: Option<(NodeId, f64)> = None;
+    for &y in hosts {
+        if y == z {
+            continue;
+        }
+        let p = 0.5 * (d_xz + d_z(y) - d_x(y));
+        match best {
+            Some((_, bp)) if bp >= p => {}
+            _ => best = Some((y, p)),
+        }
+    }
+    best
+}
+
+/// Attaches host `x` to the tree given base `z`, end `y`, and the three
+/// relevant distances. Returns the placement record.
+///
+/// The attachment position is `(x|y)_z = ½(d_xz + d_zy − d_xy)`, clamped to
+/// the tree path `z ~ y`; the leaf weight is `(y|z)_x = ½(d_xy + d_xz −
+/// d_zy)`, clamped at zero. Clamping is required because measured distances
+/// need not agree with current tree distances on an imperfect tree metric.
+///
+/// # Panics
+///
+/// Panics if `x` is already embedded, or `z`/`y` are not.
+#[cfg_attr(not(test), allow(dead_code))] // exercised directly by unit tests
+pub(crate) fn attach_host(
+    tree: &mut PredictionTree,
+    x: NodeId,
+    z: NodeId,
+    y: NodeId,
+    d_xz: f64,
+    d_xy: f64,
+    d_zy: f64,
+) -> Placement {
+    let gromov_zy = 0.5 * (d_xz + d_zy - d_xy); // (x|y)_z
+    let leaf_weight = (0.5 * (d_xy + d_xz - d_zy)).max(0.0); // (y|z)_x
+    attach_host_at(tree, x, z, y, gromov_zy, leaf_weight)
+}
+
+/// Attaches host `x` at an explicit position `g` along the path `z ~ y`
+/// (measured from `z`, clamped to the path) with an explicit leaf-edge
+/// weight — the entry point for heuristic placements that fit `g` and the
+/// weight against many measurements instead of just three.
+///
+/// # Panics
+///
+/// Panics if `x` is already embedded, or `z`/`y` are not.
+pub(crate) fn attach_host_at(
+    tree: &mut PredictionTree,
+    x: NodeId,
+    z: NodeId,
+    y: NodeId,
+    gromov_zy: f64,
+    leaf_weight: f64,
+) -> Placement {
+    assert!(!tree.contains(x), "host {x} already embedded");
+    let lz = tree.leaf(z).expect("base host embedded");
+    let ly = tree.leaf(y).expect("end host embedded");
+    let leaf_weight = leaf_weight.max(0.0);
+
+    let path = tree.path_edges(lz, ly).expect("z and y are connected");
+    let path_len: f64 = path
+        .iter()
+        .map(|&(ei, _)| tree.edges[ei].as_ref().expect("live edge").weight)
+        .sum();
+    let g = gromov_zy.clamp(0.0, path_len);
+
+    // Walk the path to find the edge containing position g.
+    let mut cum = 0.0;
+    let mut attachment: Option<(VertexIdx, NodeId)> = None; // (t_x, anchor)
+    let last = path.len() - 1;
+    for (idx, &(ei, from)) in path.iter().enumerate() {
+        let (weight, owner, other) = {
+            let e = tree.edges[ei].as_ref().expect("live edge");
+            (e.weight, e.owner, if e.a == from { e.b } else { e.a })
+        };
+        if g <= cum + weight || idx == last {
+            let local = (g - cum).clamp(0.0, weight);
+            let snap = SNAP_EPS * weight.max(1.0);
+            let t_x = if local <= snap && matches!(tree.vertices[from], Some(Vertex::Inner { .. }))
+            {
+                from
+            } else if local >= weight - snap
+                && matches!(tree.vertices[other], Some(Vertex::Inner { .. }))
+            {
+                other
+            } else {
+                tree.split_edge(ei, from, local, x)
+            };
+            attachment = Some((t_x, owner));
+            break;
+        }
+        cum += weight;
+    }
+    let (t_x, anchor) = attachment.expect("path is non-empty for distinct leaves");
+
+    let lx = tree.push_vertex(Vertex::Leaf { host: x });
+    tree.register_leaf(x, lx);
+    tree.push_edge(t_x, lx, leaf_weight, x);
+
+    let anchor_leaf = tree.leaf(anchor).expect("anchor host embedded");
+    let pos_on_anchor = tree
+        .vertex_distance(anchor_leaf, t_x)
+        .expect("anchor connected to attachment");
+
+    Placement {
+        attachment: t_x,
+        anchor,
+        pos_on_anchor,
+        leaf_weight,
+    }
+}
+
+/// Embeds the very first host (a singleton tree).
+///
+/// # Panics
+///
+/// Panics if the tree already has hosts.
+pub(crate) fn attach_first_host(tree: &mut PredictionTree, x: NodeId) {
+    assert!(tree.is_empty(), "first host requires an empty tree");
+    let lx = tree.push_vertex(Vertex::Leaf { host: x });
+    tree.register_leaf(x, lx);
+}
+
+/// Embeds the second host with a single edge of weight `d` to the first.
+///
+/// Returns the placement (anchored at the first host with position `0`).
+///
+/// # Panics
+///
+/// Panics if the tree does not hold exactly one host, or `d` is negative.
+pub(crate) fn attach_second_host(
+    tree: &mut PredictionTree,
+    x: NodeId,
+    first: NodeId,
+    d: f64,
+) -> Placement {
+    assert_eq!(
+        tree.host_count(),
+        1,
+        "second host requires exactly one embedded host"
+    );
+    assert!(d >= 0.0, "distance must be non-negative");
+    let lf = tree.leaf(first).expect("first host embedded");
+    let lx = tree.push_vertex(Vertex::Leaf { host: x });
+    tree.register_leaf(x, lx);
+    tree.push_edge(lf, lx, d, x);
+    Placement {
+        attachment: lf,
+        anchor: first,
+        pos_on_anchor: 0.0,
+        leaf_weight: d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::DistanceMatrix;
+
+    /// Star metric d(i,j) = w_i + w_j; embedding should recover leaf radii.
+    fn star(weights: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(weights.len(), |i, j| weights[i] + weights[j])
+    }
+
+    fn grow_all(d: &DistanceMatrix) -> PredictionTree {
+        let mut tree = PredictionTree::new();
+        let n = d.len();
+        attach_first_host(&mut tree, NodeId::new(0));
+        if n > 1 {
+            attach_second_host(&mut tree, NodeId::new(1), NodeId::new(0), d.get(0, 1));
+        }
+        for i in 2..n {
+            let x = NodeId::new(i);
+            let z = NodeId::new(0);
+            let hosts = tree.hosts();
+            let (y, _) = select_end_exact(
+                &hosts,
+                z,
+                |u| d.get(i, u.index()),
+                |u| d.get(0, u.index()),
+                d.get(i, 0),
+            )
+            .expect("candidates exist");
+            attach_host(
+                &mut tree,
+                x,
+                z,
+                y,
+                d.get(i, z.index()),
+                d.get(i, y.index()),
+                d.get(z.index(), y.index()),
+            );
+            tree.check_invariants()
+                .unwrap_or_else(|e| panic!("invariant after n{i}: {e}"));
+        }
+        tree
+    }
+
+    #[test]
+    fn tree_metric_embeds_exactly() {
+        // Buneman: a tree metric is reproduced exactly by the growth rule.
+        let d = star(&[1.0, 2.0, 3.0, 4.0, 5.0, 2.5]);
+        let tree = grow_all(&d);
+        let m = tree.to_distance_matrix();
+        for (i, j, v) in d.iter_pairs() {
+            assert!(
+                (m.get(i, j) - v).abs() < 1e-9,
+                "d_T({i},{j}) = {} want {v}",
+                m.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn line_metric_embeds_exactly() {
+        let pos = [0.0f64, 3.0, 7.0, 12.0, 13.5];
+        let d = DistanceMatrix::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs());
+        let tree = grow_all(&d);
+        let m = tree.to_distance_matrix();
+        for (i, j, v) in d.iter_pairs() {
+            assert!((m.get(i, j) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_fig1_style_example() {
+        // Hand-crafted tree metric corresponding to Fig. 1's flavor:
+        // a,b far apart; c near b; distances from an explicit tree.
+        //   a --0-- t_b --25-- b, with c attached on t_b..b at 10 from b,
+        //   leaf weight 13 (so d(b,c) = 23, d(a,c) = 0 + 15 + 13 = 28).
+        let mut d = DistanceMatrix::new(3);
+        d.set(0, 1, 25.0);
+        d.set(1, 2, 23.0);
+        d.set(0, 2, 28.0);
+        let tree = grow_all(&d);
+        let m = tree.to_distance_matrix();
+        assert!((m.get(0, 1) - 25.0).abs() < 1e-9);
+        assert!((m.get(1, 2) - 23.0).abs() < 1e-9);
+        assert!((m.get(0, 2) - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchor_of_second_is_first() {
+        let mut tree = PredictionTree::new();
+        attach_first_host(&mut tree, NodeId::new(0));
+        let p = attach_second_host(&mut tree, NodeId::new(1), NodeId::new(0), 25.0);
+        assert_eq!(p.anchor, NodeId::new(0));
+        assert_eq!(p.pos_on_anchor, 0.0);
+        assert_eq!(p.leaf_weight, 25.0);
+    }
+
+    #[test]
+    fn anchor_is_owner_of_split_edge() {
+        // Third host lands on the edge created by the second: anchor = n1.
+        let mut d = DistanceMatrix::new(3);
+        d.set(0, 1, 25.0);
+        d.set(1, 2, 23.0);
+        d.set(0, 2, 28.0);
+        let mut tree = PredictionTree::new();
+        attach_first_host(&mut tree, NodeId::new(0));
+        attach_second_host(&mut tree, NodeId::new(1), NodeId::new(0), 25.0);
+        let p = attach_host(
+            &mut tree,
+            NodeId::new(2),
+            NodeId::new(0),
+            NodeId::new(1),
+            28.0,
+            23.0,
+            25.0,
+        );
+        assert_eq!(p.anchor, NodeId::new(1));
+        // (x|y)_z = ½(28+25−23) = 15 from n0, so 10 from n1.
+        assert!((p.pos_on_anchor - 10.0).abs() < 1e-9);
+        // (y|z)_x = ½(23+28−25) = 13.
+        assert!((p.leaf_weight - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_clamps_beyond_path() {
+        // Inconsistent measurements can push the Gromov product past the
+        // path length; the attachment must clamp instead of panicking.
+        let mut tree = PredictionTree::new();
+        attach_first_host(&mut tree, NodeId::new(0));
+        attach_second_host(&mut tree, NodeId::new(1), NodeId::new(0), 10.0);
+        // d_xz huge relative to tree: g = ½(100 + 10 − 5) = 52.5 > 10.
+        let p = attach_host(
+            &mut tree,
+            NodeId::new(2),
+            NodeId::new(0),
+            NodeId::new(1),
+            100.0,
+            5.0,
+            10.0,
+        );
+        tree.check_invariants().unwrap();
+        assert!(p.pos_on_anchor >= 0.0);
+        let m = tree.to_distance_matrix();
+        assert!(m.get(0, 2).is_finite());
+    }
+
+    #[test]
+    fn negative_gromov_clamps_to_zero() {
+        // Triangle-violating measurements give a negative product: clamp to
+        // the base end of the path.
+        let mut tree = PredictionTree::new();
+        attach_first_host(&mut tree, NodeId::new(0));
+        attach_second_host(&mut tree, NodeId::new(1), NodeId::new(0), 10.0);
+        let p = attach_host(
+            &mut tree,
+            NodeId::new(2),
+            NodeId::new(0),
+            NodeId::new(1),
+            1.0,
+            20.0,
+            10.0,
+        );
+        tree.check_invariants().unwrap();
+        assert!(p.pos_on_anchor >= 0.0);
+        assert!(p.leaf_weight >= 0.0);
+    }
+
+    #[test]
+    fn select_end_breaks_ties_deterministically() {
+        let d = star(&[1.0, 1.0, 1.0, 1.0]);
+        let hosts = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let (y, _) = select_end_exact(
+            &hosts,
+            NodeId::new(0),
+            |u| d.get(3, u.index()),
+            |u| d.get(0, u.index()),
+            d.get(3, 0),
+        )
+        .unwrap();
+        assert_eq!(y, NodeId::new(1));
+    }
+
+    #[test]
+    fn select_end_none_without_candidates() {
+        let hosts = vec![NodeId::new(0)];
+        assert!(select_end_exact(&hosts, NodeId::new(0), |_| 0.0, |_| 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn coincident_attachment_reuses_inner_vertex() {
+        // Build a star around one inner vertex, then add a host whose
+        // attachment lands exactly on it: vertex count must not grow by two.
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let d = star(&w);
+        let tree = grow_all(&d);
+        // Star embedding: 4 leaves + at most 2 distinct inner vertices (the
+        // center, possibly snapped). Distances must still be exact, and the
+        // center must be reused rather than duplicated via 0-length edges.
+        let m = tree.to_distance_matrix();
+        for (i, j, v) in d.iter_pairs() {
+            assert!((m.get(i, j) - v).abs() < 1e-9);
+        }
+        assert!(
+            tree.vertex_count() <= 4 + 2,
+            "vertex count {}",
+            tree.vertex_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already embedded")]
+    fn attach_rejects_duplicate() {
+        let mut tree = PredictionTree::new();
+        attach_first_host(&mut tree, NodeId::new(0));
+        attach_second_host(&mut tree, NodeId::new(1), NodeId::new(0), 1.0);
+        attach_host(
+            &mut tree,
+            NodeId::new(1),
+            NodeId::new(0),
+            NodeId::new(1),
+            1.0,
+            1.0,
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! *Distance labels*: each host's compact, self-contained embedding record.
+//!
+//! A host's label lists the anchor chain from the overlay root down to the
+//! host. Each entry records where the host's inner vertex sits on its
+//! anchor's spine (`pos`, measured from the anchor host) and the weight of
+//! its own leaf edge. The label is "equivalent to a partial prediction tree"
+//! (Sec. II-D): the distance between any two hosts can be computed from
+//! their two labels alone — the decentralized analogue of Vivaldi
+//! coordinates. [`DistanceLabel::distance`] implements that computation and
+//! is verified against full-tree distances by property tests.
+
+use bcc_metric::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One hop of an anchor chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabelEntry {
+    /// The host at this level of the anchor chain.
+    pub host: NodeId,
+    /// Distance from the *parent* host to this host's inner vertex
+    /// (`d_T(parent, t_host)`); `0` for the root entry.
+    pub pos: f64,
+    /// Weight of this host's leaf edge (`d_T(t_host, host)`); `0` for the
+    /// root entry.
+    pub leaf_weight: f64,
+}
+
+/// A host's distance label: the anchor chain from the root to the host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceLabel {
+    entries: Vec<LabelEntry>,
+}
+
+impl DistanceLabel {
+    /// The label of an overlay root.
+    pub fn root(host: NodeId) -> Self {
+        DistanceLabel {
+            entries: vec![LabelEntry {
+                host,
+                pos: 0.0,
+                leaf_weight: 0.0,
+            }],
+        }
+    }
+
+    /// Extends a parent's label with one more hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` or `leaf_weight` is negative or non-finite.
+    pub fn child(&self, host: NodeId, pos: f64, leaf_weight: f64) -> Self {
+        assert!(pos.is_finite() && pos >= 0.0, "pos must be non-negative");
+        assert!(
+            leaf_weight.is_finite() && leaf_weight >= 0.0,
+            "leaf weight must be non-negative"
+        );
+        let mut entries = self.entries.clone();
+        entries.push(LabelEntry {
+            host,
+            pos,
+            leaf_weight,
+        });
+        DistanceLabel { entries }
+    }
+
+    /// The host this label belongs to.
+    pub fn host(&self) -> NodeId {
+        self.entries.last().expect("labels are non-empty").host
+    }
+
+    /// Anchor chain length (root has length 1).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Labels are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The chain entries from root to host.
+    pub fn entries(&self) -> &[LabelEntry] {
+        &self.entries
+    }
+
+    /// Predicted distance `d_T` between the hosts of two labels, computed
+    /// from the labels alone.
+    ///
+    /// With the chains sharing a common prefix up to index `m`:
+    /// - if one chain is a prefix of the other, walk the longer chain up to
+    ///   the fork host's spine;
+    /// - otherwise both forks hang off the common host's spine at positions
+    ///   `p_u`, `p_v`, contributing `|p_u − p_v|` along that spine.
+    ///
+    /// Labels from different prediction trees give meaningless results (the
+    /// method cannot detect this); keep labels and trees paired.
+    pub fn distance(&self, other: &DistanceLabel) -> f64 {
+        let a = &self.entries;
+        let b = &other.entries;
+        // Length of the common prefix (compared by host).
+        let mut m = 0;
+        while m < a.len() && m < b.len() && a[m].host == b[m].host {
+            m += 1;
+        }
+        assert!(m > 0, "labels must share the overlay root");
+        let m = m - 1; // index of the last common host
+
+        if a.len() == m + 1 && b.len() == m + 1 {
+            return 0.0; // same host
+        }
+        if a.len() == m + 1 {
+            // self is an ancestor: walk other's chain up to the fork host.
+            let (up, pos) = Self::climb(b, m + 1);
+            return up + pos;
+        }
+        if b.len() == m + 1 {
+            let (up, pos) = Self::climb(a, m + 1);
+            return up + pos;
+        }
+        // Both chains fork below entry m; both fork inner vertices sit on
+        // the spine of host a[m].
+        let (up_a, pos_a) = Self::climb(a, m + 1);
+        let (up_b, pos_b) = Self::climb(b, m + 1);
+        up_a + up_b + (pos_a - pos_b).abs()
+    }
+
+    /// Walks from the chain's final host up to the inner vertex of entry
+    /// `fork` (the first entry *below* the common prefix). Returns
+    /// `(distance_to_that_inner_vertex, that_entry's pos)`.
+    fn climb(chain: &[LabelEntry], fork: usize) -> (f64, f64) {
+        let last = chain.len() - 1;
+        // Start at the host: distance to its own inner vertex is its leaf
+        // edge weight.
+        let mut dist = chain[last].leaf_weight;
+        // Walk up: from t_{chain[i+1]} (on chain[i]'s spine at pos_{i+1}) to
+        // t_{chain[i]} is the spine remainder `leaf_weight_i − pos_{i+1}`.
+        let mut i = last;
+        while i > fork {
+            let spine_rest = (chain[i - 1].leaf_weight - chain[i].pos).max(0.0);
+            dist += spine_rest;
+            i -= 1;
+        }
+        (dist, chain[fork].pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// The paper's Fig. 1 label for node d: (a -0-> t_b -25-> b -10-> t_d -20-> d).
+    fn fig1_labels() -> (DistanceLabel, DistanceLabel, DistanceLabel) {
+        let a = DistanceLabel::root(n(0));
+        let b = a.child(n(1), 0.0, 25.0);
+        let d = b.child(n(3), 10.0, 20.0);
+        (a, b, d)
+    }
+
+    #[test]
+    fn root_label() {
+        let a = DistanceLabel::root(n(0));
+        assert_eq!(a.host(), n(0));
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fig1_distances() {
+        let (a, b, d) = fig1_labels();
+        // d(a, b) = 0 + 25.
+        assert_eq!(a.distance(&b), 25.0);
+        // d(b, d) = 10 + 20 (t_d sits 10 from b on b's leaf edge).
+        assert_eq!(b.distance(&d), 30.0);
+        // d(a, d) = (25 − 10) + 0 + 20 = 35.
+        assert_eq!(a.distance(&d), 35.0);
+        // Symmetry.
+        assert_eq!(d.distance(&a), 35.0);
+        // Same host.
+        assert_eq!(d.distance(&d.clone()), 0.0);
+    }
+
+    #[test]
+    fn siblings_on_same_spine() {
+        let a = DistanceLabel::root(n(0));
+        let b = a.child(n(1), 0.0, 25.0);
+        // Two hosts anchored on b's spine at positions 10 and 18 from b.
+        let u = b.child(n(2), 10.0, 3.0);
+        let v = b.child(n(3), 18.0, 4.0);
+        // d = 3 + 4 + |10 − 18| = 15.
+        assert_eq!(u.distance(&v), 15.0);
+    }
+
+    #[test]
+    fn deep_chain_vs_ancestor() {
+        let a = DistanceLabel::root(n(0));
+        let b = a.child(n(1), 0.0, 10.0);
+        let c = b.child(n(2), 4.0, 5.0);
+        let e = c.child(n(3), 2.0, 7.0);
+        // d(b, e): climb e: 7 (leaf) ; fork entry is c at pos 4 on b's spine:
+        // from t_e up to t_c = 5 − 2 = 3; then pos 4 → total 7 + 3 + 4 = 14.
+        assert_eq!(b.distance(&e), 14.0);
+        // d(a, e): fork entry is b at pos 0; climb: 7 + (5−2) + (10−4) = 16;
+        // plus pos 0 → 16.
+        assert_eq!(a.distance(&e), 16.0);
+    }
+
+    #[test]
+    fn forks_in_different_subtrees() {
+        let a = DistanceLabel::root(n(0));
+        let b = a.child(n(1), 0.0, 20.0);
+        let u = b.child(n(2), 5.0, 2.0).child(n(4), 1.0, 3.0);
+        let v = b.child(n(3), 12.0, 6.0);
+        // climb u to t_{n2}: 3 + (2 − 1) = 4, pos 5.
+        // climb v to t_{n3}: 6, pos 12.
+        // d = 4 + 6 + |5 − 12| = 17.
+        assert_eq!(u.distance(&v), 17.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the overlay root")]
+    fn different_roots_panic() {
+        let a = DistanceLabel::root(n(0));
+        let b = DistanceLabel::root(n(1));
+        a.distance(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_pos_rejected() {
+        DistanceLabel::root(n(0)).child(n(1), -1.0, 0.0);
+    }
+
+    #[test]
+    fn climb_clamps_inconsistent_spines() {
+        // pos beyond the parent's leaf weight (possible with clamped
+        // attachments) must not produce negative spine remainders.
+        let a = DistanceLabel::root(n(0));
+        let b = a.child(n(1), 0.0, 5.0);
+        let c = b.child(n(2), 9.0, 1.0); // pos 9 > leaf_weight 5
+        let e = c.child(n(3), 0.5, 1.0);
+        assert!(b.distance(&e) >= 0.0);
+    }
+
+    #[test]
+    fn entries_exposed() {
+        let (_, _, d) = fig1_labels();
+        let e = d.entries();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[2].host, n(3));
+        assert_eq!(e[2].pos, 10.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Decentralized bandwidth prediction framework — the substrate the
+//! bandwidth-constrained clustering algorithms run on.
+//!
+//! Reproduces the prior-work system described in Sec. II-D of *Searching for
+//! Bandwidth-Constrained Clusters* (Song, Keleher, Sussman; ICDCS 2011),
+//! itself a decentralization of Sequoia:
+//!
+//! - [`PredictionTree`] — an edge-weighted tree whose leaves are hosts;
+//!   pairwise tree distance predicts the rational-transformed bandwidth.
+//! - [`AnchorTree`] — the rooted overlay; each host is a child of the host
+//!   that owns the tree edge its attachment point landed on.
+//! - [`DistanceLabel`] — a per-host record (anchor chain + offsets) from
+//!   which any pairwise predicted distance can be computed locally, playing
+//!   the role Vivaldi coordinates play in latency systems.
+//! - [`PredictionFramework`] — joins hosts one at a time through a distance
+//!   oracle, tracks measurement (probe) costs, and supports host departure
+//!   with automatic restructuring.
+//!
+//! # Example
+//!
+//! ```
+//! use bcc_embed::{FrameworkConfig, PredictionFramework};
+//! use bcc_metric::{DistanceMatrix, NodeId};
+//!
+//! // A perfect tree metric (star): predictions are exact.
+//! let radii = [1.0, 4.0, 2.0, 7.0];
+//! let d = DistanceMatrix::from_fn(4, |i, j| radii[i] + radii[j]);
+//! let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+//! let err = (fw.distance(NodeId::new(1), NodeId::new(3)).unwrap() - 11.0).abs();
+//! assert!(err < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod anchor;
+mod ensemble;
+mod error;
+mod framework;
+mod grow;
+mod label;
+mod oracle;
+mod tree;
+
+pub use anchor::AnchorTree;
+pub use ensemble::{EnsembleAggregation, EnsembleConfig, TreeEnsemble};
+pub use error::EmbedError;
+pub use framework::{BaseStrategy, EndStrategy, FrameworkConfig, PredictionFramework};
+pub use grow::{select_end_exact, Placement};
+pub use label::{DistanceLabel, LabelEntry};
+pub use oracle::MeasurementModel;
+pub use tree::{PredictionTree, Vertex};

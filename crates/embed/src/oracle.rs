@@ -1,0 +1,165 @@
+//! Measurement-error models for the distance oracle.
+//!
+//! The frameworks consume an oracle `fn(x, u) -> distance`. In the
+//! evaluation that oracle reads the ground-truth matrix directly, but a
+//! real deployment measures with a tool like pathChirp whose estimates are
+//! themselves noisy. [`MeasurementModel`] wraps any oracle with
+//! multiplicative log-normal error and optional repeat-and-average
+//! smoothing, so experiments can separate *dataset* noise (is the world a
+//! tree?) from *instrument* noise (how well can we see it?).
+
+use bcc_metric::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A noisy measurement instrument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementModel {
+    /// Log-normal σ of each individual measurement (0 = perfect).
+    pub noise_sigma: f64,
+    /// Independent measurements averaged per probe (≥ 1). Averaging `r`
+    /// samples shrinks the error roughly by `√r`, at `r`× the probing
+    /// cost.
+    pub repeats: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MeasurementModel {
+    /// A perfect instrument (identity wrapper).
+    pub fn perfect() -> Self {
+        MeasurementModel {
+            noise_sigma: 0.0,
+            repeats: 1,
+            seed: 0,
+        }
+    }
+
+    /// A noisy instrument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats == 0` or `noise_sigma < 0`.
+    pub fn new(noise_sigma: f64, repeats: usize, seed: u64) -> Self {
+        assert!(repeats >= 1, "at least one measurement per probe");
+        assert!(noise_sigma >= 0.0, "sigma must be non-negative");
+        MeasurementModel {
+            noise_sigma,
+            repeats,
+            seed,
+        }
+    }
+
+    /// Wraps a ground-truth oracle into a noisy one. Each probe draws
+    /// `repeats` log-normal samples around the true value and returns the
+    /// mean; the same `(x, u)` pair re-probed gives a *different* answer,
+    /// like a real instrument.
+    pub fn wrap<F>(&self, mut truth: F) -> impl FnMut(NodeId, NodeId) -> f64
+    where
+        F: FnMut(NodeId, NodeId) -> f64,
+    {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sigma = self.noise_sigma;
+        let repeats = self.repeats;
+        move |a, b| {
+            let real = truth(a, b);
+            if sigma == 0.0 {
+                return real;
+            }
+            let mut sum = 0.0;
+            for _ in 0..repeats {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                sum += real * (sigma * z).exp();
+            }
+            sum / repeats as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn perfect_model_is_identity() {
+        let model = MeasurementModel::perfect();
+        let mut probe = model.wrap(|a, b| (a.index() + b.index()) as f64);
+        assert_eq!(probe(n(1), n(2)), 3.0);
+        assert_eq!(probe(n(1), n(2)), 3.0);
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_positive() {
+        let model = MeasurementModel::new(0.3, 1, 42);
+        let mut probe = model.wrap(|_, _| 10.0);
+        let mut any_different = false;
+        for _ in 0..50 {
+            let v = probe(n(0), n(1));
+            assert!(v > 0.0);
+            if (v - 10.0).abs() > 1e-6 {
+                any_different = true;
+            }
+        }
+        assert!(any_different);
+    }
+
+    #[test]
+    fn repeats_reduce_spread() {
+        let spread = |repeats: usize| {
+            let model = MeasurementModel::new(0.5, repeats, 7);
+            let mut probe = model.wrap(|_, _| 100.0);
+            let samples: Vec<f64> = (0..400).map(|_| probe(n(0), n(1))).collect();
+            let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+            (samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64)
+                .sqrt()
+        };
+        let s1 = spread(1);
+        let s16 = spread(16);
+        assert!(
+            s16 < s1 * 0.5,
+            "16 repeats should at least halve the spread: {s16} vs {s1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let one = MeasurementModel::new(0.2, 2, 9);
+        let two = MeasurementModel::new(0.2, 2, 9);
+        let mut p1 = one.wrap(|_, _| 5.0);
+        let mut p2 = two.wrap(|_, _| 5.0);
+        for _ in 0..10 {
+            assert_eq!(p1(n(0), n(1)), p2(n(0), n(1)));
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_feeds_a_framework() {
+        use crate::framework::{FrameworkConfig, PredictionFramework};
+        use bcc_metric::DistanceMatrix;
+        let radii = [1.0, 3.0, 2.0, 5.0, 4.0, 2.5];
+        let d = DistanceMatrix::from_fn(radii.len(), |i, j| radii[i] + radii[j]);
+        let model = MeasurementModel::new(0.05, 4, 11);
+        let mut oracle = model.wrap(|a: NodeId, b: NodeId| d.get(a.index(), b.index()));
+        let mut fw = PredictionFramework::new(FrameworkConfig::default());
+        for i in 0..radii.len() {
+            fw.join(NodeId::new(i), &mut oracle).unwrap();
+        }
+        // Mild instrument noise: predictions land near the truth.
+        for (i, j, v) in d.iter_pairs() {
+            let p = fw.distance(NodeId::new(i), NodeId::new(j)).unwrap();
+            assert!((p - v).abs() / v < 0.3, "({i},{j}): {p} vs {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn zero_repeats_rejected() {
+        MeasurementModel::new(0.1, 0, 0);
+    }
+}

@@ -1,0 +1,618 @@
+//! The edge-weighted *prediction tree* (Sec. II-D of the paper).
+//!
+//! Hosts are leaves; inner vertices are created as attachment points when new
+//! hosts join. Every edge remembers the host whose addition created it — that
+//! ownership is what defines the *anchor tree* overlay.
+
+use std::collections::VecDeque;
+
+use bcc_metric::{DistanceMatrix, NodeId};
+
+/// Index of a vertex inside the tree arena.
+pub(crate) type VertexIdx = usize;
+
+/// A vertex of the prediction tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Vertex {
+    /// A participating host (always degree one, except transiently).
+    Leaf {
+        /// The host this leaf represents.
+        host: NodeId,
+    },
+    /// An attachment point created when `created_by` joined.
+    Inner {
+        /// Host whose addition created this inner vertex.
+        created_by: NodeId,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Edge {
+    pub a: VertexIdx,
+    pub b: VertexIdx,
+    pub weight: f64,
+    /// Host whose addition created (the original, pre-split version of) this
+    /// edge. Splits preserve the owner of both halves.
+    pub owner: NodeId,
+}
+
+impl Edge {
+    fn other(&self, v: VertexIdx) -> VertexIdx {
+        if self.a == v {
+            self.b
+        } else {
+            self.a
+        }
+    }
+}
+
+/// An edge-weighted tree whose leaves are hosts.
+///
+/// The arena never reuses vertex indices within one tree's lifetime, so a
+/// [`VertexIdx`] stays valid until the vertex is spliced out. Edge weights
+/// are non-negative (zero-weight edges arise legitimately when a new host's
+/// attachment point coincides with an existing vertex).
+#[derive(Debug, Clone, Default)]
+pub struct PredictionTree {
+    pub(crate) vertices: Vec<Option<Vertex>>,
+    pub(crate) edges: Vec<Option<Edge>>,
+    /// Adjacency: vertex -> incident edge indices.
+    pub(crate) adj: Vec<Vec<usize>>,
+    /// host id -> leaf vertex.
+    pub(crate) leaf_of: Vec<Option<VertexIdx>>,
+}
+
+impl PredictionTree {
+    /// Creates an empty prediction tree.
+    pub fn new() -> Self {
+        PredictionTree::default()
+    }
+
+    /// Number of hosts (leaves) currently embedded.
+    pub fn host_count(&self) -> usize {
+        self.leaf_of.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Returns `true` if no host is embedded.
+    pub fn is_empty(&self) -> bool {
+        self.host_count() == 0
+    }
+
+    /// Hosts currently embedded, in id order.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.leaf_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|_| NodeId::new(i)))
+            .collect()
+    }
+
+    /// Returns `true` if `host` is embedded.
+    pub fn contains(&self, host: NodeId) -> bool {
+        self.leaf_of.get(host.index()).is_some_and(Option::is_some)
+    }
+
+    /// The leaf vertex of `host`, if embedded.
+    pub(crate) fn leaf(&self, host: NodeId) -> Option<VertexIdx> {
+        self.leaf_of.get(host.index()).copied().flatten()
+    }
+
+    pub(crate) fn push_vertex(&mut self, v: Vertex) -> VertexIdx {
+        self.vertices.push(Some(v));
+        self.adj.push(Vec::new());
+        self.vertices.len() - 1
+    }
+
+    pub(crate) fn push_edge(
+        &mut self,
+        a: VertexIdx,
+        b: VertexIdx,
+        weight: f64,
+        owner: NodeId,
+    ) -> usize {
+        debug_assert!(weight >= 0.0, "edge weights are non-negative");
+        let idx = self.edges.len();
+        self.edges.push(Some(Edge {
+            a,
+            b,
+            weight,
+            owner,
+        }));
+        self.adj[a].push(idx);
+        self.adj[b].push(idx);
+        idx
+    }
+
+    pub(crate) fn register_leaf(&mut self, host: NodeId, vertex: VertexIdx) {
+        if self.leaf_of.len() <= host.index() {
+            self.leaf_of.resize(host.index() + 1, None);
+        }
+        self.leaf_of[host.index()] = Some(vertex);
+    }
+
+    /// Degree of a vertex.
+    pub(crate) fn degree(&self, v: VertexIdx) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Splits edge `e` at distance `t` from its `from` endpoint, inserting an
+    /// inner vertex created by `created_by`. Returns the new vertex.
+    ///
+    /// Both halves keep the original edge's `owner`.
+    pub(crate) fn split_edge(
+        &mut self,
+        e: usize,
+        from: VertexIdx,
+        t: f64,
+        created_by: NodeId,
+    ) -> VertexIdx {
+        let edge = self.edges[e].clone().expect("edge exists");
+        debug_assert!(edge.a == from || edge.b == from);
+        debug_assert!((0.0..=edge.weight).contains(&t), "split point within edge");
+        let to = edge.other(from);
+        let mid = self.push_vertex(Vertex::Inner { created_by });
+        // Remove old edge.
+        self.adj[edge.a].retain(|&i| i != e);
+        self.adj[edge.b].retain(|&i| i != e);
+        self.edges[e] = None;
+        self.push_edge(from, mid, t, edge.owner);
+        self.push_edge(mid, to, edge.weight - t, edge.owner);
+        mid
+    }
+
+    /// Tree distance between two vertices (sum of edge weights on the unique
+    /// path), or `None` if either vertex is gone or they are disconnected.
+    pub(crate) fn vertex_distance(&self, from: VertexIdx, to: VertexIdx) -> Option<f64> {
+        if self.vertices.get(from)?.is_none() || self.vertices.get(to)?.is_none() {
+            return None;
+        }
+        if from == to {
+            return Some(0.0);
+        }
+        let mut dist = vec![f64::NAN; self.vertices.len()];
+        dist[from] = 0.0;
+        let mut queue = VecDeque::from([from]);
+        while let Some(v) = queue.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = self.edges[ei]
+                    .as_ref()
+                    .expect("adjacency references live edges");
+                let u = e.other(v);
+                if dist[u].is_nan() {
+                    dist[u] = dist[v] + e.weight;
+                    if u == to {
+                        return Some(dist[u]);
+                    }
+                    queue.push_back(u);
+                }
+            }
+        }
+        None
+    }
+
+    /// Predicted tree distance `d_T(u, v)` between two hosts.
+    ///
+    /// Returns `None` if either host is not embedded.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if u == v {
+            return self.leaf(u).map(|_| 0.0);
+        }
+        let (lu, lv) = (self.leaf(u)?, self.leaf(v)?);
+        self.vertex_distance(lu, lv)
+    }
+
+    /// Distances from `host` to every embedded host, indexed by host id
+    /// (`NaN` for ids that are not embedded).
+    pub fn distances_from(&self, host: NodeId) -> Option<Vec<f64>> {
+        let start = self.leaf(host)?;
+        let mut vdist = vec![f64::NAN; self.vertices.len()];
+        vdist[start] = 0.0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = self.edges[ei]
+                    .as_ref()
+                    .expect("adjacency references live edges");
+                let u = e.other(v);
+                if vdist[u].is_nan() {
+                    vdist[u] = vdist[v] + e.weight;
+                    queue.push_back(u);
+                }
+            }
+        }
+        let mut out = vec![f64::NAN; self.leaf_of.len()];
+        for (hid, leaf) in self.leaf_of.iter().enumerate() {
+            if let Some(l) = leaf {
+                out[hid] = vdist[*l];
+            }
+        }
+        Some(out)
+    }
+
+    /// Materializes the predicted metric over hosts `0..n` as a dense matrix.
+    ///
+    /// Host ids must be dense (`0..n` all embedded) — this is the layout the
+    /// evaluation harness uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any host id in `0..n` (with `n = leaf_of.len()`) is missing.
+    pub fn to_distance_matrix(&self) -> DistanceMatrix {
+        let n = self.leaf_of.len();
+        let mut m = DistanceMatrix::new(n);
+        for i in 0..n {
+            let row = self
+                .distances_from(NodeId::new(i))
+                .unwrap_or_else(|| panic!("host n{i} missing from tree"));
+            for (j, &dv) in row.iter().enumerate().take(n).skip(i + 1) {
+                assert!(!dv.is_nan(), "host n{j} missing from tree");
+                m.set(i, j, dv);
+            }
+        }
+        m
+    }
+
+    /// Edges on the unique path between two vertices, as
+    /// `(edge_idx, from_vertex)` in path order.
+    pub(crate) fn path_edges(
+        &self,
+        from: VertexIdx,
+        to: VertexIdx,
+    ) -> Option<Vec<(usize, VertexIdx)>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut prev: Vec<Option<(VertexIdx, usize)>> = vec![None; self.vertices.len()];
+        let mut seen = vec![false; self.vertices.len()];
+        seen[from] = true;
+        let mut queue = VecDeque::from([from]);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = self.edges[ei].as_ref().expect("live edge");
+                let u = e.other(v);
+                if !seen[u] {
+                    seen[u] = true;
+                    prev[u] = Some((v, ei));
+                    if u == to {
+                        break 'bfs;
+                    }
+                    queue.push_back(u);
+                }
+            }
+        }
+        if !seen[to] {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = to;
+        while let Some((p, ei)) = prev[cur] {
+            path.push((ei, p));
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Physically removes a host's leaf from the tree, splicing out any
+    /// inner vertices left with degree ≤ 2.
+    ///
+    /// Distances between all remaining hosts are unchanged (the spliced
+    /// segments are merged, not shortened). Returns `false` if the host was
+    /// not embedded.
+    pub fn remove_leaf_host(&mut self, host: NodeId) -> bool {
+        let Some(leaf) = self.leaf(host) else {
+            return false;
+        };
+        self.leaf_of[host.index()] = None;
+        // Remove the leaf and its single incident edge (if any).
+        let incident: Vec<usize> = self.adj[leaf].clone();
+        debug_assert!(incident.len() <= 1, "hosts are leaves");
+        let mut cleanup: Vec<VertexIdx> = Vec::new();
+        for ei in incident {
+            let e = self.edges[ei].clone().expect("live edge");
+            let other = e.other(leaf);
+            self.adj[e.a].retain(|&i| i != ei);
+            self.adj[e.b].retain(|&i| i != ei);
+            self.edges[ei] = None;
+            cleanup.push(other);
+        }
+        self.vertices[leaf] = None;
+        self.adj[leaf].clear();
+
+        while let Some(v) = cleanup.pop() {
+            if self.vertices[v].is_none() {
+                continue;
+            }
+            let is_inner = matches!(self.vertices[v], Some(Vertex::Inner { .. }));
+            if !is_inner {
+                continue;
+            }
+            match self.adj[v].len() {
+                0 => {
+                    self.vertices[v] = None;
+                }
+                1 => {
+                    // Dangling inner vertex: drop it and its edge, then
+                    // revisit the far endpoint.
+                    let ei = self.adj[v][0];
+                    let e = self.edges[ei].clone().expect("live edge");
+                    let other = e.other(v);
+                    self.adj[e.a].retain(|&i| i != ei);
+                    self.adj[e.b].retain(|&i| i != ei);
+                    self.edges[ei] = None;
+                    self.vertices[v] = None;
+                    cleanup.push(other);
+                }
+                2 => {
+                    // Splice: merge the two incident edges into one.
+                    let (e1i, e2i) = (self.adj[v][0], self.adj[v][1]);
+                    let e1 = self.edges[e1i].clone().expect("live edge");
+                    let e2 = self.edges[e2i].clone().expect("live edge");
+                    let a = e1.other(v);
+                    let b = e2.other(v);
+                    self.adj[e1.a].retain(|&i| i != e1i);
+                    self.adj[e1.b].retain(|&i| i != e1i);
+                    self.adj[e2.a].retain(|&i| i != e2i);
+                    self.adj[e2.b].retain(|&i| i != e2i);
+                    self.edges[e1i] = None;
+                    self.edges[e2i] = None;
+                    self.vertices[v] = None;
+                    self.push_edge(a, b, e1.weight + e2.weight, e1.owner);
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Total number of live vertices (leaves + inners).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Total number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Sum of all live edge weights (total tree length).
+    pub fn total_length(&self) -> f64 {
+        self.edges.iter().flatten().map(|e| e.weight).sum()
+    }
+
+    /// Checks structural invariants: connected, acyclic, hosts are leaves.
+    ///
+    /// Intended for tests and debug assertions; `O(V + E)`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let live_v = self.vertex_count();
+        let live_e = self.edge_count();
+        if live_v == 0 {
+            return if live_e == 0 {
+                Ok(())
+            } else {
+                Err("edges without vertices".into())
+            };
+        }
+        if live_e != live_v - 1 {
+            return Err(format!("tree must have V-1 edges: V={live_v}, E={live_e}"));
+        }
+        // Connectivity from any live vertex.
+        let start = self
+            .vertices
+            .iter()
+            .position(Option::is_some)
+            .expect("at least one live vertex");
+        let mut seen = vec![false; self.vertices.len()];
+        seen[start] = true;
+        let mut queue = VecDeque::from([start]);
+        let mut visited = 1;
+        while let Some(v) = queue.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = self.edges[ei]
+                    .as_ref()
+                    .ok_or("adjacency references dead edge")?;
+                let u = e.other(v);
+                if !seen[u] {
+                    seen[u] = true;
+                    visited += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if visited != live_v {
+            return Err(format!(
+                "tree is disconnected: reached {visited} of {live_v}"
+            ));
+        }
+        for (hid, leaf) in self.leaf_of.iter().enumerate() {
+            if let Some(l) = leaf {
+                match &self.vertices[*l] {
+                    Some(Vertex::Leaf { host }) if host.index() == hid => {}
+                    _ => return Err(format!("leaf_of[n{hid}] does not point at its leaf")),
+                }
+                if self.host_count() > 1 && self.degree(*l) != 1 {
+                    return Err(format!("host n{hid} has degree {}", self.degree(*l)));
+                }
+            }
+        }
+        for e in self.edges.iter().flatten() {
+            if e.weight.is_nan() || e.weight < 0.0 {
+                return Err(format!("negative or NaN edge weight {}", e.weight));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Fig. 1 style fixture manually:
+    /// a—b edge weight 25 split by later structure is exercised in grow.rs;
+    /// here we hand-build a small tree.
+    fn two_host_tree() -> PredictionTree {
+        let mut t = PredictionTree::new();
+        let a = t.push_vertex(Vertex::Leaf {
+            host: NodeId::new(0),
+        });
+        let b = t.push_vertex(Vertex::Leaf {
+            host: NodeId::new(1),
+        });
+        t.register_leaf(NodeId::new(0), a);
+        t.register_leaf(NodeId::new(1), b);
+        t.push_edge(a, b, 25.0, NodeId::new(1));
+        t
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = PredictionTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.host_count(), 0);
+        assert!(t.check_invariants().is_ok());
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn two_hosts_distance() {
+        let t = two_host_tree();
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(1)), Some(25.0));
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(0)), Some(0.0));
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn split_keeps_tree_valid() {
+        let mut t = two_host_tree();
+        let a = t.leaf(NodeId::new(0)).unwrap();
+        let mid = t.split_edge(0, a, 10.0, NodeId::new(2));
+        assert!(t.check_invariants().is_ok());
+        assert_eq!(t.vertex_distance(a, mid), Some(10.0));
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(1)), Some(25.0));
+        // Both halves keep owner n1.
+        for e in t.edges.iter().flatten() {
+            assert_eq!(e.owner, NodeId::new(1));
+        }
+    }
+
+    #[test]
+    fn split_at_zero_gives_zero_weight_edge() {
+        let mut t = two_host_tree();
+        let a = t.leaf(NodeId::new(0)).unwrap();
+        let mid = t.split_edge(0, a, 0.0, NodeId::new(2));
+        assert!(t.check_invariants().is_ok());
+        assert_eq!(t.vertex_distance(a, mid), Some(0.0));
+    }
+
+    #[test]
+    fn path_edges_in_order() {
+        let mut t = two_host_tree();
+        let a = t.leaf(NodeId::new(0)).unwrap();
+        let b = t.leaf(NodeId::new(1)).unwrap();
+        let mid = t.split_edge(0, a, 10.0, NodeId::new(2));
+        let path = t.path_edges(a, b).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].1, a);
+        assert_eq!(path[1].1, mid);
+        assert_eq!(t.path_edges(a, a).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn distances_from_marks_missing_hosts_nan() {
+        let mut t = two_host_tree();
+        t.leaf_of.push(None); // host 2 reserved but absent
+        let row = t.distances_from(NodeId::new(0)).unwrap();
+        assert_eq!(row[1], 25.0);
+        assert!(row[2].is_nan());
+    }
+
+    #[test]
+    fn to_distance_matrix_dense() {
+        let t = two_host_tree();
+        let m = t.to_distance_matrix();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0, 1), 25.0);
+    }
+
+    #[test]
+    fn counts_and_length() {
+        let mut t = two_host_tree();
+        assert_eq!(t.vertex_count(), 2);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.total_length(), 25.0);
+        let a = t.leaf(NodeId::new(0)).unwrap();
+        t.split_edge(0, a, 5.0, NodeId::new(2));
+        assert_eq!(t.vertex_count(), 3);
+        assert_eq!(t.edge_count(), 2);
+        assert!((t.total_length() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_and_hosts() {
+        let t = two_host_tree();
+        assert!(t.contains(NodeId::new(0)));
+        assert!(!t.contains(NodeId::new(7)));
+        assert_eq!(t.hosts(), vec![NodeId::new(0), NodeId::new(1)]);
+    }
+
+    /// Three hosts sharing an inner vertex: a — m — b with c hanging off m.
+    fn three_host_tree() -> PredictionTree {
+        let mut t = two_host_tree();
+        let a = t.leaf(NodeId::new(0)).unwrap();
+        let m = t.split_edge(0, a, 10.0, NodeId::new(2));
+        let c = t.push_vertex(Vertex::Leaf { host: NodeId::new(2) });
+        t.register_leaf(NodeId::new(2), c);
+        t.push_edge(m, c, 4.0, NodeId::new(2));
+        t
+    }
+
+    #[test]
+    fn remove_leaf_splices_degree_two_inner() {
+        let mut t = three_host_tree();
+        assert!(t.remove_leaf_host(NodeId::new(2)));
+        t.check_invariants().unwrap();
+        // The inner vertex had degree 3; after removal it is spliced and the
+        // survivors' distance is unchanged.
+        assert_eq!(t.host_count(), 2);
+        assert_eq!(t.vertex_count(), 2);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(1)), Some(25.0));
+    }
+
+    #[test]
+    fn remove_leaf_at_chain_end() {
+        let mut t = three_host_tree();
+        // Removing an endpoint host leaves the inner vertex with degree 2,
+        // which must also splice.
+        assert!(t.remove_leaf_host(NodeId::new(1)));
+        t.check_invariants().unwrap();
+        assert_eq!(t.host_count(), 2);
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(2)), Some(14.0));
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn remove_down_to_singleton_and_empty() {
+        let mut t = three_host_tree();
+        assert!(t.remove_leaf_host(NodeId::new(2)));
+        assert!(t.remove_leaf_host(NodeId::new(0)));
+        t.check_invariants().unwrap();
+        assert_eq!(t.host_count(), 1);
+        assert_eq!(t.distance(NodeId::new(1), NodeId::new(1)), Some(0.0));
+        assert!(t.remove_leaf_host(NodeId::new(1)));
+        assert!(t.is_empty());
+        assert_eq!(t.edge_count(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_unknown_host_is_noop() {
+        let mut t = two_host_tree();
+        assert!(!t.remove_leaf_host(NodeId::new(9)));
+        assert_eq!(t.host_count(), 2);
+        // Double-removal is also a no-op.
+        assert!(t.remove_leaf_host(NodeId::new(0)));
+        assert!(!t.remove_leaf_host(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the prediction framework.
+//!
+//! The central claims (Sec. II-D + Buneman's theorem):
+//! 1. any tree metric is embedded *exactly*, for every growth strategy;
+//! 2. labels always agree with tree distances, even on noisy non-tree
+//!    metrics;
+//! 3. structural invariants survive arbitrary join orders and departures.
+
+use bcc_embed::{BaseStrategy, EndStrategy, FrameworkConfig, PredictionFramework};
+use bcc_metric::{DistanceMatrix, NodeId};
+use proptest::prelude::*;
+
+/// A random tree metric: build a random tree over `n` vertices with the
+/// given parent choices and edge weights, take shortest-path distances.
+fn tree_metric(parents: &[usize], weights: &[f64]) -> DistanceMatrix {
+    let n = parents.len() + 1;
+    // dist[i][j] via repeated relaxation up the tree: compute depth-distance
+    // from root for each node, plus LCA walk.
+    let mut dist_to_root = vec![0.0; n];
+    for i in 1..n {
+        dist_to_root[i] = dist_to_root[parents[i - 1]] + weights[i - 1];
+    }
+    let parent_of = |i: usize| if i == 0 { None } else { Some(parents[i - 1]) };
+    let depth = {
+        let mut d = vec![0usize; n];
+        for i in 1..n {
+            d[i] = d[parents[i - 1]] + 1;
+        }
+        d
+    };
+    DistanceMatrix::from_fn(n, |a, b| {
+        // Walk both up to their LCA.
+        let (mut x, mut y) = (a, b);
+        while depth[x] > depth[y] {
+            x = parent_of(x).unwrap();
+        }
+        while depth[y] > depth[x] {
+            y = parent_of(y).unwrap();
+        }
+        while x != y {
+            x = parent_of(x).unwrap();
+            y = parent_of(y).unwrap();
+        }
+        dist_to_root[a] + dist_to_root[b] - 2.0 * dist_to_root[x]
+    })
+}
+
+/// Strategy: a random tree metric over 4..=20 vertices.
+fn arb_tree_metric() -> impl Strategy<Value = DistanceMatrix> {
+    (4usize..=20)
+        .prop_flat_map(|n| {
+            let parents = (1..n).map(|i| 0..i).collect::<Vec<_>>();
+            let weights = proptest::collection::vec(0.1f64..10.0, n - 1);
+            (parents, weights)
+        })
+        .prop_map(|(parents, weights)| tree_metric(&parents, &weights))
+}
+
+/// Strategy: a noisy (non-tree) metric — tree metric with multiplicative
+/// noise. May violate 4PC and even the triangle inequality slightly, like
+/// real bandwidth data.
+fn arb_noisy_metric() -> impl Strategy<Value = DistanceMatrix> {
+    (arb_tree_metric(), any::<u64>()).prop_map(|(d, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        DistanceMatrix::from_fn(d.len(), |i, j| d.get(i, j) * rng.gen_range(0.7..1.3))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_metrics_embed_exactly(d in arb_tree_metric()) {
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let m = fw.predicted_matrix();
+        for (i, j, v) in d.iter_pairs() {
+            prop_assert!((m.get(i, j) - v).abs() < 1e-6 * (1.0 + v),
+                "({i},{j}): {} vs {v}", m.get(i, j));
+        }
+    }
+
+    #[test]
+    fn tree_metrics_embed_exactly_with_descent(d in arb_tree_metric()) {
+        let cfg = FrameworkConfig { end: EndStrategy::AnchorDescent, ..Default::default() };
+        let fw = PredictionFramework::build_from_matrix(&d, cfg);
+        let m = fw.predicted_matrix();
+        for (i, j, v) in d.iter_pairs() {
+            prop_assert!((m.get(i, j) - v).abs() < 1e-6 * (1.0 + v));
+        }
+    }
+
+    #[test]
+    fn labels_agree_with_tree_on_noisy_metrics(d in arb_noisy_metric(), seed in any::<u64>()) {
+        let cfg = FrameworkConfig { base: BaseStrategy::Random, seed, ..Default::default() };
+        let fw = PredictionFramework::build_from_matrix(&d, cfg);
+        fw.tree().check_invariants().unwrap();
+        let n = d.len();
+        for i in 0..n {
+            for j in 0..n {
+                let t = fw.distance(NodeId::new(i), NodeId::new(j)).unwrap();
+                let l = fw.label_distance(NodeId::new(i), NodeId::new(j)).unwrap();
+                prop_assert!((t - l).abs() < 1e-6 * (1.0 + t.abs()),
+                    "({i},{j}): tree {t} vs label {l}");
+                prop_assert!(t.is_finite() && t >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn departures_keep_invariants(d in arb_noisy_metric(), which in 0usize..20) {
+        let oracle = |a: NodeId, b: NodeId| d.get(a.index(), b.index());
+        let mut fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let victim = NodeId::new(which % d.len());
+        fw.leave(victim, oracle).unwrap();
+        fw.tree().check_invariants().unwrap();
+        prop_assert_eq!(fw.host_count(), d.len() - 1);
+        // Labels still consistent for the survivors.
+        for i in 0..d.len() {
+            for j in 0..d.len() {
+                if i == victim.index() || j == victim.index() {
+                    continue;
+                }
+                let t = fw.distance(NodeId::new(i), NodeId::new(j)).unwrap();
+                let l = fw.label_distance(NodeId::new(i), NodeId::new(j)).unwrap();
+                prop_assert!((t - l).abs() < 1e-6 * (1.0 + t.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_overlay_is_spanning(d in arb_noisy_metric()) {
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let order = fw.anchor().bfs_order();
+        prop_assert_eq!(order.len(), d.len());
+        // Every host except the root has its parent among earlier hosts.
+        for &h in &order {
+            if Some(h) != fw.anchor().root() {
+                prop_assert!(fw.anchor().parent(h).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Extension experiment: construction strategies for the prediction
+//! framework — probe cost vs embedding accuracy.
+//!
+//! The paper inherits its framework from prior work and does not evaluate
+//! construction alternatives; this experiment fills that in. Strategies:
+//!
+//! - `EXACT` — centralized Sequoia (measure everyone, `O(n)` probes/join);
+//! - `DESCENT` — decentralized anchor descent (prune by Gromov product);
+//! - `NAIVE` — exact probing but without the robustness heuristics;
+//! - `ENSEMBLE-3` — three exact trees, median-aggregated.
+
+use bcc_embed::{EndStrategy, EnsembleConfig, FrameworkConfig, PredictionFramework, TreeEnsemble};
+use bcc_metric::stats::{relative_error, EmpiricalCdf};
+use bcc_metric::DistanceMatrix;
+use parking_lot::Mutex;
+
+use crate::metrics::MeanAccumulator;
+use crate::report::{Series, Table};
+use crate::setup::{transform, DatasetKind};
+
+/// Configuration of the embedding-strategy experiment.
+#[derive(Debug, Clone)]
+pub struct EmbeddingConfig {
+    /// Dataset to run on.
+    pub dataset: DatasetKind,
+    /// Rounds (fresh dataset per round).
+    pub rounds: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl EmbeddingConfig {
+    /// Default extension parameters (HP-like datasets).
+    pub fn standard() -> Self {
+        EmbeddingConfig { dataset: DatasetKind::Hp, rounds: 3, seed: 23 }
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn fast() -> Self {
+        let mut synth = bcc_datasets::SynthConfig::small(3);
+        synth.nodes = 30;
+        EmbeddingConfig { dataset: DatasetKind::Custom(synth), rounds: 1, seed: 24 }
+    }
+}
+
+/// Per-strategy aggregates.
+#[derive(Debug, Clone)]
+pub struct EmbeddingResult {
+    /// Strategy labels, fixed order.
+    pub labels: Vec<&'static str>,
+    /// Mean probes per strategy.
+    pub probes: Vec<Option<f64>>,
+    /// Mean median-relative-error per strategy.
+    pub median_error: Vec<Option<f64>>,
+}
+
+/// Runs the experiment, parallelized over rounds.
+pub fn run_embedding(cfg: &EmbeddingConfig) -> EmbeddingResult {
+    const STRATEGIES: usize = 4;
+    let t = transform();
+    type Slot = (MeanAccumulator, MeanAccumulator); // (probes, median err)
+    let merged: Mutex<Vec<Slot>> = Mutex::new(vec![Default::default(); STRATEGIES]);
+
+    crossbeam::scope(|scope| {
+        for round in 0..cfg.rounds {
+            let merged = &merged;
+            scope.spawn(move |_| {
+                let seed = cfg.seed.wrapping_add(round as u64 * 0x9E37_79B9);
+                let bw = cfg.dataset.generate(seed);
+                let d = t.distance_matrix(&bw);
+
+                let median_err = |predicted: &DistanceMatrix| -> f64 {
+                    let errs: Vec<f64> = bw
+                        .iter_pairs()
+                        .map(|(i, j, real)| {
+                            relative_error(real, t.to_bandwidth(predicted.get(i, j)))
+                        })
+                        .collect();
+                    EmpiricalCdf::new(errs).percentile(50.0)
+                };
+
+                let mut results: Vec<(f64, f64)> = Vec::with_capacity(STRATEGIES);
+                let exact = FrameworkConfig { seed, ..Default::default() };
+                let fw = PredictionFramework::build_from_matrix(&d, exact);
+                results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
+
+                let descent =
+                    FrameworkConfig { end: EndStrategy::AnchorDescent, seed, ..Default::default() };
+                let fw = PredictionFramework::build_from_matrix(&d, descent);
+                results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
+
+                let naive = FrameworkConfig {
+                    base_candidates: 1,
+                    fit_leaf_weight: false,
+                    seed,
+                    ..Default::default()
+                };
+                let fw = PredictionFramework::build_from_matrix(&d, naive);
+                results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
+
+                let ens = TreeEnsemble::build_from_matrix(
+                    &d,
+                    EnsembleConfig { members: 3, seed, ..Default::default() },
+                );
+                results.push((ens.probe_count() as f64, median_err(&ens.predicted_matrix())));
+
+                let mut m = merged.lock();
+                for (slot, (probes, err)) in m.iter_mut().zip(results) {
+                    slot.0.record(probes);
+                    slot.1.record(err);
+                }
+            });
+        }
+    })
+    .expect("experiment threads do not panic");
+
+    let m = merged.into_inner();
+    EmbeddingResult {
+        labels: vec!["EXACT", "DESCENT", "NAIVE", "ENSEMBLE-3"],
+        probes: m.iter().map(|s| s.0.mean()).collect(),
+        median_error: m.iter().map(|s| s.1.mean()).collect(),
+    }
+}
+
+impl EmbeddingResult {
+    /// Renders the extension table (one row per strategy).
+    pub fn table(&self) -> Table {
+        Table::new(
+            "Extension — embedding strategy: probes vs median prediction error",
+            "strategy#",
+            (0..self.labels.len()).map(|i| i as f64).collect(),
+            vec![
+                Series::new("PROBES", self.probes.clone()),
+                Series::new("MEDIAN-REL-ERR", self.median_error.clone()),
+            ],
+        )
+    }
+
+    /// Legend mapping strategy indices to names.
+    pub fn legend(&self) -> String {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("{i} = {l}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_rank_as_expected() {
+        let r = run_embedding(&EmbeddingConfig::fast());
+        assert_eq!(r.labels.len(), 4);
+        let probes: Vec<f64> = r.probes.iter().map(|v| v.unwrap()).collect();
+        let errs: Vec<f64> = r.median_error.iter().map(|v| v.unwrap()).collect();
+        // Descent probes fewer than exact; ensemble probes 3x exact.
+        assert!(probes[1] <= probes[0]);
+        assert!((probes[3] - 3.0 * probes[0]).abs() < 1e-6);
+        // Naive placement is the least accurate.
+        assert!(errs[2] >= errs[0]);
+        // Ensemble is at least as accurate as a single exact tree (small
+        // datasets can tie).
+        assert!(errs[3] <= errs[0] * 1.10);
+        // Table + legend render.
+        assert!(r.table().render().contains("PROBES"));
+        assert!(r.legend().contains("ENSEMBLE-3"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_embedding(&EmbeddingConfig::fast());
+        let b = run_embedding(&EmbeddingConfig::fast());
+        assert_eq!(a.median_error, b.median_error);
+    }
+}

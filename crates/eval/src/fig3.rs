@@ -1,0 +1,346 @@
+//! Fig. 3 — clustering accuracy (WPR vs `b`) and bandwidth-prediction
+//! relative-error CDFs, for the tree-metric approaches vs the Euclidean
+//! baseline.
+//!
+//! Per round: generate the dataset, build the prediction framework +
+//! overlay (`TREE-*`) and the Vivaldi embedding (`EUCL`), then fire
+//! non-difficult queries `(k fixed, b uniform in the dataset's 20th–80th
+//! percentile band)` at all three approaches and score every returned
+//! cluster against ground truth.
+
+use bcc_core::{find_cluster, find_cluster_euclidean, BandwidthClasses};
+use bcc_metric::stats::relative_error;
+use bcc_metric::{FiniteMetric, NodeId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{Buckets, RrAccumulator, WprAccumulator};
+use crate::report::{Series, Table};
+use crate::setup::{build_tree_system, build_vivaldi_points, transform, DatasetKind};
+
+/// Configuration of the accuracy experiment.
+#[derive(Debug, Clone)]
+pub struct Fig3Config {
+    /// Dataset to run on.
+    pub dataset: DatasetKind,
+    /// Number of rounds (fresh dataset + frameworks per round).
+    pub rounds: usize,
+    /// Queries per round.
+    pub queries_per_round: usize,
+    /// Fixed cluster-size constraint (the paper: 5% of nodes).
+    pub k: usize,
+    /// Query bandwidth range (uniform).
+    pub b_range: (f64, f64),
+    /// Close-node aggregation cap.
+    pub n_cut: usize,
+    /// Number of bandwidth classes covering `b_range`.
+    pub class_count: usize,
+    /// Number of WPR buckets along the `b` axis.
+    pub buckets: usize,
+    /// Vivaldi convergence rounds.
+    pub vivaldi_rounds: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Fig3Config {
+    /// The paper's HP-PlanetLab parameters (1000 queries × 10 rounds,
+    /// k = 10, b ∈ [15, 75]).
+    pub fn paper_hp() -> Self {
+        Fig3Config {
+            dataset: DatasetKind::Hp,
+            rounds: 10,
+            queries_per_round: 1000,
+            k: 10,
+            b_range: (15.0, 75.0),
+            n_cut: 10,
+            class_count: 16,
+            buckets: 7,
+            vivaldi_rounds: 200,
+            seed: 1,
+        }
+    }
+
+    /// The paper's UMD-PlanetLab parameters (k = 16, b ∈ [30, 110]).
+    pub fn paper_umd() -> Self {
+        Fig3Config {
+            dataset: DatasetKind::Umd,
+            rounds: 10,
+            queries_per_round: 1000,
+            k: 16,
+            b_range: (30.0, 110.0),
+            n_cut: 10,
+            class_count: 16,
+            buckets: 7,
+            vivaldi_rounds: 200,
+            seed: 1,
+        }
+    }
+
+    /// A scaled-down configuration for tests and smoke runs.
+    pub fn fast(dataset: DatasetKind) -> Self {
+        let b_range = dataset.default_b_range();
+        let k = dataset.default_k().min(5);
+        Fig3Config {
+            dataset,
+            rounds: 2,
+            queries_per_round: 40,
+            k,
+            b_range,
+            n_cut: 8,
+            class_count: 8,
+            buckets: 4,
+            vivaldi_rounds: 60,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of the accuracy experiment: one WPR curve per approach plus the
+/// prediction-error CDFs.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Dataset label (`HP`/`UMD`/`CUSTOM`).
+    pub label: &'static str,
+    /// Bucket centers along the `b` axis.
+    pub b_centers: Vec<f64>,
+    /// WPR of the decentralized tree approach per bucket.
+    pub wpr_tree_decentral: Vec<Option<f64>>,
+    /// WPR of the centralized tree approach per bucket.
+    pub wpr_tree_central: Vec<Option<f64>>,
+    /// WPR of the centralized Euclidean baseline per bucket.
+    pub wpr_eucl_central: Vec<Option<f64>>,
+    /// Return rates over all queries (not the paper's headline metric, but
+    /// confirms the queries were easy as intended).
+    pub rr: [Option<f64>; 3],
+    /// Relative-error CDF sample points (x axis).
+    pub relerr_xs: Vec<f64>,
+    /// CDF of tree-prediction relative error at each x.
+    pub relerr_cdf_tree: Vec<Option<f64>>,
+    /// CDF of Vivaldi-prediction relative error at each x.
+    pub relerr_cdf_eucl: Vec<Option<f64>>,
+}
+
+/// Runs the experiment, parallelized over rounds.
+pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
+    assert!(
+        cfg.rounds > 0 && cfg.queries_per_round > 0,
+        "empty experiment"
+    );
+    let t = transform();
+
+    struct Partial {
+        wpr: [Buckets<WprAccumulator>; 3],
+        rr: [RrAccumulator; 3],
+        errs_tree: Vec<f64>,
+        errs_eucl: Vec<f64>,
+    }
+    let make_buckets = || -> [Buckets<WprAccumulator>; 3] {
+        std::array::from_fn(|_| Buckets::new(cfg.b_range.0, cfg.b_range.1, cfg.buckets))
+    };
+
+    let merged = Mutex::new(Partial {
+        wpr: make_buckets(),
+        rr: [RrAccumulator::new(); 3],
+        errs_tree: Vec::new(),
+        errs_eucl: Vec::new(),
+    });
+
+    crossbeam::scope(|scope| {
+        for round in 0..cfg.rounds {
+            let merged = &merged;
+            let make_buckets = &make_buckets;
+            scope.spawn(move |_| {
+                let round_seed = cfg.seed.wrapping_add(round as u64 * 0x9E37_79B9);
+                let mut rng = StdRng::seed_from_u64(round_seed);
+                let bw = cfg.dataset.generate(round_seed);
+                let n = bw.len();
+                let real_d = t.distance_matrix(&bw);
+                let classes =
+                    BandwidthClasses::linspace(cfg.b_range.0, cfg.b_range.1, cfg.class_count, t);
+                let system = build_tree_system(bw.clone(), cfg.n_cut, classes, round_seed ^ 0xF00D);
+                let predicted = system.framework().predicted_matrix();
+                let points = build_vivaldi_points(&real_d, cfg.vivaldi_rounds, round_seed ^ 0xBEEF);
+
+                let mut partial = Partial {
+                    wpr: make_buckets(),
+                    rr: [RrAccumulator::new(); 3],
+                    errs_tree: Vec::with_capacity(n * (n - 1) / 2),
+                    errs_eucl: Vec::with_capacity(n * (n - 1) / 2),
+                };
+
+                // Prediction relative errors over all pairs.
+                for (i, j, real_bw) in bw.iter_pairs() {
+                    let pred_tree = t.to_bandwidth(predicted.get(i, j));
+                    let pred_eucl = t.to_bandwidth(points.distance(i, j));
+                    partial.errs_tree.push(relative_error(real_bw, pred_tree));
+                    partial.errs_eucl.push(relative_error(real_bw, pred_eucl));
+                }
+
+                // Queries.
+                for _ in 0..cfg.queries_per_round {
+                    let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
+                    let l = t.distance_constraint(b);
+                    let start = NodeId::new(rng.gen_range(0..n));
+
+                    // TREE-DECENTRAL.
+                    let outcome = system.query(start, cfg.k, b).expect("valid query");
+                    partial.rr[0].record(outcome.found());
+                    if let Some(cluster) = outcome.cluster {
+                        let (wrong, total) = system.score_cluster(&cluster, b);
+                        partial.wpr[0].slot_mut(b).record(wrong, total);
+                    }
+
+                    // TREE-CENTRAL (exact l, no class snapping).
+                    let central = find_cluster(&predicted, cfg.k, l);
+                    partial.rr[1].record(central.is_some());
+                    if let Some(cluster) = central {
+                        let ids: Vec<NodeId> = cluster.into_iter().map(NodeId::new).collect();
+                        let (wrong, total) = system.score_cluster(&ids, b);
+                        partial.wpr[1].slot_mut(b).record(wrong, total);
+                    }
+
+                    // EUCL-CENTRAL.
+                    let eucl = find_cluster_euclidean(&points, cfg.k, l);
+                    partial.rr[2].record(eucl.is_some());
+                    if let Some(cluster) = eucl {
+                        let ids: Vec<NodeId> = cluster.into_iter().map(NodeId::new).collect();
+                        let (wrong, total) = system.score_cluster(&ids, b);
+                        partial.wpr[2].slot_mut(b).record(wrong, total);
+                    }
+                }
+
+                let mut m = merged.lock();
+                for (mine, theirs) in m.wpr.iter_mut().zip(partial.wpr) {
+                    mine.merge_with(theirs, |a, b| a.merge(b));
+                }
+                for (mine, theirs) in m.rr.iter_mut().zip(partial.rr) {
+                    mine.merge(theirs);
+                }
+                m.errs_tree.extend(partial.errs_tree);
+                m.errs_eucl.extend(partial.errs_eucl);
+            });
+        }
+    })
+    .expect("experiment threads do not panic");
+
+    let m = merged.into_inner();
+    let b_centers: Vec<f64> = m.wpr[0].iter().map(|(c, _)| c).collect();
+    let curve =
+        |i: usize| -> Vec<Option<f64>> { m.wpr[i].iter().map(|(_, acc)| acc.rate()).collect() };
+
+    // Relative-error CDFs evaluated on a fixed grid over [0, 2].
+    let relerr_xs: Vec<f64> = (0..=20).map(|i| i as f64 * 0.1).collect();
+    let cdf_of = |errs: &[f64]| -> Vec<Option<f64>> {
+        if errs.is_empty() {
+            return vec![None; relerr_xs.len()];
+        }
+        let cdf = bcc_metric::stats::EmpiricalCdf::new(errs.to_vec());
+        relerr_xs
+            .iter()
+            .map(|&x| Some(cdf.fraction_at_or_below(x)))
+            .collect()
+    };
+
+    let relerr_cdf_tree = cdf_of(&m.errs_tree);
+    let relerr_cdf_eucl = cdf_of(&m.errs_eucl);
+    Fig3Result {
+        label: cfg.dataset.label(),
+        b_centers,
+        wpr_tree_decentral: curve(0),
+        wpr_tree_central: curve(1),
+        wpr_eucl_central: curve(2),
+        rr: [m.rr[0].rate(), m.rr[1].rate(), m.rr[2].rate()],
+        relerr_xs,
+        relerr_cdf_tree,
+        relerr_cdf_eucl,
+    }
+}
+
+impl Fig3Result {
+    /// Renders the two paper panels (WPR vs `b`; relative-error CDF).
+    pub fn tables(&self) -> Vec<Table> {
+        let l = self.label;
+        vec![
+            Table::new(
+                format!("Fig. 3 ({l}) — WPR vs b"),
+                "b (Mbps)",
+                self.b_centers.clone(),
+                vec![
+                    Series::new(
+                        format!("{l}-TREE-DECENTRAL"),
+                        self.wpr_tree_decentral.clone(),
+                    ),
+                    Series::new(format!("{l}-TREE-CENTRAL"), self.wpr_tree_central.clone()),
+                    Series::new(format!("{l}-EUCL-CENTRAL"), self.wpr_eucl_central.clone()),
+                ],
+            ),
+            Table::new(
+                format!("Fig. 3 ({l}) — CDF of bandwidth prediction relative error"),
+                "rel. error",
+                self.relerr_xs.clone(),
+                vec![
+                    Series::new(format!("{l}-TREE"), self.relerr_cdf_tree.clone()),
+                    Series::new(format!("{l}-EUCL"), self.relerr_cdf_eucl.clone()),
+                ],
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_datasets::SynthConfig;
+
+    fn small_cfg() -> Fig3Config {
+        let mut synth = SynthConfig::small(0);
+        synth.nodes = 30;
+        let mut cfg = Fig3Config::fast(DatasetKind::Custom(synth));
+        cfg.rounds = 2;
+        cfg.queries_per_round = 25;
+        cfg.k = 3;
+        cfg.b_range = (10.0, 60.0);
+        cfg
+    }
+
+    #[test]
+    fn runs_and_produces_curves() {
+        let r = run_fig3(&small_cfg());
+        assert_eq!(r.b_centers.len(), 4);
+        assert_eq!(r.wpr_tree_decentral.len(), 4);
+        // Queries were easy: the majority should be answered.
+        assert!(r.rr[1].unwrap() > 0.3, "central RR = {:?}", r.rr);
+        // Tables render.
+        let tables = r.tables();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].render().contains("TREE-DECENTRAL"));
+    }
+
+    #[test]
+    fn tree_prediction_beats_euclidean() {
+        // The headline claim of Fig. 3b: the tree CDF dominates.
+        let r = run_fig3(&small_cfg());
+        // Compare the CDFs at a mid-range error (0.3): higher is better.
+        let idx = r
+            .relerr_xs
+            .iter()
+            .position(|&x| (x - 0.3).abs() < 1e-9)
+            .unwrap();
+        let tree = r.relerr_cdf_tree[idx].unwrap();
+        let eucl = r.relerr_cdf_eucl[idx].unwrap();
+        assert!(
+            tree > eucl,
+            "tree CDF at 0.3 = {tree}, eucl = {eucl} (tree must predict better)"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_fig3(&small_cfg());
+        let b = run_fig3(&small_cfg());
+        assert_eq!(a.wpr_tree_decentral, b.wpr_tree_decentral);
+        assert_eq!(a.relerr_cdf_eucl, b.relerr_cdf_eucl);
+    }
+}

@@ -1,0 +1,229 @@
+//! Fig. 4 — the decentralization tradeoff: return rate (RR) vs cluster
+//! size constraint `k`.
+//!
+//! Each node only aggregates `n_cut` records per neighbor direction, so the
+//! decentralized algorithm's clustering spaces are small and very large `k`
+//! cannot be answered; the centralized algorithm sees the whole predicted
+//! metric. RR(decentral) ≤ RR(central) with a negligible gap for
+//! `k ≲ 20 %` of the system.
+
+use bcc_core::{find_cluster, BandwidthClasses};
+use bcc_metric::NodeId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{Buckets, RrAccumulator};
+use crate::report::{Series, Table};
+use crate::setup::{build_tree_system, transform, DatasetKind};
+
+/// Configuration of the tradeoff experiment.
+#[derive(Debug, Clone)]
+pub struct Fig4Config {
+    /// Dataset to run on.
+    pub dataset: DatasetKind,
+    /// Number of rounds (fresh dataset + framework per round).
+    pub rounds: usize,
+    /// Queries per round, each with uniform `k` and `b`.
+    pub queries_per_round: usize,
+    /// Size-constraint range (uniform integer).
+    pub k_range: (usize, usize),
+    /// Bandwidth-constraint range (uniform).
+    pub b_range: (f64, f64),
+    /// Close-node aggregation cap (the paper uses 10).
+    pub n_cut: usize,
+    /// Number of bandwidth classes covering `b_range`.
+    pub class_count: usize,
+    /// Buckets along the `k` axis.
+    pub buckets: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Fig4Config {
+    /// The paper's HP parameters: 100 queries × 100 rounds, k ∈ [2, 90],
+    /// b ∈ [15, 75], n_cut = 10.
+    pub fn paper_hp() -> Self {
+        Fig4Config {
+            dataset: DatasetKind::Hp,
+            rounds: 100,
+            queries_per_round: 100,
+            k_range: (2, 90),
+            b_range: (15.0, 75.0),
+            n_cut: 10,
+            class_count: 16,
+            buckets: 11,
+            seed: 2,
+        }
+    }
+
+    /// The paper's UMD parameters: k ∈ [2, 150], b ∈ [30, 110].
+    pub fn paper_umd() -> Self {
+        Fig4Config {
+            dataset: DatasetKind::Umd,
+            rounds: 100,
+            queries_per_round: 100,
+            k_range: (2, 150),
+            b_range: (30.0, 110.0),
+            n_cut: 10,
+            class_count: 16,
+            buckets: 11,
+            seed: 2,
+        }
+    }
+
+    /// A scaled-down configuration for tests and smoke runs.
+    pub fn fast(dataset: DatasetKind) -> Self {
+        let b_range = dataset.default_b_range();
+        Fig4Config {
+            dataset,
+            rounds: 2,
+            queries_per_round: 30,
+            k_range: (2, 20),
+            b_range,
+            n_cut: 6,
+            class_count: 6,
+            buckets: 5,
+            seed: 5,
+        }
+    }
+}
+
+/// Result: RR vs `k` for the centralized and decentralized algorithms.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Dataset label.
+    pub label: &'static str,
+    /// Bucket centers along the `k` axis.
+    pub k_centers: Vec<f64>,
+    /// RR of the decentralized algorithm per bucket.
+    pub rr_decentral: Vec<Option<f64>>,
+    /// RR of the centralized algorithm per bucket.
+    pub rr_central: Vec<Option<f64>>,
+}
+
+/// Runs the experiment, parallelized over rounds.
+pub fn run_fig4(cfg: &Fig4Config) -> Fig4Result {
+    assert!(
+        cfg.k_range.0 >= 2 && cfg.k_range.1 >= cfg.k_range.0,
+        "invalid k range"
+    );
+    let t = transform();
+    let make = || -> [Buckets<RrAccumulator>; 2] {
+        std::array::from_fn(|_| {
+            Buckets::new(
+                cfg.k_range.0 as f64,
+                cfg.k_range.1 as f64 + 1.0,
+                cfg.buckets,
+            )
+        })
+    };
+    let merged = Mutex::new(make());
+
+    crossbeam::scope(|scope| {
+        for round in 0..cfg.rounds {
+            let merged = &merged;
+            let make = &make;
+            scope.spawn(move |_| {
+                let round_seed = cfg.seed.wrapping_add(round as u64 * 0x5851_F42D);
+                let mut rng = StdRng::seed_from_u64(round_seed);
+                let bw = cfg.dataset.generate(round_seed);
+                let n = bw.len();
+                let classes =
+                    BandwidthClasses::linspace(cfg.b_range.0, cfg.b_range.1, cfg.class_count, t);
+                let system = build_tree_system(bw, cfg.n_cut, classes, round_seed ^ 0xACE);
+                let predicted = system.framework().predicted_matrix();
+
+                let mut partial = make();
+                for _ in 0..cfg.queries_per_round {
+                    let k = rng.gen_range(cfg.k_range.0..=cfg.k_range.1);
+                    let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
+                    let start = NodeId::new(rng.gen_range(0..n));
+
+                    let dec = system.query(start, k, b).expect("valid query");
+                    partial[0].slot_mut(k as f64).record(dec.found());
+
+                    let cen = find_cluster(&predicted, k, t.distance_constraint(b));
+                    partial[1].slot_mut(k as f64).record(cen.is_some());
+                }
+
+                let mut m = merged.lock();
+                let [p0, p1] = partial;
+                m[0].merge_with(p0, |a, b| a.merge(b));
+                m[1].merge_with(p1, |a, b| a.merge(b));
+            });
+        }
+    })
+    .expect("experiment threads do not panic");
+
+    let m = merged.into_inner();
+    Fig4Result {
+        label: cfg.dataset.label(),
+        k_centers: m[0].iter().map(|(c, _)| c).collect(),
+        rr_decentral: m[0].iter().map(|(_, a)| a.rate()).collect(),
+        rr_central: m[1].iter().map(|(_, a)| a.rate()).collect(),
+    }
+}
+
+impl Fig4Result {
+    /// Renders the paper panel (RR vs `k`).
+    pub fn table(&self) -> Table {
+        let l = self.label;
+        Table::new(
+            format!("Fig. 4 ({l}) — RR vs k (tradeoff of decentralization)"),
+            "k (nodes)",
+            self.k_centers.clone(),
+            vec![
+                Series::new(format!("{l}-TREE-DECENTRAL"), self.rr_decentral.clone()),
+                Series::new(format!("{l}-TREE-CENTRAL"), self.rr_central.clone()),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_datasets::SynthConfig;
+
+    fn small_cfg() -> Fig4Config {
+        let mut synth = SynthConfig::small(0);
+        synth.nodes = 30;
+        let mut cfg = Fig4Config::fast(DatasetKind::Custom(synth));
+        cfg.b_range = (10.0, 60.0);
+        cfg.k_range = (2, 24);
+        cfg.queries_per_round = 40;
+        cfg
+    }
+
+    #[test]
+    fn decentral_rr_never_exceeds_central() {
+        let r = run_fig4(&small_cfg());
+        for (d, c) in r.rr_decentral.iter().zip(&r.rr_central) {
+            if let (Some(d), Some(c)) = (d, c) {
+                assert!(d <= c, "decentral {d} > central {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn rr_declines_with_k() {
+        let r = run_fig4(&small_cfg());
+        // First bucket (small k) should succeed more than the last (huge k).
+        let first = r.rr_central.first().unwrap().unwrap();
+        let last = r.rr_central.last().unwrap().unwrap();
+        assert!(first >= last, "first {first} < last {last}");
+        assert!(
+            first > 0.5,
+            "small-k queries should mostly succeed: {first}"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run_fig4(&small_cfg());
+        let s = r.table().render();
+        assert!(s.contains("TREE-DECENTRAL"));
+        assert!(s.contains("TREE-CENTRAL"));
+    }
+}

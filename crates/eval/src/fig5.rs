@@ -1,0 +1,299 @@
+//! Fig. 5 — the effect of treeness: WPR vs `f_b`, raw and normalized.
+//!
+//! The paper's model (Eq. 1): `WPR = f_b^{(1/ε*)(1/f_a*)}` where `f_b` is
+//! the bandwidth CDF at the constraint `b`, `f_a` the density near `b`, and
+//! `ε*` the bounded treeness. Plotted raw, datasets of different `ε_avg`
+//! overlap; normalizing WPR to `(WPR)^{f_a*}` with `α = 3.2` separates them
+//! — worse treeness plots higher.
+
+use bcc_metric::fourpoint::epsilon_star;
+use bcc_metric::stats::EmpiricalCdf;
+use bcc_metric::NodeId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bcc_core::BandwidthClasses;
+use bcc_datasets::{treeness_family, SynthConfig, TreenessDataset};
+
+use crate::metrics::{Buckets, MeanAccumulator, WprAccumulator};
+use crate::report::{Series, Table};
+use crate::setup::{build_tree_system, transform};
+
+/// Configuration of the treeness experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Base generator for the dataset family (`noise_sigma` is swept).
+    pub base: SynthConfig,
+    /// Noise levels — one dataset per entry (the paper used six).
+    pub sigmas: Vec<f64>,
+    /// Rounds (fresh framework per round; same datasets).
+    pub rounds: usize,
+    /// Queries per round per dataset.
+    pub queries_per_round: usize,
+    /// Fixed cluster-size constraint (the paper: 5).
+    pub k: usize,
+    /// Query bandwidth range — intentionally wide so `f_b` spans `[0, 1]`.
+    pub b_range: (f64, f64),
+    /// Normalization constant `α` (the paper: 3.2).
+    pub alpha: f64,
+    /// Window half-width for `f_a` (the paper: ±10 Mbps).
+    pub fa_window: f64,
+    /// Buckets along the `f_b` axis.
+    pub buckets: usize,
+    /// Quartet samples for `ε_avg` estimation.
+    pub eps_samples: usize,
+    /// Close-node aggregation cap.
+    pub n_cut: usize,
+    /// Number of bandwidth classes covering `b_range`.
+    pub class_count: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Fig5Config {
+    /// The paper's parameters: six 100-node datasets, 2000 queries × 10
+    /// rounds, k = 5, b ∈ [5, 300], α = 3.2.
+    pub fn paper() -> Self {
+        let mut base = bcc_datasets::hp_config(42);
+        base.nodes = 100;
+        Fig5Config {
+            base,
+            sigmas: vec![0.02, 0.08, 0.16, 0.28, 0.45, 0.7],
+            rounds: 10,
+            queries_per_round: 2000,
+            k: 5,
+            b_range: (5.0, 300.0),
+            alpha: 3.2,
+            fa_window: 10.0,
+            buckets: 10,
+            eps_samples: 50_000,
+            n_cut: 10,
+            class_count: 24,
+            seed: 3,
+        }
+    }
+
+    /// A scaled-down configuration for tests and smoke runs.
+    pub fn fast() -> Self {
+        let mut base = SynthConfig::small(9);
+        base.nodes = 30;
+        Fig5Config {
+            base,
+            sigmas: vec![0.05, 0.5],
+            rounds: 2,
+            queries_per_round: 150,
+            k: 3,
+            b_range: (5.0, 200.0),
+            alpha: 3.2,
+            fa_window: 10.0,
+            buckets: 5,
+            eps_samples: 5_000,
+            n_cut: 6,
+            class_count: 12,
+            seed: 4,
+        }
+    }
+}
+
+/// Per-dataset curves of the treeness experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5DatasetResult {
+    /// Noise σ of the dataset.
+    pub noise_sigma: f64,
+    /// Sampled `ε_avg` (the legend number in the paper's plots).
+    pub epsilon_avg: f64,
+    /// Raw WPR per `f_b` bucket.
+    pub wpr: Vec<Option<f64>>,
+    /// Normalized `(WPR)^{f_a*}` per `f_b` bucket.
+    pub wpr_normalized: Vec<Option<f64>>,
+}
+
+/// Result: the shared `f_b` axis plus one curve pair per dataset.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Bucket centers along the `f_b` axis.
+    pub fb_centers: Vec<f64>,
+    /// One entry per dataset, in `sigmas` order.
+    pub datasets: Vec<Fig5DatasetResult>,
+}
+
+/// Runs the experiment: datasets generated once, rounds parallelized.
+pub fn run_fig5(cfg: &Fig5Config) -> Fig5Result {
+    let t = transform();
+    let family: Vec<TreenessDataset> = treeness_family(&cfg.base, &cfg.sigmas, cfg.eps_samples, t);
+
+    let mut out_datasets = Vec::with_capacity(family.len());
+    let mut fb_centers: Vec<f64> = Vec::new();
+
+    for (di, ds) in family.iter().enumerate() {
+        let cdf = EmpiricalCdf::new(ds.bandwidth.pair_values());
+        type Slot = (WprAccumulator, MeanAccumulator); // (wpr, mean f_a*)
+        let merged: Mutex<Buckets<Slot>> = Mutex::new(Buckets::new(0.0, 1.0, cfg.buckets));
+
+        crossbeam::scope(|scope| {
+            for round in 0..cfg.rounds {
+                let merged = &merged;
+                let cdf = &cdf;
+                let ds = &ds.bandwidth;
+                scope.spawn(move |_| {
+                    let round_seed = cfg
+                        .seed
+                        .wrapping_add(di as u64 * 0xABCD_1234)
+                        .wrapping_add(round as u64 * 0x9E37_79B9);
+                    let mut rng = StdRng::seed_from_u64(round_seed);
+                    let classes = BandwidthClasses::linspace(
+                        cfg.b_range.0,
+                        cfg.b_range.1,
+                        cfg.class_count,
+                        t,
+                    );
+                    let system =
+                        build_tree_system(ds.clone(), cfg.n_cut, classes, round_seed ^ 0xF162);
+                    let n = ds.len();
+
+                    let mut partial: Buckets<Slot> = Buckets::new(0.0, 1.0, cfg.buckets);
+                    for _ in 0..cfg.queries_per_round {
+                        let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
+                        let start = NodeId::new(rng.gen_range(0..n));
+                        let fb = cdf.fraction_below(b);
+                        let fa = cdf.fraction_in(b - cfg.fa_window, b + cfg.fa_window);
+                        let fa_star = (cfg.alpha - 1.0 / cfg.alpha) * fa + 1.0 / cfg.alpha;
+
+                        let outcome = system.query(start, cfg.k, b).expect("valid query");
+                        if let Some(cluster) = outcome.cluster {
+                            let (wrong, total) = system.score_cluster(&cluster, b);
+                            let slot = partial.slot_mut(fb);
+                            slot.0.record(wrong, total);
+                            slot.1.record(fa_star);
+                        }
+                    }
+
+                    merged.lock().merge_with(partial, |a, b| {
+                        a.0.merge(b.0);
+                        a.1.merge(b.1);
+                    });
+                });
+            }
+        })
+        .expect("experiment threads do not panic");
+
+        let buckets = merged.into_inner();
+        if fb_centers.is_empty() {
+            fb_centers = buckets.iter().map(|(c, _)| c).collect();
+        }
+        let wpr: Vec<Option<f64>> = buckets.iter().map(|(_, s)| s.0.rate()).collect();
+        let wpr_normalized: Vec<Option<f64>> = buckets
+            .iter()
+            .map(|(_, s)| match (s.0.rate(), s.1.mean()) {
+                (Some(w), Some(fa_star)) => Some(w.powf(fa_star)),
+                _ => None,
+            })
+            .collect();
+        out_datasets.push(Fig5DatasetResult {
+            noise_sigma: ds.noise_sigma,
+            epsilon_avg: ds.epsilon_avg,
+            wpr,
+            wpr_normalized,
+        });
+    }
+
+    Fig5Result {
+        fb_centers,
+        datasets: out_datasets,
+    }
+}
+
+impl Fig5Result {
+    /// Renders the two paper panels: raw WPR and normalized WPR vs `f_b`.
+    pub fn tables(&self) -> Vec<Table> {
+        let raw = Table::new(
+            "Fig. 5 — WPR vs f_b (per-dataset ε_avg in legend)",
+            "f_b",
+            self.fb_centers.clone(),
+            self.datasets
+                .iter()
+                .map(|d| Series::new(format!("eps={:.3}", d.epsilon_avg), d.wpr.clone()))
+                .collect(),
+        );
+        let norm = Table::new(
+            "Fig. 5 — (WPR)^(f_a*) vs f_b (alpha = 3.2)",
+            "f_b",
+            self.fb_centers.clone(),
+            self.datasets
+                .iter()
+                .map(|d| {
+                    Series::new(
+                        format!("eps={:.3}", d.epsilon_avg),
+                        d.wpr_normalized.clone(),
+                    )
+                })
+                .collect(),
+        );
+        vec![raw, norm]
+    }
+
+    /// The paper's Eq. 1 prediction of the ε* exponent, used by tests: a
+    /// tree-like dataset should show smaller WPR at the same `f_b`.
+    pub fn epsilon_of(&self, idx: usize) -> f64 {
+        epsilon_star(self.datasets[idx].epsilon_avg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_curve_per_sigma() {
+        let r = run_fig5(&Fig5Config::fast());
+        assert_eq!(r.datasets.len(), 2);
+        assert_eq!(r.fb_centers.len(), 5);
+        assert!(r.datasets[0].epsilon_avg < r.datasets[1].epsilon_avg);
+    }
+
+    #[test]
+    fn wpr_grows_with_fb() {
+        let r = run_fig5(&Fig5Config::fast());
+        // For each dataset, WPR at low f_b should not exceed WPR at high
+        // f_b (monotone trend; compare first and last populated buckets).
+        for d in &r.datasets {
+            let populated: Vec<f64> = d.wpr.iter().flatten().copied().collect();
+            if populated.len() >= 2 {
+                assert!(
+                    populated.first().unwrap() <= populated.last().unwrap(),
+                    "WPR curve should rise: {populated:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_separates_treeness() {
+        // The noisier dataset should have a higher normalized WPR in the
+        // mid-range buckets (where both are populated).
+        let r = run_fig5(&Fig5Config::fast());
+        let (clean, noisy) = (&r.datasets[0], &r.datasets[1]);
+        let mut cmp = Vec::new();
+        for (a, b) in clean.wpr_normalized.iter().zip(&noisy.wpr_normalized) {
+            if let (Some(a), Some(b)) = (a, b) {
+                cmp.push((*a, *b));
+            }
+        }
+        assert!(!cmp.is_empty(), "need overlapping buckets");
+        let mean_clean: f64 = cmp.iter().map(|c| c.0).sum::<f64>() / cmp.len() as f64;
+        let mean_noisy: f64 = cmp.iter().map(|c| c.1).sum::<f64>() / cmp.len() as f64;
+        assert!(
+            mean_noisy >= mean_clean,
+            "noisy {mean_noisy} should plot above clean {mean_clean}"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let r = run_fig5(&Fig5Config::fast());
+        let tables = r.tables();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].render().contains("eps="));
+    }
+}

@@ -1,0 +1,303 @@
+//! Evaluation metrics: WPR, RR, and bucketed curves.
+
+use serde::{Deserialize, Serialize};
+
+/// Wrong-Pair-Rate accumulator.
+///
+/// WPR is the ratio of node pairs inside returned clusters whose *real*
+/// bandwidth violates the query constraint, over all pairs in all returned
+/// clusters (Sec. IV-A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WprAccumulator {
+    wrong: u64,
+    total: u64,
+}
+
+impl WprAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        WprAccumulator::default()
+    }
+
+    /// Records one returned cluster's score (`wrong` of `total` pairs bad).
+    pub fn record(&mut self, wrong: usize, total: usize) {
+        debug_assert!(wrong <= total);
+        self.wrong += wrong as u64;
+        self.total += total as u64;
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: WprAccumulator) {
+        self.wrong += other.wrong;
+        self.total += other.total;
+    }
+
+    /// The wrong-pair rate, or `None` before any cluster was recorded.
+    pub fn rate(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.wrong as f64 / self.total as f64)
+        }
+    }
+
+    /// Number of pairs scored.
+    pub fn pairs(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Return-Rate accumulator: the fraction of queries that found a cluster
+/// (Sec. IV-B).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RrAccumulator {
+    found: u64,
+    queries: u64,
+}
+
+impl RrAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RrAccumulator::default()
+    }
+
+    /// Records one query outcome.
+    pub fn record(&mut self, found: bool) {
+        self.queries += 1;
+        if found {
+            self.found += 1;
+        }
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: RrAccumulator) {
+        self.found += other.found;
+        self.queries += other.queries;
+    }
+
+    /// The return rate, or `None` before any query was recorded.
+    pub fn rate(&self) -> Option<f64> {
+        if self.queries == 0 {
+            None
+        } else {
+            Some(self.found as f64 / self.queries as f64)
+        }
+    }
+
+    /// Number of queries recorded.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// Fixed-width bucketing of a continuous x-axis (query constraint `b`,
+/// `f_b`, …) with one accumulator per bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Buckets<A> {
+    lo: f64,
+    hi: f64,
+    slots: Vec<A>,
+}
+
+impl<A: Default + Clone> Buckets<A> {
+    /// Creates `count` buckets covering `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or the range is empty/invalid.
+    pub fn new(lo: f64, hi: f64, count: usize) -> Self {
+        assert!(count > 0, "need at least one bucket");
+        assert!(
+            hi > lo && lo.is_finite() && hi.is_finite(),
+            "invalid bucket range"
+        );
+        Buckets {
+            lo,
+            hi,
+            slots: vec![A::default(); count],
+        }
+    }
+
+    /// The accumulator for value `x` (clamped into range).
+    pub fn slot_mut(&mut self, x: f64) -> &mut A {
+        let idx = self.index(x);
+        &mut self.slots[idx]
+    }
+
+    /// Bucket index for `x`, clamped.
+    pub fn index(&self, x: f64) -> usize {
+        let n = self.slots.len();
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        ((t * n as f64) as usize).min(n - 1)
+    }
+
+    /// Center x-value of bucket `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.slots.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Iterates `(center, accumulator)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &A)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(move |(i, a)| (self.center(i), a))
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Merges another bucket set slot-wise with `combine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bucket sets differ in range or count.
+    pub fn merge_with(&mut self, other: Buckets<A>, mut combine: impl FnMut(&mut A, A)) {
+        assert_eq!(self.lo, other.lo, "bucket ranges differ");
+        assert_eq!(self.hi, other.hi, "bucket ranges differ");
+        assert_eq!(self.slots.len(), other.slots.len(), "bucket counts differ");
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots) {
+            combine(mine, theirs);
+        }
+    }
+
+    /// Always `false`; construction guarantees at least one bucket.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// Mean accumulator for per-bucket averages (hop counts, normalized WPR…).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanAccumulator {
+    sum: f64,
+    count: u64,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        MeanAccumulator::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: MeanAccumulator) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// The mean, or `None` with no samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wpr_basic() {
+        let mut w = WprAccumulator::new();
+        assert_eq!(w.rate(), None);
+        w.record(1, 4);
+        w.record(0, 6);
+        assert_eq!(w.rate(), Some(0.1));
+        assert_eq!(w.pairs(), 10);
+    }
+
+    #[test]
+    fn wpr_merge() {
+        let mut a = WprAccumulator::new();
+        a.record(2, 5);
+        let mut b = WprAccumulator::new();
+        b.record(3, 5);
+        a.merge(b);
+        assert_eq!(a.rate(), Some(0.5));
+    }
+
+    #[test]
+    fn rr_basic() {
+        let mut r = RrAccumulator::new();
+        assert_eq!(r.rate(), None);
+        r.record(true);
+        r.record(false);
+        r.record(true);
+        r.record(true);
+        assert_eq!(r.rate(), Some(0.75));
+        assert_eq!(r.queries(), 4);
+    }
+
+    #[test]
+    fn rr_merge() {
+        let mut a = RrAccumulator::new();
+        a.record(true);
+        let mut b = RrAccumulator::new();
+        b.record(false);
+        a.merge(b);
+        assert_eq!(a.rate(), Some(0.5));
+    }
+
+    #[test]
+    fn buckets_indexing() {
+        let b: Buckets<MeanAccumulator> = Buckets::new(0.0, 10.0, 5);
+        assert_eq!(b.index(-3.0), 0);
+        assert_eq!(b.index(0.0), 0);
+        assert_eq!(b.index(1.9), 0);
+        assert_eq!(b.index(2.0), 1);
+        assert_eq!(b.index(9.99), 4);
+        assert_eq!(b.index(10.0), 4);
+        assert_eq!(b.index(42.0), 4);
+        assert_eq!(b.center(0), 1.0);
+        assert_eq!(b.center(4), 9.0);
+    }
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut b: Buckets<RrAccumulator> = Buckets::new(0.0, 1.0, 2);
+        b.slot_mut(0.2).record(true);
+        b.slot_mut(0.2).record(false);
+        b.slot_mut(0.9).record(true);
+        let rows: Vec<_> = b.iter().map(|(c, a)| (c, a.rate())).collect();
+        assert_eq!(rows[0], (0.25, Some(0.5)));
+        assert_eq!(rows[1], (0.75, Some(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bucket range")]
+    fn bad_range_rejected() {
+        let _: Buckets<MeanAccumulator> = Buckets::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn mean_accumulator() {
+        let mut m = MeanAccumulator::new();
+        assert_eq!(m.mean(), None);
+        m.record(2.0);
+        m.record(4.0);
+        assert_eq!(m.mean(), Some(3.0));
+        let mut other = MeanAccumulator::new();
+        other.record(9.0);
+        m.merge(other);
+        assert_eq!(m.mean(), Some(5.0));
+        assert_eq!(m.count(), 3);
+    }
+}

@@ -1,0 +1,264 @@
+//! Plain-text rendering of experiment results.
+//!
+//! Each figure binary prints one [`Table`] per paper panel: a header, the
+//! x-axis, and one column per series — the same rows/series the paper
+//! plots, ready for a plotting tool or eyeball comparison.
+
+use std::fmt::Write as _;
+
+/// One plotted series: a label and `(x, y)` points (`None` y values render
+/// as `-`, e.g. empty buckets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `HP-TREE-DECENTRAL`).
+    pub label: String,
+    /// The series' y value at each shared x position.
+    pub values: Vec<Option<f64>>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        Series {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A printable result table with a shared x-axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. `Fig. 3a — WPR vs b (HP)`).
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// Shared x positions.
+    pub xs: Vec<f64>,
+    /// One column per series.
+    pub series: Vec<Series>,
+}
+
+impl Table {
+    /// Creates a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any series length differs from `xs.len()`.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        xs: Vec<f64>,
+        series: Vec<Series>,
+    ) -> Self {
+        let t = Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            xs,
+            series,
+        };
+        for s in &t.series {
+            assert_eq!(
+                s.values.len(),
+                t.xs.len(),
+                "series '{}' length mismatch",
+                s.label
+            );
+        }
+        t
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let width = 10usize.max(self.series.iter().map(|s| s.label.len()).max().unwrap_or(0) + 2);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>width$}", s.label, width = width);
+        }
+        let _ = writeln!(out);
+        for (i, &x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x:>12.4}");
+            for s in &self.series {
+                match s.values[i] {
+                    Some(v) => {
+                        let _ = write!(out, "{v:>width$.4}", width = width);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>width$}", "-", width = width);
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+const CHART_GLYPHS: &[char] = &['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+impl Table {
+    /// Renders the table as a rough ASCII chart (`height` rows tall,
+    /// one glyph per series) with a legend — a quick visual check of curve
+    /// shape without leaving the terminal.
+    ///
+    /// Returns an empty string when there is nothing to plot (no points or
+    /// no finite values).
+    pub fn render_chart(&self, height: usize) -> String {
+        let height = height.max(2);
+        let width = (self.xs.len().max(2) * 6).min(72);
+        let finite: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().flatten().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        if self.xs.is_empty() || finite.is_empty() {
+            return String::new();
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = if (hi - lo).abs() < 1e-12 {
+            1.0
+        } else {
+            hi - lo
+        };
+
+        let mut grid = vec![vec![' '; width]; height];
+        let x_lo = self.xs.first().copied().unwrap_or(0.0);
+        let x_hi = self.xs.last().copied().unwrap_or(1.0);
+        let x_span = if (x_hi - x_lo).abs() < 1e-12 {
+            1.0
+        } else {
+            x_hi - x_lo
+        };
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = CHART_GLYPHS[si % CHART_GLYPHS.len()];
+            for (&x, v) in self.xs.iter().zip(&s.values) {
+                let Some(y) = v else { continue };
+                if !y.is_finite() {
+                    continue;
+                }
+                let col = (((x - x_lo) / x_span) * (width - 1) as f64).round() as usize;
+                let row_f = ((y - lo) / span) * (height - 1) as f64;
+                let row = height - 1 - row_f.round() as usize;
+                grid[row][col.min(width - 1)] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{} [chart]", self.title);
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{hi:>10.3}")
+            } else if r == height - 1 {
+                format!("{lo:>10.3}")
+            } else {
+                " ".repeat(10)
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{label} |{line}");
+        }
+        let _ = writeln!(
+            out,
+            "{:>10}  {x_lo:<10.3}{:>width$.3}",
+            "",
+            x_hi,
+            width = width - 10
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>12} {}",
+                CHART_GLYPHS[si % CHART_GLYPHS.len()],
+                s.label
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = Table::new(
+            "Fig X",
+            "b",
+            vec![10.0, 20.0],
+            vec![
+                Series::new("TREE", vec![Some(0.1), Some(0.2)]),
+                Series::new("EUCL", vec![Some(0.3), None]),
+            ],
+        );
+        let s = t.render();
+        assert!(s.contains("## Fig X"));
+        assert!(s.contains("TREE"));
+        assert!(s.contains("0.3000"));
+        assert!(s.lines().last().unwrap().trim_end().ends_with('-'));
+        // Every data row has the same number of fields.
+        let rows: Vec<&str> = s.lines().skip(1).collect();
+        let field_counts: Vec<usize> = rows.iter().map(|r| r.split_whitespace().count()).collect();
+        assert!(
+            field_counts.windows(2).all(|w| w[0] == w[1]),
+            "{field_counts:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        Table::new("t", "x", vec![1.0], vec![Series::new("s", vec![])]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("empty", "x", vec![], vec![]);
+        let s = t.render();
+        assert!(s.starts_with("## empty"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn chart_renders_glyphs_and_legend() {
+        let t = Table::new(
+            "curve",
+            "x",
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![
+                Series::new("A", vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0)]),
+                Series::new("B", vec![Some(3.0), Some(2.0), None, Some(0.5)]),
+            ],
+        );
+        let s = t.render_chart(8);
+        assert!(s.contains("curve [chart]"));
+        assert!(s.contains('o'), "first series glyph present");
+        assert!(s.contains('x'), "second series glyph present");
+        assert!(s.contains("A") && s.contains("B"), "legend present");
+        // Max and min y labels appear.
+        assert!(s.contains("3.000"));
+        assert!(s.contains("0.000"));
+    }
+
+    #[test]
+    fn chart_handles_degenerate_inputs() {
+        let empty = Table::new("e", "x", vec![], vec![]);
+        assert_eq!(empty.render_chart(5), "");
+        let all_none = Table::new("n", "x", vec![1.0], vec![Series::new("s", vec![None])]);
+        assert_eq!(all_none.render_chart(5), "");
+        // Flat series (zero span) must not divide by zero.
+        let flat = Table::new(
+            "f",
+            "x",
+            vec![0.0, 1.0],
+            vec![Series::new("s", vec![Some(2.0), Some(2.0)])],
+        );
+        assert!(flat.render_chart(4).contains("[chart]"));
+        // Single x position.
+        let single = Table::new("1", "x", vec![5.0], vec![Series::new("s", vec![Some(1.0)])]);
+        assert!(single.render_chart(3).contains("[chart]"));
+    }
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Errors produced by metric-space construction and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// A matrix was created or accessed with an index outside `0..len`.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Matrix dimension.
+        len: usize,
+    },
+    /// A pairwise value was not finite or was negative where it must not be.
+    InvalidValue {
+        /// Row index of the offending entry.
+        i: usize,
+        /// Column index of the offending entry.
+        j: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two matrices (or a matrix and a point set) disagree on dimension.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+    /// The metric requires at least this many nodes.
+    TooFewNodes {
+        /// Number of nodes required.
+        required: usize,
+        /// Number of nodes present.
+        actual: usize,
+    },
+    /// A text representation of a matrix could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for matrix of {len} nodes")
+            }
+            MetricError::InvalidValue { i, j, value } => {
+                write!(f, "invalid pairwise value {value} at ({i}, {j})")
+            }
+            MetricError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            MetricError::TooFewNodes { required, actual } => {
+                write!(f, "need at least {required} nodes, got {actual}")
+            }
+            MetricError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MetricError::IndexOutOfBounds { index: 5, len: 3 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+        let e = MetricError::InvalidValue {
+            i: 0,
+            j: 1,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("NaN"));
+        let e = MetricError::DimensionMismatch { left: 2, right: 4 };
+        assert!(e.to_string().contains("2 vs 4"));
+        let e = MetricError::TooFewNodes {
+            required: 2,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("at least 2"));
+        let e = MetricError::Parse("bad header".into());
+        assert!(e.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricError>();
+    }
+}

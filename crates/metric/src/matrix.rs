@@ -1,0 +1,493 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MetricError;
+
+/// Dense symmetric matrix of pairwise `f64` values over `n` nodes.
+///
+/// Storage is a full `n × n` square kept symmetric by construction: setting
+/// `(i, j)` also sets `(j, i)`. The diagonal is owned by the wrapper types
+/// ([`DistanceMatrix`] keeps it at `0`, [`BandwidthMatrix`] at `+∞`).
+///
+/// ```
+/// use bcc_metric::SymMatrix;
+/// let mut m = SymMatrix::new(3, 0.0);
+/// m.set(0, 2, 7.5);
+/// assert_eq!(m.get(2, 0), 7.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymMatrix {
+    len: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Creates an `n × n` symmetric matrix with every off-diagonal entry and
+    /// the diagonal set to `fill`.
+    pub fn new(len: usize, fill: f64) -> Self {
+        SymMatrix {
+            len,
+            data: vec![fill; len * len],
+        }
+    }
+
+    /// Number of nodes (matrix dimension).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the matrix covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.len && j < self.len, "index out of bounds");
+        self.data[i * self.len + j]
+    }
+
+    /// Writes `value` at `(i, j)` and `(j, i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.len && j < self.len, "index out of bounds");
+        self.data[i * self.len + j] = value;
+        self.data[j * self.len + i] = value;
+    }
+
+    /// Iterates over the strict upper triangle as `(i, j, value)` with `i < j`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.len).flat_map(move |i| ((i + 1)..self.len).map(move |j| (i, j, self.get(i, j))))
+    }
+
+    /// Collects the strict-upper-triangle values into a vector.
+    pub fn pair_values(&self) -> Vec<f64> {
+        self.iter_pairs().map(|(_, _, v)| v).collect()
+    }
+
+    /// Validates that every off-diagonal entry is finite and satisfies `pred`.
+    pub fn validate(&self, pred: impl Fn(f64) -> bool) -> Result<(), MetricError> {
+        for (i, j, v) in self.iter_pairs() {
+            if !v.is_finite() || !pred(v) {
+                return Err(MetricError::InvalidValue { i, j, value: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Symmetric pairwise distances over `n` nodes, diagonal fixed at `0`.
+///
+/// This is the `(V, d)` of the paper once bandwidth has been passed through
+/// the rational transform. Construct it directly for test fixtures or via
+/// [`RationalTransform::distance_matrix`](crate::RationalTransform::distance_matrix)
+/// for real data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    inner: SymMatrix,
+}
+
+impl DistanceMatrix {
+    /// Creates a distance matrix over `len` nodes with all off-diagonal
+    /// distances set to `0`.
+    pub fn new(len: usize) -> Self {
+        DistanceMatrix {
+            inner: SymMatrix::new(len, 0.0),
+        }
+    }
+
+    /// Builds a distance matrix from a closure giving the distance of each
+    /// unordered pair `i < j`.
+    ///
+    /// ```
+    /// use bcc_metric::DistanceMatrix;
+    /// let d = DistanceMatrix::from_fn(4, |i, j| (i + j) as f64);
+    /// assert_eq!(d.get(1, 3), 4.0);
+    /// ```
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = DistanceMatrix::new(len);
+        for i in 0..len {
+            for j in (i + 1)..len {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the matrix covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Distance between `i` and `j` (`0` when `i == j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            0.0
+        } else {
+            self.inner.get(i, j)
+        }
+    }
+
+    /// Sets the distance of the pair `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds or `i == j` (the diagonal is
+    /// immutable).
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert_ne!(i, j, "diagonal of a distance matrix is fixed at zero");
+        self.inner.set(i, j, value);
+    }
+
+    /// Iterates over unordered pairs `(i, j, d)` with `i < j`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.inner.iter_pairs()
+    }
+
+    /// Collects the strict-upper-triangle distances.
+    pub fn pair_values(&self) -> Vec<f64> {
+        self.inner.pair_values()
+    }
+
+    /// Checks non-negativity and finiteness of all pairwise distances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidValue`] for the first entry that is
+    /// negative, `NaN` or infinite.
+    pub fn validate(&self) -> Result<(), MetricError> {
+        self.inner.validate(|v| v >= 0.0)
+    }
+
+    /// Checks the triangle inequality within an additive tolerance `tol`.
+    ///
+    /// Returns the first violating triple `(i, j, via)` where
+    /// `d(i, j) > d(i, via) + d(via, j) + tol`, or `None` when the matrix is a
+    /// (semi-)metric.
+    pub fn triangle_violation(&self, tol: f64) -> Option<(usize, usize, usize)> {
+        let n = self.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dij = self.get(i, j);
+                for via in 0..n {
+                    if via == i || via == j {
+                        continue;
+                    }
+                    if dij > self.get(i, via) + self.get(via, j) + tol {
+                        return Some((i, j, via));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Restricts the matrix to `nodes`, renumbering them `0..nodes.len()` in
+    /// the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `nodes` is out of bounds.
+    pub fn restrict(&self, nodes: &[usize]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(nodes.len(), |a, b| self.get(nodes[a], nodes[b]))
+    }
+}
+
+impl fmt::Display for DistanceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DistanceMatrix({} nodes)", self.len())?;
+        for i in 0..self.len().min(8) {
+            for j in 0..self.len().min(8) {
+                write!(f, "{:9.3} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        if self.len() > 8 {
+            writeln!(f, "... ({} more rows)", self.len() - 8)?;
+        }
+        Ok(())
+    }
+}
+
+/// Symmetric pairwise bandwidth over `n` nodes, diagonal fixed at `+∞`.
+///
+/// Mirrors the paper's `BW(u, u) = ∞` convention so the rational transform
+/// maps the diagonal to distance `0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthMatrix {
+    inner: SymMatrix,
+}
+
+impl BandwidthMatrix {
+    /// Creates a bandwidth matrix over `len` nodes with all off-diagonal
+    /// bandwidths set to `0`.
+    pub fn new(len: usize) -> Self {
+        BandwidthMatrix {
+            inner: SymMatrix::new(len, 0.0),
+        }
+    }
+
+    /// Builds a bandwidth matrix from a closure over unordered pairs `i < j`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = BandwidthMatrix::new(len);
+        for i in 0..len {
+            for j in (i + 1)..len {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Builds a symmetric matrix from an asymmetric measurement matrix by
+    /// averaging forward and reverse directions — exactly the preprocessing
+    /// the paper applies to both PlanetLab datasets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::DimensionMismatch`] if `forward` is not square,
+    /// and [`MetricError::InvalidValue`] if any off-diagonal measurement is
+    /// non-finite or negative.
+    pub fn from_asymmetric(forward: &[Vec<f64>]) -> Result<Self, MetricError> {
+        let n = forward.len();
+        for row in forward {
+            if row.len() != n {
+                return Err(MetricError::DimensionMismatch {
+                    left: n,
+                    right: row.len(),
+                });
+            }
+        }
+        let mut m = BandwidthMatrix::new(n);
+        #[allow(clippy::needless_range_loop)] // paired (i, j)/(j, i) access
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (forward[i][j], forward[j][i]);
+                if !a.is_finite() || a < 0.0 {
+                    return Err(MetricError::InvalidValue { i, j, value: a });
+                }
+                if !b.is_finite() || b < 0.0 {
+                    return Err(MetricError::InvalidValue {
+                        i: j,
+                        j: i,
+                        value: b,
+                    });
+                }
+                m.set(i, j, 0.5 * (a + b));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the matrix covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Bandwidth between `i` and `j` (`+∞` when `i == j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            f64::INFINITY
+        } else {
+            self.inner.get(i, j)
+        }
+    }
+
+    /// Sets the bandwidth of the pair `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds or `i == j`.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert_ne!(i, j, "diagonal of a bandwidth matrix is fixed at infinity");
+        self.inner.set(i, j, value);
+    }
+
+    /// Iterates over unordered pairs `(i, j, bw)` with `i < j`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.inner.iter_pairs()
+    }
+
+    /// Collects the strict-upper-triangle bandwidths.
+    pub fn pair_values(&self) -> Vec<f64> {
+        self.inner.pair_values()
+    }
+
+    /// Checks positivity and finiteness of all pairwise bandwidths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidValue`] for the first non-finite or
+    /// non-positive off-diagonal entry (zero bandwidth would map to an
+    /// infinite distance under the rational transform).
+    pub fn validate(&self) -> Result<(), MetricError> {
+        self.inner.validate(|v| v > 0.0)
+    }
+
+    /// Restricts the matrix to `nodes`, renumbering them `0..nodes.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `nodes` is out of bounds.
+    pub fn restrict(&self, nodes: &[usize]) -> BandwidthMatrix {
+        BandwidthMatrix::from_fn(nodes.len(), |a, b| self.get(nodes[a], nodes[b]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_matrix_sets_both_triangles() {
+        let mut m = SymMatrix::new(4, 0.0);
+        m.set(1, 3, 2.5);
+        assert_eq!(m.get(3, 1), 2.5);
+        assert_eq!(m.get(1, 3), 2.5);
+    }
+
+    #[test]
+    fn sym_matrix_pair_iteration_covers_upper_triangle() {
+        let m = SymMatrix::new(4, 1.0);
+        let pairs: Vec<_> = m.iter_pairs().collect();
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.iter().all(|&(i, j, v)| i < j && v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sym_matrix_get_out_of_bounds_panics() {
+        SymMatrix::new(2, 0.0).get(0, 2);
+    }
+
+    #[test]
+    fn distance_diagonal_is_zero() {
+        let d = DistanceMatrix::from_fn(3, |_, _| 5.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(d.get(0, 2), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn distance_diagonal_set_panics() {
+        DistanceMatrix::new(3).set(1, 1, 4.0);
+    }
+
+    #[test]
+    fn bandwidth_diagonal_is_infinite() {
+        let b = BandwidthMatrix::new(2);
+        assert_eq!(b.get(0, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn from_asymmetric_averages() {
+        let fwd = vec![
+            vec![0.0, 10.0, 30.0],
+            vec![20.0, 0.0, 50.0],
+            vec![30.0, 70.0, 0.0],
+        ];
+        let m = BandwidthMatrix::from_asymmetric(&fwd).unwrap();
+        assert_eq!(m.get(0, 1), 15.0);
+        assert_eq!(m.get(1, 2), 60.0);
+        assert_eq!(m.get(0, 2), 30.0);
+    }
+
+    #[test]
+    fn from_asymmetric_rejects_ragged() {
+        let fwd = vec![vec![0.0, 1.0], vec![1.0]];
+        assert!(matches!(
+            BandwidthMatrix::from_asymmetric(&fwd),
+            Err(MetricError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_asymmetric_rejects_negative() {
+        let fwd = vec![vec![0.0, -1.0], vec![1.0, 0.0]];
+        assert!(matches!(
+            BandwidthMatrix::from_asymmetric(&fwd),
+            Err(MetricError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_nan() {
+        let mut d = DistanceMatrix::new(3);
+        d.set(0, 1, f64::NAN);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_negative_distance() {
+        let mut d = DistanceMatrix::new(2);
+        d.set(0, 1, -1.0);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn bandwidth_validate_rejects_zero() {
+        let b = BandwidthMatrix::new(2); // off-diagonal defaults to 0
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn triangle_violation_detects() {
+        let mut d = DistanceMatrix::new(3);
+        d.set(0, 1, 1.0);
+        d.set(1, 2, 1.0);
+        d.set(0, 2, 10.0);
+        assert_eq!(d.triangle_violation(1e-9), Some((0, 2, 1)));
+    }
+
+    #[test]
+    fn triangle_holds_for_line_metric() {
+        // Points on a line at 0, 1, 3: distances are |differences|.
+        let pos = [0.0f64, 1.0, 3.0];
+        let d = DistanceMatrix::from_fn(3, |i, j| (pos[i] - pos[j]).abs());
+        assert_eq!(d.triangle_violation(1e-9), None);
+    }
+
+    #[test]
+    fn restrict_renumbers() {
+        let d = DistanceMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        let r = d.restrict(&[3, 1]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0, 1), d.get(3, 1));
+    }
+
+    #[test]
+    fn display_truncates() {
+        let d = DistanceMatrix::new(20);
+        let s = d.to_string();
+        assert!(s.contains("more rows"));
+    }
+}

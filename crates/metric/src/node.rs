@@ -1,0 +1,90 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a participating host.
+///
+/// Hosts are dense indices `0..n` into the pairwise matrices; the newtype
+/// keeps host identifiers from being confused with other `usize` quantities
+/// (cluster sizes, hop counts, matrix dimensions).
+///
+/// ```
+/// use bcc_metric::NodeId;
+/// let a = NodeId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (more than four billion hosts
+    /// is far beyond any workload this crate targets).
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(v: NodeId) -> Self {
+        v.index()
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_index() {
+        for i in [0usize, 1, 57, 10_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_index_order() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(NodeId::new(0) < NodeId::new(100));
+    }
+
+    #[test]
+    fn usable_in_hash_set() {
+        let s: HashSet<NodeId> = [0, 1, 2, 1].iter().map(|&i| NodeId::new(i)).collect();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::new(42).to_string(), "n42");
+    }
+
+    #[test]
+    fn conversions() {
+        let n: NodeId = 7u32.into();
+        let i: usize = n.into();
+        assert_eq!(i, 7);
+    }
+}

@@ -1,0 +1,249 @@
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::DistanceMatrix;
+
+/// A finite metric space: `len` points with a pairwise distance.
+///
+/// Implementations are *not* required to satisfy the triangle inequality
+/// exactly — real bandwidth data only approximately does — but callers may
+/// assume symmetry (`distance(i, j) == distance(j, i)`) and a zero diagonal.
+///
+/// Both the clustering algorithms in `bcc-core` and the treeness statistics
+/// in [`crate::fourpoint`] are generic over this trait so they run unchanged
+/// on matrices, Euclidean point sets, prediction trees, and subset views.
+pub trait FiniteMetric {
+    /// Number of points in the space.
+    fn len(&self) -> usize;
+
+    /// Distance between points `i` and `j`.
+    fn distance(&self, i: usize, j: usize) -> f64;
+
+    /// Returns `true` if the space contains no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes this space into a dense [`DistanceMatrix`].
+    fn to_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::from_fn(self.len(), |i, j| self.distance(i, j))
+    }
+}
+
+impl FiniteMetric for DistanceMatrix {
+    fn len(&self) -> usize {
+        DistanceMatrix::len(self)
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+}
+
+impl<M: FiniteMetric + ?Sized> FiniteMetric for &M {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        (**self).distance(i, j)
+    }
+}
+
+/// A view of a subset of another metric space, renumbered `0..subset.len()`.
+///
+/// Used by the decentralized protocol: each node's *clustering space* `V_x`
+/// is a small subset of the whole system, and Algorithm 1 runs on that view
+/// without copying the underlying matrix.
+///
+/// ```
+/// use bcc_metric::{DistanceMatrix, FiniteMetric, SubsetMetric};
+/// let d = DistanceMatrix::from_fn(5, |i, j| (i + j) as f64);
+/// let view = SubsetMetric::new(&d, vec![4, 0, 2]);
+/// assert_eq!(view.len(), 3);
+/// assert_eq!(view.distance(0, 2), d.get(4, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubsetMetric<M> {
+    base: M,
+    nodes: Vec<usize>,
+}
+
+impl<M: FiniteMetric> SubsetMetric<M> {
+    /// Creates a view of `base` restricted to `nodes` in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `nodes` is out of bounds for `base`.
+    pub fn new(base: M, nodes: Vec<usize>) -> Self {
+        for &u in &nodes {
+            assert!(u < base.len(), "subset node {u} out of bounds");
+        }
+        SubsetMetric { base, nodes }
+    }
+
+    /// The base-space index of subset point `i`.
+    pub fn base_index(&self, i: usize) -> usize {
+        self.nodes[i]
+    }
+
+    /// The base-space indices in subset order.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+}
+
+impl<M: FiniteMetric> FiniteMetric for SubsetMetric<M> {
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.base.distance(self.nodes[i], self.nodes[j])
+    }
+}
+
+/// A set of points in low-dimensional Euclidean space.
+///
+/// This is the space the Vivaldi baseline embeds into; the Euclidean
+/// clustering baseline (`bcc-core::euclidean`) additionally needs raw
+/// coordinate access, which this type provides via [`EuclideanPoints::point`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EuclideanPoints {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl EuclideanPoints {
+    /// Creates a point set from row-major coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `coords.len()` is not a multiple of `dim`.
+    pub fn new(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            coords.len() % dim,
+            0,
+            "coordinate count must be a multiple of dim"
+        );
+        EuclideanPoints { dim, coords }
+    }
+
+    /// Creates `n` points at the origin of `dim`-dimensional space.
+    pub fn zeros(n: usize, dim: usize) -> Self {
+        EuclideanPoints::new(dim, vec![0.0; n * dim])
+    }
+
+    /// Spatial dimension of the point set.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable coordinates of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn point_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+impl FiniteMetric for EuclideanPoints {
+    fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.point(i)
+            .iter()
+            .zip(self.point(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_a_metric() {
+        let d = DistanceMatrix::from_fn(3, |i, j| (i + j) as f64);
+        assert_eq!(FiniteMetric::len(&d), 3);
+        assert_eq!(d.distance(0, 2), 2.0);
+        assert_eq!(d.distance(1, 1), 0.0);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let d = DistanceMatrix::from_fn(3, |i, j| (i * j) as f64);
+        let r: &DistanceMatrix = &d;
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.distance(1, 2), 2.0);
+    }
+
+    #[test]
+    fn subset_renumbers() {
+        let d = DistanceMatrix::from_fn(5, |i, j| (10 * i + j) as f64);
+        let s = SubsetMetric::new(&d, vec![3, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.distance(0, 1), d.get(3, 1));
+        assert_eq!(s.base_index(1), 1);
+        assert_eq!(s.nodes(), &[3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn subset_rejects_bad_index() {
+        let d = DistanceMatrix::new(2);
+        SubsetMetric::new(&d, vec![0, 2]);
+    }
+
+    #[test]
+    fn subset_to_matrix() {
+        let d = DistanceMatrix::from_fn(4, |i, j| (i + j) as f64);
+        let m = SubsetMetric::new(&d, vec![0, 3]).to_matrix();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let p = EuclideanPoints::new(2, vec![0.0, 0.0, 3.0, 4.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.distance(0, 1) - 5.0).abs() < 1e-12);
+        assert_eq!(p.distance(1, 1), 0.0);
+    }
+
+    #[test]
+    fn euclidean_point_access() {
+        let mut p = EuclideanPoints::zeros(2, 3);
+        p.point_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(p.point(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(p.point(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(p.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn euclidean_rejects_ragged_coords() {
+        EuclideanPoints::new(2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn euclidean_symmetry() {
+        let p = EuclideanPoints::new(3, vec![1.0, 0.0, 2.0, -1.0, 5.0, 0.5]);
+        assert!((p.distance(0, 1) - p.distance(1, 0)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,283 @@
+//! Distribution statistics used by the evaluation harness.
+//!
+//! The paper's treeness model (Sec. IV-C) is phrased in terms of the
+//! bandwidth distribution around the query constraint `b`:
+//!
+//! - `f_b` — the CDF of pairwise bandwidth evaluated at `b` (how many pair
+//!   choices are *wrong* for the query),
+//! - `f_a` — the fraction of pairs with bandwidth in `[b − 10, b + 10]` (how
+//!   steep the CDF is at `b`, i.e. how much prediction error matters).
+//!
+//! [`EmpiricalCdf`] provides both, plus the percentile machinery used to pick
+//! the paper's query ranges (20th–80th percentile of real bandwidth).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over a sample of values.
+///
+/// ```
+/// use bcc_metric::stats::EmpiricalCdf;
+/// let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_below(2.5), 0.5);
+/// assert_eq!(cdf.fraction_in(1.5, 3.5), 0.5);
+/// assert_eq!(cdf.percentile(50.0), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from a sample; non-finite values are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite values remain.
+    pub fn new(values: Vec<f64>) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        assert!(
+            !sorted.is_empty(),
+            "empirical CDF needs at least one finite value"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        EmpiricalCdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the sample is empty (never — construction requires
+    /// at least one value — but provided for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples strictly below `x` — the paper's `f_b` when the
+    /// sample is pairwise bandwidth and `x = b`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples in the closed window `[lo, hi]` — the paper's
+    /// `f_a` with `lo = b − 10`, `hi = b + 10`.
+    pub fn fraction_in(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        let a = self.sorted.partition_point(|&v| v < lo);
+        let b = self.sorted.partition_point(|&v| v <= hi);
+        (b - a) as f64 / self.sorted.len() as f64
+    }
+
+    /// Linear-interpolated percentile, `p ∈ [0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Evaluates the CDF at evenly spaced points, returning `(x, F(x))`
+    /// pairs — convenient for printing the paper's CDF figures.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "a curve needs at least two points");
+        let (lo, hi) = (self.min(), self.max());
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+/// Relative error `|actual − predicted| / actual` (the paper's Fig. 3b/3d
+/// metric for bandwidth prediction).
+///
+/// Returns `0` when both values are infinite (perfectly predicted diagonal)
+/// and `+∞` when only one is.
+pub fn relative_error(actual: f64, predicted: f64) -> f64 {
+    if actual.is_infinite() && predicted.is_infinite() {
+        0.0
+    } else if actual.is_infinite() || actual == 0.0 {
+        f64::INFINITY
+    } else {
+        (actual - predicted).abs() / actual
+    }
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Interpolated median.
+    pub median: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes summary statistics; non-finite values are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite values remain.
+    pub fn of(values: &[f64]) -> Summary {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        assert!(
+            !finite.is_empty(),
+            "summary needs at least one finite value"
+        );
+        let n = finite.len() as f64;
+        let mean = finite.iter().sum::<f64>() / n;
+        let var = finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let cdf = EmpiricalCdf::new(finite.clone());
+        Summary {
+            mean,
+            std_dev: var.sqrt(),
+            min: cdf.min(),
+            max: cdf.max(),
+            median: cdf.percentile(50.0),
+            count: finite.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_below_handles_edges() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(cdf.fraction_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_below(1.0), 0.0);
+        assert_eq!(cdf.fraction_below(1.5), 1.0 / 3.0);
+        assert_eq!(cdf.fraction_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_at_or_below_includes_ties() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_below(2.0), 0.25);
+    }
+
+    #[test]
+    fn window_fraction() {
+        let cdf = EmpiricalCdf::new((1..=10).map(|v| v as f64).collect());
+        assert_eq!(cdf.fraction_in(3.0, 7.0), 0.5);
+        assert_eq!(cdf.fraction_in(7.0, 3.0), 0.0);
+        assert_eq!(cdf.fraction_in(-5.0, 0.0), 0.0);
+        assert_eq!(cdf.fraction_in(0.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let cdf = EmpiricalCdf::new(vec![0.0, 10.0]);
+        assert_eq!(cdf.percentile(0.0), 0.0);
+        assert_eq!(cdf.percentile(100.0), 10.0);
+        assert_eq!(cdf.percentile(25.0), 2.5);
+    }
+
+    #[test]
+    fn percentile_single_value() {
+        let cdf = EmpiricalCdf::new(vec![4.2]);
+        assert_eq!(cdf.percentile(0.0), 4.2);
+        assert_eq!(cdf.percentile(99.0), 4.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 100]")]
+    fn percentile_range_checked() {
+        EmpiricalCdf::new(vec![1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn non_finite_values_dropped() {
+        let cdf = EmpiricalCdf::new(vec![f64::INFINITY, 1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.max(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finite")]
+    fn empty_cdf_panics() {
+        EmpiricalCdf::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 5.0, 5.0, 9.0, 2.0]);
+        let curve = cdf.curve(11);
+        assert_eq!(curve.len(), 11);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(100.0, 80.0), 0.2);
+        assert_eq!(relative_error(50.0, 75.0), 0.5);
+        assert_eq!(relative_error(f64::INFINITY, f64::INFINITY), 0.0);
+        assert!(relative_error(f64::INFINITY, 10.0).is_infinite());
+        assert!(relative_error(0.0, 10.0).is_infinite());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_drops_nan() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+}

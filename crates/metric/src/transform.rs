@@ -1,0 +1,216 @@
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{BandwidthMatrix, DistanceMatrix};
+
+/// Default transform constant `C` (the paper's Fig. 1 example uses `C = 100`).
+pub const DEFAULT_TRANSFORM_CONSTANT: f64 = 100.0;
+
+/// The paper's *rational transform* `d(u, v) = C / BW(u, v)`.
+///
+/// Higher bandwidth is better while smaller distance is better, so the
+/// reciprocal (scaled by a positive constant `C`) turns a bandwidth function
+/// into a distance function. The same constant converts a bandwidth query
+/// constraint `b` into a distance constraint `l = C / b`, and a predicted
+/// distance back into a predicted bandwidth `BW_T = C / d_T`.
+///
+/// ```
+/// use bcc_metric::RationalTransform;
+/// let t = RationalTransform::new(100.0);
+/// assert_eq!(t.to_distance(50.0), 2.0);
+/// assert_eq!(t.to_bandwidth(2.0), 50.0);
+/// assert_eq!(t.distance_constraint(25.0), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RationalTransform {
+    c: f64,
+}
+
+impl RationalTransform {
+    /// Creates a transform with constant `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not strictly positive and finite.
+    pub fn new(c: f64) -> Self {
+        assert!(
+            c.is_finite() && c > 0.0,
+            "transform constant must be positive"
+        );
+        RationalTransform { c }
+    }
+
+    /// The constant `C`.
+    pub fn constant(self) -> f64 {
+        self.c
+    }
+
+    /// Maps a bandwidth value to a distance: `C / bw` (`0` for infinite
+    /// bandwidth, `+∞` for zero bandwidth).
+    #[inline]
+    pub fn to_distance(self, bw: f64) -> f64 {
+        if bw.is_infinite() {
+            0.0
+        } else {
+            self.c / bw
+        }
+    }
+
+    /// Maps a distance back to a bandwidth: `C / d` (`+∞` for distance `0`).
+    #[inline]
+    pub fn to_bandwidth(self, d: f64) -> f64 {
+        if d == 0.0 {
+            f64::INFINITY
+        } else {
+            self.c / d
+        }
+    }
+
+    /// Converts a bandwidth query constraint `b` (find pairs with
+    /// `BW ≥ b`) into the equivalent diameter constraint `l = C / b`
+    /// (find pairs with `d ≤ l`).
+    #[inline]
+    pub fn distance_constraint(self, b: f64) -> f64 {
+        self.to_distance(b)
+    }
+
+    /// Converts a full bandwidth matrix into a distance matrix.
+    pub fn distance_matrix(self, bw: &BandwidthMatrix) -> DistanceMatrix {
+        DistanceMatrix::from_fn(bw.len(), |i, j| self.to_distance(bw.get(i, j)))
+    }
+
+    /// Converts a full distance matrix back into a bandwidth matrix.
+    pub fn bandwidth_matrix(self, d: &DistanceMatrix) -> BandwidthMatrix {
+        BandwidthMatrix::from_fn(d.len(), |i, j| self.to_bandwidth(d.get(i, j)))
+    }
+}
+
+impl Default for RationalTransform {
+    /// The paper's example constant, [`DEFAULT_TRANSFORM_CONSTANT`].
+    fn default() -> Self {
+        RationalTransform::new(DEFAULT_TRANSFORM_CONSTANT)
+    }
+}
+
+/// The *linear transform* `d(u, v) = C − BW(u, v)`, included for completeness.
+///
+/// The related-work section reports that embedding bandwidth with this
+/// transform (as earlier latency systems implicitly do) gives poor accuracy;
+/// the ablation benches use it to demonstrate that finding.
+///
+/// Distances are clamped at `0` for bandwidths above `C`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearTransform {
+    c: f64,
+}
+
+impl LinearTransform {
+    /// Creates a linear transform with offset constant `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not strictly positive and finite.
+    pub fn new(c: f64) -> Self {
+        assert!(
+            c.is_finite() && c > 0.0,
+            "transform constant must be positive"
+        );
+        LinearTransform { c }
+    }
+
+    /// The constant `C`.
+    pub fn constant(self) -> f64 {
+        self.c
+    }
+
+    /// Maps a bandwidth value to a distance: `max(C − bw, 0)`.
+    #[inline]
+    pub fn to_distance(self, bw: f64) -> f64 {
+        (self.c - bw).max(0.0)
+    }
+
+    /// Maps a distance back to a bandwidth: `C − d`.
+    #[inline]
+    pub fn to_bandwidth(self, d: f64) -> f64 {
+        self.c - d
+    }
+
+    /// Converts a full bandwidth matrix into a distance matrix.
+    pub fn distance_matrix(self, bw: &BandwidthMatrix) -> DistanceMatrix {
+        DistanceMatrix::from_fn(bw.len(), |i, j| self.to_distance(bw.get(i, j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_roundtrip() {
+        let t = RationalTransform::new(100.0);
+        for bw in [1.0, 13.7, 50.0, 1000.0] {
+            let d = t.to_distance(bw);
+            assert!((t.to_bandwidth(d) - bw).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rational_diagonal_conventions() {
+        let t = RationalTransform::default();
+        assert_eq!(t.to_distance(f64::INFINITY), 0.0);
+        assert_eq!(t.to_bandwidth(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn rational_is_monotone_decreasing() {
+        let t = RationalTransform::default();
+        assert!(t.to_distance(10.0) > t.to_distance(20.0));
+    }
+
+    #[test]
+    fn constraint_equivalence() {
+        // BW >= b  <=>  d <= l with l = C/b.
+        let t = RationalTransform::new(100.0);
+        let b = 25.0;
+        let l = t.distance_constraint(b);
+        for bw in [10.0, 24.9, 25.0, 25.1, 80.0] {
+            assert_eq!(bw >= b, t.to_distance(bw) <= l, "bw = {bw}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rational_rejects_zero_constant() {
+        RationalTransform::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rational_rejects_nan_constant() {
+        RationalTransform::new(f64::NAN);
+    }
+
+    #[test]
+    fn matrix_conversion_roundtrip() {
+        let bw = BandwidthMatrix::from_fn(4, |i, j| 10.0 + (i * 4 + j) as f64);
+        let t = RationalTransform::default();
+        let d = t.distance_matrix(&bw);
+        let back = t.bandwidth_matrix(&d);
+        for (i, j, v) in bw.iter_pairs() {
+            assert!((back.get(i, j) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_clamps_at_zero() {
+        let t = LinearTransform::new(100.0);
+        assert_eq!(t.to_distance(150.0), 0.0);
+        assert_eq!(t.to_distance(40.0), 60.0);
+    }
+
+    #[test]
+    fn linear_distance_matrix() {
+        let bw = BandwidthMatrix::from_fn(3, |_, _| 30.0);
+        let d = LinearTransform::new(100.0).distance_matrix(&bw);
+        assert_eq!(d.get(0, 1), 70.0);
+    }
+}

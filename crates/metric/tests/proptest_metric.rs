@@ -1,0 +1,146 @@
+//! Property tests for the metric-space foundations.
+
+use bcc_metric::stats::EmpiricalCdf;
+use bcc_metric::{
+    fourpoint, gromov, DistanceMatrix, FiniteMetric, RationalTransform, SubsetMetric,
+};
+use proptest::prelude::*;
+
+fn arb_matrix(max: usize) -> impl Strategy<Value = DistanceMatrix> {
+    (2usize..=max)
+        .prop_flat_map(|n| proptest::collection::vec(0.1f64..100.0, n * (n - 1) / 2))
+        .prop_map(|values| {
+            let mut n = 2;
+            while n * (n - 1) / 2 < values.len() {
+                n += 1;
+            }
+            let mut it = values.into_iter();
+            DistanceMatrix::from_fn(n, |_, _| it.next().unwrap_or(1.0))
+        })
+}
+
+/// An ultrametric: d(i, j) = max level at which i and j split in a random
+/// binary-ish hierarchy. Always a tree metric.
+fn arb_ultrametric(max: usize) -> impl Strategy<Value = DistanceMatrix> {
+    (
+        4usize..=max,
+        proptest::collection::vec(0usize..4, 64),
+        0.5f64..5.0,
+    )
+        .prop_map(|(n, groups, scale)| {
+            let group =
+                |i: usize, level: usize| groups[(i * 7 + level * 13) % groups.len()] % (level + 2);
+            DistanceMatrix::from_fn(n, |i, j| {
+                // Split level: the first level where they land in
+                // different groups (deeper level = closer).
+                for level in (0..4).rev() {
+                    if group(i, level) != group(j, level) {
+                        return (level + 1) as f64 * scale;
+                    }
+                }
+                0.5 * scale
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quartet_epsilon_nonnegative_and_permutation_invariant(d in arb_matrix(8)) {
+        let n = d.len();
+        if n >= 4 {
+            let e = fourpoint::quartet_epsilon(&d, 0, 1, 2, 3);
+            prop_assert!(e >= 0.0);
+            for perm in [[1usize, 0, 2, 3], [2, 3, 0, 1], [3, 2, 1, 0], [0, 2, 3, 1]] {
+                let ep = fourpoint::quartet_epsilon(&d, perm[0], perm[1], perm[2], perm[3]);
+                if e.is_finite() {
+                    prop_assert!((ep - e).abs() < 1e-9 * (1.0 + e));
+                } else {
+                    prop_assert!(ep.is_infinite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ultrametrics_satisfy_four_point(d in arb_ultrametric(10)) {
+        prop_assert!(fourpoint::satisfies_four_point(&d, 1e-9));
+        prop_assert!(fourpoint::epsilon_avg_exact(&d) < 1e-9);
+        prop_assert!(gromov::delta_hyperbolicity_exact(&d) < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_star_monotone(a in 0.0f64..10.0, b in 0.0f64..10.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(fourpoint::epsilon_star(lo) <= fourpoint::epsilon_star(hi));
+        prop_assert!((0.0..1.0).contains(&fourpoint::epsilon_star(lo)));
+    }
+
+    #[test]
+    fn rational_transform_is_order_reversing_bijection(bw in proptest::collection::vec(0.1f64..1000.0, 2..20)) {
+        let t = RationalTransform::default();
+        let mut sorted = bw.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let dists: Vec<f64> = sorted.iter().map(|&v| t.to_distance(v)).collect();
+        for w in dists.windows(2) {
+            prop_assert!(w[0] >= w[1], "transform must reverse order");
+        }
+        for &v in &bw {
+            prop_assert!((t.to_bandwidth(t.to_distance(v)) - v).abs() < 1e-9 * v);
+        }
+    }
+
+    #[test]
+    fn cdf_properties(values in proptest::collection::vec(-100.0f64..100.0, 1..60), x in -150.0f64..150.0) {
+        let cdf = EmpiricalCdf::new(values.clone());
+        let below = cdf.fraction_below(x);
+        let at_or_below = cdf.fraction_at_or_below(x);
+        prop_assert!((0.0..=1.0).contains(&below));
+        prop_assert!(below <= at_or_below);
+        prop_assert_eq!(cdf.fraction_at_or_below(cdf.max()), 1.0);
+        prop_assert_eq!(cdf.fraction_below(cdf.min()), 0.0);
+        // Percentiles are monotone.
+        prop_assert!(cdf.percentile(25.0) <= cdf.percentile(75.0));
+    }
+
+    #[test]
+    fn subset_metric_is_faithful(d in arb_matrix(10), seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..d.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate((d.len() / 2).max(1));
+        let view = SubsetMetric::new(&d, idx.clone());
+        for a in 0..view.len() {
+            for b in 0..view.len() {
+                prop_assert_eq!(view.distance(a, b), d.get(idx[a], idx[b]));
+            }
+        }
+        // Materialization agrees with the view.
+        let m = view.to_matrix();
+        for a in 0..view.len() {
+            for b in 0..view.len() {
+                prop_assert_eq!(m.get(a, b), view.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn gromov_product_bounded_for_true_metrics(pos in proptest::collection::vec(0.0f64..100.0, 3..12)) {
+        // Line metrics are true metrics: 0 <= (x|y)_z <= min(d(z,x), d(z,y)).
+        let d = DistanceMatrix::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs());
+        let n = d.len();
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    let p = gromov::gromov_product(&d, x, y, z);
+                    prop_assert!(p >= -1e-9);
+                    prop_assert!(p <= d.get(z, x).min(d.get(z, y)) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Dynamic membership: hosts joining and leaving a live system.
+//!
+//! The paper's fifth requirement (*dynamic clustering*) asks that cluster
+//! membership adapt as network conditions change. [`DynamicSystem`] layers
+//! that on top of the static stack: the prediction framework restructures
+//! incrementally on every join/leave (re-embedding orphaned anchor
+//! subtrees), and the gossip overlay re-converges afterwards, so queries
+//! always reflect the current membership.
+
+use std::collections::BTreeSet;
+
+use bcc_core::{ClusterError, QueryOutcome};
+use bcc_embed::{EmbedError, PredictionFramework};
+use bcc_metric::{BandwidthMatrix, DistanceMatrix, NodeId};
+
+use crate::engine::SimNetwork;
+use crate::system::SystemConfig;
+
+/// A clustering system whose membership changes over time.
+///
+/// The full host population and their pairwise bandwidth are fixed up
+/// front (the measurement "universe"); hosts then join and leave freely.
+#[derive(Debug, Clone)]
+pub struct DynamicSystem {
+    bandwidth: BandwidthMatrix,
+    real_distance: DistanceMatrix,
+    config: SystemConfig,
+    framework: PredictionFramework,
+    network: Option<SimNetwork>,
+    active: BTreeSet<NodeId>,
+}
+
+impl DynamicSystem {
+    /// Creates an empty system over a measurement universe of
+    /// `bandwidth.len()` potential hosts.
+    pub fn new(bandwidth: BandwidthMatrix, config: SystemConfig) -> Self {
+        let real_distance = config.transform.distance_matrix(&bandwidth);
+        let framework = PredictionFramework::new(config.framework);
+        DynamicSystem {
+            bandwidth,
+            real_distance,
+            config,
+            framework,
+            network: None,
+            active: BTreeSet::new(),
+        }
+    }
+
+    /// Hosts currently participating.
+    pub fn active(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Number of participating hosts.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Returns `true` when nobody has joined.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Joins a host from the universe, measuring against the ground truth.
+    ///
+    /// # Errors
+    ///
+    /// - [`EmbedError::HostExists`] if the host is already active.
+    /// - [`EmbedError::UnknownHost`] if the id is outside the universe.
+    pub fn join(&mut self, host: NodeId) -> Result<(), EmbedError> {
+        if host.index() >= self.bandwidth.len() {
+            return Err(EmbedError::UnknownHost(host));
+        }
+        let real = &self.real_distance;
+        self.framework
+            .join(host, |a, b| real.get(a.index(), b.index()))?;
+        self.active.insert(host);
+        self.rebuild();
+        Ok(())
+    }
+
+    /// Removes a host; its anchor descendants are re-embedded
+    /// automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::UnknownHost`] if the host is not active.
+    pub fn leave(&mut self, host: NodeId) -> Result<(), EmbedError> {
+        let real = &self.real_distance;
+        self.framework
+            .leave(host, |a, b| real.get(a.index(), b.index()))?;
+        self.active.remove(&host);
+        self.rebuild();
+        Ok(())
+    }
+
+    /// Decentralized query against the current membership.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNeighbor`] when no host has joined yet, plus
+    /// the usual validation errors of [`bcc_core::process_query`].
+    pub fn query(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+    ) -> Result<QueryOutcome, ClusterError> {
+        match &self.network {
+            Some(net) => net.query(start, k, bandwidth),
+            None => Err(ClusterError::UnknownNeighbor {
+                neighbor: start.index(),
+            }),
+        }
+    }
+
+    /// The current overlay, if any host is active.
+    pub fn network(&self) -> Option<&SimNetwork> {
+        self.network.as_ref()
+    }
+
+    /// The prediction framework (restructured incrementally under churn).
+    pub fn framework(&self) -> &PredictionFramework {
+        &self.framework
+    }
+
+    /// Ground-truth bandwidth between two universe hosts.
+    pub fn real_bandwidth(&self, u: NodeId, v: NodeId) -> f64 {
+        self.bandwidth.get(u.index(), v.index())
+    }
+
+    fn rebuild(&mut self) {
+        if self.active.is_empty() {
+            self.network = None;
+            return;
+        }
+        // Predicted distances indexed by universe id; inactive rows unused.
+        let n = self.bandwidth.len();
+        let fw = &self.framework;
+        let predicted = DistanceMatrix::from_fn(n, |i, j| {
+            fw.distance(NodeId::new(i), NodeId::new(j)).unwrap_or(0.0)
+        });
+        let mut net = SimNetwork::new(fw.anchor(), predicted, self.config.protocol.clone());
+        net.run_to_convergence(self.config.max_rounds)
+            .expect("gossip on a tree overlay converges");
+        self.network = Some(net);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_core::BandwidthClasses;
+    use bcc_metric::RationalTransform;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn universe() -> BandwidthMatrix {
+        // Access-link model: 0-2 fast (100), 3-4 medium (30), 5 slow (10).
+        let caps = [100.0f64, 100.0, 100.0, 30.0, 30.0, 10.0];
+        BandwidthMatrix::from_fn(6, |i, j| caps[i].min(caps[j]))
+    }
+
+    fn dynamic() -> DynamicSystem {
+        let cls = BandwidthClasses::new(vec![40.0, 80.0], RationalTransform::default());
+        DynamicSystem::new(universe(), SystemConfig::new(cls))
+    }
+
+    #[test]
+    fn empty_system_rejects_queries() {
+        let s = dynamic();
+        assert!(s.is_empty());
+        assert!(s.query(n(0), 2, 40.0).is_err());
+    }
+
+    #[test]
+    fn query_reflects_membership_growth() {
+        let mut s = dynamic();
+        s.join(n(0)).unwrap();
+        s.join(n(3)).unwrap();
+        // Only one fast host: no 2-cluster at 80 Mbps yet.
+        assert!(!s.query(n(0), 2, 80.0).unwrap().found());
+        s.join(n(1)).unwrap();
+        // Now hosts 0 and 1 share 100 Mbps.
+        let out = s.query(n(3), 2, 80.0).unwrap();
+        assert!(out.found());
+        let c = out.cluster.unwrap();
+        assert_eq!(c, vec![n(0), n(1)]);
+    }
+
+    #[test]
+    fn query_reflects_departures() {
+        let mut s = dynamic();
+        for i in 0..4 {
+            s.join(n(i)).unwrap();
+        }
+        assert!(s.query(n(3), 3, 80.0).unwrap().found());
+        s.leave(n(1)).unwrap();
+        assert_eq!(s.len(), 3);
+        // Only two fast hosts remain: the 3-cluster is gone.
+        assert!(!s.query(n(3), 3, 80.0).unwrap().found());
+        assert!(s.query(n(3), 2, 80.0).unwrap().found());
+    }
+
+    #[test]
+    fn rejoin_after_leave() {
+        let mut s = dynamic();
+        for i in 0..3 {
+            s.join(n(i)).unwrap();
+        }
+        s.leave(n(2)).unwrap();
+        s.join(n(2)).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.query(n(0), 3, 80.0).unwrap().found());
+    }
+
+    #[test]
+    fn join_validation() {
+        let mut s = dynamic();
+        s.join(n(0)).unwrap();
+        assert!(matches!(s.join(n(0)), Err(EmbedError::HostExists(_))));
+        assert!(matches!(s.join(n(99)), Err(EmbedError::UnknownHost(_))));
+        assert!(matches!(s.leave(n(5)), Err(EmbedError::UnknownHost(_))));
+    }
+
+    #[test]
+    fn departure_of_overlay_root_survives() {
+        let mut s = dynamic();
+        for i in 0..5 {
+            s.join(n(i)).unwrap();
+        }
+        // Host 0 joined first: it is the overlay root.
+        s.leave(n(0)).unwrap();
+        assert_eq!(s.len(), 4);
+        let out = s.query(n(4), 2, 80.0).unwrap();
+        assert!(out.found(), "hosts 1 and 2 still share 100 Mbps");
+    }
+}

@@ -1,0 +1,424 @@
+//! The round-based gossip engine (PeerSim-style cycle-driven simulation).
+//!
+//! Each round has two phases, mirroring the paper's background mechanisms:
+//!
+//! 1. **Close-node aggregation** (Algorithm 2): every overlay edge carries a
+//!    `NodeInfo` message in both directions.
+//! 2. **CRT aggregation** (Algorithm 3): every node recomputes its local
+//!    maximum cluster sizes (only when its clustering space changed), then
+//!    every edge carries a `CrtRow` message in both directions.
+//!
+//! Rounds repeat until a fixpoint: information needs at most one overlay
+//! diameter of rounds to flood, and the CRTs one more. The engine tracks
+//! message and byte counts so the evaluation can report communication costs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use bcc_core::{process_query, ClusterNode, ProtocolConfig, QueryOutcome};
+use bcc_embed::AnchorTree;
+use bcc_metric::{DistanceMatrix, NodeId};
+
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::wire::Message;
+
+/// Communication statistics accumulated by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Gossip messages delivered.
+    pub messages: u64,
+    /// Total serialized payload bytes.
+    pub bytes: u64,
+}
+
+/// The simulated overlay network running the clustering protocol.
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    nodes: Vec<ClusterNode>,
+    predicted: DistanceMatrix,
+    config: ProtocolConfig,
+    rounds_run: usize,
+    traffic: TrafficStats,
+    space_digest: Vec<u64>,
+    trace: Option<Trace>,
+}
+
+impl SimNetwork {
+    /// Builds the network over an anchor-tree overlay with a predicted
+    /// distance matrix indexed by host id.
+    ///
+    /// Ids in `0..predicted.len()` that are absent from the overlay become
+    /// isolated placeholders: they carry no gossip and answer no queries.
+    /// This is what lets a dynamic system keep stable host ids across joins
+    /// and departures (see [`crate::DynamicSystem`]).
+    pub fn new(anchor: &AnchorTree, predicted: DistanceMatrix, config: ProtocolConfig) -> Self {
+        let n = predicted.len();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId::new(i);
+            let neighbors = if anchor.contains(id) {
+                anchor.neighbors(id)
+            } else {
+                Vec::new()
+            };
+            nodes.push(ClusterNode::new(id, neighbors, config.classes.len()));
+        }
+        SimNetwork {
+            nodes,
+            predicted,
+            config,
+            rounds_run: 0,
+            traffic: TrafficStats::default(),
+            space_digest: vec![0; n],
+            trace: None,
+        }
+    }
+
+    /// Turns on message tracing with a bounded buffer (see [`Trace`]).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The message trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Number of participating hosts.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for an empty network.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Accumulated traffic.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic
+    }
+
+    /// Immutable view of the protocol nodes.
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    fn predicted_dist(&self) -> impl Fn(NodeId, NodeId) -> f64 + '_ {
+        move |a, b| self.predicted.get(a.index(), b.index())
+    }
+
+    /// Runs one gossip round. Returns `true` if any node's state changed
+    /// (i.e. the protocol has not yet converged).
+    pub fn run_round(&mut self) -> bool {
+        let digest_before = self.digest();
+        let n_cut = self.config.n_cut;
+        let n = self.nodes.len();
+
+        // Phase 1: NodeInfo along every directed overlay edge. Messages are
+        // produced from the pre-round state (synchronous rounds), encoded to
+        // bytes for accounting, then delivered.
+        let mut deliveries: Vec<(usize, NodeId, Message)> = Vec::new();
+        for m in 0..n {
+            let sender = &self.nodes[m];
+            for &x in sender.neighbors() {
+                let info = sender
+                    .node_info_for(x, n_cut, |a, b| self.predicted.get(a.index(), b.index()))
+                    .expect("overlay neighbors are mutual");
+                deliveries.push((x.index(), sender.id(), Message::NodeInfo { nodes: info }));
+            }
+        }
+        for (to, from, msg) in deliveries {
+            self.traffic.messages += 1;
+            self.traffic.bytes += msg.wire_len() as u64;
+            let decoded = Message::decode(msg.encode()).expect("self-produced message decodes");
+            let Message::NodeInfo { nodes } = decoded else {
+                unreachable!("phase 1 payload")
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    round: self.rounds_run,
+                    from,
+                    to: NodeId::new(to),
+                    kind: TraceKind::NodeInfo,
+                    entries: nodes.len(),
+                    bytes: msg.wire_len(),
+                });
+            }
+            self.nodes[to]
+                .receive_node_info(from, nodes)
+                .expect("valid neighbor");
+        }
+
+        // Phase 2: recompute local maxima (only where the space changed),
+        // then CrtRow along every directed edge.
+        for i in 0..n {
+            let space = self.nodes[i].clustering_space();
+            let mut h = DefaultHasher::new();
+            space.hash(&mut h);
+            let d = h.finish();
+            if d != self.space_digest[i] {
+                self.space_digest[i] = d;
+                let predicted = &self.predicted;
+                self.nodes[i].recompute_own_max(&self.config.classes, |a, b| {
+                    predicted.get(a.index(), b.index())
+                });
+            }
+        }
+        let mut deliveries: Vec<(usize, NodeId, Message)> = Vec::new();
+        for m in 0..n {
+            let sender = &self.nodes[m];
+            for &x in sender.neighbors() {
+                let row = sender.crt_for(x).expect("overlay neighbors are mutual");
+                let sizes = row
+                    .iter()
+                    .map(|&s| u32::try_from(s).expect("cluster size fits u32"))
+                    .collect();
+                deliveries.push((x.index(), sender.id(), Message::CrtRow { sizes }));
+            }
+        }
+        for (to, from, msg) in deliveries {
+            self.traffic.messages += 1;
+            self.traffic.bytes += msg.wire_len() as u64;
+            let decoded = Message::decode(msg.encode()).expect("self-produced message decodes");
+            let Message::CrtRow { sizes } = decoded else {
+                unreachable!("phase 2 payload")
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    round: self.rounds_run,
+                    from,
+                    to: NodeId::new(to),
+                    kind: TraceKind::CrtRow,
+                    entries: sizes.len(),
+                    bytes: msg.wire_len(),
+                });
+            }
+            let row = sizes.into_iter().map(|s| s as usize).collect();
+            self.nodes[to]
+                .receive_crt(from, row)
+                .expect("valid neighbor");
+        }
+
+        self.rounds_run += 1;
+        self.digest() != digest_before
+    }
+
+    /// Runs rounds until a fixpoint, up to `max_rounds`.
+    ///
+    /// Returns the number of rounds executed, or `None` if the state was
+    /// still changing at the cap (which indicates a bug or a pathological
+    /// overlay — gossip on a tree converges within `2 × diameter + 2`
+    /// rounds).
+    pub fn run_to_convergence(&mut self, max_rounds: usize) -> Option<usize> {
+        let start = self.rounds_run;
+        for _ in 0..max_rounds {
+            if !self.run_round() {
+                return Some(self.rounds_run - start);
+            }
+        }
+        None
+    }
+
+    /// Submits a query `(k, bandwidth)` at `start` and routes it through the
+    /// overlay (Algorithm 4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of
+    /// [`bcc_core::process_query`].
+    pub fn query(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+    ) -> Result<QueryOutcome, bcc_core::ClusterError> {
+        process_query(
+            &self.nodes,
+            start,
+            k,
+            bandwidth,
+            &self.config.classes,
+            self.predicted_dist(),
+        )
+    }
+
+    /// [`SimNetwork::query`] with an explicit forwarding policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimNetwork::query`].
+    pub fn query_with_policy(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        policy: bcc_core::RoutePolicy,
+    ) -> Result<QueryOutcome, bcc_core::ClusterError> {
+        bcc_core::process_query_with_policy(
+            &self.nodes,
+            start,
+            k,
+            bandwidth,
+            &self.config.classes,
+            self.predicted_dist(),
+            policy,
+        )
+    }
+
+    /// Hash of all protocol state (spaces + CRTs), used for convergence
+    /// detection and determinism tests.
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for node in &self.nodes {
+            node.clustering_space().hash(&mut h);
+            node.own_max().hash(&mut h);
+            for &v in node.neighbors() {
+                for c in 0..self.config.classes.len() {
+                    node.crt_entry(v, c).hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_core::BandwidthClasses;
+    use bcc_embed::{FrameworkConfig, PredictionFramework};
+    use bcc_metric::RationalTransform;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Line tree metric over 6 hosts: ids at positions 0, 2, 4, …
+    fn line_matrix(count: usize) -> DistanceMatrix {
+        DistanceMatrix::from_fn(count, |i, j| 2.0 * (i as f64 - j as f64).abs())
+    }
+
+    fn build(count: usize, n_cut: usize, classes: Vec<f64>) -> SimNetwork {
+        let d = line_matrix(count);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let cls = BandwidthClasses::new(classes, RationalTransform::new(100.0));
+        let cfg = ProtocolConfig::new(n_cut, cls);
+        SimNetwork::new(fw.anchor(), fw.predicted_matrix(), cfg)
+    }
+
+    #[test]
+    fn converges_on_small_overlay() {
+        let mut net = build(6, 3, vec![25.0, 50.0]);
+        let rounds = net.run_to_convergence(50).expect("must converge");
+        assert!(
+            rounds >= 2,
+            "needs at least a couple of rounds, got {rounds}"
+        );
+        // Converged: one more round changes nothing.
+        assert!(!net.run_round());
+    }
+
+    #[test]
+    fn traffic_is_counted() {
+        let mut net = build(5, 3, vec![50.0]);
+        assert_eq!(net.traffic(), TrafficStats::default());
+        net.run_round();
+        let t = net.traffic();
+        // 4 overlay edges × 2 directions × 2 phases = 16 messages.
+        assert_eq!(t.messages, 16);
+        assert!(t.bytes >= 16 * 5);
+    }
+
+    #[test]
+    fn deterministic_digest() {
+        let mut a = build(6, 3, vec![25.0, 50.0]);
+        let mut b = build(6, 3, vec![25.0, 50.0]);
+        a.run_to_convergence(50).unwrap();
+        b.run_to_convergence(50).unwrap();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn query_after_convergence_finds_cluster() {
+        // Line positions 0..10 step 2; class b=50 → l=2: adjacent pairs.
+        let mut net = build(6, 3, vec![25.0, 50.0]);
+        net.run_to_convergence(50).unwrap();
+        for start in 0..6 {
+            let out = net.query(n(start), 2, 50.0).unwrap();
+            assert!(out.found(), "start n{start}");
+            let c = out.cluster.unwrap();
+            assert_eq!(c.len(), 2);
+            assert!((c[0].index() as f64 - c[1].index() as f64).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn query_for_impossible_cluster_is_empty() {
+        let mut net = build(6, 3, vec![25.0, 50.0]);
+        net.run_to_convergence(50).unwrap();
+        // l=2 only admits adjacent pairs; k=4 is impossible anywhere.
+        let out = net.query(n(0), 4, 50.0).unwrap();
+        assert!(!out.found());
+    }
+
+    #[test]
+    fn ncut_bounds_message_size() {
+        let mut small = build(8, 2, vec![25.0]);
+        let mut large = build(8, 6, vec![25.0]);
+        small.run_to_convergence(50).unwrap();
+        large.run_to_convergence(50).unwrap();
+        let per_msg_small = small.traffic().bytes as f64 / small.traffic().messages as f64;
+        let per_msg_large = large.traffic().bytes as f64 / large.traffic().messages as f64;
+        assert!(per_msg_small < per_msg_large);
+    }
+
+    #[test]
+    fn tracing_records_every_delivery() {
+        let mut net = build(5, 3, vec![50.0]);
+        net.enable_tracing(1024);
+        net.run_round();
+        let trace = net.trace().expect("enabled");
+        assert_eq!(trace.len() as u64, net.traffic().messages);
+        // Both phases present, bytes match the wire.
+        use crate::trace::TraceKind;
+        assert!(trace.events().iter().any(|e| e.kind == TraceKind::NodeInfo));
+        assert!(trace.events().iter().any(|e| e.kind == TraceKind::CrtRow));
+        let traced_bytes: u64 = trace.events().iter().map(|e| e.bytes as u64).sum();
+        assert_eq!(traced_bytes, net.traffic().bytes);
+        // Rendering works and mentions an edge.
+        assert!(trace.render(4).contains("->"));
+        // Per-edge symmetry: every edge carries traffic both ways.
+        for ((a, b), _) in trace.per_edge_counts() {
+            assert!(trace.per_edge_counts().contains_key(&(b, a)));
+        }
+    }
+
+    #[test]
+    fn absent_hosts_are_isolated_placeholders() {
+        // Overlay holds hosts 0..3 but the id space is 0..4: host 3 exists
+        // as an inert placeholder.
+        let d = line_matrix(4);
+        let fw =
+            PredictionFramework::build_from_matrix(&line_matrix(3), FrameworkConfig::default());
+        let cls = BandwidthClasses::new(vec![50.0], RationalTransform::new(100.0));
+        let mut net = SimNetwork::new(fw.anchor(), d, ProtocolConfig::new(2, cls));
+        net.run_to_convergence(20).unwrap();
+        assert!(net.nodes()[3].neighbors().is_empty());
+        // A query submitted at the placeholder finds nothing.
+        let out = net.query(n(3), 2, 50.0).unwrap();
+        assert!(!out.found());
+        // Active hosts still answer.
+        assert!(net.query(n(0), 2, 50.0).unwrap().found());
+    }
+}

@@ -1,0 +1,467 @@
+//! Event-driven (asynchronous) execution of the clustering protocol.
+//!
+//! The cycle-driven engine ([`crate::SimNetwork`]) delivers every message in
+//! lock-step rounds — convenient, but real deployments have per-link
+//! latencies and unsynchronized gossip timers. [`AsyncNetwork`] runs the
+//! *same* per-node protocol ([`bcc_core::ClusterNode`]) under a discrete
+//! event queue: each node fires on its own jittered period, and every
+//! message is delayed by a random per-delivery latency.
+//!
+//! Algorithms 2 and 3 compute a fixpoint that is *unique on a tree overlay*
+//! (their correctness proofs are inductions over the tree, independent of
+//! message timing), so the asynchronous execution must reach exactly the
+//! same protocol state as the synchronous one — a property the tests and
+//! the `simnet` integration suite verify via state digests.
+
+use std::cmp::Reverse;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+
+use bcc_core::{ClusterNode, ProtocolConfig, QueryOutcome};
+use bcc_embed::AnchorTree;
+use bcc_metric::{DistanceMatrix, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::wire::Message;
+
+/// Configuration for an [`AsyncNetwork`].
+#[derive(Debug, Clone)]
+pub struct AsyncConfig {
+    /// Protocol parameters (`n_cut`, bandwidth classes).
+    pub protocol: ProtocolConfig,
+    /// Seconds between one node's gossip emissions.
+    pub gossip_period: f64,
+    /// Uniform per-message delivery latency range (seconds).
+    pub latency: (f64, f64),
+    /// Fractional jitter applied to each timer interval (`0.1` = ±10 %).
+    pub timer_jitter: f64,
+    /// Probability that a message is silently dropped in flight. Periodic
+    /// gossip makes the protocol self-stabilizing: any loss rate `< 1`
+    /// still converges to the same fixpoint, just later.
+    pub loss: f64,
+    /// RNG seed for phases, jitter, latencies and losses.
+    pub seed: u64,
+}
+
+impl AsyncConfig {
+    /// A reasonable default: 1 s period, 10–150 ms latency, 10 % jitter.
+    pub fn new(protocol: ProtocolConfig) -> Self {
+        AsyncConfig {
+            protocol,
+            gossip_period: 1.0,
+            latency: (0.01, 0.15),
+            timer_jitter: 0.1,
+            loss: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// A node's gossip timer fires: emit NodeInfo + CrtRow to all neighbors.
+    Timer(NodeId),
+    /// A message arrives.
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        payload: Message,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are finite")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The asynchronous overlay simulation.
+#[derive(Debug, Clone)]
+pub struct AsyncNetwork {
+    nodes: Vec<ClusterNode>,
+    predicted: DistanceMatrix,
+    config: AsyncConfig,
+    rng: StdRng,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: f64,
+    seq: u64,
+    delivered: u64,
+    space_digest: Vec<u64>,
+}
+
+impl AsyncNetwork {
+    /// Builds the network over an anchor-tree overlay, scheduling each
+    /// node's first timer at a random phase within one period.
+    pub fn new(anchor: &AnchorTree, predicted: DistanceMatrix, config: AsyncConfig) -> Self {
+        let n = predicted.len();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId::new(i);
+            let neighbors = if anchor.contains(id) {
+                anchor.neighbors(id)
+            } else {
+                Vec::new()
+            };
+            nodes.push(ClusterNode::new(
+                id,
+                neighbors,
+                config.protocol.classes.len(),
+            ));
+        }
+        let mut net = AsyncNetwork {
+            nodes,
+            predicted,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            delivered: 0,
+            space_digest: vec![0; n],
+        };
+        for i in 0..n {
+            let phase = net.rng.gen_range(0.0..net.config.gossip_period);
+            net.push_event(phase, EventKind::Timer(NodeId::new(i)));
+        }
+        net
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        let e = Event {
+            time,
+            seq: self.seq,
+            kind,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(e));
+    }
+
+    /// Current simulated time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Immutable view of the protocol nodes.
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// Runs the simulation until simulated time `until`.
+    pub fn run_until(&mut self, until: f64) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > until {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            self.now = event.time;
+            match event.kind {
+                EventKind::Timer(id) => self.fire_timer(id),
+                EventKind::Deliver { to, from, payload } => self.deliver(to, from, payload),
+            }
+        }
+        self.now = until;
+    }
+
+    /// Runs in windows of `window` simulated seconds until the protocol
+    /// state stops changing (checked at window boundaries), up to
+    /// `max_time`. Returns the convergence time, or `None` at the cap.
+    pub fn run_to_convergence(&mut self, window: f64, max_time: f64) -> Option<f64> {
+        let mut last = self.digest();
+        let mut t = self.now;
+        while t < max_time {
+            t += window;
+            self.run_until(t);
+            let d = self.digest();
+            if d == last {
+                return Some(self.now);
+            }
+            last = d;
+        }
+        None
+    }
+
+    fn fire_timer(&mut self, id: NodeId) {
+        // Emit to every neighbor, then reschedule with jitter.
+        let neighbors = self.nodes[id.index()].neighbors().to_vec();
+        let n_cut = self.config.protocol.n_cut;
+        for to in neighbors {
+            let info = self.nodes[id.index()]
+                .node_info_for(to, n_cut, |a, b| self.predicted.get(a.index(), b.index()))
+                .expect("overlay neighbors are mutual");
+            let crt = self.nodes[id.index()].crt_for(to).expect("neighbor");
+            if !self.dropped() {
+                let lat = self
+                    .rng
+                    .gen_range(self.config.latency.0..=self.config.latency.1);
+                self.push_event(
+                    self.now + lat,
+                    EventKind::Deliver {
+                        to,
+                        from: id,
+                        payload: Message::NodeInfo { nodes: info },
+                    },
+                );
+            }
+            if !self.dropped() {
+                let lat = self
+                    .rng
+                    .gen_range(self.config.latency.0..=self.config.latency.1);
+                let sizes = crt
+                    .iter()
+                    .map(|&s| u32::try_from(s).expect("cluster size fits u32"))
+                    .collect();
+                self.push_event(
+                    self.now + lat,
+                    EventKind::Deliver {
+                        to,
+                        from: id,
+                        payload: Message::CrtRow { sizes },
+                    },
+                );
+            }
+        }
+        let jitter = 1.0
+            + self
+                .rng
+                .gen_range(-self.config.timer_jitter..=self.config.timer_jitter);
+        let next = self.now + self.config.gossip_period * jitter;
+        self.push_event(next, EventKind::Timer(id));
+    }
+
+    fn dropped(&mut self) -> bool {
+        self.config.loss > 0.0 && self.rng.gen_bool(self.config.loss.min(1.0))
+    }
+
+    fn deliver(&mut self, to: NodeId, from: NodeId, payload: Message) {
+        self.delivered += 1;
+        match payload {
+            Message::NodeInfo { nodes } => {
+                self.nodes[to.index()]
+                    .receive_node_info(from, nodes)
+                    .expect("valid neighbor");
+                // Recompute local maxima when the clustering space changed
+                // (the asynchronous analogue of Algorithm 3, line 8).
+                let space = self.nodes[to.index()].clustering_space();
+                let mut h = DefaultHasher::new();
+                space.hash(&mut h);
+                let d = h.finish();
+                if d != self.space_digest[to.index()] {
+                    self.space_digest[to.index()] = d;
+                    let predicted = &self.predicted;
+                    self.nodes[to.index()]
+                        .recompute_own_max(&self.config.protocol.classes, |a, b| {
+                            predicted.get(a.index(), b.index())
+                        });
+                }
+            }
+            Message::CrtRow { sizes } => {
+                let row = sizes.into_iter().map(|s| s as usize).collect();
+                self.nodes[to.index()]
+                    .receive_crt(from, row)
+                    .expect("valid neighbor");
+            }
+        }
+    }
+
+    /// Submits a query against the current (possibly not yet converged)
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// See [`bcc_core::process_query`].
+    pub fn query(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+    ) -> Result<QueryOutcome, bcc_core::ClusterError> {
+        bcc_core::process_query(
+            &self.nodes,
+            start,
+            k,
+            bandwidth,
+            &self.config.protocol.classes,
+            |a, b| self.predicted.get(a.index(), b.index()),
+        )
+    }
+
+    /// Hash of all protocol state — comparable with
+    /// [`crate::SimNetwork::digest`] because both hash the same fields in
+    /// the same order.
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for node in &self.nodes {
+            node.clustering_space().hash(&mut h);
+            node.own_max().hash(&mut h);
+            for &v in node.neighbors() {
+                for c in 0..self.config.protocol.classes.len() {
+                    node.crt_entry(v, c).hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_core::BandwidthClasses;
+    use bcc_embed::{FrameworkConfig, PredictionFramework};
+    use bcc_metric::RationalTransform;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn line_matrix(count: usize) -> DistanceMatrix {
+        DistanceMatrix::from_fn(count, |i, j| 2.0 * (i as f64 - j as f64).abs())
+    }
+
+    fn protocol() -> ProtocolConfig {
+        let cls = BandwidthClasses::new(vec![25.0, 50.0], RationalTransform::new(100.0));
+        ProtocolConfig::new(3, cls)
+    }
+
+    fn build_async(count: usize, seed: u64) -> (AsyncNetwork, crate::SimNetwork) {
+        let d = line_matrix(count);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let mut cfg = AsyncConfig::new(protocol());
+        cfg.seed = seed;
+        let a = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), cfg);
+        let mut s = crate::SimNetwork::new(fw.anchor(), fw.predicted_matrix(), protocol());
+        s.run_to_convergence(100).expect("sync converges");
+        (a, s)
+    }
+
+    #[test]
+    fn async_converges_to_synchronous_fixpoint() {
+        let (mut a, s) = build_async(8, 1);
+        let t = a.run_to_convergence(2.0, 500.0).expect("async converges");
+        assert!(t > 0.0);
+        assert_eq!(
+            a.digest(),
+            s.digest(),
+            "fixpoint must be schedule-independent"
+        );
+    }
+
+    #[test]
+    fn fixpoint_is_seed_independent() {
+        let (mut a1, _) = build_async(10, 11);
+        let (mut a2, _) = build_async(10, 2222);
+        a1.run_to_convergence(2.0, 500.0).unwrap();
+        a2.run_to_convergence(2.0, 500.0).unwrap();
+        assert_eq!(a1.digest(), a2.digest());
+    }
+
+    #[test]
+    fn queries_work_after_async_convergence() {
+        let (mut a, _) = build_async(6, 3);
+        a.run_to_convergence(2.0, 500.0).unwrap();
+        let out = a.query(n(0), 2, 50.0).unwrap();
+        assert!(out.found());
+        let out = a.query(n(0), 4, 50.0).unwrap();
+        assert!(!out.found());
+    }
+
+    #[test]
+    fn time_and_deliveries_advance() {
+        let (mut a, _) = build_async(5, 4);
+        assert_eq!(a.delivered(), 0);
+        a.run_until(3.0);
+        assert!(a.now() == 3.0);
+        assert!(a.delivered() > 0);
+        let before = a.delivered();
+        a.run_until(6.0);
+        assert!(a.delivered() > before, "gossip keeps flowing");
+    }
+
+    #[test]
+    fn early_queries_are_safe_but_may_miss() {
+        // Before convergence the CRTs are incomplete: queries must not
+        // panic and must never return an invalid cluster.
+        let (mut a, _) = build_async(8, 5);
+        a.run_until(0.05); // almost nothing delivered yet
+        let out = a.query(n(0), 2, 50.0).unwrap();
+        if let Some(c) = out.cluster {
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn converges_under_heavy_message_loss() {
+        // 30 % of messages vanish; periodic gossip still reaches the same
+        // fixpoint as the lossless synchronous engine, just later.
+        let d = line_matrix(8);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let mut s = crate::SimNetwork::new(fw.anchor(), fw.predicted_matrix(), protocol());
+        s.run_to_convergence(100).unwrap();
+
+        let mut cfg = AsyncConfig::new(protocol());
+        cfg.loss = 0.3;
+        cfg.seed = 77;
+        let mut a = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), cfg);
+        // Run a fixed long horizon rather than window-detection: loss makes
+        // quiet windows ambiguous.
+        a.run_until(400.0);
+        assert_eq!(
+            a.digest(),
+            s.digest(),
+            "lossy async must reach the lossless fixpoint"
+        );
+    }
+
+    #[test]
+    fn total_loss_never_converges_to_fixpoint() {
+        let d = line_matrix(6);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let mut s = crate::SimNetwork::new(fw.anchor(), fw.predicted_matrix(), protocol());
+        s.run_to_convergence(100).unwrap();
+
+        let mut cfg = AsyncConfig::new(protocol());
+        cfg.loss = 1.0;
+        let mut a = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), cfg);
+        a.run_until(100.0);
+        assert_eq!(a.delivered(), 0);
+        assert_ne!(a.digest(), s.digest());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (mut a1, _) = build_async(7, 9);
+        let (mut a2, _) = build_async(7, 9);
+        a1.run_until(50.0);
+        a2.run_until(50.0);
+        assert_eq!(a1.digest(), a2.digest());
+        assert_eq!(a1.delivered(), a2.delivered());
+    }
+}

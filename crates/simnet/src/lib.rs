@@ -1,0 +1,43 @@
+//! Deterministic round-based network simulator for the clustering protocol.
+//!
+//! A PeerSim-equivalent substrate: [`SimNetwork`] runs the gossip protocol
+//! (Algorithms 2 and 3) in synchronous rounds over an anchor-tree overlay
+//! and answers decentralized queries (Algorithm 4) with hop accounting;
+//! [`ClusterSystem`] assembles measurements → prediction framework →
+//! converged overlay in one call; [`DynamicSystem`] adds join/leave churn.
+//! Messages are serialized through [`Message`] so traffic is charged its
+//! real wire size.
+//!
+//! # Example
+//!
+//! ```
+//! use bcc_core::BandwidthClasses;
+//! use bcc_metric::{BandwidthMatrix, NodeId, RationalTransform};
+//! use bcc_simnet::{ClusterSystem, SystemConfig};
+//!
+//! // Three fast hosts and a slow one, access-link bottlenecked.
+//! let caps = [100.0f64, 100.0, 100.0, 10.0];
+//! let bw = BandwidthMatrix::from_fn(4, |i, j| caps[i].min(caps[j]));
+//! let classes = BandwidthClasses::new(vec![50.0], RationalTransform::default());
+//! let system = ClusterSystem::build(bw, SystemConfig::new(classes));
+//!
+//! let out = system.query(NodeId::new(3), 3, 50.0).expect("valid query");
+//! assert!(out.found());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod churn;
+mod engine;
+mod event;
+mod system;
+mod trace;
+mod wire;
+
+pub use churn::DynamicSystem;
+pub use engine::{SimNetwork, TrafficStats};
+pub use event::{AsyncConfig, AsyncNetwork};
+pub use system::{ClusterSystem, SystemConfig};
+pub use trace::{Trace, TraceEvent, TraceKind};
+pub use wire::Message;

@@ -1,0 +1,186 @@
+//! Gossip tracing: a bounded in-memory record of protocol messages.
+//!
+//! Debugging a decentralized protocol usually starts with "what did node 7
+//! actually tell node 3, and when?". [`Trace`] captures one entry per
+//! delivered message (round, edge, kind, payload size) in a bounded buffer
+//! — enable it on a [`crate::SimNetwork`] with
+//! [`crate::SimNetwork::enable_tracing`] before running rounds.
+
+use std::collections::BTreeMap;
+
+use bcc_metric::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Message kind, mirroring the two gossip payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Algorithm 2 close-node record.
+    NodeInfo,
+    /// Algorithm 3 CRT row.
+    CrtRow,
+}
+
+/// One delivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Gossip round the message was delivered in (0-based).
+    pub round: usize,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload kind.
+    pub kind: TraceKind,
+    /// Payload entries (hosts or class columns).
+    pub entries: usize,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+}
+
+/// A bounded message trace; when full, the oldest events are dropped.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace { events: Vec::with_capacity(capacity.min(1024)), capacity, dropped: 0 }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` before anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Message counts per directed overlay edge.
+    pub fn per_edge_counts(&self) -> BTreeMap<(NodeId, NodeId), u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            *out.entry((e.from, e.to)).or_insert(0u64) += 1;
+        }
+        out
+    }
+
+    /// Renders the most recent `limit` events as readable lines.
+    pub fn render(&self, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let skip = self.events.len().saturating_sub(limit);
+        if self.dropped > 0 || skip > 0 {
+            let _ = writeln!(out, "... ({} earlier events)", self.dropped + skip as u64);
+        }
+        for e in &self.events[skip..] {
+            let kind = match e.kind {
+                TraceKind::NodeInfo => "NODE",
+                TraceKind::CrtRow => "CRT ",
+            };
+            let _ = writeln!(
+                out,
+                "r{:<4} {} {} -> {} ({} entries, {} B)",
+                e.round, kind, e.from, e.to, e.entries, e.bytes
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: usize, from: usize, to: usize) -> TraceEvent {
+        TraceEvent {
+            round,
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            kind: TraceKind::NodeInfo,
+            entries: 3,
+            bytes: 17,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new(10);
+        assert!(t.is_empty());
+        t.record(ev(0, 1, 2));
+        t.record(ev(1, 2, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].round, 0);
+        assert_eq!(t.events()[1].from, NodeId::new(2));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for r in 0..5 {
+            t.record(ev(r, 0, 1));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.events()[0].round, 2);
+    }
+
+    #[test]
+    fn per_edge_counts() {
+        let mut t = Trace::new(10);
+        t.record(ev(0, 1, 2));
+        t.record(ev(0, 1, 2));
+        t.record(ev(0, 2, 1));
+        let counts = t.per_edge_counts();
+        assert_eq!(counts[&(NodeId::new(1), NodeId::new(2))], 2);
+        assert_eq!(counts[&(NodeId::new(2), NodeId::new(1))], 1);
+    }
+
+    #[test]
+    fn render_shows_recent_and_elides_old() {
+        let mut t = Trace::new(5);
+        for r in 0..5 {
+            t.record(ev(r, 0, 1));
+        }
+        let s = t.render(2);
+        assert!(s.contains("earlier events"));
+        assert!(s.contains("r4"));
+        assert!(!s.contains("r1 "));
+        assert!(s.contains("NODE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Trace::new(0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fuzz-style property tests for the wire codec: decoding must be total
+//! (never panic), and encode/decode must round-trip exactly.
+
+use bcc_metric::NodeId;
+use bcc_simnet::Message;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever the bytes, decode returns Some or None — never panics.
+        let _ = Message::decode(Bytes::from(data));
+    }
+
+    #[test]
+    fn node_info_roundtrips(ids in proptest::collection::vec(0u32..1_000_000, 0..64)) {
+        let msg = Message::NodeInfo {
+            nodes: ids.iter().map(|&i| NodeId::new(i as usize)).collect(),
+        };
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), msg.wire_len());
+        prop_assert_eq!(Message::decode(encoded), Some(msg));
+    }
+
+    #[test]
+    fn crt_row_roundtrips(sizes in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let msg = Message::CrtRow { sizes };
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), msg.wire_len());
+        prop_assert_eq!(Message::decode(encoded), Some(msg));
+    }
+
+    #[test]
+    fn truncation_is_detected(ids in proptest::collection::vec(0u32..1000, 1..32), cut in 1usize..16) {
+        let msg = Message::NodeInfo {
+            nodes: ids.iter().map(|&i| NodeId::new(i as usize)).collect(),
+        };
+        let encoded = msg.encode();
+        let cut = cut.min(encoded.len());
+        let truncated = encoded.slice(0..encoded.len() - cut);
+        prop_assert_eq!(Message::decode(truncated), None);
+    }
+
+    #[test]
+    fn trailing_garbage_tolerated_or_rejected_consistently(
+        sizes in proptest::collection::vec(any::<u32>(), 0..16),
+        garbage in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        // Extra bytes after a well-formed frame: the codec reads exactly
+        // the declared length, so decoding still yields the same message.
+        let msg = Message::CrtRow { sizes };
+        let mut raw = msg.encode().to_vec();
+        raw.extend_from_slice(&garbage);
+        prop_assert_eq!(Message::decode(Bytes::from(raw)), Some(msg));
+    }
+}

@@ -1,0 +1,32 @@
+//! Vivaldi network coordinates — the baseline embedding.
+//!
+//! The paper's comparison model (`*-EUCL-CENTRAL` in Sec. IV-A) embeds
+//! rational-transformed bandwidth into a 2-d Euclidean space with Vivaldi
+//! and then clusters in that space. This crate implements the standard
+//! Vivaldi algorithm with confidence-weighted adaptive timestep:
+//!
+//! - [`VivaldiNode`] — per-node coordinates + error estimate and the
+//!   spring-relaxation update rule;
+//! - [`VivaldiSystem`] — a whole-system simulation converging toward a
+//!   target [`DistanceMatrix`](bcc_metric::DistanceMatrix).
+//!
+//! # Example
+//!
+//! ```
+//! use bcc_metric::{DistanceMatrix, FiniteMetric};
+//! use bcc_vivaldi::{VivaldiConfig, VivaldiSystem};
+//!
+//! // Embed a line metric; 2-d Euclidean space holds it almost exactly.
+//! let target = DistanceMatrix::from_fn(8, |i, j| (i as f64 - j as f64).abs());
+//! let pts = VivaldiSystem::embed(target, VivaldiConfig::default());
+//! assert_eq!(pts.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod node;
+mod system;
+
+pub use node::{VivaldiNode, VivaldiParams};
+pub use system::{VivaldiConfig, VivaldiSystem};

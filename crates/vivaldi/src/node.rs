@@ -1,0 +1,211 @@
+//! A single Vivaldi node: coordinates plus confidence-weighted updates.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tuning constants of the Vivaldi update rule.
+///
+/// The defaults are the values recommended in the Vivaldi paper
+/// (`c_c = c_e = 0.25`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VivaldiParams {
+    /// Gain on coordinate movement (`c_c`).
+    pub cc: f64,
+    /// Gain on the local error estimate (`c_e`).
+    pub ce: f64,
+}
+
+impl Default for VivaldiParams {
+    fn default() -> Self {
+        VivaldiParams { cc: 0.25, ce: 0.25 }
+    }
+}
+
+/// One Vivaldi node: a position in `dim`-dimensional Euclidean space and a
+/// local error estimate in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VivaldiNode {
+    coords: Vec<f64>,
+    error: f64,
+}
+
+impl VivaldiNode {
+    /// Creates a node at the origin with maximal uncertainty.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        VivaldiNode {
+            coords: vec![0.0; dim],
+            error: 1.0,
+        }
+    }
+
+    /// Current coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Current local error estimate.
+    pub fn error(&self) -> f64 {
+        self.error
+    }
+
+    /// Adds a small offset to the coordinates (start-position jitter).
+    pub(crate) fn apply_jitter(&mut self, jitter: &[f64]) {
+        for (c, j) in self.coords.iter_mut().zip(jitter) {
+            *c += j;
+        }
+    }
+
+    /// Euclidean distance to another node's coordinates.
+    pub fn distance_to(&self, other: &VivaldiNode) -> f64 {
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Applies one Vivaldi sample: this node measured distance `measured`
+    /// to `remote` (whose coordinates and error it learned from the reply).
+    ///
+    /// `measured` must be positive and finite; non-positive samples are
+    /// ignored (a zero target distance provides no gradient).
+    pub fn update<R: Rng>(
+        &mut self,
+        remote: &VivaldiNode,
+        measured: f64,
+        params: VivaldiParams,
+        rng: &mut R,
+    ) {
+        if !measured.is_finite() || measured <= 0.0 {
+            return;
+        }
+        let actual = self.distance_to(remote);
+
+        // Confidence weight: how much we trust ourselves vs the remote.
+        let w = if self.error + remote.error > 0.0 {
+            self.error / (self.error + remote.error)
+        } else {
+            0.5
+        };
+
+        // Relative sample error updates the confidence.
+        let es = (actual - measured).abs() / measured;
+        self.error = (es * params.ce * w + self.error * (1.0 - params.ce * w)).clamp(0.0, 1.0);
+
+        // Move along the error gradient.
+        let delta = params.cc * w;
+        let dir = self.direction_from(remote, rng);
+        let force = delta * (measured - actual);
+        for (c, d) in self.coords.iter_mut().zip(dir) {
+            *c += force * d;
+        }
+    }
+
+    /// Unit vector pointing from `remote` toward this node; random when the
+    /// two coincide (the standard Vivaldi escape from degenerate stacking).
+    fn direction_from<R: Rng>(&self, remote: &VivaldiNode, rng: &mut R) -> Vec<f64> {
+        let mut dir: Vec<f64> = self
+            .coords
+            .iter()
+            .zip(&remote.coords)
+            .map(|(a, b)| a - b)
+            .collect();
+        let norm = dir.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for d in &mut dir {
+                *d /= norm;
+            }
+            dir
+        } else {
+            let mut v: Vec<f64> = (0..dir.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            for x in &mut v {
+                *x /= n;
+            }
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_node_is_uncertain_origin() {
+        let n = VivaldiNode::new(2);
+        assert_eq!(n.coords(), &[0.0, 0.0]);
+        assert_eq!(n.error(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        VivaldiNode::new(0);
+    }
+
+    #[test]
+    fn update_moves_apart_when_too_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = VivaldiNode::new(2);
+        let b = VivaldiNode::new(2);
+        // Coincident but measured distance 10: a must move away.
+        a.update(&b, 10.0, VivaldiParams::default(), &mut rng);
+        assert!(a.distance_to(&b) > 0.0);
+    }
+
+    #[test]
+    fn update_pulls_together_when_too_far() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = VivaldiNode::new(2);
+        let mut b = VivaldiNode::new(2);
+        a.coords = vec![100.0, 0.0];
+        b.coords = vec![0.0, 0.0];
+        let before = a.distance_to(&b);
+        a.update(&b, 10.0, VivaldiParams::default(), &mut rng);
+        assert!(a.distance_to(&b) < before);
+    }
+
+    #[test]
+    fn error_decreases_on_consistent_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = VivaldiNode::new(2);
+        let mut b = VivaldiNode::new(2);
+        a.coords = vec![10.0, 0.0];
+        b.coords = vec![0.0, 0.0];
+        b.error = 0.5;
+        let e0 = a.error();
+        for _ in 0..50 {
+            a.update(&b, 10.0, VivaldiParams::default(), &mut rng);
+        }
+        assert!(a.error() < e0);
+    }
+
+    #[test]
+    fn invalid_samples_ignored() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = VivaldiNode::new(2);
+        let b = VivaldiNode::new(2);
+        let before = a.clone();
+        a.update(&b, 0.0, VivaldiParams::default(), &mut rng);
+        a.update(&b, -3.0, VivaldiParams::default(), &mut rng);
+        a.update(&b, f64::NAN, VivaldiParams::default(), &mut rng);
+        a.update(&b, f64::INFINITY, VivaldiParams::default(), &mut rng);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn error_stays_in_unit_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = VivaldiNode::new(2);
+        let b = VivaldiNode::new(2);
+        for i in 0..100 {
+            a.update(&b, (i % 7 + 1) as f64, VivaldiParams::default(), &mut rng);
+            assert!((0.0..=1.0).contains(&a.error()));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! A whole-system Vivaldi simulation driven by a target distance matrix.
+
+use bcc_metric::{DistanceMatrix, EuclideanPoints, FiniteMetric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::node::{VivaldiNode, VivaldiParams};
+
+/// Configuration of a [`VivaldiSystem`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VivaldiConfig {
+    /// Embedding dimension (the paper's baseline uses 2).
+    pub dim: usize,
+    /// Update-rule gains.
+    pub params: VivaldiParams,
+    /// Number of random neighbors each node samples per round.
+    pub samples_per_round: usize,
+    /// Number of rounds to run in [`VivaldiSystem::run`].
+    pub rounds: usize,
+    /// RNG seed (node placement jitter + neighbor sampling).
+    pub seed: u64,
+}
+
+impl Default for VivaldiConfig {
+    fn default() -> Self {
+        VivaldiConfig {
+            dim: 2,
+            params: VivaldiParams::default(),
+            samples_per_round: 8,
+            rounds: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// A set of Vivaldi nodes converging toward a target metric.
+///
+/// The target is the rational-transformed bandwidth matrix; after
+/// convergence, [`VivaldiSystem::points`] yields the baseline Euclidean
+/// embedding that `bcc-core`'s Euclidean clustering runs on.
+#[derive(Debug, Clone)]
+pub struct VivaldiSystem {
+    nodes: Vec<VivaldiNode>,
+    target: DistanceMatrix,
+    config: VivaldiConfig,
+    rng: StdRng,
+}
+
+impl VivaldiSystem {
+    /// Creates a system of `target.len()` nodes at jittered starting
+    /// positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` has fewer than two nodes.
+    pub fn new(target: DistanceMatrix, config: VivaldiConfig) -> Self {
+        assert!(target.len() >= 2, "Vivaldi needs at least two nodes");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut nodes = Vec::with_capacity(target.len());
+        for _ in 0..target.len() {
+            // Tiny random jitter avoids the all-at-origin degenerate start.
+            let mut n = VivaldiNode::new(config.dim);
+            let jitter: Vec<f64> = (0..config.dim)
+                .map(|_| rng.gen_range(-0.01..0.01))
+                .collect();
+            n.apply_jitter(&jitter);
+            nodes.push(n);
+        }
+        VivaldiSystem {
+            nodes,
+            target,
+            config,
+            rng,
+        }
+    }
+
+    /// Runs one gossip round: every node samples `samples_per_round` random
+    /// peers and applies the Vivaldi update.
+    pub fn step(&mut self) {
+        let n = self.nodes.len();
+        for i in 0..n {
+            for _ in 0..self.config.samples_per_round {
+                let mut j = self.rng.gen_range(0..n);
+                if j == i {
+                    j = (j + 1) % n;
+                }
+                let remote = self.nodes[j].clone();
+                let measured = self.target.get(i, j);
+                self.nodes[i].update(&remote, measured, self.config.params, &mut self.rng);
+            }
+        }
+    }
+
+    /// Runs the configured number of rounds.
+    pub fn run(&mut self) {
+        for _ in 0..self.config.rounds {
+            self.step();
+        }
+    }
+
+    /// Builds, runs, and returns the converged point set in one call.
+    pub fn embed(target: DistanceMatrix, config: VivaldiConfig) -> EuclideanPoints {
+        let mut sys = VivaldiSystem::new(target, config);
+        sys.run();
+        sys.points()
+    }
+
+    /// Current coordinates as a point set.
+    pub fn points(&self) -> EuclideanPoints {
+        let mut coords = Vec::with_capacity(self.nodes.len() * self.config.dim);
+        for n in &self.nodes {
+            coords.extend_from_slice(n.coords());
+        }
+        EuclideanPoints::new(self.config.dim, coords)
+    }
+
+    /// Median relative embedding error over all pairs:
+    /// `|‖x_i − x_j‖ − d_ij| / d_ij`.
+    pub fn median_relative_error(&self) -> f64 {
+        let pts = self.points();
+        let mut errs: Vec<f64> = self
+            .target
+            .iter_pairs()
+            .filter(|&(_, _, d)| d > 0.0)
+            .map(|(i, j, d)| (pts.distance(i, j) - d).abs() / d)
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        errs[errs.len() / 2]
+    }
+
+    /// The target matrix this system converges toward.
+    pub fn target(&self) -> &DistanceMatrix {
+        &self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points on a line embed into 2-d with near-zero error.
+    fn line_target(n: usize) -> DistanceMatrix {
+        DistanceMatrix::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs() * 10.0)
+    }
+
+    #[test]
+    fn converges_on_line_metric() {
+        let cfg = VivaldiConfig {
+            rounds: 300,
+            ..Default::default()
+        };
+        let mut sys = VivaldiSystem::new(line_target(12), cfg);
+        sys.run();
+        assert!(
+            sys.median_relative_error() < 0.05,
+            "median error {}",
+            sys.median_relative_error()
+        );
+    }
+
+    #[test]
+    fn error_improves_with_rounds() {
+        let cfg = VivaldiConfig {
+            rounds: 0,
+            ..Default::default()
+        };
+        let mut sys = VivaldiSystem::new(line_target(10), cfg);
+        let before = sys.median_relative_error();
+        for _ in 0..100 {
+            sys.step();
+        }
+        assert!(sys.median_relative_error() < before);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = VivaldiConfig {
+            rounds: 50,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = VivaldiSystem::embed(line_target(8), cfg);
+        let b = VivaldiSystem::embed(line_target(8), cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = VivaldiSystem::embed(
+            line_target(8),
+            VivaldiConfig {
+                seed: 1,
+                rounds: 50,
+                ..Default::default()
+            },
+        );
+        let b = VivaldiSystem::embed(
+            line_target(8),
+            VivaldiConfig {
+                seed: 2,
+                rounds: 50,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn points_shape() {
+        let cfg = VivaldiConfig {
+            rounds: 1,
+            dim: 3,
+            ..Default::default()
+        };
+        let mut sys = VivaldiSystem::new(line_target(5), cfg);
+        sys.run();
+        let pts = sys.points();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_system_rejected() {
+        VivaldiSystem::new(DistanceMatrix::new(1), VivaldiConfig::default());
+    }
+}

@@ -1,0 +1,81 @@
+//! Dynamic clustering under churn — the paper's fifth requirement.
+//!
+//! Hosts join and leave a live system; the prediction framework
+//! restructures incrementally (orphaned anchor subtrees are re-embedded)
+//! and the overlay re-converges, so the same query keeps returning valid
+//! clusters for the *current* membership.
+//!
+//! ```sh
+//! cargo run --example churn
+//! ```
+
+use bandwidth_clusters::prelude::*;
+
+fn main() {
+    // Universe: two fast sites (0-3 and 4-7 at 200 Mbps) joined by a slow
+    // core, plus two dial-up stragglers.
+    let caps = [
+        200.0f64, 200.0, 200.0, 200.0, 150.0, 150.0, 150.0, 150.0, 5.0, 5.0,
+    ];
+    let site = |i: usize| {
+        if i < 4 {
+            0
+        } else if i < 8 {
+            1
+        } else {
+            2
+        }
+    };
+    let bw = BandwidthMatrix::from_fn(caps.len(), |i, j| {
+        let base = caps[i].min(caps[j]);
+        if site(i) == site(j) {
+            base
+        } else {
+            base.min(20.0) // slow core between sites
+        }
+    });
+
+    let classes = BandwidthClasses::new(vec![30.0, 120.0], RationalTransform::default());
+    let mut system = DynamicSystem::new(bw, SystemConfig::new(classes));
+
+    println!("phase 1: site 0 comes online");
+    for i in 0..4 {
+        system.join(NodeId::new(i)).expect("fresh host");
+    }
+    let out = system.query(NodeId::new(0), 3, 120.0).expect("valid query");
+    println!("  3 @ 120 Mbps -> {:?}", out.cluster);
+    assert!(out.found());
+
+    println!("phase 2: site 1 joins, site 0 partially drains");
+    for i in 4..8 {
+        system.join(NodeId::new(i)).expect("fresh host");
+    }
+    system.leave(NodeId::new(1)).expect("active");
+    system.leave(NodeId::new(2)).expect("active");
+    let out = system.query(NodeId::new(0), 3, 120.0).expect("valid query");
+    println!("  3 @ 120 Mbps -> {:?} (must now be site 1)", out.cluster);
+    let cluster = out.cluster.expect("site 1 can host it");
+    assert!(cluster.iter().all(|h| (4..8).contains(&h.index())));
+
+    println!("phase 3: stragglers join; they do not pollute clusters");
+    system.join(NodeId::new(8)).expect("fresh host");
+    system.join(NodeId::new(9)).expect("fresh host");
+    let out = system.query(NodeId::new(8), 4, 120.0).expect("valid query");
+    println!("  4 @ 120 Mbps from a straggler -> {:?}", out.cluster);
+    let cluster = out.cluster.expect("all of site 1");
+    for (i, &u) in cluster.iter().enumerate() {
+        for &v in &cluster[i + 1..] {
+            assert!(system.real_bandwidth(u, v) >= 120.0);
+        }
+    }
+
+    println!("phase 4: site 1 vanishes entirely");
+    for i in 4..8 {
+        system.leave(NodeId::new(i)).expect("active");
+    }
+    let out = system.query(NodeId::new(0), 3, 120.0).expect("valid query");
+    println!("  3 @ 120 Mbps -> {:?} (unsatisfiable now)", out.cluster);
+    assert!(!out.found());
+
+    println!("churn handled: {} hosts remain", system.len());
+}

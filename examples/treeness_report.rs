@@ -1,0 +1,86 @@
+//! Dataset diagnostics: how tree-like is a bandwidth matrix, and how well
+//! do the two embeddings (prediction tree vs Vivaldi) predict it?
+//!
+//! Reports the statistics Sec. II-C and Sec. IV rely on: `ε_avg`,
+//! δ-hyperbolicity, bandwidth percentiles, and median relative prediction
+//! errors for both embeddings — for the HP-like and UMD-like presets.
+//!
+//! ```sh
+//! cargo run --release --example treeness_report
+//! ```
+
+use bandwidth_clusters::datasets::{hp_planetlab, umd_planetlab};
+use bandwidth_clusters::embed::{FrameworkConfig, PredictionFramework};
+use bandwidth_clusters::metric::stats::{relative_error, EmpiricalCdf};
+use bandwidth_clusters::metric::{fourpoint, gromov, BandwidthMatrix, RationalTransform};
+use bandwidth_clusters::vivaldi::{VivaldiConfig, VivaldiSystem};
+use bcc_metric::FiniteMetric;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn report(name: &str, bw: &BandwidthMatrix) {
+    println!("== {name} ({} hosts) ==", bw.len());
+    let t = RationalTransform::default();
+    let d = t.distance_matrix(bw);
+
+    let cdf = EmpiricalCdf::new(bw.pair_values());
+    println!(
+        "bandwidth percentiles: p20 = {:.1}, p50 = {:.1}, p80 = {:.1} Mbps",
+        cdf.percentile(20.0),
+        cdf.percentile(50.0),
+        cdf.percentile(80.0)
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let eps = fourpoint::epsilon_avg_sampled(&d, 50_000, &mut rng);
+    let delta = gromov::delta_hyperbolicity_sampled(&d, 50_000, &mut rng);
+    println!(
+        "treeness: eps_avg = {eps:.4} (eps* = {:.4}), sampled delta-hyperbolicity = {delta:.3}",
+        fourpoint::epsilon_star(eps)
+    );
+
+    // Prediction-tree embedding accuracy.
+    let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+    let predicted = fw.predicted_matrix();
+    let tree_errs: Vec<f64> = bw
+        .iter_pairs()
+        .map(|(i, j, real)| relative_error(real, t.to_bandwidth(predicted.get(i, j))))
+        .collect();
+    let tree_cdf = EmpiricalCdf::new(tree_errs.clone());
+    println!(
+        "prediction tree:  median rel. error = {:.3} (p90 {:.3}), probes = {}",
+        tree_cdf.percentile(50.0),
+        tree_cdf.percentile(90.0),
+        fw.probe_count()
+    );
+
+    // Vivaldi embedding accuracy.
+    let pts = VivaldiSystem::embed(
+        d.clone(),
+        VivaldiConfig {
+            rounds: 150,
+            ..Default::default()
+        },
+    );
+    let eucl_errs: Vec<f64> = bw
+        .iter_pairs()
+        .map(|(i, j, real)| relative_error(real, t.to_bandwidth(pts.distance(i, j))))
+        .collect();
+    let eucl_cdf = EmpiricalCdf::new(eucl_errs.clone());
+    println!(
+        "vivaldi (2-d):    median rel. error = {:.3} (p90 {:.3})",
+        eucl_cdf.percentile(50.0),
+        eucl_cdf.percentile(90.0)
+    );
+
+    assert!(
+        tree_cdf.percentile(50.0) <= eucl_cdf.percentile(50.0),
+        "the tree embedding must predict bandwidth at least as well as Vivaldi"
+    );
+    println!();
+}
+
+fn main() {
+    report("HP-PlanetLab stand-in", &hp_planetlab(11));
+    report("UMD-PlanetLab stand-in", &umd_planetlab(11));
+}

@@ -1,0 +1,67 @@
+//! The gossip protocol's fixpoint is schedule-independent: the cycle-driven
+//! and event-driven engines must reach bit-identical protocol state, and
+//! every query must answer identically, on realistic datasets.
+
+use bandwidth_clusters::prelude::*;
+use bcc_datasets::{generate, SynthConfig};
+use bcc_simnet::{AsyncConfig, AsyncNetwork, SimNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn stack(nodes: usize, seed: u64) -> (PredictionFramework, ProtocolConfig) {
+    let mut cfg = SynthConfig::small(seed);
+    cfg.nodes = nodes;
+    let bw = generate(&cfg);
+    let d = RationalTransform::default().distance_matrix(&bw);
+    let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+    let classes = BandwidthClasses::linspace(10.0, 80.0, 8, RationalTransform::default());
+    (fw, ProtocolConfig::new(6, classes))
+}
+
+#[test]
+fn async_and_sync_engines_reach_the_same_fixpoint() {
+    let (fw, proto) = stack(48, 5);
+
+    let mut sync = SimNetwork::new(fw.anchor(), fw.predicted_matrix(), proto.clone());
+    sync.run_to_convergence(300).expect("sync converges");
+
+    let mut async_cfg = AsyncConfig::new(proto);
+    async_cfg.seed = 1234;
+    let mut asynch = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), async_cfg);
+    asynch
+        .run_to_convergence(3.0, 2_000.0)
+        .expect("async converges");
+
+    assert_eq!(
+        sync.digest(),
+        asynch.digest(),
+        "fixpoint depends on the schedule"
+    );
+
+    // Every query answers identically on both engines.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let k = rng.gen_range(2..8);
+        let b = rng.gen_range(12.0..75.0);
+        let start = NodeId::new(rng.gen_range(0..48));
+        let a = sync.query(start, k, b).expect("valid");
+        let b_out = asynch.query(start, k, b).expect("valid");
+        assert_eq!(a, b_out);
+    }
+}
+
+#[test]
+fn async_fixpoint_is_independent_of_latency_distribution() {
+    let (fw, proto) = stack(30, 6);
+    let run = |latency: (f64, f64), seed: u64| {
+        let mut cfg = AsyncConfig::new(proto.clone());
+        cfg.latency = latency;
+        cfg.seed = seed;
+        let mut net = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), cfg);
+        net.run_to_convergence(3.0, 5_000.0).expect("converges");
+        net.digest()
+    };
+    let fast_links = run((0.001, 0.005), 1);
+    let slow_links = run((0.2, 0.9), 2);
+    assert_eq!(fast_links, slow_links);
+}

@@ -1,0 +1,79 @@
+//! End-to-end check of the ensemble option: with median-aggregated
+//! prediction trees, clustering accuracy (WPR) on a noisy dataset is at
+//! least as good as with a single tree, at the same query workload.
+
+use bandwidth_clusters::prelude::*;
+use bcc_datasets::{generate, SynthConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn wpr_of(system: &ClusterSystem, queries: usize, seed: u64) -> (f64, usize) {
+    let n = system.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut wrong, mut total, mut found) = (0usize, 0usize, 0usize);
+    for _ in 0..queries {
+        let b = rng.gen_range(20.0..70.0);
+        let start = NodeId::new(rng.gen_range(0..n));
+        if let Some(cluster) = system.query(start, 4, b).expect("valid").cluster {
+            let (w, t) = system.score_cluster(&cluster, b);
+            wrong += w;
+            total += t;
+            found += 1;
+        }
+    }
+    (wrong as f64 / total.max(1) as f64, found)
+}
+
+#[test]
+fn ensemble_wpr_not_worse_than_single_tree() {
+    let mut cfg = SynthConfig::small(33);
+    cfg.nodes = 40;
+    cfg.noise_sigma = 0.25; // noisy enough that single trees misplace pairs
+    let bw = generate(&cfg);
+    let classes = BandwidthClasses::linspace(15.0, 80.0, 10, RationalTransform::default());
+
+    let single = ClusterSystem::build(bw.clone(), SystemConfig::new(classes.clone()));
+    let mut ens_cfg = SystemConfig::new(classes);
+    ens_cfg.ensemble_members = 5;
+    let ensemble = ClusterSystem::build(bw, ens_cfg);
+
+    let (wpr_single, found_single) = wpr_of(&single, 400, 9);
+    let (wpr_ens, found_ens) = wpr_of(&ensemble, 400, 9);
+
+    assert!(found_single > 100 && found_ens > 100, "queries must mostly succeed");
+    assert!(
+        wpr_ens <= wpr_single + 0.02,
+        "ensemble WPR {wpr_ens:.3} should not exceed single-tree WPR {wpr_single:.3}"
+    );
+}
+
+#[test]
+fn ensemble_median_prediction_error_improves() {
+    let mut cfg = SynthConfig::small(34);
+    cfg.nodes = 40;
+    cfg.noise_sigma = 0.25;
+    let bw = generate(&cfg);
+    let classes = BandwidthClasses::linspace(15.0, 80.0, 6, RationalTransform::default());
+
+    let single = ClusterSystem::build(bw.clone(), SystemConfig::new(classes.clone()));
+    let mut ens_cfg = SystemConfig::new(classes);
+    ens_cfg.ensemble_members = 5;
+    let ensemble = ClusterSystem::build(bw.clone(), ens_cfg);
+
+    let median_err = |sys: &ClusterSystem| {
+        let mut errs: Vec<f64> = bw
+            .iter_pairs()
+            .map(|(i, j, real)| {
+                (sys.predicted_bandwidth(NodeId::new(i), NodeId::new(j)) - real).abs() / real
+            })
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs[errs.len() / 2]
+    };
+    let e_single = median_err(&single);
+    let e_ens = median_err(&ensemble);
+    assert!(
+        e_ens <= e_single * 1.02,
+        "ensemble error {e_ens:.4} vs single {e_single:.4}"
+    );
+}

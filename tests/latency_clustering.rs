@@ -1,0 +1,81 @@
+//! Future-work extension #3: latency-constrained clustering through the
+//! full decentralized stack.
+//!
+//! Latency is used directly as the distance. The protocol's bandwidth
+//! classes are reused by expressing a latency bound `L` ms as the
+//! pseudo-bandwidth `C / L` (the rational transform then maps it straight
+//! back to `L` in the distance domain), so nothing else changes — which is
+//! exactly the paper's argument for why the approach transfers.
+
+use bandwidth_clusters::prelude::*;
+use bcc_datasets::{generate_latency, LatencyConfig};
+use bcc_simnet::SimNetwork;
+
+/// Express a latency bound (ms) as a pseudo-bandwidth for the class set.
+fn latency_class(bound_ms: f64, t: RationalTransform) -> f64 {
+    t.constant() / bound_ms
+}
+
+#[test]
+fn latency_cluster_through_decentralized_stack() {
+    let mut cfg = LatencyConfig::small(21);
+    cfg.nodes = 30;
+    cfg.noise_sigma = 0.02;
+    let real_latency = generate_latency(&cfg);
+
+    let t = RationalTransform::default();
+    // Classes at 20 ms and 60 ms latency bounds.
+    let classes = BandwidthClasses::new(
+        vec![latency_class(20.0, t), latency_class(60.0, t)],
+        t,
+    );
+    let fw = PredictionFramework::build_from_matrix(&real_latency, FrameworkConfig::default());
+    let proto = ProtocolConfig::new(8, classes);
+    let mut net = SimNetwork::new(fw.anchor(), fw.predicted_matrix(), proto);
+    net.run_to_convergence(300).expect("gossip converges");
+
+    // Find 3 hosts within 20 ms of each other, asking from every node.
+    let mut found_any = false;
+    for start in 0..30 {
+        let out = net
+            .query(NodeId::new(start), 3, latency_class(20.0, t))
+            .expect("valid query");
+        if let Some(cluster) = out.cluster {
+            found_any = true;
+            for (i, &u) in cluster.iter().enumerate() {
+                for &v in &cluster[i + 1..] {
+                    let real = real_latency.get(u.index(), v.index());
+                    assert!(
+                        real <= 20.0 * 1.3,
+                        "pair ({u}, {v}) at {real:.1} ms grossly violates the 20 ms bound"
+                    );
+                }
+            }
+        }
+    }
+    assert!(found_any, "same-site hosts are within 20 ms; some query must succeed");
+
+    // A 60 ms bound admits strictly larger clusters.
+    let tight = bcc_core::max_cluster_size(&fw.predicted_matrix(), 20.0);
+    let loose = bcc_core::max_cluster_size(&fw.predicted_matrix(), 60.0);
+    assert!(loose >= tight);
+}
+
+#[test]
+fn latency_embedding_is_accurate() {
+    // The prediction tree embeds near-tree latency as accurately as it
+    // embeds bandwidth distances.
+    let mut cfg = LatencyConfig::small(22);
+    cfg.nodes = 40;
+    cfg.noise_sigma = 0.05;
+    let real = generate_latency(&cfg);
+    let fw = PredictionFramework::build_from_matrix(&real, FrameworkConfig::default());
+    let predicted = fw.predicted_matrix();
+    let mut errs: Vec<f64> = real
+        .iter_pairs()
+        .map(|(i, j, v)| (predicted.get(i, j) - v).abs() / v)
+        .collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = errs[errs.len() / 2];
+    assert!(median < 0.1, "median latency prediction error {median:.3} too high");
+}
