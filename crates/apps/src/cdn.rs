@@ -54,8 +54,15 @@ pub struct PlanConfig {
 /// # Panics
 ///
 /// Panics if `config.cluster_size < 2` or the bandwidth matrix is empty.
-pub fn plan(bandwidth: &BandwidthMatrix, system_config: SystemConfig, config: PlanConfig) -> DistributionPlan {
-    assert!(config.cluster_size >= 2, "clusters need at least two members");
+pub fn plan(
+    bandwidth: &BandwidthMatrix,
+    system_config: SystemConfig,
+    config: PlanConfig,
+) -> DistributionPlan {
+    assert!(
+        config.cluster_size >= 2,
+        "clusters need at least two members"
+    );
     assert!(!bandwidth.is_empty(), "no subscribers to plan for");
 
     let n = bandwidth.len();
@@ -66,11 +73,15 @@ pub fn plan(bandwidth: &BandwidthMatrix, system_config: SystemConfig, config: Pl
 
     let mut clusters = Vec::new();
     loop {
-        let Some(start) = system.active().next() else { break };
+        let Some(start) = system.active().next() else {
+            break;
+        };
         let Ok(outcome) = system.query(start, config.cluster_size, config.min_bandwidth) else {
             break;
         };
-        let Some(members) = outcome.cluster else { break };
+        let Some(members) = outcome.cluster else {
+            break;
+        };
 
         // Representative: the member with the best worst-case real
         // bandwidth to the rest (a hub restricted to the cluster).
@@ -97,7 +108,10 @@ pub fn plan(bandwidth: &BandwidthMatrix, system_config: SystemConfig, config: Pl
         });
     }
     let singletons: Vec<NodeId> = system.active().collect();
-    DistributionPlan { clusters, singletons }
+    DistributionPlan {
+        clusters,
+        singletons,
+    }
 }
 
 fn cluster_min_bw(bw: &BandwidthMatrix, members: &[NodeId]) -> f64 {
@@ -180,7 +194,14 @@ mod tests {
     #[test]
     fn plan_partitions_without_overlap() {
         let bw = dataset(36, 1);
-        let p = plan(&bw, system_config(), PlanConfig { cluster_size: 5, min_bandwidth: 40.0 });
+        let p = plan(
+            &bw,
+            system_config(),
+            PlanConfig {
+                cluster_size: 5,
+                min_bandwidth: 40.0,
+            },
+        );
         let mut seen: Vec<NodeId> = p.singletons.clone();
         for c in &p.clusters {
             assert_eq!(c.members.len(), 5);
@@ -196,11 +217,19 @@ mod tests {
     #[test]
     fn representative_is_best_hub_of_its_cluster() {
         let bw = dataset(30, 2);
-        let p = plan(&bw, system_config(), PlanConfig { cluster_size: 4, min_bandwidth: 35.0 });
+        let p = plan(
+            &bw,
+            system_config(),
+            PlanConfig {
+                cluster_size: 4,
+                min_bandwidth: 35.0,
+            },
+        );
         for c in &p.clusters {
             for &m in &c.members {
                 assert!(
-                    rep_min_bw(&bw, c.representative, &c.members) >= rep_min_bw(&bw, m, &c.members) - 1e-9,
+                    rep_min_bw(&bw, c.representative, &c.members)
+                        >= rep_min_bw(&bw, m, &c.members) - 1e-9,
                     "representative must maximize the worst link"
                 );
             }
@@ -211,7 +240,14 @@ mod tests {
     #[test]
     fn plan_beats_naive_distribution() {
         let bw = dataset(40, 3);
-        let p = plan(&bw, system_config(), PlanConfig { cluster_size: 5, min_bandwidth: 35.0 });
+        let p = plan(
+            &bw,
+            system_config(),
+            PlanConfig {
+                cluster_size: 5,
+                min_bandwidth: 35.0,
+            },
+        );
         let est = p.estimate(2.0, 50.0);
         assert!(
             est.planned_seconds < est.naive_seconds,
@@ -225,8 +261,22 @@ mod tests {
     #[test]
     fn tight_constraint_yields_more_singletons() {
         let bw = dataset(30, 4);
-        let loose = plan(&bw, system_config(), PlanConfig { cluster_size: 4, min_bandwidth: 20.0 });
-        let tight = plan(&bw, system_config(), PlanConfig { cluster_size: 4, min_bandwidth: 90.0 });
+        let loose = plan(
+            &bw,
+            system_config(),
+            PlanConfig {
+                cluster_size: 4,
+                min_bandwidth: 20.0,
+            },
+        );
+        let tight = plan(
+            &bw,
+            system_config(),
+            PlanConfig {
+                cluster_size: 4,
+                min_bandwidth: 90.0,
+            },
+        );
         assert!(tight.singletons.len() >= loose.singletons.len());
     }
 
@@ -234,6 +284,13 @@ mod tests {
     #[should_panic(expected = "at least two members")]
     fn tiny_cluster_size_rejected() {
         let bw = dataset(6, 5);
-        plan(&bw, system_config(), PlanConfig { cluster_size: 1, min_bandwidth: 10.0 });
+        plan(
+            &bw,
+            system_config(),
+            PlanConfig {
+                cluster_size: 1,
+                min_bandwidth: 10.0,
+            },
+        );
     }
 }

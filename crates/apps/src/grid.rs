@@ -47,9 +47,19 @@ impl Job {
     /// and finite.
     pub fn new(tasks: usize, pairwise_gb: f64, min_bandwidth: f64) -> Self {
         assert!(tasks >= 2, "a job set needs at least two tasks");
-        assert!(pairwise_gb > 0.0 && pairwise_gb.is_finite(), "invalid data volume");
-        assert!(min_bandwidth > 0.0 && min_bandwidth.is_finite(), "invalid bandwidth");
-        Job { tasks, pairwise_gb, min_bandwidth }
+        assert!(
+            pairwise_gb > 0.0 && pairwise_gb.is_finite(),
+            "invalid data volume"
+        );
+        assert!(
+            min_bandwidth > 0.0 && min_bandwidth.is_finite(),
+            "invalid bandwidth"
+        );
+        Job {
+            tasks,
+            pairwise_gb,
+            min_bandwidth,
+        }
     }
 }
 
@@ -133,7 +143,12 @@ impl GridScheduler {
         for i in 0..n {
             system.join(NodeId::new(i)).expect("fresh host");
         }
-        GridScheduler { system, running: BTreeMap::new(), next_id: 0, rng: StdRng::seed_from_u64(seed) }
+        GridScheduler {
+            system,
+            running: BTreeMap::new(),
+            next_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Hosts not currently allocated to a job.
@@ -154,10 +169,17 @@ impl GridScheduler {
     /// [`PlacementError::NotEnoughFreeHosts`] or
     /// [`PlacementError::NoSatisfyingCluster`]; the grid state is unchanged
     /// on error.
-    pub fn submit(&mut self, job: Job, policy: PlacementPolicy) -> Result<Placement, PlacementError> {
+    pub fn submit(
+        &mut self,
+        job: Job,
+        policy: PlacementPolicy,
+    ) -> Result<Placement, PlacementError> {
         let free = self.system.len();
         if free < job.tasks {
-            return Err(PlacementError::NotEnoughFreeHosts { free, needed: job.tasks });
+            return Err(PlacementError::NotEnoughFreeHosts {
+                free,
+                needed: job.tasks,
+            });
         }
         let hosts: Vec<NodeId> = match policy {
             PlacementPolicy::ClusterAware => {
@@ -201,7 +223,10 @@ impl GridScheduler {
     ///
     /// [`PlacementError::UnknownJob`] if the id is not running.
     pub fn complete(&mut self, id: JobId) -> Result<(), PlacementError> {
-        let hosts = self.running.remove(&id).ok_or(PlacementError::UnknownJob(id))?;
+        let hosts = self
+            .running
+            .remove(&id)
+            .ok_or(PlacementError::UnknownJob(id))?;
         for h in hosts {
             match self.system.join(h) {
                 Ok(()) | Err(EmbedError::HostExists(_)) => {}
@@ -288,7 +313,9 @@ mod tests {
     fn placement_allocates_and_completion_frees() {
         let mut g = grid(1, 24);
         assert_eq!(g.free_hosts(), 24);
-        let p = g.submit(Job::new(4, 1.0, 40.0), PlacementPolicy::ClusterAware).unwrap();
+        let p = g
+            .submit(Job::new(4, 1.0, 40.0), PlacementPolicy::ClusterAware)
+            .unwrap();
         assert_eq!(p.hosts.len(), 4);
         assert_eq!(g.free_hosts(), 20);
         assert_eq!(g.running_jobs(), 1);
@@ -300,8 +327,12 @@ mod tests {
     #[test]
     fn concurrent_jobs_never_share_hosts() {
         let mut g = grid(2, 30);
-        let a = g.submit(Job::new(4, 1.0, 30.0), PlacementPolicy::ClusterAware).unwrap();
-        let b = g.submit(Job::new(4, 1.0, 30.0), PlacementPolicy::ClusterAware).unwrap();
+        let a = g
+            .submit(Job::new(4, 1.0, 30.0), PlacementPolicy::ClusterAware)
+            .unwrap();
+        let b = g
+            .submit(Job::new(4, 1.0, 30.0), PlacementPolicy::ClusterAware)
+            .unwrap();
         for h in &a.hosts {
             assert!(!b.hosts.contains(h), "host {h} double-allocated");
         }
@@ -312,10 +343,17 @@ mod tests {
     #[test]
     fn exhaustion_is_reported() {
         let mut g = grid(3, 12);
-        let _a = g.submit(Job::new(6, 1.0, 15.0), PlacementPolicy::Random).unwrap();
-        let _b = g.submit(Job::new(5, 1.0, 15.0), PlacementPolicy::Random).unwrap();
+        let _a = g
+            .submit(Job::new(6, 1.0, 15.0), PlacementPolicy::Random)
+            .unwrap();
+        let _b = g
+            .submit(Job::new(5, 1.0, 15.0), PlacementPolicy::Random)
+            .unwrap();
         let err = g.submit(Job::new(4, 1.0, 15.0), PlacementPolicy::Random);
-        assert!(matches!(err, Err(PlacementError::NotEnoughFreeHosts { free: 1, needed: 4 })));
+        assert!(matches!(
+            err,
+            Err(PlacementError::NotEnoughFreeHosts { free: 1, needed: 4 })
+        ));
     }
 
     #[test]
@@ -325,15 +363,23 @@ mod tests {
         let err = g.submit(Job::new(10, 1.0, 5000.0), PlacementPolicy::ClusterAware);
         assert!(matches!(
             err,
-            Err(PlacementError::NoSatisfyingCluster) | Err(PlacementError::NotEnoughFreeHosts { .. })
+            Err(PlacementError::NoSatisfyingCluster)
+                | Err(PlacementError::NotEnoughFreeHosts { .. })
         ));
-        assert_eq!(g.free_hosts(), before, "failed placement must not leak hosts");
+        assert_eq!(
+            g.free_hosts(),
+            before,
+            "failed placement must not leak hosts"
+        );
     }
 
     #[test]
     fn unknown_job_completion_rejected() {
         let mut g = grid(5, 12);
-        assert!(matches!(g.complete(JobId(99)), Err(PlacementError::UnknownJob(_))));
+        assert!(matches!(
+            g.complete(JobId(99)),
+            Err(PlacementError::UnknownJob(_))
+        ));
     }
 
     #[test]
@@ -342,7 +388,13 @@ mod tests {
         cfg.nodes = 40;
         let bw = generate(&cfg);
         let jobs: Vec<Job> = (0..12).map(|_| Job::new(5, 2.0, 40.0)).collect();
-        let aware = run_workload(bw.clone(), config(), &jobs, PlacementPolicy::ClusterAware, 7);
+        let aware = run_workload(
+            bw.clone(),
+            config(),
+            &jobs,
+            PlacementPolicy::ClusterAware,
+            7,
+        );
         let random = run_workload(bw, config(), &jobs, PlacementPolicy::Random, 7);
         // Random always places (no constraint check), cluster-aware may
         // reject; compare mean transfer time over placed jobs.

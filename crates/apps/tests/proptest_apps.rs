@@ -15,9 +15,8 @@ fn system_config() -> SystemConfig {
 
 /// Random access-link universe.
 fn arb_universe() -> impl Strategy<Value = BandwidthMatrix> {
-    proptest::collection::vec(10.0f64..150.0, 10..24).prop_map(|caps| {
-        BandwidthMatrix::from_fn(caps.len(), |i, j| caps[i].min(caps[j]))
-    })
+    proptest::collection::vec(10.0f64..150.0, 10..24)
+        .prop_map(|caps| BandwidthMatrix::from_fn(caps.len(), |i, j| caps[i].min(caps[j])))
 }
 
 proptest! {

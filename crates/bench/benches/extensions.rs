@@ -73,5 +73,11 @@ fn bench_ensemble(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hub, bench_min_diameter, bench_sword, bench_ensemble);
+criterion_group!(
+    benches,
+    bench_hub,
+    bench_min_diameter,
+    bench_sword,
+    bench_ensemble
+);
 criterion_main!(benches);

@@ -13,10 +13,15 @@ fn main() {
     // Honor `cargo bench -- --test`: smoke mode runs the fast configs.
     let smoke = std::env::args().any(|a| a == "--test");
 
-    println!("=== Regenerating paper figures ({} effort) ===\n", if smoke { "fast" } else { "standard" });
+    println!(
+        "=== Regenerating paper figures ({} effort) ===\n",
+        if smoke { "fast" } else { "standard" }
+    );
 
     let fig3_cfgs = if smoke {
-        vec![Fig3Config::fast(bcc_eval::DatasetKind::Custom(bcc_datasets::SynthConfig::small(1)))]
+        vec![Fig3Config::fast(bcc_eval::DatasetKind::Custom(
+            bcc_datasets::SynthConfig::small(1),
+        ))]
     } else {
         let mut hp = Fig3Config::paper_hp();
         hp.rounds = 3;
@@ -33,7 +38,9 @@ fn main() {
     }
 
     let fig4_cfgs = if smoke {
-        vec![Fig4Config::fast(bcc_eval::DatasetKind::Custom(bcc_datasets::SynthConfig::small(1)))]
+        vec![Fig4Config::fast(bcc_eval::DatasetKind::Custom(
+            bcc_datasets::SynthConfig::small(1),
+        ))]
     } else {
         let mut hp = Fig4Config::paper_hp();
         hp.rounds = 5;
@@ -69,6 +76,10 @@ fn main() {
     };
     println!("{}", run_fig6(&fig6_cfg).table().render());
 
-    let conv_cfg = if smoke { ConvergenceConfig::fast() } else { ConvergenceConfig::standard() };
+    let conv_cfg = if smoke {
+        ConvergenceConfig::fast()
+    } else {
+        ConvergenceConfig::standard()
+    };
     println!("{}", run_convergence(&conv_cfg).table().render());
 }

@@ -350,7 +350,10 @@ fn ablate_sword_budget(bw: &bcc_metric::BandwidthMatrix, queries: usize) {
     };
 
     let budgets = [100u64, 1000, 10_000, 100_000];
-    let run = |metric: &bcc_metric::DistanceMatrix, l: f64, k: usize| -> (Vec<Option<f64>>, Vec<Option<f64>>) {
+    let run = |metric: &bcc_metric::DistanceMatrix,
+               l: f64,
+               k: usize|
+     -> (Vec<Option<f64>>, Vec<Option<f64>>) {
         let mut complete = Vec::new();
         let mut work = Vec::new();
         for &budget in &budgets {

@@ -230,7 +230,10 @@ fn cmd_plan(p: &ParsedArgs) -> Result<(), String> {
     let plan = bcc_apps::plan(
         &bw,
         SystemConfig::new(classes),
-        bcc_apps::PlanConfig { cluster_size: size, min_bandwidth: b },
+        bcc_apps::PlanConfig {
+            cluster_size: size,
+            min_bandwidth: b,
+        },
     );
     for (i, c) in plan.clusters.iter().enumerate() {
         println!(

@@ -247,7 +247,8 @@ mod tests {
     #[test]
     fn koenig_identity_holds() {
         // |MIS| = |V| − |max matching| on a few graphs.
-        let cases: Vec<(usize, usize, Vec<(usize, usize)>)> = vec![
+        type Case = (usize, usize, Vec<(usize, usize)>);
+        let cases: Vec<Case> = vec![
             (4, 4, vec![(0, 0), (0, 1), (1, 1), (2, 2), (3, 3), (3, 0)]),
             (5, 3, vec![(0, 0), (1, 0), (2, 1), (3, 1), (4, 2)]),
             (3, 5, vec![(0, 0), (0, 1), (0, 2), (1, 3), (2, 4), (2, 3)]),

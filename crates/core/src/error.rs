@@ -25,6 +25,11 @@ pub enum ClusterError {
         /// The claimed neighbor index.
         neighbor: usize,
     },
+    /// The host a query was submitted at is crashed or unreachable.
+    NodeUnavailable {
+        /// The unavailable host index.
+        node: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -44,6 +49,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::UnknownNeighbor { neighbor } => {
                 write!(f, "unknown neighbor n{neighbor}")
+            }
+            ClusterError::NodeUnavailable { node } => {
+                write!(f, "host n{node} is unavailable (crashed or unreachable)")
             }
         }
     }
@@ -69,6 +77,9 @@ mod tests {
         assert!(ClusterError::UnknownNeighbor { neighbor: 3 }
             .to_string()
             .contains("n3"));
+        assert!(ClusterError::NodeUnavailable { node: 4 }
+            .to_string()
+            .contains("n4"));
     }
 
     #[test]

@@ -57,4 +57,7 @@ pub use find_cluster::{
     max_cluster_size_binary_search, min_diameter_cluster, PairOrder, Query,
 };
 pub use node::{ClusterNode, ProtocolConfig, RoutePolicy};
-pub use query::{process_query, process_query_with_policy, QueryOutcome};
+pub use query::{
+    process_query, process_query_resilient, process_query_with_policy, Degradation, QueryOutcome,
+    RetryPolicy,
+};

@@ -82,6 +82,17 @@ impl ClusterNode {
         &self.neighbors
     }
 
+    /// Clears all aggregated protocol state (a cold restart after a crash).
+    ///
+    /// The id and overlay neighbor set survive — they come from the anchor
+    /// tree, not from gossip — but `aggrNode`, `aggrCRT` and the local
+    /// maxima are rebuilt from scratch by subsequent gossip rounds.
+    pub fn reset(&mut self) {
+        self.aggr_node.clear();
+        self.aggr_crt.clear();
+        self.own_max = vec![0; self.class_count];
+    }
+
     /// Algorithm 2, sender side: the `propNode` message for neighbor `to` —
     /// the `n_cut` candidates closest to `to` among `{self} ∪
     /// ⋃_{v ≠ to} aggrNode[v]`.
@@ -250,6 +261,68 @@ impl ClusterNode {
             .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
     }
 
+    /// [`ClusterNode::answer_locally`] restricted to hosts the caller
+    /// believes alive — the failure-recovery variant used by
+    /// [`crate::process_query_resilient`].
+    ///
+    /// The clustering space may contain crashed hosts (close-node records
+    /// are only as fresh as the last gossip round), so a cluster assembled
+    /// from stale state could include dead members. Filtering the space
+    /// keeps the answer valid: the diameter constraint is hereditary, so
+    /// any subset of a feasible cluster is feasible.
+    pub fn answer_locally_filtered(
+        &self,
+        k: usize,
+        class_idx: usize,
+        classes: &BandwidthClasses,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+        mut alive: impl FnMut(NodeId) -> bool,
+    ) -> Option<Vec<NodeId>> {
+        if k == 0 || k > self.own_max[class_idx] {
+            return None;
+        }
+        let space: Vec<NodeId> = self
+            .clustering_space()
+            .into_iter()
+            .filter(|&u| alive(u))
+            .collect();
+        if space.len() < k {
+            return None;
+        }
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        let l = classes.distance_of(class_idx);
+        find_cluster::find_cluster(&local, k, l)
+            .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
+    }
+
+    /// The largest cluster buildable from the *live* part of the local
+    /// clustering space, if any of size ≥ 2 exists — the source of partial
+    /// results when the full `k` cannot be assembled.
+    pub fn best_partial(
+        &self,
+        class_idx: usize,
+        classes: &BandwidthClasses,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+        mut alive: impl FnMut(NodeId) -> bool,
+    ) -> Option<Vec<NodeId>> {
+        let space: Vec<NodeId> = self
+            .clustering_space()
+            .into_iter()
+            .filter(|&u| alive(u))
+            .collect();
+        if space.len() < 2 {
+            return None;
+        }
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        let l = classes.distance_of(class_idx);
+        let m = find_cluster::max_cluster_size(&local, l);
+        if m < 2 {
+            return None;
+        }
+        find_cluster::find_cluster(&local, m, l)
+            .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
+    }
+
     /// Algorithm 4, routing half: a neighbor (≠ `exclude`) whose direction
     /// promises a cluster of size ≥ `k` for this class.
     pub fn route(&self, k: usize, class_idx: usize, exclude: Option<NodeId>) -> Option<NodeId> {
@@ -265,11 +338,26 @@ impl ClusterNode {
         exclude: Option<NodeId>,
         policy: RoutePolicy,
     ) -> Option<NodeId> {
+        self.route_excluding(k, class_idx, exclude, &[], policy)
+    }
+
+    /// Like [`ClusterNode::route_with_policy`] but also skipping every
+    /// neighbor in `blacklist` — hosts discovered dead while the query was
+    /// in flight, which the walk reroutes around.
+    pub fn route_excluding(
+        &self,
+        k: usize,
+        class_idx: usize,
+        exclude: Option<NodeId>,
+        blacklist: &[NodeId],
+        policy: RoutePolicy,
+    ) -> Option<NodeId> {
         let eligible = self
             .neighbors
             .iter()
             .copied()
             .filter(|&v| Some(v) != exclude)
+            .filter(|v| !blacklist.contains(v))
             .filter(|&v| self.crt_entry(v, class_idx) >= k);
         match policy {
             RoutePolicy::FirstFit => eligible.min_by_key(|&v| {
@@ -440,5 +528,75 @@ mod tests {
         let x = ClusterNode::new(n(1), vec![n(0), n(2)], 1);
         assert_eq!(x.route(2, 0, None), None);
         assert_eq!(x.crt_entry(n(0), 0), 0);
+    }
+
+    #[test]
+    fn reset_clears_aggregated_state_but_keeps_identity() {
+        let mut x = ClusterNode::new(n(0), vec![n(1)], 2);
+        x.receive_node_info(n(1), vec![n(1), n(2)]).unwrap();
+        x.receive_crt(n(1), vec![3, 2]).unwrap();
+        x.recompute_own_max(&classes(), line_dist);
+        assert!(x.own_max().iter().any(|&m| m > 0));
+        x.reset();
+        assert_eq!(x.id(), n(0));
+        assert_eq!(x.neighbors(), &[n(1)]);
+        assert_eq!(x.clustering_space(), vec![n(0)]);
+        assert_eq!(x.own_max(), &[0, 0]);
+        assert_eq!(x.crt_entry(n(1), 0), 0);
+    }
+
+    #[test]
+    fn filtered_answer_skips_dead_hosts() {
+        let mut x = ClusterNode::new(n(0), vec![n(1)], 2);
+        x.receive_node_info(n(1), vec![n(1), n(2), n(3)]).unwrap();
+        x.recompute_own_max(&classes(), line_dist);
+        // Class 1 (l = 2) admits {0, 1, 2}; with host 1 dead only pairs
+        // remain, so a live 3-cluster no longer exists.
+        let full = x
+            .answer_locally_filtered(3, 1, &classes(), line_dist, |_| true)
+            .unwrap();
+        assert_eq!(full.len(), 3);
+        assert!(x
+            .answer_locally_filtered(3, 1, &classes(), line_dist, |u| u != n(1))
+            .is_none());
+        let pair = x
+            .answer_locally_filtered(2, 1, &classes(), line_dist, |u| u != n(1))
+            .unwrap();
+        assert!(!pair.contains(&n(1)));
+    }
+
+    #[test]
+    fn best_partial_returns_largest_live_cluster() {
+        let mut x = ClusterNode::new(n(0), vec![n(1)], 2);
+        x.receive_node_info(n(1), vec![n(1), n(2), n(3)]).unwrap();
+        x.recompute_own_max(&classes(), line_dist);
+        let partial = x
+            .best_partial(1, &classes(), line_dist, |u| u != n(1))
+            .unwrap();
+        assert_eq!(partial.len(), 2, "live space {{0, 2, 3}} admits a pair");
+        // Everything dead but the node itself: no partial of size >= 2.
+        assert!(x
+            .best_partial(1, &classes(), line_dist, |u| u == n(0))
+            .is_none());
+    }
+
+    #[test]
+    fn route_excluding_skips_blacklisted_neighbors() {
+        let mut x = ClusterNode::new(n(1), vec![n(0), n(2), n(3)], 1);
+        x.receive_crt(n(0), vec![5]).unwrap();
+        x.receive_crt(n(2), vec![5]).unwrap();
+        x.receive_crt(n(3), vec![5]).unwrap();
+        assert_eq!(
+            x.route_excluding(4, 0, None, &[], RoutePolicy::FirstFit),
+            Some(n(0))
+        );
+        assert_eq!(
+            x.route_excluding(4, 0, None, &[n(0)], RoutePolicy::FirstFit),
+            Some(n(2))
+        );
+        assert_eq!(
+            x.route_excluding(4, 0, Some(n(2)), &[n(0), n(3)], RoutePolicy::FirstFit),
+            None
+        );
     }
 }

@@ -18,16 +18,74 @@ use crate::node::{ClusterNode, RoutePolicy};
 pub struct QueryOutcome {
     /// The cluster found, if any (host ids).
     pub cluster: Option<Vec<NodeId>>,
-    /// Number of forwarding hops (0 when the entry node answered).
+    /// Number of forwarding hops (0 when the entry node answered). Under
+    /// [`process_query_resilient`] this is the total across all attempts.
     pub hops: usize,
     /// Every node that processed the query, in order (entry node first).
+    /// Under [`process_query_resilient`] retries append to the same path,
+    /// so the entry node reappears at each attempt boundary.
     pub path: Vec<NodeId>,
+    /// How degraded the answer is after failures along the way. All-default
+    /// (`Degradation::default()`) for a clean, fault-free run.
+    pub degradation: Degradation,
 }
 
 impl QueryOutcome {
-    /// `true` when a cluster was returned.
+    /// `true` when a full cluster was returned.
     pub fn found(&self) -> bool {
         self.cluster.is_some()
+    }
+
+    /// `true` when the query ran without retries, dead neighbors or stale
+    /// routing state.
+    pub fn clean(&self) -> bool {
+        self.degradation == Degradation::default()
+    }
+}
+
+/// Failure-recovery accounting attached to every [`QueryOutcome`]: instead
+/// of failing hard when the overlay is degraded, a resilient query reports
+/// *how* degraded its answer is.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Attempts issued after the first (0 = the first walk succeeded).
+    pub retries: usize,
+    /// Dead hosts encountered — and rerouted around — across all attempts.
+    pub dead_encountered: usize,
+    /// `true` when the walk followed aggregated state that proved stale:
+    /// a CRT promise pointing at a dead host, or a locally-aggregated
+    /// cluster containing crashed members.
+    pub stale_state: bool,
+    /// When no full `k`-cluster could be assembled: the largest live
+    /// cluster (size ≥ 2) seen along the walk, as a best-effort answer.
+    pub partial: Option<Vec<NodeId>>,
+}
+
+/// Retry/timeout/backoff budget for [`process_query_resilient`].
+///
+/// The simulator has no wall clock, so the timeout analogue is a *hop
+/// budget*: an attempt that exceeds it is abandoned (as a real deployment
+/// would abandon a query whose forwarding chain went quiet) and reissued
+/// from the entry node with a budget grown by `backoff`. Dead hosts
+/// discovered in one attempt stay blacklisted in the next, so retries
+/// explore different paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first.
+    pub max_retries: usize,
+    /// Hop budget of the first attempt.
+    pub initial_hop_budget: usize,
+    /// Budget multiplier applied on every retry (≥ 1.0).
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            initial_hop_budget: 32,
+            backoff: 2.0,
+        }
     }
 }
 
@@ -98,6 +156,7 @@ pub fn process_query_with_policy(
                 cluster: Some(cluster),
                 hops,
                 path,
+                degradation: Degradation::default(),
             });
         }
         match node.route_with_policy(k, class_idx, previous, policy) {
@@ -113,6 +172,7 @@ pub fn process_query_with_policy(
                         cluster: None,
                         hops,
                         path,
+                        degradation: Degradation::default(),
                     });
                 }
             }
@@ -121,10 +181,146 @@ pub fn process_query_with_policy(
                     cluster: None,
                     hops,
                     path,
+                    degradation: Degradation::default(),
                 })
             }
         }
     }
+}
+
+/// [`process_query`] hardened against crashed hosts: Algorithm 4 with
+/// retry, hop-budget timeouts and rerouting around dead anchor-tree
+/// neighbors.
+///
+/// `alive` is the caller's liveness oracle (in the simulators: the fault
+/// injector's crash set; in a deployment: failure detection). The walk:
+///
+/// 1. answers from the *live* part of each clustering space — stale
+///    close-node records never put crashed hosts into an answer;
+/// 2. probes the chosen next hop before forwarding; a dead next hop is
+///    blacklisted and the node picks another eligible direction;
+/// 3. abandons an attempt that exhausts its hop budget (the timeout
+///    analogue) and reissues from the entry node with the budget scaled by
+///    `retry.backoff`, keeping the blacklist — so retries route differently;
+/// 4. never fails hard: when the budget is spent it still reports the best
+///    live partial cluster seen, plus retry/staleness accounting, in
+///    [`QueryOutcome::degradation`].
+///
+/// With a fault-free overlay (`alive` always true) the outcome is identical
+/// to [`process_query_with_policy`] except for hop-budget truncation.
+///
+/// # Errors
+///
+/// The validation errors of [`process_query`], plus
+/// [`ClusterError::NodeUnavailable`] when the entry node itself is dead.
+#[allow(clippy::too_many_arguments)]
+pub fn process_query_resilient(
+    nodes: &[ClusterNode],
+    start: NodeId,
+    k: usize,
+    bandwidth: f64,
+    classes: &BandwidthClasses,
+    mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    policy: RoutePolicy,
+    retry: &RetryPolicy,
+    mut alive: impl FnMut(NodeId) -> bool,
+) -> Result<QueryOutcome, ClusterError> {
+    if k < 2 {
+        return Err(ClusterError::InvalidSizeConstraint { k });
+    }
+    let class_idx = classes.snap_up(bandwidth)?;
+    if start.index() >= nodes.len() {
+        return Err(ClusterError::UnknownNeighbor {
+            neighbor: start.index(),
+        });
+    }
+    if !alive(start) {
+        return Err(ClusterError::NodeUnavailable {
+            node: start.index(),
+        });
+    }
+
+    let mut deg = Degradation::default();
+    let mut blacklist: Vec<NodeId> = Vec::new();
+    let mut total_hops = 0;
+    let mut full_path = Vec::new();
+    let mut budget = retry.initial_hop_budget.max(1) as f64;
+
+    for attempt in 0..=retry.max_retries {
+        if attempt > 0 {
+            deg.retries += 1;
+            budget *= retry.backoff.max(1.0);
+        }
+        let hop_budget = budget as usize;
+        let mut current = start;
+        let mut previous: Option<NodeId> = None;
+        let mut hops_this_attempt = 0;
+        let mut progress = false; // learned a new dead host this attempt
+        full_path.push(start);
+
+        'walk: loop {
+            let node = &nodes[current.index()];
+            debug_assert_eq!(node.id(), current, "nodes must be indexed by id");
+            if let Some(cluster) =
+                node.answer_locally_filtered(k, class_idx, classes, &mut dist, &mut alive)
+            {
+                deg.partial = None;
+                return Ok(QueryOutcome {
+                    cluster: Some(cluster),
+                    hops: total_hops,
+                    path: full_path,
+                    degradation: deg,
+                });
+            }
+            // The CRT gate promised k here but the live space cannot
+            // deliver it: remember the best live cluster as a fallback.
+            if k <= node.own_max()[class_idx] {
+                deg.stale_state = true;
+                if let Some(p) = node.best_partial(class_idx, classes, &mut dist, &mut alive) {
+                    if deg.partial.as_ref().is_none_or(|best| p.len() > best.len()) {
+                        deg.partial = Some(p);
+                    }
+                }
+            }
+            // Pick a live next hop, blacklisting dead ones as discovered
+            // (the reroute-around-dead-neighbors step).
+            loop {
+                match node.route_excluding(k, class_idx, previous, &blacklist, policy) {
+                    Some(next) if !alive(next) => {
+                        blacklist.push(next);
+                        deg.dead_encountered += 1;
+                        deg.stale_state = true;
+                        progress = true;
+                    }
+                    Some(next) => {
+                        previous = Some(current);
+                        current = next;
+                        total_hops += 1;
+                        hops_this_attempt += 1;
+                        full_path.push(current);
+                        if hops_this_attempt >= hop_budget || total_hops > 2 * nodes.len() {
+                            break 'walk; // timeout: abandon this attempt
+                        }
+                        continue 'walk;
+                    }
+                    None => break 'walk, // dead end: nothing eligible
+                }
+            }
+        }
+
+        // A clean dead end with no new liveness knowledge would replay the
+        // exact same walk: further retries are pointless.
+        if !progress && hops_this_attempt < hop_budget {
+            break;
+        }
+    }
+
+    Ok(QueryOutcome {
+        cluster: None,
+        hops: total_hops,
+        path: full_path,
+        degradation: deg,
+    })
 }
 
 #[cfg(test)]
@@ -282,6 +478,193 @@ mod tests {
                     .unwrap();
             assert!(out.found(), "policy {policy:?}");
         }
+    }
+
+    #[test]
+    fn resilient_matches_plain_query_without_faults() {
+        let nodes = path_overlay();
+        for start in 0..4 {
+            let plain = process_query(&nodes, n(start), 2, 50.0, &classes(), line_dist).unwrap();
+            let res = process_query_resilient(
+                &nodes,
+                n(start),
+                2,
+                50.0,
+                &classes(),
+                line_dist,
+                RoutePolicy::FirstFit,
+                &RetryPolicy::default(),
+                |_| true,
+            )
+            .unwrap();
+            assert_eq!(res.cluster, plain.cluster, "start n{start}");
+            assert_eq!(res.hops, plain.hops);
+            assert!(res.clean());
+        }
+    }
+
+    #[test]
+    fn resilient_rejects_dead_entry_node() {
+        let nodes = path_overlay();
+        let err = process_query_resilient(
+            &nodes,
+            n(0),
+            2,
+            50.0,
+            &classes(),
+            line_dist,
+            RoutePolicy::FirstFit,
+            &RetryPolicy::default(),
+            |u| u != n(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::NodeUnavailable { node: 0 }));
+    }
+
+    #[test]
+    fn resilient_routes_around_dead_fork() {
+        // Star: entry 0 — center 1 — forks 2 (dead) and 3 (alive). Both
+        // forks promise a 2-cluster; FirstFit prefers 2, so the walk must
+        // detect the dead hop, blacklist it, and take 3 instead.
+        let cls = classes();
+        let mut nodes = vec![
+            ClusterNode::new(n(0), vec![n(1)], 1),
+            ClusterNode::new(n(1), vec![n(0), n(2), n(3)], 1),
+            ClusterNode::new(n(2), vec![n(1)], 1),
+            ClusterNode::new(n(3), vec![n(1)], 1),
+        ];
+        // Node 3 can build {3, 4} locally (4 is an aggregated non-overlay
+        // host under the line metric).
+        nodes[3].receive_node_info(n(1), vec![n(4)]).unwrap();
+        for node in &mut nodes {
+            node.recompute_own_max(&cls, line_dist);
+        }
+        nodes[1].receive_crt(n(2), vec![2]).unwrap();
+        nodes[1].receive_crt(n(3), vec![2]).unwrap();
+        nodes[0].receive_crt(n(1), vec![2]).unwrap();
+
+        let out = process_query_resilient(
+            &nodes,
+            n(0),
+            2,
+            50.0,
+            &cls,
+            line_dist,
+            RoutePolicy::FirstFit,
+            &RetryPolicy::default(),
+            |u| u != n(2),
+        )
+        .unwrap();
+        assert!(out.found(), "must reroute around the dead fork");
+        assert_eq!(out.cluster.unwrap(), vec![n(3), n(4)]);
+        assert_eq!(out.degradation.dead_encountered, 1);
+        assert!(out.degradation.stale_state);
+        assert!(out.path.contains(&n(3)));
+        assert!(!out.path.contains(&n(2)));
+    }
+
+    #[test]
+    fn resilient_never_returns_dead_members() {
+        // Node 3 aggregates {2, 3}; with host 2 dead the full pair is
+        // unbuildable, and the outcome degrades to a partial-free miss
+        // (singletons are not clusters).
+        let nodes = path_overlay();
+        let out = process_query_resilient(
+            &nodes,
+            n(3),
+            2,
+            50.0,
+            &classes(),
+            line_dist,
+            RoutePolicy::FirstFit,
+            &RetryPolicy::default(),
+            |u| u != n(2),
+        )
+        .unwrap();
+        assert!(!out.found());
+        assert!(
+            out.degradation.stale_state,
+            "CRT promised an unbuildable cluster"
+        );
+        assert!(out.degradation.partial.is_none());
+    }
+
+    #[test]
+    fn resilient_reports_partial_results() {
+        // Node 0's space holds {0..3}: with everyone alive it can build a
+        // 3-cluster (l = 2 admits three consecutive line hosts). With host
+        // 2 dead only pairs survive — reported as a partial.
+        let cls = classes();
+        let mut nodes = vec![
+            ClusterNode::new(n(0), vec![n(1)], 1),
+            ClusterNode::new(n(1), vec![n(0)], 1),
+        ];
+        nodes[0]
+            .receive_node_info(n(1), vec![n(1), n(2), n(3)])
+            .unwrap();
+        for node in &mut nodes {
+            node.recompute_own_max(&cls, line_dist);
+        }
+        let out = process_query_resilient(
+            &nodes,
+            n(0),
+            3,
+            50.0,
+            &cls,
+            line_dist,
+            RoutePolicy::FirstFit,
+            &RetryPolicy::default(),
+            |u| u != n(2),
+        )
+        .unwrap();
+        assert!(!out.found());
+        assert!(out.degradation.stale_state);
+        let partial = out.degradation.partial.expect("live partial exists");
+        assert_eq!(partial.len(), 2);
+        assert!(!partial.contains(&n(2)));
+    }
+
+    #[test]
+    fn hop_budget_truncates_and_backoff_extends() {
+        let nodes = path_overlay();
+        // Budget 1 with no retries cannot reach node 3 from node 0.
+        let starved = process_query_resilient(
+            &nodes,
+            n(0),
+            2,
+            50.0,
+            &classes(),
+            line_dist,
+            RoutePolicy::FirstFit,
+            &RetryPolicy {
+                max_retries: 0,
+                initial_hop_budget: 1,
+                backoff: 1.0,
+            },
+            |_| true,
+        )
+        .unwrap();
+        assert!(!starved.found());
+        // Backoff 2× per retry: budgets 1, 2, 4 — the third attempt
+        // reaches node 3 (3 hops away).
+        let retried = process_query_resilient(
+            &nodes,
+            n(0),
+            2,
+            50.0,
+            &classes(),
+            line_dist,
+            RoutePolicy::FirstFit,
+            &RetryPolicy {
+                max_retries: 3,
+                initial_hop_budget: 1,
+                backoff: 2.0,
+            },
+            |_| true,
+        )
+        .unwrap();
+        assert!(retried.found(), "backoff must eventually reach the answer");
+        assert!(retried.degradation.retries >= 2);
     }
 
     #[test]

@@ -44,16 +44,31 @@ pub fn find_cluster_budgeted<M: FiniteMetric>(
 ) -> BudgetedOutcome {
     let n = metric.len();
     if k == 0 || k > n {
-        return BudgetedOutcome { cluster: None, expansions: 0, exhausted: false };
+        return BudgetedOutcome {
+            cluster: None,
+            expansions: 0,
+            exhausted: false,
+        };
     }
     if k == 1 {
-        return BudgetedOutcome { cluster: Some(vec![0]), expansions: 1, exhausted: false };
+        return BudgetedOutcome {
+            cluster: Some(vec![0]),
+            expansions: 1,
+            exhausted: false,
+        };
     }
     // Threshold graph adjacency.
     let adj: Vec<Vec<bool>> = (0..n)
-        .map(|i| (0..n).map(|j| i != j && metric.distance(i, j) <= l).collect())
+        .map(|i| {
+            (0..n)
+                .map(|j| i != j && metric.distance(i, j) <= l)
+                .collect()
+        })
         .collect();
-    let degree: Vec<usize> = adj.iter().map(|row| row.iter().filter(|&&b| b).count()).collect();
+    let degree: Vec<usize> = adj
+        .iter()
+        .map(|row| row.iter().filter(|&&b| b).count())
+        .collect();
 
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -84,8 +99,11 @@ pub fn find_cluster_budgeted<M: FiniteMetric>(
                 }
                 self.expansions += 1;
                 clique.push(v);
-                let next: Vec<usize> =
-                    cand[idx + 1..].iter().copied().filter(|&u| self.adj[v][u]).collect();
+                let next: Vec<usize> = cand[idx + 1..]
+                    .iter()
+                    .copied()
+                    .filter(|&u| self.adj[v][u])
+                    .collect();
                 if self.extend(clique, &next) {
                     return true;
                 }
@@ -98,7 +116,13 @@ pub fn find_cluster_budgeted<M: FiniteMetric>(
         }
     }
 
-    let mut search = Search { adj: &adj, k, budget, expansions: 0, exhausted: false };
+    let mut search = Search {
+        adj: &adj,
+        k,
+        budget,
+        expansions: 0,
+        exhausted: false,
+    };
     let mut clique = Vec::new();
     let found = search.extend(&mut clique, &order);
     BudgetedOutcome {
@@ -166,7 +190,11 @@ mod tests {
         let d = line(&[0.0, 0.1, 0.2, 0.3]);
         let out = find_cluster_budgeted(&d, 4, 1.0, u64::MAX, 5);
         assert!(out.cluster.is_some());
-        assert!(out.expansions >= 4, "at least k expansions: {}", out.expansions);
+        assert!(
+            out.expansions >= 4,
+            "at least k expansions: {}",
+            out.expansions
+        );
     }
 
     #[test]
@@ -174,7 +202,10 @@ mod tests {
         let d = line(&[0.0, 1.0]);
         assert_eq!(find_cluster_budgeted(&d, 0, 1.0, 10, 0).cluster, None);
         assert_eq!(find_cluster_budgeted(&d, 3, 1.0, 10, 0).cluster, None);
-        assert_eq!(find_cluster_budgeted(&d, 1, 1.0, 10, 0).cluster, Some(vec![0]));
+        assert_eq!(
+            find_cluster_budgeted(&d, 1, 1.0, 10, 0).cluster,
+            Some(vec![0])
+        );
     }
 
     #[test]

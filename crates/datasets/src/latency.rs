@@ -52,7 +52,10 @@ impl LatencyConfig {
 
     fn validate(&self) {
         assert!(self.nodes >= 2, "need at least two hosts");
-        assert!(self.sites >= 1 && self.regions >= 1, "need at least one site and region");
+        assert!(
+            self.sites >= 1 && self.regions >= 1,
+            "need at least one site and region"
+        );
         for &(lo, hi) in [&self.host_delay, &self.site_delay, &self.region_delay] {
             assert!(lo > 0.0 && hi >= lo, "invalid delay range");
         }
@@ -75,10 +78,12 @@ pub fn generate_latency(config: &LatencyConfig) -> DistanceMatrix {
     let n = config.nodes;
 
     let site_of: Vec<usize> = (0..n).map(|_| rng.gen_range(0..config.sites)).collect();
-    let region_of_site: Vec<usize> =
-        (0..config.sites).map(|_| rng.gen_range(0..config.regions)).collect();
-    let host_delay: Vec<f64> =
-        (0..n).map(|_| rng.gen_range(config.host_delay.0..=config.host_delay.1)).collect();
+    let region_of_site: Vec<usize> = (0..config.sites)
+        .map(|_| rng.gen_range(0..config.regions))
+        .collect();
+    let host_delay: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(config.host_delay.0..=config.host_delay.1))
+        .collect();
     let site_delay: Vec<f64> = (0..config.sites)
         .map(|_| rng.gen_range(config.site_delay.0..=config.site_delay.1))
         .collect();
@@ -150,7 +155,10 @@ mod tests {
     fn deterministic_per_seed() {
         let cfg = LatencyConfig::small(9);
         assert_eq!(generate_latency(&cfg), generate_latency(&cfg));
-        assert_ne!(generate_latency(&cfg), generate_latency(&LatencyConfig::small(10)));
+        assert_ne!(
+            generate_latency(&cfg),
+            generate_latency(&LatencyConfig::small(10))
+        );
     }
 
     #[test]

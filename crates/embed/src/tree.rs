@@ -561,7 +561,9 @@ mod tests {
         let mut t = two_host_tree();
         let a = t.leaf(NodeId::new(0)).unwrap();
         let m = t.split_edge(0, a, 10.0, NodeId::new(2));
-        let c = t.push_vertex(Vertex::Leaf { host: NodeId::new(2) });
+        let c = t.push_vertex(Vertex::Leaf {
+            host: NodeId::new(2),
+        });
         t.register_leaf(NodeId::new(2), c);
         t.push_edge(m, c, 4.0, NodeId::new(2));
         t

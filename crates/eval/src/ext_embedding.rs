@@ -32,14 +32,22 @@ pub struct EmbeddingConfig {
 impl EmbeddingConfig {
     /// Default extension parameters (HP-like datasets).
     pub fn standard() -> Self {
-        EmbeddingConfig { dataset: DatasetKind::Hp, rounds: 3, seed: 23 }
+        EmbeddingConfig {
+            dataset: DatasetKind::Hp,
+            rounds: 3,
+            seed: 23,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn fast() -> Self {
         let mut synth = bcc_datasets::SynthConfig::small(3);
         synth.nodes = 30;
-        EmbeddingConfig { dataset: DatasetKind::Custom(synth), rounds: 1, seed: 24 }
+        EmbeddingConfig {
+            dataset: DatasetKind::Custom(synth),
+            rounds: 1,
+            seed: 24,
+        }
     }
 }
 
@@ -80,12 +88,18 @@ pub fn run_embedding(cfg: &EmbeddingConfig) -> EmbeddingResult {
                 };
 
                 let mut results: Vec<(f64, f64)> = Vec::with_capacity(STRATEGIES);
-                let exact = FrameworkConfig { seed, ..Default::default() };
+                let exact = FrameworkConfig {
+                    seed,
+                    ..Default::default()
+                };
                 let fw = PredictionFramework::build_from_matrix(&d, exact);
                 results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
 
-                let descent =
-                    FrameworkConfig { end: EndStrategy::AnchorDescent, seed, ..Default::default() };
+                let descent = FrameworkConfig {
+                    end: EndStrategy::AnchorDescent,
+                    seed,
+                    ..Default::default()
+                };
                 let fw = PredictionFramework::build_from_matrix(&d, descent);
                 results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
 
@@ -100,9 +114,16 @@ pub fn run_embedding(cfg: &EmbeddingConfig) -> EmbeddingResult {
 
                 let ens = TreeEnsemble::build_from_matrix(
                     &d,
-                    EnsembleConfig { members: 3, seed, ..Default::default() },
+                    EnsembleConfig {
+                        members: 3,
+                        seed,
+                        ..Default::default()
+                    },
                 );
-                results.push((ens.probe_count() as f64, median_err(&ens.predicted_matrix())));
+                results.push((
+                    ens.probe_count() as f64,
+                    median_err(&ens.predicted_matrix()),
+                ));
 
                 let mut m = merged.lock();
                 for (slot, (probes, err)) in m.iter_mut().zip(results) {

@@ -9,6 +9,8 @@
 //! - [`fig5`] — the effect of treeness: WPR vs `f_b`, raw and normalized
 //!   by `(·)^{f_a*}` with `α = 3.2`.
 //! - [`fig6`] — scalability: mean routing hops vs system size.
+//! - [`robustness`] — extension: query success, retries and re-convergence
+//!   under injected message loss and host crashes.
 //!
 //! Shared machinery: [`metrics`] (WPR/RR accumulators, bucketing),
 //! [`report`] (plain-text tables), [`setup`] (dataset selection and
@@ -26,6 +28,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod metrics;
 pub mod report;
+pub mod robustness;
 pub mod setup;
 
 pub use ext_convergence::{run_convergence, ConvergenceConfig, ConvergenceResult};
@@ -35,4 +38,5 @@ pub use fig4::{run_fig4, Fig4Config, Fig4Result};
 pub use fig5::{run_fig5, Fig5Config, Fig5Result};
 pub use fig6::{run_fig6, Fig6Config, Fig6Result};
 pub use report::{Series, Table};
+pub use robustness::{run_robustness, RobustnessCell, RobustnessConfig, RobustnessResult};
 pub use setup::DatasetKind;

@@ -88,6 +88,11 @@ impl RrAccumulator {
     pub fn queries(&self) -> u64 {
         self.queries
     }
+
+    /// Number of queries that found a cluster.
+    pub fn found(&self) -> u64 {
+        self.found
+    }
 }
 
 /// Fixed-width bucketing of a continuous x-axis (query constraint `b`,

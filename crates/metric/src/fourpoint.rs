@@ -263,10 +263,10 @@ mod tests {
         // Corners of a unit square with Euclidean distances: the classic
         // non-tree metric (s1 = 2√2 diagonal sum vs s2 = 2 side sum).
         let d = DistanceMatrix::from_fn(4, |i, j| {
-            let p = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+            let p = [(0.0f64, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
             let (xi, yi) = p[i];
             let (xj, yj) = p[j];
-            ((xi - xj) as f64).hypot(yi - yj)
+            (xi - xj).hypot(yi - yj)
         });
         assert!(!satisfies_four_point(&d, 1e-9));
         let e = quartet_epsilon(&d, 0, 1, 2, 3);

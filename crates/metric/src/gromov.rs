@@ -162,7 +162,7 @@ mod tests {
     fn max_gromov_excludes_x_and_z() {
         let d = line(&[0.0, 1.0, 2.0]);
         assert_eq!(max_gromov_product(&d, 0, 1, [0, 1].into_iter()), None);
-        let got = max_gromov_product(&d, 0, 1, [0, 1, 2].into_iter());
+        let got = max_gromov_product(&d, 0, 1, [0, 1, 2]);
         assert_eq!(got.map(|(y, _)| y), Some(2));
     }
 

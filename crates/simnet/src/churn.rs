@@ -6,13 +6,21 @@
 //! incrementally on every join/leave (re-embedding orphaned anchor
 //! subtrees), and the gossip overlay re-converges afterwards, so queries
 //! always reflect the current membership.
+//!
+//! Failures reuse the same machinery: [`DynamicSystem::crash`] is an
+//! *involuntary* departure — the host's anchor descendants are re-adopted
+//! exactly as for a graceful leave, but the host is remembered as crashed
+//! so queries submitted there fail with a typed error and
+//! [`DynamicSystem::recover`] can bring it back (a cold restart through the
+//! ordinary join path).
 
 use std::collections::BTreeSet;
 
-use bcc_core::{ClusterError, QueryOutcome};
+use bcc_core::{ClusterError, QueryOutcome, RetryPolicy};
 use bcc_embed::{EmbedError, PredictionFramework};
 use bcc_metric::{BandwidthMatrix, DistanceMatrix, NodeId};
 
+use crate::config::ConfigError;
 use crate::engine::SimNetwork;
 use crate::system::SystemConfig;
 
@@ -28,22 +36,42 @@ pub struct DynamicSystem {
     framework: PredictionFramework,
     network: Option<SimNetwork>,
     active: BTreeSet<NodeId>,
+    crashed: BTreeSet<NodeId>,
+    last_convergence_rounds: Option<usize>,
 }
 
 impl DynamicSystem {
     /// Creates an empty system over a measurement universe of
     /// `bandwidth.len()` potential hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration — use [`DynamicSystem::try_new`]
+    /// for a typed error instead.
     pub fn new(bandwidth: BandwidthMatrix, config: SystemConfig) -> Self {
+        Self::try_new(bandwidth, config).expect("valid SystemConfig")
+    }
+
+    /// [`DynamicSystem::new`] with up-front configuration validation.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when a field is invalid (see
+    /// [`SystemConfig::validate`]).
+    pub fn try_new(bandwidth: BandwidthMatrix, config: SystemConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let real_distance = config.transform.distance_matrix(&bandwidth);
         let framework = PredictionFramework::new(config.framework);
-        DynamicSystem {
+        Ok(DynamicSystem {
             bandwidth,
             real_distance,
             config,
             framework,
             network: None,
             active: BTreeSet::new(),
-        }
+            crashed: BTreeSet::new(),
+            last_convergence_rounds: None,
+        })
     }
 
     /// Hosts currently participating.
@@ -75,6 +103,8 @@ impl DynamicSystem {
         self.framework
             .join(host, |a, b| real.get(a.index(), b.index()))?;
         self.active.insert(host);
+        // Joining is also how a crashed host comes back.
+        self.crashed.remove(&host);
         self.rebuild();
         Ok(())
     }
@@ -94,10 +124,60 @@ impl DynamicSystem {
         Ok(())
     }
 
+    /// Crashes a host: an *involuntary* departure. Its anchor descendants
+    /// are re-adopted exactly as in [`DynamicSystem::leave`], the overlay
+    /// re-converges without it, and the host is remembered as crashed:
+    /// queries submitted there fail with
+    /// [`ClusterError::NodeUnavailable`] until [`DynamicSystem::recover`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::UnknownHost`] if the host is not active.
+    pub fn crash(&mut self, host: NodeId) -> Result<(), EmbedError> {
+        let real = &self.real_distance;
+        self.framework
+            .leave(host, |a, b| real.get(a.index(), b.index()))?;
+        self.active.remove(&host);
+        self.crashed.insert(host);
+        self.rebuild();
+        Ok(())
+    }
+
+    /// Brings a crashed host back: a cold restart through the ordinary
+    /// join path (fresh embedding, overlay re-convergence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::UnknownHost`] if the host is not crashed.
+    pub fn recover(&mut self, host: NodeId) -> Result<(), EmbedError> {
+        if !self.crashed.contains(&host) {
+            return Err(EmbedError::UnknownHost(host));
+        }
+        self.join(host)
+    }
+
+    /// Hosts currently crashed (and not yet recovered).
+    pub fn crashed(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.crashed.iter().copied()
+    }
+
+    /// Whether `host` is currently crashed.
+    pub fn is_crashed(&self, host: NodeId) -> bool {
+        self.crashed.contains(&host)
+    }
+
+    /// Gossip rounds the overlay needed to re-converge after the most
+    /// recent membership change (join, leave, crash or recovery) — the
+    /// quantity the robustness evaluation reports as re-convergence cost.
+    pub fn last_convergence_rounds(&self) -> Option<usize> {
+        self.last_convergence_rounds
+    }
+
     /// Decentralized query against the current membership.
     ///
     /// # Errors
     ///
+    /// [`ClusterError::NodeUnavailable`] when submitted at a crashed host,
     /// [`ClusterError::UnknownNeighbor`] when no host has joined yet, plus
     /// the usual validation errors of [`bcc_core::process_query`].
     pub fn query(
@@ -106,8 +186,39 @@ impl DynamicSystem {
         k: usize,
         bandwidth: f64,
     ) -> Result<QueryOutcome, ClusterError> {
+        if self.crashed.contains(&start) {
+            return Err(ClusterError::NodeUnavailable {
+                node: start.index(),
+            });
+        }
         match &self.network {
             Some(net) => net.query(start, k, bandwidth),
+            None => Err(ClusterError::UnknownNeighbor {
+                neighbor: start.index(),
+            }),
+        }
+    }
+
+    /// Failure-aware query with retry/backoff and degradation reporting
+    /// (see [`bcc_core::process_query_resilient`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSystem::query`].
+    pub fn query_resilient(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        retry: &RetryPolicy,
+    ) -> Result<QueryOutcome, ClusterError> {
+        if self.crashed.contains(&start) {
+            return Err(ClusterError::NodeUnavailable {
+                node: start.index(),
+            });
+        }
+        match &self.network {
+            Some(net) => net.query_resilient(start, k, bandwidth, retry),
             None => Err(ClusterError::UnknownNeighbor {
                 neighbor: start.index(),
             }),
@@ -132,6 +243,7 @@ impl DynamicSystem {
     fn rebuild(&mut self) {
         if self.active.is_empty() {
             self.network = None;
+            self.last_convergence_rounds = None;
             return;
         }
         // Predicted distances indexed by universe id; inactive rows unused.
@@ -141,8 +253,10 @@ impl DynamicSystem {
             fw.distance(NodeId::new(i), NodeId::new(j)).unwrap_or(0.0)
         });
         let mut net = SimNetwork::new(fw.anchor(), predicted, self.config.protocol.clone());
-        net.run_to_convergence(self.config.max_rounds)
+        let rounds = net
+            .run_to_convergence(self.config.max_rounds)
             .expect("gossip on a tree overlay converges");
+        self.last_convergence_rounds = Some(rounds);
         self.network = Some(net);
     }
 }
@@ -223,6 +337,72 @@ mod tests {
         assert!(matches!(s.join(n(0)), Err(EmbedError::HostExists(_))));
         assert!(matches!(s.join(n(99)), Err(EmbedError::UnknownHost(_))));
         assert!(matches!(s.leave(n(5)), Err(EmbedError::UnknownHost(_))));
+    }
+
+    #[test]
+    fn crash_is_an_involuntary_leave() {
+        let mut s = dynamic();
+        for i in 0..4 {
+            s.join(n(i)).unwrap();
+        }
+        assert!(s.query(n(3), 3, 80.0).unwrap().found());
+        s.crash(n(1)).unwrap();
+        assert!(s.is_crashed(n(1)));
+        assert_eq!(s.crashed().collect::<Vec<_>>(), vec![n(1)]);
+        assert_eq!(s.len(), 3, "a crashed host is not active");
+        // Orphan re-adoption: survivors still form a valid overlay.
+        assert!(s.query(n(3), 2, 80.0).unwrap().found());
+        // The 3-cluster needed host 1.
+        assert!(!s.query(n(3), 3, 80.0).unwrap().found());
+        // Queries *at* the crashed host fail with the typed error.
+        assert!(matches!(
+            s.query(n(1), 2, 80.0),
+            Err(ClusterError::NodeUnavailable { node: 1 })
+        ));
+        assert!(matches!(
+            s.query_resilient(n(1), 2, 80.0, &RetryPolicy::default()),
+            Err(ClusterError::NodeUnavailable { node: 1 })
+        ));
+        // Crashing a host that is not active is an error.
+        assert!(s.crash(n(1)).is_err());
+        assert!(s.crash(n(5)).is_err());
+    }
+
+    #[test]
+    fn recover_restores_full_capability() {
+        let mut s = dynamic();
+        for i in 0..4 {
+            s.join(n(i)).unwrap();
+        }
+        s.crash(n(1)).unwrap();
+        // Only crashed hosts can recover.
+        assert!(s.recover(n(2)).is_err());
+        s.recover(n(1)).unwrap();
+        assert!(!s.is_crashed(n(1)));
+        assert_eq!(s.len(), 4);
+        assert!(s.query(n(3), 3, 80.0).unwrap().found());
+        assert!(s.query(n(1), 2, 80.0).is_ok());
+        assert!(
+            s.last_convergence_rounds().unwrap() >= 1,
+            "recovery forces re-convergence"
+        );
+    }
+
+    #[test]
+    fn resilient_query_reports_clean_degradation_on_healthy_system() {
+        let mut s = dynamic();
+        for i in 0..3 {
+            s.join(n(i)).unwrap();
+        }
+        let out = s
+            .query_resilient(n(0), 3, 80.0, &RetryPolicy::default())
+            .unwrap();
+        assert!(out.found());
+        assert!(
+            out.clean(),
+            "no faults → no degradation: {:?}",
+            out.degradation
+        );
     }
 
     #[test]

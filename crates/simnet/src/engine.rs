@@ -11,24 +11,46 @@
 //! Rounds repeat until a fixpoint: information needs at most one overlay
 //! diameter of rounds to flood, and the CRTs one more. The engine tracks
 //! message and byte counts so the evaluation can report communication costs.
+//!
+//! A [`FaultInjector`] (see [`crate::fault`]) can be plugged in with
+//! [`SimNetwork::inject_faults`]: crashed nodes fall silent (state frozen,
+//! or cleared on recovery), partitioned/lossy links drop messages, and
+//! latency spikes defer deliveries to later rounds. Every injected fault is
+//! recorded in the [`Trace`] when tracing is enabled.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-use bcc_core::{process_query, ClusterNode, ProtocolConfig, QueryOutcome};
+use bcc_core::{
+    process_query, process_query_resilient, ClusterNode, ProtocolConfig, QueryOutcome, RetryPolicy,
+    RoutePolicy,
+};
 use bcc_embed::AnchorTree;
 use bcc_metric::{DistanceMatrix, NodeId};
 
+use crate::fault::{FaultInjector, FaultPlan, FaultTransition, MessageFate};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::wire::Message;
 
 /// Communication statistics accumulated by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TrafficStats {
-    /// Gossip messages delivered.
+    /// Gossip messages sent (including copies injected by duplication
+    /// faults).
     pub messages: u64,
     /// Total serialized payload bytes.
     pub bytes: u64,
+    /// Messages lost in flight to injected faults.
+    pub dropped: u64,
+}
+
+/// A message deferred to a later round by a latency-spike fault.
+#[derive(Debug, Clone)]
+struct PendingDelivery {
+    due_round: usize,
+    to: usize,
+    from: NodeId,
+    msg: Message,
 }
 
 /// The simulated overlay network running the clustering protocol.
@@ -41,6 +63,8 @@ pub struct SimNetwork {
     traffic: TrafficStats,
     space_digest: Vec<u64>,
     trace: Option<Trace>,
+    injector: Option<Box<dyn FaultInjector>>,
+    pending: Vec<PendingDelivery>,
 }
 
 impl SimNetwork {
@@ -71,6 +95,8 @@ impl SimNetwork {
             traffic: TrafficStats::default(),
             space_digest: vec![0; n],
             trace: None,
+            injector: None,
+            pending: Vec::new(),
         }
     }
 
@@ -82,6 +108,28 @@ impl SimNetwork {
     /// The message trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Plugs in a fault injector; faults activate as rounds pass their
+    /// scheduled ticks (1 tick = 1 round).
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Convenience: [`SimNetwork::set_fault_injector`] from a [`FaultPlan`].
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        self.set_fault_injector(Box::new(plan.injector()));
+    }
+
+    /// The active fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&dyn FaultInjector> {
+        self.injector.as_deref()
+    }
+
+    /// Whether `node` is currently crashed (always `false` without an
+    /// injector).
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.injector.as_ref().is_some_and(|i| i.is_down(node))
     }
 
     /// Number of participating hosts.
@@ -118,19 +166,174 @@ impl SimNetwork {
         move |a, b| self.predicted.get(a.index(), b.index())
     }
 
-    /// Runs one gossip round. Returns `true` if any node's state changed
-    /// (i.e. the protocol has not yet converged).
+    /// Applies fault lifecycle transitions scheduled up to the current
+    /// round: crashed nodes fall silent, recovered nodes cold-restart.
+    fn apply_fault_transitions(&mut self) {
+        let Some(injector) = &mut self.injector else {
+            return;
+        };
+        let transitions = injector.advance(self.rounds_run as f64);
+        for t in transitions {
+            let (kind, node, entries) = match &t {
+                FaultTransition::Crashed(node) => (TraceKind::Crash, *node, 0),
+                FaultTransition::Recovered(node) => (TraceKind::Recover, *node, 0),
+                FaultTransition::PartitionStarted(group) => (
+                    TraceKind::PartitionStart,
+                    group.first().copied().unwrap_or(NodeId::new(0)),
+                    group.len(),
+                ),
+                FaultTransition::PartitionHealed(group) => (
+                    TraceKind::PartitionHeal,
+                    group.first().copied().unwrap_or(NodeId::new(0)),
+                    group.len(),
+                ),
+            };
+            if let FaultTransition::Recovered(node) = &t {
+                // Cold restart: gossip state is rebuilt from scratch.
+                self.nodes[node.index()].reset();
+                self.space_digest[node.index()] = 0;
+            }
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    round: self.rounds_run,
+                    from: node,
+                    to: node,
+                    kind,
+                    entries,
+                    bytes: 0,
+                });
+            }
+        }
+    }
+
+    /// Sends one message through the (possibly faulty) wire: accounts
+    /// traffic, consults the injector for drops/duplicates/delays, and
+    /// either applies it immediately or defers it to a later round.
+    fn send(&mut self, to: usize, from: NodeId, msg: Message) {
+        self.traffic.messages += 1;
+        self.traffic.bytes += msg.wire_len() as u64;
+        let fate = match &mut self.injector {
+            Some(inj) => inj.message_fate(from, NodeId::new(to), self.rounds_run as f64),
+            None => MessageFate::deliver(),
+        };
+        if fate.is_dropped() {
+            self.traffic.dropped += 1;
+            self.record(to, from, &msg, TraceKind::Dropped);
+            return;
+        }
+        let delay_rounds = if fate.extra_delay > 0.0 {
+            fate.extra_delay.ceil() as usize
+        } else {
+            0
+        };
+        for copy in 0..fate.copies {
+            if copy > 0 {
+                self.traffic.messages += 1;
+                self.traffic.bytes += msg.wire_len() as u64;
+                self.record(to, from, &msg, TraceKind::Duplicated);
+            }
+            if delay_rounds == 0 {
+                self.apply_message(to, from, msg.clone());
+            } else {
+                self.record(to, from, &msg, TraceKind::Delayed);
+                self.pending.push(PendingDelivery {
+                    due_round: self.rounds_run + delay_rounds,
+                    to,
+                    from,
+                    msg: msg.clone(),
+                });
+            }
+        }
+    }
+
+    /// Decodes and applies one message to its receiver, recording it.
+    fn apply_message(&mut self, to: usize, from: NodeId, msg: Message) {
+        let decoded = Message::decode(msg.encode()).expect("self-produced message decodes");
+        match decoded {
+            Message::NodeInfo { nodes } => {
+                self.record_sized(to, from, &msg, TraceKind::NodeInfo, nodes.len());
+                self.nodes[to]
+                    .receive_node_info(from, nodes)
+                    .expect("valid neighbor");
+            }
+            Message::CrtRow { sizes } => {
+                self.record_sized(to, from, &msg, TraceKind::CrtRow, sizes.len());
+                let row = sizes.into_iter().map(|s| s as usize).collect();
+                self.nodes[to]
+                    .receive_crt(from, row)
+                    .expect("valid neighbor");
+            }
+        }
+    }
+
+    fn record(&mut self, to: usize, from: NodeId, msg: &Message, kind: TraceKind) {
+        let entries = match msg {
+            Message::NodeInfo { nodes } => nodes.len(),
+            Message::CrtRow { sizes } => sizes.len(),
+        };
+        self.record_sized(to, from, msg, kind, entries);
+    }
+
+    fn record_sized(
+        &mut self,
+        to: usize,
+        from: NodeId,
+        msg: &Message,
+        kind: TraceKind,
+        entries: usize,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                round: self.rounds_run,
+                from,
+                to: NodeId::new(to),
+                kind,
+                entries,
+                bytes: msg.wire_len(),
+            });
+        }
+    }
+
+    /// Runs one gossip round. Returns `true` if any node's state changed or
+    /// deliveries are still in flight (i.e. the protocol has not yet
+    /// converged).
     pub fn run_round(&mut self) -> bool {
         let digest_before = self.digest();
         let n_cut = self.config.n_cut;
         let n = self.nodes.len();
 
+        // Fault lifecycle scheduled up to this round, then any deliveries
+        // a latency spike deferred to it. Late messages may find their
+        // receiver dead by now — those drop like any other.
+        self.apply_fault_transitions();
+        let mut due: Vec<PendingDelivery> = Vec::new();
+        let round = self.rounds_run;
+        self.pending.retain(|p| {
+            if p.due_round <= round {
+                due.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for p in due {
+            if self.is_down(NodeId::new(p.to)) {
+                self.traffic.dropped += 1;
+                self.record(p.to, p.from, &p.msg, TraceKind::Dropped);
+            } else {
+                self.apply_message(p.to, p.from, p.msg);
+            }
+        }
+
         // Phase 1: NodeInfo along every directed overlay edge. Messages are
         // produced from the pre-round state (synchronous rounds), encoded to
-        // bytes for accounting, then delivered.
+        // bytes for accounting, then delivered. Crashed nodes are silent.
         let mut deliveries: Vec<(usize, NodeId, Message)> = Vec::new();
         for m in 0..n {
             let sender = &self.nodes[m];
+            if self.is_down(sender.id()) {
+                continue;
+            }
             for &x in sender.neighbors() {
                 let info = sender
                     .node_info_for(x, n_cut, |a, b| self.predicted.get(a.index(), b.index()))
@@ -139,30 +342,15 @@ impl SimNetwork {
             }
         }
         for (to, from, msg) in deliveries {
-            self.traffic.messages += 1;
-            self.traffic.bytes += msg.wire_len() as u64;
-            let decoded = Message::decode(msg.encode()).expect("self-produced message decodes");
-            let Message::NodeInfo { nodes } = decoded else {
-                unreachable!("phase 1 payload")
-            };
-            if let Some(trace) = &mut self.trace {
-                trace.record(TraceEvent {
-                    round: self.rounds_run,
-                    from,
-                    to: NodeId::new(to),
-                    kind: TraceKind::NodeInfo,
-                    entries: nodes.len(),
-                    bytes: msg.wire_len(),
-                });
-            }
-            self.nodes[to]
-                .receive_node_info(from, nodes)
-                .expect("valid neighbor");
+            self.send(to, from, msg);
         }
 
         // Phase 2: recompute local maxima (only where the space changed),
         // then CrtRow along every directed edge.
         for i in 0..n {
+            if self.is_down(NodeId::new(i)) {
+                continue;
+            }
             let space = self.nodes[i].clustering_space();
             let mut h = DefaultHasher::new();
             space.hash(&mut h);
@@ -178,6 +366,9 @@ impl SimNetwork {
         let mut deliveries: Vec<(usize, NodeId, Message)> = Vec::new();
         for m in 0..n {
             let sender = &self.nodes[m];
+            if self.is_down(sender.id()) {
+                continue;
+            }
             for &x in sender.neighbors() {
                 let row = sender.crt_for(x).expect("overlay neighbors are mutual");
                 let sizes = row
@@ -188,30 +379,11 @@ impl SimNetwork {
             }
         }
         for (to, from, msg) in deliveries {
-            self.traffic.messages += 1;
-            self.traffic.bytes += msg.wire_len() as u64;
-            let decoded = Message::decode(msg.encode()).expect("self-produced message decodes");
-            let Message::CrtRow { sizes } = decoded else {
-                unreachable!("phase 2 payload")
-            };
-            if let Some(trace) = &mut self.trace {
-                trace.record(TraceEvent {
-                    round: self.rounds_run,
-                    from,
-                    to: NodeId::new(to),
-                    kind: TraceKind::CrtRow,
-                    entries: sizes.len(),
-                    bytes: msg.wire_len(),
-                });
-            }
-            let row = sizes.into_iter().map(|s| s as usize).collect();
-            self.nodes[to]
-                .receive_crt(from, row)
-                .expect("valid neighbor");
+            self.send(to, from, msg);
         }
 
         self.rounds_run += 1;
-        self.digest() != digest_before
+        self.digest() != digest_before || !self.pending.is_empty()
     }
 
     /// Runs rounds until a fixpoint, up to `max_rounds`.
@@ -219,7 +391,7 @@ impl SimNetwork {
     /// Returns the number of rounds executed, or `None` if the state was
     /// still changing at the cap (which indicates a bug or a pathological
     /// overlay — gossip on a tree converges within `2 × diameter + 2`
-    /// rounds).
+    /// rounds; with active faults it may legitimately never settle).
     pub fn run_to_convergence(&mut self, max_rounds: usize) -> Option<usize> {
         let start = self.rounds_run;
         for _ in 0..max_rounds {
@@ -273,6 +445,34 @@ impl SimNetwork {
             &self.config.classes,
             self.predicted_dist(),
             policy,
+        )
+    }
+
+    /// Failure-aware query: Algorithm 4 with retry/backoff and rerouting
+    /// around nodes the fault injector reports dead (see
+    /// [`bcc_core::process_query_resilient`]). Without an injector this
+    /// behaves like [`SimNetwork::query`] plus hop budgeting.
+    ///
+    /// # Errors
+    ///
+    /// See [`bcc_core::process_query_resilient`].
+    pub fn query_resilient(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        retry: &RetryPolicy,
+    ) -> Result<QueryOutcome, bcc_core::ClusterError> {
+        process_query_resilient(
+            &self.nodes,
+            start,
+            k,
+            bandwidth,
+            &self.config.classes,
+            self.predicted_dist(),
+            RoutePolicy::FirstFit,
+            retry,
+            |u| !self.is_down(u),
         )
     }
 
@@ -338,6 +538,7 @@ mod tests {
         // 4 overlay edges × 2 directions × 2 phases = 16 messages.
         assert_eq!(t.messages, 16);
         assert!(t.bytes >= 16 * 5);
+        assert_eq!(t.dropped, 0);
     }
 
     #[test]
@@ -420,5 +621,132 @@ mod tests {
         assert!(!out.found());
         // Active hosts still answer.
         assert!(net.query(n(0), 2, 50.0).unwrap().found());
+    }
+
+    #[test]
+    fn crashed_node_falls_silent_and_is_traced() {
+        let mut net = build(6, 3, vec![25.0, 50.0]);
+        net.enable_tracing(4096);
+        net.inject_faults(&FaultPlan::new(1).crash(0.0, n(2)));
+        let _ = net.run_to_convergence(50);
+        assert!(net.is_down(n(2)));
+        let trace = net.trace().unwrap();
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceKind::Crash && e.from == n(2)));
+        // Messages aimed at the dead node are dropped and visible.
+        assert!(trace.dropped_messages() > 0);
+        assert_eq!(net.traffic().dropped, trace.dropped_messages());
+        // The dead node never sends: no NodeInfo from n2 after round 0.
+        assert!(!trace
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceKind::NodeInfo && e.from == n(2)));
+    }
+
+    #[test]
+    fn crash_recovery_reconverges_to_fault_free_fixpoint() {
+        let mut reference = build(8, 3, vec![25.0, 50.0]);
+        reference.run_to_convergence(100).unwrap();
+
+        let mut net = build(8, 3, vec![25.0, 50.0]);
+        net.inject_faults(&FaultPlan::new(5).crash_recover(3.0, n(4), 10.0));
+        for _ in 0..100 {
+            net.run_round();
+        }
+        assert!(!net.is_down(n(4)));
+        assert_eq!(
+            net.digest(),
+            reference.digest(),
+            "cold restart must rebuild the same fixpoint"
+        );
+    }
+
+    #[test]
+    fn partition_blocks_convergence_until_heal() {
+        let mut reference = build(8, 3, vec![25.0, 50.0]);
+        reference.run_to_convergence(100).unwrap();
+
+        // Cut {0, 1} off for 30 rounds, then heal.
+        let mut net = build(8, 3, vec![25.0, 50.0]);
+        net.inject_faults(&FaultPlan::new(2).partition(0.0, vec![n(0), n(1)], Some(30.0)));
+        for _ in 0..20 {
+            net.run_round();
+        }
+        assert_ne!(net.digest(), reference.digest(), "cut overlay cannot agree");
+        for _ in 0..60 {
+            net.run_round();
+        }
+        assert_eq!(net.digest(), reference.digest(), "healed overlay agrees");
+    }
+
+    #[test]
+    fn delayed_messages_arrive_in_later_rounds() {
+        let mut reference = build(6, 3, vec![25.0, 50.0]);
+        reference.run_to_convergence(100).unwrap();
+
+        let mut net = build(6, 3, vec![25.0, 50.0]);
+        net.enable_tracing(1 << 14);
+        // Every message on 0→1 is late by 3 rounds until the spike heals at
+        // round 50; gossip still converges to the same fixpoint, just
+        // later. (While the spike lasts there are always messages in
+        // flight, so convergence can only be declared after the heal.)
+        net.inject_faults(&FaultPlan::new(3).latency_spike(
+            0.0,
+            n(0),
+            n(1),
+            (3.0, 3.0),
+            Some(50.0),
+        ));
+        let rounds = net.run_to_convergence(200).expect("still converges");
+        assert!(rounds >= 3);
+        assert_eq!(net.digest(), reference.digest());
+        let trace = net.trace().unwrap();
+        assert!(trace.events().iter().any(|e| e.kind == TraceKind::Delayed));
+    }
+
+    #[test]
+    fn duplicated_messages_are_idempotent_and_counted() {
+        let mut reference = build(6, 3, vec![25.0, 50.0]);
+        reference.run_to_convergence(100).unwrap();
+
+        let mut net = build(6, 3, vec![25.0, 50.0]);
+        net.enable_tracing(1 << 14);
+        net.inject_faults(&FaultPlan::new(4).link_duplicate(0.0, n(0), n(1), 1.0, None));
+        net.run_to_convergence(100).unwrap();
+        assert_eq!(net.digest(), reference.digest(), "duplicates are harmless");
+        let trace = net.trace().unwrap();
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceKind::Duplicated));
+        assert!(net.traffic().messages > reference.traffic().messages);
+    }
+
+    #[test]
+    fn resilient_query_routes_around_crashed_interior_node() {
+        // Converge first, then crash an interior host without letting the
+        // overlay re-gossip: CRT state is now stale. The plain query walks
+        // into the dead node; the resilient one reroutes or degrades.
+        let mut net = build(8, 3, vec![25.0, 50.0]);
+        net.run_to_convergence(100).unwrap();
+        let dead = n(3);
+        net.inject_faults(&FaultPlan::new(6).crash(net.rounds_run() as f64, dead));
+        net.apply_fault_transitions();
+        assert!(net.is_down(dead));
+
+        let retry = RetryPolicy::default();
+        for start in [0usize, 1, 5, 7] {
+            let out = net.query_resilient(n(start), 2, 50.0, &retry).unwrap();
+            assert!(out.found(), "start n{start} must still find a pair");
+            let c = out.cluster.as_ref().unwrap();
+            assert!(!c.contains(&dead), "no dead member in {c:?}");
+        }
+        // Submitting at the dead node is a typed error.
+        assert!(matches!(
+            net.query_resilient(dead, 2, 50.0, &retry),
+            Err(bcc_core::ClusterError::NodeUnavailable { node: 3 })
+        ));
     }
 }

@@ -12,18 +12,27 @@
 //! message timing), so the asynchronous execution must reach exactly the
 //! same protocol state as the synchronous one — a property the tests and
 //! the `simnet` integration suite verify via state digests.
+//!
+//! The same [`FaultInjector`] that drives [`crate::SimNetwork`] plugs in
+//! here via [`AsyncNetwork::inject_faults`], with ticks interpreted as
+//! simulated seconds: crashed nodes stop firing timers (and recover by cold
+//! restart), partitions and link faults disturb messages in flight, and
+//! everything lands in the optional [`Trace`].
 
 use std::cmp::Reverse;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 
-use bcc_core::{ClusterNode, ProtocolConfig, QueryOutcome};
+use bcc_core::{ClusterNode, ProtocolConfig, QueryOutcome, RetryPolicy, RoutePolicy};
 use bcc_embed::AnchorTree;
 use bcc_metric::{DistanceMatrix, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::config::ConfigError;
+use crate::fault::{FaultInjector, FaultPlan, FaultTransition, MessageFate};
+use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::wire::Message;
 
 /// Configuration for an [`AsyncNetwork`].
@@ -56,6 +65,34 @@ impl AsyncConfig {
             loss: 0.0,
             seed: 0,
         }
+    }
+
+    /// Checks every numeric field up front, so a bad value surfaces as a
+    /// typed error at construction instead of a panic deep inside the RNG
+    /// mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field and value.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.loss.is_finite() || !(0.0..=1.0).contains(&self.loss) {
+            return Err(ConfigError::LossOutOfRange { loss: self.loss });
+        }
+        let (low, high) = self.latency;
+        if !low.is_finite() || !high.is_finite() || low < 0.0 || low > high {
+            return Err(ConfigError::InvalidLatencyRange { low, high });
+        }
+        if !self.gossip_period.is_finite() || self.gossip_period <= 0.0 {
+            return Err(ConfigError::NonPositiveGossipPeriod {
+                period: self.gossip_period,
+            });
+        }
+        if !self.timer_jitter.is_finite() || !(0.0..1.0).contains(&self.timer_jitter) {
+            return Err(ConfigError::JitterOutOfRange {
+                jitter: self.timer_jitter,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -109,13 +146,36 @@ pub struct AsyncNetwork {
     now: f64,
     seq: u64,
     delivered: u64,
+    lost: u64,
     space_digest: Vec<u64>,
+    trace: Option<Trace>,
+    injector: Option<Box<dyn FaultInjector>>,
 }
 
 impl AsyncNetwork {
     /// Builds the network over an anchor-tree overlay, scheduling each
     /// node's first timer at a random phase within one period.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration — use [`AsyncNetwork::try_new`]
+    /// for a typed error instead.
     pub fn new(anchor: &AnchorTree, predicted: DistanceMatrix, config: AsyncConfig) -> Self {
+        Self::try_new(anchor, predicted, config).expect("valid AsyncConfig")
+    }
+
+    /// [`AsyncNetwork::new`] with up-front configuration validation.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when a numeric field is out of range (see
+    /// [`AsyncConfig::validate`]).
+    pub fn try_new(
+        anchor: &AnchorTree,
+        predicted: DistanceMatrix,
+        config: AsyncConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
         let n = predicted.len();
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
@@ -140,13 +200,16 @@ impl AsyncNetwork {
             now: 0.0,
             seq: 0,
             delivered: 0,
+            lost: 0,
             space_digest: vec![0; n],
+            trace: None,
+            injector: None,
         };
         for i in 0..n {
             let phase = net.rng.gen_range(0.0..net.config.gossip_period);
             net.push_event(phase, EventKind::Timer(NodeId::new(i)));
         }
-        net
+        Ok(net)
     }
 
     fn push_event(&mut self, time: f64, kind: EventKind) {
@@ -169,9 +232,48 @@ impl AsyncNetwork {
         self.delivered
     }
 
+    /// Messages lost in flight (background loss plus injected faults).
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
     /// Immutable view of the protocol nodes.
     pub fn nodes(&self) -> &[ClusterNode] {
         &self.nodes
+    }
+
+    /// Turns on message tracing with a bounded buffer (see [`Trace`]).
+    /// Trace rounds are whole simulated seconds.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The message trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Plugs in a fault injector; faults activate as simulated time passes
+    /// their scheduled ticks (1 tick = 1 second).
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Convenience: [`AsyncNetwork::set_fault_injector`] from a
+    /// [`FaultPlan`].
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        self.set_fault_injector(Box::new(plan.injector()));
+    }
+
+    /// The active fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&dyn FaultInjector> {
+        self.injector.as_deref()
+    }
+
+    /// Whether `node` is currently crashed (always `false` without an
+    /// injector).
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.injector.as_ref().is_some_and(|i| i.is_down(node))
     }
 
     /// Runs the simulation until simulated time `until`.
@@ -182,12 +284,14 @@ impl AsyncNetwork {
             }
             let Reverse(event) = self.queue.pop().expect("peeked");
             self.now = event.time;
+            self.apply_fault_transitions();
             match event.kind {
                 EventKind::Timer(id) => self.fire_timer(id),
                 EventKind::Deliver { to, from, payload } => self.deliver(to, from, payload),
             }
         }
         self.now = until;
+        self.apply_fault_transitions();
     }
 
     /// Runs in windows of `window` simulated seconds until the protocol
@@ -208,44 +312,79 @@ impl AsyncNetwork {
         None
     }
 
-    fn fire_timer(&mut self, id: NodeId) {
-        // Emit to every neighbor, then reschedule with jitter.
-        let neighbors = self.nodes[id.index()].neighbors().to_vec();
-        let n_cut = self.config.protocol.n_cut;
-        for to in neighbors {
-            let info = self.nodes[id.index()]
-                .node_info_for(to, n_cut, |a, b| self.predicted.get(a.index(), b.index()))
-                .expect("overlay neighbors are mutual");
-            let crt = self.nodes[id.index()].crt_for(to).expect("neighbor");
-            if !self.dropped() {
-                let lat = self
-                    .rng
-                    .gen_range(self.config.latency.0..=self.config.latency.1);
-                self.push_event(
-                    self.now + lat,
-                    EventKind::Deliver {
-                        to,
-                        from: id,
-                        payload: Message::NodeInfo { nodes: info },
-                    },
-                );
+    /// Applies fault lifecycle transitions scheduled up to `self.now`.
+    fn apply_fault_transitions(&mut self) {
+        let Some(injector) = &mut self.injector else {
+            return;
+        };
+        let transitions = injector.advance(self.now);
+        for t in transitions {
+            let (kind, node, entries) = match &t {
+                FaultTransition::Crashed(node) => (TraceKind::Crash, *node, 0),
+                FaultTransition::Recovered(node) => (TraceKind::Recover, *node, 0),
+                FaultTransition::PartitionStarted(group) => (
+                    TraceKind::PartitionStart,
+                    group.first().copied().unwrap_or(NodeId::new(0)),
+                    group.len(),
+                ),
+                FaultTransition::PartitionHealed(group) => (
+                    TraceKind::PartitionHeal,
+                    group.first().copied().unwrap_or(NodeId::new(0)),
+                    group.len(),
+                ),
+            };
+            if let FaultTransition::Recovered(node) = &t {
+                // Cold restart: gossip rebuilds the state from scratch.
+                self.nodes[node.index()].reset();
+                self.space_digest[node.index()] = 0;
             }
-            if !self.dropped() {
-                let lat = self
-                    .rng
-                    .gen_range(self.config.latency.0..=self.config.latency.1);
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    round: self.now as usize,
+                    from: node,
+                    to: node,
+                    kind,
+                    entries,
+                    bytes: 0,
+                });
+            }
+        }
+    }
+
+    fn record(&mut self, from: NodeId, to: NodeId, payload: &Message, kind: TraceKind) {
+        if let Some(trace) = &mut self.trace {
+            let entries = match payload {
+                Message::NodeInfo { nodes } => nodes.len(),
+                Message::CrtRow { sizes } => sizes.len(),
+            };
+            trace.record(TraceEvent {
+                round: self.now as usize,
+                from,
+                to,
+                kind,
+                entries,
+                bytes: payload.wire_len(),
+            });
+        }
+    }
+
+    fn fire_timer(&mut self, id: NodeId) {
+        // A crashed node is silent but keeps its (quiet) timer ticking, so
+        // gossip resumes by itself after a recovery.
+        if !self.is_down(id) {
+            let neighbors = self.nodes[id.index()].neighbors().to_vec();
+            let n_cut = self.config.protocol.n_cut;
+            for to in neighbors {
+                let info = self.nodes[id.index()]
+                    .node_info_for(to, n_cut, |a, b| self.predicted.get(a.index(), b.index()))
+                    .expect("overlay neighbors are mutual");
+                let crt = self.nodes[id.index()].crt_for(to).expect("neighbor");
+                self.emit(id, to, Message::NodeInfo { nodes: info });
                 let sizes = crt
                     .iter()
                     .map(|&s| u32::try_from(s).expect("cluster size fits u32"))
                     .collect();
-                self.push_event(
-                    self.now + lat,
-                    EventKind::Deliver {
-                        to,
-                        from: id,
-                        payload: Message::CrtRow { sizes },
-                    },
-                );
+                self.emit(id, to, Message::CrtRow { sizes });
             }
         }
         let jitter = 1.0
@@ -256,16 +395,62 @@ impl AsyncNetwork {
         self.push_event(next, EventKind::Timer(id));
     }
 
-    fn dropped(&mut self) -> bool {
+    /// Sends one message through the (possibly faulty) wire: background
+    /// i.i.d. loss first, then the injector's verdict, then per-copy
+    /// latency draws.
+    fn emit(&mut self, from: NodeId, to: NodeId, payload: Message) {
+        if self.background_loss() {
+            self.lost += 1;
+            self.record(from, to, &payload, TraceKind::Dropped);
+            return;
+        }
+        let fate = match &mut self.injector {
+            Some(inj) => inj.message_fate(from, to, self.now),
+            None => MessageFate::deliver(),
+        };
+        if fate.is_dropped() {
+            self.lost += 1;
+            self.record(from, to, &payload, TraceKind::Dropped);
+            return;
+        }
+        for copy in 0..fate.copies {
+            if copy > 0 {
+                self.record(from, to, &payload, TraceKind::Duplicated);
+            }
+            if fate.extra_delay > 0.0 {
+                self.record(from, to, &payload, TraceKind::Delayed);
+            }
+            let lat = self
+                .rng
+                .gen_range(self.config.latency.0..=self.config.latency.1);
+            self.push_event(
+                self.now + lat + fate.extra_delay.max(0.0),
+                EventKind::Deliver {
+                    to,
+                    from,
+                    payload: payload.clone(),
+                },
+            );
+        }
+    }
+
+    fn background_loss(&mut self) -> bool {
         self.config.loss > 0.0 && self.rng.gen_bool(self.config.loss.min(1.0))
     }
 
     fn deliver(&mut self, to: NodeId, from: NodeId, payload: Message) {
+        // A message in flight toward a node that crashed meanwhile is lost.
+        if self.is_down(to) {
+            self.lost += 1;
+            self.record(from, to, &payload, TraceKind::Dropped);
+            return;
+        }
         self.delivered += 1;
         match payload {
-            Message::NodeInfo { nodes } => {
+            Message::NodeInfo { ref nodes } => {
+                self.record(from, to, &payload, TraceKind::NodeInfo);
                 self.nodes[to.index()]
-                    .receive_node_info(from, nodes)
+                    .receive_node_info(from, nodes.clone())
                     .expect("valid neighbor");
                 // Recompute local maxima when the clustering space changed
                 // (the asynchronous analogue of Algorithm 3, line 8).
@@ -282,8 +467,9 @@ impl AsyncNetwork {
                         });
                 }
             }
-            Message::CrtRow { sizes } => {
-                let row = sizes.into_iter().map(|s| s as usize).collect();
+            Message::CrtRow { ref sizes } => {
+                self.record(from, to, &payload, TraceKind::CrtRow);
+                let row = sizes.iter().map(|&s| s as usize).collect();
                 self.nodes[to.index()]
                     .receive_crt(from, row)
                     .expect("valid neighbor");
@@ -310,6 +496,33 @@ impl AsyncNetwork {
             bandwidth,
             &self.config.protocol.classes,
             |a, b| self.predicted.get(a.index(), b.index()),
+        )
+    }
+
+    /// Failure-aware query: Algorithm 4 with retry/backoff and rerouting
+    /// around nodes the fault injector reports dead (see
+    /// [`bcc_core::process_query_resilient`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`bcc_core::process_query_resilient`].
+    pub fn query_resilient(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        retry: &RetryPolicy,
+    ) -> Result<QueryOutcome, bcc_core::ClusterError> {
+        bcc_core::process_query_resilient(
+            &self.nodes,
+            start,
+            k,
+            bandwidth,
+            &self.config.protocol.classes,
+            |a, b| self.predicted.get(a.index(), b.index()),
+            RoutePolicy::FirstFit,
+            retry,
+            |u| !self.is_down(u),
         )
     }
 
@@ -430,6 +643,7 @@ mod tests {
         cfg.loss = 0.3;
         cfg.seed = 77;
         let mut a = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), cfg);
+        a.enable_tracing(1 << 16);
         // Run a fixed long horizon rather than window-detection: loss makes
         // quiet windows ambiguous.
         a.run_until(400.0);
@@ -438,6 +652,9 @@ mod tests {
             s.digest(),
             "lossy async must reach the lossless fixpoint"
         );
+        // Losses are observable, both as a counter and in the trace.
+        assert!(a.lost() > 0);
+        assert_eq!(a.trace().unwrap().dropped_messages(), a.lost());
     }
 
     #[test]
@@ -463,5 +680,114 @@ mod tests {
         a2.run_until(50.0);
         assert_eq!(a1.digest(), a2.digest());
         assert_eq!(a1.delivered(), a2.delivered());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_up_front() {
+        let d = line_matrix(4);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let check = |mutate: fn(&mut AsyncConfig), expected: fn(&ConfigError) -> bool| {
+            let mut cfg = AsyncConfig::new(protocol());
+            mutate(&mut cfg);
+            let err = AsyncNetwork::try_new(fw.anchor(), fw.predicted_matrix(), cfg)
+                .expect_err("must be rejected");
+            assert!(expected(&err), "unexpected error {err:?}");
+        };
+        check(
+            |c| c.loss = 1.7,
+            |e| matches!(e, ConfigError::LossOutOfRange { .. }),
+        );
+        check(
+            |c| c.loss = f64::NAN,
+            |e| matches!(e, ConfigError::LossOutOfRange { .. }),
+        );
+        check(
+            |c| c.latency = (0.5, 0.1),
+            |e| matches!(e, ConfigError::InvalidLatencyRange { .. }),
+        );
+        check(
+            |c| c.latency = (-0.1, 0.1),
+            |e| matches!(e, ConfigError::InvalidLatencyRange { .. }),
+        );
+        check(
+            |c| c.gossip_period = 0.0,
+            |e| matches!(e, ConfigError::NonPositiveGossipPeriod { .. }),
+        );
+        check(
+            |c| c.timer_jitter = 1.0,
+            |e| matches!(e, ConfigError::JitterOutOfRange { .. }),
+        );
+        // A valid config still passes.
+        let cfg = AsyncConfig::new(protocol());
+        assert!(AsyncNetwork::try_new(fw.anchor(), fw.predicted_matrix(), cfg).is_ok());
+    }
+
+    #[test]
+    fn crashed_node_falls_silent_under_events() {
+        let (mut a, _) = build_async(8, 21);
+        a.enable_tracing(1 << 16);
+        a.inject_faults(&FaultPlan::new(21).crash(0.0, n(3)));
+        a.run_until(30.0);
+        assert!(a.is_down(n(3)));
+        let trace = a.trace().unwrap();
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceKind::Crash && e.from == n(3)));
+        // The dead node never gossips, and traffic aimed at it is lost.
+        assert!(!trace
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceKind::NodeInfo && e.from == n(3)));
+        assert!(a.lost() > 0);
+    }
+
+    #[test]
+    fn crash_recovery_reconverges_under_events() {
+        let (mut a, s) = build_async(8, 13);
+        a.inject_faults(&FaultPlan::new(13).crash_recover(5.0, n(4), 20.0));
+        a.run_until(300.0);
+        assert!(!a.is_down(n(4)));
+        assert_eq!(
+            a.digest(),
+            s.digest(),
+            "cold restart must rebuild the synchronous fixpoint"
+        );
+    }
+
+    #[test]
+    fn healed_fault_plan_matches_fault_free_digest() {
+        // One plan with every fault kind, all healed well before the
+        // horizon: the event engine must still land on the fault-free
+        // synchronous fixpoint.
+        let (mut a, s) = build_async(8, 31);
+        let plan = FaultPlan::new(31)
+            .crash_recover(5.0, n(2), 15.0)
+            .partition(10.0, vec![n(6), n(7)], Some(20.0))
+            .link_loss(0.0, n(0), n(1), 0.8, Some(40.0))
+            .link_duplicate(0.0, n(3), n(4), 0.5, Some(40.0))
+            .latency_spike(0.0, n(1), n(2), (1.0, 3.0), Some(40.0))
+            .uniform_loss(0.0, 0.2, Some(50.0));
+        a.inject_faults(&plan);
+        a.run_until(500.0);
+        assert_eq!(a.digest(), s.digest(), "healed faults leave no residue");
+    }
+
+    #[test]
+    fn resilient_query_avoids_crashed_nodes() {
+        let (mut a, _) = build_async(8, 41);
+        a.run_to_convergence(2.0, 500.0).unwrap();
+        // Crash an interior node *after* convergence: CRT state is stale.
+        a.inject_faults(&FaultPlan::new(41).crash(a.now(), n(3)));
+        a.run_until(a.now() + 1e-9);
+        assert!(a.is_down(n(3)));
+        let retry = RetryPolicy::default();
+        let out = a.query_resilient(n(1), 2, 50.0, &retry).unwrap();
+        assert!(out.found());
+        assert!(!out.cluster.as_ref().unwrap().contains(&n(3)));
+        assert!(matches!(
+            a.query_resilient(n(3), 2, 50.0, &retry),
+            Err(bcc_core::ClusterError::NodeUnavailable { node: 3 })
+        ));
     }
 }

@@ -8,6 +8,11 @@
 //! Messages are serialized through [`Message`] so traffic is charged its
 //! real wire size.
 //!
+//! For robustness studies, a seedable [`FaultPlan`] schedules crashes,
+//! recoveries, partitions and link disturbances; both engines consume it
+//! through the [`FaultInjector`] trait and expose failure-aware queries
+//! (`query_resilient`) that retry and reroute around dead hosts.
+//!
 //! # Example
 //!
 //! ```
@@ -24,20 +29,65 @@
 //! let out = system.query(NodeId::new(3), 3, 50.0).expect("valid query");
 //! assert!(out.found());
 //! ```
+//!
+//! # Fault injection
+//!
+//! A [`FaultPlan`] is a declarative, seeded fault schedule (ticks = rounds
+//! on [`SimNetwork`], seconds on [`AsyncNetwork`]). Here the overlay runs
+//! under 20 % background loss, one fast host crash-stops mid-run, and a
+//! failure-aware query routes around the corpse:
+//!
+//! ```
+//! use bcc_core::{BandwidthClasses, ProtocolConfig, RetryPolicy};
+//! use bcc_embed::{FrameworkConfig, PredictionFramework};
+//! use bcc_metric::{BandwidthMatrix, NodeId, RationalTransform};
+//! use bcc_simnet::{FaultPlan, SimNetwork};
+//!
+//! let caps = [100.0f64, 100.0, 100.0, 100.0, 10.0, 10.0];
+//! let bw = BandwidthMatrix::from_fn(6, |i, j| caps[i].min(caps[j]));
+//! let d = RationalTransform::default().distance_matrix(&bw);
+//! let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+//! let classes = BandwidthClasses::new(vec![50.0], RationalTransform::default());
+//! let mut net = SimNetwork::new(fw.anchor(), fw.predicted_matrix(),
+//!     ProtocolConfig::new(4, classes));
+//!
+//! let plan = FaultPlan::new(42)
+//!     .uniform_loss(0.0, 0.2, None)          // 20 % loss, never heals
+//!     .crash(30.0, NodeId::new(1));          // crash-stop at round 30
+//! net.inject_faults(&plan);
+//! for _ in 0..40 {
+//!     net.run_round();
+//! }
+//! net.run_to_convergence(400).expect("survivors settle");
+//!
+//! assert!(net.is_down(NodeId::new(1)));
+//! let out = net
+//!     .query_resilient(NodeId::new(0), 3, 50.0, &RetryPolicy::default())
+//!     .expect("valid query");
+//! let cluster = out.cluster.expect("three fast hosts survive");
+//! assert!(!cluster.contains(&NodeId::new(1)), "dead host never returned");
+//! assert!(net.traffic().dropped > 0, "losses are accounted");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod churn;
+mod config;
 mod engine;
 mod event;
+mod fault;
 mod system;
 mod trace;
 mod wire;
 
 pub use churn::DynamicSystem;
+pub use config::ConfigError;
 pub use engine::{SimNetwork, TrafficStats};
 pub use event::{AsyncConfig, AsyncNetwork};
+pub use fault::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultTransition, MessageFate, PlannedInjector,
+};
 pub use system::{ClusterSystem, SystemConfig};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use wire::Message;

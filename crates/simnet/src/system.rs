@@ -12,10 +12,13 @@
 //!   predicted metric (`TREE-CENTRAL`),
 //! - ground-truth helpers for scoring results against real bandwidth.
 
-use bcc_core::{find_cluster, BandwidthClasses, ClusterError, ProtocolConfig, QueryOutcome};
+use bcc_core::{
+    find_cluster, BandwidthClasses, ClusterError, ProtocolConfig, QueryOutcome, RetryPolicy,
+};
 use bcc_embed::{EnsembleConfig, FrameworkConfig, PredictionFramework, TreeEnsemble};
 use bcc_metric::{BandwidthMatrix, DistanceMatrix, NodeId, RationalTransform};
 
+use crate::config::ConfigError;
 use crate::engine::SimNetwork;
 
 /// Configuration for building a [`ClusterSystem`].
@@ -49,6 +52,22 @@ impl SystemConfig {
             ensemble_members: 1,
         }
     }
+
+    /// Checks structural fields up front, so a bad value surfaces as a
+    /// typed error at construction instead of a panic mid-build.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_rounds == 0 {
+            return Err(ConfigError::ZeroMaxRounds);
+        }
+        if self.ensemble_members == 0 {
+            return Err(ConfigError::ZeroEnsembleMembers);
+        }
+        Ok(())
+    }
 }
 
 /// A complete simulated deployment.
@@ -69,9 +88,29 @@ impl ClusterSystem {
     ///
     /// # Panics
     ///
-    /// Panics if gossip fails to converge within `config.max_rounds`
-    /// (impossible on a healthy tree overlay; indicates misconfiguration).
+    /// Panics on an invalid configuration (use [`ClusterSystem::try_build`]
+    /// for a typed error) or if gossip fails to converge within
+    /// `config.max_rounds` (impossible on a healthy tree overlay; indicates
+    /// misconfiguration).
     pub fn build(bandwidth: BandwidthMatrix, config: SystemConfig) -> Self {
+        Self::try_build(bandwidth, config).expect("valid SystemConfig")
+    }
+
+    /// [`ClusterSystem::build`] with up-front configuration validation.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when a field is invalid (see
+    /// [`SystemConfig::validate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if gossip fails to converge within `config.max_rounds`.
+    pub fn try_build(
+        bandwidth: BandwidthMatrix,
+        config: SystemConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
         let real_distance = config.transform.distance_matrix(&bandwidth);
         let framework = PredictionFramework::build_from_matrix(&real_distance, config.framework);
         let predicted = if config.ensemble_members > 1 {
@@ -88,19 +127,22 @@ impl ClusterSystem {
         } else {
             framework.predicted_matrix()
         };
-        let mut network =
-            SimNetwork::new(framework.anchor(), predicted.clone(), config.protocol.clone());
+        let mut network = SimNetwork::new(
+            framework.anchor(),
+            predicted.clone(),
+            config.protocol.clone(),
+        );
         network
             .run_to_convergence(config.max_rounds)
             .expect("gossip on a tree overlay converges");
-        ClusterSystem {
+        Ok(ClusterSystem {
             bandwidth,
             real_distance,
             framework,
             predicted,
             network,
             config,
-        }
+        })
     }
 
     /// Number of hosts.
@@ -169,6 +211,23 @@ impl ClusterSystem {
         bandwidth: f64,
     ) -> Result<QueryOutcome, ClusterError> {
         self.network.query(start, k, bandwidth)
+    }
+
+    /// Failure-aware decentralized query: retries with backoff and reroutes
+    /// around hosts the overlay's fault injector reports dead (see
+    /// [`SimNetwork::query_resilient`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`bcc_core::process_query_resilient`].
+    pub fn query_resilient(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        retry: &RetryPolicy,
+    ) -> Result<QueryOutcome, ClusterError> {
+        self.network.query_resilient(start, k, bandwidth, retry)
     }
 
     /// Centralized query (`TREE-CENTRAL`): Algorithm 1 over the entire
@@ -355,6 +414,26 @@ mod tests {
         let x = find_cluster(&lat, 3, 2.0).expect("one DC forms a latency cluster");
         assert_eq!(x, vec![0, 1, 2]);
         assert_eq!(find_cluster(&lat, 4, 2.0), None);
+    }
+
+    #[test]
+    fn invalid_system_configs_are_rejected() {
+        let cls = BandwidthClasses::new(vec![40.0], RationalTransform::default());
+        let mut cfg = SystemConfig::new(cls.clone());
+        cfg.max_rounds = 0;
+        assert_eq!(
+            ClusterSystem::try_build(access_link(&[50.0, 50.0]), cfg).unwrap_err(),
+            crate::ConfigError::ZeroMaxRounds
+        );
+        let mut cfg = SystemConfig::new(cls.clone());
+        cfg.ensemble_members = 0;
+        assert_eq!(
+            ClusterSystem::try_build(access_link(&[50.0, 50.0]), cfg).unwrap_err(),
+            crate::ConfigError::ZeroEnsembleMembers
+        );
+        assert!(
+            ClusterSystem::try_build(access_link(&[50.0, 50.0]), SystemConfig::new(cls)).is_ok()
+        );
     }
 
     #[test]

@@ -3,46 +3,71 @@
 //! Debugging a decentralized protocol usually starts with "what did node 7
 //! actually tell node 3, and when?". [`Trace`] captures one entry per
 //! delivered message (round, edge, kind, payload size) in a bounded buffer
-//! — enable it on a [`crate::SimNetwork`] with
-//! [`crate::SimNetwork::enable_tracing`] before running rounds.
+//! — enable it with [`crate::SimNetwork::enable_tracing`] or
+//! [`crate::AsyncNetwork::enable_tracing`] before running.
+//!
+//! Faults are first-class trace events: injected crashes, recoveries,
+//! partitions and in-flight message losses all appear alongside the
+//! regular gossip, so a degraded run can be reconstructed from its trace
+//! alone.
 
 use std::collections::BTreeMap;
 
 use bcc_metric::NodeId;
 use serde::{Deserialize, Serialize};
 
-/// Message kind, mirroring the two gossip payloads.
+/// Message kind, mirroring the gossip payloads plus fault-injection
+/// lifecycle events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceKind {
     /// Algorithm 2 close-node record.
     NodeInfo,
     /// Algorithm 3 CRT row.
     CrtRow,
+    /// A message lost in flight (random loss or an injected fault); `from`
+    /// and `to` are the intended edge.
+    Dropped,
+    /// An extra copy delivered by a duplication fault.
+    Duplicated,
+    /// A delivery delayed by a latency-spike fault (recorded at send time).
+    Delayed,
+    /// A node crashed (`from == to ==` the node).
+    Crash,
+    /// A crashed node came back with cleared state (`from == to`).
+    Recover,
+    /// A network partition activated (`from == to ==` a representative of
+    /// the cut-off group; `entries` is the group size).
+    PartitionStart,
+    /// A network partition healed (same encoding as [`TraceKind::PartitionStart`]).
+    PartitionHeal,
 }
 
-/// One delivered message.
+/// One delivered message or fault event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
-    /// Gossip round the message was delivered in (0-based).
+    /// When the event happened: the gossip round (cycle engine) or the
+    /// whole simulated second (event engine), 0-based.
     pub round: usize,
-    /// Sender.
+    /// Sender (for fault events: the affected node).
     pub from: NodeId,
-    /// Receiver.
+    /// Receiver (for fault events: the affected node).
     pub to: NodeId,
     /// Payload kind.
     pub kind: TraceKind,
-    /// Payload entries (hosts or class columns).
+    /// Payload entries (hosts or class columns; group size for partitions).
     pub entries: usize,
-    /// Serialized size in bytes.
+    /// Serialized size in bytes (0 for fault lifecycle events).
     pub bytes: usize,
 }
 
-/// A bounded message trace; when full, the oldest events are dropped.
+/// A bounded message trace; when full, the oldest events are evicted.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,
-    dropped: u64,
+    evicted: u64,
+    dropped_messages: u64,
+    injected_faults: u64,
 }
 
 impl Trace {
@@ -53,14 +78,28 @@ impl Trace {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
-        Trace { events: Vec::with_capacity(capacity.min(1024)), capacity, dropped: 0 }
+        Trace {
+            events: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            evicted: 0,
+            dropped_messages: 0,
+            injected_faults: 0,
+        }
     }
 
     /// Records one event.
     pub fn record(&mut self, event: TraceEvent) {
+        match event.kind {
+            TraceKind::Dropped => self.dropped_messages += 1,
+            TraceKind::Crash
+            | TraceKind::Recover
+            | TraceKind::PartitionStart
+            | TraceKind::PartitionHeal => self.injected_faults += 1,
+            _ => {}
+        }
         if self.events.len() == self.capacity {
             self.events.remove(0);
-            self.dropped += 1;
+            self.evicted += 1;
         }
         self.events.push(event);
     }
@@ -80,9 +119,26 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Events evicted because of the capacity bound.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
+    /// Events *evicted from the buffer* because of the capacity bound.
+    ///
+    /// This is bookkeeping about the trace itself — not to be confused with
+    /// [`Trace::dropped_messages`], which counts simulated messages lost in
+    /// flight.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Simulated messages lost in flight ([`TraceKind::Dropped`] events),
+    /// counted across the whole run even after the events themselves are
+    /// evicted from the bounded buffer.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// Fault lifecycle events recorded (crashes, recoveries, partition
+    /// starts/heals), counted across the whole run.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected_faults
     }
 
     /// Message counts per directed overlay edge.
@@ -99,13 +155,20 @@ impl Trace {
         use std::fmt::Write as _;
         let mut out = String::new();
         let skip = self.events.len().saturating_sub(limit);
-        if self.dropped > 0 || skip > 0 {
-            let _ = writeln!(out, "... ({} earlier events)", self.dropped + skip as u64);
+        if self.evicted > 0 || skip > 0 {
+            let _ = writeln!(out, "... ({} earlier events)", self.evicted + skip as u64);
         }
         for e in &self.events[skip..] {
             let kind = match e.kind {
                 TraceKind::NodeInfo => "NODE",
                 TraceKind::CrtRow => "CRT ",
+                TraceKind::Dropped => "DROP",
+                TraceKind::Duplicated => "DUP ",
+                TraceKind::Delayed => "DLAY",
+                TraceKind::Crash => "CRSH",
+                TraceKind::Recover => "RCVR",
+                TraceKind::PartitionStart => "PRT+",
+                TraceKind::PartitionHeal => "PRT-",
             };
             let _ = writeln!(
                 out,
@@ -132,6 +195,17 @@ mod tests {
         }
     }
 
+    fn fault(round: usize, node: usize, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            round,
+            from: NodeId::new(node),
+            to: NodeId::new(node),
+            kind,
+            entries: 0,
+            bytes: 0,
+        }
+    }
+
     #[test]
     fn records_in_order() {
         let mut t = Trace::new(10);
@@ -150,8 +224,45 @@ mod tests {
             t.record(ev(r, 0, 1));
         }
         assert_eq!(t.len(), 3);
-        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.evicted(), 2);
         assert_eq!(t.events()[0].round, 2);
+    }
+
+    #[test]
+    fn dropped_messages_survive_eviction() {
+        let mut t = Trace::new(2);
+        for r in 0..4 {
+            t.record(TraceEvent {
+                kind: TraceKind::Dropped,
+                ..ev(r, 0, 1)
+            });
+        }
+        t.record(ev(4, 0, 1));
+        // Every Dropped event has been evicted from the buffer by now, but
+        // the loss counter keeps the whole-run total.
+        assert_eq!(t.dropped_messages(), 4);
+        assert_eq!(t.evicted(), 3);
+    }
+
+    #[test]
+    fn fault_events_are_counted_and_rendered() {
+        let mut t = Trace::new(10);
+        t.record(fault(1, 3, TraceKind::Crash));
+        t.record(fault(5, 3, TraceKind::Recover));
+        t.record(TraceEvent {
+            entries: 4,
+            ..fault(2, 0, TraceKind::PartitionStart)
+        });
+        t.record(TraceEvent {
+            entries: 4,
+            ..fault(6, 0, TraceKind::PartitionHeal)
+        });
+        assert_eq!(t.injected_faults(), 4);
+        let s = t.render(10);
+        assert!(s.contains("CRSH"));
+        assert!(s.contains("RCVR"));
+        assert!(s.contains("PRT+"));
+        assert!(s.contains("PRT-"));
     }
 
     #[test]

@@ -111,4 +111,41 @@ proptest! {
         prop_assert!(out.hops < sys.len());
         prop_assert_eq!(out.path.len(), out.hops + 1);
     }
+
+    #[test]
+    fn healed_fault_plan_reaches_fault_free_fixpoint(
+        bw in arb_bandwidth(10),
+        crash_pick in any::<u32>(),
+        part_pick in any::<u32>(),
+        loss in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        // A random healed fault schedule (crash + recovery, a temporary
+        // partition, a transient loss window) run on the *event* engine
+        // must leave no residue: once everything heals, gossip rebuilds
+        // exactly the unique fixpoint the fault-free *cycle* engine
+        // computes. This is the cross-engine guarantee that makes fault
+        // scenarios trustworthy.
+        use bcc_simnet::{AsyncConfig, AsyncNetwork, FaultPlan};
+        let d = RationalTransform::default().distance_matrix(&bw);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let proto = ProtocolConfig::new(4, classes());
+        let mut sync = SimNetwork::new(fw.anchor(), fw.predicted_matrix(), proto.clone());
+        sync.run_to_convergence(300).expect("sync converges");
+
+        let n = bw.len();
+        let crash = NodeId::new(crash_pick as usize % n);
+        let pa = part_pick as usize % n;
+        let plan = FaultPlan::new(seed)
+            .crash_recover(5.0, crash, 20.0)
+            .partition(10.0, vec![NodeId::new(pa), NodeId::new((pa + 1) % n)], Some(15.0))
+            .uniform_loss(0.0, loss, Some(40.0));
+
+        let mut cfg = AsyncConfig::new(proto);
+        cfg.seed = seed ^ 0xF00D;
+        let mut a = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), cfg);
+        a.inject_faults(&plan);
+        a.run_until(400.0);
+        prop_assert_eq!(a.digest(), sync.digest(), "healed faults leave no residue");
+    }
 }

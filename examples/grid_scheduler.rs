@@ -35,7 +35,11 @@ fn main() {
             Err(e) => println!("job {i}: deferred ({e})"),
         }
     }
-    println!("free hosts while {} jobs run: {}", grid.running_jobs(), grid.free_hosts());
+    println!(
+        "free hosts while {} jobs run: {}",
+        grid.running_jobs(),
+        grid.free_hosts()
+    );
     for p in placed {
         grid.complete(p.job).expect("running");
     }
@@ -44,7 +48,13 @@ fn main() {
     // Phase 2: policy comparison over a workload.
     println!("\n== policy comparison (12 jobs, 5 tasks, 2 GB/pair, >= 40 Mbps) ==");
     let jobs: Vec<Job> = (0..12).map(|_| Job::new(5, 2.0, 40.0)).collect();
-    let aware = run_workload(bw.clone(), config.clone(), &jobs, PlacementPolicy::ClusterAware, 7);
+    let aware = run_workload(
+        bw.clone(),
+        config.clone(),
+        &jobs,
+        PlacementPolicy::ClusterAware,
+        7,
+    );
     let random = run_workload(bw, config, &jobs, PlacementPolicy::Random, 7);
     let mean = |r: &bandwidth_clusters::apps::WorkloadReport| {
         r.total_transfer_seconds / r.placed.max(1) as f64

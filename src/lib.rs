@@ -51,11 +51,11 @@ pub use bcc_vivaldi as vivaldi;
 pub mod prelude {
     pub use bcc_core::{
         find_cluster, max_cluster_size, process_query, BandwidthClasses, ClusterError, ClusterNode,
-        ProtocolConfig, Query, QueryOutcome,
+        ProtocolConfig, Query, QueryOutcome, RetryPolicy,
     };
     pub use bcc_embed::{FrameworkConfig, PredictionFramework};
     pub use bcc_metric::{
         BandwidthMatrix, DistanceMatrix, FiniteMetric, NodeId, RationalTransform,
     };
-    pub use bcc_simnet::{ClusterSystem, DynamicSystem, SystemConfig};
+    pub use bcc_simnet::{ClusterSystem, DynamicSystem, FaultPlan, SystemConfig};
 }

@@ -40,7 +40,10 @@ fn ensemble_wpr_not_worse_than_single_tree() {
     let (wpr_single, found_single) = wpr_of(&single, 400, 9);
     let (wpr_ens, found_ens) = wpr_of(&ensemble, 400, 9);
 
-    assert!(found_single > 100 && found_ens > 100, "queries must mostly succeed");
+    assert!(
+        found_single > 100 && found_ens > 100,
+        "queries must mostly succeed"
+    );
     assert!(
         wpr_ens <= wpr_single + 0.02,
         "ensemble WPR {wpr_ens:.3} should not exceed single-tree WPR {wpr_single:.3}"

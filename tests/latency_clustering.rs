@@ -25,10 +25,7 @@ fn latency_cluster_through_decentralized_stack() {
 
     let t = RationalTransform::default();
     // Classes at 20 ms and 60 ms latency bounds.
-    let classes = BandwidthClasses::new(
-        vec![latency_class(20.0, t), latency_class(60.0, t)],
-        t,
-    );
+    let classes = BandwidthClasses::new(vec![latency_class(20.0, t), latency_class(60.0, t)], t);
     let fw = PredictionFramework::build_from_matrix(&real_latency, FrameworkConfig::default());
     let proto = ProtocolConfig::new(8, classes);
     let mut net = SimNetwork::new(fw.anchor(), fw.predicted_matrix(), proto);
@@ -53,7 +50,10 @@ fn latency_cluster_through_decentralized_stack() {
             }
         }
     }
-    assert!(found_any, "same-site hosts are within 20 ms; some query must succeed");
+    assert!(
+        found_any,
+        "same-site hosts are within 20 ms; some query must succeed"
+    );
 
     // A 60 ms bound admits strictly larger clusters.
     let tight = bcc_core::max_cluster_size(&fw.predicted_matrix(), 20.0);
@@ -77,5 +77,8 @@ fn latency_embedding_is_accurate() {
         .collect();
     errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = errs[errs.len() / 2];
-    assert!(median < 0.1, "median latency prediction error {median:.3} too high");
+    assert!(
+        median < 0.1,
+        "median latency prediction error {median:.3} too high"
+    );
 }

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply cloneable, sliceable view over shared immutable
+//! bytes; [`BytesMut`] is a growable buffer that freezes into one. Big-endian
+//! put/get, mirroring upstream defaults. Only the surface the simnet wire
+//! codec needs is provided.
+
+use std::sync::Arc;
+
+/// Reading cursor over a byte container (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no bytes remain.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u32`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than four bytes remain.
+    fn get_u32(&mut self) -> u32;
+}
+
+/// Appending writer over a byte container (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Shared immutable bytes; clones and slices are O(1) views over one
+/// allocation. Reading through [`Buf`] advances an internal cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the view holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of this buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "Bytes::get_u8 past the end");
+        let v = self.data[self.start];
+        self.start += 1;
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "Bytes::get_u32 past the end");
+        let b = &self.data[self.start..self.start + 4];
+        self.start += 4;
+        u32::from_be_bytes(b.try_into().expect("4-byte slice"))
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts to immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 5);
+        let tail = frozen.slice(1..5);
+        let mut cur = tail.clone();
+        assert_eq!(cur.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cur.remaining(), 0);
+        assert_eq!(tail.to_vec(), vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        let mut whole = frozen.clone();
+        assert_eq!(whole.get_u8(), 7);
+        assert_eq!(frozen, frozen.clone(), "reads do not mutate shared views");
+    }
+
+    #[test]
+    #[should_panic(expected = "past the end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        let _ = b.get_u32();
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, delegating to
+//! `std::thread::scope` (stabilized in Rust 1.63, long after crossbeam
+//! pioneered the pattern).
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(|_| ...); })` shape used by the
+//! evaluation harness is supported. The spawn closure's ignored argument is
+//! `()` rather than a nested scope handle; spawning from inside a worker is
+//! not supported (the harness never does).
+
+/// Scope handle passed to the `scope` closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker thread. The closure receives a placeholder
+    /// `()` where crossbeam passes a nested scope handle.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs `f` with a scope handle; returns when every spawned thread joined.
+///
+/// # Errors
+///
+/// Never returns `Err`: a panicking worker re-panics on join (via
+/// `std::thread::scope`) instead of surfacing as `Err` the way crossbeam
+/// does. Callers that `.expect(...)` the result behave identically.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple and `Vec` strategies, [`collection::vec`], [`arbitrary::any`], the
+//! [`proptest!`] macro and the `prop_assert*` macros. Failing cases panic
+//! with the offending seed instead of shrinking; re-running is deterministic
+//! because every case's RNG is derived from the test name and case index.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking —
+    /// `generate` draws a single value.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and samples it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Rejects values failing `f`, retrying up to 100 times.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                source: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..100 {
+                let v = self.source.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 100 candidates in a row: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// Always yields a clone of one value (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// A `Vec` of strategies generates element-wise (proptest supports this
+    /// for heterogeneous per-index strategies of one type).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point and the [`Arbitrary`] trait.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value uniformly over the type's domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// The canonical strategy for `T` (`any::<T>()`).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Returns the canonical whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Finite doubles spanning many magnitudes, sign included.
+            let mag = rng.next_f64() * 200.0 - 100.0;
+            mag.exp2() * if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 }
+        }
+    }
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies ([`vec`]).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Acceptable length specifications for [`vec`]: an exact `usize`, a
+    /// half-open `Range`, or an inclusive `RangeInclusive`.
+    pub trait IntoSizeRange {
+        /// Lower bound and exclusive upper bound of the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "collection::vec: empty size range");
+        VecStrategy { element, lo, hi }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.lo..self.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration ([`ProptestConfig`]).
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    /// Namespace alias so `prop::collection::vec` works.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    let seed = h.finish() ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// block becomes a normal test that draws `cases` random inputs and runs
+/// the body on each. Panics identify the failing case index.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::__case_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )*
+                    // A nested closure keeps `return`/`?` inside the body
+                    // from skipping later cases.
+                    let run = || { $body };
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest harness (panics here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0usize..10, (a, b) in (1.0f64..2.0, 5u32..9)) {
+            prop_assert!(x < 10);
+            prop_assert!((1.0..2.0).contains(&a));
+            prop_assert!((5..9).contains(&b), "b = {}", b);
+        }
+
+        #[test]
+        fn collections_and_maps(
+            v in crate::collection::vec(0u8..3, 4..8),
+            w in crate::collection::vec(any::<bool>(), 16),
+            d in (2usize..5).prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n)),
+            m in (0u32..5).prop_map(|x| x * 2),
+        ) {
+            prop_assert!((4..8).contains(&v.len()));
+            prop_assert_eq!(w.len(), 16);
+            prop_assert!((2..5).contains(&d.len()));
+            prop_assert_eq!(m % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_and_vec_of_strategies(parts in vec![0usize..4, 2usize..9]) {
+            prop_assert_eq!(parts.len(), 2);
+            prop_assert!(parts[0] < 4 && (2..9).contains(&parts[1]));
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng;
+        let mut a = crate::__case_rng("t", 3);
+        let mut b = crate::__case_rng("t", 3);
+        assert_eq!(a.gen_range(0..u64::MAX), b.gen_range(0..u64::MAX));
+    }
+}

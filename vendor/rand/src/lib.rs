@@ -1,0 +1,364 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the exact surface the workspace uses: [`Rng`] (`gen_range`,
+//! `gen_bool`, `gen`), [`SeedableRng`] (`seed_from_u64`, `from_seed`,
+//! `from_entropy`), [`rngs::StdRng`] and [`seq::SliceRandom`]. The generator
+//! is xoshiro256++ seeded through SplitMix64 — deterministic, seedable and
+//! plenty for simulation workloads. Streams differ from upstream `rand`, so
+//! seeds reproduce runs only within this workspace (which is all the tests
+//! rely on).
+
+/// Uniform sampling support for `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+/// Types producible by `Rng::gen`.
+pub trait Standard: Sized {
+    /// Draws one value uniformly over the type's natural domain.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// The raw generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range. Panics on empty ranges, like upstream.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        assert!(
+            !range.is_empty_range(),
+            "cannot sample empty range (rand stand-in)"
+        );
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// A uniform value of `T` (bools, integers, unit-interval floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for `StdRng`).
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Offline stand-in: "entropy" is a fixed constant, keeping every run
+    /// reproducible.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Bundled generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // xoshiro must not start from the all-zero state.
+                return Self::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    /// Alias: upstream's `SmallRng` is just another seedable generator here.
+    pub type SmallRng = StdRng;
+}
+
+/// Slice utilities, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` when empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.next_u64() % span) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                let span = hi.wrapping_sub(lo).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.next_u64() % span) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                self.start + (self.end - self.start) * rng.next_f64() as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                // NaN-aware, matches std's Range::is_empty.
+                self.is_empty()
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                self.start() + (self.end() - self.start()) * rng.next_f64() as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                // NaN-aware, matches std's RangeInclusive::is_empty.
+                self.is_empty()
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+impl Standard for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64() as f32
+    }
+}
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<u32> = (0..16).map(|_| c.gen_range(0..u32::MAX)).collect();
+        let mut d = StdRng::seed_from_u64(7);
+        let other: Vec<u32> = (0..16).map(|_| d.gen_range(0..u32::MAX)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle is virtually never identity"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = rng.gen_range(5..5usize);
+    }
+}

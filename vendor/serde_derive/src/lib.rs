@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline serde stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits for all
+//! types, so the derives here only need to accept the syntax (including
+//! `#[serde(...)]` attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
