@@ -1,0 +1,240 @@
+//! `perfbase` — the serial-vs-parallel baseline for the clustering hot
+//! paths, checked in as `BENCH_clustering.json` so perf regressions show up
+//! as a diff.
+//!
+//! ```sh
+//! cargo run --release -p bcc-bench --bin perfbase
+//! cargo run --release -p bcc-bench --bin perfbase -- --smoke
+//! cargo run --release -p bcc-bench --bin perfbase -- --json out.json
+//! ```
+//!
+//! Seeded workloads over the synthetic dataset family:
+//!
+//! - Algorithm 1 (`find_cluster`) with a satisfiable query (early exit) and
+//!   an unsatisfiable one (`k = n`, forces the full `O(n³)` scan), plus
+//!   `max_cluster_size`, at n ∈ {128, 256, 512, 1024};
+//! - the exact `O(n⁴)` treeness statistics (`epsilon_avg_exact`,
+//!   `epsilon_max_exact`, `delta_hyperbolicity_exact`,
+//!   `satisfies_four_point`) at n = 128.
+//!
+//! Every kernel runs both serial and on the `bcc-par` pool; the binary
+//! asserts the two agree bit-for-bit and records wall times, speedup and
+//! the thread count (speedups near 1 are expected on single-core runners —
+//! compare like with like).
+
+use std::time::Instant;
+
+use bcc_core::{find_cluster, find_cluster_par, max_cluster_size, max_cluster_size_par};
+use bcc_datasets::{generate, SynthConfig};
+use bcc_metric::fourpoint::{
+    epsilon_avg_exact, epsilon_avg_exact_par, epsilon_max_exact, epsilon_max_exact_par,
+    satisfies_four_point, satisfies_four_point_par,
+};
+use bcc_metric::gromov::{delta_hyperbolicity_exact, delta_hyperbolicity_exact_par};
+use bcc_metric::{DistanceMatrix, RationalTransform};
+
+const SEED: u64 = 123;
+
+fn dataset(n: usize) -> DistanceMatrix {
+    let mut cfg = SynthConfig::small(SEED);
+    cfg.nodes = n;
+    RationalTransform::default().distance_matrix(&generate(&cfg))
+}
+
+/// One measured kernel: serial and parallel wall times plus an agreement
+/// flag (bit-identical results).
+struct Entry {
+    kernel: &'static str,
+    n: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    identical: bool,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds, plus the last result.
+fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn measure<T: PartialEq>(
+    kernel: &'static str,
+    n: usize,
+    reps: usize,
+    serial: impl FnMut() -> T,
+    parallel: impl FnMut() -> T,
+) -> Entry {
+    let (serial_ms, s) = time(reps, serial);
+    let (parallel_ms, p) = time(reps, parallel);
+    Entry {
+        kernel,
+        n,
+        serial_ms,
+        parallel_ms,
+        identical: s == p,
+    }
+}
+
+fn to_json(entries: &[Entry], smoke: bool) -> String {
+    let mut out = String::from("{\n  \"bench\": \"perfbase\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", bcc_par::current_threads()));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"serial_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+            e.kernel,
+            e.n,
+            e.serial_ms,
+            e.parallel_ms,
+            e.speedup(),
+            e.identical,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_clustering.json".to_string());
+
+    let (sizes, treeness_n, reps): (&[usize], usize, usize) = if smoke {
+        (&[64, 128], 48, 1)
+    } else {
+        (&[128, 256, 512, 1024], 128, 3)
+    };
+
+    println!("=== perfbase — serial vs parallel clustering kernels ===");
+    println!(
+        "threads = {}, smoke = {smoke}, reps = {reps} (best-of)",
+        bcc_par::current_threads()
+    );
+    println!();
+
+    let t = RationalTransform::default();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for &n in sizes {
+        let d = dataset(n);
+        // Satisfiable: k = 5 % of n at a generous constraint — measures
+        // the early-exit path.
+        let k_sat = (n / 20).max(2);
+        let l_sat = t.distance_constraint(20.0);
+        entries.push(measure(
+            "find_cluster_sat",
+            n,
+            reps,
+            || find_cluster(&d, k_sat, l_sat),
+            || find_cluster_par(&d, k_sat, l_sat),
+        ));
+        // Unsatisfiable: k = n with a mid-range constraint — every
+        // qualifying pair is checked against all n hosts, the full O(n³)
+        // scan of Algorithm 1.
+        let l_unsat = t.distance_constraint(30.0);
+        entries.push(measure(
+            "find_cluster_unsat",
+            n,
+            reps,
+            || find_cluster(&d, n, l_unsat),
+            || find_cluster_par(&d, n, l_unsat),
+        ));
+        entries.push(measure(
+            "max_cluster_size",
+            n,
+            reps,
+            || max_cluster_size(&d, l_unsat),
+            || max_cluster_size_par(&d, l_unsat),
+        ));
+    }
+
+    // Exact O(n⁴) treeness statistics. Compare by bit pattern — the whole
+    // point of the deterministic reduction order.
+    let d = dataset(treeness_n);
+    entries.push(measure(
+        "epsilon_avg_exact",
+        treeness_n,
+        reps,
+        || epsilon_avg_exact(&d).to_bits(),
+        || epsilon_avg_exact_par(&d).to_bits(),
+    ));
+    entries.push(measure(
+        "epsilon_max_exact",
+        treeness_n,
+        reps,
+        || epsilon_max_exact(&d).to_bits(),
+        || epsilon_max_exact_par(&d).to_bits(),
+    ));
+    entries.push(measure(
+        "delta_hyperbolicity",
+        treeness_n,
+        reps,
+        || delta_hyperbolicity_exact(&d).to_bits(),
+        || delta_hyperbolicity_exact_par(&d).to_bits(),
+    ));
+    // Huge tolerance: no quartet violates, so the scan cannot early-exit.
+    entries.push(measure(
+        "satisfies_four_point",
+        treeness_n,
+        reps,
+        || satisfies_four_point(&d, 1e9),
+        || satisfies_four_point_par(&d, 1e9),
+    ));
+
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>9} {:>10}",
+        "kernel", "n", "serial (ms)", "par (ms)", "speedup", "identical"
+    );
+    let mut all_identical = true;
+    for e in &entries {
+        all_identical &= e.identical;
+        println!(
+            "{:<22} {:>6} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+            e.kernel,
+            e.n,
+            e.serial_ms,
+            e.parallel_ms,
+            e.speedup(),
+            e.identical
+        );
+    }
+    println!();
+
+    let json = to_json(&entries, smoke);
+    if json_path == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(&json_path, json).expect("write JSON output");
+        println!("wrote {json_path}");
+    }
+
+    assert!(
+        all_identical,
+        "a parallel kernel diverged from its serial twin"
+    );
+}

@@ -1,6 +1,7 @@
 //! Bipartite maximum matching and maximum independent set.
 //!
-//! The Euclidean baseline clustering (see [`crate::euclidean`]) reduces each
+//! The Euclidean baseline clustering (see [`crate::find_cluster_euclidean`])
+//! reduces each
 //! candidate lune to a bipartite *conflict* graph and needs its maximum
 //! independent set. By König's theorem, in a bipartite graph
 //! `|MIS| = |V| − |maximum matching|`, and the MIS itself is recovered from

@@ -8,7 +8,7 @@
 //! exactly `d(p, q)`. The search is therefore `O(n³)` instead of the
 //! NP-complete general-graph `k`-Clique.
 
-use bcc_metric::FiniteMetric;
+use bcc_metric::{DistanceMatrix, FiniteMetric};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ClusterError;
@@ -96,31 +96,28 @@ pub fn find_cluster_ordered<M: FiniteMetric>(
     if k == 1 {
         return Some(vec![0]);
     }
+    let mut scratch = Vec::with_capacity(k);
     match order {
         PairOrder::RowMajor => {
             for p in 0..n {
                 for q in (p + 1)..n {
-                    if let Some(s) = check_pair(metric, p, q, k, l) {
-                        return Some(s);
+                    let dpq = metric.distance(p, q);
+                    // In a tree metric diam(S*_pq) = d(p, q), so the diameter
+                    // constraint reduces to d(p, q) <= l and pairs beyond l
+                    // are skipped outright.
+                    if dpq <= l && check_pair(metric, p, q, dpq, k, &mut scratch) {
+                        return Some(scratch);
                     }
                 }
             }
             None
         }
         PairOrder::AscendingDiameter => {
-            let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (n - 1) / 2);
-            for p in 0..n {
-                for q in (p + 1)..n {
-                    let d = metric.distance(p, q);
-                    if d <= l {
-                        pairs.push((p, q, d));
-                    }
-                }
-            }
-            pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("distances are comparable"));
-            for (p, q, _) in pairs {
-                if let Some(s) = check_pair(metric, p, q, k, l) {
-                    return Some(s);
+            let mut pairs = pairs_within(metric, l);
+            sort_by_distance(&mut pairs);
+            for (p, q, dpq) in pairs {
+                if check_pair(metric, p, q, dpq, k, &mut scratch) {
+                    return Some(scratch);
                 }
             }
             None
@@ -128,31 +125,124 @@ pub fn find_cluster_ordered<M: FiniteMetric>(
     }
 }
 
-/// Builds `S*_pq` and returns its first `k` members when the pair satisfies
-/// the constraints.
+/// Collects the row-major pair list `(p, q, d(p, q))` with `p < q`,
+/// pre-filtered to `d(p, q) ≤ l` so pairs that can never bound a satisfying
+/// cluster are dropped before any allocation-heavy downstream step. The one
+/// sorted-pair builder behind [`find_cluster_ordered`],
+/// [`min_diameter_cluster`], [`max_cluster_size`] and their `_par` variants.
+fn pairs_within<M: FiniteMetric>(metric: &M, l: f64) -> Vec<(usize, usize, f64)> {
+    let n = metric.len();
+    let mut pairs = Vec::new();
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let d = metric.distance(p, q);
+            if d <= l {
+                pairs.push((p, q, d));
+            }
+        }
+    }
+    pairs
+}
+
+/// Sorts a pair list by ascending distance. The sort is stable, so equal
+/// distances keep their row-major order — which is what makes the parallel
+/// ascending scans return the same winner as the serial ones.
+fn sort_by_distance(pairs: &mut [(usize, usize, f64)]) {
+    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("distances are comparable"));
+}
+
+/// Builds `S*_pq` into `scratch` (cleared first) and returns `true` once it
+/// reaches `k` members. The caller-provided buffer keeps the `O(n²)` pair
+/// loop from allocating per pair; the caller has already checked
+/// `d(p, q) ≤ l`.
 fn check_pair<M: FiniteMetric>(
     metric: &M,
     p: usize,
     q: usize,
+    dpq: f64,
     k: usize,
-    l: f64,
-) -> Option<Vec<usize>> {
-    let dpq = metric.distance(p, q);
-    // In a tree metric diam(S*_pq) = d(p, q), so the diameter constraint
-    // reduces to d(p, q) <= l and pairs beyond l are skipped outright.
-    if dpq > l {
-        return None;
-    }
-    let mut s = Vec::new();
+    scratch: &mut Vec<usize>,
+) -> bool {
+    scratch.clear();
     for x in 0..metric.len() {
         if metric.distance(x, p) <= dpq && metric.distance(x, q) <= dpq {
-            s.push(x);
-            if s.len() == k {
-                return Some(s);
+            scratch.push(x);
+            if scratch.len() == k {
+                return true;
             }
         }
     }
-    None
+    false
+}
+
+/// [`check_pair`] over borrowed matrix rows: the inner `S*_pq` membership
+/// test becomes a straight sweep of two contiguous slices instead of two
+/// bounds-asserted `distance()` lookups per candidate. Same values, same
+/// order, so it fills `scratch` exactly like the generic path on any
+/// symmetric metric.
+fn check_pair_rows(
+    d: &DistanceMatrix,
+    p: usize,
+    q: usize,
+    dpq: f64,
+    k: usize,
+    scratch: &mut Vec<usize>,
+) -> bool {
+    let n = d.len();
+    let row_p = &d.row(p)[..n];
+    let row_q = &d.row(q)[..n];
+    scratch.clear();
+    for x in 0..n {
+        if row_p[x] <= dpq && row_q[x] <= dpq {
+            scratch.push(x);
+            if scratch.len() == k {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Parallel Algorithm 1 on the `bcc-par` pool. See [`find_cluster`]; returns
+/// exactly the cluster the serial scan returns — the pool races pair checks
+/// but always keeps the lowest pair in scan order (deterministic early
+/// exit), so results are bit-identical for any thread count on any
+/// symmetric metric.
+pub fn find_cluster_par<M: FiniteMetric>(metric: &M, k: usize, l: f64) -> Option<Vec<usize>> {
+    find_cluster_ordered_par(metric, k, l, PairOrder::RowMajor)
+}
+
+/// Parallel [`find_cluster_ordered`]: materializes the metric into a dense
+/// matrix once, pre-filters and (for
+/// [`PairOrder::AscendingDiameter`]) sorts the pair list, then scans it on
+/// the pool with per-worker scratch buffers and atomic early exit on the
+/// first (lowest-index) satisfying pair.
+pub fn find_cluster_ordered_par<M: FiniteMetric>(
+    metric: &M,
+    k: usize,
+    l: f64,
+    order: PairOrder,
+) -> Option<Vec<usize>> {
+    let n = metric.len();
+    if k > n || k == 0 {
+        return None;
+    }
+    if k == 1 {
+        return Some(vec![0]);
+    }
+    let d = metric.to_matrix();
+    let mut pairs = pairs_within(&d, l);
+    if order == PairOrder::AscendingDiameter {
+        sort_by_distance(&mut pairs);
+    }
+    bcc_par::par_find_first_with(
+        pairs.len(),
+        || Vec::with_capacity(k),
+        |scratch, i| {
+            let (p, q, dpq) = pairs[i];
+            check_pair_rows(&d, p, q, dpq, k, scratch).then(|| scratch.clone())
+        },
+    )
 }
 
 /// The optimization variant of Algorithm 1: the `k`-subset of *minimum*
@@ -184,20 +274,42 @@ pub fn min_diameter_cluster<M: FiniteMetric>(metric: &M, k: usize) -> Option<(Ve
     if k == 1 {
         return Some((vec![0], 0.0));
     }
-    let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (n - 1) / 2);
-    for p in 0..n {
-        for q in (p + 1)..n {
-            pairs.push((p, q, metric.distance(p, q)));
-        }
-    }
-    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("distances are comparable"));
+    let mut pairs = pairs_within(metric, f64::INFINITY);
+    sort_by_distance(&mut pairs);
+    let mut scratch = Vec::with_capacity(k);
     for (p, q, dpq) in pairs {
-        if let Some(s) = check_pair(metric, p, q, k, f64::INFINITY) {
-            debug_assert!(metric.distance(p, q) == dpq);
-            return Some((s, dpq));
+        if check_pair(metric, p, q, dpq, k, &mut scratch) {
+            return Some((scratch, dpq));
         }
     }
     None
+}
+
+/// Parallel [`min_diameter_cluster`] on the `bcc-par` pool: pairs sorted by
+/// ascending diameter, scanned with deterministic early exit, so the
+/// returned cluster and diameter match the serial scan bit for bit.
+pub fn min_diameter_cluster_par<M: FiniteMetric>(
+    metric: &M,
+    k: usize,
+) -> Option<(Vec<usize>, f64)> {
+    let n = metric.len();
+    if k > n || k == 0 {
+        return None;
+    }
+    if k == 1 {
+        return Some((vec![0], 0.0));
+    }
+    let d = metric.to_matrix();
+    let mut pairs = pairs_within(&d, f64::INFINITY);
+    sort_by_distance(&mut pairs);
+    bcc_par::par_find_first_with(
+        pairs.len(),
+        || Vec::with_capacity(k),
+        |scratch, i| {
+            let (p, q, dpq) = pairs[i];
+            check_pair_rows(&d, p, q, dpq, k, scratch).then(|| (scratch.clone(), dpq))
+        },
+    )
 }
 
 /// The largest cluster size achievable under diameter `l`:
@@ -213,22 +325,49 @@ pub fn max_cluster_size<M: FiniteMetric>(metric: &M, l: f64) -> usize {
         return 0;
     }
     let mut best = 1;
-    for p in 0..n {
-        for q in (p + 1)..n {
-            let dpq = metric.distance(p, q);
-            if dpq > l {
-                continue;
+    for (p, q, dpq) in pairs_within(metric, l) {
+        let mut count = 0;
+        for x in 0..n {
+            if metric.distance(x, p) <= dpq && metric.distance(x, q) <= dpq {
+                count += 1;
             }
+        }
+        best = best.max(count);
+    }
+    best
+}
+
+/// Parallel [`max_cluster_size`]: `max |S*_pq|` over the pre-filtered pair
+/// list, chunked across the `bcc-par` pool. `max` reduces exactly, so the
+/// result equals the serial scan's for any thread count.
+pub fn max_cluster_size_par<M: FiniteMetric>(metric: &M, l: f64) -> usize {
+    let n = metric.len();
+    if n == 0 {
+        return 0;
+    }
+    let d = metric.to_matrix();
+    let pairs = pairs_within(&d, l);
+    if pairs.is_empty() {
+        return 1;
+    }
+    let chunk = (pairs.len() / (bcc_par::current_threads() * 8)).clamp(1, 4096);
+    bcc_par::par_chunks(pairs.len(), chunk, |range| {
+        let mut best = 1usize;
+        for &(p, q, dpq) in &pairs[range] {
+            let row_p = &d.row(p)[..n];
+            let row_q = &d.row(q)[..n];
             let mut count = 0;
             for x in 0..n {
-                if metric.distance(x, p) <= dpq && metric.distance(x, q) <= dpq {
+                if row_p[x] <= dpq && row_q[x] <= dpq {
                     count += 1;
                 }
             }
             best = best.max(count);
         }
-    }
-    best
+        best
+    })
+    .into_iter()
+    .fold(1, usize::max)
 }
 
 /// The largest cluster size found by *binary search* over `k`, invoking
@@ -513,6 +652,61 @@ mod tests {
             assert!(find_cluster(&d, k, diam).is_some());
             assert!(find_cluster(&d, k, diam * 0.999).is_none());
         }
+    }
+
+    #[test]
+    fn parallel_variants_bit_identical_to_serial() {
+        let d = line(&[0.0, 2.0, 3.0, 7.0, 8.0, 8.5, 15.0, 15.2, 20.0]);
+        for threads in [1, 2, 8] {
+            bcc_par::set_threads(threads);
+            for k in 2..=9 {
+                for l in [0.5, 1.0, 2.0, 4.0, 6.0, 10.0, 20.0] {
+                    assert_eq!(
+                        find_cluster(&d, k, l),
+                        find_cluster_par(&d, k, l),
+                        "k={k} l={l} threads={threads}"
+                    );
+                    assert_eq!(
+                        find_cluster_ordered(&d, k, l, PairOrder::AscendingDiameter),
+                        find_cluster_ordered_par(&d, k, l, PairOrder::AscendingDiameter),
+                        "asc k={k} l={l} threads={threads}"
+                    );
+                }
+                assert_eq!(
+                    min_diameter_cluster(&d, k),
+                    min_diameter_cluster_par(&d, k),
+                    "k={k} threads={threads}"
+                );
+            }
+            for l in [0.1, 0.5, 1.0, 4.0, 6.5, 15.0, 100.0] {
+                assert_eq!(
+                    max_cluster_size(&d, l),
+                    max_cluster_size_par(&d, l),
+                    "l={l} threads={threads}"
+                );
+            }
+        }
+        bcc_par::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_edge_cases_match_serial() {
+        let empty = DistanceMatrix::new(0);
+        assert_eq!(find_cluster_par(&empty, 2, 1.0), None);
+        assert_eq!(max_cluster_size_par(&empty, 1.0), 0);
+        assert_eq!(min_diameter_cluster_par(&empty, 1), None);
+
+        let single = DistanceMatrix::new(1);
+        assert_eq!(find_cluster_par(&single, 1, 1.0), Some(vec![0]));
+        assert_eq!(max_cluster_size_par(&single, 1.0), 1);
+
+        let d = star(&[1.0, 1.0]);
+        assert_eq!(find_cluster_par(&d, 3, 100.0), None);
+        assert_eq!(find_cluster_par(&d, 0, 1.0), None);
+        assert_eq!(min_diameter_cluster_par(&d, 1), Some((vec![0], 0.0)));
+        // No pair within l: both report the singleton floor.
+        assert_eq!(max_cluster_size_par(&d, 0.5), 1);
+        assert_eq!(max_cluster_size(&d, 0.5), 1);
     }
 
     #[test]

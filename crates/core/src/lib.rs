@@ -8,7 +8,11 @@
 //! approximates) it is polynomial. This crate provides:
 //!
 //! - [`find_cluster`] / [`max_cluster_size`] — Algorithm 1, the `O(n³)`
-//!   centralized search, plus the binary-search variant from Algorithm 3;
+//!   centralized search, plus the binary-search variant from Algorithm 3.
+//!   Each hot kernel has a `_par` twin ([`find_cluster_par`],
+//!   [`max_cluster_size_par`], [`min_diameter_cluster_par`]) on the
+//!   `bcc-par` pool that returns bit-identical results with deterministic
+//!   early exit;
 //! - [`ClusterNode`] — per-host protocol state implementing Algorithm 2
 //!   (close-node aggregation) and Algorithm 3 (cluster routing tables);
 //! - [`process_query`] — Algorithm 4, decentralized query routing;
@@ -53,8 +57,9 @@ pub use classes::BandwidthClasses;
 pub use error::ClusterError;
 pub use euclidean::{find_cluster_euclidean, max_cluster_size_euclidean};
 pub use find_cluster::{
-    diameter, exists_cluster_brute_force, find_cluster, find_cluster_ordered, max_cluster_size,
-    max_cluster_size_binary_search, min_diameter_cluster, PairOrder, Query,
+    diameter, exists_cluster_brute_force, find_cluster, find_cluster_ordered,
+    find_cluster_ordered_par, find_cluster_par, max_cluster_size, max_cluster_size_binary_search,
+    max_cluster_size_par, min_diameter_cluster, min_diameter_cluster_par, PairOrder, Query,
 };
 pub use node::{ClusterNode, ProtocolConfig, RoutePolicy};
 pub use query::{

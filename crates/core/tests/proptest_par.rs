@@ -1,0 +1,96 @@
+//! Property tests: every parallel clustering kernel is bit-identical to
+//! its serial twin — on random metrics, for thread counts 1, 2 and 8, for
+//! both pair scan orders — and repeated parallel runs are deterministic.
+
+use bcc_core::{
+    find_cluster_ordered, find_cluster_ordered_par, max_cluster_size, max_cluster_size_par,
+    min_diameter_cluster, min_diameter_cluster_par, PairOrder,
+};
+use bcc_metric::DistanceMatrix;
+use proptest::prelude::*;
+
+/// Any symmetric matrix with positive off-diagonal entries (may violate
+/// the triangle inequality — the kernels must agree regardless).
+fn arb_any_metric(max: usize) -> impl Strategy<Value = DistanceMatrix> {
+    (2usize..=max)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(0.01f64..100.0, n * (n - 1) / 2).prop_map(move |v| (n, v))
+        })
+        .prop_map(|(n, values)| {
+            let mut it = values.into_iter();
+            DistanceMatrix::from_fn(n, |_, _| it.next().unwrap_or(1.0))
+        })
+}
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const ORDERS: [PairOrder; 2] = [PairOrder::RowMajor, PairOrder::AscendingDiameter];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn find_cluster_par_matches_serial(
+        d in arb_any_metric(12),
+        k in 1usize..7,
+        l in 1.0f64..150.0,
+    ) {
+        for order in ORDERS {
+            let serial = find_cluster_ordered(&d, k, l, order);
+            for threads in THREADS {
+                bcc_par::set_threads(threads);
+                prop_assert_eq!(
+                    &serial,
+                    &find_cluster_ordered_par(&d, k, l, order),
+                    "threads = {}, order = {:?}", threads, order
+                );
+            }
+            bcc_par::set_threads(0);
+        }
+    }
+
+    #[test]
+    fn max_cluster_size_par_matches_serial(d in arb_any_metric(12), l in 0.5f64..120.0) {
+        let serial = max_cluster_size(&d, l);
+        for threads in THREADS {
+            bcc_par::set_threads(threads);
+            prop_assert_eq!(serial, max_cluster_size_par(&d, l), "threads = {}", threads);
+        }
+        bcc_par::set_threads(0);
+    }
+
+    #[test]
+    fn min_diameter_cluster_par_matches_serial(d in arb_any_metric(12), k in 1usize..7) {
+        let serial = min_diameter_cluster(&d, k);
+        for threads in THREADS {
+            bcc_par::set_threads(threads);
+            let par = min_diameter_cluster_par(&d, k);
+            // Compare the diameter by bit pattern, not approximately: the
+            // parallel scan must pick the *same* winning pair.
+            prop_assert_eq!(
+                serial.as_ref().map(|(c, dia)| (c, dia.to_bits())),
+                par.as_ref().map(|(c, dia)| (c, dia.to_bits())),
+                "threads = {}", threads
+            );
+        }
+        bcc_par::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic(
+        d in arb_any_metric(10),
+        k in 2usize..6,
+        l in 1.0f64..120.0,
+    ) {
+        bcc_par::set_threads(8);
+        let a = find_cluster_ordered_par(&d, k, l, PairOrder::RowMajor);
+        let b = find_cluster_ordered_par(&d, k, l, PairOrder::RowMajor);
+        prop_assert_eq!(a, b);
+        let a = min_diameter_cluster_par(&d, k);
+        let b = min_diameter_cluster_par(&d, k);
+        prop_assert_eq!(
+            a.map(|(c, dia)| (c, dia.to_bits())),
+            b.map(|(c, dia)| (c, dia.to_bits()))
+        );
+        bcc_par::set_threads(0);
+    }
+}

@@ -49,7 +49,7 @@ impl Edge {
 /// An edge-weighted tree whose leaves are hosts.
 ///
 /// The arena never reuses vertex indices within one tree's lifetime, so a
-/// [`VertexIdx`] stays valid until the vertex is spliced out. Edge weights
+/// `VertexIdx` stays valid until the vertex is spliced out. Edge weights
 /// are non-negative (zero-weight edges arise legitimately when a new host's
 /// attachment point coincides with an existing vertex).
 #[derive(Debug, Clone, Default)]

@@ -9,7 +9,6 @@
 use bcc_core::{BandwidthClasses, ProtocolConfig};
 use bcc_embed::{FrameworkConfig, PredictionFramework};
 use bcc_simnet::{AsyncConfig, AsyncNetwork, SimNetwork};
-use parking_lot::Mutex;
 
 use crate::metrics::MeanAccumulator;
 use crate::report::{Series, Table};
@@ -77,7 +76,9 @@ pub struct ConvergenceResult {
     pub async_msgs_per_host: Vec<Option<f64>>,
 }
 
-/// Runs the experiment, parallelized over (size, round).
+/// Runs the experiment, the flattened (size, round) grid parallelized on
+/// the `bcc-par` pool and merged in task order (deterministic for any
+/// thread count).
 pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
     let t = transform();
     type Slot = (
@@ -86,56 +87,52 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
         MeanAccumulator,
         MeanAccumulator,
     );
-    let merged: Mutex<Vec<Slot>> = Mutex::new(vec![Default::default(); cfg.sizes.len()]);
 
-    crossbeam::scope(|scope| {
-        for (si, &n) in cfg.sizes.iter().enumerate() {
-            for round in 0..cfg.rounds {
-                let merged = &merged;
-                scope.spawn(move |_| {
-                    let seed = cfg
-                        .seed
-                        .wrapping_add(si as u64 * 0x51_7CC1)
-                        .wrapping_add(round as u64 * 0x9E37_79B9);
-                    let full = cfg.dataset.generate(seed);
-                    let mut rng = {
-                        use rand::SeedableRng;
-                        rand::rngs::StdRng::seed_from_u64(seed)
-                    };
-                    let bw = bcc_datasets::random_subset(&full, n.min(full.len()), &mut rng);
-                    let d = t.distance_matrix(&bw);
-                    let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
-                    let classes = BandwidthClasses::linspace(10.0, 120.0, cfg.class_count, t);
-                    let proto = ProtocolConfig::new(cfg.n_cut, classes);
+    let n_tasks = cfg.sizes.len() * cfg.rounds;
+    let locals = bcc_par::par_map(n_tasks, |task| {
+        let (si, round) = (task / cfg.rounds, task % cfg.rounds);
+        let n = cfg.sizes[si];
+        let seed = cfg
+            .seed
+            .wrapping_add(si as u64 * 0x51_7CC1)
+            .wrapping_add(round as u64 * 0x9E37_79B9);
+        let full = cfg.dataset.generate(seed);
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(seed)
+        };
+        let bw = bcc_datasets::random_subset(&full, n.min(full.len()), &mut rng);
+        let d = t.distance_matrix(&bw);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let classes = BandwidthClasses::linspace(10.0, 120.0, cfg.class_count, t);
+        let proto = ProtocolConfig::new(cfg.n_cut, classes);
 
-                    // Synchronous engine.
-                    let mut sync =
-                        SimNetwork::new(fw.anchor(), fw.predicted_matrix(), proto.clone());
-                    let rounds = sync.run_to_convergence(1000).expect("sync converges") as f64;
-                    let bytes_per_host = sync.traffic().bytes as f64 / n as f64;
+        // Synchronous engine.
+        let mut sync = SimNetwork::new(fw.anchor(), fw.predicted_matrix(), proto.clone());
+        let rounds = sync.run_to_convergence(1000).expect("sync converges") as f64;
+        let bytes_per_host = sync.traffic().bytes as f64 / n as f64;
 
-                    // Asynchronous engine.
-                    let mut acfg = AsyncConfig::new(proto);
-                    acfg.gossip_period = cfg.gossip_period;
-                    acfg.seed = seed ^ 0xA5;
-                    let mut asynch = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), acfg);
-                    let secs = asynch
-                        .run_to_convergence(2.0 * cfg.gossip_period, 10_000.0)
-                        .expect("async converges");
-                    let msgs_per_host = asynch.delivered() as f64 / n as f64;
+        // Asynchronous engine.
+        let mut acfg = AsyncConfig::new(proto);
+        acfg.gossip_period = cfg.gossip_period;
+        acfg.seed = seed ^ 0xA5;
+        let mut asynch = AsyncNetwork::new(fw.anchor(), fw.predicted_matrix(), acfg);
+        let secs = asynch
+            .run_to_convergence(2.0 * cfg.gossip_period, 10_000.0)
+            .expect("async converges");
+        let msgs_per_host = asynch.delivered() as f64 / n as f64;
 
-                    let mut m = merged.lock();
-                    m[si].0.record(rounds);
-                    m[si].1.record(bytes_per_host);
-                    m[si].2.record(secs);
-                    m[si].3.record(msgs_per_host);
-                });
-            }
-        }
-    })
-    .expect("experiment threads do not panic");
+        (rounds, bytes_per_host, secs, msgs_per_host)
+    });
 
-    let m = merged.into_inner();
+    let mut m: Vec<Slot> = vec![Default::default(); cfg.sizes.len()];
+    for (task, (rounds, bytes_per_host, secs, msgs_per_host)) in locals.into_iter().enumerate() {
+        let si = task / cfg.rounds;
+        m[si].0.record(rounds);
+        m[si].1.record(bytes_per_host);
+        m[si].2.record(secs);
+        m[si].3.record(msgs_per_host);
+    }
     ConvergenceResult {
         sizes: cfg.sizes.clone(),
         sync_rounds: m.iter().map(|s| s.0.mean()).collect(),

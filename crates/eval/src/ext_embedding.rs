@@ -12,7 +12,6 @@
 use bcc_embed::{EndStrategy, EnsembleConfig, FrameworkConfig, PredictionFramework, TreeEnsemble};
 use bcc_metric::stats::{relative_error, EmpiricalCdf};
 use bcc_metric::DistanceMatrix;
-use parking_lot::Mutex;
 
 use crate::metrics::MeanAccumulator;
 use crate::report::{Series, Table};
@@ -62,80 +61,73 @@ pub struct EmbeddingResult {
     pub median_error: Vec<Option<f64>>,
 }
 
-/// Runs the experiment, parallelized over rounds.
+/// Runs the experiment, rounds parallelized on the `bcc-par` pool and
+/// merged in round order (deterministic for any thread count).
 pub fn run_embedding(cfg: &EmbeddingConfig) -> EmbeddingResult {
     const STRATEGIES: usize = 4;
     let t = transform();
     type Slot = (MeanAccumulator, MeanAccumulator); // (probes, median err)
-    let merged: Mutex<Vec<Slot>> = Mutex::new(vec![Default::default(); STRATEGIES]);
 
-    crossbeam::scope(|scope| {
-        for round in 0..cfg.rounds {
-            let merged = &merged;
-            scope.spawn(move |_| {
-                let seed = cfg.seed.wrapping_add(round as u64 * 0x9E37_79B9);
-                let bw = cfg.dataset.generate(seed);
-                let d = t.distance_matrix(&bw);
+    let rounds = bcc_par::par_map(cfg.rounds, |round| {
+        let seed = cfg.seed.wrapping_add(round as u64 * 0x9E37_79B9);
+        let bw = cfg.dataset.generate(seed);
+        let d = t.distance_matrix(&bw);
 
-                let median_err = |predicted: &DistanceMatrix| -> f64 {
-                    let errs: Vec<f64> = bw
-                        .iter_pairs()
-                        .map(|(i, j, real)| {
-                            relative_error(real, t.to_bandwidth(predicted.get(i, j)))
-                        })
-                        .collect();
-                    EmpiricalCdf::new(errs).percentile(50.0)
-                };
+        let median_err = |predicted: &DistanceMatrix| -> f64 {
+            let errs: Vec<f64> = bw
+                .iter_pairs()
+                .map(|(i, j, real)| relative_error(real, t.to_bandwidth(predicted.get(i, j))))
+                .collect();
+            EmpiricalCdf::new(errs).percentile(50.0)
+        };
 
-                let mut results: Vec<(f64, f64)> = Vec::with_capacity(STRATEGIES);
-                let exact = FrameworkConfig {
-                    seed,
-                    ..Default::default()
-                };
-                let fw = PredictionFramework::build_from_matrix(&d, exact);
-                results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
+        let mut results: Vec<(f64, f64)> = Vec::with_capacity(STRATEGIES);
+        let exact = FrameworkConfig {
+            seed,
+            ..Default::default()
+        };
+        let fw = PredictionFramework::build_from_matrix(&d, exact);
+        results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
 
-                let descent = FrameworkConfig {
-                    end: EndStrategy::AnchorDescent,
-                    seed,
-                    ..Default::default()
-                };
-                let fw = PredictionFramework::build_from_matrix(&d, descent);
-                results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
+        let descent = FrameworkConfig {
+            end: EndStrategy::AnchorDescent,
+            seed,
+            ..Default::default()
+        };
+        let fw = PredictionFramework::build_from_matrix(&d, descent);
+        results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
 
-                let naive = FrameworkConfig {
-                    base_candidates: 1,
-                    fit_leaf_weight: false,
-                    seed,
-                    ..Default::default()
-                };
-                let fw = PredictionFramework::build_from_matrix(&d, naive);
-                results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
+        let naive = FrameworkConfig {
+            base_candidates: 1,
+            fit_leaf_weight: false,
+            seed,
+            ..Default::default()
+        };
+        let fw = PredictionFramework::build_from_matrix(&d, naive);
+        results.push((fw.probe_count() as f64, median_err(&fw.predicted_matrix())));
 
-                let ens = TreeEnsemble::build_from_matrix(
-                    &d,
-                    EnsembleConfig {
-                        members: 3,
-                        seed,
-                        ..Default::default()
-                    },
-                );
-                results.push((
-                    ens.probe_count() as f64,
-                    median_err(&ens.predicted_matrix()),
-                ));
+        let ens = TreeEnsemble::build_from_matrix(
+            &d,
+            EnsembleConfig {
+                members: 3,
+                seed,
+                ..Default::default()
+            },
+        );
+        results.push((
+            ens.probe_count() as f64,
+            median_err(&ens.predicted_matrix()),
+        ));
+        results
+    });
 
-                let mut m = merged.lock();
-                for (slot, (probes, err)) in m.iter_mut().zip(results) {
-                    slot.0.record(probes);
-                    slot.1.record(err);
-                }
-            });
+    let mut m: Vec<Slot> = vec![Default::default(); STRATEGIES];
+    for results in rounds {
+        for (slot, (probes, err)) in m.iter_mut().zip(results) {
+            slot.0.record(probes);
+            slot.1.record(err);
         }
-    })
-    .expect("experiment threads do not panic");
-
-    let m = merged.into_inner();
+    }
     EmbeddingResult {
         labels: vec!["EXACT", "DESCENT", "NAIVE", "ENSEMBLE-3"],
         probes: m.iter().map(|s| s.0.mean()).collect(),

@@ -11,7 +11,6 @@
 use bcc_core::{find_cluster, find_cluster_euclidean, BandwidthClasses};
 use bcc_metric::stats::relative_error;
 use bcc_metric::{FiniteMetric, NodeId};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -122,7 +121,8 @@ pub struct Fig3Result {
     pub relerr_cdf_eucl: Vec<Option<f64>>,
 }
 
-/// Runs the experiment, parallelized over rounds.
+/// Runs the experiment, rounds parallelized on the `bcc-par` pool and
+/// merged in round order (deterministic for any thread count).
 pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
     assert!(
         cfg.rounds > 0 && cfg.queries_per_round > 0,
@@ -140,92 +140,83 @@ pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
         std::array::from_fn(|_| Buckets::new(cfg.b_range.0, cfg.b_range.1, cfg.buckets))
     };
 
-    let merged = Mutex::new(Partial {
+    let partials = bcc_par::par_map(cfg.rounds, |round| {
+        let round_seed = cfg.seed.wrapping_add(round as u64 * 0x9E37_79B9);
+        let mut rng = StdRng::seed_from_u64(round_seed);
+        let bw = cfg.dataset.generate(round_seed);
+        let n = bw.len();
+        let real_d = t.distance_matrix(&bw);
+        let classes = BandwidthClasses::linspace(cfg.b_range.0, cfg.b_range.1, cfg.class_count, t);
+        let system = build_tree_system(bw.clone(), cfg.n_cut, classes, round_seed ^ 0xF00D);
+        let predicted = system.framework().predicted_matrix();
+        let points = build_vivaldi_points(&real_d, cfg.vivaldi_rounds, round_seed ^ 0xBEEF);
+
+        let mut partial = Partial {
+            wpr: make_buckets(),
+            rr: [RrAccumulator::new(); 3],
+            errs_tree: Vec::with_capacity(n * (n - 1) / 2),
+            errs_eucl: Vec::with_capacity(n * (n - 1) / 2),
+        };
+
+        // Prediction relative errors over all pairs.
+        for (i, j, real_bw) in bw.iter_pairs() {
+            let pred_tree = t.to_bandwidth(predicted.get(i, j));
+            let pred_eucl = t.to_bandwidth(points.distance(i, j));
+            partial.errs_tree.push(relative_error(real_bw, pred_tree));
+            partial.errs_eucl.push(relative_error(real_bw, pred_eucl));
+        }
+
+        // Queries.
+        for _ in 0..cfg.queries_per_round {
+            let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
+            let l = t.distance_constraint(b);
+            let start = NodeId::new(rng.gen_range(0..n));
+
+            // TREE-DECENTRAL.
+            let outcome = system.query(start, cfg.k, b).expect("valid query");
+            partial.rr[0].record(outcome.found());
+            if let Some(cluster) = outcome.cluster {
+                let (wrong, total) = system.score_cluster(&cluster, b);
+                partial.wpr[0].slot_mut(b).record(wrong, total);
+            }
+
+            // TREE-CENTRAL (exact l, no class snapping).
+            let central = find_cluster(&predicted, cfg.k, l);
+            partial.rr[1].record(central.is_some());
+            if let Some(cluster) = central {
+                let ids: Vec<NodeId> = cluster.into_iter().map(NodeId::new).collect();
+                let (wrong, total) = system.score_cluster(&ids, b);
+                partial.wpr[1].slot_mut(b).record(wrong, total);
+            }
+
+            // EUCL-CENTRAL.
+            let eucl = find_cluster_euclidean(&points, cfg.k, l);
+            partial.rr[2].record(eucl.is_some());
+            if let Some(cluster) = eucl {
+                let ids: Vec<NodeId> = cluster.into_iter().map(NodeId::new).collect();
+                let (wrong, total) = system.score_cluster(&ids, b);
+                partial.wpr[2].slot_mut(b).record(wrong, total);
+            }
+        }
+        partial
+    });
+
+    let mut m = Partial {
         wpr: make_buckets(),
         rr: [RrAccumulator::new(); 3],
         errs_tree: Vec::new(),
         errs_eucl: Vec::new(),
-    });
-
-    crossbeam::scope(|scope| {
-        for round in 0..cfg.rounds {
-            let merged = &merged;
-            let make_buckets = &make_buckets;
-            scope.spawn(move |_| {
-                let round_seed = cfg.seed.wrapping_add(round as u64 * 0x9E37_79B9);
-                let mut rng = StdRng::seed_from_u64(round_seed);
-                let bw = cfg.dataset.generate(round_seed);
-                let n = bw.len();
-                let real_d = t.distance_matrix(&bw);
-                let classes =
-                    BandwidthClasses::linspace(cfg.b_range.0, cfg.b_range.1, cfg.class_count, t);
-                let system = build_tree_system(bw.clone(), cfg.n_cut, classes, round_seed ^ 0xF00D);
-                let predicted = system.framework().predicted_matrix();
-                let points = build_vivaldi_points(&real_d, cfg.vivaldi_rounds, round_seed ^ 0xBEEF);
-
-                let mut partial = Partial {
-                    wpr: make_buckets(),
-                    rr: [RrAccumulator::new(); 3],
-                    errs_tree: Vec::with_capacity(n * (n - 1) / 2),
-                    errs_eucl: Vec::with_capacity(n * (n - 1) / 2),
-                };
-
-                // Prediction relative errors over all pairs.
-                for (i, j, real_bw) in bw.iter_pairs() {
-                    let pred_tree = t.to_bandwidth(predicted.get(i, j));
-                    let pred_eucl = t.to_bandwidth(points.distance(i, j));
-                    partial.errs_tree.push(relative_error(real_bw, pred_tree));
-                    partial.errs_eucl.push(relative_error(real_bw, pred_eucl));
-                }
-
-                // Queries.
-                for _ in 0..cfg.queries_per_round {
-                    let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
-                    let l = t.distance_constraint(b);
-                    let start = NodeId::new(rng.gen_range(0..n));
-
-                    // TREE-DECENTRAL.
-                    let outcome = system.query(start, cfg.k, b).expect("valid query");
-                    partial.rr[0].record(outcome.found());
-                    if let Some(cluster) = outcome.cluster {
-                        let (wrong, total) = system.score_cluster(&cluster, b);
-                        partial.wpr[0].slot_mut(b).record(wrong, total);
-                    }
-
-                    // TREE-CENTRAL (exact l, no class snapping).
-                    let central = find_cluster(&predicted, cfg.k, l);
-                    partial.rr[1].record(central.is_some());
-                    if let Some(cluster) = central {
-                        let ids: Vec<NodeId> = cluster.into_iter().map(NodeId::new).collect();
-                        let (wrong, total) = system.score_cluster(&ids, b);
-                        partial.wpr[1].slot_mut(b).record(wrong, total);
-                    }
-
-                    // EUCL-CENTRAL.
-                    let eucl = find_cluster_euclidean(&points, cfg.k, l);
-                    partial.rr[2].record(eucl.is_some());
-                    if let Some(cluster) = eucl {
-                        let ids: Vec<NodeId> = cluster.into_iter().map(NodeId::new).collect();
-                        let (wrong, total) = system.score_cluster(&ids, b);
-                        partial.wpr[2].slot_mut(b).record(wrong, total);
-                    }
-                }
-
-                let mut m = merged.lock();
-                for (mine, theirs) in m.wpr.iter_mut().zip(partial.wpr) {
-                    mine.merge_with(theirs, |a, b| a.merge(b));
-                }
-                for (mine, theirs) in m.rr.iter_mut().zip(partial.rr) {
-                    mine.merge(theirs);
-                }
-                m.errs_tree.extend(partial.errs_tree);
-                m.errs_eucl.extend(partial.errs_eucl);
-            });
+    };
+    for partial in partials {
+        for (mine, theirs) in m.wpr.iter_mut().zip(partial.wpr) {
+            mine.merge_with(theirs, |a, b| a.merge(b));
         }
-    })
-    .expect("experiment threads do not panic");
-
-    let m = merged.into_inner();
+        for (mine, theirs) in m.rr.iter_mut().zip(partial.rr) {
+            mine.merge(theirs);
+        }
+        m.errs_tree.extend(partial.errs_tree);
+        m.errs_eucl.extend(partial.errs_eucl);
+    }
     let b_centers: Vec<f64> = m.wpr[0].iter().map(|(c, _)| c).collect();
     let curve =
         |i: usize| -> Vec<Option<f64>> { m.wpr[i].iter().map(|(_, acc)| acc.rate()).collect() };

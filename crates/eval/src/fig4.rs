@@ -9,7 +9,6 @@
 
 use bcc_core::{find_cluster, BandwidthClasses};
 use bcc_metric::NodeId;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,7 +101,8 @@ pub struct Fig4Result {
     pub rr_central: Vec<Option<f64>>,
 }
 
-/// Runs the experiment, parallelized over rounds.
+/// Runs the experiment, rounds parallelized on the `bcc-par` pool and
+/// merged in round order (deterministic for any thread count).
 pub fn run_fig4(cfg: &Fig4Config) -> Fig4Result {
     assert!(
         cfg.k_range.0 >= 2 && cfg.k_range.1 >= cfg.k_range.0,
@@ -118,45 +118,36 @@ pub fn run_fig4(cfg: &Fig4Config) -> Fig4Result {
             )
         })
     };
-    let merged = Mutex::new(make());
 
-    crossbeam::scope(|scope| {
-        for round in 0..cfg.rounds {
-            let merged = &merged;
-            let make = &make;
-            scope.spawn(move |_| {
-                let round_seed = cfg.seed.wrapping_add(round as u64 * 0x5851_F42D);
-                let mut rng = StdRng::seed_from_u64(round_seed);
-                let bw = cfg.dataset.generate(round_seed);
-                let n = bw.len();
-                let classes =
-                    BandwidthClasses::linspace(cfg.b_range.0, cfg.b_range.1, cfg.class_count, t);
-                let system = build_tree_system(bw, cfg.n_cut, classes, round_seed ^ 0xACE);
-                let predicted = system.framework().predicted_matrix();
+    let partials = bcc_par::par_map(cfg.rounds, |round| {
+        let round_seed = cfg.seed.wrapping_add(round as u64 * 0x5851_F42D);
+        let mut rng = StdRng::seed_from_u64(round_seed);
+        let bw = cfg.dataset.generate(round_seed);
+        let n = bw.len();
+        let classes = BandwidthClasses::linspace(cfg.b_range.0, cfg.b_range.1, cfg.class_count, t);
+        let system = build_tree_system(bw, cfg.n_cut, classes, round_seed ^ 0xACE);
+        let predicted = system.framework().predicted_matrix();
 
-                let mut partial = make();
-                for _ in 0..cfg.queries_per_round {
-                    let k = rng.gen_range(cfg.k_range.0..=cfg.k_range.1);
-                    let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
-                    let start = NodeId::new(rng.gen_range(0..n));
+        let mut partial = make();
+        for _ in 0..cfg.queries_per_round {
+            let k = rng.gen_range(cfg.k_range.0..=cfg.k_range.1);
+            let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
+            let start = NodeId::new(rng.gen_range(0..n));
 
-                    let dec = system.query(start, k, b).expect("valid query");
-                    partial[0].slot_mut(k as f64).record(dec.found());
+            let dec = system.query(start, k, b).expect("valid query");
+            partial[0].slot_mut(k as f64).record(dec.found());
 
-                    let cen = find_cluster(&predicted, k, t.distance_constraint(b));
-                    partial[1].slot_mut(k as f64).record(cen.is_some());
-                }
-
-                let mut m = merged.lock();
-                let [p0, p1] = partial;
-                m[0].merge_with(p0, |a, b| a.merge(b));
-                m[1].merge_with(p1, |a, b| a.merge(b));
-            });
+            let cen = find_cluster(&predicted, k, t.distance_constraint(b));
+            partial[1].slot_mut(k as f64).record(cen.is_some());
         }
-    })
-    .expect("experiment threads do not panic");
+        partial
+    });
 
-    let m = merged.into_inner();
+    let mut m = make();
+    for [p0, p1] in partials {
+        m[0].merge_with(p0, |a, b| a.merge(b));
+        m[1].merge_with(p1, |a, b| a.merge(b));
+    }
     Fig4Result {
         label: cfg.dataset.label(),
         k_centers: m[0].iter().map(|(c, _)| c).collect(),

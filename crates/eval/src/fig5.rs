@@ -9,7 +9,6 @@
 use bcc_metric::fourpoint::epsilon_star;
 use bcc_metric::stats::EmpiricalCdf;
 use bcc_metric::NodeId;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -129,56 +128,45 @@ pub fn run_fig5(cfg: &Fig5Config) -> Fig5Result {
     for (di, ds) in family.iter().enumerate() {
         let cdf = EmpiricalCdf::new(ds.bandwidth.pair_values());
         type Slot = (WprAccumulator, MeanAccumulator); // (wpr, mean f_a*)
-        let merged: Mutex<Buckets<Slot>> = Mutex::new(Buckets::new(0.0, 1.0, cfg.buckets));
 
-        crossbeam::scope(|scope| {
-            for round in 0..cfg.rounds {
-                let merged = &merged;
-                let cdf = &cdf;
-                let ds = &ds.bandwidth;
-                scope.spawn(move |_| {
-                    let round_seed = cfg
-                        .seed
-                        .wrapping_add(di as u64 * 0xABCD_1234)
-                        .wrapping_add(round as u64 * 0x9E37_79B9);
-                    let mut rng = StdRng::seed_from_u64(round_seed);
-                    let classes = BandwidthClasses::linspace(
-                        cfg.b_range.0,
-                        cfg.b_range.1,
-                        cfg.class_count,
-                        t,
-                    );
-                    let system =
-                        build_tree_system(ds.clone(), cfg.n_cut, classes, round_seed ^ 0xF162);
-                    let n = ds.len();
+        let partials = bcc_par::par_map(cfg.rounds, |round| {
+            let ds = &ds.bandwidth;
+            let round_seed = cfg
+                .seed
+                .wrapping_add(di as u64 * 0xABCD_1234)
+                .wrapping_add(round as u64 * 0x9E37_79B9);
+            let mut rng = StdRng::seed_from_u64(round_seed);
+            let classes =
+                BandwidthClasses::linspace(cfg.b_range.0, cfg.b_range.1, cfg.class_count, t);
+            let system = build_tree_system(ds.clone(), cfg.n_cut, classes, round_seed ^ 0xF162);
+            let n = ds.len();
 
-                    let mut partial: Buckets<Slot> = Buckets::new(0.0, 1.0, cfg.buckets);
-                    for _ in 0..cfg.queries_per_round {
-                        let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
-                        let start = NodeId::new(rng.gen_range(0..n));
-                        let fb = cdf.fraction_below(b);
-                        let fa = cdf.fraction_in(b - cfg.fa_window, b + cfg.fa_window);
-                        let fa_star = (cfg.alpha - 1.0 / cfg.alpha) * fa + 1.0 / cfg.alpha;
+            let mut partial: Buckets<Slot> = Buckets::new(0.0, 1.0, cfg.buckets);
+            for _ in 0..cfg.queries_per_round {
+                let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
+                let start = NodeId::new(rng.gen_range(0..n));
+                let fb = cdf.fraction_below(b);
+                let fa = cdf.fraction_in(b - cfg.fa_window, b + cfg.fa_window);
+                let fa_star = (cfg.alpha - 1.0 / cfg.alpha) * fa + 1.0 / cfg.alpha;
 
-                        let outcome = system.query(start, cfg.k, b).expect("valid query");
-                        if let Some(cluster) = outcome.cluster {
-                            let (wrong, total) = system.score_cluster(&cluster, b);
-                            let slot = partial.slot_mut(fb);
-                            slot.0.record(wrong, total);
-                            slot.1.record(fa_star);
-                        }
-                    }
-
-                    merged.lock().merge_with(partial, |a, b| {
-                        a.0.merge(b.0);
-                        a.1.merge(b.1);
-                    });
-                });
+                let outcome = system.query(start, cfg.k, b).expect("valid query");
+                if let Some(cluster) = outcome.cluster {
+                    let (wrong, total) = system.score_cluster(&cluster, b);
+                    let slot = partial.slot_mut(fb);
+                    slot.0.record(wrong, total);
+                    slot.1.record(fa_star);
+                }
             }
-        })
-        .expect("experiment threads do not panic");
+            partial
+        });
 
-        let buckets = merged.into_inner();
+        let mut buckets: Buckets<Slot> = Buckets::new(0.0, 1.0, cfg.buckets);
+        for partial in partials {
+            buckets.merge_with(partial, |a, b| {
+                a.0.merge(b.0);
+                a.1.merge(b.1);
+            });
+        }
         if fb_centers.is_empty() {
             fb_centers = buckets.iter().map(|(c, _)| c).collect();
         }

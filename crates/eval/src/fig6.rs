@@ -6,7 +6,6 @@
 
 use bcc_core::BandwidthClasses;
 use bcc_metric::NodeId;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -92,7 +91,9 @@ pub struct Fig6Result {
     pub gossip_bytes_per_host: Vec<Option<f64>>,
 }
 
-/// Runs the experiment, parallelized over (size, subset) pairs.
+/// Runs the experiment, the flattened (size, subset) grid parallelized on
+/// the `bcc-par` pool and merged in task order (deterministic for any
+/// thread count).
 pub fn run_fig6(cfg: &Fig6Config) -> Fig6Result {
     assert!(!cfg.sizes.is_empty(), "need at least one size");
     let t = transform();
@@ -103,65 +104,58 @@ pub fn run_fig6(cfg: &Fig6Config) -> Fig6Result {
         RrAccumulator,
         MeanAccumulator,
     );
-    let merged: Mutex<Vec<Slot>> = Mutex::new(vec![Default::default(); cfg.sizes.len()]);
 
-    crossbeam::scope(|scope| {
-        for (si, &n) in cfg.sizes.iter().enumerate() {
-            for subset_idx in 0..cfg.subsets_per_size {
-                let merged = &merged;
-                scope.spawn(move |_| {
-                    let subset_seed = cfg
-                        .seed
-                        .wrapping_add(si as u64 * 0x1234_5678)
-                        .wrapping_add(subset_idx as u64 * 0x9E37_79B9);
-                    let mut rng = StdRng::seed_from_u64(subset_seed);
-                    let full = cfg.dataset.generate(subset_seed);
-                    assert!(n <= full.len(), "subset larger than dataset");
-                    let bw = random_subset(&full, n, &mut rng);
+    let n_tasks = cfg.sizes.len() * cfg.subsets_per_size;
+    let locals = bcc_par::par_map(n_tasks, |task| {
+        let (si, subset_idx) = (task / cfg.subsets_per_size, task % cfg.subsets_per_size);
+        let n = cfg.sizes[si];
+        let subset_seed = cfg
+            .seed
+            .wrapping_add(si as u64 * 0x1234_5678)
+            .wrapping_add(subset_idx as u64 * 0x9E37_79B9);
+        let mut rng = StdRng::seed_from_u64(subset_seed);
+        let full = cfg.dataset.generate(subset_seed);
+        assert!(n <= full.len(), "subset larger than dataset");
+        let bw = random_subset(&full, n, &mut rng);
 
-                    let mut local: Slot = Default::default();
-                    for round in 0..cfg.rounds_per_subset {
-                        let classes = BandwidthClasses::linspace(
-                            cfg.b_range.0,
-                            cfg.b_range.1,
-                            cfg.class_count,
-                            t,
-                        );
-                        let system = build_tree_system(
-                            bw.clone(),
-                            cfg.n_cut,
-                            classes,
-                            subset_seed ^ (round as u64 + 1),
-                        );
-                        local
-                            .3
-                            .record(system.network().traffic().bytes as f64 / n as f64);
-                        for _ in 0..cfg.queries_per_round {
-                            let k_lo = ((cfg.k_frac.0 * n as f64).round() as usize).max(2);
-                            let k_hi = ((cfg.k_frac.1 * n as f64).round() as usize).max(k_lo);
-                            let k = rng.gen_range(k_lo..=k_hi);
-                            let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
-                            let start = NodeId::new(rng.gen_range(0..n));
-                            let out = system.query(start, k, b).expect("valid query");
-                            local.0.record(out.hops as f64);
-                            if out.found() {
-                                local.1.record(out.hops as f64);
-                            }
-                            local.2.record(out.found());
-                        }
-                    }
-                    let mut m = merged.lock();
-                    m[si].0.merge(local.0);
-                    m[si].1.merge(local.1);
-                    m[si].2.merge(local.2);
-                    m[si].3.merge(local.3);
-                });
+        let mut local: Slot = Default::default();
+        for round in 0..cfg.rounds_per_subset {
+            let classes =
+                BandwidthClasses::linspace(cfg.b_range.0, cfg.b_range.1, cfg.class_count, t);
+            let system = build_tree_system(
+                bw.clone(),
+                cfg.n_cut,
+                classes,
+                subset_seed ^ (round as u64 + 1),
+            );
+            local
+                .3
+                .record(system.network().traffic().bytes as f64 / n as f64);
+            for _ in 0..cfg.queries_per_round {
+                let k_lo = ((cfg.k_frac.0 * n as f64).round() as usize).max(2);
+                let k_hi = ((cfg.k_frac.1 * n as f64).round() as usize).max(k_lo);
+                let k = rng.gen_range(k_lo..=k_hi);
+                let b = rng.gen_range(cfg.b_range.0..=cfg.b_range.1);
+                let start = NodeId::new(rng.gen_range(0..n));
+                let out = system.query(start, k, b).expect("valid query");
+                local.0.record(out.hops as f64);
+                if out.found() {
+                    local.1.record(out.hops as f64);
+                }
+                local.2.record(out.found());
             }
         }
-    })
-    .expect("experiment threads do not panic");
+        local
+    });
 
-    let m = merged.into_inner();
+    let mut m: Vec<Slot> = vec![Default::default(); cfg.sizes.len()];
+    for (task, local) in locals.into_iter().enumerate() {
+        let si = task / cfg.subsets_per_size;
+        m[si].0.merge(local.0);
+        m[si].1.merge(local.1);
+        m[si].2.merge(local.2);
+        m[si].3.merge(local.3);
+    }
     Fig6Result {
         sizes: cfg.sizes.clone(),
         mean_hops: m.iter().map(|s| s.0.mean()).collect(),

@@ -24,7 +24,6 @@ use bcc_core::{find_cluster, BandwidthClasses, ProtocolConfig, RetryPolicy};
 use bcc_embed::{FrameworkConfig, PredictionFramework};
 use bcc_metric::{DistanceMatrix, NodeId};
 use bcc_simnet::{FaultPlan, SimNetwork};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -165,40 +164,35 @@ struct CellAccum {
     observed_loss: MeanAccumulator,
 }
 
-/// Runs the sweep, parallelized over (cell, trial).
+/// Runs the sweep, the flattened (cell, trial) grid parallelized on the
+/// `bcc-par` pool and merged in task order (deterministic for any thread
+/// count).
 pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessResult {
     let n_cells = cfg.loss_rates.len() * cfg.crash_fracs.len();
-    let merged: Mutex<Vec<CellAccum>> = Mutex::new(vec![CellAccum::default(); n_cells]);
 
-    crossbeam::scope(|scope| {
-        for (ci, &crash_frac) in cfg.crash_fracs.iter().enumerate() {
-            for (li, &loss) in cfg.loss_rates.iter().enumerate() {
-                for trial in 0..cfg.trials {
-                    let merged = &merged;
-                    scope.spawn(move |_| {
-                        let cell = ci * cfg.loss_rates.len() + li;
-                        let seed = cfg
-                            .seed
-                            .wrapping_add(cell as u64 * 0x51_7CC1)
-                            .wrapping_add(trial as u64 * 0x9E37_79B9);
-                        let stats = run_trial(cfg, loss, crash_frac, seed);
-                        let mut m = merged.lock();
-                        let acc = &mut m[cell];
-                        acc.success.merge(stats.success);
-                        acc.all_queries += stats.all_queries;
-                        acc.retries.merge(stats.retries);
-                        acc.dead.merge(stats.dead);
-                        acc.stale.merge(stats.stale);
-                        acc.reconv.merge(stats.reconv);
-                        acc.observed_loss.merge(stats.observed_loss);
-                    });
-                }
-            }
-        }
-    })
-    .expect("experiment threads do not panic");
+    let trials = bcc_par::par_map(n_cells * cfg.trials, |task| {
+        let (cell, trial) = (task / cfg.trials, task % cfg.trials);
+        let (ci, li) = (cell / cfg.loss_rates.len(), cell % cfg.loss_rates.len());
+        let crash_frac = cfg.crash_fracs[ci];
+        let loss = cfg.loss_rates[li];
+        let seed = cfg
+            .seed
+            .wrapping_add(cell as u64 * 0x51_7CC1)
+            .wrapping_add(trial as u64 * 0x9E37_79B9);
+        run_trial(cfg, loss, crash_frac, seed)
+    });
 
-    let m = merged.into_inner();
+    let mut m: Vec<CellAccum> = vec![CellAccum::default(); n_cells];
+    for (task, stats) in trials.into_iter().enumerate() {
+        let acc = &mut m[task / cfg.trials];
+        acc.success.merge(stats.success);
+        acc.all_queries += stats.all_queries;
+        acc.retries.merge(stats.retries);
+        acc.dead.merge(stats.dead);
+        acc.stale.merge(stats.stale);
+        acc.reconv.merge(stats.reconv);
+        acc.observed_loss.merge(stats.observed_loss);
+    }
     let mut cells = Vec::with_capacity(n_cells);
     for (ci, &crash_frac) in cfg.crash_fracs.iter().enumerate() {
         for (li, &loss) in cfg.loss_rates.iter().enumerate() {

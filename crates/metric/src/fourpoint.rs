@@ -19,6 +19,7 @@
 
 use rand::Rng;
 
+use crate::matrix::DistanceMatrix;
 use crate::space::FiniteMetric;
 
 /// The three pairing sums of a quartet, sorted descending.
@@ -46,13 +47,30 @@ pub fn quartet_sums<M: FiniteMetric>(
     y: usize,
     z: usize,
 ) -> QuartetSums {
-    let d_wx = metric.distance(w, x);
-    let d_yz = metric.distance(y, z);
-    let d_wy = metric.distance(w, y);
-    let d_xz = metric.distance(x, z);
-    let d_wz = metric.distance(w, z);
-    let d_xy = metric.distance(x, y);
+    sums_of(
+        metric.distance(w, x),
+        metric.distance(y, z),
+        metric.distance(w, y),
+        metric.distance(x, z),
+        metric.distance(w, z),
+        metric.distance(x, y),
+    )
+}
 
+/// The shared quartet kernel: pairing sums from the six pair distances.
+///
+/// Both the generic [`quartet_sums`] and the cache-tight row kernels of the
+/// `_par` scans funnel through this function, so serial and parallel
+/// statistics are bit-identical by construction.
+#[inline]
+pub(crate) fn sums_of(
+    d_wx: f64,
+    d_yz: f64,
+    d_wy: f64,
+    d_xz: f64,
+    d_wz: f64,
+    d_xy: f64,
+) -> QuartetSums {
     // Each candidate: (sum, min of its two pair distances).
     let mut cands = [
         (d_wx + d_yz, d_wx.min(d_yz)),
@@ -66,6 +84,20 @@ pub fn quartet_sums<M: FiniteMetric>(
     }
 }
 
+/// `ε` of a quartet given its pairing sums — the other half of the shared
+/// kernel (see [`sums_of`]).
+#[inline]
+fn epsilon_of(q: QuartetSums) -> f64 {
+    let gap = q.sums[0] - q.sums[1];
+    if gap <= 0.0 {
+        0.0
+    } else if q.min_pair <= 0.0 {
+        f64::INFINITY
+    } else {
+        gap / (2.0 * q.min_pair)
+    }
+}
+
 /// Per-quartet treeness slack `ε` of Abraham et al.
 ///
 /// With the pairing sums sorted `s1 ≥ s2 ≥ s3` and `m` the smaller pair
@@ -75,15 +107,7 @@ pub fn quartet_sums<M: FiniteMetric>(
 /// Degenerate quartets (where `m = 0`, e.g. duplicated points) return `0`
 /// when the 4PC gap is also zero and `+∞` otherwise.
 pub fn quartet_epsilon<M: FiniteMetric>(metric: &M, w: usize, x: usize, y: usize, z: usize) -> f64 {
-    let q = quartet_sums(metric, w, x, y, z);
-    let gap = q.sums[0] - q.sums[1];
-    if gap <= 0.0 {
-        0.0
-    } else if q.min_pair <= 0.0 {
-        f64::INFINITY
-    } else {
-        gap / (2.0 * q.min_pair)
-    }
+    epsilon_of(quartet_sums(metric, w, x, y, z))
 }
 
 /// Checks whether `metric` satisfies 4PC on every quartet within an additive
@@ -107,6 +131,34 @@ pub fn satisfies_four_point<M: FiniteMetric>(metric: &M, tol: f64) -> bool {
     true
 }
 
+/// Parallel [`satisfies_four_point`]: the quartet enumeration is blocked on
+/// the outer index and spread over the `bcc-par` pool, with atomic early
+/// exit as soon as any worker finds a violating quartet. Returns exactly
+/// what the serial scan returns.
+pub fn satisfies_four_point_par<M: FiniteMetric>(metric: &M, tol: f64) -> bool {
+    let d = metric.to_matrix();
+    let n = d.len();
+    bcc_par::par_find_first(n, |w| {
+        let row_w = &d.row(w)[..n];
+        for x in (w + 1)..n {
+            let row_x = &d.row(x)[..n];
+            let d_wx = row_w[x];
+            for y in (x + 1)..n {
+                let row_y = &d.row(y)[..n];
+                let (d_wy, d_xy) = (row_w[y], row_x[y]);
+                for z in (y + 1)..n {
+                    let q = sums_of(d_wx, row_y[z], d_wy, row_x[z], row_w[z], d_xy);
+                    if q.sums[0] - q.sums[1] > tol {
+                        return Some(());
+                    }
+                }
+            }
+        }
+        None
+    })
+    .is_none()
+}
+
 /// Exact average quartet `ε` over all `C(n, 4)` quartets.
 ///
 /// Infinite per-quartet values (degenerate quartets) are excluded from the
@@ -120,21 +172,84 @@ pub fn epsilon_avg_exact<M: FiniteMetric>(metric: &M) -> f64 {
     if n < 4 {
         return 0.0;
     }
+    // Accumulate one partial sum per outer index and fold them in order:
+    // this fixes the floating-point reduction tree so the parallel variant
+    // (same per-`w` partials, merged in the same order) is bit-identical.
+    let (total, count) = (0..n)
+        .map(|w| epsilon_partial_generic(metric, w))
+        .fold((0.0, 0u64), |(t, c), (pt, pc)| (t + pt, c + pc));
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Sum and count of finite quartet `ε` over quartets whose smallest member
+/// is `w`, via per-element [`FiniteMetric::distance`] access.
+fn epsilon_partial_generic<M: FiniteMetric>(metric: &M, w: usize) -> (f64, u64) {
+    let n = metric.len();
     let mut total = 0.0;
     let mut count = 0u64;
-    for w in 0..n {
-        for x in (w + 1)..n {
-            for y in (x + 1)..n {
-                for z in (y + 1)..n {
-                    let e = quartet_epsilon(metric, w, x, y, z);
-                    if e.is_finite() {
-                        total += e;
-                        count += 1;
-                    }
+    for x in (w + 1)..n {
+        for y in (x + 1)..n {
+            for z in (y + 1)..n {
+                let e = quartet_epsilon(metric, w, x, y, z);
+                if e.is_finite() {
+                    total += e;
+                    count += 1;
                 }
             }
         }
     }
+    (total, count)
+}
+
+/// Sum and count of finite quartet `ε` over quartets whose smallest member
+/// is `w`, as a cache-tight row kernel: the three active rows stay resident
+/// while the innermost loop streams three contiguous slices, with no
+/// per-element bounds assertion. Numerically identical to
+/// [`epsilon_partial_generic`] (same values, same order, shared
+/// [`sums_of`]/[`epsilon_of`] kernel).
+fn epsilon_partial_rows(d: &DistanceMatrix, w: usize) -> (f64, u64) {
+    let n = d.len();
+    let row_w = &d.row(w)[..n];
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for x in (w + 1)..n {
+        let row_x = &d.row(x)[..n];
+        let d_wx = row_w[x];
+        for y in (x + 1)..n {
+            let row_y = &d.row(y)[..n];
+            let (d_wy, d_xy) = (row_w[y], row_x[y]);
+            for z in (y + 1)..n {
+                let e = epsilon_of(sums_of(d_wx, row_y[z], d_wy, row_x[z], row_w[z], d_xy));
+                if e.is_finite() {
+                    total += e;
+                    count += 1;
+                }
+            }
+        }
+    }
+    (total, count)
+}
+
+/// Parallel [`epsilon_avg_exact`]: materializes the metric once, spreads the
+/// outer quartet index over the `bcc-par` pool, and folds the per-index
+/// partial sums in index order. Bit-identical to the serial scan for any
+/// thread count (see `DESIGN.md`, "Deterministic parallel kernels").
+pub fn epsilon_avg_exact_par<M: FiniteMetric>(metric: &M) -> f64 {
+    let n = metric.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let d = metric.to_matrix();
+    let (total, count) = bcc_par::par_reduce(
+        n,
+        |w| epsilon_partial_rows(&d, w),
+        (0.0, 0u64),
+        |(t, c), (pt, pc)| (t + pt, c + pc),
+    );
     if count == 0 {
         0.0
     } else {
@@ -194,6 +309,37 @@ pub fn epsilon_max_exact<M: FiniteMetric>(metric: &M) -> f64 {
         }
     }
     max
+}
+
+/// Parallel [`epsilon_max_exact`] on the `bcc-par` pool. `max` is an exact
+/// (order-independent) reduction, so the result equals the serial scan's.
+pub fn epsilon_max_exact_par<M: FiniteMetric>(metric: &M) -> f64 {
+    let d = metric.to_matrix();
+    let n = d.len();
+    bcc_par::par_reduce(
+        n,
+        |w| {
+            let row_w = &d.row(w)[..n];
+            let mut max = 0.0f64;
+            for x in (w + 1)..n {
+                let row_x = &d.row(x)[..n];
+                let d_wx = row_w[x];
+                for y in (x + 1)..n {
+                    let row_y = &d.row(y)[..n];
+                    let (d_wy, d_xy) = (row_w[y], row_x[y]);
+                    for z in (y + 1)..n {
+                        let e = epsilon_of(sums_of(d_wx, row_y[z], d_wy, row_x[z], row_w[z], d_xy));
+                        if e.is_finite() {
+                            max = max.max(e);
+                        }
+                    }
+                }
+            }
+            max
+        },
+        0.0f64,
+        f64::max,
+    )
 }
 
 /// Transforms an unbounded `ε_avg ∈ [0, ∞)` to the paper's bounded treeness
@@ -351,5 +497,41 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn epsilon_star_rejects_negative() {
         epsilon_star(-0.1);
+    }
+
+    #[test]
+    fn parallel_scans_bit_identical_to_serial() {
+        // A noisy non-tree metric with strictly positive epsilon.
+        let d = DistanceMatrix::from_fn(14, |i, j| 1.0 + ((i * 31 + j * 17) % 13) as f64 / 3.0);
+        for threads in [1, 2, 8] {
+            bcc_par::set_threads(threads);
+            assert_eq!(
+                epsilon_avg_exact(&d).to_bits(),
+                epsilon_avg_exact_par(&d).to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                epsilon_max_exact(&d).to_bits(),
+                epsilon_max_exact_par(&d).to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                satisfies_four_point(&d, 1e-9),
+                satisfies_four_point_par(&d, 1e-9)
+            );
+        }
+        bcc_par::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_scans_on_tree_metric() {
+        let d = star_metric(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(epsilon_avg_exact_par(&d), 0.0);
+        assert_eq!(epsilon_max_exact_par(&d), 0.0);
+        assert!(satisfies_four_point_par(&d, 1e-12));
+        // Degenerate sizes short-circuit like the serial scans.
+        let tiny = DistanceMatrix::new(3);
+        assert_eq!(epsilon_avg_exact_par(&tiny), 0.0);
+        assert!(satisfies_four_point_par(&tiny, 0.0));
     }
 }

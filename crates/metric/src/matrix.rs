@@ -65,6 +65,24 @@ impl SymMatrix {
         self.data[j * self.len + i] = value;
     }
 
+    /// Borrows row `i` as a contiguous `&[f64]` of length [`len`](Self::len).
+    ///
+    /// `row(i)[j] == get(i, j)` for every `j`; the diagonal entry holds
+    /// whatever the wrapper type fixed it to. This is the cache-tight access
+    /// path for the hot kernels: the inner loops of Algorithm 1 and the
+    /// quartet scans sweep row slices instead of paying an asserted
+    /// 2-D index computation per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds (`debug_assert` with a friendly
+    /// message in debug builds; the slice-bounds check backstops release).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.len, "row index out of bounds");
+        &self.data[i * self.len..(i + 1) * self.len]
+    }
+
     /// Iterates over the strict upper triangle as `(i, j, value)` with `i < j`.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.len).flat_map(move |i| ((i + 1)..self.len).map(move |j| (i, j, self.get(i, j))))
@@ -157,6 +175,17 @@ impl DistanceMatrix {
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert_ne!(i, j, "diagonal of a distance matrix is fixed at zero");
         self.inner.set(i, j, value);
+    }
+
+    /// Borrows row `i` as a contiguous slice of distances from node `i` to
+    /// every node (diagonal entry `0`). See [`SymMatrix::row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.inner.row(i)
     }
 
     /// Iterates over unordered pairs `(i, j, d)` with `i < j`.
@@ -387,6 +416,34 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn sym_matrix_get_out_of_bounds_panics() {
         SymMatrix::new(2, 0.0).get(0, 2);
+    }
+
+    #[test]
+    fn row_matches_get() {
+        let mut m = SymMatrix::new(3, 0.0);
+        m.set(0, 2, 7.0);
+        m.set(1, 2, 3.0);
+        for i in 0..3 {
+            let row = m.row(i);
+            assert_eq!(row.len(), 3);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m.get(i, j), "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_row_has_zero_diagonal() {
+        let mut d = DistanceMatrix::new(3);
+        d.set(0, 1, 2.0);
+        d.set(1, 2, 4.0);
+        assert_eq!(d.row(1), &[2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_out_of_bounds_panics() {
+        SymMatrix::new(2, 0.0).row(2);
     }
 
     #[test]

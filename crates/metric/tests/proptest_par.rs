@@ -1,0 +1,58 @@
+//! Property tests: the parallel quartet/treeness kernels are bit-identical
+//! to their serial twins on random symmetric matrices for thread counts
+//! 1, 2 and 8, and repeated parallel runs are deterministic.
+
+use bcc_metric::fourpoint::{
+    epsilon_avg_exact, epsilon_avg_exact_par, epsilon_max_exact, epsilon_max_exact_par,
+    satisfies_four_point, satisfies_four_point_par,
+};
+use bcc_metric::gromov::{delta_hyperbolicity_exact, delta_hyperbolicity_exact_par};
+use bcc_metric::DistanceMatrix;
+use proptest::prelude::*;
+
+fn arb_matrix(max: usize) -> impl Strategy<Value = DistanceMatrix> {
+    (4usize..=max)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(0.01f64..50.0, n * (n - 1) / 2).prop_map(move |v| (n, v))
+        })
+        .prop_map(|(n, values)| {
+            let mut it = values.into_iter();
+            DistanceMatrix::from_fn(n, |_, _| it.next().unwrap_or(1.0))
+        })
+}
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quartet_kernels_bit_identical_to_serial(d in arb_matrix(10), tol in 0.0f64..5.0) {
+        let avg = epsilon_avg_exact(&d).to_bits();
+        let max = epsilon_max_exact(&d).to_bits();
+        let delta = delta_hyperbolicity_exact(&d).to_bits();
+        let four = satisfies_four_point(&d, tol);
+        for threads in THREADS {
+            bcc_par::set_threads(threads);
+            prop_assert_eq!(avg, epsilon_avg_exact_par(&d).to_bits(), "threads = {}", threads);
+            prop_assert_eq!(max, epsilon_max_exact_par(&d).to_bits(), "threads = {}", threads);
+            prop_assert_eq!(delta, delta_hyperbolicity_exact_par(&d).to_bits(), "threads = {}", threads);
+            prop_assert_eq!(four, satisfies_four_point_par(&d, tol), "threads = {}", threads);
+        }
+        bcc_par::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic(d in arb_matrix(9)) {
+        bcc_par::set_threads(8);
+        prop_assert_eq!(
+            epsilon_avg_exact_par(&d).to_bits(),
+            epsilon_avg_exact_par(&d).to_bits()
+        );
+        prop_assert_eq!(
+            delta_hyperbolicity_exact_par(&d).to_bits(),
+            delta_hyperbolicity_exact_par(&d).to_bits()
+        );
+        bcc_par::set_threads(0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for a `rayon`-style data-parallel runtime.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! small parallel-iteration surface the workspace needs — chunked
+//! self-scheduling over `std::thread` scopes (via the vendored `crossbeam`)
+//! instead of rayon's work-stealing deques. Three properties the callers rely
+//! on:
+//!
+//! 1. **Deterministic results independent of thread count.** Every
+//!    reduction folds per-index (or per-chunk) partial results in index
+//!    order, so floating-point outputs are bit-identical whether the work
+//!    ran on 1 thread or 64. [`par_find_first`] always returns the match
+//!    with the *lowest* index — the same winner a serial left-to-right scan
+//!    would find — using an atomic upper bound for early exit.
+//! 2. **Serial fallback.** With one configured thread (or trivially small
+//!    inputs) no threads are spawned at all; the closure runs inline on the
+//!    caller's stack. `BCC_THREADS=1` therefore turns the whole workspace
+//!    back into a single-threaded program.
+//! 3. **Configuration.** Worker count comes from, in priority order: the
+//!    [`set_threads`] process-global override, the `BCC_THREADS` environment
+//!    variable, then [`std::thread::available_parallelism`].
+//!
+//! Swapping in registry `rayon` is a mechanical change at the call sites
+//! (`par_map(n, f)` → `(0..n).into_par_iter().map(f).collect()`, and
+//! [`par_find_first`] → `find_first`); this crate exists only because the
+//! image is offline. See `vendor/README.md`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-global thread-count override set by [`set_threads`].
+/// `0` means "not overridden" (fall back to env / hardware detection).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for all subsequent parallel calls in this
+/// process. `0` clears the override (back to `BCC_THREADS` / hardware
+/// detection). Intended for tests and benchmarks; results are bit-identical
+/// across thread counts by construction, so racing callers only affect
+/// scheduling, never output.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count parallel calls will use right now: the [`set_threads`]
+/// override if set, else `BCC_THREADS` (when parseable and non-zero), else
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn current_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("BCC_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `map` to every chunk of the fixed grid
+/// `[0, chunk), [chunk, 2*chunk), …` covering `0..n`, in parallel, and
+/// returns the chunk results **in grid order**.
+///
+/// The grid depends only on `n` and `chunk` — never on the thread count — so
+/// any fold over the returned vector is deterministic. Chunks are handed to
+/// workers by an atomic cursor (chunked self-scheduling), which keeps load
+/// balanced when chunk costs vary.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`, or propagates a panic from `map`.
+pub fn par_chunks<T, F>(n: usize, chunk: usize, map: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let tasks = n.div_ceil(chunk);
+    let threads = current_threads().min(tasks);
+    let task_range = |t: usize| (t * chunk)..((t + 1) * chunk).min(n);
+    if threads <= 1 {
+        return (0..tasks).map(|t| map(task_range(t))).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(tasks);
+    out.resize_with(tasks, || None);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let map = &map;
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let t = cursor.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks {
+                            break;
+                        }
+                        local.push((t, map(task_range(t))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (t, v) in h.join().expect("bcc-par worker panicked") {
+                out[t] = Some(v);
+            }
+        }
+    })
+    .expect("bcc-par scope");
+    out.into_iter()
+        .map(|v| v.expect("every chunk produced a result"))
+        .collect()
+}
+
+/// Applies `map` to every index in `0..n` in parallel and returns the
+/// results in index order. Equivalent to `par_chunks(n, 1, …)`; use it when
+/// each index is a coarse unit of work (an experiment round, an outer-loop
+/// row) rather than a single cheap element.
+pub fn par_map<T, F>(n: usize, map: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_chunks(n, 1, |r| map(r.start))
+}
+
+/// Parallel map over `0..n` followed by a **serial, in-order** fold — the
+/// deterministic reduction primitive. `fold` sees `map(0), map(1), …` in
+/// exactly that order regardless of thread count, so floating-point
+/// accumulation matches a serial per-index loop bit for bit.
+pub fn par_reduce<T, A, F, G>(n: usize, map: F, init: A, fold: G) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: FnMut(A, T) -> A,
+{
+    par_map(n, map).into_iter().fold(init, fold)
+}
+
+/// Returns `f(i)`'s first `Some` **by index order**: the same element a
+/// serial left-to-right scan would return, found in parallel with atomic
+/// early exit.
+///
+/// Workers share a monotonically decreasing "best index so far"; indices at
+/// or above it are skipped without calling `f`, and the scan finishes once
+/// every index below the best has been examined. Unsuccessful probes beyond
+/// the eventual winner may run `f` speculatively — `f` must be pure.
+pub fn par_find_first<T, F>(n: usize, f: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    par_find_first_with(n, || (), |(), i| f(i))
+}
+
+/// [`par_find_first`] with per-worker scratch state: `init` builds one state
+/// per worker (reusable buffers, RNGs, …), passed mutably to every probe
+/// that worker runs. The serial fallback builds the state once.
+pub fn par_find_first_with<S, T, I, F>(n: usize, init: I, f: F) -> Option<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Option<T> + Sync,
+{
+    let threads = current_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        return (0..n).find_map(|i| f(&mut state, i));
+    }
+
+    // Chunks are dispensed in ascending order, so when a hit at index `i`
+    // lowers the bound, every chunk starting below `i` has already been
+    // handed out and its worker will still examine all indices below the
+    // bound. The final stored result is therefore the lowest-index hit.
+    let chunk = (n / (threads * 16)).clamp(1, 1024);
+    let best_idx = AtomicUsize::new(usize::MAX);
+    let best: Mutex<Option<(usize, T)>> = Mutex::new(None);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let (cursor, best_idx, best, init, f) = (&cursor, &best_idx, &best, &init, &f);
+            scope.spawn(move |_| {
+                let mut state = init();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n || start >= best_idx.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        if i >= best_idx.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Some(v) = f(&mut state, i) {
+                            let mut guard = best.lock().expect("bcc-par result lock");
+                            if guard.as_ref().is_none_or(|(bi, _)| i < *bi) {
+                                *guard = Some((i, v));
+                                best_idx.store(i, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("bcc-par scope");
+    best.into_inner()
+        .expect("bcc-par result lock")
+        .map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        set_threads(n);
+        let r = f();
+        set_threads(0);
+        r
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        for t in [1, 2, 8] {
+            let v = with_threads(t, || par_map(100, |i| i * i));
+            assert_eq!(v, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunks_cover_grid() {
+        for t in [1, 3] {
+            let v = with_threads(t, || par_chunks(10, 4, |r| (r.start, r.end)));
+            assert_eq!(v, vec![(0, 4), (4, 8), (8, 10)]);
+        }
+    }
+
+    #[test]
+    fn reduce_is_in_order() {
+        let folded = with_threads(4, || {
+            par_reduce(
+                50,
+                |i| i as u64,
+                Vec::new(),
+                |mut acc, x| {
+                    acc.push(x);
+                    acc
+                },
+            )
+        });
+        assert_eq!(folded, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn find_first_returns_lowest() {
+        for t in [1, 2, 8] {
+            let hit = with_threads(t, || {
+                par_find_first(10_000, |i| (i % 37 == 0 && i >= 100).then_some(i))
+            });
+            assert_eq!(hit, Some(111));
+        }
+    }
+
+    #[test]
+    fn find_first_none_when_absent() {
+        assert_eq!(par_find_first(1000, |_| None::<usize>), None);
+        assert_eq!(par_find_first(0, Some), None);
+    }
+
+    #[test]
+    fn find_first_with_scratch() {
+        let hit = with_threads(8, || {
+            par_find_first_with(500, Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                (i == 123).then_some(scratch.len())
+            })
+        });
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_chunks(0, 3, |r| r.len()), Vec::<usize>::new());
+        assert_eq!(par_reduce(0, |i| i, 7usize, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn thread_config_floor() {
+        assert!(current_threads() >= 1);
+        set_threads(5);
+        assert_eq!(current_threads(), 5);
+        set_threads(0);
+    }
+}
