@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use bcc_embed::EmbedError;
 use bcc_metric::{BandwidthMatrix, NodeId};
-use bcc_simnet::{DynamicSystem, SystemConfig};
+use bcc_simnet::{ChurnError, DynamicSystem, SystemConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -229,7 +229,7 @@ impl GridScheduler {
             .ok_or(PlacementError::UnknownJob(id))?;
         for h in hosts {
             match self.system.join(h) {
-                Ok(()) | Err(EmbedError::HostExists(_)) => {}
+                Ok(()) | Err(ChurnError::Embed(EmbedError::HostExists(_))) => {}
                 Err(e) => panic!("rejoin of {h} failed: {e}"),
             }
         }

@@ -1,0 +1,207 @@
+//! Deterministic chaos runner: schedule exploration, shrinking and replay
+//! for the decentralized clustering stack (see `bcc_simnet::chaos`).
+//!
+//! ```sh
+//! # Explore 1000 seeds (the default), stop at the first violation:
+//! cargo run --release -p bcc-bench --bin chaos
+//!
+//! # CI smoke sweep (~200 schedules):
+//! cargo run --release -p bcc-bench --bin chaos -- --smoke
+//!
+//! # One seed, verbosely:
+//! cargo run --release -p bcc-bench --bin chaos -- --seed 42
+//!
+//! # Re-execute a failure artifact bit-identically:
+//! cargo run --release -p bcc-bench --bin chaos -- --replay chaos-failure-42.json
+//!
+//! # Record a passing seed as a regression artifact:
+//! cargo run --release -p bcc-bench --bin chaos -- --seed 7 --save tests/chaos_corpus/seed7.json
+//! ```
+//!
+//! On a violation the schedule is shrunk to a minimal failing prefix and
+//! written as `chaos-failure-<seed>.json` (override the directory with
+//! `--out <dir>`); the process exits with status 1. `--nemesis <name>`
+//! enables a deliberate state-corruption hook (e.g. `crt-stale`) to prove
+//! the oracles catch broken builds.
+
+use std::process::ExitCode;
+
+use bcc_simnet::chaos::{capture, ChaosConfig, ReplayArtifact};
+
+struct Args {
+    seeds: u64,
+    seed: Option<u64>,
+    steps: usize,
+    universe: usize,
+    replay: Option<String>,
+    nemesis: Option<String>,
+    save: Option<String>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        seeds: 1000,
+        seed: None,
+        steps: ChaosConfig::default().steps,
+        universe: ChaosConfig::default().universe,
+        replay: None,
+        nemesis: None,
+        save: None,
+        out: ".".to_string(),
+    };
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.seeds = 200,
+            "--seeds" => {
+                args.seeds = value(&argv, i, "--seeds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+                i += 1;
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value(&argv, i, "--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                );
+                i += 1;
+            }
+            "--steps" => {
+                args.steps = value(&argv, i, "--steps")?
+                    .parse()
+                    .map_err(|e| format!("bad --steps: {e}"))?;
+                i += 1;
+            }
+            "--universe" => {
+                args.universe = value(&argv, i, "--universe")?
+                    .parse()
+                    .map_err(|e| format!("bad --universe: {e}"))?;
+                i += 1;
+            }
+            "--replay" => {
+                args.replay = Some(value(&argv, i, "--replay")?);
+                i += 1;
+            }
+            "--nemesis" => {
+                args.nemesis = Some(value(&argv, i, "--nemesis")?);
+                i += 1;
+            }
+            "--save" => {
+                args.save = Some(value(&argv, i, "--save")?);
+                i += 1;
+            }
+            "--out" => {
+                args.out = value(&argv, i, "--out")?;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn replay_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let artifact = ReplayArtifact::from_json(&text)?;
+    println!(
+        "replaying {path}: seed {}, universe {}, {} events{}",
+        artifact.seed,
+        artifact.universe,
+        artifact.schedule.len(),
+        match &artifact.nemesis {
+            Some(n) => format!(", nemesis {n}"),
+            None => String::new(),
+        }
+    );
+    artifact.replay()?;
+    match &artifact.violation {
+        Some(v) => println!("reproduced bit-identically: {v}"),
+        None => println!(
+            "reproduced bit-identically: passed, final digest {:?}",
+            artifact.final_digest
+        ),
+    }
+    Ok(())
+}
+
+fn run_seed(seed: u64, args: &Args) -> Result<bool, String> {
+    let cfg = ChaosConfig {
+        universe: args.universe,
+        steps: args.steps,
+    };
+    let artifact = capture(seed, &cfg, args.nemesis.as_deref())?;
+    if let Some(path) = &args.save {
+        std::fs::write(path, artifact.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("saved seed {seed} artifact to {path}");
+    }
+    match &artifact.violation {
+        None => Ok(true),
+        Some(v) => {
+            let path = format!("{}/chaos-failure-{seed}.json", args.out);
+            std::fs::write(&path, artifact.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("seed {seed} VIOLATION: {v}");
+            eprintln!(
+                "shrunk to {} events; replay artifact written to {path}",
+                artifact.schedule.len()
+            );
+            eprintln!("re-execute with: bcc-bench chaos --replay {path}");
+            Ok(false)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if let Some(path) = &args.replay {
+        replay_file(path)?;
+        return Ok(ExitCode::SUCCESS);
+    }
+    let start = std::time::Instant::now();
+    let seeds: Vec<u64> = match args.seed {
+        Some(s) => vec![s],
+        None => (0..args.seeds).collect(),
+    };
+    println!(
+        "chaos: {} schedule(s), universe {}, {} steps each{}",
+        seeds.len(),
+        args.universe,
+        args.steps,
+        match &args.nemesis {
+            Some(n) => format!(", nemesis {n}"),
+            None => String::new(),
+        }
+    );
+    for (done, &seed) in seeds.iter().enumerate() {
+        if !run_seed(seed, &args)? {
+            return Ok(ExitCode::FAILURE);
+        }
+        if (done + 1) % 100 == 0 {
+            println!("  {} / {} seeds clean", done + 1, seeds.len());
+        }
+    }
+    println!(
+        "all {} schedule(s) passed every oracle in {:.1?}",
+        seeds.len(),
+        start.elapsed()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -242,6 +242,20 @@ impl ClusterNode {
         self.aggr_crt.get(&v).map_or(0, |row| row[class_idx])
     }
 
+    /// Audit accessor: the `aggrNode[v]` record currently stored for
+    /// neighbor `v`, or `None` when no Algorithm 2 message from `v` has
+    /// been received yet. Used by consistency oracles to cross-check the
+    /// gossip state against the live framework without mutating the node.
+    pub fn aggr_node_for(&self, v: NodeId) -> Option<&[NodeId]> {
+        self.aggr_node.get(&v).map(Vec::as_slice)
+    }
+
+    /// Audit accessor: the number of bandwidth classes this node tracks
+    /// (the length of every CRT row).
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
     /// Algorithm 4, local half: answers `(k, class_idx)` from the local
     /// clustering space if `aggrCRT[x][l]` admits it.
     pub fn answer_locally(

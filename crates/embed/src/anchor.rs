@@ -189,6 +189,85 @@ impl AnchorTree {
         Ok(())
     }
 
+    /// Audits the tree's structural invariants and returns a description
+    /// of the first violation found, if any:
+    ///
+    /// - the root is present, has no parent, and is the only parentless host;
+    /// - every parent/child link is mutually consistent and both endpoints
+    ///   are present;
+    /// - no child appears twice in a child list;
+    /// - every present host is reachable from the root (connectivity).
+    ///
+    /// Intended for chaos/invariant oracles; `Ok(())` on an empty tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::Inconsistent`] describing the violation.
+    pub fn check_invariants(&self) -> Result<(), EmbedError> {
+        let bad = |detail: String| Err(EmbedError::Inconsistent(detail));
+        let Some(root) = self.root else {
+            if self.present.iter().any(|&p| p) {
+                return bad("hosts present but no root".into());
+            }
+            return Ok(());
+        };
+        if !self.contains(root) {
+            return bad(format!("root {root} is not marked present"));
+        }
+        if self.parent(root).is_some() {
+            return bad(format!("root {root} has a parent"));
+        }
+        for idx in 0..self.present.len() {
+            let host = NodeId::new(idx);
+            if !self.present[idx] {
+                if self.parent[idx].is_some() {
+                    return bad(format!("absent host {host} has a parent link"));
+                }
+                if !self.children[idx].is_empty() {
+                    return bad(format!("absent host {host} has children"));
+                }
+                continue;
+            }
+            match self.parent[idx] {
+                None if host != root => {
+                    return bad(format!("host {host} is parentless but is not the root"));
+                }
+                Some(p) => {
+                    if !self.contains(p) {
+                        return bad(format!("host {host} has absent parent {p}"));
+                    }
+                    if !self.children(p).contains(&host) {
+                        return bad(format!("parent {p} does not list child {host}"));
+                    }
+                }
+                None => {}
+            }
+            let mut seen = self.children[idx].clone();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            if seen.len() != before {
+                return bad(format!("host {host} lists a duplicate child"));
+            }
+            for &c in &self.children[idx] {
+                if !self.contains(c) {
+                    return bad(format!("host {host} lists absent child {c}"));
+                }
+                if self.parent(c) != Some(host) {
+                    return bad(format!("child {c} does not point back to parent {host}"));
+                }
+            }
+        }
+        let reachable = self.bfs_order().len();
+        if reachable != self.len() {
+            return bad(format!(
+                "{} hosts present but only {reachable} reachable from the root",
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Maximum number of overlay neighbors over all hosts — the paper's
     /// `max{n_neigh}` bound in the decentralization tradeoff discussion.
     pub fn max_degree(&self) -> usize {
@@ -311,6 +390,30 @@ mod tests {
         // Can re-root afterwards.
         t.add_root(n(5)).unwrap();
         assert_eq!(t.root(), Some(n(5)));
+    }
+
+    #[test]
+    fn invariants_hold_on_well_formed_trees() {
+        assert!(AnchorTree::new().check_invariants().is_ok());
+        assert!(sample().check_invariants().is_ok());
+        let mut t = sample();
+        t.remove_leaf(n(4)).unwrap();
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_catch_corruption() {
+        // Break the parent/children symmetry by hand.
+        let mut t = sample();
+        t.children[n(1).index()].retain(|&c| c != n(3));
+        let err = t.check_invariants().unwrap_err();
+        assert!(matches!(err, EmbedError::Inconsistent(_)));
+        assert!(err.to_string().contains("n3"));
+
+        // Orphan a subtree: present host whose parent link is gone.
+        let mut t = sample();
+        t.parent[n(1).index()] = None;
+        assert!(t.check_invariants().is_err());
     }
 
     #[test]

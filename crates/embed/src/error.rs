@@ -23,6 +23,10 @@ pub enum EmbedError {
         /// Number of hosts present.
         actual: usize,
     },
+    /// An internal-consistency audit found the framework state corrupted
+    /// (anchor tree, labels and prediction tree disagree). The payload
+    /// describes the first violated invariant.
+    Inconsistent(String),
 }
 
 impl fmt::Display for EmbedError {
@@ -35,6 +39,9 @@ impl fmt::Display for EmbedError {
             }
             EmbedError::TooFewHosts { required, actual } => {
                 write!(f, "operation needs {required} hosts, tree has {actual}")
+            }
+            EmbedError::Inconsistent(detail) => {
+                write!(f, "framework state is inconsistent: {detail}")
             }
         }
     }

@@ -495,6 +495,57 @@ impl PredictionFramework {
         self.tree.to_distance_matrix()
     }
 
+    /// Audits the framework's cross-structure integrity: prediction-tree
+    /// invariants, anchor-tree invariants, host-set agreement between the
+    /// two trees, a label for every host, and label distances matching tree
+    /// distances on every pair. Read-only; intended for chaos/invariant
+    /// oracles after churn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::Inconsistent`] describing the first violation.
+    pub fn check_integrity(&self) -> Result<(), EmbedError> {
+        self.tree
+            .check_invariants()
+            .map_err(|detail| EmbedError::Inconsistent(format!("prediction tree: {detail}")))?;
+        self.anchor.check_invariants()?;
+        let hosts = self.tree.hosts();
+        if hosts.len() != self.anchor.len() {
+            return Err(EmbedError::Inconsistent(format!(
+                "prediction tree has {} hosts, anchor tree has {}",
+                hosts.len(),
+                self.anchor.len()
+            )));
+        }
+        for &h in &hosts {
+            if !self.anchor.contains(h) {
+                return Err(EmbedError::Inconsistent(format!(
+                    "host {h} embedded but missing from the anchor tree"
+                )));
+            }
+            if self.label(h).is_none() {
+                return Err(EmbedError::Inconsistent(format!("host {h} has no label")));
+            }
+        }
+        for &u in &hosts {
+            for &v in &hosts {
+                let by_tree = self.tree.distance(u, v).ok_or_else(|| {
+                    EmbedError::Inconsistent(format!("tree distance ({u},{v}) unavailable"))
+                })?;
+                let by_label = self.label_distance(u, v).ok_or_else(|| {
+                    EmbedError::Inconsistent(format!("label distance ({u},{v}) unavailable"))
+                })?;
+                let tol = 1e-6 * (1.0 + by_tree.abs());
+                if (by_tree - by_label).abs() > tol {
+                    return Err(EmbedError::Inconsistent(format!(
+                        "label distance ({u},{v}) = {by_label} disagrees with tree distance {by_tree}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn set_label(&mut self, host: NodeId, label: DistanceLabel) {
         if self.labels.len() <= host.index() {
             self.labels.resize(host.index() + 1, None);
@@ -732,6 +783,31 @@ mod tests {
                 assert!((fw.distance(n(i), n(j)).unwrap() - d.get(i, j)).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn integrity_check_passes_through_churn() {
+        let d = caterpillar(10);
+        let oracle = |a: NodeId, b: NodeId| d.get(a.index(), b.index());
+        let mut fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        fw.check_integrity().unwrap();
+        fw.leave(n(3), oracle).unwrap();
+        fw.check_integrity().unwrap();
+        fw.join(n(3), oracle).unwrap();
+        fw.check_integrity().unwrap();
+        assert!(PredictionFramework::new(FrameworkConfig::default())
+            .check_integrity()
+            .is_ok());
+    }
+
+    #[test]
+    fn integrity_check_catches_missing_label() {
+        let d = star(&[1.0, 2.0, 3.0]);
+        let mut fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        fw.labels[1] = None;
+        let err = fw.check_integrity().unwrap_err();
+        assert!(matches!(err, EmbedError::Inconsistent(_)));
+        assert!(err.to_string().contains("label"));
     }
 
     #[test]

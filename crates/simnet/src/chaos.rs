@@ -1,0 +1,1264 @@
+//! Deterministic chaos harness: schedule exploration, invariant oracles,
+//! shrinking and replay for the decentralized stack.
+//!
+//! FoundationDB-style simulation testing for [`DynamicSystem`]: a single
+//! `u64` seed expands into a random *schedule* interleaving membership
+//! churn (joins, leaves, crashes, recoveries), [`FaultPlan`] disturbances
+//! (loss, duplication, delay, partitions, node outages) and concurrent
+//! queries. After every step three oracle families run:
+//!
+//! - **Safety** — every answered query's cluster has at least `k` distinct
+//!   members, all of them live, and every pair within the snapped class's
+//!   distance bound on the predicted metric; a crashed submission host
+//!   never answers.
+//! - **Consistency** — gossip state (aggrNode records, CRT rows, local
+//!   maxima) is mutually consistent across every overlay edge and agrees
+//!   with a fresh recomputation from the live framework; the framework's
+//!   own cross-structure integrity holds ([`bcc_embed::PredictionFramework::check_integrity`]).
+//! - **Liveness** — after every step's faults heal, the overlay
+//!   re-converges within the configured round cap and its digest
+//!   bit-matches the fixpoint a cold restart of the same membership
+//!   reaches.
+//!
+//! On a violation the schedule is *shrunk* with delta debugging
+//! ([`shrink_schedule`], re-running each candidate deterministically) to a
+//! minimal failing prefix, and a [`ReplayArtifact`] (seed + shrunk
+//! schedule as JSON) is emitted that `bcc-bench chaos --replay <file>`
+//! re-executes bit-identically.
+//!
+//! Everything is deterministic: the same seed and schedule always produce
+//! the same outcome, including the final state digest — which is why
+//! passing artifacts double as regression pins (see
+//! `tests/chaos_regressions.rs`).
+
+use std::collections::BTreeSet;
+
+use bcc_core::{max_cluster_size, BandwidthClasses, RetryPolicy};
+use bcc_metric::{BandwidthMatrix, DistanceMatrix, NodeId, RationalTransform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::churn::{ChurnError, DynamicSystem};
+use crate::fault::FaultPlan;
+use crate::json::{self, Json};
+use crate::system::SystemConfig;
+
+/// Access-link capacities hosts are drawn from (Mbps), mirroring the
+/// paper's fast/medium/slow population mix.
+const CAPS: [f64; 3] = [10.0, 30.0, 100.0];
+
+/// Bandwidth class thresholds every chaos universe clusters against.
+const CLASS_BOUNDS: [f64; 2] = [25.0, 60.0];
+
+/// Tunables for schedule generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Hosts in the measurement universe (ids `0..universe`).
+    pub universe: usize,
+    /// Random events generated after the initial joins.
+    pub steps: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            universe: 8,
+            steps: 24,
+        }
+    }
+}
+
+/// One step of a chaos schedule.
+///
+/// Hosts are referenced by universe index so schedules serialize plainly;
+/// fault events are self-contained (inject, run the faulty window, heal,
+/// re-converge) so any subsequence of a schedule is itself a valid
+/// schedule — the property delta debugging relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosEvent {
+    /// Graceful join (also how a crashed host cold-restarts).
+    Join {
+        /// Universe index of the joining host.
+        host: usize,
+    },
+    /// Graceful leave; anchor descendants are re-embedded.
+    Leave {
+        /// Universe index of the leaving host.
+        host: usize,
+    },
+    /// Framework-level crash: involuntary leave, host remembered as dead.
+    Crash {
+        /// Universe index of the crashing host.
+        host: usize,
+    },
+    /// Recovery of a crashed host through the join path.
+    Recover {
+        /// Universe index of the recovering host.
+        host: usize,
+    },
+    /// A failure-aware query submitted at `start`.
+    Query {
+        /// Submission host (universe index).
+        start: usize,
+        /// Requested cluster size.
+        k: usize,
+        /// Requested bandwidth bound (Mbps).
+        bandwidth: f64,
+    },
+    /// Uniform message loss for a bounded window of rounds, then heal.
+    Loss {
+        /// Drop probability in `[0, 1]`.
+        loss: f64,
+        /// Rounds the loss stays active.
+        rounds: usize,
+    },
+    /// Message duplication on every overlay edge for a bounded window.
+    Duplicate {
+        /// Duplication probability in `[0, 1]`.
+        dup: f64,
+        /// Rounds the duplication stays active.
+        rounds: usize,
+    },
+    /// Extra per-message latency on every overlay edge for a window.
+    Delay {
+        /// Extra delay in rounds added to each delivery.
+        extra: usize,
+        /// Rounds the spike stays active.
+        rounds: usize,
+    },
+    /// Network partition cutting `group` off for a window, then heal.
+    Partition {
+        /// Universe indices of the cut-off group.
+        group: Vec<usize>,
+        /// Rounds the partition stays active.
+        rounds: usize,
+    },
+    /// Injector-level node outage: the host falls silent (state frozen),
+    /// then cold-restarts in place — membership never changes, so
+    /// survivors route around stale CRT state.
+    Outage {
+        /// Universe index of the host taken down.
+        host: usize,
+        /// Rounds the host stays down.
+        rounds: usize,
+    },
+}
+
+/// An invariant violation found while executing a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the schedule event after which the oracle fired.
+    pub step: usize,
+    /// Oracle family: `"safety"`, `"consistency"` or `"liveness"`.
+    pub oracle: String,
+    /// Human-readable description of the violated invariant.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step {}: {} oracle: {}",
+            self.step, self.oracle, self.detail
+        )
+    }
+}
+
+/// The result of executing one schedule to completion (or first violation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosOutcome {
+    /// Every step passed every oracle.
+    Passed {
+        /// Digest of the final overlay state (`None` if no host was
+        /// active at the end) — the bit-reproducibility anchor replay
+        /// artifacts pin.
+        final_digest: Option<u64>,
+    },
+    /// An oracle fired; execution stopped at the violating step.
+    Violated(Violation),
+}
+
+/// Expands a seed into the universe's ground-truth bandwidth matrix.
+fn universe_bandwidth(seed: u64, universe: usize) -> BandwidthMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBCC0_CAB5);
+    let caps: Vec<f64> = (0..universe)
+        .map(|_| CAPS[rng.gen_range(0..CAPS.len())])
+        .collect();
+    BandwidthMatrix::from_fn(universe, |i, j| caps[i].min(caps[j]))
+}
+
+fn chaos_classes() -> BandwidthClasses {
+    BandwidthClasses::new(CLASS_BOUNDS.to_vec(), RationalTransform::default())
+}
+
+/// Deterministically expands `seed` into a schedule of
+/// `min(4, universe)` initial joins followed by `cfg.steps` random events.
+///
+/// The generator tracks a model of the membership so generated events are
+/// well-targeted (leaves pick active hosts, recoveries pick crashed ones),
+/// but executing any *subsequence* is still meaningful: events whose
+/// target is in the wrong state skip benignly (see [`run_schedule`]).
+pub fn generate_schedule(seed: u64, cfg: &ChaosConfig) -> Vec<ChaosEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.universe;
+    let mut active: BTreeSet<usize> = BTreeSet::new();
+    let mut crashed: BTreeSet<usize> = BTreeSet::new();
+    let mut events = Vec::with_capacity(cfg.steps + 4);
+    for host in 0..n.min(4) {
+        events.push(ChaosEvent::Join { host });
+        active.insert(host);
+    }
+    let pick = |set: &BTreeSet<usize>, rng: &mut StdRng| -> usize {
+        let idx = rng.gen_range(0..set.len());
+        *set.iter().nth(idx).expect("index in range")
+    };
+    for _ in 0..cfg.steps {
+        let roll = rng.gen_range(0..100u32);
+        let joinable: Vec<usize> = (0..n)
+            .filter(|h| !active.contains(h) && !crashed.contains(h))
+            .collect();
+        let event = match roll {
+            0..=14 if !joinable.is_empty() => {
+                let host = joinable[rng.gen_range(0..joinable.len())];
+                active.insert(host);
+                ChaosEvent::Join { host }
+            }
+            15..=26 if active.len() > 2 => {
+                let host = pick(&active, &mut rng);
+                active.remove(&host);
+                ChaosEvent::Leave { host }
+            }
+            27..=36 if active.len() > 2 => {
+                let host = pick(&active, &mut rng);
+                active.remove(&host);
+                crashed.insert(host);
+                ChaosEvent::Crash { host }
+            }
+            37..=46 if !crashed.is_empty() => {
+                let host = pick(&crashed, &mut rng);
+                crashed.remove(&host);
+                active.insert(host);
+                ChaosEvent::Recover { host }
+            }
+            72..=78 => ChaosEvent::Loss {
+                loss: rng.gen_range(0.05..0.35),
+                rounds: rng.gen_range(4..16),
+            },
+            79..=83 => ChaosEvent::Duplicate {
+                dup: rng.gen_range(0.1..0.9),
+                rounds: rng.gen_range(4..12),
+            },
+            84..=88 => ChaosEvent::Delay {
+                extra: rng.gen_range(1..4),
+                rounds: rng.gen_range(4..12),
+            },
+            89..=94 if active.len() >= 4 => {
+                let size = rng.gen_range(1..=active.len() / 2);
+                let mut group = Vec::with_capacity(size);
+                let mut pool = active.clone();
+                for _ in 0..size {
+                    let h = pick(&pool, &mut rng);
+                    pool.remove(&h);
+                    group.push(h);
+                }
+                ChaosEvent::Partition {
+                    group,
+                    rounds: rng.gen_range(5..15),
+                }
+            }
+            95..=99 if active.len() > 2 => ChaosEvent::Outage {
+                host: pick(&active, &mut rng),
+                rounds: rng.gen_range(3..10),
+            },
+            // Everything else (including guarded arms whose precondition
+            // failed) degenerates to a query against the live membership.
+            _ if !active.is_empty() => ChaosEvent::Query {
+                start: pick(&active, &mut rng),
+                k: rng.gen_range(1..=active.len().min(4)),
+                bandwidth: CLASS_BOUNDS[rng.gen_range(0..CLASS_BOUNDS.len())],
+            },
+            _ => {
+                // Nobody active and nothing joinable cannot happen (initial
+                // joins precede this loop), but stay total anyway.
+                ChaosEvent::Join { host: 0 }
+            }
+        };
+        events.push(event);
+    }
+    events
+}
+
+/// Executes a schedule with the default (inert) nemesis hook.
+///
+/// See [`run_schedule_with`].
+pub fn run_schedule(seed: u64, cfg: &ChaosConfig, events: &[ChaosEvent]) -> ChaosOutcome {
+    run_schedule_with(seed, cfg, events, |_, _| {})
+}
+
+/// Executes a schedule step by step, running every oracle after each step.
+///
+/// `nemesis` is called after each event is applied and before the oracles
+/// run — a hook for deliberately corrupting state to prove the oracles
+/// catch it (the harness's broken-build self-check; see [`nemesis_hook`]).
+///
+/// Events whose target is in the wrong state (double join, leave of an
+/// absent host, fault with no live overlay) *skip benignly*, which keeps
+/// every subsequence of a schedule executable — the property
+/// [`shrink_schedule`]'s delta debugging relies on. A
+/// [`ChurnError::Convergence`] is never benign: it is a liveness
+/// violation.
+pub fn run_schedule_with(
+    seed: u64,
+    cfg: &ChaosConfig,
+    events: &[ChaosEvent],
+    mut nemesis: impl FnMut(&mut DynamicSystem, usize),
+) -> ChaosOutcome {
+    let bandwidth = universe_bandwidth(seed, cfg.universe);
+    let sys_cfg = SystemConfig::new(chaos_classes());
+    let max_rounds = sys_cfg.max_rounds;
+    let mut sys = match DynamicSystem::try_new(bandwidth, sys_cfg) {
+        Ok(sys) => sys,
+        Err(e) => {
+            return ChaosOutcome::Violated(Violation {
+                step: 0,
+                oracle: "consistency".into(),
+                detail: format!("chaos config rejected: {e}"),
+            });
+        }
+    };
+    let retry = RetryPolicy::default();
+
+    for (step, event) in events.iter().enumerate() {
+        // Deterministic per-step seed for fault-plan randomness, derived
+        // from the run seed alone so replaying a shrunk schedule feeds
+        // each surviving event a seed that depends only on its position.
+        let plan_seed = seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if let Err(v) = apply_event(&mut sys, step, event, plan_seed, max_rounds, &retry) {
+            return ChaosOutcome::Violated(v);
+        }
+        nemesis(&mut sys, step);
+        if let Err(v) = check_oracles(&sys, step) {
+            return ChaosOutcome::Violated(v);
+        }
+    }
+    ChaosOutcome::Passed {
+        final_digest: sys.network().map(|net| net.digest()),
+    }
+}
+
+/// Applies one event; `Err` is an oracle violation, benign skips are `Ok`.
+fn apply_event(
+    sys: &mut DynamicSystem,
+    step: usize,
+    event: &ChaosEvent,
+    plan_seed: u64,
+    max_rounds: usize,
+    retry: &RetryPolicy,
+) -> Result<(), Violation> {
+    let liveness = |detail: String| Violation {
+        step,
+        oracle: "liveness".into(),
+        detail,
+    };
+    let churn = |r: Result<(), ChurnError>| match r {
+        Ok(()) | Err(ChurnError::Embed(_)) => Ok(()),
+        Err(e @ ChurnError::Convergence { .. }) => Err(liveness(e.to_string())),
+    };
+    match event {
+        ChaosEvent::Join { host } => churn(sys.join(NodeId::new(*host))),
+        ChaosEvent::Leave { host } => churn(sys.leave(NodeId::new(*host))),
+        ChaosEvent::Crash { host } => churn(sys.crash(NodeId::new(*host))),
+        ChaosEvent::Recover { host } => churn(sys.recover(NodeId::new(*host))),
+        ChaosEvent::Query {
+            start,
+            k,
+            bandwidth,
+        } => check_query(sys, step, NodeId::new(*start), *k, *bandwidth, retry),
+        ChaosEvent::Loss { loss, rounds } => {
+            run_fault_window(sys, max_rounds, *rounds, false, |t0| {
+                FaultPlan::new(plan_seed).uniform_loss(t0, loss.clamp(0.0, 1.0), None)
+            })
+            .map_err(liveness)
+        }
+        ChaosEvent::Duplicate { dup, rounds } => {
+            let edges = overlay_edges(sys);
+            run_fault_window(sys, max_rounds, *rounds, false, |t0| {
+                let mut plan = FaultPlan::new(plan_seed);
+                for &(u, v) in &edges {
+                    plan = plan.link_duplicate(t0, u, v, dup.clamp(0.0, 1.0), None);
+                }
+                plan
+            })
+            .map_err(liveness)
+        }
+        ChaosEvent::Delay { extra, rounds } => {
+            let edges = overlay_edges(sys);
+            let extra = *extra as f64;
+            run_fault_window(sys, max_rounds, *rounds, false, |t0| {
+                let mut plan = FaultPlan::new(plan_seed);
+                for &(u, v) in &edges {
+                    plan = plan.latency_spike(t0, u, v, (extra, extra), None);
+                }
+                plan
+            })
+            .map_err(liveness)
+        }
+        ChaosEvent::Partition { group, rounds } => {
+            let members: Vec<NodeId> = group
+                .iter()
+                .map(|&h| NodeId::new(h))
+                .filter(|&h| sys.active().any(|a| a == h))
+                .collect();
+            // A partition needs live hosts on both sides; otherwise skip.
+            if members.is_empty() || members.len() >= sys.len() {
+                return Ok(());
+            }
+            run_fault_window(sys, max_rounds, *rounds, false, |t0| {
+                FaultPlan::new(plan_seed).partition(t0, members.clone(), None)
+            })
+            .map_err(liveness)
+        }
+        ChaosEvent::Outage { host, rounds } => {
+            let node = NodeId::new(*host);
+            if !sys.active().any(|a| a == node) || sys.len() <= 1 {
+                return Ok(());
+            }
+            let down_for = *rounds as f64;
+            run_fault_window(sys, max_rounds, *rounds, true, |t0| {
+                FaultPlan::new(plan_seed).crash_recover(t0, node, down_for)
+            })
+            .map_err(liveness)
+        }
+    }
+}
+
+/// Directed overlay edges of the live network (both directions).
+fn overlay_edges(sys: &DynamicSystem) -> Vec<(NodeId, NodeId)> {
+    let anchor = sys.framework().anchor();
+    anchor
+        .bfs_order()
+        .into_iter()
+        .flat_map(|h| anchor.neighbors(h).into_iter().map(move |v| (h, v)))
+        .collect()
+}
+
+/// Self-contained fault window: inject the plan (timed from the current
+/// round), run `rounds` faulty rounds (one extra when the plan schedules
+/// its own recovery, so the heal transition fires and resets the node),
+/// heal everything by detaching the injector, and re-converge.
+///
+/// `Err` carries the liveness failure description.
+fn run_fault_window(
+    sys: &mut DynamicSystem,
+    max_rounds: usize,
+    rounds: usize,
+    self_healing: bool,
+    build_plan: impl FnOnce(f64) -> FaultPlan,
+) -> Result<(), String> {
+    let Some(net) = sys.network_mut() else {
+        return Ok(());
+    };
+    let t0 = net.rounds_run() as f64;
+    net.inject_faults(&build_plan(t0));
+    let window = if self_healing { rounds + 1 } else { rounds };
+    for _ in 0..window {
+        net.run_round();
+    }
+    net.clear_fault_injector();
+    match net.run_to_convergence(max_rounds) {
+        Some(_) => Ok(()),
+        None => Err(format!(
+            "overlay still changing {max_rounds} rounds after the fault healed"
+        )),
+    }
+}
+
+/// Safety oracle for one query.
+fn check_query(
+    sys: &DynamicSystem,
+    step: usize,
+    start: NodeId,
+    k: usize,
+    bandwidth: f64,
+    retry: &RetryPolicy,
+) -> Result<(), Violation> {
+    let safety = |detail: String| Violation {
+        step,
+        oracle: "safety".into(),
+        detail,
+    };
+    let result = sys.query_resilient(start, k, bandwidth, retry);
+    if sys.is_crashed(start) {
+        return match result {
+            Err(_) => Ok(()),
+            Ok(_) => Err(safety(format!("crashed host {start} answered a query"))),
+        };
+    }
+    let out = match result {
+        Ok(out) => out,
+        // Inactive start, unreachable class, k = 0 … — benign here; the
+        // typed-error paths have their own unit and property tests.
+        Err(_) => return Ok(()),
+    };
+    let Some(cluster) = out.cluster else {
+        return Ok(());
+    };
+    if cluster.len() < k {
+        return Err(safety(format!(
+            "answered cluster has {} members, query asked k = {k}",
+            cluster.len()
+        )));
+    }
+    let mut distinct: BTreeSet<NodeId> = BTreeSet::new();
+    for &member in &cluster {
+        if !distinct.insert(member) {
+            return Err(safety(format!("duplicate member {member} in {cluster:?}")));
+        }
+        if sys.is_crashed(member) {
+            return Err(safety(format!("crashed host {member} in {cluster:?}")));
+        }
+        if !sys.active().any(|a| a == member) {
+            return Err(safety(format!("inactive host {member} in {cluster:?}")));
+        }
+    }
+    let classes = &sys.config().protocol.classes;
+    let class_idx = match classes.snap_up(bandwidth) {
+        Ok(idx) => idx,
+        Err(e) => {
+            return Err(safety(format!(
+                "query for b = {bandwidth} answered but no class admits it: {e}"
+            )));
+        }
+    };
+    let bound = classes.distance_of(class_idx);
+    for (i, &u) in cluster.iter().enumerate() {
+        for &v in &cluster[i + 1..] {
+            let Some(d) = sys.framework().distance(u, v) else {
+                return Err(safety(format!(
+                    "no predicted distance between members {u} and {v}"
+                )));
+            };
+            if d > bound + 1e-9 {
+                return Err(safety(format!(
+                    "members {u}, {v} at predicted distance {d} exceed the \
+                     class bound {bound} for b = {bandwidth}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Consistency + liveness oracles over the post-step fixpoint.
+fn check_oracles(sys: &DynamicSystem, step: usize) -> Result<(), Violation> {
+    let consistency = |detail: String| Violation {
+        step,
+        oracle: "consistency".into(),
+        detail,
+    };
+    let fw = sys.framework();
+    fw.check_integrity()
+        .map_err(|e| consistency(e.to_string()))?;
+    let anchor = fw.anchor();
+    if anchor.len() != sys.len() {
+        return Err(consistency(format!(
+            "anchor tree has {} hosts, {} are active",
+            anchor.len(),
+            sys.len()
+        )));
+    }
+    for host in sys.active() {
+        if !anchor.contains(host) {
+            return Err(consistency(format!(
+                "active host {host} missing from the anchor tree"
+            )));
+        }
+    }
+    for host in sys.crashed() {
+        if anchor.contains(host) {
+            return Err(consistency(format!(
+                "crashed host {host} still in the anchor tree"
+            )));
+        }
+    }
+
+    let Some(net) = sys.network() else {
+        return if sys.is_empty() {
+            Ok(())
+        } else {
+            Err(consistency(format!(
+                "{} hosts active but no overlay network",
+                sys.len()
+            )))
+        };
+    };
+    let classes = &sys.config().protocol.classes;
+    let n_cut = sys.config().protocol.n_cut;
+    let nodes = net.nodes();
+    // Recompute through the same symmetrized matrix construction the
+    // overlay was built with: framework tree distances can differ by an
+    // ULP between directions (path-summation order), and the engine only
+    // ever sees the `i < j` triangle.
+    let predicted = DistanceMatrix::from_fn(nodes.len(), |i, j| {
+        fw.distance(NodeId::new(i), NodeId::new(j)).unwrap_or(0.0)
+    });
+    let dist = |a: NodeId, b: NodeId| predicted.get(a.index(), b.index());
+    for host in sys.active() {
+        let node = &nodes[host.index()];
+        let expected_neighbors = anchor.neighbors(host);
+        if node.neighbors() != expected_neighbors.as_slice() {
+            return Err(consistency(format!(
+                "host {host} gossips with {:?} but anchors to {expected_neighbors:?}",
+                node.neighbors()
+            )));
+        }
+        if node.class_count() != classes.len() || node.own_max().len() != classes.len() {
+            return Err(consistency(format!(
+                "host {host} tracks {} classes, system has {}",
+                node.class_count(),
+                classes.len()
+            )));
+        }
+        // Local maxima must equal a fresh recomputation over the node's
+        // clustering space — the check that catches frozen/corrupted
+        // aggrCRT[x] state no matter how the digest masks it.
+        let space = node.clustering_space();
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        for (class_idx, &l) in classes.distances().iter().enumerate() {
+            let fresh = max_cluster_size(&local, l);
+            if node.own_max()[class_idx] != fresh {
+                return Err(consistency(format!(
+                    "host {host} claims own_max[{class_idx}] = {}, recomputation gives {fresh}",
+                    node.own_max()[class_idx]
+                )));
+            }
+        }
+        for &v in node.neighbors() {
+            let peer = &nodes[v.index()];
+            // Algorithm 2 state: the record stored for v equals what v
+            // would send right now.
+            let expected_info = peer
+                .node_info_for(host, n_cut, dist)
+                .map_err(|e| consistency(format!("{v} cannot report to {host}: {e}")))?;
+            match node.aggr_node_for(v) {
+                Some(stored) if stored == expected_info.as_slice() => {}
+                stored => {
+                    return Err(consistency(format!(
+                        "host {host} stores aggrNode[{v}] = {stored:?}, \
+                         {v} currently reports {expected_info:?}"
+                    )));
+                }
+            }
+            // Algorithm 3 state: the CRT row stored from v equals what v
+            // would propagate right now.
+            let expected_row = peer
+                .crt_for(host)
+                .map_err(|e| consistency(format!("{v} has no CRT row for {host}: {e}")))?;
+            for (class_idx, &expected) in expected_row.iter().enumerate() {
+                let stored = node.crt_entry(v, class_idx);
+                if stored != expected {
+                    return Err(consistency(format!(
+                        "host {host} stores aggrCRT[{v}][{class_idx}] = {stored}, \
+                         {v} currently propagates {expected}"
+                    )));
+                }
+            }
+        }
+    }
+
+    // Liveness: the settled overlay must sit on the exact fixpoint a cold
+    // restart of the same membership reaches (PR 1's recovery criterion).
+    let expected = sys.cold_restart_digest().map_err(|e| Violation {
+        step,
+        oracle: "liveness".into(),
+        detail: format!("cold-restart reference did not converge: {e}"),
+    })?;
+    let live = net.digest();
+    if expected != Some(live) {
+        return Err(Violation {
+            step,
+            oracle: "liveness".into(),
+            detail: format!(
+                "live overlay digest {live} differs from the cold-restart fixpoint {expected:?}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Delta-debugging (ddmin) shrink: finds a 1-minimal failing subsequence
+/// of `events` under `check` (which must re-run the schedule
+/// deterministically and return the violation, if any).
+///
+/// # Panics
+///
+/// Panics if the full schedule does not fail — shrinking an already
+/// passing schedule is a caller bug.
+pub fn shrink_schedule(
+    events: &[ChaosEvent],
+    mut check: impl FnMut(&[ChaosEvent]) -> Option<Violation>,
+) -> (Vec<ChaosEvent>, Violation) {
+    let mut current = events.to_vec();
+    let mut violation = check(&current).expect("shrink_schedule needs a failing schedule");
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if let Some(v) = check(&candidate) {
+                current = candidate;
+                violation = v;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    (current, violation)
+}
+
+/// A named state-corruption hook for the harness's broken-build
+/// self-check: `"crt-stale"` silently overwrites one stored CRT row per
+/// step (a lost Algorithm 3 propagation), which the consistency oracle
+/// must catch. Returns `None` for unknown names.
+pub fn nemesis_hook(name: &str) -> Option<fn(&mut DynamicSystem, usize)> {
+    match name {
+        "crt-stale" => Some(crt_stale_nemesis),
+        _ => None,
+    }
+}
+
+/// Simulates a skipped CRT propagation: the first host with a neighbor
+/// gets a bogus stale row written into its aggrCRT store.
+fn crt_stale_nemesis(sys: &mut DynamicSystem, _step: usize) {
+    let Some(net) = sys.network_mut() else {
+        return;
+    };
+    let class_count = net.config().classes.len();
+    let target = net
+        .nodes()
+        .iter()
+        .find_map(|node| node.neighbors().first().map(|&v| (node.id().index(), v)));
+    if let Some((idx, from)) = target {
+        let bogus = vec![999_999; class_count];
+        let _ = net.nodes_mut()[idx].receive_crt(from, bogus);
+    }
+}
+
+/// Highest-level entry: generate the seed's schedule, run it (optionally
+/// under a named nemesis), and capture the outcome as a replay artifact.
+///
+/// A passing run records the final digest (a regression pin); a failing
+/// run shrinks the schedule to a minimal failing prefix first and records
+/// the violation.
+///
+/// # Errors
+///
+/// Returns `Err` only for an unknown nemesis name.
+pub fn capture(
+    seed: u64,
+    cfg: &ChaosConfig,
+    nemesis: Option<&str>,
+) -> Result<ReplayArtifact, String> {
+    let hook = match nemesis {
+        None => None,
+        Some(name) => Some(nemesis_hook(name).ok_or_else(|| format!("unknown nemesis {name:?}"))?),
+    };
+    let run = |events: &[ChaosEvent]| match hook {
+        None => run_schedule(seed, cfg, events),
+        Some(h) => run_schedule_with(seed, cfg, events, h),
+    };
+    let schedule = generate_schedule(seed, cfg);
+    let (schedule, violation, final_digest) = match run(&schedule) {
+        ChaosOutcome::Passed { final_digest } => (schedule, None, final_digest),
+        ChaosOutcome::Violated(_) => {
+            let (shrunk, violation) = shrink_schedule(&schedule, |cand| match run(cand) {
+                ChaosOutcome::Violated(v) => Some(v),
+                ChaosOutcome::Passed { .. } => None,
+            });
+            (shrunk, Some(violation), None)
+        }
+    };
+    Ok(ReplayArtifact {
+        seed,
+        universe: cfg.universe,
+        schedule,
+        nemesis: nemesis.map(String::from),
+        violation,
+        final_digest,
+    })
+}
+
+/// A self-contained, bit-reproducible record of one chaos run: everything
+/// needed to re-execute it (`seed`, universe size, explicit schedule,
+/// nemesis name) plus the expected result (violation or final digest).
+///
+/// Serialized as JSON via [`ReplayArtifact::to_json`]; `bcc-bench chaos
+/// --replay <file>` and `tests/chaos_regressions.rs` re-execute artifacts
+/// and fail on any divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayArtifact {
+    /// The run seed (universe derivation + fault-plan randomness).
+    pub seed: u64,
+    /// Universe size the schedule runs against.
+    pub universe: usize,
+    /// The explicit event schedule (shrunk, for failing runs).
+    pub schedule: Vec<ChaosEvent>,
+    /// Named nemesis hook active during the run, if any.
+    pub nemesis: Option<String>,
+    /// The violation the run must reproduce (`None` for passing runs).
+    pub violation: Option<Violation>,
+    /// The final digest the run must reproduce (`None` for failing runs
+    /// or runs ending with no active host).
+    pub final_digest: Option<u64>,
+}
+
+impl ReplayArtifact {
+    /// Re-executes this artifact's schedule.
+    ///
+    /// # Errors
+    ///
+    /// `Err` for an unknown nemesis name.
+    pub fn run(&self) -> Result<ChaosOutcome, String> {
+        let cfg = ChaosConfig {
+            universe: self.universe,
+            steps: self.schedule.len(),
+        };
+        match &self.nemesis {
+            None => Ok(run_schedule(self.seed, &cfg, &self.schedule)),
+            Some(name) => {
+                let hook = nemesis_hook(name).ok_or_else(|| format!("unknown nemesis {name:?}"))?;
+                Ok(run_schedule_with(self.seed, &cfg, &self.schedule, hook))
+            }
+        }
+    }
+
+    /// Re-executes the schedule and verifies the outcome is bit-identical
+    /// to the recorded one (same violation step/oracle/detail, or same
+    /// final digest).
+    ///
+    /// # Errors
+    ///
+    /// `Err` describes the divergence (or an unknown nemesis name).
+    pub fn replay(&self) -> Result<(), String> {
+        let outcome = self.run()?;
+        let expected = match &self.violation {
+            Some(v) => ChaosOutcome::Violated(v.clone()),
+            None => ChaosOutcome::Passed {
+                final_digest: self.final_digest,
+            },
+        };
+        if outcome == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "replay diverged:\n  recorded: {expected:?}\n  got:      {outcome:?}"
+            ))
+        }
+    }
+
+    /// Serializes to deterministic, diff-friendly JSON.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("version".to_string(), Json::from_usize(1)),
+            ("seed".to_string(), Json::from_u64(self.seed)),
+            ("universe".to_string(), Json::from_usize(self.universe)),
+            (
+                "schedule".to_string(),
+                Json::Arr(self.schedule.iter().map(event_to_json).collect()),
+            ),
+        ];
+        if let Some(nemesis) = &self.nemesis {
+            fields.push(("nemesis".to_string(), Json::from_str(nemesis)));
+        }
+        if let Some(v) = &self.violation {
+            fields.push((
+                "violation".to_string(),
+                Json::Obj(vec![
+                    ("step".to_string(), Json::from_usize(v.step)),
+                    ("oracle".to_string(), Json::from_str(&v.oracle)),
+                    ("detail".to_string(), Json::from_str(&v.detail)),
+                ]),
+            ));
+        }
+        // The digest is a full u64: stored as a string so the artifact
+        // survives f64-based JSON tooling unscathed.
+        if let Some(d) = self.final_digest {
+            fields.push(("final_digest".to_string(), Json::from_str(&d.to_string())));
+        }
+        Json::Obj(fields).render()
+    }
+
+    /// Parses an artifact previously produced by
+    /// [`ReplayArtifact::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// `Err` describes the malformed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("artifact missing u64 'seed'")?;
+        let universe = doc
+            .get("universe")
+            .and_then(Json::as_usize)
+            .ok_or("artifact missing 'universe'")?;
+        let schedule = doc
+            .get("schedule")
+            .and_then(Json::as_arr)
+            .ok_or("artifact missing 'schedule' array")?
+            .iter()
+            .map(event_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let nemesis = match doc.get("nemesis") {
+            None => None,
+            Some(v) => Some(v.as_str().ok_or("'nemesis' must be a string")?.to_string()),
+        };
+        let violation = match doc.get("violation") {
+            None => None,
+            Some(v) => Some(Violation {
+                step: v
+                    .get("step")
+                    .and_then(Json::as_usize)
+                    .ok_or("violation missing 'step'")?,
+                oracle: v
+                    .get("oracle")
+                    .and_then(Json::as_str)
+                    .ok_or("violation missing 'oracle'")?
+                    .to_string(),
+                detail: v
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .ok_or("violation missing 'detail'")?
+                    .to_string(),
+            }),
+        };
+        let final_digest = match doc.get("final_digest") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("'final_digest' must be a string")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad final_digest: {e}"))?,
+            ),
+        };
+        Ok(ReplayArtifact {
+            seed,
+            universe,
+            schedule,
+            nemesis,
+            violation,
+            final_digest,
+        })
+    }
+}
+
+fn event_to_json(event: &ChaosEvent) -> Json {
+    let obj = |fields: Vec<(&str, Json)>| {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    match event {
+        ChaosEvent::Join { host } => obj(vec![
+            ("type", Json::from_str("join")),
+            ("host", Json::from_usize(*host)),
+        ]),
+        ChaosEvent::Leave { host } => obj(vec![
+            ("type", Json::from_str("leave")),
+            ("host", Json::from_usize(*host)),
+        ]),
+        ChaosEvent::Crash { host } => obj(vec![
+            ("type", Json::from_str("crash")),
+            ("host", Json::from_usize(*host)),
+        ]),
+        ChaosEvent::Recover { host } => obj(vec![
+            ("type", Json::from_str("recover")),
+            ("host", Json::from_usize(*host)),
+        ]),
+        ChaosEvent::Query {
+            start,
+            k,
+            bandwidth,
+        } => obj(vec![
+            ("type", Json::from_str("query")),
+            ("start", Json::from_usize(*start)),
+            ("k", Json::from_usize(*k)),
+            ("bandwidth", Json::from_f64(*bandwidth)),
+        ]),
+        ChaosEvent::Loss { loss, rounds } => obj(vec![
+            ("type", Json::from_str("loss")),
+            ("loss", Json::from_f64(*loss)),
+            ("rounds", Json::from_usize(*rounds)),
+        ]),
+        ChaosEvent::Duplicate { dup, rounds } => obj(vec![
+            ("type", Json::from_str("duplicate")),
+            ("dup", Json::from_f64(*dup)),
+            ("rounds", Json::from_usize(*rounds)),
+        ]),
+        ChaosEvent::Delay { extra, rounds } => obj(vec![
+            ("type", Json::from_str("delay")),
+            ("extra", Json::from_usize(*extra)),
+            ("rounds", Json::from_usize(*rounds)),
+        ]),
+        ChaosEvent::Partition { group, rounds } => obj(vec![
+            ("type", Json::from_str("partition")),
+            (
+                "group",
+                Json::Arr(group.iter().map(|&h| Json::from_usize(h)).collect()),
+            ),
+            ("rounds", Json::from_usize(*rounds)),
+        ]),
+        ChaosEvent::Outage { host, rounds } => obj(vec![
+            ("type", Json::from_str("outage")),
+            ("host", Json::from_usize(*host)),
+            ("rounds", Json::from_usize(*rounds)),
+        ]),
+    }
+}
+
+fn event_from_json(v: &Json) -> Result<ChaosEvent, String> {
+    let kind = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("event missing 'type'")?;
+    let field_usize = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("{kind} event missing '{name}'"))
+    };
+    let field_f64 = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{kind} event missing '{name}'"))
+    };
+    Ok(match kind {
+        "join" => ChaosEvent::Join {
+            host: field_usize("host")?,
+        },
+        "leave" => ChaosEvent::Leave {
+            host: field_usize("host")?,
+        },
+        "crash" => ChaosEvent::Crash {
+            host: field_usize("host")?,
+        },
+        "recover" => ChaosEvent::Recover {
+            host: field_usize("host")?,
+        },
+        "query" => ChaosEvent::Query {
+            start: field_usize("start")?,
+            k: field_usize("k")?,
+            bandwidth: field_f64("bandwidth")?,
+        },
+        "loss" => ChaosEvent::Loss {
+            loss: field_f64("loss")?,
+            rounds: field_usize("rounds")?,
+        },
+        "duplicate" => ChaosEvent::Duplicate {
+            dup: field_f64("dup")?,
+            rounds: field_usize("rounds")?,
+        },
+        "delay" => ChaosEvent::Delay {
+            extra: field_usize("extra")?,
+            rounds: field_usize("rounds")?,
+        },
+        "partition" => ChaosEvent::Partition {
+            group: v
+                .get("group")
+                .and_then(Json::as_arr)
+                .ok_or("partition event missing 'group'")?
+                .iter()
+                .map(|h| h.as_usize().ok_or("partition group entry must be a number"))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .collect(),
+            rounds: field_usize("rounds")?,
+        },
+        "outage" => ChaosEvent::Outage {
+            host: field_usize("host")?,
+            rounds: field_usize("rounds")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_generation_is_deterministic() {
+        let cfg = ChaosConfig::default();
+        let a = generate_schedule(7, &cfg);
+        let b = generate_schedule(7, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.steps + 4);
+        let c = generate_schedule(8, &cfg);
+        assert_ne!(a, c, "different seeds explore different schedules");
+    }
+
+    #[test]
+    fn clean_runs_pass_and_reproduce_bit_identically() {
+        let cfg = ChaosConfig {
+            universe: 6,
+            steps: 12,
+        };
+        for seed in 0..6u64 {
+            let schedule = generate_schedule(seed, &cfg);
+            let first = run_schedule(seed, &cfg, &schedule);
+            let second = run_schedule(seed, &cfg, &schedule);
+            assert!(
+                matches!(first, ChaosOutcome::Passed { .. }),
+                "seed {seed}: {first:?}"
+            );
+            assert_eq!(first, second, "seed {seed} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn passing_artifact_round_trips_and_replays() {
+        let cfg = ChaosConfig {
+            universe: 6,
+            steps: 10,
+        };
+        let artifact = capture(3, &cfg, None).unwrap();
+        assert!(artifact.violation.is_none());
+        assert!(artifact.final_digest.is_some());
+        let text = artifact.to_json();
+        let back = ReplayArtifact::from_json(&text).unwrap();
+        assert_eq!(back, artifact);
+        back.replay().unwrap();
+    }
+
+    #[test]
+    fn broken_build_is_caught_shrunk_and_replayed() {
+        // The crt-stale nemesis simulates a build that skips one CRT
+        // propagation. The consistency oracle must catch it, ddmin must
+        // shrink the schedule to a handful of events, and the artifact
+        // must replay bit-identically.
+        let cfg = ChaosConfig {
+            universe: 6,
+            steps: 12,
+        };
+        let artifact = capture(11, &cfg, Some("crt-stale")).unwrap();
+        let violation = artifact.violation.as_ref().expect("nemesis must be caught");
+        assert_eq!(violation.oracle, "consistency");
+        assert!(
+            artifact.schedule.len() <= 10,
+            "ddmin should reach a minimal prefix, got {} events",
+            artifact.schedule.len()
+        );
+        let back = ReplayArtifact::from_json(&artifact.to_json()).unwrap();
+        assert_eq!(back, artifact);
+        back.replay().unwrap();
+    }
+
+    #[test]
+    fn replay_detects_divergence() {
+        let cfg = ChaosConfig {
+            universe: 6,
+            steps: 8,
+        };
+        let mut artifact = capture(4, &cfg, None).unwrap();
+        artifact.final_digest = Some(artifact.final_digest.unwrap() ^ 1);
+        let err = artifact.replay().unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn unknown_nemesis_is_rejected() {
+        let cfg = ChaosConfig::default();
+        assert!(capture(0, &cfg, Some("no-such-nemesis")).is_err());
+        assert!(nemesis_hook("no-such-nemesis").is_none());
+    }
+
+    #[test]
+    fn ddmin_finds_the_minimal_pair() {
+        // Synthetic predicate: the "run" fails iff hosts 3 and 11 are both
+        // present — ddmin must isolate exactly that pair.
+        let events: Vec<ChaosEvent> = (0..20).map(|host| ChaosEvent::Join { host }).collect();
+        let (shrunk, violation) = shrink_schedule(&events, |cand| {
+            let has = |h: usize| {
+                cand.iter()
+                    .any(|e| matches!(e, ChaosEvent::Join { host } if *host == h))
+            };
+            (has(3) && has(11)).then(|| Violation {
+                step: 0,
+                oracle: "synthetic".into(),
+                detail: "3 and 11 interact".into(),
+            })
+        });
+        assert_eq!(
+            shrunk,
+            vec![ChaosEvent::Join { host: 3 }, ChaosEvent::Join { host: 11 }]
+        );
+        assert_eq!(violation.oracle, "synthetic");
+    }
+
+    #[test]
+    fn event_json_round_trips_every_variant() {
+        let events = vec![
+            ChaosEvent::Join { host: 1 },
+            ChaosEvent::Leave { host: 2 },
+            ChaosEvent::Crash { host: 3 },
+            ChaosEvent::Recover { host: 3 },
+            ChaosEvent::Query {
+                start: 0,
+                k: 3,
+                bandwidth: 60.0,
+            },
+            ChaosEvent::Loss {
+                loss: 0.1 + 0.2,
+                rounds: 7,
+            },
+            ChaosEvent::Duplicate {
+                dup: 0.5,
+                rounds: 4,
+            },
+            ChaosEvent::Delay {
+                extra: 2,
+                rounds: 5,
+            },
+            ChaosEvent::Partition {
+                group: vec![1, 4],
+                rounds: 9,
+            },
+            ChaosEvent::Outage { host: 2, rounds: 6 },
+        ];
+        for event in &events {
+            let back = event_from_json(&event_to_json(event)).unwrap();
+            assert_eq!(&back, event);
+        }
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        for bad in [
+            "{}",
+            r#"{"seed": 1}"#,
+            r#"{"seed": 1, "universe": 4, "schedule": [{"type": "warp"}]}"#,
+            r#"{"seed": 1, "universe": 4, "schedule": [{"host": 0}]}"#,
+            "not json",
+        ] {
+            assert!(ReplayArtifact::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

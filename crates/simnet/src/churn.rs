@@ -24,6 +24,54 @@ use crate::config::ConfigError;
 use crate::engine::SimNetwork;
 use crate::system::SystemConfig;
 
+/// An error from a membership operation on a [`DynamicSystem`].
+///
+/// Churn is a two-step act — restructure the embedding, then re-converge
+/// the gossip overlay — and either step can fail: the embedding with a
+/// typed [`EmbedError`], the overlay by exhausting the configured round
+/// cap. Both surface here instead of panicking mid-operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnError {
+    /// The prediction-framework restructuring was rejected (duplicate
+    /// join, unknown host, host outside the universe, ...).
+    Embed(EmbedError),
+    /// The overlay failed to re-converge within
+    /// [`SystemConfig::max_rounds`] after the membership change.
+    Convergence {
+        /// The round cap that was exhausted.
+        max_rounds: usize,
+    },
+}
+
+impl From<EmbedError> for ChurnError {
+    fn from(e: EmbedError) -> Self {
+        ChurnError::Embed(e)
+    }
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::Embed(e) => write!(f, "membership change rejected: {e}"),
+            ChurnError::Convergence { max_rounds } => {
+                write!(
+                    f,
+                    "overlay did not re-converge within {max_rounds} rounds after churn"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChurnError::Embed(e) => Some(e),
+            ChurnError::Convergence { .. } => None,
+        }
+    }
+}
+
 /// A clustering system whose membership changes over time.
 ///
 /// The full host population and their pairwise bandwidth are fixed up
@@ -93,11 +141,13 @@ impl DynamicSystem {
     ///
     /// # Errors
     ///
-    /// - [`EmbedError::HostExists`] if the host is already active.
-    /// - [`EmbedError::UnknownHost`] if the id is outside the universe.
-    pub fn join(&mut self, host: NodeId) -> Result<(), EmbedError> {
+    /// - [`ChurnError::Embed`] wrapping [`EmbedError::HostExists`] if the
+    ///   host is already active, or [`EmbedError::UnknownHost`] if the id
+    ///   is outside the universe.
+    /// - [`ChurnError::Convergence`] if the overlay fails to re-converge.
+    pub fn join(&mut self, host: NodeId) -> Result<(), ChurnError> {
         if host.index() >= self.bandwidth.len() {
-            return Err(EmbedError::UnknownHost(host));
+            return Err(EmbedError::UnknownHost(host).into());
         }
         let real = &self.real_distance;
         self.framework
@@ -105,8 +155,7 @@ impl DynamicSystem {
         self.active.insert(host);
         // Joining is also how a crashed host comes back.
         self.crashed.remove(&host);
-        self.rebuild();
-        Ok(())
+        self.rebuild()
     }
 
     /// Removes a host; its anchor descendants are re-embedded
@@ -114,14 +163,15 @@ impl DynamicSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`EmbedError::UnknownHost`] if the host is not active.
-    pub fn leave(&mut self, host: NodeId) -> Result<(), EmbedError> {
+    /// [`ChurnError::Embed`] wrapping [`EmbedError::UnknownHost`] if the
+    /// host is not active; [`ChurnError::Convergence`] if the overlay fails
+    /// to re-converge.
+    pub fn leave(&mut self, host: NodeId) -> Result<(), ChurnError> {
         let real = &self.real_distance;
         self.framework
             .leave(host, |a, b| real.get(a.index(), b.index()))?;
         self.active.remove(&host);
-        self.rebuild();
-        Ok(())
+        self.rebuild()
     }
 
     /// Crashes a host: an *involuntary* departure. Its anchor descendants
@@ -132,15 +182,16 @@ impl DynamicSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`EmbedError::UnknownHost`] if the host is not active.
-    pub fn crash(&mut self, host: NodeId) -> Result<(), EmbedError> {
+    /// [`ChurnError::Embed`] wrapping [`EmbedError::UnknownHost`] if the
+    /// host is not active; [`ChurnError::Convergence`] if the overlay fails
+    /// to re-converge.
+    pub fn crash(&mut self, host: NodeId) -> Result<(), ChurnError> {
         let real = &self.real_distance;
         self.framework
             .leave(host, |a, b| real.get(a.index(), b.index()))?;
         self.active.remove(&host);
         self.crashed.insert(host);
-        self.rebuild();
-        Ok(())
+        self.rebuild()
     }
 
     /// Brings a crashed host back: a cold restart through the ordinary
@@ -148,10 +199,12 @@ impl DynamicSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`EmbedError::UnknownHost`] if the host is not crashed.
-    pub fn recover(&mut self, host: NodeId) -> Result<(), EmbedError> {
+    /// [`ChurnError::Embed`] wrapping [`EmbedError::UnknownHost`] if the
+    /// host is not crashed; [`ChurnError::Convergence`] if the overlay
+    /// fails to re-converge.
+    pub fn recover(&mut self, host: NodeId) -> Result<(), ChurnError> {
         if !self.crashed.contains(&host) {
-            return Err(EmbedError::UnknownHost(host));
+            return Err(EmbedError::UnknownHost(host).into());
         }
         self.join(host)
     }
@@ -230,6 +283,18 @@ impl DynamicSystem {
         self.network.as_ref()
     }
 
+    /// Mutable access to the current overlay — the hook chaos harnesses use
+    /// to attach fault injectors, enable tracing, or run extra gossip
+    /// rounds against the live membership.
+    pub fn network_mut(&mut self) -> Option<&mut SimNetwork> {
+        self.network.as_mut()
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
     /// The prediction framework (restructured incrementally under churn).
     pub fn framework(&self) -> &PredictionFramework {
         &self.framework
@@ -240,12 +305,27 @@ impl DynamicSystem {
         self.bandwidth.get(u.index(), v.index())
     }
 
-    fn rebuild(&mut self) {
+    /// The gossip digest a *cold restart* of the current membership would
+    /// reach: a fresh fault-free overlay built from the live framework and
+    /// run to its fixpoint. Liveness oracles compare the live network's
+    /// digest against this after all faults heal. `None` when no host is
+    /// active.
+    ///
+    /// # Errors
+    ///
+    /// [`ChurnError::Convergence`] if the fresh overlay fails to converge
+    /// within [`SystemConfig::max_rounds`].
+    pub fn cold_restart_digest(&self) -> Result<Option<u64>, ChurnError> {
         if self.active.is_empty() {
-            self.network = None;
-            self.last_convergence_rounds = None;
-            return;
+            return Ok(None);
         }
+        let (net, _) = self.fresh_network()?;
+        Ok(Some(net.digest()))
+    }
+
+    /// Builds a fresh converged fault-free overlay from the live framework,
+    /// returning it with the rounds it needed.
+    fn fresh_network(&self) -> Result<(SimNetwork, usize), ChurnError> {
         // Predicted distances indexed by universe id; inactive rows unused.
         let n = self.bandwidth.len();
         let fw = &self.framework;
@@ -253,11 +333,24 @@ impl DynamicSystem {
             fw.distance(NodeId::new(i), NodeId::new(j)).unwrap_or(0.0)
         });
         let mut net = SimNetwork::new(fw.anchor(), predicted, self.config.protocol.clone());
-        let rounds = net
-            .run_to_convergence(self.config.max_rounds)
-            .expect("gossip on a tree overlay converges");
+        let rounds =
+            net.run_to_convergence(self.config.max_rounds)
+                .ok_or(ChurnError::Convergence {
+                    max_rounds: self.config.max_rounds,
+                })?;
+        Ok((net, rounds))
+    }
+
+    fn rebuild(&mut self) -> Result<(), ChurnError> {
+        if self.active.is_empty() {
+            self.network = None;
+            self.last_convergence_rounds = None;
+            return Ok(());
+        }
+        let (net, rounds) = self.fresh_network()?;
         self.last_convergence_rounds = Some(rounds);
         self.network = Some(net);
+        Ok(())
     }
 }
 
@@ -334,9 +427,39 @@ mod tests {
     fn join_validation() {
         let mut s = dynamic();
         s.join(n(0)).unwrap();
-        assert!(matches!(s.join(n(0)), Err(EmbedError::HostExists(_))));
-        assert!(matches!(s.join(n(99)), Err(EmbedError::UnknownHost(_))));
-        assert!(matches!(s.leave(n(5)), Err(EmbedError::UnknownHost(_))));
+        assert!(matches!(
+            s.join(n(0)),
+            Err(ChurnError::Embed(EmbedError::HostExists(_)))
+        ));
+        assert!(matches!(
+            s.join(n(99)),
+            Err(ChurnError::Embed(EmbedError::UnknownHost(_)))
+        ));
+        assert!(matches!(
+            s.leave(n(5)),
+            Err(ChurnError::Embed(EmbedError::UnknownHost(_)))
+        ));
+    }
+
+    #[test]
+    fn churn_error_display_and_source() {
+        let e = ChurnError::from(EmbedError::UnknownHost(n(7)));
+        assert!(e.to_string().contains("n7"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ChurnError::Convergence { max_rounds: 64 };
+        assert!(e.to_string().contains("64"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn cold_restart_digest_matches_live_fixpoint() {
+        let mut s = dynamic();
+        assert_eq!(s.cold_restart_digest().unwrap(), None);
+        for i in 0..4 {
+            s.join(n(i)).unwrap();
+        }
+        let live = s.network().unwrap().digest();
+        assert_eq!(s.cold_restart_digest().unwrap(), Some(live));
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub enum ConfigError {
     ZeroMaxRounds,
     /// A prediction-tree ensemble needs at least one member.
     ZeroEnsembleMembers,
+    /// The per-neighbor record budget `n_cut` must be positive.
+    ZeroNCut,
+    /// Gossip failed to reach a fixpoint within the configured round cap —
+    /// on a fault-free tree overlay this means `max_rounds` is too small
+    /// for the overlay diameter.
+    ConvergenceTimeout {
+        /// The round cap that was exhausted.
+        max_rounds: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -65,6 +74,13 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroMaxRounds => write!(f, "max_rounds must be positive"),
             ConfigError::ZeroEnsembleMembers => {
                 write!(f, "ensemble_members must be at least 1")
+            }
+            ConfigError::ZeroNCut => write!(f, "n_cut must be positive"),
+            ConfigError::ConvergenceTimeout { max_rounds } => {
+                write!(
+                    f,
+                    "gossip did not reach a fixpoint within {max_rounds} rounds"
+                )
             }
         }
     }
@@ -99,6 +115,10 @@ mod tests {
         assert!(ConfigError::ZeroEnsembleMembers
             .to_string()
             .contains("ensemble"));
+        assert!(ConfigError::ZeroNCut.to_string().contains("n_cut"));
+        assert!(ConfigError::ConvergenceTimeout { max_rounds: 512 }
+            .to_string()
+            .contains("512"));
     }
 
     #[test]

@@ -105,6 +105,13 @@ impl SimNetwork {
         self.trace = Some(Trace::new(capacity));
     }
 
+    /// Turns on message tracing with an O(1)-eviction ring buffer (see
+    /// [`Trace::ring`]) — the right mode for long soak runs where only the
+    /// most recent events matter.
+    pub fn enable_ring_tracing(&mut self, capacity: usize) {
+        self.trace = Some(Trace::ring(capacity));
+    }
+
     /// The message trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
@@ -124,6 +131,23 @@ impl SimNetwork {
     /// The active fault injector, if any.
     pub fn fault_injector(&self) -> Option<&dyn FaultInjector> {
         self.injector.as_deref()
+    }
+
+    /// Removes the fault injector: every fault still active (crashes,
+    /// partitions, link rules) heals immediately and no further scheduled
+    /// fault activates. Messages already deferred by a latency spike stay
+    /// in flight and deliver at their due round.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
+    }
+
+    /// Mutable access to the protocol nodes — a testing/nemesis hook for
+    /// harnesses that corrupt state on purpose (e.g. the chaos harness's
+    /// broken-build self-check). Not part of the simulation contract:
+    /// ordinary runs never mutate nodes from outside the engine.
+    #[doc(hidden)]
+    pub fn nodes_mut(&mut self) -> &mut [ClusterNode] {
+        &mut self.nodes
     }
 
     /// Whether `node` is currently crashed (always `false` without an

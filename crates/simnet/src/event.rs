@@ -248,6 +248,13 @@ impl AsyncNetwork {
         self.trace = Some(Trace::new(capacity));
     }
 
+    /// Turns on message tracing with an O(1)-eviction ring buffer (see
+    /// [`Trace::ring`]) for long soak runs. Trace rounds are whole
+    /// simulated seconds.
+    pub fn enable_ring_tracing(&mut self, capacity: usize) {
+        self.trace = Some(Trace::ring(capacity));
+    }
+
     /// The message trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
@@ -268,6 +275,13 @@ impl AsyncNetwork {
     /// The active fault injector, if any.
     pub fn fault_injector(&self) -> Option<&dyn FaultInjector> {
         self.injector.as_deref()
+    }
+
+    /// Removes the fault injector: active faults heal immediately and no
+    /// further scheduled fault activates. In-flight deliveries keep their
+    /// already-decided fates.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
     }
 
     /// Whether `node` is currently crashed (always `false` without an

@@ -469,8 +469,22 @@ impl PlannedInjector {
                 }
             }
         }
-        // Stable by time: same-tick changes apply in plan order.
-        timeline.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("fault times are finite"));
+        // Schedule-deterministic ordering: primary key is the activation
+        // tick, secondary key is the insertion index. Relying on the sort
+        // being stable would give the same order today, but an explicit
+        // composite key keeps replays deterministic regardless of sort
+        // internals (and survives a future switch to an unstable sort).
+        let mut keyed: Vec<(f64, usize, Change)> = timeline
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (at, change))| (at, idx, change))
+            .collect();
+        keyed.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("fault times are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        let timeline: Vec<(f64, Change)> = keyed.into_iter().map(|(at, _, c)| (at, c)).collect();
         PlannedInjector {
             rng: StdRng::seed_from_u64(plan.seed()),
             timeline,
@@ -678,6 +692,40 @@ mod tests {
             .collect();
         assert_eq!(hosts.len(), 5, "crashed hosts are distinct");
         assert_eq!(plan, FaultPlan::new(7).random_crashes(10.0, 20, 0.25));
+    }
+
+    #[test]
+    fn equal_tick_changes_apply_in_insertion_order() {
+        // A zero-downtime crash-recovery puts Down and Up at the same tick;
+        // insertion order (Down first) must win, leaving the node up.
+        let plan = FaultPlan::new(1).crash_recover(5.0, n(2), 0.0);
+        let mut inj = plan.injector();
+        assert_eq!(
+            inj.advance(5.0),
+            vec![
+                FaultTransition::Crashed(n(2)),
+                FaultTransition::Recovered(n(2))
+            ]
+        );
+        assert!(!inj.is_down(n(2)));
+
+        // Same tick, opposite insertion order via a recovery scheduled
+        // *before* a fresh crash: the node must end up down.
+        let plan = FaultPlan::new(1)
+            .crash_recover(0.0, n(3), 5.0)
+            .crash(5.0, n(3));
+        let mut inj = plan.injector();
+        inj.advance(0.0);
+        assert!(inj.is_down(n(3)));
+        let t = inj.advance(5.0);
+        assert_eq!(
+            t,
+            vec![
+                FaultTransition::Recovered(n(3)),
+                FaultTransition::Crashed(n(3))
+            ]
+        );
+        assert!(inj.is_down(n(3)), "the later-inserted crash wins the tie");
     }
 
     #[test]

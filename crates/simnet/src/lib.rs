@@ -72,16 +72,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 mod churn;
 mod config;
 mod engine;
 mod event;
 mod fault;
+mod json;
 mod system;
 mod trace;
 mod wire;
 
-pub use churn::DynamicSystem;
+pub use chaos::{
+    capture, generate_schedule, nemesis_hook, run_schedule, run_schedule_with, shrink_schedule,
+    ChaosConfig, ChaosEvent, ChaosOutcome, ReplayArtifact, Violation,
+};
+pub use churn::{ChurnError, DynamicSystem};
 pub use config::ConfigError;
 pub use engine::{SimNetwork, TrafficStats};
 pub use event::{AsyncConfig, AsyncNetwork};

@@ -66,6 +66,12 @@ impl SystemConfig {
         if self.ensemble_members == 0 {
             return Err(ConfigError::ZeroEnsembleMembers);
         }
+        // `ProtocolConfig::new` asserts this, but the fields are public so a
+        // literal construction can bypass it; re-check here for a typed
+        // error instead of a downstream panic.
+        if self.protocol.n_cut == 0 {
+            return Err(ConfigError::ZeroNCut);
+        }
         Ok(())
     }
 }
@@ -93,7 +99,7 @@ impl ClusterSystem {
     /// `config.max_rounds` (impossible on a healthy tree overlay; indicates
     /// misconfiguration).
     pub fn build(bandwidth: BandwidthMatrix, config: SystemConfig) -> Self {
-        Self::try_build(bandwidth, config).expect("valid SystemConfig")
+        Self::try_build(bandwidth, config).expect("valid SystemConfig and converging overlay")
     }
 
     /// [`ClusterSystem::build`] with up-front configuration validation.
@@ -101,11 +107,9 @@ impl ClusterSystem {
     /// # Errors
     ///
     /// [`ConfigError`] when a field is invalid (see
-    /// [`SystemConfig::validate`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if gossip fails to converge within `config.max_rounds`.
+    /// [`SystemConfig::validate`]), or
+    /// [`ConfigError::ConvergenceTimeout`] if gossip fails to reach a
+    /// fixpoint within `config.max_rounds`.
     pub fn try_build(
         bandwidth: BandwidthMatrix,
         config: SystemConfig,
@@ -134,7 +138,9 @@ impl ClusterSystem {
         );
         network
             .run_to_convergence(config.max_rounds)
-            .expect("gossip on a tree overlay converges");
+            .ok_or(ConfigError::ConvergenceTimeout {
+                max_rounds: config.max_rounds,
+            })?;
         Ok(ClusterSystem {
             bandwidth,
             real_distance,
@@ -430,6 +436,12 @@ mod tests {
         assert_eq!(
             ClusterSystem::try_build(access_link(&[50.0, 50.0]), cfg).unwrap_err(),
             crate::ConfigError::ZeroEnsembleMembers
+        );
+        let mut cfg = SystemConfig::new(cls.clone());
+        cfg.protocol.n_cut = 0;
+        assert_eq!(
+            ClusterSystem::try_build(access_link(&[50.0, 50.0]), cfg).unwrap_err(),
+            crate::ConfigError::ZeroNCut
         );
         assert!(
             ClusterSystem::try_build(access_link(&[50.0, 50.0]), SystemConfig::new(cls)).is_ok()

@@ -1,0 +1,49 @@
+//! Replays the committed chaos regression corpus bit-identically.
+//!
+//! Every artifact under `tests/chaos_corpus/` is a recorded chaos run:
+//! seed, universe, explicit schedule and the expected outcome (final
+//! digest for passing runs, exact violation for pinned failures). Replay
+//! must reproduce the recorded outcome *exactly* — any divergence means
+//! the protocol state evolution changed, deliberately or not.
+//!
+//! To record a new pin after an intentional protocol change:
+//!
+//! ```sh
+//! cargo run --release -p bcc-bench --bin chaos -- \
+//!     --seed <seed> --save tests/chaos_corpus/seed<seed>.json
+//! ```
+
+use bcc_simnet::chaos::ReplayArtifact;
+
+#[test]
+fn corpus_replays_bit_identically() {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/chaos_corpus");
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus)
+        .expect("chaos corpus directory exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        let artifact = ReplayArtifact::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed artifact: {e}", path.display()));
+        artifact
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // The artifact is also a serialization fixpoint: re-rendering the
+        // parsed form must reproduce the committed bytes.
+        assert_eq!(
+            artifact.to_json(),
+            text,
+            "{}: artifact is not byte-stable under parse → render",
+            path.display()
+        );
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 3,
+        "corpus unexpectedly small: {replayed} artifacts"
+    );
+}
