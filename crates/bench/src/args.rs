@@ -1,0 +1,166 @@
+//! Shared command-line parsing for the figure/bench binaries.
+//!
+//! Every binary used to hand-roll the same `--flag` / `--key value` scan;
+//! this module centralizes it. The grammar stays deliberately tiny — no
+//! short options, no `=` syntax — matching what the binaries documented
+//! all along:
+//!
+//! ```text
+//! bcc-bench chaos --smoke --out target --seed 42
+//! ```
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// The process arguments of a bench binary, with typed accessors.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    argv: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Captures the process arguments (program name excluded).
+    pub fn from_env() -> Self {
+        BenchArgs {
+            argv: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Wraps an explicit argument list (for tests).
+    pub fn new(argv: Vec<String>) -> Self {
+        BenchArgs { argv }
+    }
+
+    /// Whether the boolean flag `name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.argv.iter().any(|a| a == name)
+    }
+
+    /// The token following `name`, if both are present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.argv
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// `Some(value)` when `name` is present (falling back to `default`
+    /// when it is the last token), `None` when absent. This is the shape
+    /// `--json` options use: present-without-value means stdout (`-`).
+    pub fn value_or(&self, name: &str, default: &str) -> Option<String> {
+        self.argv.iter().position(|a| a == name).map(|i| {
+            self.argv
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| default.to_string())
+        })
+    }
+
+    /// Parses the value of `name` as a `T`.
+    ///
+    /// # Errors
+    ///
+    /// When `name` is present without a following token, or the token does
+    /// not parse as `T`. An absent flag is `Ok(None)`.
+    pub fn parsed<T>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        match self.argv.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => {
+                let raw = self
+                    .argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{name} needs a value"))?;
+                raw.parse()
+                    .map(Some)
+                    .map_err(|e| format!("bad {name}: {e}"))
+            }
+        }
+    }
+
+    /// [`BenchArgs::parsed`] with a default for an absent flag.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BenchArgs::parsed`].
+    pub fn parsed_or<T>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        Ok(self.parsed(name)?.unwrap_or(default))
+    }
+
+    /// Rejects tokens that are neither a known boolean `flag`, a known
+    /// value-taking option, nor the value position of one.
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown token.
+    pub fn expect_known(&self, flags: &[&str], values: &[&str]) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.argv.len() {
+            let token = self.argv[i].as_str();
+            if flags.contains(&token) {
+                i += 1;
+            } else if values.contains(&token) {
+                i += 2; // skip the value slot (may be absent at the end)
+            } else {
+                return Err(format!("unknown flag {token:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> BenchArgs {
+        BenchArgs::new(s.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn flags_and_values() {
+        let a = args(&["--smoke", "--seed", "42", "--out", "target"]);
+        assert!(a.flag("--smoke"));
+        assert!(!a.flag("--paper"));
+        assert_eq!(a.value("--seed"), Some("42"));
+        assert_eq!(a.value("--missing"), None);
+        assert_eq!(a.parsed::<u64>("--seed"), Ok(Some(42)));
+        assert_eq!(a.parsed::<u64>("--missing"), Ok(None));
+        assert_eq!(a.parsed_or::<usize>("--steps", 24), Ok(24));
+        assert_eq!(a.value_or("--out", "-"), Some("target".to_string()));
+        assert_eq!(a.value_or("--json", "-"), None);
+    }
+
+    #[test]
+    fn trailing_value_flag_falls_back() {
+        let a = args(&["--json"]);
+        assert_eq!(a.value_or("--json", "-"), Some("-".to_string()));
+        assert!(
+            a.parsed::<u64>("--json").is_err(),
+            "typed access still errors"
+        );
+    }
+
+    #[test]
+    fn bad_parse_is_an_error() {
+        let a = args(&["--seed", "nope"]);
+        let err = a.parsed::<u64>("--seed").unwrap_err();
+        assert!(err.contains("bad --seed"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let a = args(&["--smoke", "--seed", "1", "--bogus"]);
+        a.expect_known(&["--smoke"], &["--seed"]).unwrap_err();
+        a.expect_known(&["--smoke", "--bogus"], &["--seed"])
+            .unwrap();
+    }
+}

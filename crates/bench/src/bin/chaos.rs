@@ -26,6 +26,7 @@
 
 use std::process::ExitCode;
 
+use bcc_bench::BenchArgs;
 use bcc_simnet::chaos::{capture, ChaosConfig, ReplayArtifact};
 
 struct Args {
@@ -40,73 +41,30 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut args = Args {
-        seeds: 1000,
-        seed: None,
-        steps: ChaosConfig::default().steps,
-        universe: ChaosConfig::default().universe,
-        replay: None,
-        nemesis: None,
-        save: None,
-        out: ".".to_string(),
-    };
-    let mut i = 0;
-    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
-        argv.get(i + 1)
-            .cloned()
-            .ok_or_else(|| format!("{flag} needs a value"))
-    };
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--smoke" => args.seeds = 200,
-            "--seeds" => {
-                args.seeds = value(&argv, i, "--seeds")?
-                    .parse()
-                    .map_err(|e| format!("bad --seeds: {e}"))?;
-                i += 1;
-            }
-            "--seed" => {
-                args.seed = Some(
-                    value(&argv, i, "--seed")?
-                        .parse()
-                        .map_err(|e| format!("bad --seed: {e}"))?,
-                );
-                i += 1;
-            }
-            "--steps" => {
-                args.steps = value(&argv, i, "--steps")?
-                    .parse()
-                    .map_err(|e| format!("bad --steps: {e}"))?;
-                i += 1;
-            }
-            "--universe" => {
-                args.universe = value(&argv, i, "--universe")?
-                    .parse()
-                    .map_err(|e| format!("bad --universe: {e}"))?;
-                i += 1;
-            }
-            "--replay" => {
-                args.replay = Some(value(&argv, i, "--replay")?);
-                i += 1;
-            }
-            "--nemesis" => {
-                args.nemesis = Some(value(&argv, i, "--nemesis")?);
-                i += 1;
-            }
-            "--save" => {
-                args.save = Some(value(&argv, i, "--save")?);
-                i += 1;
-            }
-            "--out" => {
-                args.out = value(&argv, i, "--out")?;
-                i += 1;
-            }
-            other => return Err(format!("unknown flag {other:?}")),
-        }
-        i += 1;
-    }
-    Ok(args)
+    let argv = BenchArgs::from_env();
+    argv.expect_known(
+        &["--smoke"],
+        &[
+            "--seeds",
+            "--seed",
+            "--steps",
+            "--universe",
+            "--replay",
+            "--nemesis",
+            "--save",
+            "--out",
+        ],
+    )?;
+    Ok(Args {
+        seeds: argv.parsed_or("--seeds", if argv.flag("--smoke") { 200 } else { 1000 })?,
+        seed: argv.parsed("--seed")?,
+        steps: argv.parsed_or("--steps", ChaosConfig::default().steps)?,
+        universe: argv.parsed_or("--universe", ChaosConfig::default().universe)?,
+        replay: argv.value("--replay").map(str::to_string),
+        nemesis: argv.value("--nemesis").map(str::to_string),
+        save: argv.value("--save").map(str::to_string),
+        out: argv.value("--out").unwrap_or(".").to_string(),
+    })
 }
 
 fn replay_file(path: &str) -> Result<(), String> {

@@ -116,13 +116,12 @@ fn to_json(entries: &[Entry], smoke: bool) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let args = bcc_bench::BenchArgs::from_env();
+    let smoke = args.flag("--smoke");
     let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_clustering.json".to_string());
+        .value("--json")
+        .unwrap_or("BENCH_clustering.json")
+        .to_string();
 
     let (sizes, treeness_n, reps): (&[usize], usize, usize) = if smoke {
         (&[64, 128], 48, 1)

@@ -10,17 +10,11 @@
 //! `--json <path>` additionally writes the full grid as figure-style JSON
 //! (`-` for stdout).
 
-use bcc_bench::{banner, Effort};
+use bcc_bench::{banner, BenchArgs, Effort};
 use bcc_eval::{run_robustness, RobustnessConfig};
 
-fn json_path() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "-".to_string()))
-}
-
 fn main() {
+    let args = BenchArgs::from_env();
     let effort = Effort::from_args();
     banner("Robustness (fault injection: loss × crashes)", effort);
 
@@ -51,7 +45,7 @@ fn main() {
         start.elapsed()
     );
 
-    if let Some(path) = json_path() {
+    if let Some(path) = args.value_or("--json", "-") {
         let json = result.to_json();
         if path == "-" {
             println!("{json}");

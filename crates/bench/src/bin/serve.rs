@@ -1,0 +1,180 @@
+//! `serve` — throughput and correctness baseline of the `bcc-service`
+//! serving layer, checked in as `BENCH_service.json`.
+//!
+//! ```sh
+//! cargo run --release -p bcc-bench --bin serve
+//! cargo run --release -p bcc-bench --bin serve -- --smoke
+//! cargo run --release -p bcc-bench --bin serve -- --json out.json
+//! ```
+//!
+//! Two measurements:
+//!
+//! - **Throughput** — a repeated-query workload (a small pool of distinct
+//!   `(start, k, b)` queries, each submitted many times) served twice over
+//!   identical systems: once by the uncached baseline, once with the
+//!   churn-aware cache. The binary asserts the two response streams are
+//!   bit-identical and reports the speedup (the acceptance bar for the
+//!   serving layer is ≥ 5×).
+//! - **Churn chaos** — [`bcc_service::serve_chaos`] over several seeds:
+//!   churn-heavy schedules with fault windows while a repeated workload
+//!   hammers the cache, every cached answer audited against a fresh
+//!   recomputation. The binary exits non-zero if any audited hit was
+//!   stale.
+
+use std::time::Instant;
+
+use bcc_bench::BenchArgs;
+use bcc_metric::NodeId;
+use bcc_service::{
+    seeded_service, serve_chaos, ClusterQuery, ClusterService, ServeChaosConfig, ServiceConfig,
+    ServiceResponse,
+};
+
+const SEED: u64 = 2011;
+
+/// The repeated workload: `pool` distinct queries over the first `joined`
+/// hosts, submitted round-robin `repeats` times each. Sizes are chosen so
+/// queries route multiple hops (k ≥ 8) — the serving regime where compute
+/// dominates and a cache can actually help; bandwidths snap to both
+/// classes of the seeded universe.
+fn workload(joined: usize, pool: usize, repeats: usize) -> Vec<ClusterQuery> {
+    let ks = [16usize, 24, 32];
+    let bands = [20.0f64, 55.0];
+    let distinct: Vec<ClusterQuery> = (0..pool)
+        .map(|i| {
+            ClusterQuery::new(
+                NodeId::new(i % joined),
+                ks[i % ks.len()],
+                bands[(i / ks.len()) % bands.len()],
+            )
+        })
+        .collect();
+    let mut all = Vec::with_capacity(pool * repeats);
+    for _ in 0..repeats {
+        all.extend(distinct.iter().copied());
+    }
+    all
+}
+
+fn build(universe: usize, joined: usize, config: ServiceConfig) -> ClusterService {
+    let mut service = seeded_service(SEED, universe, config);
+    for h in 0..joined {
+        service.join(NodeId::new(h)).expect("join fresh host");
+    }
+    service
+}
+
+/// Serves the whole workload, returning wall time (ms) and the responses.
+fn run(service: &mut ClusterService, queries: &[ClusterQuery]) -> (f64, Vec<ServiceResponse>) {
+    let start = Instant::now();
+    let mut responses = Vec::with_capacity(queries.len());
+    for &q in queries {
+        service.submit(q).expect("workload query admitted");
+        // Keep the queue bounded: drain whenever a full batch is ready.
+        if service.in_flight() >= service.config().batch_max {
+            responses.extend(service.drain());
+        }
+    }
+    responses.extend(service.drain());
+    (start.elapsed().as_secs_f64() * 1e3, responses)
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let smoke = args.flag("--smoke");
+    let json_path = args
+        .value("--json")
+        .unwrap_or("BENCH_service.json")
+        .to_string();
+
+    let (universe, joined, pool, repeats, chaos_seeds, chaos_steps) = if smoke {
+        (48, 48, 12, 16, 2u64, 12)
+    } else {
+        (128, 128, 24, 48, 5u64, 24)
+    };
+
+    println!("=== serve — batched, churn-aware cluster-query serving ===");
+    println!(
+        "threads = {}, smoke = {smoke}, universe = {universe}, joined = {joined}",
+        bcc_par::current_threads()
+    );
+    println!();
+
+    // Throughput: identical workload, identical system, cache off vs on.
+    let queries = workload(joined, pool, repeats);
+    let mut baseline = build(universe, joined, ServiceConfig::default().uncached());
+    let (uncached_ms, uncached_responses) = run(&mut baseline, &queries);
+    let mut cached = build(universe, joined, ServiceConfig::default());
+    let (cached_ms, cached_responses) = run(&mut cached, &queries);
+
+    let identical = uncached_responses.len() == cached_responses.len()
+        && uncached_responses
+            .iter()
+            .zip(&cached_responses)
+            .all(|(u, c)| u.ticket == c.ticket && u.outcome == c.outcome);
+    let speedup = if cached_ms > 0.0 {
+        uncached_ms / cached_ms
+    } else {
+        f64::INFINITY
+    };
+    let stats = cached.cache_stats();
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+
+    println!(
+        "workload: {} queries ({} distinct × {} repeats)",
+        queries.len(),
+        pool,
+        repeats
+    );
+    println!("  uncached: {uncached_ms:>10.2} ms");
+    println!("  cached:   {cached_ms:>10.2} ms   ({speedup:.1}x, hit rate {hit_rate:.2})");
+    println!("  bit-identical responses: {identical}");
+    println!();
+
+    // Churn chaos: the no-stale-answer audit under churn-heavy schedules.
+    let chaos_cfg = ServeChaosConfig {
+        universe: 8,
+        steps: chaos_steps,
+        queries_per_step: 6,
+    };
+    let mut chaos_responses = 0u64;
+    let mut chaos_cached = 0u64;
+    let mut stale_hits = 0u64;
+    let chaos_start = Instant::now();
+    for seed in 0..chaos_seeds {
+        let report = serve_chaos(seed, &chaos_cfg);
+        chaos_responses += report.responses;
+        chaos_cached += report.cached;
+        stale_hits += report.stale_hits;
+    }
+    println!(
+        "chaos: {chaos_seeds} seeds × {chaos_steps} steps in {:.1?}: \
+         {chaos_responses} responses, {chaos_cached} audited cache hits, {stale_hits} stale",
+        chaos_start.elapsed()
+    );
+    println!();
+
+    let json = format!(
+        "{{\n  \"bench\": \"service\",\n  \"seed\": {SEED},\n  \"threads\": {},\n  \
+         \"smoke\": {smoke},\n  \"workload\": {{\"queries\": {}, \"distinct\": {pool}, \
+         \"repeats\": {repeats}, \"uncached_ms\": {uncached_ms:.3}, \"cached_ms\": {cached_ms:.3}, \
+         \"speedup\": {speedup:.3}, \"hit_rate\": {hit_rate:.4}, \"identical\": {identical}}},\n  \
+         \"chaos\": {{\"seeds\": {chaos_seeds}, \"steps\": {chaos_steps}, \
+         \"responses\": {chaos_responses}, \"cached\": {chaos_cached}, \
+         \"stale_hits\": {stale_hits}}}\n}}\n",
+        bcc_par::current_threads(),
+        queries.len(),
+    );
+    if json_path == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(&json_path, json).expect("write JSON output");
+        println!("wrote {json_path}");
+    }
+
+    assert!(
+        identical,
+        "cached and uncached serving must return bit-identical responses"
+    );
+    assert_eq!(stale_hits, 0, "a stale cache hit was served under chaos");
+}

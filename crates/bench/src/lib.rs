@@ -9,6 +9,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod args;
+
+pub use args::BenchArgs;
+
 /// Effort level selected on the command line of a figure binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effort {

@@ -106,9 +106,14 @@ impl BandwidthClasses {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::NoMatchingClass`] when `b` is above every
-    /// class.
+    /// Returns [`ClusterError::InvalidBandwidthConstraint`] when `b` is not
+    /// positive and finite (a non-positive or NaN constraint would silently
+    /// snap to the lowest class and answer garbage), and
+    /// [`ClusterError::NoMatchingClass`] when `b` is above every class.
     pub fn snap_up(&self, b: f64) -> Result<usize, ClusterError> {
+        if !b.is_finite() || b <= 0.0 {
+            return Err(ClusterError::InvalidBandwidthConstraint { bandwidth: b });
+        }
         let idx = self.bandwidths.partition_point(|&v| v < b);
         if idx == self.bandwidths.len() {
             Err(ClusterError::NoMatchingClass { bandwidth: b })
@@ -162,6 +167,18 @@ mod tests {
     #[test]
     fn snap_up_behaviour() {
         let c = classes();
+        assert!(matches!(
+            c.snap_up(0.0),
+            Err(ClusterError::InvalidBandwidthConstraint { .. })
+        ));
+        assert!(matches!(
+            c.snap_up(-4.0),
+            Err(ClusterError::InvalidBandwidthConstraint { .. })
+        ));
+        assert!(matches!(
+            c.snap_up(f64::NAN),
+            Err(ClusterError::InvalidBandwidthConstraint { .. })
+        ));
         assert_eq!(c.snap_up(5.0).unwrap(), 0);
         assert_eq!(c.snap_up(10.0).unwrap(), 0);
         assert_eq!(c.snap_up(10.1).unwrap(), 1);

@@ -14,6 +14,12 @@ pub enum ClusterError {
         /// The offending `l` (distance domain).
         l: f64,
     },
+    /// The query's bandwidth constraint was not positive and finite
+    /// (bandwidth domain — `b <= 0`, NaN or infinite).
+    InvalidBandwidthConstraint {
+        /// The offending `b` (bandwidth domain).
+        bandwidth: f64,
+    },
     /// A bandwidth constraint was above every configured bandwidth class, so
     /// no routing-table column can answer it.
     NoMatchingClass {
@@ -44,6 +50,12 @@ impl fmt::Display for ClusterError {
                     "diameter constraint must be positive and finite, got {l}"
                 )
             }
+            ClusterError::InvalidBandwidthConstraint { bandwidth } => {
+                write!(
+                    f,
+                    "bandwidth constraint must be positive and finite, got {bandwidth}"
+                )
+            }
             ClusterError::NoMatchingClass { bandwidth } => {
                 write!(f, "no bandwidth class at or above {bandwidth}")
             }
@@ -59,6 +71,12 @@ impl fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// The typed rejection a query entry point returns for invalid inputs
+/// (`k < 2`, non-positive `b`, unknown submit node, …) — an alias naming
+/// [`ClusterError`]'s role at the library boundary, mirroring the
+/// `ConfigError` pattern used at construction boundaries.
+pub type QueryError = ClusterError;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +89,9 @@ mod tests {
         assert!(ClusterError::InvalidDiameterConstraint { l: -1.0 }
             .to_string()
             .contains("-1"));
+        assert!(ClusterError::InvalidBandwidthConstraint { bandwidth: -2.0 }
+            .to_string()
+            .contains("-2"));
         assert!(ClusterError::NoMatchingClass { bandwidth: 500.0 }
             .to_string()
             .contains("500"));

@@ -54,7 +54,7 @@ mod node;
 mod query;
 
 pub use classes::BandwidthClasses;
-pub use error::ClusterError;
+pub use error::{ClusterError, QueryError};
 pub use euclidean::{find_cluster_euclidean, max_cluster_size_euclidean};
 pub use find_cluster::{
     diameter, exists_cluster_brute_force, find_cluster, find_cluster_ordered,
@@ -64,5 +64,5 @@ pub use find_cluster::{
 pub use node::{ClusterNode, ProtocolConfig, RoutePolicy};
 pub use query::{
     process_query, process_query_resilient, process_query_with_policy, Degradation, QueryOutcome,
-    RetryPolicy,
+    QueryRequest, RetryPolicy,
 };

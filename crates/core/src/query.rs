@@ -13,6 +13,67 @@ use crate::classes::BandwidthClasses;
 use crate::error::ClusterError;
 use crate::node::{ClusterNode, RoutePolicy};
 
+/// A reusable description of one `(k, b)` cluster query and the node it
+/// enters the overlay at — the unit of work the serving layer batches,
+/// caches and routes.
+///
+/// Construction is cheap and unchecked; [`QueryRequest::validate`] performs
+/// the library-boundary checks (`k >= 2`, positive finite `b` that some
+/// class admits, known entry node) and returns the snapped class index, so
+/// front ends can reject garbage with a typed [`QueryError`](crate::QueryError) before any
+/// routing work happens.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Host the query is submitted at (entry node of the overlay walk).
+    pub start: NodeId,
+    /// Requested cluster size (`k >= 2`).
+    pub k: usize,
+    /// Requested minimum pairwise bandwidth (Mbps); snapped *up* to the
+    /// next configured bandwidth class.
+    pub bandwidth: f64,
+}
+
+impl QueryRequest {
+    /// Creates a request; validation is deferred to
+    /// [`QueryRequest::validate`].
+    pub fn new(start: NodeId, k: usize, bandwidth: f64) -> Self {
+        QueryRequest {
+            start,
+            k,
+            bandwidth,
+        }
+    }
+
+    /// Validates the request against a class set and a host population of
+    /// `hosts` dense ids, returning the snapped bandwidth-class index.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusterError::InvalidSizeConstraint`] when `k < 2`;
+    /// - [`ClusterError::InvalidBandwidthConstraint`] when `bandwidth` is
+    ///   not positive and finite;
+    /// - [`ClusterError::NoMatchingClass`] when `bandwidth` exceeds every
+    ///   configured class;
+    /// - [`ClusterError::UnknownNeighbor`] when `start` is outside
+    ///   `0..hosts`.
+    pub fn validate(
+        &self,
+        classes: &BandwidthClasses,
+        hosts: usize,
+    ) -> Result<usize, ClusterError> {
+        if self.k < 2 {
+            return Err(ClusterError::InvalidSizeConstraint { k: self.k });
+        }
+        let class_idx = classes.snap_up(self.bandwidth)?;
+        if self.start.index() >= hosts {
+            return Err(ClusterError::UnknownNeighbor {
+                neighbor: self.start.index(),
+            });
+        }
+        Ok(class_idx)
+    }
+}
+
 /// The result of routing one query through the overlay.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryOutcome {
@@ -97,6 +158,8 @@ impl Default for RetryPolicy {
 /// # Errors
 ///
 /// - [`ClusterError::InvalidSizeConstraint`] when `k < 2`.
+/// - [`ClusterError::InvalidBandwidthConstraint`] when `bandwidth` is not
+///   positive and finite.
 /// - [`ClusterError::NoMatchingClass`] when `bandwidth` exceeds every
 ///   configured class.
 /// - [`ClusterError::UnknownNeighbor`] when `start` is out of range.
@@ -133,15 +196,7 @@ pub fn process_query_with_policy(
     mut dist: impl FnMut(NodeId, NodeId) -> f64,
     policy: RoutePolicy,
 ) -> Result<QueryOutcome, ClusterError> {
-    if k < 2 {
-        return Err(ClusterError::InvalidSizeConstraint { k });
-    }
-    let class_idx = classes.snap_up(bandwidth)?;
-    if start.index() >= nodes.len() {
-        return Err(ClusterError::UnknownNeighbor {
-            neighbor: start.index(),
-        });
-    }
+    let class_idx = QueryRequest::new(start, k, bandwidth).validate(classes, nodes.len())?;
 
     let mut current = start;
     let mut previous: Option<NodeId> = None;
@@ -225,15 +280,7 @@ pub fn process_query_resilient(
     retry: &RetryPolicy,
     mut alive: impl FnMut(NodeId) -> bool,
 ) -> Result<QueryOutcome, ClusterError> {
-    if k < 2 {
-        return Err(ClusterError::InvalidSizeConstraint { k });
-    }
-    let class_idx = classes.snap_up(bandwidth)?;
-    if start.index() >= nodes.len() {
-        return Err(ClusterError::UnknownNeighbor {
-            neighbor: start.index(),
-        });
-    }
+    let class_idx = QueryRequest::new(start, k, bandwidth).validate(classes, nodes.len())?;
     if !alive(start) {
         return Err(ClusterError::NodeUnavailable {
             node: start.index(),
@@ -430,6 +477,48 @@ mod tests {
         assert!(matches!(
             process_query(&nodes, n(9), 2, 50.0, &classes(), line_dist),
             Err(ClusterError::UnknownNeighbor { .. })
+        ));
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                process_query(&nodes, n(0), 2, bad, &classes(), line_dist),
+                Err(ClusterError::InvalidBandwidthConstraint { .. })
+            ));
+            assert!(matches!(
+                process_query_resilient(
+                    &nodes,
+                    n(0),
+                    2,
+                    bad,
+                    &classes(),
+                    line_dist,
+                    RoutePolicy::FirstFit,
+                    &RetryPolicy::default(),
+                    |_| true,
+                ),
+                Err(ClusterError::InvalidBandwidthConstraint { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn query_request_validates_at_the_boundary() {
+        let cls = classes();
+        assert_eq!(QueryRequest::new(n(0), 2, 50.0).validate(&cls, 4), Ok(0));
+        assert!(matches!(
+            QueryRequest::new(n(0), 1, 50.0).validate(&cls, 4),
+            Err(ClusterError::InvalidSizeConstraint { k: 1 })
+        ));
+        assert!(matches!(
+            QueryRequest::new(n(0), 2, -1.0).validate(&cls, 4),
+            Err(ClusterError::InvalidBandwidthConstraint { .. })
+        ));
+        assert!(matches!(
+            QueryRequest::new(n(0), 2, 90.0).validate(&cls, 4),
+            Err(ClusterError::NoMatchingClass { .. })
+        ));
+        assert!(matches!(
+            QueryRequest::new(n(4), 2, 50.0).validate(&cls, 4),
+            Err(ClusterError::UnknownNeighbor { neighbor: 4 })
         ));
     }
 

@@ -132,6 +132,7 @@ pub struct PredictionFramework {
     rng: StdRng,
     join_order: Vec<NodeId>,
     probes: u64,
+    revision: u64,
 }
 
 impl PredictionFramework {
@@ -145,6 +146,7 @@ impl PredictionFramework {
             rng: StdRng::seed_from_u64(config.seed),
             join_order: Vec::new(),
             probes: 0,
+            revision: 0,
         }
     }
 
@@ -192,6 +194,19 @@ impl PredictionFramework {
     /// - [`EmbedError::InvalidDistance`] if the oracle returns a negative,
     ///   `NaN` or infinite distance.
     pub fn join(
+        &mut self,
+        x: NodeId,
+        oracle: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Result<(), EmbedError> {
+        self.attach(x, oracle)?;
+        self.revision += 1;
+        Ok(())
+    }
+
+    /// [`PredictionFramework::join`] without the revision bump — the shared
+    /// placement path, also used to re-join orphans during a leave (one
+    /// membership operation bumps the revision exactly once).
+    fn attach(
         &mut self,
         x: NodeId,
         mut oracle: impl FnMut(NodeId, NodeId) -> f64,
@@ -443,8 +458,9 @@ impl PredictionFramework {
         // Re-join the orphaned descendants (everything but x itself), in
         // their original BFS order so anchors are available again.
         for &h in subtree.iter().filter(|&&h| h != x) {
-            self.join(h, &mut oracle)?;
+            self.attach(h, &mut oracle)?;
         }
+        self.revision += 1;
         Ok(())
     }
 
@@ -484,6 +500,33 @@ impl PredictionFramework {
     /// Total measurements performed across all joins so far.
     pub fn probe_count(&self) -> u64 {
         self.probes
+    }
+
+    /// Monotone membership revision: incremented exactly once per
+    /// successful [`PredictionFramework::join`] or
+    /// [`PredictionFramework::leave`], however many hosts the operation
+    /// internally re-embeds. Serving layers use it as a cheap epoch for
+    /// churn-aware cache invalidation (a bumped revision means every
+    /// prediction may have changed).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Deterministic digest of the anchor-tree structure (every host → its
+    /// anchor parent, in BFS order): equal digests mean an identical overlay
+    /// topology. Combined with the gossip-state digest this keys
+    /// churn-aware result caches.
+    pub fn structure_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        let order = self.anchor.bfs_order();
+        order.len().hash(&mut h);
+        for host in order {
+            host.index().hash(&mut h);
+            self.anchor.parent(host).map(NodeId::index).hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Materializes the predicted metric over dense host ids `0..n`.
@@ -576,6 +619,33 @@ mod tests {
         DistanceMatrix::from_fn(n_hosts, |i, j| {
             (spine(i) - spine(j)).abs() + pend(i) + pend(j)
         })
+    }
+
+    #[test]
+    fn revision_and_structure_digest_track_membership() {
+        let d = caterpillar(6);
+        let mut fw = PredictionFramework::new(FrameworkConfig::default());
+        assert_eq!(fw.revision(), 0);
+        let empty_digest = fw.structure_digest();
+        for i in 0..5 {
+            fw.join(n(i), |a, b| d.get(a.index(), b.index())).unwrap();
+        }
+        assert_eq!(fw.revision(), 5, "one bump per join");
+        assert_ne!(fw.structure_digest(), empty_digest);
+        // Failed operations leave the revision alone.
+        assert!(fw.join(n(0), |a, b| d.get(a.index(), b.index())).is_err());
+        assert_eq!(fw.revision(), 5);
+        let before = fw.structure_digest();
+        fw.leave(n(1), |a, b| d.get(a.index(), b.index())).unwrap();
+        assert_eq!(fw.revision(), 6, "a leave bumps once despite re-joins");
+        assert_ne!(fw.structure_digest(), before);
+        // Same membership grown the same way reproduces the same digest.
+        let mut fw2 = PredictionFramework::new(FrameworkConfig::default());
+        for i in 0..5 {
+            fw2.join(n(i), |a, b| d.get(a.index(), b.index())).unwrap();
+        }
+        fw2.leave(n(1), |a, b| d.get(a.index(), b.index())).unwrap();
+        assert_eq!(fw.structure_digest(), fw2.structure_digest());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Batch scheduling: coalescing identical queries and grouping the rest
+//! into per-class lanes that fan out over the `bcc-par` runtime.
+//!
+//! A drained batch is reduced to its *unique* jobs (same submit node, `k`
+//! and snapped class ⇒ same answer, computed once and fanned back out to
+//! every requester) and the jobs are grouped into **lanes** by bandwidth
+//! class. Each lane is handed to one `bcc-par` worker and processed
+//! serially in job order, so the set of results — and therefore every
+//! response — is identical for any thread count, including the serial
+//! fallback at one thread.
+
+use crate::cache::CacheKey;
+
+/// One unit of computation in a batch: a unique query identity plus every
+/// batch position waiting for its answer.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The coalesced query identity.
+    pub key: CacheKey,
+    /// Positions in the drained batch that receive this job's answer, in
+    /// submission order (the first is the *representative* whose raw
+    /// request is executed).
+    pub positions: Vec<usize>,
+}
+
+/// A group of jobs sharing a bandwidth class, executed by one worker.
+#[derive(Debug, Clone)]
+pub struct BatchLane {
+    /// Snapped bandwidth-class index shared by every job in the lane.
+    pub class_idx: usize,
+    /// Indices into the job list, in first-appearance order.
+    pub jobs: Vec<usize>,
+}
+
+/// Coalesces `keys` (one per batch position, misses only) into unique jobs
+/// and groups the jobs into per-class lanes.
+///
+/// Both levels preserve first-appearance order, so the plan — and
+/// everything downstream of it — is deterministic in the submission order
+/// alone.
+pub fn plan(keys: &[(usize, CacheKey)], coalesce: bool) -> (Vec<BatchJob>, Vec<BatchLane>) {
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    for &(pos, key) in keys {
+        match jobs.iter_mut().find(|j| coalesce && j.key == key) {
+            Some(job) => job.positions.push(pos),
+            None => jobs.push(BatchJob {
+                key,
+                positions: vec![pos],
+            }),
+        }
+    }
+    let mut lanes: Vec<BatchLane> = Vec::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        match lanes.iter_mut().find(|l| l.class_idx == job.key.class_idx) {
+            Some(lane) => lane.jobs.push(idx),
+            None => lanes.push(BatchLane {
+                class_idx: job.key.class_idx,
+                jobs: vec![idx],
+            }),
+        }
+    }
+    (jobs, lanes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_metric::NodeId;
+
+    fn key(start: usize, k: usize, class_idx: usize) -> CacheKey {
+        CacheKey {
+            start: NodeId::new(start),
+            k,
+            class_idx,
+        }
+    }
+
+    #[test]
+    fn coalesces_identical_queries_and_lanes_by_class() {
+        let keys = vec![
+            (0, key(1, 2, 0)),
+            (1, key(2, 3, 1)),
+            (2, key(1, 2, 0)), // duplicate of position 0
+            (3, key(3, 2, 1)),
+            (4, key(1, 2, 0)), // duplicate again
+        ];
+        let (jobs, lanes) = plan(&keys, true);
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].positions, vec![0, 2, 4]);
+        assert_eq!(jobs[1].positions, vec![1]);
+        assert_eq!(jobs[2].positions, vec![3]);
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].class_idx, 0);
+        assert_eq!(lanes[0].jobs, vec![0]);
+        assert_eq!(lanes[1].class_idx, 1);
+        assert_eq!(lanes[1].jobs, vec![1, 2]);
+    }
+
+    #[test]
+    fn without_coalescing_every_position_is_a_job() {
+        let keys = vec![(0, key(1, 2, 0)), (1, key(1, 2, 0))];
+        let (jobs, lanes) = plan(&keys, false);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].jobs, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_batch_plans_empty() {
+        let (jobs, lanes) = plan(&[], true);
+        assert!(jobs.is_empty());
+        assert!(lanes.is_empty());
+    }
+}

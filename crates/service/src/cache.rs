@@ -1,0 +1,235 @@
+//! Churn-aware result cache: `(submit node, k, b-class)` → answer, valid
+//! only for the exact overlay state it was computed against.
+//!
+//! Every entry is stamped with the membership **epoch**
+//! ([`bcc_simnet::DynamicSystem::epoch`]) and the overlay gossip **digest**
+//! ([`bcc_simnet::DynamicSystem::live_digest`]) at compute time. A lookup
+//! must present the *current* epoch and digest; any mismatch — a join, a
+//! leave, a crash, a recovery, or a fault window that disturbed gossip
+//! state without changing membership — invalidates the entry on the spot.
+//! Stale answers are therefore never served by construction; the serving
+//! layer additionally audits this with a recompute-and-compare oracle (see
+//! [`crate::ServiceStats::stale_hits`]).
+//!
+//! Eviction is FIFO by insertion order and strictly bounded by capacity, so
+//! the cache is deterministic: the same workload against the same system
+//! produces the same hit/miss sequence regardless of thread count.
+
+use std::collections::{HashMap, VecDeque};
+
+use bcc_core::QueryOutcome;
+use bcc_metric::NodeId;
+
+/// Cache key: the query identity after class snapping.
+///
+/// The raw bandwidth is deliberately absent — two queries whose `b` snaps
+/// to the same class are answered identically (the walk only ever consults
+/// the class), so keying by class maximizes hits without risking a
+/// different answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Query entry node.
+    pub start: NodeId,
+    /// Requested cluster size.
+    pub k: usize,
+    /// Snapped bandwidth-class index.
+    pub class_idx: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    epoch: u64,
+    digest: u64,
+    outcome: QueryOutcome,
+}
+
+/// Hit/miss/invalidation counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a fresh entry.
+    pub hits: u64,
+    /// Lookups with no usable entry.
+    pub misses: u64,
+    /// Entries dropped because their epoch/digest no longer matched the
+    /// live overlay (churn or fault disturbance since compute time).
+    pub invalidated: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evicted: u64,
+    /// Entries stored.
+    pub inserted: u64,
+}
+
+/// A bounded, epoch+digest-validated result cache.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, CacheEntry>,
+    order: VecDeque<CacheKey>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded at `capacity` entries (`0` = caching
+    /// disabled: every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether the cache can hold anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key` against the live overlay identified by `(epoch,
+    /// digest)`. A stored entry computed under any other overlay state is
+    /// removed and counted as invalidated, never returned.
+    pub fn lookup(&mut self, key: &CacheKey, epoch: u64, digest: u64) -> Option<&QueryOutcome> {
+        if !self.enabled() {
+            self.stats.misses += 1;
+            return None;
+        }
+        match self.map.get(key) {
+            Some(entry) if entry.epoch == epoch && entry.digest == digest => {
+                self.stats.hits += 1;
+                // Re-borrow immutably for the return value.
+                Some(&self.map.get(key).expect("just found").outcome)
+            }
+            Some(_) => {
+                self.map.remove(key);
+                self.order.retain(|k| k != key);
+                self.stats.invalidated += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an answer computed under `(epoch, digest)`, evicting the
+    /// oldest entries beyond capacity.
+    pub fn insert(&mut self, key: CacheKey, epoch: u64, digest: u64, outcome: QueryOutcome) {
+        if !self.enabled() {
+            return;
+        }
+        if self
+            .map
+            .insert(
+                key,
+                CacheEntry {
+                    epoch,
+                    digest,
+                    outcome,
+                },
+            )
+            .is_none()
+        {
+            self.order.push_back(key);
+        }
+        self.stats.inserted += 1;
+        while self.map.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&oldest);
+            self.stats.evicted += 1;
+        }
+    }
+
+    /// Drops every entry (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_core::Degradation;
+
+    fn key(start: usize, k: usize, class_idx: usize) -> CacheKey {
+        CacheKey {
+            start: NodeId::new(start),
+            k,
+            class_idx,
+        }
+    }
+
+    fn outcome(tag: usize) -> QueryOutcome {
+        QueryOutcome {
+            cluster: Some(vec![NodeId::new(tag)]),
+            hops: tag,
+            path: vec![NodeId::new(tag)],
+            degradation: Degradation::default(),
+        }
+    }
+
+    #[test]
+    fn hit_only_on_matching_epoch_and_digest() {
+        let mut c = ResultCache::new(8);
+        c.insert(key(0, 2, 1), 5, 77, outcome(1));
+        assert!(c.lookup(&key(0, 2, 1), 5, 77).is_some());
+        // Epoch moved on (churn): entry is invalidated, not served.
+        assert!(c.lookup(&key(0, 2, 1), 6, 77).is_none());
+        assert_eq!(c.stats().invalidated, 1);
+        assert!(c.is_empty());
+        // Digest moved with the same epoch (fault window): same treatment.
+        c.insert(key(0, 2, 1), 6, 77, outcome(1));
+        assert!(c.lookup(&key(0, 2, 1), 6, 78).is_none());
+        assert_eq!(c.stats().invalidated, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 2, 0), 1, 1, outcome(0));
+        c.insert(key(1, 2, 0), 1, 1, outcome(1));
+        c.insert(key(2, 2, 0), 1, 1, outcome(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evicted, 1);
+        assert!(c.lookup(&key(0, 2, 0), 1, 1).is_none(), "oldest evicted");
+        assert!(c.lookup(&key(2, 2, 0), 1, 1).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 2, 0), 1, 1, outcome(0));
+        c.insert(key(0, 2, 0), 2, 2, outcome(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(&key(0, 2, 0), 2, 2).unwrap().hops, 9);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        assert!(!c.enabled());
+        c.insert(key(0, 2, 0), 1, 1, outcome(0));
+        assert!(c.is_empty());
+        assert!(c.lookup(&key(0, 2, 0), 1, 1).is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed errors of the serving layer.
+
+use std::fmt;
+
+use bcc_core::QueryError;
+
+/// An error from the serving front end.
+///
+/// Per-query *execution* failures (submit node crashed mid-flight, no
+/// overlay yet) are not errors of the service itself: they surface inside
+/// the corresponding [`crate::ServiceResponse`]. `ServiceError` covers the
+/// admission boundary — requests the service refuses to even enqueue — and
+/// configuration mistakes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The admission controller shed the request: the bounded in-flight
+    /// queue is full. Back off and resubmit; nothing was enqueued.
+    Overloaded {
+        /// Queries currently queued.
+        in_flight: usize,
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The request failed library-boundary validation (`k < 2`,
+    /// non-positive bandwidth, no matching class, unknown submit node).
+    Rejected(QueryError),
+    /// `queue_capacity` must admit at least one query.
+    ZeroQueueCapacity,
+    /// `batch_max` must allow at least one query per batch.
+    ZeroBatchMax,
+}
+
+impl From<QueryError> for ServiceError {
+    fn from(e: QueryError) -> Self {
+        ServiceError::Rejected(e)
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded {
+                in_flight,
+                capacity,
+            } => write!(
+                f,
+                "service overloaded: {in_flight} queries in flight (capacity {capacity})"
+            ),
+            ServiceError::Rejected(e) => write!(f, "query rejected: {e}"),
+            ServiceError::ZeroQueueCapacity => write!(f, "queue_capacity must be at least 1"),
+            ServiceError::ZeroBatchMax => write!(f, "batch_max must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ServiceError::Overloaded {
+            in_flight: 8,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ServiceError::from(QueryError::InvalidSizeConstraint { k: 1 });
+        assert!(e.to_string().contains("at least 2"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ServiceError::ZeroQueueCapacity.to_string().contains("1"));
+        assert!(ServiceError::ZeroBatchMax.to_string().contains("1"));
+    }
+}

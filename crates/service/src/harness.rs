@@ -1,0 +1,297 @@
+//! Chaos harness for the serving layer: drives a [`ClusterService`]
+//! through a seeded churn-and-fault schedule while a repeated query
+//! workload hammers the cache, auditing **every** cached answer against a
+//! fresh recomputation.
+//!
+//! This is the serving-layer extension of the simnet chaos harness
+//! (`bcc_simnet::chaos`): the same deterministic schedules
+//! ([`generate_schedule`]), applied through the service's churn wrappers
+//! and [`ClusterService::with_system_mut`] fault windows, plus one extra
+//! oracle the simnet harness cannot express — **no stale answer is ever
+//! served from the cache**. The audit runs with
+//! [`ServiceConfig::verify_cached`] on, so a single stale serve anywhere
+//! in the run shows up in [`ServeChaosReport::stale_hits`].
+
+use bcc_core::BandwidthClasses;
+use bcc_metric::{BandwidthMatrix, NodeId, RationalTransform};
+use bcc_simnet::{
+    generate_schedule, ChaosConfig, ChaosEvent, DynamicSystem, FaultPlan, SystemConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::CacheStats;
+use crate::service::{ClusterQuery, ClusterService, ServiceConfig, ServiceStats};
+
+/// Access-link capacities the harness universes draw from (Mbps) — the
+/// paper's fast/medium/slow population mix, matching the simnet chaos
+/// harness.
+const CAPS: [f64; 3] = [10.0, 30.0, 100.0];
+
+/// Bandwidth class thresholds every harness universe serves against.
+const CLASS_BOUNDS: [f64; 2] = [25.0, 60.0];
+
+/// Cluster sizes the repeated workload cycles through.
+const WORKLOAD_KS: [usize; 3] = [2, 3, 4];
+
+/// Tunables for [`serve_chaos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeChaosConfig {
+    /// Hosts in the measurement universe.
+    pub universe: usize,
+    /// Random schedule events after the initial joins.
+    pub steps: usize,
+    /// Repeated-workload queries submitted (and drained) after every
+    /// schedule event — the traffic that turns the cache over.
+    pub queries_per_step: usize,
+}
+
+impl Default for ServeChaosConfig {
+    fn default() -> Self {
+        ServeChaosConfig {
+            universe: 8,
+            steps: 24,
+            queries_per_step: 6,
+        }
+    }
+}
+
+/// What one [`serve_chaos`] run did and proved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeChaosReport {
+    /// Schedule events applied (all of them; fault-window and churn events
+    /// whose target is in the wrong state skip benignly, like the simnet
+    /// harness).
+    pub events: usize,
+    /// Responses returned by the service over the whole run.
+    pub responses: u64,
+    /// Responses served from the churn-aware cache — every one of them
+    /// audited bit-for-bit against a fresh recomputation.
+    pub cached: u64,
+    /// Audited cache hits that disagreed with the recomputation. The
+    /// harness's headline oracle: **must be 0**.
+    pub stale_hits: u64,
+    /// Aggregate service counters at the end of the run.
+    pub service: ServiceStats,
+    /// Cache counters at the end of the run.
+    pub cache: CacheStats,
+}
+
+/// Expands a seed into the universe's ground-truth bandwidth matrix
+/// (min of the endpoints' access links).
+fn universe_bandwidth(seed: u64, universe: usize) -> BandwidthMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E7E_CAB5);
+    let caps: Vec<f64> = (0..universe)
+        .map(|_| CAPS[rng.gen_range(0..CAPS.len())])
+        .collect();
+    BandwidthMatrix::from_fn(universe, |i, j| caps[i].min(caps[j]))
+}
+
+/// Builds a service over a fresh seeded universe with the given knobs
+/// (callers beyond the harness: benches and examples).
+///
+/// # Panics
+///
+/// Panics when `config` fails validation or `universe == 0` — both
+/// caller bugs, not data-dependent conditions.
+pub fn seeded_service(seed: u64, universe: usize, config: ServiceConfig) -> ClusterService {
+    assert!(universe > 0, "universe must have at least one host");
+    let bandwidth = universe_bandwidth(seed, universe);
+    let classes = BandwidthClasses::new(CLASS_BOUNDS.to_vec(), RationalTransform::default());
+    let system = DynamicSystem::try_new(bandwidth, SystemConfig::new(classes))
+        .expect("default system config is valid");
+    ClusterService::new(system, config).expect("validated service config")
+}
+
+/// Applies one fault-window event through the live overlay: inject the
+/// plan, run the faulty rounds, heal, re-converge. Mirrors the simnet
+/// chaos harness's window semantics so schedules stress the service the
+/// same way they stress the bare system.
+fn fault_window(
+    sys: &mut DynamicSystem,
+    plan_seed: u64,
+    rounds: usize,
+    self_healing: bool,
+    build_plan: impl FnOnce(f64, FaultPlan) -> FaultPlan,
+) {
+    let max_rounds = sys.config().max_rounds;
+    let Some(net) = sys.network_mut() else {
+        return;
+    };
+    let t0 = net.rounds_run() as f64;
+    let plan = build_plan(t0, FaultPlan::new(plan_seed));
+    net.inject_faults(&plan);
+    let window = if self_healing { rounds + 1 } else { rounds };
+    for _ in 0..window {
+        net.run_round();
+    }
+    net.clear_fault_injector();
+    net.run_to_convergence(max_rounds);
+}
+
+/// Directed overlay edges of the live network (both directions).
+fn overlay_edges(sys: &DynamicSystem) -> Vec<(NodeId, NodeId)> {
+    let anchor = sys.framework().anchor();
+    anchor
+        .bfs_order()
+        .into_iter()
+        .flat_map(|h| anchor.neighbors(h).into_iter().map(move |v| (h, v)))
+        .collect()
+}
+
+fn apply_event(service: &mut ClusterService, event: &ChaosEvent, plan_seed: u64) {
+    match event {
+        // Churn goes through the service wrappers (epoch bumps). Embed
+        // errors (double join, absent leave …) skip benignly, exactly as
+        // in the simnet harness.
+        ChaosEvent::Join { host } => drop(service.join(NodeId::new(*host))),
+        ChaosEvent::Leave { host } => drop(service.leave(NodeId::new(*host))),
+        ChaosEvent::Crash { host } => drop(service.crash(NodeId::new(*host))),
+        ChaosEvent::Recover { host } => drop(service.recover(NodeId::new(*host))),
+        // Schedule queries ride the normal admission path.
+        ChaosEvent::Query {
+            start,
+            k,
+            bandwidth,
+        } => drop(service.submit(ClusterQuery::new(NodeId::new(*start), *k, *bandwidth))),
+        ChaosEvent::Loss { loss, rounds } => service.with_system_mut(|sys| {
+            fault_window(sys, plan_seed, *rounds, false, |t0, plan| {
+                plan.uniform_loss(t0, loss.clamp(0.0, 1.0), None)
+            });
+        }),
+        ChaosEvent::Duplicate { dup, rounds } => service.with_system_mut(|sys| {
+            let edges = overlay_edges(sys);
+            fault_window(sys, plan_seed, *rounds, false, |t0, mut plan| {
+                for &(u, v) in &edges {
+                    plan = plan.link_duplicate(t0, u, v, dup.clamp(0.0, 1.0), None);
+                }
+                plan
+            });
+        }),
+        ChaosEvent::Delay { extra, rounds } => service.with_system_mut(|sys| {
+            let edges = overlay_edges(sys);
+            let extra = *extra as f64;
+            fault_window(sys, plan_seed, *rounds, false, |t0, mut plan| {
+                for &(u, v) in &edges {
+                    plan = plan.latency_spike(t0, u, v, (extra, extra), None);
+                }
+                plan
+            });
+        }),
+        ChaosEvent::Partition { group, rounds } => service.with_system_mut(|sys| {
+            let members: Vec<NodeId> = group
+                .iter()
+                .map(|&h| NodeId::new(h))
+                .filter(|&h| sys.active().any(|a| a == h))
+                .collect();
+            if members.is_empty() || members.len() >= sys.len() {
+                return;
+            }
+            fault_window(sys, plan_seed, *rounds, false, |t0, plan| {
+                plan.partition(t0, members.clone(), None)
+            });
+        }),
+        ChaosEvent::Outage { host, rounds } => service.with_system_mut(|sys| {
+            let node = NodeId::new(*host);
+            if !sys.active().any(|a| a == node) || sys.len() <= 1 {
+                return;
+            }
+            let down_for = *rounds as f64;
+            fault_window(sys, plan_seed, *rounds, true, |t0, plan| {
+                plan.crash_recover(t0, node, down_for)
+            });
+        }),
+    }
+}
+
+/// Submits `count` repeated-workload queries at live hosts. The workload
+/// is deliberately repetitive — a small pool of `(start, k, class)`
+/// combinations — so the cache is constantly re-hit right after churn and
+/// fault events, which is exactly where a stale serve would hide.
+fn submit_workload(service: &mut ClusterService, rng: &mut StdRng, count: usize) {
+    let live: Vec<NodeId> = service.system().active().collect();
+    if live.is_empty() {
+        return;
+    }
+    for _ in 0..count {
+        let start = live[rng.gen_range(0..live.len())];
+        let k = WORKLOAD_KS[rng.gen_range(0..WORKLOAD_KS.len())];
+        let bandwidth = CLASS_BOUNDS[rng.gen_range(0..CLASS_BOUNDS.len())] - 1.0;
+        let _ = service.submit(ClusterQuery::new(start, k, bandwidth));
+    }
+}
+
+/// Runs the full serving chaos harness for one seed: generate the seed's
+/// schedule, apply every event through the service, hammer the cache with
+/// a repeated workload between events, and audit every cached answer.
+///
+/// Deterministic: the same `(seed, cfg)` always produces the same report.
+pub fn serve_chaos(seed: u64, cfg: &ServeChaosConfig) -> ServeChaosReport {
+    let chaos_cfg = ChaosConfig {
+        universe: cfg.universe,
+        steps: cfg.steps,
+    };
+    let schedule = generate_schedule(seed, &chaos_cfg);
+    let mut service = seeded_service(
+        seed,
+        cfg.universe,
+        ServiceConfig {
+            verify_cached: true,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5E_55ED);
+    let mut report = ServeChaosReport::default();
+
+    for (step, event) in schedule.iter().enumerate() {
+        let plan_seed = seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        apply_event(&mut service, event, plan_seed);
+        submit_workload(&mut service, &mut rng, cfg.queries_per_step);
+        for response in service.drain() {
+            report.responses += 1;
+            if response.cached {
+                report.cached += 1;
+            }
+        }
+        report.events += 1;
+    }
+
+    report.service = service.stats();
+    report.cache = service.cache_stats();
+    report.stale_hits = report.service.stale_hits;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_chaos_is_deterministic_and_stale_free() {
+        let cfg = ServeChaosConfig {
+            universe: 8,
+            steps: 12,
+            queries_per_step: 4,
+        };
+        let a = serve_chaos(7, &cfg);
+        let b = serve_chaos(7, &cfg);
+        assert_eq!(a, b, "same seed must reproduce the same report");
+        assert!(a.responses > 0, "workload must actually serve queries");
+        assert_eq!(a.stale_hits, 0, "no audited cache hit may be stale");
+    }
+
+    #[test]
+    fn workload_actually_hits_the_cache() {
+        let cfg = ServeChaosConfig {
+            universe: 6,
+            steps: 10,
+            queries_per_step: 8,
+        };
+        let report = serve_chaos(3, &cfg);
+        assert!(
+            report.cached > 0,
+            "repeated workload should produce cache hits, got {report:?}"
+        );
+        assert_eq!(report.stale_hits, 0);
+    }
+}

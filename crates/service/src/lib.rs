@@ -1,0 +1,45 @@
+//! `bcc-service`: a batched, churn-aware serving layer for decentralized
+//! bandwidth-constrained cluster queries.
+//!
+//! The crates below this one answer *one* query against *one* overlay
+//! state. This crate turns that into a serving discipline for sustained
+//! query traffic against a system under churn:
+//!
+//! - **Admission control** ([`ClusterService::submit`]): requests are
+//!   validated at the boundary (typed [`ServiceError::Rejected`]) and held
+//!   in a bounded in-flight queue; beyond the bound they are shed with
+//!   [`ServiceError::Overloaded`] instead of being silently dropped or
+//!   queued unboundedly.
+//! - **Batch scheduling** ([`ClusterService::tick`] /
+//!   [`ClusterService::drain`]): admitted queries are drained in batches,
+//!   identical queries coalesce into one computation, and compatible
+//!   queries group into per-bandwidth-class lanes that fan out over the
+//!   `bcc-par` runtime — one worker per lane, serial inside a lane, so
+//!   responses are bit-identical for any thread count and always returned
+//!   in submission order.
+//! - **Churn-aware caching** ([`ResultCache`]): answers are cached per
+//!   `(submit node, k, b-class)` and stamped with the membership epoch
+//!   ([`bcc_simnet::DynamicSystem::epoch`]) and live overlay digest
+//!   ([`bcc_simnet::DynamicSystem::live_digest`]) they were computed
+//!   under. Any churn or fault disturbance changes the stamp and the
+//!   entry is invalidated on its next lookup — a stale answer is never
+//!   served, and the [`serve_chaos`] harness audits exactly that claim by
+//!   recomputing every cached answer under churn-heavy chaos schedules.
+//!
+//! Determinism is load-bearing throughout: cached and uncached serving
+//! produce bit-identical responses (see `tests/proptest_service.rs`), and
+//! the chaos harness reports are reproducible from their seed.
+
+#![warn(missing_docs)]
+
+mod batch;
+mod cache;
+mod error;
+mod harness;
+mod service;
+
+pub use batch::{plan, BatchJob, BatchLane};
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use error::ServiceError;
+pub use harness::{seeded_service, serve_chaos, ServeChaosConfig, ServeChaosReport};
+pub use service::{ClusterQuery, ClusterService, ServiceConfig, ServiceResponse, ServiceStats};

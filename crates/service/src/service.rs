@@ -1,0 +1,387 @@
+//! The serving front end: admission control, batch execution and the
+//! churn-aware cache, glued to a live [`DynamicSystem`].
+
+use std::collections::VecDeque;
+
+use bcc_core::{QueryError, QueryOutcome, QueryRequest, RetryPolicy};
+use bcc_metric::NodeId;
+use bcc_simnet::{ChurnError, DynamicSystem};
+
+use crate::batch::{self, BatchJob};
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::error::ServiceError;
+
+/// One cluster query as submitted by a client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterQuery {
+    /// Node the query enters the overlay at.
+    pub submit_node: NodeId,
+    /// Requested cluster size (`k ≥ 2`).
+    pub k: usize,
+    /// Requested bandwidth constraint (positive, finite; snapped up to a
+    /// class by the service).
+    pub bandwidth: f64,
+}
+
+impl ClusterQuery {
+    /// Convenience constructor.
+    pub fn new(submit_node: NodeId, k: usize, bandwidth: f64) -> Self {
+        ClusterQuery {
+            submit_node,
+            k,
+            bandwidth,
+        }
+    }
+}
+
+/// Tuning knobs of a [`ClusterService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bound on queued (admitted, not yet executed) queries; submissions
+    /// beyond it are shed with [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Most queries drained into one batch.
+    pub batch_max: usize,
+    /// Result-cache bound in entries; `0` disables caching (and with it
+    /// intra-batch coalescing), giving the uncached baseline.
+    pub cache_capacity: usize,
+    /// Retry/backoff policy for every executed query.
+    pub retry: RetryPolicy,
+    /// When set, every cache hit is audited: the answer is recomputed
+    /// fresh and compared bit-for-bit. A mismatch counts as a stale hit
+    /// ([`ServiceStats::stale_hits`]) and the fresh answer is served. Off
+    /// by default (it defeats the point of caching); benches and chaos
+    /// harnesses turn it on to prove the invalidation story.
+    pub verify_cached: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 1024,
+            batch_max: 64,
+            cache_capacity: 4096,
+            retry: RetryPolicy::default(),
+            verify_cached: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Checks the knobs are usable.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ZeroQueueCapacity`] / [`ServiceError::ZeroBatchMax`]
+    /// when the respective bound would admit nothing.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.queue_capacity == 0 {
+            return Err(ServiceError::ZeroQueueCapacity);
+        }
+        if self.batch_max == 0 {
+            return Err(ServiceError::ZeroBatchMax);
+        }
+        Ok(())
+    }
+
+    /// This configuration with caching (and coalescing) turned off — the
+    /// baseline the cached service is benchmarked against.
+    pub fn uncached(mut self) -> Self {
+        self.cache_capacity = 0;
+        self
+    }
+}
+
+/// The service's answer to one admitted query.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// Admission ticket the answer corresponds to.
+    pub ticket: u64,
+    /// The query as submitted.
+    pub query: ClusterQuery,
+    /// The bandwidth class the query was snapped to.
+    pub class_idx: usize,
+    /// The decentralized query result, or the execution error (e.g. the
+    /// submit node crashed between admission and execution).
+    pub outcome: Result<QueryOutcome, QueryError>,
+    /// Whether the answer came from the churn-aware cache.
+    pub cached: bool,
+}
+
+/// Aggregate serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries admitted into the queue.
+    pub submitted: u64,
+    /// Submissions shed by the admission controller (queue full).
+    pub shed: u64,
+    /// Submissions rejected at validation (bad `k`, bad `b`, unknown node).
+    pub rejected: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Unique query jobs actually computed against the overlay.
+    pub executed: u64,
+    /// Queries answered by riding an identical in-batch computation.
+    pub coalesced: u64,
+    /// Cache hits whose audited recompute disagreed with the stored
+    /// answer. **Must stay 0**: the epoch+digest stamp makes a stale serve
+    /// impossible by construction, and this counter (populated only under
+    /// [`ServiceConfig::verify_cached`]) is the proof.
+    pub stale_hits: u64,
+}
+
+/// A batched, churn-aware serving layer over one [`DynamicSystem`].
+///
+/// Life cycle: clients [`submit`](ClusterService::submit) queries (bounded
+/// queue, typed shed), the owner pumps [`tick`](ClusterService::tick) (one
+/// batch) or [`drain`](ClusterService::drain) (until empty), and every
+/// admitted query gets exactly one [`ServiceResponse`], in submission
+/// order. Membership changes go through the churn wrappers so the epoch
+/// advances; arbitrary overlay surgery through
+/// [`with_system_mut`](ClusterService::with_system_mut) is still safe for
+/// the cache because entries are validated against the live gossip digest,
+/// not just the epoch.
+#[derive(Debug)]
+pub struct ClusterService {
+    system: DynamicSystem,
+    config: ServiceConfig,
+    queue: VecDeque<(u64, ClusterQuery, usize)>,
+    cache: ResultCache,
+    stats: ServiceStats,
+    next_ticket: u64,
+}
+
+impl ClusterService {
+    /// Wraps `system` behind the serving layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServiceConfig::validate`] failures.
+    pub fn new(system: DynamicSystem, config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let cache = ResultCache::new(config.cache_capacity);
+        Ok(ClusterService {
+            system,
+            config,
+            queue: VecDeque::new(),
+            cache,
+            stats: ServiceStats::default(),
+            next_ticket: 0,
+        })
+    }
+
+    /// Admits one query, returning its ticket.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServiceError::Rejected`] when the query fails library-boundary
+    ///   validation (`k < 2`, non-positive/non-finite bandwidth, no class
+    ///   can satisfy it, submit node outside the universe);
+    /// - [`ServiceError::Overloaded`] when the bounded queue is full —
+    ///   nothing is enqueued and the caller should back off.
+    pub fn submit(&mut self, query: ClusterQuery) -> Result<u64, ServiceError> {
+        let classes = &self.system.config().protocol.classes;
+        let class_idx = QueryRequest::new(query.submit_node, query.k, query.bandwidth)
+            .validate(classes, self.system.universe_size())
+            .map_err(|e| {
+                self.stats.rejected += 1;
+                ServiceError::Rejected(e)
+            })?;
+        if self.queue.len() >= self.config.queue_capacity {
+            self.stats.shed += 1;
+            return Err(ServiceError::Overloaded {
+                in_flight: self.queue.len(),
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.stats.submitted += 1;
+        self.queue.push_back((ticket, query, class_idx));
+        Ok(ticket)
+    }
+
+    /// Executes one batch (up to `batch_max` queued queries) and returns
+    /// its responses in submission order. Empty queue → empty vec.
+    pub fn tick(&mut self) -> Vec<ServiceResponse> {
+        let take = self.queue.len().min(self.config.batch_max);
+        if take == 0 {
+            return Vec::new();
+        }
+        let batch: Vec<(u64, ClusterQuery, usize)> = self.queue.drain(..take).collect();
+        self.stats.batches += 1;
+        self.process_batch(batch)
+    }
+
+    /// Pumps [`tick`](ClusterService::tick) until the queue is empty,
+    /// concatenating the responses (still in submission order).
+    pub fn drain(&mut self) -> Vec<ServiceResponse> {
+        let mut all = Vec::new();
+        while !self.queue.is_empty() {
+            all.extend(self.tick());
+        }
+        all
+    }
+
+    fn process_batch(&mut self, batch: Vec<(u64, ClusterQuery, usize)>) -> Vec<ServiceResponse> {
+        let epoch = self.system.epoch();
+        // No overlay yet (nobody joined) has no digest; any sentinel works
+        // because execution can only fail then, and failures are never
+        // cached.
+        let digest = self.system.live_digest().unwrap_or(u64::MAX);
+
+        let mut outcomes: Vec<Option<(Result<QueryOutcome, QueryError>, bool)>> =
+            vec![None; batch.len()];
+        let mut misses: Vec<(usize, CacheKey)> = Vec::new();
+        for (pos, (_, query, class_idx)) in batch.iter().enumerate() {
+            let key = CacheKey {
+                start: query.submit_node,
+                k: query.k,
+                class_idx: *class_idx,
+            };
+            match self.cache.lookup(&key, epoch, digest) {
+                Some(hit) => outcomes[pos] = Some((Ok(hit.clone()), true)),
+                None => misses.push((pos, key)),
+            }
+        }
+
+        // Coalescing rides the same correctness argument as the cache
+        // (same key ⇒ same answer), so the uncached baseline computes
+        // every query individually.
+        let (jobs, lanes) = batch::plan(&misses, self.cache.enabled());
+
+        // One worker per lane; lanes run serially inside, so the result
+        // set is identical for any thread count.
+        let system = &self.system;
+        let retry = &self.config.retry;
+        let lane_results: Vec<Vec<(usize, Result<QueryOutcome, QueryError>)>> =
+            bcc_par::par_map(lanes.len(), |l| {
+                lanes[l]
+                    .jobs
+                    .iter()
+                    .map(|&j| {
+                        let BatchJob { key, .. } = &jobs[j];
+                        let rep = batch[jobs[j].positions[0]].1;
+                        debug_assert_eq!(rep.submit_node, key.start);
+                        (
+                            j,
+                            system.query_resilient(rep.submit_node, rep.k, rep.bandwidth, retry),
+                        )
+                    })
+                    .collect()
+            });
+
+        for (j, result) in lane_results.into_iter().flatten() {
+            self.stats.executed += 1;
+            if let Ok(outcome) = &result {
+                self.cache
+                    .insert(jobs[j].key, epoch, digest, outcome.clone());
+            }
+            self.stats.coalesced += (jobs[j].positions.len() - 1) as u64;
+            for &pos in &jobs[j].positions {
+                outcomes[pos] = Some((result.clone(), false));
+            }
+        }
+
+        batch
+            .into_iter()
+            .zip(outcomes)
+            .map(|((ticket, query, class_idx), slot)| {
+                let (mut outcome, cached) = slot.expect("every position answered");
+                if cached && self.config.verify_cached {
+                    let fresh = self.system.query_resilient(
+                        query.submit_node,
+                        query.k,
+                        query.bandwidth,
+                        &self.config.retry,
+                    );
+                    if fresh != outcome {
+                        self.stats.stale_hits += 1;
+                        outcome = fresh;
+                    }
+                }
+                ServiceResponse {
+                    ticket,
+                    query,
+                    class_idx,
+                    outcome,
+                    cached,
+                }
+            })
+            .collect()
+    }
+
+    /// Joins a universe host (see [`DynamicSystem::join`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DynamicSystem::join`] failures.
+    pub fn join(&mut self, host: NodeId) -> Result<(), ChurnError> {
+        self.system.join(host)
+    }
+
+    /// Gracefully removes a host (see [`DynamicSystem::leave`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DynamicSystem::leave`] failures.
+    pub fn leave(&mut self, host: NodeId) -> Result<(), ChurnError> {
+        self.system.leave(host)
+    }
+
+    /// Crashes a host without warning (see [`DynamicSystem::crash`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DynamicSystem::crash`] failures.
+    pub fn crash(&mut self, host: NodeId) -> Result<(), ChurnError> {
+        self.system.crash(host)
+    }
+
+    /// Recovers a crashed host (see [`DynamicSystem::recover`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DynamicSystem::recover`] failures.
+    pub fn recover(&mut self, host: NodeId) -> Result<(), ChurnError> {
+        self.system.recover(host)
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &DynamicSystem {
+        &self.system
+    }
+
+    /// Runs `f` with mutable access to the wrapped system — the hook chaos
+    /// harnesses use to open fault windows or disturb gossip state. Safe
+    /// for the cache: any state change shows up in the live digest, which
+    /// every lookup is validated against.
+    pub fn with_system_mut<R>(&mut self, f: impl FnOnce(&mut DynamicSystem) -> R) -> R {
+        f(&mut self.system)
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Queries admitted but not yet executed.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Aggregate serving counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// The result cache's own counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached answer (counters survive).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests pinning the serving layer's headline guarantee: for any
+//! random workload and any thread count, the cached service and the
+//! uncached baseline return **bit-identical** responses, and repeated runs
+//! are deterministic.
+
+use bcc_metric::NodeId;
+use bcc_service::{seeded_service, ClusterQuery, ClusterService, ServiceConfig};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// A raw workload item: (submit host index, k, bandwidth).
+type RawQuery = (usize, usize, f64);
+
+fn arb_workload(universe: usize, max_len: usize) -> impl Strategy<Value = Vec<RawQuery>> {
+    proptest::collection::vec((0..universe, 2usize..5, 5.0f64..90.0), 1..=max_len)
+}
+
+/// Builds a service over the seeded universe with `joined` hosts active.
+fn service_with(
+    seed: u64,
+    universe: usize,
+    joined: usize,
+    config: ServiceConfig,
+) -> ClusterService {
+    let mut service = seeded_service(seed, universe, config);
+    for h in 0..joined {
+        service.join(NodeId::new(h)).expect("join fresh host");
+    }
+    service
+}
+
+/// Runs the whole workload through `service`, returning the comparable
+/// parts of every response: admission verdict, then per-ticket outcome.
+fn run_workload(
+    service: &mut ClusterService,
+    workload: &[RawQuery],
+) -> Vec<Result<bcc_service::ServiceResponse, bcc_service::ServiceError>> {
+    let mut out = Vec::with_capacity(workload.len());
+    for &(start, k, b) in workload {
+        match service.submit(ClusterQuery::new(NodeId::new(start), k, b)) {
+            Ok(_) => {}
+            Err(e) => out.push(Err(e)),
+        }
+    }
+    for resp in service.drain() {
+        out.push(Ok(resp));
+    }
+    out
+}
+
+fn assert_same_responses(
+    cached: &[Result<bcc_service::ServiceResponse, bcc_service::ServiceError>],
+    uncached: &[Result<bcc_service::ServiceResponse, bcc_service::ServiceError>],
+) {
+    assert_eq!(cached.len(), uncached.len());
+    for (c, u) in cached.iter().zip(uncached) {
+        match (c, u) {
+            (Ok(c), Ok(u)) => {
+                assert_eq!(c.ticket, u.ticket);
+                assert_eq!(c.query, u.query);
+                assert_eq!(c.class_idx, u.class_idx);
+                // The guarantee under test: same answer, bit for bit,
+                // whether or not it came from the cache.
+                assert_eq!(c.outcome, u.outcome);
+            }
+            (Err(c), Err(u)) => assert_eq!(c, u),
+            (c, u) => panic!("verdicts diverged: {c:?} vs {u:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cached == uncached for random workloads, across thread counts.
+    #[test]
+    fn cached_matches_uncached_across_thread_counts(
+        seed in 0u64..1_000,
+        workload in arb_workload(10, 24),
+    ) {
+        for threads in THREADS {
+            bcc_par::set_threads(threads);
+            let mut cached = service_with(seed, 10, 6, ServiceConfig::default());
+            let mut baseline =
+                service_with(seed, 10, 6, ServiceConfig::default().uncached());
+            let c = run_workload(&mut cached, &workload);
+            let u = run_workload(&mut baseline, &workload);
+            assert_same_responses(&c, &u);
+        }
+        bcc_par::set_threads(0);
+    }
+
+    /// Interleaving churn between workload slices must not break the
+    /// equivalence either — the cache invalidates, the baseline recomputes,
+    /// both land on the same answers.
+    #[test]
+    fn cached_matches_uncached_under_churn(
+        seed in 0u64..1_000,
+        first in arb_workload(10, 10),
+        second in arb_workload(10, 10),
+        crash_host in 0usize..6,
+    ) {
+        bcc_par::set_threads(2);
+        let mut cached = service_with(seed, 10, 6, ServiceConfig::default());
+        let mut baseline = service_with(seed, 10, 6, ServiceConfig::default().uncached());
+
+        let c1 = run_workload(&mut cached, &first);
+        let u1 = run_workload(&mut baseline, &first);
+        assert_same_responses(&c1, &u1);
+
+        let a = cached.crash(NodeId::new(crash_host));
+        let b = baseline.crash(NodeId::new(crash_host));
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+
+        let c2 = run_workload(&mut cached, &second);
+        let u2 = run_workload(&mut baseline, &second);
+        assert_same_responses(&c2, &u2);
+        bcc_par::set_threads(0);
+    }
+
+    /// The same (seed, workload) always produces the same responses —
+    /// batching and caching add no nondeterminism.
+    #[test]
+    fn serving_is_deterministic(
+        seed in 0u64..1_000,
+        workload in arb_workload(8, 16),
+    ) {
+        bcc_par::set_threads(8);
+        let mut a = service_with(seed, 8, 5, ServiceConfig::default());
+        let mut b = service_with(seed, 8, 5, ServiceConfig::default());
+        let ra = run_workload(&mut a, &workload);
+        let rb = run_workload(&mut b, &workload);
+        assert_same_responses(&ra, &rb);
+        bcc_par::set_threads(0);
+    }
+}

@@ -127,6 +127,17 @@ impl DynamicSystem {
         self.active.iter().copied()
     }
 
+    /// Whether `host` is currently active (joined and not crashed).
+    pub fn is_active(&self, host: NodeId) -> bool {
+        self.active.contains(&host)
+    }
+
+    /// Number of hosts in the measurement universe (joined or not) — the
+    /// valid id range for joins and query submit nodes.
+    pub fn universe_size(&self) -> usize {
+        self.bandwidth.len()
+    }
+
     /// Number of participating hosts.
     pub fn len(&self) -> usize {
         self.active.len()
@@ -305,6 +316,26 @@ impl DynamicSystem {
         self.bandwidth.get(u.index(), v.index())
     }
 
+    /// Monotone membership epoch: bumps exactly once on every successful
+    /// [`DynamicSystem::join`], [`DynamicSystem::leave`],
+    /// [`DynamicSystem::crash`] and [`DynamicSystem::recover`] (it is the
+    /// prediction framework's restructure revision). Serving layers use it
+    /// as the cheap churn signal for cache invalidation; pair it with
+    /// [`DynamicSystem::live_digest`] to also catch overlay-state
+    /// disturbances that leave membership unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.framework.revision()
+    }
+
+    /// Digest of the live overlay's gossip state — the exact value
+    /// [`SimNetwork::digest`] reports — or `None` before any host joins.
+    /// Changes whenever membership, aggregation state or CRTs change,
+    /// including mid-fault windows injected through
+    /// [`DynamicSystem::network_mut`].
+    pub fn live_digest(&self) -> Option<u64> {
+        self.network.as_ref().map(SimNetwork::digest)
+    }
+
     /// The gossip digest a *cold restart* of the current membership would
     /// reach: a fresh fault-free overlay built from the live framework and
     /// run to its fixpoint. Liveness oracles compare the live network's
@@ -449,6 +480,28 @@ mod tests {
         let e = ChurnError::Convergence { max_rounds: 64 };
         assert!(e.to_string().contains("64"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn epoch_bumps_once_per_membership_change() {
+        let mut s = dynamic();
+        assert_eq!(s.epoch(), 0);
+        assert_eq!(s.live_digest(), None);
+        s.join(n(0)).unwrap();
+        s.join(n(1)).unwrap();
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.live_digest(), Some(s.network().unwrap().digest()));
+        s.join(n(2)).unwrap();
+        s.leave(n(2)).unwrap();
+        assert_eq!(s.epoch(), 4, "a leave re-embeds orphans but bumps once");
+        s.crash(n(1)).unwrap();
+        assert_eq!(s.epoch(), 5);
+        s.recover(n(1)).unwrap();
+        assert_eq!(s.epoch(), 6);
+        // Failed operations leave the epoch alone.
+        assert!(s.join(n(0)).is_err());
+        assert!(s.recover(n(3)).is_err());
+        assert_eq!(s.epoch(), 6);
     }
 
     #[test]

@@ -320,7 +320,11 @@ impl Default for MessageFate {
 /// `advance` must be called with non-decreasing `now` values; engines call
 /// it once per round (cycle engine) or once per event (event engine)
 /// before doing any work at that time.
-pub trait FaultInjector: std::fmt::Debug + Send {
+///
+/// `Send + Sync` so a network holding an injector can still be queried
+/// from parallel workers (queries take `&self`; only the engines' round
+/// loops ever call the `&mut self` hooks).
+pub trait FaultInjector: std::fmt::Debug + Send + Sync {
     /// Advances fault state to tick `now`, returning every lifecycle
     /// transition that activated in the interval since the previous call.
     fn advance(&mut self, now: f64) -> Vec<FaultTransition>;

@@ -1,0 +1,126 @@
+//! Serving-layer demo: a 256-host system behind `bcc-service`, fed a
+//! mixed `(k, b)` workload with a hot set, shedding under burst load and
+//! invalidating cached answers across churn.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use bandwidth_clusters::prelude::*;
+use bandwidth_clusters::service::seeded_service;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    const UNIVERSE: usize = 256;
+    const SEED: u64 = 42;
+    const QUERIES: usize = 4000;
+    const BURST: usize = 200;
+
+    // A deliberately small queue so the burst workload actually sheds.
+    let config = ServiceConfig {
+        queue_capacity: 128,
+        batch_max: 64,
+        cache_capacity: 1024,
+        ..ServiceConfig::default()
+    };
+    println!("building a {UNIVERSE}-host system (joining every host)...");
+    let build = std::time::Instant::now();
+    let mut service = seeded_service(SEED, UNIVERSE, config);
+    for h in 0..UNIVERSE {
+        service.join(NodeId::new(h)).expect("join fresh host");
+    }
+    println!(
+        "  up: {} hosts, epoch {}, {:.1?}",
+        service.system().len(),
+        service.system().epoch(),
+        build.elapsed()
+    );
+
+    // Mixed workload: 80% draws from a hot set of 32 queries (the cache's
+    // bread and butter), 20% cold random queries.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let ks = [8usize, 16, 24, 32, 48];
+    let bands = [20.0f64, 55.0];
+    let make_query = |rng: &mut StdRng| {
+        ClusterQuery::new(
+            NodeId::new(rng.gen_range(0..UNIVERSE)),
+            ks[rng.gen_range(0..ks.len())],
+            bands[rng.gen_range(0..bands.len())],
+        )
+    };
+    let hot: Vec<ClusterQuery> = (0..32).map(|_| make_query(&mut rng)).collect();
+
+    let mut submitted = 0u64;
+    let mut shed = 0u64;
+    let mut served = 0u64;
+    let mut found = 0u64;
+    let start = std::time::Instant::now();
+    for burst_no in 0..QUERIES / BURST {
+        // Mid-run churn: every few bursts a host crashes or a crashed one
+        // recovers — every cached answer computed before it invalidates.
+        if burst_no % 3 == 2 {
+            let host = NodeId::new(rng.gen_range(0..UNIVERSE));
+            if service.system().is_crashed(host) {
+                service.recover(host).expect("recover crashed host");
+            } else if service.system().len() > 2 {
+                service.crash(host).expect("crash active host");
+            }
+        }
+        for _ in 0..BURST {
+            let q = if rng.gen_range(0..100) < 80 {
+                hot[rng.gen_range(0..hot.len())]
+            } else {
+                make_query(&mut rng)
+            };
+            match service.submit(q) {
+                Ok(_) => submitted += 1,
+                Err(ServiceError::Overloaded { .. }) => shed += 1,
+                Err(ServiceError::Rejected(_)) => unreachable!("workload is valid"),
+                Err(e) => panic!("unexpected service error: {e}"),
+            }
+        }
+        for response in service.drain() {
+            served += 1;
+            if let Ok(outcome) = &response.outcome {
+                if outcome.found() {
+                    found += 1;
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let stats = service.stats();
+    let cache = service.cache_stats();
+    let offered = submitted + shed;
+    let hit_rate = cache.hits as f64 / (cache.hits + cache.misses).max(1) as f64;
+    println!();
+    println!(
+        "workload: {offered} offered in bursts of {BURST} ({:.1?} total)",
+        elapsed
+    );
+    println!(
+        "  admitted {submitted}, shed {shed} ({:.1}% shed rate)",
+        100.0 * shed as f64 / offered.max(1) as f64
+    );
+    println!(
+        "  served {served} ({found} clusters found) in {} batches, {} coalesced",
+        stats.batches, stats.coalesced
+    );
+    println!(
+        "  cache: {:.1}% hit rate ({} hits / {} lookups), {} invalidated by churn, {} evicted",
+        100.0 * hit_rate,
+        cache.hits,
+        cache.hits + cache.misses,
+        cache.invalidated,
+        cache.evicted
+    );
+    println!(
+        "  final epoch {}, {} hosts live, {} crashed",
+        service.system().epoch(),
+        service.system().len(),
+        service.system().crashed().count()
+    );
+    assert_eq!(served, submitted, "every admitted query got a response");
+}

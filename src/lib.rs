@@ -15,6 +15,7 @@
 //! | [`vivaldi`] | `bcc-vivaldi` | Vivaldi coordinates (the baseline embedding) |
 //! | [`core`] | `bcc-core` | Algorithms 1–4, bandwidth classes, Euclidean baseline clustering |
 //! | [`simnet`] | `bcc-simnet` | round-based simulator, end-to-end `ClusterSystem`, churn |
+//! | [`service`] | `bcc-service` | batched, churn-aware cluster-query serving layer |
 //! | [`datasets`] | `bcc-datasets` | synthetic PlanetLab-like datasets with controllable treeness |
 //! | [`eval`] | `bcc-eval` | the paper's four experiments (Figs. 3–6) |
 //! | [`apps`] | `bcc-apps` | desktop-grid scheduler + CDN replication planner |
@@ -44,6 +45,7 @@ pub use bcc_datasets as datasets;
 pub use bcc_embed as embed;
 pub use bcc_eval as eval;
 pub use bcc_metric as metric;
+pub use bcc_service as service;
 pub use bcc_simnet as simnet;
 pub use bcc_vivaldi as vivaldi;
 
@@ -57,5 +59,6 @@ pub mod prelude {
     pub use bcc_metric::{
         BandwidthMatrix, DistanceMatrix, FiniteMetric, NodeId, RationalTransform,
     };
+    pub use bcc_service::{ClusterQuery, ClusterService, ServiceConfig, ServiceError};
     pub use bcc_simnet::{ClusterSystem, DynamicSystem, FaultPlan, SystemConfig};
 }

@@ -1,8 +1,8 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset of the proptest API the workspace's property tests
-//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
-//! tuple and `Vec` strategies, [`collection::vec`], [`arbitrary::any`], the
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`, range and
+//! tuple and `Vec` strategies, [`collection::vec()`], [`arbitrary::any`], the
 //! [`proptest!`] macro and the `prop_assert*` macros. Failing cases panic
 //! with the offending seed instead of shrinking; re-running is deterministic
 //! because every case's RNG is derived from the test name and case index.
@@ -224,13 +224,13 @@ pub mod arbitrary {
 }
 
 pub mod collection {
-    //! Collection strategies ([`vec`]).
+    //! Collection strategies ([`vec()`]).
 
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Acceptable length specifications for [`vec`]: an exact `usize`, a
+    /// Acceptable length specifications for [`vec()`]: an exact `usize`, a
     /// half-open `Range`, or an inclusive `RangeInclusive`.
     pub trait IntoSizeRange {
         /// Lower bound and exclusive upper bound of the length.
@@ -261,7 +261,7 @@ pub mod collection {
         VecStrategy { element, lo, hi }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         lo: usize,
