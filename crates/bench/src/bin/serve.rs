@@ -86,12 +86,21 @@ fn main() {
         .value("--json")
         .unwrap_or("BENCH_service.json")
         .to_string();
+    let obs_path = args.value("--obs").unwrap_or("BENCH_obs.json").to_string();
 
     let (universe, joined, pool, repeats, chaos_seeds, chaos_steps) = if smoke {
         (48, 48, 12, 16, 2u64, 12)
     } else {
         (128, 128, 24, 48, 5u64, 24)
     };
+
+    // Smoke runs record span durations in deterministic logical time, so
+    // the obs snapshot is byte-stable across runs at a fixed seed and
+    // thread count — what the CI obs job diffs. Full runs keep wall-clock
+    // timings (real latencies, not reproducible bit-for-bit).
+    if smoke {
+        bcc_obs::set_logical_time(1_000);
+    }
 
     println!("=== serve — batched, churn-aware cluster-query serving ===");
     println!(
@@ -170,6 +179,32 @@ fn main() {
     } else {
         std::fs::write(&json_path, json).expect("write JSON output");
         println!("wrote {json_path}");
+    }
+
+    // Unified observability snapshot: the instrumented hot paths' counters
+    // and latency histograms, plus the ServiceStats/CacheStats bridge.
+    cached.publish_obs();
+    let snapshot = bcc_obs::snapshot();
+    for name in [
+        "service.query",
+        "service.batch.execute",
+        "service.cache.lookup",
+    ] {
+        if let Some((_, h)) = snapshot.histograms.iter().find(|(n, _)| n == name) {
+            println!(
+                "obs {name}: count {} p50 {} p95 {} p99 {}",
+                h.count,
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+        }
+    }
+    if obs_path == "-" {
+        println!("{}", snapshot.to_json());
+    } else {
+        std::fs::write(&obs_path, snapshot.to_json()).expect("write obs snapshot");
+        println!("wrote {obs_path}");
     }
 
     assert!(

@@ -89,6 +89,8 @@ pub fn find_cluster_ordered<M: FiniteMetric>(
     l: f64,
     order: PairOrder,
 ) -> Option<Vec<usize>> {
+    let _span = bcc_obs::span!("core.find_cluster");
+    bcc_obs::inc!("core.find_cluster.calls");
     let n = metric.len();
     if k > n || k == 0 {
         return None;
@@ -97,32 +99,42 @@ pub fn find_cluster_ordered<M: FiniteMetric>(
         return Some(vec![0]);
     }
     let mut scratch = Vec::with_capacity(k);
-    match order {
-        PairOrder::RowMajor => {
-            for p in 0..n {
-                for q in (p + 1)..n {
-                    let dpq = metric.distance(p, q);
-                    // In a tree metric diam(S*_pq) = d(p, q), so the diameter
-                    // constraint reduces to d(p, q) <= l and pairs beyond l
-                    // are skipped outright.
-                    if dpq <= l && check_pair(metric, p, q, dpq, k, &mut scratch) {
-                        return Some(scratch);
+    // Pairs examined, accumulated locally and flushed once — the serial
+    // scan count is deterministic, unlike the parallel variants' racy
+    // speculative probes, so only this path reports it.
+    let mut scanned = 0u64;
+    let result = 'search: {
+        match order {
+            PairOrder::RowMajor => {
+                for p in 0..n {
+                    for q in (p + 1)..n {
+                        scanned += 1;
+                        let dpq = metric.distance(p, q);
+                        // In a tree metric diam(S*_pq) = d(p, q), so the diameter
+                        // constraint reduces to d(p, q) <= l and pairs beyond l
+                        // are skipped outright.
+                        if dpq <= l && check_pair(metric, p, q, dpq, k, &mut scratch) {
+                            break 'search Some(scratch);
+                        }
                     }
                 }
+                None
             }
-            None
-        }
-        PairOrder::AscendingDiameter => {
-            let mut pairs = pairs_within(metric, l);
-            sort_by_distance(&mut pairs);
-            for (p, q, dpq) in pairs {
-                if check_pair(metric, p, q, dpq, k, &mut scratch) {
-                    return Some(scratch);
+            PairOrder::AscendingDiameter => {
+                let mut pairs = pairs_within(metric, l);
+                sort_by_distance(&mut pairs);
+                for (p, q, dpq) in pairs {
+                    scanned += 1;
+                    if check_pair(metric, p, q, dpq, k, &mut scratch) {
+                        break 'search Some(scratch);
+                    }
                 }
+                None
             }
-            None
         }
-    }
+    };
+    bcc_obs::add!("core.find_cluster.pairs_scanned", scanned);
+    result
 }
 
 /// Collects the row-major pair list `(p, q, d(p, q))` with `p < q`,
@@ -141,6 +153,7 @@ fn pairs_within<M: FiniteMetric>(metric: &M, l: f64) -> Vec<(usize, usize, f64)>
             }
         }
     }
+    bcc_obs::add!("core.pairs_listed", pairs.len() as u64);
     pairs
 }
 
@@ -223,6 +236,8 @@ pub fn find_cluster_ordered_par<M: FiniteMetric>(
     l: f64,
     order: PairOrder,
 ) -> Option<Vec<usize>> {
+    let _span = bcc_obs::span!("core.find_cluster");
+    bcc_obs::inc!("core.find_cluster.calls");
     let n = metric.len();
     if k > n || k == 0 {
         return None;
@@ -320,6 +335,8 @@ pub fn min_diameter_cluster_par<M: FiniteMetric>(
 /// diameter-0 cluster). This is the quantity each node's cluster routing
 /// table stores per bandwidth class (Algorithm 3, line 8).
 pub fn max_cluster_size<M: FiniteMetric>(metric: &M, l: f64) -> usize {
+    let _span = bcc_obs::span!("core.max_cluster_size");
+    bcc_obs::inc!("core.max_cluster_size.calls");
     let n = metric.len();
     if n == 0 {
         return 0;
@@ -341,6 +358,8 @@ pub fn max_cluster_size<M: FiniteMetric>(metric: &M, l: f64) -> usize {
 /// list, chunked across the `bcc-par` pool. `max` reduces exactly, so the
 /// result equals the serial scan's for any thread count.
 pub fn max_cluster_size_par<M: FiniteMetric>(metric: &M, l: f64) -> usize {
+    let _span = bcc_obs::span!("core.max_cluster_size");
+    bcc_obs::inc!("core.max_cluster_size.calls");
     let n = metric.len();
     if n == 0 {
         return 0;

@@ -198,8 +198,10 @@ impl PredictionFramework {
         x: NodeId,
         oracle: impl FnMut(NodeId, NodeId) -> f64,
     ) -> Result<(), EmbedError> {
+        let _span = bcc_obs::span!("embed.join");
         self.attach(x, oracle)?;
         self.revision += 1;
+        bcc_obs::inc!("embed.joins");
         Ok(())
     }
 
@@ -444,9 +446,11 @@ impl PredictionFramework {
         x: NodeId,
         mut oracle: impl FnMut(NodeId, NodeId) -> f64,
     ) -> Result<(), EmbedError> {
+        let _span = bcc_obs::span!("embed.leave");
         if !self.tree.contains(x) {
             return Err(EmbedError::UnknownHost(x));
         }
+        bcc_obs::inc!("embed.leaves");
         let subtree = self.anchor.subtree(x);
         // Detach physically and from the overlay, deepest first.
         for &h in subtree.iter().rev() {
@@ -548,6 +552,7 @@ impl PredictionFramework {
     ///
     /// Returns [`EmbedError::Inconsistent`] describing the first violation.
     pub fn check_integrity(&self) -> Result<(), EmbedError> {
+        bcc_obs::inc!("embed.integrity_checks");
         self.tree
             .check_invariants()
             .map_err(|detail| EmbedError::Inconsistent(format!("prediction tree: {detail}")))?;

@@ -11,11 +11,17 @@
 //! layer additionally audits this with a recompute-and-compare oracle (see
 //! [`crate::ServiceStats::stale_hits`]).
 //!
-//! Eviction is FIFO by insertion order and strictly bounded by capacity, so
-//! the cache is deterministic: the same workload against the same system
-//! produces the same hit/miss sequence regardless of thread count.
+//! Eviction is **LRU** (least recently used) and strictly bounded by
+//! capacity: a hit moves the entry to the back of the recency order, so
+//! hot keys survive capacity pressure while cold ones age out. Recency is
+//! tracked with a monotonic sequence number per entry and a keyed
+//! `BTreeMap<seq, key>` order index, making hit refresh, invalidation and
+//! eviction all `O(log capacity)` — no linear scans anywhere. The cache
+//! stays deterministic: the same workload against the same system produces
+//! the same hit/miss/eviction sequence regardless of thread count.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::btree_map::BTreeMap;
+use std::collections::hash_map::{Entry, HashMap};
 
 use bcc_core::QueryOutcome;
 use bcc_metric::NodeId;
@@ -40,42 +46,94 @@ pub struct CacheKey {
 struct CacheEntry {
     epoch: u64,
     digest: u64,
+    /// Position in the recency order (key into `ResultCache::order`);
+    /// refreshed to the newest sequence number on every hit.
+    seq: u64,
     outcome: QueryOutcome,
 }
 
-/// Hit/miss/invalidation counters of a [`ResultCache`].
+/// Counters of a [`ResultCache`] (eviction policy: LRU — see the module
+/// docs; a hit refreshes recency, so `hits` measures entries that stayed
+/// hot enough to survive).
+///
+/// Counter identities, maintained by construction and asserted in the
+/// service proptests:
+///
+/// - `hits + misses + disabled == lookups`
+/// - `invalidated <= misses` (an invalidation is also counted as a miss)
+/// - `replaced <= inserted`, `evicted <= inserted`
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total [`ResultCache::lookup`] calls, successful or not.
+    pub lookups: u64,
     /// Lookups answered from a fresh entry.
     pub hits: u64,
-    /// Lookups with no usable entry.
+    /// Enabled-cache lookups with no usable entry.
     pub misses: u64,
+    /// Lookups (and nothing else) arriving while the cache was disabled
+    /// (capacity 0) — counted separately from `misses` so a disabled
+    /// cache reports a zero miss rate instead of a fake 100% one.
+    pub disabled: u64,
     /// Entries dropped because their epoch/digest no longer matched the
     /// live overlay (churn or fault disturbance since compute time).
     pub invalidated: u64,
     /// Entries dropped to respect the capacity bound.
     pub evicted: u64,
-    /// Entries stored.
+    /// Entries stored (including overwrites; see `replaced`).
     pub inserted: u64,
+    /// The subset of `inserted` that overwrote an existing key in place
+    /// rather than growing the cache.
+    pub replaced: u64,
 }
 
-/// A bounded, epoch+digest-validated result cache.
+impl CacheStats {
+    /// Publishes every counter into the process-global `bcc-obs` registry
+    /// as gauges named `<prefix>.<field>` (the cache half of the
+    /// `ServiceStats → obs` bridge). No-op when obs is disabled.
+    pub fn publish_obs(&self, prefix: &str) {
+        if !bcc_obs::enabled() {
+            return;
+        }
+        let reg = bcc_obs::registry();
+        for (field, value) in [
+            ("lookups", self.lookups),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("disabled", self.disabled),
+            ("invalidated", self.invalidated),
+            ("evicted", self.evicted),
+            ("inserted", self.inserted),
+            ("replaced", self.replaced),
+        ] {
+            reg.gauge(&format!("{prefix}.{field}")).set(value);
+        }
+    }
+}
+
+/// A bounded, epoch+digest-validated LRU result cache.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     capacity: usize,
     map: HashMap<CacheKey, CacheEntry>,
-    order: VecDeque<CacheKey>,
+    /// Recency index: sequence number → key, oldest first. Entries know
+    /// their own `seq`, so removal by key is `O(log n)` — never a scan.
+    order: BTreeMap<u64, CacheKey>,
+    /// Next recency sequence number (monotonic; assigned on insert and on
+    /// every hit refresh).
+    next_seq: u64,
     stats: CacheStats,
 }
 
 impl ResultCache {
     /// Creates a cache bounded at `capacity` entries (`0` = caching
-    /// disabled: every lookup misses, every insert is dropped).
+    /// disabled: every lookup is counted `disabled` and returns nothing,
+    /// every insert is dropped).
     pub fn new(capacity: usize) -> Self {
         ResultCache {
             capacity,
             map: HashMap::new(),
-            order: VecDeque::new(),
+            order: BTreeMap::new(),
+            next_seq: 0,
             stats: CacheStats::default(),
         }
     }
@@ -100,59 +158,94 @@ impl ResultCache {
         self.stats
     }
 
+    /// Draws the next recency sequence number.
+    fn bump_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
     /// Looks up `key` against the live overlay identified by `(epoch,
     /// digest)`. A stored entry computed under any other overlay state is
-    /// removed and counted as invalidated, never returned.
+    /// removed and counted as invalidated, never returned. A fresh hit
+    /// moves the entry to the back of the LRU order.
     pub fn lookup(&mut self, key: &CacheKey, epoch: u64, digest: u64) -> Option<&QueryOutcome> {
+        let _span = bcc_obs::span!("service.cache.lookup");
+        self.stats.lookups += 1;
         if !self.enabled() {
-            self.stats.misses += 1;
+            self.stats.disabled += 1;
+            bcc_obs::inc!("service.cache.disabled");
             return None;
         }
-        match self.map.get(key) {
-            Some(entry) if entry.epoch == epoch && entry.digest == digest => {
-                self.stats.hits += 1;
-                // Re-borrow immutably for the return value.
-                Some(&self.map.get(key).expect("just found").outcome)
+        let seq = self.next_seq;
+        match self.map.entry(*key) {
+            Entry::Occupied(mut occ) => {
+                let fresh = {
+                    let e = occ.get();
+                    e.epoch == epoch && e.digest == digest
+                };
+                if fresh {
+                    // Move-to-back: retire the entry's old order slot and
+                    // give it the newest sequence number.
+                    let old = std::mem::replace(&mut occ.get_mut().seq, seq);
+                    self.next_seq += 1;
+                    self.order.remove(&old);
+                    self.order.insert(seq, *key);
+                    self.stats.hits += 1;
+                    bcc_obs::inc!("service.cache.hits");
+                    Some(&occ.into_mut().outcome)
+                } else {
+                    let entry = occ.remove();
+                    self.order.remove(&entry.seq);
+                    self.stats.invalidated += 1;
+                    self.stats.misses += 1;
+                    bcc_obs::inc!("service.cache.invalidated");
+                    bcc_obs::inc!("service.cache.misses");
+                    None
+                }
             }
-            Some(_) => {
-                self.map.remove(key);
-                self.order.retain(|k| k != key);
-                self.stats.invalidated += 1;
+            Entry::Vacant(_) => {
                 self.stats.misses += 1;
-                None
-            }
-            None => {
-                self.stats.misses += 1;
+                bcc_obs::inc!("service.cache.misses");
                 None
             }
         }
     }
 
-    /// Stores an answer computed under `(epoch, digest)`, evicting the
-    /// oldest entries beyond capacity.
+    /// Stores an answer computed under `(epoch, digest)` at the back of
+    /// the LRU order, evicting least-recently-used entries beyond
+    /// capacity. Overwriting an existing key updates it in place (counted
+    /// as `replaced` as well as `inserted`).
     pub fn insert(&mut self, key: CacheKey, epoch: u64, digest: u64, outcome: QueryOutcome) {
         if !self.enabled() {
             return;
         }
-        if self
-            .map
-            .insert(
-                key,
-                CacheEntry {
-                    epoch,
-                    digest,
-                    outcome,
-                },
-            )
-            .is_none()
-        {
-            self.order.push_back(key);
+        let seq = self.bump_seq();
+        let entry = CacheEntry {
+            epoch,
+            digest,
+            seq,
+            outcome,
+        };
+        match self.map.entry(key) {
+            Entry::Occupied(mut occ) => {
+                let old = std::mem::replace(occ.get_mut(), entry);
+                self.order.remove(&old.seq);
+                self.stats.replaced += 1;
+                bcc_obs::inc!("service.cache.replaced");
+            }
+            Entry::Vacant(vac) => {
+                vac.insert(entry);
+            }
         }
+        self.order.insert(seq, key);
         self.stats.inserted += 1;
+        bcc_obs::inc!("service.cache.inserted");
         while self.map.len() > self.capacity {
-            let oldest = self.order.pop_front().expect("order tracks map");
+            let (_, oldest) = self.order.pop_first().expect("order tracks map");
             self.map.remove(&oldest);
             self.stats.evicted += 1;
+            bcc_obs::inc!("service.cache.evicted");
         }
     }
 
@@ -200,10 +293,12 @@ mod tests {
         assert_eq!(c.stats().invalidated, 2);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().lookups, 3);
+        assert_eq!(c.stats().disabled, 0);
     }
 
     #[test]
-    fn fifo_eviction_respects_capacity() {
+    fn lru_eviction_respects_capacity() {
         let mut c = ResultCache::new(2);
         c.insert(key(0, 2, 0), 1, 1, outcome(0));
         c.insert(key(1, 2, 0), 1, 1, outcome(1));
@@ -215,12 +310,50 @@ mod tests {
     }
 
     #[test]
+    fn hot_key_survives_capacity_pressure() {
+        // The LRU regression test: under the old FIFO behavior (lookup
+        // never refreshed recency) the repeatedly-hit key was evicted
+        // first and this test fails.
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 2, 0), 1, 1, outcome(0)); // hot
+        c.insert(key(1, 2, 0), 1, 1, outcome(1)); // cold
+        assert!(c.lookup(&key(0, 2, 0), 1, 1).is_some(), "hit refreshes");
+        c.insert(key(2, 2, 0), 1, 1, outcome(2)); // pressure: evicts LRU
+        assert!(
+            c.lookup(&key(0, 2, 0), 1, 1).is_some(),
+            "hot key must survive capacity pressure"
+        );
+        assert!(
+            c.lookup(&key(1, 2, 0), 1, 1).is_none(),
+            "cold key is the LRU victim"
+        );
+        assert_eq!(c.stats().evicted, 1);
+    }
+
+    #[test]
+    fn repeated_hits_keep_key_alive_through_churn_of_inserts() {
+        let mut c = ResultCache::new(3);
+        c.insert(key(0, 2, 0), 1, 1, outcome(0));
+        for i in 1..20 {
+            c.insert(key(i, 2, 0), 1, 1, outcome(i));
+            assert!(
+                c.lookup(&key(0, 2, 0), 1, 1).is_some(),
+                "hot key evicted at insert {i}"
+            );
+        }
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
     fn reinsert_updates_in_place() {
         let mut c = ResultCache::new(2);
         c.insert(key(0, 2, 0), 1, 1, outcome(0));
         c.insert(key(0, 2, 0), 2, 2, outcome(9));
         assert_eq!(c.len(), 1);
         assert_eq!(c.lookup(&key(0, 2, 0), 2, 2).unwrap().hops, 9);
+        assert_eq!(c.stats().inserted, 2);
+        assert_eq!(c.stats().replaced, 1, "overwrite distinguished");
+        assert_eq!(c.stats().evicted, 0, "in-place update is not eviction");
     }
 
     #[test]
@@ -230,6 +363,28 @@ mod tests {
         c.insert(key(0, 2, 0), 1, 1, outcome(0));
         assert!(c.is_empty());
         assert!(c.lookup(&key(0, 2, 0), 1, 1).is_none());
-        assert_eq!(c.stats().misses, 1);
+        // A disabled cache reports `disabled`, not a fake miss.
+        assert_eq!(c.stats().misses, 0);
+        assert_eq!(c.stats().disabled, 1);
+        assert_eq!(c.stats().lookups, 1);
+    }
+
+    #[test]
+    fn counter_identities_hold() {
+        let mut c = ResultCache::new(2);
+        for i in 0..6 {
+            c.insert(key(i % 3, 2, 0), 1, 1, outcome(i));
+            c.lookup(&key(i % 4, 2, 0), 1, 1);
+            c.lookup(&key(0, 2, 0), 2, 2); // epoch mismatch path
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses + s.disabled, s.lookups);
+        assert!(s.invalidated <= s.misses);
+        assert!(s.replaced <= s.inserted);
+        assert!(s.evicted <= s.inserted);
+        assert_eq!(
+            c.len() as u64,
+            s.inserted - s.replaced - s.evicted - s.invalidated
+        );
     }
 }

@@ -130,6 +130,30 @@ pub struct ServiceStats {
     pub stale_hits: u64,
 }
 
+impl ServiceStats {
+    /// Publishes every counter into the process-global `bcc-obs` registry
+    /// as gauges named `<prefix>.<field>` — the `ServiceStats → obs`
+    /// bridge that lets bench binaries fold the serving layer's own
+    /// counters into one unified snapshot. No-op when obs is disabled.
+    pub fn publish_obs(&self, prefix: &str) {
+        if !bcc_obs::enabled() {
+            return;
+        }
+        let reg = bcc_obs::registry();
+        for (field, value) in [
+            ("submitted", self.submitted),
+            ("shed", self.shed),
+            ("rejected", self.rejected),
+            ("batches", self.batches),
+            ("executed", self.executed),
+            ("coalesced", self.coalesced),
+            ("stale_hits", self.stale_hits),
+        ] {
+            reg.gauge(&format!("{prefix}.{field}")).set(value);
+        }
+    }
+}
+
 /// A batched, churn-aware serving layer over one [`DynamicSystem`].
 ///
 /// Life cycle: clients [`submit`](ClusterService::submit) queries (bounded
@@ -185,10 +209,12 @@ impl ClusterService {
             .validate(classes, self.system.universe_size())
             .map_err(|e| {
                 self.stats.rejected += 1;
+                bcc_obs::inc!("service.rejected");
                 ServiceError::Rejected(e)
             })?;
         if self.queue.len() >= self.config.queue_capacity {
             self.stats.shed += 1;
+            bcc_obs::inc!("service.shed");
             return Err(ServiceError::Overloaded {
                 in_flight: self.queue.len(),
                 capacity: self.config.queue_capacity,
@@ -197,6 +223,7 @@ impl ClusterService {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         self.stats.submitted += 1;
+        bcc_obs::inc!("service.submitted");
         self.queue.push_back((ticket, query, class_idx));
         Ok(ticket)
     }
@@ -210,6 +237,7 @@ impl ClusterService {
         }
         let batch: Vec<(u64, ClusterQuery, usize)> = self.queue.drain(..take).collect();
         self.stats.batches += 1;
+        bcc_obs::inc!("service.batches");
         self.process_batch(batch)
     }
 
@@ -224,6 +252,7 @@ impl ClusterService {
     }
 
     fn process_batch(&mut self, batch: Vec<(u64, ClusterQuery, usize)>) -> Vec<ServiceResponse> {
+        let _span = bcc_obs::span!("service.batch.execute");
         let epoch = self.system.epoch();
         // No overlay yet (nobody joined) has no digest; any sentinel works
         // because execution can only fail then, and failures are never
@@ -248,7 +277,10 @@ impl ClusterService {
         // Coalescing rides the same correctness argument as the cache
         // (same key ⇒ same answer), so the uncached baseline computes
         // every query individually.
-        let (jobs, lanes) = batch::plan(&misses, self.cache.enabled());
+        let (jobs, lanes) = {
+            let _plan = bcc_obs::span!("service.batch.plan");
+            batch::plan(&misses, self.cache.enabled())
+        };
 
         // One worker per lane; lanes run serially inside, so the result
         // set is identical for any thread count.
@@ -263,6 +295,7 @@ impl ClusterService {
                         let BatchJob { key, .. } = &jobs[j];
                         let rep = batch[jobs[j].positions[0]].1;
                         debug_assert_eq!(rep.submit_node, key.start);
+                        let _query = bcc_obs::span!("service.query");
                         (
                             j,
                             system.query_resilient(rep.submit_node, rep.k, rep.bandwidth, retry),
@@ -273,11 +306,13 @@ impl ClusterService {
 
         for (j, result) in lane_results.into_iter().flatten() {
             self.stats.executed += 1;
+            bcc_obs::inc!("service.executed");
             if let Ok(outcome) = &result {
                 self.cache
                     .insert(jobs[j].key, epoch, digest, outcome.clone());
             }
             self.stats.coalesced += (jobs[j].positions.len() - 1) as u64;
+            bcc_obs::add!("service.coalesced", (jobs[j].positions.len() - 1) as u64);
             for &pos in &jobs[j].positions {
                 outcomes[pos] = Some((result.clone(), false));
             }
@@ -383,5 +418,14 @@ impl ClusterService {
     /// Drops every cached answer (counters survive).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Publishes the service's and cache's counters into the
+    /// process-global `bcc-obs` registry (as `service.stats.*` and
+    /// `service.cache.stats.*` gauges), complementing the incremental
+    /// counters the hot paths maintain. Call before snapshotting.
+    pub fn publish_obs(&self) {
+        self.stats.publish_obs("service.stats");
+        self.cache_stats().publish_obs("service.cache.stats");
     }
 }

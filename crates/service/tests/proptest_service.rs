@@ -49,6 +49,26 @@ fn run_workload(
     out
 }
 
+/// Asserts the [`bcc_service::CacheStats`] counter identities the cache
+/// maintains by construction (see the `CacheStats` docs).
+fn assert_cache_counter_identities(service: &ClusterService) {
+    let s = service.cache_stats();
+    assert_eq!(
+        s.hits + s.misses + s.disabled,
+        s.lookups,
+        "every lookup is exactly one of hit / miss / disabled: {s:?}"
+    );
+    assert!(
+        s.invalidated <= s.misses,
+        "an invalidation is also a miss: {s:?}"
+    );
+    assert!(s.replaced <= s.inserted, "replacements are inserts: {s:?}");
+    assert!(
+        s.evicted <= s.inserted,
+        "can only evict what was stored: {s:?}"
+    );
+}
+
 fn assert_same_responses(
     cached: &[Result<bcc_service::ServiceResponse, bcc_service::ServiceError>],
     uncached: &[Result<bcc_service::ServiceResponse, bcc_service::ServiceError>],
@@ -87,6 +107,13 @@ proptest! {
             let c = run_workload(&mut cached, &workload);
             let u = run_workload(&mut baseline, &workload);
             assert_same_responses(&c, &u);
+            assert_cache_counter_identities(&cached);
+            assert_cache_counter_identities(&baseline);
+            // The disabled baseline must never report misses as if it
+            // were a failing cache.
+            let b = baseline.cache_stats();
+            prop_assert_eq!(b.misses, 0);
+            prop_assert_eq!(b.disabled, b.lookups);
         }
         bcc_par::set_threads(0);
     }
@@ -116,6 +143,8 @@ proptest! {
         let c2 = run_workload(&mut cached, &second);
         let u2 = run_workload(&mut baseline, &second);
         assert_same_responses(&c2, &u2);
+        assert_cache_counter_identities(&cached);
+        assert_cache_counter_identities(&baseline);
         bcc_par::set_threads(0);
     }
 

@@ -165,6 +165,104 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// Typed error for the harness's fallible seams: fault-window liveness,
+/// artifact capture/re-execution/replay, and artifact parsing.
+///
+/// `Display` reproduces the exact strings these seams historically
+/// returned as `Err(String)`, so checked-in replay artifacts and log
+/// scrapers keep matching; `From<ChaosError> for String` keeps
+/// string-plumbed callers (the `bcc-bench chaos` CLI) compiling with `?`.
+/// The [`ChaosError::oracle`] accessor surfaces which oracle family a
+/// divergence involves, so observability layers can tag violations by
+/// type (`chaos.violations.<oracle>`).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChaosError {
+    /// The overlay was still changing `max_rounds` rounds after a fault
+    /// window healed — the liveness failure of
+    /// `run_fault_window`/re-convergence.
+    HealConvergence {
+        /// The convergence budget that was exhausted.
+        max_rounds: usize,
+    },
+    /// A nemesis name has no registered hook (see [`nemesis_hook`]).
+    UnknownNemesis {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// Re-executing a replay artifact produced a different outcome than
+    /// the recorded one.
+    ReplayDiverged {
+        /// The outcome the artifact pinned.
+        recorded: Box<ChaosOutcome>,
+        /// The outcome the re-execution produced.
+        got: Box<ChaosOutcome>,
+    },
+    /// A malformed replay artifact (parse/validation detail).
+    Artifact {
+        /// What was wrong with the artifact text.
+        detail: String,
+    },
+}
+
+impl ChaosError {
+    /// The oracle family (`"safety"`, `"consistency"`, `"liveness"`)
+    /// associated with this error, when one is: a replay divergence
+    /// involving a violated outcome reports that violation's oracle
+    /// (preferring the recorded side). `None` for errors with no oracle
+    /// context (unknown nemesis, artifact parse failures, heal timeouts).
+    pub fn oracle(&self) -> Option<&str> {
+        match self {
+            ChaosError::ReplayDiverged { recorded, got } => match (&**recorded, &**got) {
+                (ChaosOutcome::Violated(v), _) | (_, ChaosOutcome::Violated(v)) => {
+                    Some(v.oracle.as_str())
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::HealConvergence { max_rounds } => write!(
+                f,
+                "overlay still changing {max_rounds} rounds after the fault healed"
+            ),
+            ChaosError::UnknownNemesis { name } => write!(f, "unknown nemesis {name:?}"),
+            ChaosError::ReplayDiverged { recorded, got } => write!(
+                f,
+                "replay diverged:\n  recorded: {recorded:?}\n  got:      {got:?}"
+            ),
+            ChaosError::Artifact { detail } => f.write_str(detail),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<ChaosError> for String {
+    fn from(e: ChaosError) -> String {
+        e.to_string()
+    }
+}
+
+impl From<String> for ChaosError {
+    fn from(detail: String) -> ChaosError {
+        ChaosError::Artifact { detail }
+    }
+}
+
+impl From<&str> for ChaosError {
+    fn from(detail: &str) -> ChaosError {
+        ChaosError::Artifact {
+            detail: detail.to_string(),
+        }
+    }
+}
+
 /// The result of executing one schedule to completion (or first violation).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ChaosOutcome {
@@ -335,15 +433,28 @@ pub fn run_schedule_with(
         // each surviving event a seed that depends only on its position.
         let plan_seed = seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         if let Err(v) = apply_event(&mut sys, step, event, plan_seed, max_rounds, &retry) {
+            note_violation(&v);
             return ChaosOutcome::Violated(v);
         }
         nemesis(&mut sys, step);
         if let Err(v) = check_oracles(&sys, step) {
+            note_violation(&v);
             return ChaosOutcome::Violated(v);
         }
     }
     ChaosOutcome::Passed {
         final_digest: sys.network().map(|net| net.digest()),
+    }
+}
+
+/// Tags the violation by oracle family in the obs registry
+/// (`chaos.violations.<oracle>`). The name is dynamic, so this goes
+/// through the registry directly instead of the cached-callsite macros.
+fn note_violation(v: &Violation) {
+    if bcc_obs::enabled() {
+        bcc_obs::registry()
+            .counter(&format!("chaos.violations.{}", v.oracle))
+            .inc();
     }
 }
 
@@ -379,7 +490,7 @@ fn apply_event(
             run_fault_window(sys, max_rounds, *rounds, false, |t0| {
                 FaultPlan::new(plan_seed).uniform_loss(t0, loss.clamp(0.0, 1.0), None)
             })
-            .map_err(liveness)
+            .map_err(|e| liveness(e.to_string()))
         }
         ChaosEvent::Duplicate { dup, rounds } => {
             let edges = overlay_edges(sys);
@@ -390,7 +501,7 @@ fn apply_event(
                 }
                 plan
             })
-            .map_err(liveness)
+            .map_err(|e| liveness(e.to_string()))
         }
         ChaosEvent::Delay { extra, rounds } => {
             let edges = overlay_edges(sys);
@@ -402,7 +513,7 @@ fn apply_event(
                 }
                 plan
             })
-            .map_err(liveness)
+            .map_err(|e| liveness(e.to_string()))
         }
         ChaosEvent::Partition { group, rounds } => {
             let members: Vec<NodeId> = group
@@ -417,7 +528,7 @@ fn apply_event(
             run_fault_window(sys, max_rounds, *rounds, false, |t0| {
                 FaultPlan::new(plan_seed).partition(t0, members.clone(), None)
             })
-            .map_err(liveness)
+            .map_err(|e| liveness(e.to_string()))
         }
         ChaosEvent::Outage { host, rounds } => {
             let node = NodeId::new(*host);
@@ -428,7 +539,7 @@ fn apply_event(
             run_fault_window(sys, max_rounds, *rounds, true, |t0| {
                 FaultPlan::new(plan_seed).crash_recover(t0, node, down_for)
             })
-            .map_err(liveness)
+            .map_err(|e| liveness(e.to_string()))
         }
     }
 }
@@ -455,7 +566,7 @@ fn run_fault_window(
     rounds: usize,
     self_healing: bool,
     build_plan: impl FnOnce(f64) -> FaultPlan,
-) -> Result<(), String> {
+) -> Result<(), ChaosError> {
     let Some(net) = sys.network_mut() else {
         return Ok(());
     };
@@ -468,9 +579,7 @@ fn run_fault_window(
     net.clear_fault_injector();
     match net.run_to_convergence(max_rounds) {
         Some(_) => Ok(()),
-        None => Err(format!(
-            "overlay still changing {max_rounds} rounds after the fault healed"
-        )),
+        None => Err(ChaosError::HealConvergence { max_rounds }),
     }
 }
 
@@ -767,15 +876,20 @@ fn crt_stale_nemesis(sys: &mut DynamicSystem, _step: usize) {
 ///
 /// # Errors
 ///
-/// Returns `Err` only for an unknown nemesis name.
+/// Returns [`ChaosError::UnknownNemesis`] only, for an unknown nemesis
+/// name.
 pub fn capture(
     seed: u64,
     cfg: &ChaosConfig,
     nemesis: Option<&str>,
-) -> Result<ReplayArtifact, String> {
+) -> Result<ReplayArtifact, ChaosError> {
     let hook = match nemesis {
         None => None,
-        Some(name) => Some(nemesis_hook(name).ok_or_else(|| format!("unknown nemesis {name:?}"))?),
+        Some(name) => Some(
+            nemesis_hook(name).ok_or_else(|| ChaosError::UnknownNemesis {
+                name: name.to_string(),
+            })?,
+        ),
     };
     let run = |events: &[ChaosEvent]| match hook {
         None => run_schedule(seed, cfg, events),
@@ -831,8 +945,8 @@ impl ReplayArtifact {
     ///
     /// # Errors
     ///
-    /// `Err` for an unknown nemesis name.
-    pub fn run(&self) -> Result<ChaosOutcome, String> {
+    /// [`ChaosError::UnknownNemesis`] for an unknown nemesis name.
+    pub fn run(&self) -> Result<ChaosOutcome, ChaosError> {
         let cfg = ChaosConfig {
             universe: self.universe,
             steps: self.schedule.len(),
@@ -840,7 +954,9 @@ impl ReplayArtifact {
         match &self.nemesis {
             None => Ok(run_schedule(self.seed, &cfg, &self.schedule)),
             Some(name) => {
-                let hook = nemesis_hook(name).ok_or_else(|| format!("unknown nemesis {name:?}"))?;
+                let hook = nemesis_hook(name).ok_or_else(|| ChaosError::UnknownNemesis {
+                    name: name.to_string(),
+                })?;
                 Ok(run_schedule_with(self.seed, &cfg, &self.schedule, hook))
             }
         }
@@ -852,8 +968,10 @@ impl ReplayArtifact {
     ///
     /// # Errors
     ///
-    /// `Err` describes the divergence (or an unknown nemesis name).
-    pub fn replay(&self) -> Result<(), String> {
+    /// [`ChaosError::ReplayDiverged`] describes the divergence (both
+    /// outcomes, with [`ChaosError::oracle`] naming the oracle family);
+    /// [`ChaosError::UnknownNemesis`] for an unknown nemesis name.
+    pub fn replay(&self) -> Result<(), ChaosError> {
         let outcome = self.run()?;
         let expected = match &self.violation {
             Some(v) => ChaosOutcome::Violated(v.clone()),
@@ -864,9 +982,10 @@ impl ReplayArtifact {
         if outcome == expected {
             Ok(())
         } else {
-            Err(format!(
-                "replay diverged:\n  recorded: {expected:?}\n  got:      {outcome:?}"
-            ))
+            Err(ChaosError::ReplayDiverged {
+                recorded: Box::new(expected),
+                got: Box::new(outcome),
+            })
         }
     }
 
@@ -907,8 +1026,8 @@ impl ReplayArtifact {
     ///
     /// # Errors
     ///
-    /// `Err` describes the malformed field.
-    pub fn from_json(text: &str) -> Result<Self, String> {
+    /// [`ChaosError::Artifact`] describes the malformed field.
+    pub fn from_json(text: &str) -> Result<Self, ChaosError> {
         let doc = json::parse(text)?;
         let seed = doc
             .get("seed")
@@ -1180,13 +1299,48 @@ mod tests {
         let mut artifact = capture(4, &cfg, None).unwrap();
         artifact.final_digest = Some(artifact.final_digest.unwrap() ^ 1);
         let err = artifact.replay().unwrap_err();
-        assert!(err.contains("diverged"), "{err}");
+        assert!(err.to_string().contains("diverged"), "{err}");
+        match &err {
+            ChaosError::ReplayDiverged { recorded, got } => {
+                assert!(matches!(**recorded, ChaosOutcome::Passed { .. }));
+                assert!(matches!(**got, ChaosOutcome::Passed { .. }));
+            }
+            other => panic!("expected ReplayDiverged, got {other:?}"),
+        }
+        // A digest-only divergence has no oracle to tag.
+        assert_eq!(err.oracle(), None);
+    }
+
+    #[test]
+    fn replay_divergence_surfaces_the_oracle() {
+        let cfg = ChaosConfig {
+            universe: 6,
+            steps: 12,
+        };
+        let mut artifact = capture(11, &cfg, Some("crt-stale")).unwrap();
+        assert!(artifact.violation.is_some(), "nemesis must be caught");
+        // Tamper the recorded violation detail: replay diverges, and the
+        // typed error must surface the oracle family so obs can tag the
+        // divergence by type.
+        artifact.violation.as_mut().unwrap().detail = "tampered".into();
+        let err = artifact.replay().unwrap_err();
+        assert_eq!(err.oracle(), Some("consistency"));
+        assert!(err.to_string().contains("replay diverged"), "{err}");
     }
 
     #[test]
     fn unknown_nemesis_is_rejected() {
         let cfg = ChaosConfig::default();
-        assert!(capture(0, &cfg, Some("no-such-nemesis")).is_err());
+        let err = capture(0, &cfg, Some("no-such-nemesis")).unwrap_err();
+        assert_eq!(
+            err,
+            ChaosError::UnknownNemesis {
+                name: "no-such-nemesis".to_string()
+            }
+        );
+        // Display is pinned: artifact tooling greps for this exact shape.
+        assert_eq!(err.to_string(), "unknown nemesis \"no-such-nemesis\"");
+        assert_eq!(err.oracle(), None);
         assert!(nemesis_hook("no-such-nemesis").is_none());
     }
 

@@ -417,10 +417,13 @@ impl SimNetwork {
     /// overlay — gossip on a tree converges within `2 × diameter + 2`
     /// rounds; with active faults it may legitimately never settle).
     pub fn run_to_convergence(&mut self, max_rounds: usize) -> Option<usize> {
+        let _span = bcc_obs::span!("simnet.run_to_convergence");
         let start = self.rounds_run;
         for _ in 0..max_rounds {
             if !self.run_round() {
-                return Some(self.rounds_run - start);
+                let rounds = self.rounds_run - start;
+                bcc_obs::observe!("simnet.convergence_rounds", rounds as u64);
+                return Some(rounds);
             }
         }
         None

@@ -85,7 +85,7 @@ mod wire;
 
 pub use chaos::{
     capture, generate_schedule, nemesis_hook, run_schedule, run_schedule_with, shrink_schedule,
-    ChaosConfig, ChaosEvent, ChaosOutcome, ReplayArtifact, Violation,
+    ChaosConfig, ChaosError, ChaosEvent, ChaosOutcome, ReplayArtifact, Violation,
 };
 pub use churn::{ChurnError, DynamicSystem};
 pub use config::ConfigError;

@@ -1,0 +1,300 @@
+//! Fixed-bucket, log-spaced latency histograms over `u64` nanoseconds.
+//!
+//! The bucket layout is log-linear (HDR-histogram style at 3 significant
+//! bits): values below 8 each get their own bucket, and every
+//! power-of-two octave above that is split into 8 sub-buckets, giving a
+//! worst-case relative error of 1/8 across the full `u64` range with a
+//! fixed [`BUCKETS`]-slot table. Recording is one relaxed `fetch_add` per
+//! field — safe from any thread, never locking — and snapshots are plain
+//! `Vec<u64>`s that merge by element-wise addition, so per-shard histograms
+//! aggregate exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this get one bucket each (exact small-value resolution).
+const LINEAR_MAX: u64 = 8;
+
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUBS: usize = 8;
+
+/// Total bucket count: 8 linear + 8 sub-buckets for each of the 61
+/// octaves `[2^3, 2^4) … [2^63, 2^64)`.
+pub const BUCKETS: usize = LINEAR_MAX as usize + (64 - 3) * SUBS;
+
+/// Index of the bucket covering `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // >= 3
+    let sub = (v >> (octave - 3)) as usize - SUBS; // 0..8
+    LINEAR_MAX as usize + (octave - 3) * SUBS + sub
+}
+
+/// The floor of the bucket that `v` lands in — the value percentile
+/// accessors would report for a population concentrated at `v`.
+pub fn floor_of(v: u64) -> u64 {
+    bucket_floor(bucket_index(v))
+}
+
+/// Smallest value that lands in bucket `i` (the bucket "floor") — the
+/// deterministic representative percentile accessors report.
+pub fn bucket_floor(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        return i as u64;
+    }
+    let rel = i - LINEAR_MAX as usize;
+    let octave = rel / SUBS + 3;
+    let sub = (rel % SUBS) as u64;
+    (SUBS as u64 + sub) << (octave - 3)
+}
+
+/// A lock-free latency histogram: fixed log-spaced buckets plus running
+/// count and sum, all relaxed atomics.
+///
+/// The per-histogram `logical_seq` counter backs the deterministic
+/// logical-time mode of [`crate::SpanGuard`] (see [`crate::set_logical_time`]):
+/// each span draws a distinct ordinal, so the recorded *multiset* of
+/// durations depends only on how many spans ran, not on thread
+/// interleaving — which is what makes obs snapshots byte-stable in CI.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    logical_seq: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            logical_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds for latency spans; any `u64` works —
+    /// e.g. convergence round counts).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The next logical-time ordinal, starting at 1. Used by spans in
+    /// logical mode; drawn atomically so concurrent spans get distinct
+    /// ordinals and the recorded multiset stays deterministic.
+    pub fn next_logical(&self) -> u64 {
+        self.logical_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Zeroes every bucket, the count, the sum and the logical ordinal.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.logical_seq.store(0, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for reporting (relaxed reads; exact when
+    /// no writer is concurrently recording).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], mergeable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, indexed like the live histogram
+    /// ([`bucket_floor`] gives each bucket's lower bound).
+    pub buckets: Vec<u64>,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Element-wise merge: afterwards this snapshot describes the union of
+    /// both recorded populations (the mergeability contract per-shard
+    /// histograms rely on).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the floor of the bucket
+    /// containing the `ceil(q * count)`-th smallest recorded value
+    /// (0 when empty). Deterministic given deterministic counts.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(self.buckets.len() - 1)
+    }
+
+    /// Median ([`HistogramSnapshot::quantile`] at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// `(bucket floor, count)` for every non-empty bucket, ascending —
+    /// the sparse form snapshots serialize.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_floor(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_floor_round_trips() {
+        for v in [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            100,
+            960,
+            1000,
+            1 << 20,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            let floor = bucket_floor(i);
+            assert!(floor <= v, "floor {floor} exceeds {v}");
+            // The floor of a bucket maps back to the same bucket.
+            assert_eq!(bucket_index(floor), i, "floor {floor} of {v} moved bucket");
+            // Relative error bound: bucket width is floor/8 above the
+            // linear range.
+            if v >= LINEAR_MAX {
+                assert!(v - floor <= floor / 8 + 1, "{v} too far from {floor}");
+            }
+        }
+    }
+
+    #[test]
+    fn records_and_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        let s = h.snapshot();
+        // Quantiles land on bucket floors at ≤ 1/8 relative error.
+        assert!(s.p50() >= 44 && s.p50() <= 50, "p50 = {}", s.p50());
+        assert!(s.p95() >= 84 && s.p95() <= 95, "p95 = {}", s.p95());
+        assert!(s.p99() >= 88 && s.p99() <= 99, "p99 = {}", s.p99());
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_quantiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..50u64 {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in 50..200u64 {
+            b.record(v * 3);
+            whole.record(v * 3);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.next_logical();
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.next_logical(), 1, "logical ordinal restarts");
+        assert!(h.snapshot().nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn logical_ordinals_are_distinct() {
+        let h = Histogram::new();
+        assert_eq!(h.next_logical(), 1);
+        assert_eq!(h.next_logical(), 2);
+        assert_eq!(h.next_logical(), 3);
+    }
+}

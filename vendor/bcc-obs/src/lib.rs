@@ -1,0 +1,601 @@
+//! `bcc-obs`: a dependency-free observability layer for the
+//! bandwidth-clusters workspace — counters, gauges, latency histograms,
+//! tracing spans and byte-stable JSON snapshots.
+//!
+//! Everything lives in one process-global [`Registry`]:
+//!
+//! - [`Counter`] / [`Gauge`] — single relaxed atomics, registered once per
+//!   name and cached at the call site by the [`counter!`] / [`gauge!`]
+//!   macros, so the steady-state cost of [`inc!`] is one enabled-flag load
+//!   plus one uncontended `fetch_add`.
+//! - [`Histogram`] — fixed log-spaced `u64` buckets (see [`hist`]) with
+//!   `p50`/`p95`/`p99` accessors; mergeable snapshots.
+//! - [`SpanGuard`] — the RAII timer behind [`span!`]: measures the
+//!   enclosed scope and feeds the duration into the span's histogram,
+//!   optionally also into a keep-last-N structured ring
+//!   ([`enable_span_ring`], modeled on `bcc_simnet::Trace::ring`).
+//! - [`snapshot`] — a name-sorted, deterministic-rendering JSON dump (the
+//!   same two-space style as `bcc_simnet::json`) that bench binaries write
+//!   as `BENCH_obs.json`.
+//!
+//! Two process-global switches keep instrumentation honest:
+//!
+//! - **Disabled mode.** `BCC_OBS=0` in the environment (or
+//!   [`set_enabled`]`(false)`) turns every macro into a single relaxed
+//!   load-and-skip — no registry access, no clock reads, no recording.
+//!   Instrumented code must behave identically either way: obs never
+//!   carries algorithmic state.
+//! - **Logical time.** [`set_logical_time`]`(step)` replaces wall-clock
+//!   span timing with deterministic per-histogram ordinals (span *i* of a
+//!   site records `i × step`), making the full snapshot — percentiles
+//!   included — byte-stable across runs at a fixed seed and thread count.
+//!   CI smoke runs use this to diff `BENCH_obs.json` between two runs.
+//!
+//! Registered metrics are leaked (`Box::leak`) so call sites can hold
+//! `&'static` references; the leak is bounded by the number of distinct
+//! metric names, which is static in practice.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hist;
+pub mod ring;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use ring::{disable_span_ring, enable_span_ring, span_events, SpanEvent};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (the hot-loop pattern: accumulate locally, add once).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-writer-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global metric registry: three name-sorted maps of leaked,
+/// `&'static` metric cells.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("obs counter registry");
+        match map.get(name) {
+            Some(c) => c,
+            None => {
+                let leaked: &'static Counter = Box::leak(Box::new(Counter::new()));
+                map.insert(name.to_string(), leaked);
+                leaked
+            }
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = self.gauges.lock().expect("obs gauge registry");
+        match map.get(name) {
+            Some(g) => g,
+            None => {
+                let leaked: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+                map.insert(name.to_string(), leaked);
+                leaked
+            }
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("obs histogram registry");
+        match map.get(name) {
+            Some(h) => h,
+            None => {
+                let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+                map.insert(name.to_string(), leaked);
+                leaked
+            }
+        }
+    }
+
+    /// Zeroes every registered metric (names stay registered). Benches use
+    /// this between phases; the byte-stability smoke runs a workload twice
+    /// with a reset in between and asserts identical snapshots.
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("obs counter registry").values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().expect("obs gauge registry").values() {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("obs histogram registry")
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("obs counter registry")
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("obs gauge registry")
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("obs histogram registry")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// [`Registry::snapshot`] on the process-global registry.
+pub fn snapshot() -> Snapshot {
+    registry().snapshot()
+}
+
+/// [`Registry::reset`] on the process-global registry.
+pub fn reset() {
+    registry().reset()
+}
+
+// ---------------------------------------------------------------------------
+// Enabled flag and logical time.
+
+fn enabled_cell() -> &'static AtomicBool {
+    static CELL: OnceLock<AtomicBool> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let off = matches!(
+            std::env::var("BCC_OBS").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
+        AtomicBool::new(!off)
+    })
+}
+
+/// Whether instrumentation records anything. Defaults to on; `BCC_OBS=0`
+/// (or `off`/`false`) in the environment starts the process disabled.
+/// Every macro checks this first, so disabled-mode cost is one relaxed
+/// load per site.
+pub fn enabled() -> bool {
+    enabled_cell().load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off at runtime (overriding the `BCC_OBS`
+/// environment default).
+pub fn set_enabled(on: bool) {
+    enabled_cell().store(on, Ordering::Relaxed);
+}
+
+static LOGICAL_STEP: AtomicU64 = AtomicU64::new(0);
+
+/// Switches span timing to deterministic logical time: each span records
+/// `ordinal × step_ns`, where the ordinal is the span's per-histogram
+/// sequence number (1-based, drawn atomically). `step_ns = 0` restores
+/// wall-clock timing. Logical mode is what makes `BENCH_obs.json`
+/// byte-stable across runs at a fixed seed and thread count: the recorded
+/// multiset depends only on span *counts*, never on scheduling.
+pub fn set_logical_time(step_ns: u64) {
+    LOGICAL_STEP.store(step_ns, Ordering::Relaxed);
+}
+
+/// The active logical step (0 = wall clock).
+pub fn logical_step() -> u64 {
+    LOGICAL_STEP.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+/// RAII span timer created by [`span!`]: on drop, records the elapsed
+/// wall-clock nanoseconds (or the logical duration, see
+/// [`set_logical_time`]) into the span's histogram and, when a span ring
+/// is enabled, appends a [`SpanEvent`].
+///
+/// Inert (no clock read, no recording) when obs is disabled at creation.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    histogram: Option<&'static Histogram>,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Starts a span feeding `histogram` (resolved lazily so disabled
+    /// mode never touches the registry). Prefer the [`span!`] macro, which
+    /// caches the histogram lookup per call site.
+    pub fn start(name: &'static str, histogram: impl FnOnce() -> &'static Histogram) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard {
+                name,
+                histogram: None,
+                start: None,
+            };
+        }
+        let histogram = histogram();
+        let start = if logical_step() == 0 {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        SpanGuard {
+            name,
+            histogram: Some(histogram),
+            start,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(h) = self.histogram else {
+            return;
+        };
+        let ns = match self.start {
+            Some(t) => u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            None => h.next_logical().saturating_mul(logical_step().max(1)),
+        };
+        h.record(ns);
+        ring::record_span(self.name, ns);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+
+/// The `&'static Counter` registered under a name, cached per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __OBS_C: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *__OBS_C.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// The `&'static Gauge` registered under a name, cached per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __OBS_G: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__OBS_G.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// The `&'static Histogram` registered under a name, cached per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __OBS_H: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__OBS_H.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// Increments a counter by one when obs is enabled.
+#[macro_export]
+macro_rules! inc {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::counter!($name).inc();
+        }
+    };
+}
+
+/// Adds to a counter when obs is enabled. The amount expression is only
+/// evaluated when enabled — keep it side-effect free.
+#[macro_export]
+macro_rules! add {
+    ($name:expr, $n:expr) => {
+        if $crate::enabled() {
+            $crate::counter!($name).add($n);
+        }
+    };
+}
+
+/// Sets a gauge when obs is enabled. The value expression is only
+/// evaluated when enabled — keep it side-effect free.
+#[macro_export]
+macro_rules! set_gauge {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            $crate::gauge!($name).set($v);
+        }
+    };
+}
+
+/// Records a value into a histogram when obs is enabled. The value
+/// expression is only evaluated when enabled — keep it side-effect free.
+#[macro_export]
+macro_rules! observe {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            $crate::histogram!($name).record($v);
+        }
+    };
+}
+
+/// Opens an RAII timing span feeding the named histogram; bind the result
+/// (`let _span = bcc_obs::span!("find_cluster");`) so it drops at scope
+/// end. Near-free when obs is disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::start($name, || $crate::histogram!($name))
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + JSON.
+
+/// A point-in-time, name-sorted copy of every registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as deterministic JSON: names sorted, two-space
+    /// indentation, trailing newline — the same diff-friendly shape as
+    /// `bcc_simnet::json` artifacts, and byte-stable whenever the metric
+    /// values themselves are (fixed seed + threads + logical time).
+    ///
+    /// Histograms serialize as
+    /// `{"count", "sum", "p50", "p95", "p99", "buckets": [[floor, n], …]}`
+    /// with only non-empty buckets listed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        render_scalar_map(&mut out, &self.counters);
+        out.push_str(",\n  \"gauges\": {");
+        render_scalar_map(&mut out, &self.gauges);
+        out.push_str(",\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\n      \"count\": {},\n      \"sum\": {},\n      \
+                 \"p50\": {},\n      \"p95\": {},\n      \"p99\": {},\n      \"buckets\": [",
+                escape(name),
+                h.count,
+                h.sum,
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+            for (j, (floor, count)) in h.nonzero_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{floor}, {count}]");
+            }
+            out.push_str("]\n    }");
+        }
+        if self.histograms.is_empty() {
+            out.push('}');
+        } else {
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn render_scalar_map(out: &mut String, entries: &[(String, u64)]) {
+    for (i, (name, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {v}", escape(name));
+    }
+    if entries.is_empty() {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests mutating the process-global switches serialize on this.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let c1 = registry().counter("test.lib.counter");
+        let c2 = counter!("test.lib.counter");
+        assert!(std::ptr::eq(c1, c2), "same name must be the same cell");
+        c1.inc();
+        c1.add(4);
+        assert!(c2.get() >= 5);
+        let g = gauge!("test.lib.gauge");
+        g.set(17);
+        assert_eq!(gauge!("test.lib.gauge").get(), 17);
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _guard = global_lock();
+        let was = enabled();
+        set_enabled(false);
+        let before = counter!("test.lib.disabled").get();
+        inc!("test.lib.disabled");
+        add!("test.lib.disabled", 10);
+        observe!("test.lib.disabled.hist", 5);
+        {
+            let _span = span!("test.lib.disabled.span");
+        }
+        assert_eq!(counter!("test.lib.disabled").get(), before);
+        assert_eq!(histogram!("test.lib.disabled.hist").count(), 0);
+        assert_eq!(histogram!("test.lib.disabled.span").count(), 0);
+        set_enabled(was);
+    }
+
+    #[test]
+    fn spans_feed_their_histogram() {
+        let _guard = global_lock();
+        set_enabled(true);
+        let h = histogram!("test.lib.span.wall");
+        let before = h.count();
+        {
+            let _span = span!("test.lib.span.wall");
+        }
+        assert_eq!(h.count(), before + 1);
+    }
+
+    #[test]
+    fn logical_time_is_deterministic() {
+        let _guard = global_lock();
+        set_enabled(true);
+        set_logical_time(100);
+        let h = registry().histogram("test.lib.span.logical");
+        h.reset();
+        for _ in 0..5 {
+            let _span = span!("test.lib.span.logical");
+        }
+        set_logical_time(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        // Durations are 100, 200, 300, 400, 500 regardless of scheduling.
+        assert_eq!(s.sum, 1500);
+        assert_eq!(s.p50(), hist::floor_of(300));
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let _guard = global_lock();
+        set_enabled(true);
+        registry().counter("test.json.b").reset();
+        registry().counter("test.json.a").reset();
+        counter!("test.json.b").add(2);
+        counter!("test.json.a").inc();
+        observe!("test.json.hist", 7);
+        let a = snapshot().to_json();
+        let b = snapshot().to_json();
+        assert_eq!(a, b, "snapshot rendering must be stable");
+        let pa = a.find("\"test.json.a\"").expect("a rendered");
+        let pb = a.find("\"test.json.b\"").expect("b rendered");
+        assert!(pa < pb, "names must be sorted");
+        assert!(a.contains("\"p50\""));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn reset_zeroes_registered_metrics() {
+        let _guard = global_lock();
+        set_enabled(true);
+        counter!("test.lib.reset").add(3);
+        gauge!("test.lib.reset.g").set(9);
+        observe!("test.lib.reset.h", 4);
+        registry().reset();
+        assert_eq!(counter!("test.lib.reset").get(), 0);
+        assert_eq!(gauge!("test.lib.reset.g").get(), 0);
+        assert_eq!(histogram!("test.lib.reset.h").count(), 0);
+    }
+}

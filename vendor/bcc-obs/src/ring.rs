@@ -1,0 +1,112 @@
+//! Optional structured span sink: a keep-last-N ring of completed spans.
+//!
+//! Mirrors the `O(1)` ring-eviction mode of `bcc_simnet::Trace::ring`
+//! (overwrite the oldest slot in place, count what was evicted) so a long
+//! soak can keep a bounded tail of span events for post-mortem inspection
+//! without the trace dominating the run. Off by default — spans only feed
+//! their histogram; call [`crate::enable_span_ring`] to start capturing.
+
+use std::sync::{Mutex, OnceLock};
+
+/// One completed span, as captured by the ring sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span site's name (histogram name).
+    pub name: &'static str,
+    /// Recorded duration in nanoseconds (logical units in logical mode).
+    pub duration_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<SpanEvent>,
+    capacity: usize,
+    /// Index of the oldest retained event once the buffer wrapped.
+    head: usize,
+    evicted: u64,
+}
+
+fn ring_cell() -> &'static Mutex<Option<Ring>> {
+    static CELL: OnceLock<Mutex<Option<Ring>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+/// Starts capturing completed spans into a keep-last-`capacity` ring
+/// (replacing any previous ring and its contents).
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn enable_span_ring(capacity: usize) {
+    assert!(capacity > 0, "span ring capacity must be positive");
+    *ring_cell().lock().expect("span ring lock") = Some(Ring {
+        buf: Vec::with_capacity(capacity.min(1024)),
+        capacity,
+        head: 0,
+        evicted: 0,
+    });
+}
+
+/// Stops capturing spans and drops the ring.
+pub fn disable_span_ring() {
+    *ring_cell().lock().expect("span ring lock") = None;
+}
+
+/// Records one completed span into the ring, if enabled.
+pub(crate) fn record_span(name: &'static str, duration_ns: u64) {
+    let mut guard = ring_cell().lock().expect("span ring lock");
+    let Some(ring) = guard.as_mut() else {
+        return;
+    };
+    let event = SpanEvent { name, duration_ns };
+    if ring.buf.len() == ring.capacity {
+        ring.buf[ring.head] = event;
+        ring.head = (ring.head + 1) % ring.capacity;
+        ring.evicted += 1;
+    } else {
+        ring.buf.push(event);
+    }
+}
+
+/// The retained spans, oldest first, plus how many older ones the ring
+/// overwrote. Empty when the ring is disabled.
+pub fn span_events() -> (Vec<SpanEvent>, u64) {
+    let guard = ring_cell().lock().expect("span ring lock");
+    match guard.as_ref() {
+        None => (Vec::new(), 0),
+        Some(ring) => {
+            let mut out = Vec::with_capacity(ring.buf.len());
+            out.extend_from_slice(&ring.buf[ring.head..]);
+            out.extend_from_slice(&ring.buf[..ring.head]);
+            (out, ring.evicted)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_n_oldest_first() {
+        enable_span_ring(3);
+        for d in 0..7u64 {
+            record_span("t", d);
+        }
+        let (events, evicted) = span_events();
+        assert_eq!(evicted, 4);
+        let durations: Vec<u64> = events.iter().map(|e| e.duration_ns).collect();
+        assert_eq!(durations, vec![4, 5, 6]);
+        disable_span_ring();
+        assert_eq!(span_events().0.len(), 0);
+        // Recording with the ring off is a no-op.
+        record_span("t", 9);
+        assert_eq!(span_events().0.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        enable_span_ring(0);
+    }
+}

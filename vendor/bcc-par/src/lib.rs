@@ -18,7 +18,15 @@
 //!    back into a single-threaded program.
 //! 3. **Configuration.** Worker count comes from, in priority order: the
 //!    [`set_threads`] process-global override, the `BCC_THREADS` environment
-//!    variable, then [`std::thread::available_parallelism`].
+//!    variable, then [`std::thread::available_parallelism`]. The environment
+//!    and hardware fallback are read **once** per process and cached; only
+//!    the [`set_threads`] override is dynamic.
+//!
+//! The runtime self-reports through `bcc-obs`: `par.calls` / `par.tasks`
+//! counters, a `par.threads` gauge (effective worker count of the most
+//! recent call), and a `par.worker_busy` span per worker measuring busy
+//! time (the serial inline path records one span too, so call counts stay
+//! thread-count independent where the work grid is).
 //!
 //! Swapping in registry `rayon` is a mechanical change at the call sites
 //! (`par_map(n, f)` → `(0..n).into_par_iter().map(f).collect()`, and
@@ -27,7 +35,7 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Process-global thread-count override set by [`set_threads`].
 /// `0` means "not overridden" (fall back to env / hardware detection).
@@ -42,24 +50,36 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// The `BCC_THREADS` / hardware-detection fallback, resolved once per
+/// process. Hot paths call [`current_threads`] on every parallel entry, so
+/// the env read (a libc call plus UTF-8 validation) must not recur; only
+/// the [`set_threads`] override is consulted dynamically.
+fn base_threads() -> usize {
+    static BASE: OnceLock<usize> = OnceLock::new();
+    *BASE.get_or_init(|| {
+        if let Ok(s) = std::env::var("BCC_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 /// The worker count parallel calls will use right now: the [`set_threads`]
 /// override if set, else `BCC_THREADS` (when parseable and non-zero), else
-/// [`std::thread::available_parallelism`]. Always at least 1.
+/// [`std::thread::available_parallelism`] — the latter two read once and
+/// cached after the first read. Always at least 1.
 pub fn current_threads() -> usize {
     let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if o > 0 {
         return o;
     }
-    if let Ok(s) = std::env::var("BCC_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    base_threads()
 }
 
 /// Applies `map` to every chunk of the fixed grid
@@ -82,8 +102,12 @@ where
     assert!(chunk > 0, "chunk size must be positive");
     let tasks = n.div_ceil(chunk);
     let threads = current_threads().min(tasks);
+    bcc_obs::inc!("par.calls");
+    bcc_obs::add!("par.tasks", tasks as u64);
+    bcc_obs::set_gauge!("par.threads", threads.max(1) as u64);
     let task_range = |t: usize| (t * chunk)..((t + 1) * chunk).min(n);
     if threads <= 1 {
+        let _busy = bcc_obs::span!("par.worker_busy");
         return (0..tasks).map(|t| map(task_range(t))).collect();
     }
 
@@ -96,6 +120,7 @@ where
                 let cursor = &cursor;
                 let map = &map;
                 scope.spawn(move |_| {
+                    let _busy = bcc_obs::span!("par.worker_busy");
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
                         let t = cursor.fetch_add(1, Ordering::Relaxed);
@@ -171,7 +196,10 @@ where
     F: Fn(&mut S, usize) -> Option<T> + Sync,
 {
     let threads = current_threads().min(n.max(1));
+    bcc_obs::inc!("par.calls");
+    bcc_obs::set_gauge!("par.threads", threads.max(1) as u64);
     if threads <= 1 || n <= 1 {
+        let _busy = bcc_obs::span!("par.worker_busy");
         let mut state = init();
         return (0..n).find_map(|i| f(&mut state, i));
     }
@@ -188,6 +216,7 @@ where
         for _ in 0..threads {
             let (cursor, best_idx, best, init, f) = (&cursor, &best_idx, &best, &init, &f);
             scope.spawn(move |_| {
+                let _busy = bcc_obs::span!("par.worker_busy");
                 let mut state = init();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -300,5 +329,18 @@ mod tests {
         set_threads(5);
         assert_eq!(current_threads(), 5);
         set_threads(0);
+    }
+
+    #[test]
+    fn env_fallback_is_read_once() {
+        // First read resolves and caches the env/hardware fallback …
+        let before = base_threads();
+        assert!(before >= 1);
+        // … so mutating the variable afterwards must not change it. (This
+        // is what keeps `current_threads()` a single atomic load + cached
+        // read on every parallel call.)
+        std::env::set_var("BCC_THREADS", "9999");
+        assert_eq!(base_threads(), before, "BCC_THREADS is cached, not re-read");
+        std::env::remove_var("BCC_THREADS");
     }
 }
