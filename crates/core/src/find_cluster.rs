@@ -137,6 +137,229 @@ pub fn find_cluster_ordered<M: FiniteMetric>(
     result
 }
 
+/// Pairs scanned between two budget checks in the `_budgeted` kernels.
+///
+/// Budget exhaustion is only detected at multiples of this block size, so
+/// the cut point of an exhausted scan is a deterministic function of the
+/// metric and the budget — never of thread count or timing. The block is
+/// deliberately small: a space of just six hosts already spans a boundary
+/// (15 pairs), so even modest scans are interruptible under an inflated
+/// work cost.
+pub const BUDGET_BLOCK: usize = 16;
+
+/// A deterministic work budget threaded through the `_budgeted` kernels.
+///
+/// Work is counted in *pairs examined* — the unit behind the
+/// `core.find_cluster.pairs_scanned` / `core.pairs_listed` counters — and
+/// never in wall-clock time, so every budget decision replays
+/// byte-identically. Each pair is charged `cost` units; a chaos nemesis can
+/// inflate `cost` to simulate a slow region without touching any clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkMeter {
+    limit: u64,
+    cost: u64,
+    used: u64,
+}
+
+impl WorkMeter {
+    /// A meter allowing `limit` units of work at unit cost per pair.
+    pub fn new(limit: u64) -> Self {
+        WorkMeter::with_cost(limit, 1)
+    }
+
+    /// A meter allowing `limit` units, charging `cost` (clamped to ≥ 1)
+    /// units per pair examined.
+    pub fn with_cost(limit: u64, cost: u64) -> Self {
+        WorkMeter {
+            limit,
+            cost: cost.max(1),
+            used: 0,
+        }
+    }
+
+    /// A meter that never exhausts (`limit = u64::MAX`, saturating charge).
+    pub fn unlimited() -> Self {
+        WorkMeter::new(u64::MAX)
+    }
+
+    /// Charges `pairs` pair-examinations and reports whether the budget
+    /// still holds. Saturating: an unlimited meter can never wrap into
+    /// exhaustion.
+    pub fn charge(&mut self, pairs: u64) -> bool {
+        self.used = self.used.saturating_add(pairs.saturating_mul(self.cost));
+        !self.exhausted()
+    }
+
+    /// `true` once more than `limit` units have been charged.
+    pub fn exhausted(&self) -> bool {
+        self.used > self.limit
+    }
+
+    /// Units charged so far (cost-inflated pair count).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The budget ceiling in work units.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Units charged per pair examined.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+/// The result of a budgeted kernel: either the full answer, or the best
+/// partial answer assembled before the [`WorkMeter`] ran dry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Budgeted<T> {
+    /// The kernel ran to completion; the value is exact.
+    Done(T),
+    /// The budget was exhausted mid-scan.
+    Exhausted {
+        /// Work units charged when the scan was cut (cost-inflated).
+        pairs_done: u64,
+        /// Best partial answer seen before the cut.
+        best_partial: T,
+    },
+}
+
+impl<T> Budgeted<T> {
+    /// `true` when the budget ran out before the scan completed.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, Budgeted::Exhausted { .. })
+    }
+
+    /// The exact value, or the best partial when exhausted. Callers that
+    /// must not confuse the two should match instead.
+    pub fn into_value(self) -> T {
+        match self {
+            Budgeted::Done(v) => v,
+            Budgeted::Exhausted { best_partial, .. } => best_partial,
+        }
+    }
+}
+
+/// [`find_cluster`] under a [`WorkMeter`]: the row-major scan checks the
+/// budget every [`BUDGET_BLOCK`] pairs and, when it runs dry, returns the
+/// largest pair-bounded subset (size ≥ 2) seen so far instead of running to
+/// completion.
+///
+/// With an unexhausted meter the result is bit-identical to
+/// [`find_cluster`] — the scan order, the pair filter and the membership
+/// test are the same code path; only the block-boundary budget check is
+/// added.
+pub fn find_cluster_budgeted<M: FiniteMetric>(
+    metric: &M,
+    k: usize,
+    l: f64,
+    meter: &mut WorkMeter,
+) -> Budgeted<Option<Vec<usize>>> {
+    let _span = bcc_obs::span!("core.find_cluster");
+    bcc_obs::inc!("core.find_cluster.calls");
+    let n = metric.len();
+    if k > n || k == 0 {
+        return Budgeted::Done(None);
+    }
+    if k == 1 {
+        return Budgeted::Done(Some(vec![0]));
+    }
+    if meter.exhausted() {
+        return Budgeted::Exhausted {
+            pairs_done: meter.used(),
+            best_partial: None,
+        };
+    }
+    let mut scratch = Vec::with_capacity(k);
+    let mut best: Vec<usize> = Vec::new();
+    let mut scanned = 0u64;
+    let mut block = 0usize;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            scanned += 1;
+            let dpq = metric.distance(p, q);
+            if dpq <= l {
+                if check_pair(metric, p, q, dpq, k, &mut scratch) {
+                    meter.charge(block as u64 + 1);
+                    bcc_obs::add!("core.find_cluster.pairs_scanned", scanned);
+                    return Budgeted::Done(Some(scratch));
+                }
+                if scratch.len() > best.len() && scratch.len() >= 2 {
+                    best = scratch.clone();
+                }
+            }
+            block += 1;
+            if block == BUDGET_BLOCK {
+                block = 0;
+                if !meter.charge(BUDGET_BLOCK as u64) {
+                    bcc_obs::add!("core.find_cluster.pairs_scanned", scanned);
+                    return Budgeted::Exhausted {
+                        pairs_done: meter.used(),
+                        best_partial: (!best.is_empty()).then_some(best),
+                    };
+                }
+            }
+        }
+    }
+    meter.charge(block as u64);
+    bcc_obs::add!("core.find_cluster.pairs_scanned", scanned);
+    Budgeted::Done(None)
+}
+
+/// [`max_cluster_size`] under a [`WorkMeter`]: scans pairs row-major,
+/// checking the budget every [`BUDGET_BLOCK`] pairs; when it runs dry it
+/// returns the best size established so far (≥ 1 on non-empty spaces).
+///
+/// With an unexhausted meter the result equals [`max_cluster_size`].
+pub fn max_cluster_size_budgeted<M: FiniteMetric>(
+    metric: &M,
+    l: f64,
+    meter: &mut WorkMeter,
+) -> Budgeted<usize> {
+    let _span = bcc_obs::span!("core.max_cluster_size");
+    bcc_obs::inc!("core.max_cluster_size.calls");
+    let n = metric.len();
+    if n == 0 {
+        return Budgeted::Done(0);
+    }
+    if meter.exhausted() {
+        return Budgeted::Exhausted {
+            pairs_done: meter.used(),
+            best_partial: 1,
+        };
+    }
+    let mut best = 1usize;
+    let mut block = 0usize;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let dpq = metric.distance(p, q);
+            if dpq <= l {
+                let mut count = 0;
+                for x in 0..n {
+                    if metric.distance(x, p) <= dpq && metric.distance(x, q) <= dpq {
+                        count += 1;
+                    }
+                }
+                best = best.max(count);
+            }
+            block += 1;
+            if block == BUDGET_BLOCK {
+                block = 0;
+                if !meter.charge(BUDGET_BLOCK as u64) {
+                    return Budgeted::Exhausted {
+                        pairs_done: meter.used(),
+                        best_partial: best,
+                    };
+                }
+            }
+        }
+    }
+    meter.charge(block as u64);
+    Budgeted::Done(best)
+}
+
 /// Collects the row-major pair list `(p, q, d(p, q))` with `p < q`,
 /// pre-filtered to `d(p, q) ≤ l` so pairs that can never bound a satisfying
 /// cluster are dropped before any allocation-heavy downstream step. The one
@@ -547,6 +770,111 @@ mod tests {
         let d = line(&[0.0, 5.0]);
         assert!(find_cluster(&d, 2, 5.0).is_some());
         assert!(find_cluster(&d, 2, 4.999).is_none());
+    }
+
+    #[test]
+    fn work_meter_charges_and_saturates() {
+        let mut m = WorkMeter::new(10);
+        assert!(m.charge(10));
+        assert!(!m.exhausted());
+        assert!(!m.charge(1));
+        assert!(m.exhausted());
+        assert_eq!(m.used(), 11);
+        // Cost inflation multiplies each pair's charge.
+        let mut slow = WorkMeter::with_cost(10, 4);
+        assert!(!slow.charge(3), "3 pairs at cost 4 exceed 10 units");
+        assert_eq!(slow.used(), 12);
+        // Unlimited meters saturate instead of wrapping into exhaustion.
+        let mut unlimited = WorkMeter::unlimited();
+        assert!(unlimited.charge(u64::MAX));
+        assert!(unlimited.charge(u64::MAX));
+        assert!(!unlimited.exhausted());
+        // Zero cost is clamped to one so charging always makes progress.
+        assert_eq!(WorkMeter::with_cost(5, 0).cost(), 1);
+    }
+
+    #[test]
+    fn budgeted_matches_unbudgeted_when_not_exhausted() {
+        let spaces = [
+            line(&[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 20.0]),
+            star(&[1.0, 1.0, 1.0, 50.0, 2.0]),
+            line(&[0.0, 10.0, 20.0, 30.0]),
+        ];
+        for d in &spaces {
+            for k in 1..=d.len() {
+                for l in [0.5, 2.0, 3.0, 5.0, 100.0] {
+                    let mut meter = WorkMeter::unlimited();
+                    let got = find_cluster_budgeted(d, k, l, &mut meter);
+                    assert_eq!(got, Budgeted::Done(find_cluster(d, k, l)), "k={k} l={l}");
+                }
+                let mut meter = WorkMeter::unlimited();
+                let l = 3.0;
+                assert_eq!(
+                    max_cluster_size_budgeted(d, l, &mut meter),
+                    Budgeted::Done(max_cluster_size(d, l))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_cuts_at_block_boundaries() {
+        // A space large enough that the scan spans several blocks, with no
+        // satisfying cluster so the scan cannot exit early.
+        let pos: Vec<f64> = (0..40).map(|i| i as f64 * 10.0).collect();
+        let d = line(&pos);
+        let mut meter = WorkMeter::new(BUDGET_BLOCK as u64);
+        match find_cluster_budgeted(&d, 3, 5.0, &mut meter) {
+            Budgeted::Exhausted { pairs_done, .. } => {
+                // One full block fits the budget; the check after the second
+                // block trips it. The cut is always a block multiple.
+                assert_eq!(pairs_done, 2 * BUDGET_BLOCK as u64);
+            }
+            done => panic!("expected exhaustion, got {done:?}"),
+        }
+        // An already-exhausted meter refuses immediately.
+        let mut spent = WorkMeter::new(0);
+        spent.charge(1);
+        assert!(find_cluster_budgeted(&d, 3, 5.0, &mut spent).is_exhausted());
+        assert!(max_cluster_size_budgeted(&d, 5.0, &mut spent).is_exhausted());
+    }
+
+    #[test]
+    fn budgeted_exhaustion_reports_best_partial() {
+        // Tight triple at the head of a space wide enough to cross a block
+        // boundary; the full k=4 never assembles, so an exhausted scan must
+        // surface the size-3 subset it saw.
+        let mut pos = vec![0.0, 1.0, 2.0];
+        pos.extend((1..=10).map(|i| i as f64 * 100.0));
+        let d = line(&pos);
+        let mut meter = WorkMeter::new(4);
+        match find_cluster_budgeted(&d, 4, 2.5, &mut meter) {
+            Budgeted::Exhausted { best_partial, .. } => {
+                assert_eq!(best_partial, Some(vec![0, 1, 2]));
+            }
+            done => panic!("expected exhaustion, got {done:?}"),
+        }
+        let mut meter = WorkMeter::new(4);
+        match max_cluster_size_budgeted(&d, 2.5, &mut meter) {
+            Budgeted::Exhausted { best_partial, .. } => assert_eq!(best_partial, 3),
+            done => panic!("expected exhaustion, got {done:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_cut_is_cost_deterministic() {
+        // The same scan under the same budget and cost always cuts at the
+        // same pair count — replayed twice, byte-identical.
+        let pos: Vec<f64> = (0..30).map(|i| i as f64 * 7.0).collect();
+        let d = line(&pos);
+        for cost in [1u64, 3, 17] {
+            let mut a = WorkMeter::with_cost(200, cost);
+            let mut b = WorkMeter::with_cost(200, cost);
+            let ra = find_cluster_budgeted(&d, 3, 5.0, &mut a);
+            let rb = find_cluster_budgeted(&d, 3, 5.0, &mut b);
+            assert_eq!(ra, rb);
+            assert_eq!(a.used(), b.used());
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use bcc_metric::{DistanceMatrix, NodeId};
 
 use crate::classes::BandwidthClasses;
 use crate::error::ClusterError;
-use crate::find_cluster;
+use crate::find_cluster::{self, Budgeted, WorkMeter};
 
 /// Configuration shared by every node of a clustering overlay.
 #[derive(Debug, Clone, PartialEq)]
@@ -309,6 +309,49 @@ impl ClusterNode {
             .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
     }
 
+    /// [`ClusterNode::answer_locally_filtered`] under a [`WorkMeter`]: the
+    /// local cluster search charges the meter per pair examined, and on
+    /// exhaustion reports the largest live subset (size ≥ 2) assembled so
+    /// far as the `best_partial` instead of a full answer.
+    ///
+    /// With an unexhausted meter the result is bit-identical to the
+    /// unbudgeted variant.
+    pub fn answer_locally_filtered_budgeted(
+        &self,
+        k: usize,
+        class_idx: usize,
+        classes: &BandwidthClasses,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+        mut alive: impl FnMut(NodeId) -> bool,
+        meter: &mut WorkMeter,
+    ) -> Budgeted<Option<Vec<NodeId>>> {
+        if k == 0 || k > self.own_max[class_idx] {
+            return Budgeted::Done(None);
+        }
+        let space: Vec<NodeId> = self
+            .clustering_space()
+            .into_iter()
+            .filter(|&u| alive(u))
+            .collect();
+        if space.len() < k {
+            return Budgeted::Done(None);
+        }
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        let l = classes.distance_of(class_idx);
+        match find_cluster::find_cluster_budgeted(&local, k, l, meter) {
+            Budgeted::Done(r) => {
+                Budgeted::Done(r.map(|idxs| idxs.into_iter().map(|i| space[i]).collect()))
+            }
+            Budgeted::Exhausted {
+                pairs_done,
+                best_partial,
+            } => Budgeted::Exhausted {
+                pairs_done,
+                best_partial: best_partial.map(|idxs| idxs.into_iter().map(|i| space[i]).collect()),
+            },
+        }
+    }
+
     /// The largest cluster buildable from the *live* part of the local
     /// clustering space, if any of size ≥ 2 exists — the source of partial
     /// results when the full `k` cannot be assembled.
@@ -335,6 +378,57 @@ impl ClusterNode {
         }
         find_cluster::find_cluster(&local, m, l)
             .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
+    }
+
+    /// [`ClusterNode::best_partial`] under a [`WorkMeter`]: both the sizing
+    /// pass and the member search charge the meter. On exhaustion during
+    /// sizing no members are known yet (`best_partial: None`); on
+    /// exhaustion during the search the largest subset seen is reported.
+    ///
+    /// With an unexhausted meter the result is bit-identical to the
+    /// unbudgeted variant.
+    pub fn best_partial_budgeted(
+        &self,
+        class_idx: usize,
+        classes: &BandwidthClasses,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+        mut alive: impl FnMut(NodeId) -> bool,
+        meter: &mut WorkMeter,
+    ) -> Budgeted<Option<Vec<NodeId>>> {
+        let space: Vec<NodeId> = self
+            .clustering_space()
+            .into_iter()
+            .filter(|&u| alive(u))
+            .collect();
+        if space.len() < 2 {
+            return Budgeted::Done(None);
+        }
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        let l = classes.distance_of(class_idx);
+        let m = match find_cluster::max_cluster_size_budgeted(&local, l, meter) {
+            Budgeted::Done(m) => m,
+            Budgeted::Exhausted { pairs_done, .. } => {
+                return Budgeted::Exhausted {
+                    pairs_done,
+                    best_partial: None,
+                }
+            }
+        };
+        if m < 2 {
+            return Budgeted::Done(None);
+        }
+        match find_cluster::find_cluster_budgeted(&local, m, l, meter) {
+            Budgeted::Done(r) => {
+                Budgeted::Done(r.map(|idxs| idxs.into_iter().map(|i| space[i]).collect()))
+            }
+            Budgeted::Exhausted {
+                pairs_done,
+                best_partial,
+            } => Budgeted::Exhausted {
+                pairs_done,
+                best_partial: best_partial.map(|idxs| idxs.into_iter().map(|i| space[i]).collect()),
+            },
+        }
     }
 
     /// Algorithm 4, routing half: a neighbor (≠ `exclude`) whose direction

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::classes::BandwidthClasses;
 use crate::error::ClusterError;
+use crate::find_cluster::{Budgeted, WorkMeter};
 use crate::node::{ClusterNode, RoutePolicy};
 
 /// A reusable description of one `(k, b)` cluster query and the node it
@@ -150,6 +151,28 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Hop budget of the 0-based `attempt`:
+    /// `initial_hop_budget · backoff^attempt`, saturating at `usize::MAX`.
+    ///
+    /// The product is computed in one shot instead of by repeated
+    /// multiplication, and every overflow path — a non-finite product, a
+    /// product beyond `usize::MAX`, an attempt count beyond `i32::MAX` —
+    /// clamps to `usize::MAX` rather than wrapping, so arbitrarily large
+    /// retry counts can only ever *widen* the budget.
+    pub fn budget_for_attempt(&self, attempt: usize) -> usize {
+        let base = self.initial_hop_budget.max(1) as f64;
+        let factor = self.backoff.max(1.0);
+        let exp = i32::try_from(attempt).unwrap_or(i32::MAX);
+        let scaled = base * factor.powi(exp);
+        if !scaled.is_finite() || scaled >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            scaled as usize
+        }
+    }
+}
+
 /// Routes the query `(k, bandwidth)` starting at `start`.
 ///
 /// `nodes` maps dense host ids to protocol state; `dist` is the predicted
@@ -275,11 +298,48 @@ pub fn process_query_resilient(
     k: usize,
     bandwidth: f64,
     classes: &BandwidthClasses,
+    dist: impl FnMut(NodeId, NodeId) -> f64,
+    policy: RoutePolicy,
+    retry: &RetryPolicy,
+    alive: impl FnMut(NodeId) -> bool,
+) -> Result<QueryOutcome, ClusterError> {
+    let mut meter = WorkMeter::unlimited();
+    match process_query_resilient_budgeted(
+        nodes, start, k, bandwidth, classes, dist, policy, retry, alive, &mut meter,
+    )? {
+        Budgeted::Done(out) => Ok(out),
+        // An unlimited meter never exhausts; the charge saturates below it.
+        Budgeted::Exhausted { best_partial, .. } => Ok(best_partial),
+    }
+}
+
+/// [`process_query_resilient`] under a [`WorkMeter`]: every local cluster
+/// search along the walk charges the meter, and the moment it runs dry the
+/// walk stops and reports [`Budgeted::Exhausted`] carrying the degraded
+/// outcome assembled so far (partial cluster, path, retry accounting).
+///
+/// Work is charged in pairs examined by the node-local kernels — a
+/// deterministic quantity — so where the walk is cut depends only on the
+/// overlay state and the budget, never on wall-clock or thread count. With
+/// a meter that never exhausts the result is bit-identical to
+/// [`process_query_resilient`] (which is implemented on top of this).
+///
+/// # Errors
+///
+/// Same as [`process_query_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub fn process_query_resilient_budgeted(
+    nodes: &[ClusterNode],
+    start: NodeId,
+    k: usize,
+    bandwidth: f64,
+    classes: &BandwidthClasses,
     mut dist: impl FnMut(NodeId, NodeId) -> f64,
     policy: RoutePolicy,
     retry: &RetryPolicy,
     mut alive: impl FnMut(NodeId) -> bool,
-) -> Result<QueryOutcome, ClusterError> {
+    meter: &mut WorkMeter,
+) -> Result<Budgeted<QueryOutcome>, ClusterError> {
     let class_idx = QueryRequest::new(start, k, bandwidth).validate(classes, nodes.len())?;
     if !alive(start) {
         return Err(ClusterError::NodeUnavailable {
@@ -291,14 +351,22 @@ pub fn process_query_resilient(
     let mut blacklist: Vec<NodeId> = Vec::new();
     let mut total_hops = 0;
     let mut full_path = Vec::new();
-    let mut budget = retry.initial_hop_budget.max(1) as f64;
+
+    // Folds a node-level partial into the degradation record, keeping the
+    // largest live cluster seen anywhere along the walk.
+    fn keep_partial(deg: &mut Degradation, p: Option<Vec<NodeId>>) {
+        if let Some(p) = p {
+            if deg.partial.as_ref().is_none_or(|best| p.len() > best.len()) {
+                deg.partial = Some(p);
+            }
+        }
+    }
 
     for attempt in 0..=retry.max_retries {
         if attempt > 0 {
             deg.retries += 1;
-            budget *= retry.backoff.max(1.0);
         }
-        let hop_budget = budget as usize;
+        let hop_budget = retry.budget_for_attempt(attempt);
         let mut current = start;
         let mut previous: Option<NodeId> = None;
         let mut hops_this_attempt = 0;
@@ -306,26 +374,68 @@ pub fn process_query_resilient(
         full_path.push(start);
 
         'walk: loop {
+            // Every node visit pre-charges one unit (the CRT
+            // consultation), so a walk is interruptible at node
+            // boundaries even when the local scans are too small to
+            // cross a kernel block boundary. Under a saturating work
+            // cost this refuses immediately — the budgeted analogue of
+            // a deadline that has already expired.
+            if !meter.charge(1) {
+                return Ok(Budgeted::Exhausted {
+                    pairs_done: meter.used(),
+                    best_partial: QueryOutcome {
+                        cluster: None,
+                        hops: total_hops,
+                        path: full_path,
+                        degradation: deg,
+                    },
+                });
+            }
             let node = &nodes[current.index()];
             debug_assert_eq!(node.id(), current, "nodes must be indexed by id");
-            if let Some(cluster) =
-                node.answer_locally_filtered(k, class_idx, classes, &mut dist, &mut alive)
-            {
-                deg.partial = None;
-                return Ok(QueryOutcome {
-                    cluster: Some(cluster),
-                    hops: total_hops,
-                    path: full_path,
-                    degradation: deg,
-                });
+            match node.answer_locally_filtered_budgeted(
+                k, class_idx, classes, &mut dist, &mut alive, meter,
+            ) {
+                Budgeted::Done(Some(cluster)) => {
+                    deg.partial = None;
+                    return Ok(Budgeted::Done(QueryOutcome {
+                        cluster: Some(cluster),
+                        hops: total_hops,
+                        path: full_path,
+                        degradation: deg,
+                    }));
+                }
+                Budgeted::Done(None) => {}
+                Budgeted::Exhausted { best_partial, .. } => {
+                    keep_partial(&mut deg, best_partial);
+                    return Ok(Budgeted::Exhausted {
+                        pairs_done: meter.used(),
+                        best_partial: QueryOutcome {
+                            cluster: None,
+                            hops: total_hops,
+                            path: full_path,
+                            degradation: deg,
+                        },
+                    });
+                }
             }
             // The CRT gate promised k here but the live space cannot
             // deliver it: remember the best live cluster as a fallback.
             if k <= node.own_max()[class_idx] {
                 deg.stale_state = true;
-                if let Some(p) = node.best_partial(class_idx, classes, &mut dist, &mut alive) {
-                    if deg.partial.as_ref().is_none_or(|best| p.len() > best.len()) {
-                        deg.partial = Some(p);
+                match node.best_partial_budgeted(class_idx, classes, &mut dist, &mut alive, meter) {
+                    Budgeted::Done(p) => keep_partial(&mut deg, p),
+                    Budgeted::Exhausted { best_partial, .. } => {
+                        keep_partial(&mut deg, best_partial);
+                        return Ok(Budgeted::Exhausted {
+                            pairs_done: meter.used(),
+                            best_partial: QueryOutcome {
+                                cluster: None,
+                                hops: total_hops,
+                                path: full_path,
+                                degradation: deg,
+                            },
+                        });
                     }
                 }
             }
@@ -362,12 +472,12 @@ pub fn process_query_resilient(
         }
     }
 
-    Ok(QueryOutcome {
+    Ok(Budgeted::Done(QueryOutcome {
         cluster: None,
         hops: total_hops,
         path: full_path,
         degradation: deg,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -754,6 +864,137 @@ mod tests {
         .unwrap();
         assert!(retried.found(), "backoff must eventually reach the answer");
         assert!(retried.degradation.retries >= 2);
+    }
+
+    #[test]
+    fn backoff_saturates_at_overflow_boundary() {
+        // Doubling from 2^40 crosses usize::MAX near attempt 23; the budget
+        // must clamp there and stay clamped, never wrap.
+        let p = RetryPolicy {
+            max_retries: 600,
+            initial_hop_budget: 1 << 40,
+            backoff: 2.0,
+        };
+        let mut prev = 0usize;
+        for attempt in 0..=p.max_retries {
+            let b = p.budget_for_attempt(attempt);
+            assert!(b >= prev, "budget shrank at attempt {attempt}");
+            prev = b;
+        }
+        assert_eq!(p.budget_for_attempt(600), usize::MAX);
+        // A single extreme backoff step saturates immediately.
+        let extreme = RetryPolicy {
+            max_retries: 3,
+            initial_hop_budget: 7,
+            backoff: f64::MAX,
+        };
+        assert_eq!(extreme.budget_for_attempt(0), 7);
+        assert_eq!(extreme.budget_for_attempt(1), usize::MAX);
+        assert_eq!(extreme.budget_for_attempt(2), usize::MAX);
+        // Sub-1.0 backoff is clamped to 1.0 — budgets never shrink.
+        let shrinking = RetryPolicy {
+            max_retries: 2,
+            initial_hop_budget: 9,
+            backoff: 0.25,
+        };
+        assert_eq!(shrinking.budget_for_attempt(2), 9);
+        // The default policy keeps its exact 32, 64, 128, ... ladder.
+        let default = RetryPolicy::default();
+        assert_eq!(default.budget_for_attempt(0), 32);
+        assert_eq!(default.budget_for_attempt(1), 64);
+        assert_eq!(default.budget_for_attempt(2), 128);
+    }
+
+    #[test]
+    fn huge_retry_policy_completes_without_overflow() {
+        let nodes = path_overlay();
+        let out = process_query_resilient(
+            &nodes,
+            n(0),
+            2,
+            50.0,
+            &classes(),
+            line_dist,
+            RoutePolicy::FirstFit,
+            &RetryPolicy {
+                max_retries: 1000,
+                initial_hop_budget: usize::MAX / 2,
+                backoff: f64::MAX,
+            },
+            |_| true,
+        )
+        .unwrap();
+        assert!(out.found());
+    }
+
+    #[test]
+    fn budgeted_walk_matches_unbudgeted_when_not_exhausted() {
+        let nodes = path_overlay();
+        for start in 0..4 {
+            for k in [2usize, 3, 4] {
+                let plain = process_query_resilient(
+                    &nodes,
+                    n(start),
+                    k,
+                    50.0,
+                    &classes(),
+                    line_dist,
+                    RoutePolicy::FirstFit,
+                    &RetryPolicy::default(),
+                    |_| true,
+                )
+                .unwrap();
+                let mut meter = WorkMeter::new(u64::MAX / 2);
+                let budgeted = process_query_resilient_budgeted(
+                    &nodes,
+                    n(start),
+                    k,
+                    50.0,
+                    &classes(),
+                    line_dist,
+                    RoutePolicy::FirstFit,
+                    &RetryPolicy::default(),
+                    |_| true,
+                    &mut meter,
+                )
+                .unwrap();
+                assert_eq!(budgeted, Budgeted::Done(plain), "start n{start} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_walk_reports_degraded_outcome() {
+        // A meter spent before the walk starts: the entry node's local
+        // search exhausts immediately and the outcome is a labeled partial
+        // miss, not a silent truncation.
+        let nodes = path_overlay();
+        let mut meter = WorkMeter::new(0);
+        meter.charge(1);
+        let out = process_query_resilient_budgeted(
+            &nodes,
+            n(3),
+            2,
+            50.0,
+            &classes(),
+            line_dist,
+            RoutePolicy::FirstFit,
+            &RetryPolicy::default(),
+            |_| true,
+            &mut meter,
+        )
+        .unwrap();
+        match out {
+            Budgeted::Exhausted {
+                pairs_done,
+                best_partial,
+            } => {
+                assert!(pairs_done >= 1);
+                assert!(!best_partial.found(), "no exact answer under a dry meter");
+                assert_eq!(best_partial.path, vec![n(3)]);
+            }
+            done => panic!("expected exhaustion, got {done:?}"),
+        }
     }
 
     #[test]

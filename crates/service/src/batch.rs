@@ -9,6 +9,8 @@
 //! response — is identical for any thread count, including the serial
 //! fallback at one thread.
 
+use std::collections::HashMap;
+
 use crate::cache::CacheKey;
 
 /// One unit of computation in a batch: a unique query identity plus every
@@ -37,26 +39,36 @@ pub struct BatchLane {
 ///
 /// Both levels preserve first-appearance order, so the plan — and
 /// everything downstream of it — is deterministic in the submission order
-/// alone.
+/// alone. Hash maps index first appearances, but the output order is
+/// carried entirely by the `Vec`s, so iteration order of the maps never
+/// leaks into the plan: `O(n)` total instead of the old `O(n²)` scans.
 pub fn plan(keys: &[(usize, CacheKey)], coalesce: bool) -> (Vec<BatchJob>, Vec<BatchLane>) {
     let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut job_index: HashMap<CacheKey, usize> = HashMap::new();
     for &(pos, key) in keys {
-        match jobs.iter_mut().find(|j| coalesce && j.key == key) {
-            Some(job) => job.positions.push(pos),
-            None => jobs.push(BatchJob {
-                key,
-                positions: vec![pos],
-            }),
+        match job_index.get(&key).copied().filter(|_| coalesce) {
+            Some(idx) => jobs[idx].positions.push(pos),
+            None => {
+                job_index.insert(key, jobs.len());
+                jobs.push(BatchJob {
+                    key,
+                    positions: vec![pos],
+                });
+            }
         }
     }
     let mut lanes: Vec<BatchLane> = Vec::new();
+    let mut lane_index: HashMap<usize, usize> = HashMap::new();
     for (idx, job) in jobs.iter().enumerate() {
-        match lanes.iter_mut().find(|l| l.class_idx == job.key.class_idx) {
-            Some(lane) => lane.jobs.push(idx),
-            None => lanes.push(BatchLane {
-                class_idx: job.key.class_idx,
-                jobs: vec![idx],
-            }),
+        match lane_index.get(&job.key.class_idx).copied() {
+            Some(l) => lanes[l].jobs.push(idx),
+            None => {
+                lane_index.insert(job.key.class_idx, lanes.len());
+                lanes.push(BatchLane {
+                    class_idx: job.key.class_idx,
+                    jobs: vec![idx],
+                });
+            }
         }
     }
     (jobs, lanes)
@@ -103,6 +115,34 @@ mod tests {
         assert_eq!(jobs.len(), 2);
         assert_eq!(lanes.len(), 1);
         assert_eq!(lanes[0].jobs, vec![0, 1]);
+    }
+
+    #[test]
+    fn plan_order_is_first_appearance_regardless_of_key_hashes() {
+        // Many distinct keys across interleaved classes: the plan must
+        // list jobs in submission order and lanes in first-appearance
+        // order, independent of HashMap iteration order.
+        let keys: Vec<(usize, CacheKey)> = (0..64)
+            .map(|i| (i, key(i % 16, 2 + (i % 3), i % 5)))
+            .collect();
+        let (jobs, lanes) = plan(&keys, true);
+        for w in jobs.windows(2) {
+            assert!(
+                w[0].positions[0] < w[1].positions[0],
+                "jobs must be in first-appearance order"
+            );
+        }
+        let mut seen = Vec::new();
+        for lane in &lanes {
+            assert!(!seen.contains(&lane.class_idx), "one lane per class");
+            seen.push(lane.class_idx);
+            for w in lane.jobs.windows(2) {
+                assert!(w[0] < w[1], "lane jobs in job order");
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "first-appearance lane order");
+        let total: usize = jobs.iter().map(|j| j.positions.len()).sum();
+        assert_eq!(total, 64, "every position answered exactly once");
     }
 
     #[test]

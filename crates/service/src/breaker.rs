@@ -1,0 +1,326 @@
+//! Per-lane circuit breakers driven by logical ticks.
+//!
+//! Every batch lane (one bandwidth class) owns a [`CircuitBreaker`]. The
+//! state machine is the classic Closed → Open → HalfOpen triangle, but all
+//! timing is *logical*: the clock is the service's tick counter, never
+//! wall-clock, so every transition replays byte-identically.
+//!
+//! - **Closed** — queries are admitted; consecutive budget exhaustions are
+//!   counted, and reaching [`BreakerConfig::failure_threshold`] trips the
+//!   breaker.
+//! - **Open** — admissions are shed immediately with
+//!   [`crate::ServiceError::CircuitOpen`] carrying the remaining open
+//!   ticks. After [`BreakerConfig::open_ticks`] logical ticks the next
+//!   admission transitions to HalfOpen.
+//! - **HalfOpen** — exactly one trial query (the probe) is admitted; its
+//!   success re-closes the breaker, its exhaustion re-opens it. Further
+//!   admissions while the probe is in flight are shed with a 1-tick hint.
+//!
+//! Transitions are counted both in [`BreakerStats`] and in the
+//! process-global `bcc-obs` registry (`service.breaker.*`), so snapshots
+//! are byte-stable under logical time.
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Healthy: admissions flow, failures are counted.
+    #[default]
+    Closed,
+    /// Tripped: admissions shed until the open window elapses.
+    Open,
+    /// Probing: one trial query decides between Closed and Open.
+    HalfOpen,
+}
+
+/// Tuning knobs of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive budget exhaustions (while Closed) that trip the
+    /// breaker. Clamped to ≥ 1 in use.
+    pub failure_threshold: u32,
+    /// Logical ticks the breaker stays Open before admitting a HalfOpen
+    /// probe.
+    pub open_ticks: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ticks: 2,
+        }
+    }
+}
+
+/// Transition counters of one breaker (or an aggregate over lanes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Closed/HalfOpen → Open transitions.
+    pub opened: u64,
+    /// Open → HalfOpen transitions (probe admitted).
+    pub half_opened: u64,
+    /// HalfOpen → Closed transitions (probe succeeded).
+    pub closed: u64,
+    /// Admissions shed while Open or while a probe was in flight.
+    pub shed: u64,
+}
+
+impl BreakerStats {
+    /// Folds another stats block into this one (lane aggregation).
+    pub fn merge(&mut self, other: &BreakerStats) {
+        self.opened += other.opened;
+        self.half_opened += other.half_opened;
+        self.closed += other.closed;
+        self.shed += other.shed;
+    }
+
+    /// Publishes the counters as `<prefix>.<field>` gauges into the
+    /// process-global `bcc-obs` registry. No-op when obs is disabled.
+    pub fn publish_obs(&self, prefix: &str) {
+        if !bcc_obs::enabled() {
+            return;
+        }
+        let reg = bcc_obs::registry();
+        for (field, value) in [
+            ("opened", self.opened),
+            ("half_opened", self.half_opened),
+            ("closed", self.closed),
+            ("shed", self.shed),
+        ] {
+            reg.gauge(&format!("{prefix}.{field}")).set(value);
+        }
+    }
+}
+
+/// One lane's circuit breaker. All timing in logical ticks.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    probe_in_flight: bool,
+    stats: BreakerStats,
+}
+
+impl CircuitBreaker {
+    /// A breaker in the Closed state.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            probe_in_flight: false,
+            stats: BreakerStats::default(),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Transition counters so far.
+    pub fn stats(&self) -> BreakerStats {
+        self.stats
+    }
+
+    /// Admission gate at logical tick `now`: `Ok(())` admits the query,
+    /// `Err(retry_after_ticks)` sheds it. An Open breaker whose window has
+    /// elapsed transitions to HalfOpen and admits the caller as the probe.
+    ///
+    /// # Errors
+    ///
+    /// The remaining open ticks (≥ 1) while the breaker refuses admission.
+    pub fn admit(&mut self, now: u64) -> Result<(), u64> {
+        match self.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                let elapsed = now.saturating_sub(self.opened_at);
+                if elapsed >= self.config.open_ticks {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = true;
+                    self.stats.half_opened += 1;
+                    bcc_obs::inc!("service.breaker.half_opened");
+                    Ok(())
+                } else {
+                    self.stats.shed += 1;
+                    bcc_obs::inc!("service.breaker.shed");
+                    Err(self.config.open_ticks - elapsed)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    self.stats.shed += 1;
+                    bcc_obs::inc!("service.breaker.shed");
+                    Err(1)
+                } else {
+                    self.probe_in_flight = true;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Records a non-exhausted execution on this lane. A HalfOpen probe
+    /// success re-closes the breaker; a Closed success resets the failure
+    /// streak. Straggler successes arriving while Open (admitted before
+    /// the trip) are ignored.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.probe_in_flight = false;
+                self.consecutive_failures = 0;
+                self.stats.closed += 1;
+                bcc_obs::inc!("service.breaker.closed");
+            }
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a budget exhaustion on this lane at logical tick `now`. A
+    /// HalfOpen probe failure re-opens immediately; a Closed failure
+    /// extends the streak and trips the breaker at the threshold.
+    /// Stragglers while Open are ignored.
+    pub fn on_exhaustion(&mut self, now: u64) {
+        match self.state {
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold.max(1) {
+                    self.trip(now);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.probe_in_flight = false;
+        self.consecutive_failures = 0;
+        self.stats.opened += 1;
+        bcc_obs::inc!("service.breaker.opened");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            open_ticks: 3,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_exhaustions() {
+        let mut b = breaker();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_exhaustion(0);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.on_exhaustion(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().opened, 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker();
+        b.on_exhaustion(0);
+        b.on_success();
+        b.on_exhaustion(1);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn open_sheds_with_remaining_ticks_then_half_opens() {
+        let mut b = breaker();
+        b.on_exhaustion(5);
+        b.on_exhaustion(5);
+        assert_eq!(b.admit(5), Err(3));
+        assert_eq!(b.admit(6), Err(2));
+        assert_eq!(b.admit(7), Err(1));
+        // Window elapsed: the next admission is the HalfOpen probe.
+        assert_eq!(b.admit(8), Ok(()));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Only one probe at a time.
+        assert_eq!(b.admit(8), Err(1));
+        assert_eq!(b.stats().shed, 4);
+        assert_eq!(b.stats().half_opened, 1);
+    }
+
+    #[test]
+    fn probe_success_recloses_and_probe_failure_reopens() {
+        let mut b = breaker();
+        b.on_exhaustion(0);
+        b.on_exhaustion(0);
+        assert!(b.admit(3).is_ok());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().closed, 1);
+        // Trip again; this time the probe fails.
+        b.on_exhaustion(10);
+        b.on_exhaustion(10);
+        assert!(b.admit(13).is_ok());
+        b.on_exhaustion(13);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().opened, 3, "initial trip + retrip + probe fail");
+        // The re-open window restarts from the probe failure.
+        assert_eq!(b.admit(14), Err(2));
+        assert!(b.admit(16).is_ok());
+    }
+
+    #[test]
+    fn stragglers_while_open_are_ignored() {
+        let mut b = breaker();
+        b.on_exhaustion(0);
+        b.on_exhaustion(0);
+        b.on_success();
+        b.on_exhaustion(1);
+        assert_eq!(b.state(), BreakerState::Open, "stragglers change nothing");
+        assert_eq!(b.stats().opened, 1);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0,
+            open_ticks: 1,
+        });
+        b.on_exhaustion(0);
+        assert_eq!(b.state(), BreakerState::Open, "clamped threshold of 1");
+    }
+
+    #[test]
+    fn stats_merge_aggregates_lanes() {
+        let mut total = BreakerStats::default();
+        total.merge(&BreakerStats {
+            opened: 1,
+            half_opened: 2,
+            closed: 3,
+            shed: 4,
+        });
+        total.merge(&BreakerStats {
+            opened: 10,
+            half_opened: 20,
+            closed: 30,
+            shed: 40,
+        });
+        assert_eq!(
+            total,
+            BreakerStats {
+                opened: 11,
+                half_opened: 22,
+                closed: 33,
+                shed: 44,
+            }
+        );
+    }
+}

@@ -19,6 +19,16 @@
 //! eviction all `O(log capacity)` — no linear scans anywhere. The cache
 //! stays deterministic: the same workload against the same system produces
 //! the same hit/miss/eviction sequence regardless of thread count.
+//!
+//! # Second-chance stale tier
+//!
+//! An invalidated entry is not dropped outright: it is demoted into a
+//! bounded **stale tier**, still keyed and LRU-ordered but never consulted
+//! by [`ResultCache::lookup`]. The serving layer may explicitly reach into
+//! it with [`ResultCache::take_stale`] when a query's work budget runs out
+//! — a degraded answer labeled `Tier::StaleCache { age_epochs }` beats a
+//! shed. A stale entry is served **at most once** (`take_stale` removes
+//! it), so `stale_served <= invalidated` holds by construction.
 
 use std::collections::btree_map::BTreeMap;
 use std::collections::hash_map::{Entry, HashMap};
@@ -52,6 +62,19 @@ struct CacheEntry {
     outcome: QueryOutcome,
 }
 
+/// A demoted entry in the second-chance stale tier. The digest is gone —
+/// staleness is already established — but the compute epoch is kept so a
+/// stale serve can be labeled with its age.
+#[derive(Debug, Clone)]
+struct StaleEntry {
+    /// The membership epoch the answer was computed under.
+    epoch: u64,
+    /// Position in the stale recency order (key into
+    /// `ResultCache::stale_order`).
+    seq: u64,
+    outcome: QueryOutcome,
+}
+
 /// Counters of a [`ResultCache`] (eviction policy: LRU — see the module
 /// docs; a hit refreshes recency, so `hits` measures entries that stayed
 /// hot enough to survive).
@@ -62,6 +85,8 @@ struct CacheEntry {
 /// - `hits + misses + disabled == lookups`
 /// - `invalidated <= misses` (an invalidation is also counted as a miss)
 /// - `replaced <= inserted`, `evicted <= inserted`
+/// - `stale_served <= invalidated` (only demoted entries are servable,
+///   each at most once)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total [`ResultCache::lookup`] calls, successful or not.
@@ -84,6 +109,10 @@ pub struct CacheStats {
     /// The subset of `inserted` that overwrote an existing key in place
     /// rather than growing the cache.
     pub replaced: u64,
+    /// Demoted (invalidated) entries explicitly served from the stale
+    /// tier via [`ResultCache::take_stale`]. Each is served at most once,
+    /// so `stale_served <= invalidated` by construction.
+    pub stale_served: u64,
 }
 
 impl CacheStats {
@@ -104,6 +133,7 @@ impl CacheStats {
             ("evicted", self.evicted),
             ("inserted", self.inserted),
             ("replaced", self.replaced),
+            ("stale_served", self.stale_served),
         ] {
             reg.gauge(&format!("{prefix}.{field}")).set(value);
         }
@@ -121,6 +151,11 @@ pub struct ResultCache {
     /// Next recency sequence number (monotonic; assigned on insert and on
     /// every hit refresh).
     next_seq: u64,
+    /// Second-chance tier: invalidated entries kept for budget-exhausted
+    /// degraded serves. Bounded by `capacity`, same LRU discipline.
+    stale: HashMap<CacheKey, StaleEntry>,
+    /// Stale-tier recency index, oldest first.
+    stale_order: BTreeMap<u64, CacheKey>,
     stats: CacheStats,
 }
 
@@ -134,6 +169,8 @@ impl ResultCache {
             map: HashMap::new(),
             order: BTreeMap::new(),
             next_seq: 0,
+            stale: HashMap::new(),
+            stale_order: BTreeMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -177,34 +214,34 @@ impl ResultCache {
             bcc_obs::inc!("service.cache.disabled");
             return None;
         }
-        let seq = self.next_seq;
-        match self.map.entry(*key) {
-            Entry::Occupied(mut occ) => {
-                let fresh = {
-                    let e = occ.get();
-                    e.epoch == epoch && e.digest == digest
-                };
-                if fresh {
-                    // Move-to-back: retire the entry's old order slot and
-                    // give it the newest sequence number.
-                    let old = std::mem::replace(&mut occ.get_mut().seq, seq);
-                    self.next_seq += 1;
-                    self.order.remove(&old);
-                    self.order.insert(seq, *key);
-                    self.stats.hits += 1;
-                    bcc_obs::inc!("service.cache.hits");
-                    Some(&occ.into_mut().outcome)
-                } else {
-                    let entry = occ.remove();
-                    self.order.remove(&entry.seq);
-                    self.stats.invalidated += 1;
-                    self.stats.misses += 1;
-                    bcc_obs::inc!("service.cache.invalidated");
-                    bcc_obs::inc!("service.cache.misses");
-                    None
-                }
+        let fresh = self
+            .map
+            .get(key)
+            .map(|e| e.epoch == epoch && e.digest == digest);
+        match fresh {
+            Some(true) => {
+                // Move-to-back: retire the entry's old order slot and
+                // give it the newest sequence number.
+                let seq = self.bump_seq();
+                let e = self.map.get_mut(key).expect("presence just checked");
+                let old = std::mem::replace(&mut e.seq, seq);
+                self.order.remove(&old);
+                self.order.insert(seq, *key);
+                self.stats.hits += 1;
+                bcc_obs::inc!("service.cache.hits");
+                self.map.get(key).map(|e| &e.outcome)
             }
-            Entry::Vacant(_) => {
+            Some(false) => {
+                let entry = self.map.remove(key).expect("presence just checked");
+                self.order.remove(&entry.seq);
+                self.stats.invalidated += 1;
+                self.stats.misses += 1;
+                bcc_obs::inc!("service.cache.invalidated");
+                bcc_obs::inc!("service.cache.misses");
+                self.demote(*key, entry);
+                None
+            }
+            None => {
                 self.stats.misses += 1;
                 bcc_obs::inc!("service.cache.misses");
                 None
@@ -249,10 +286,60 @@ impl ResultCache {
         }
     }
 
-    /// Drops every entry (counters survive).
+    /// Moves an invalidated entry into the second-chance stale tier at
+    /// the back of its LRU order, evicting the oldest stale entries
+    /// beyond capacity. A newer demotion of the same key wins.
+    fn demote(&mut self, key: CacheKey, entry: CacheEntry) {
+        let seq = self.bump_seq();
+        if let Some(old) = self.stale.insert(
+            key,
+            StaleEntry {
+                epoch: entry.epoch,
+                seq,
+                outcome: entry.outcome,
+            },
+        ) {
+            self.stale_order.remove(&old.seq);
+        }
+        self.stale_order.insert(seq, key);
+        while self.stale.len() > self.capacity {
+            let (_, oldest) = self
+                .stale_order
+                .pop_first()
+                .expect("order tracks stale map");
+            self.stale.remove(&oldest);
+        }
+    }
+
+    /// Removes and returns the stale-tier entry for `key`, if any, as
+    /// `(outcome, age_epochs)` where the age is measured against
+    /// `current_epoch`. This is the degraded-serve path: the caller must
+    /// label the answer `Tier::StaleCache`, never exact. The removal makes
+    /// each stale entry servable at most once, which keeps
+    /// `stale_served <= invalidated` an invariant.
+    pub fn take_stale(
+        &mut self,
+        key: &CacheKey,
+        current_epoch: u64,
+    ) -> Option<(QueryOutcome, u64)> {
+        let entry = self.stale.remove(key)?;
+        self.stale_order.remove(&entry.seq);
+        self.stats.stale_served += 1;
+        bcc_obs::inc!("service.cache.stale_served");
+        Some((entry.outcome, current_epoch.saturating_sub(entry.epoch)))
+    }
+
+    /// Entries currently in the second-chance stale tier.
+    pub fn stale_len(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// Drops every entry, fresh and stale (counters survive).
     pub fn clear(&mut self) {
         self.map.clear();
         self.order.clear();
+        self.stale.clear();
+        self.stale_order.clear();
     }
 }
 
@@ -350,7 +437,12 @@ mod tests {
         c.insert(key(0, 2, 0), 1, 1, outcome(0));
         c.insert(key(0, 2, 0), 2, 2, outcome(9));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.lookup(&key(0, 2, 0), 2, 2).unwrap().hops, 9);
+        assert_eq!(
+            c.lookup(&key(0, 2, 0), 2, 2)
+                .expect("freshly reinserted entry must hit")
+                .hops,
+            9
+        );
         assert_eq!(c.stats().inserted, 2);
         assert_eq!(c.stats().replaced, 1, "overwrite distinguished");
         assert_eq!(c.stats().evicted, 0, "in-place update is not eviction");
@@ -370,6 +462,68 @@ mod tests {
     }
 
     #[test]
+    fn invalidated_entries_demote_to_the_stale_tier() {
+        let mut c = ResultCache::new(4);
+        c.insert(key(0, 2, 1), 5, 77, outcome(9));
+        assert!(c.lookup(&key(0, 2, 1), 8, 78).is_none(), "invalidated");
+        assert_eq!(c.stale_len(), 1, "demoted, not dropped");
+        let (out, age) = c
+            .take_stale(&key(0, 2, 1), 8)
+            .expect("demoted entry is available to the degraded path");
+        assert_eq!(out.hops, 9);
+        assert_eq!(age, 3, "computed at epoch 5, now epoch 8");
+        assert_eq!(c.stats().stale_served, 1);
+    }
+
+    #[test]
+    fn stale_entries_serve_at_most_once() {
+        let mut c = ResultCache::new(4);
+        c.insert(key(0, 2, 0), 1, 1, outcome(0));
+        c.lookup(&key(0, 2, 0), 2, 1); // demote
+        assert!(c.take_stale(&key(0, 2, 0), 2).is_some());
+        assert!(c.take_stale(&key(0, 2, 0), 2).is_none(), "removed on serve");
+        assert_eq!(c.stale_len(), 0);
+        let s = c.stats();
+        assert!(s.stale_served <= s.invalidated);
+    }
+
+    #[test]
+    fn stale_tier_is_bounded_and_lru() {
+        let mut c = ResultCache::new(2);
+        for i in 0..4 {
+            c.insert(key(i, 2, 0), 1, 1, outcome(i));
+            c.lookup(&key(i, 2, 0), 2, 1); // demote each immediately
+        }
+        assert_eq!(c.stale_len(), 2, "stale tier bounded by capacity");
+        assert!(c.take_stale(&key(0, 2, 0), 2).is_none(), "oldest aged out");
+        assert!(c.take_stale(&key(3, 2, 0), 2).is_some(), "newest kept");
+    }
+
+    #[test]
+    fn redemotion_of_a_key_keeps_the_newer_answer() {
+        let mut c = ResultCache::new(4);
+        c.insert(key(0, 2, 0), 1, 1, outcome(1));
+        c.lookup(&key(0, 2, 0), 2, 1); // demote the epoch-1 answer
+        c.insert(key(0, 2, 0), 2, 1, outcome(7));
+        c.lookup(&key(0, 2, 0), 3, 1); // demote the epoch-2 answer
+        let (out, age) = c.take_stale(&key(0, 2, 0), 3).expect("stale entry");
+        assert_eq!(out.hops, 7, "newer demotion wins");
+        assert_eq!(age, 1);
+        assert_eq!(c.stale_len(), 0, "no duplicate slots left behind");
+    }
+
+    #[test]
+    fn clear_drops_the_stale_tier_too() {
+        let mut c = ResultCache::new(4);
+        c.insert(key(0, 2, 0), 1, 1, outcome(0));
+        c.lookup(&key(0, 2, 0), 2, 1);
+        assert_eq!(c.stale_len(), 1);
+        c.clear();
+        assert_eq!(c.stale_len(), 0);
+        assert!(c.take_stale(&key(0, 2, 0), 2).is_none());
+    }
+
+    #[test]
     fn counter_identities_hold() {
         let mut c = ResultCache::new(2);
         for i in 0..6 {
@@ -380,6 +534,7 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses + s.disabled, s.lookups);
         assert!(s.invalidated <= s.misses);
+        assert!(s.stale_served <= s.invalidated);
         assert!(s.replaced <= s.inserted);
         assert!(s.evicted <= s.inserted);
         assert_eq!(

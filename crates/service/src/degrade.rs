@@ -1,0 +1,77 @@
+//! Tiered fallback answers.
+//!
+//! Every [`crate::ServiceResponse`] carries a [`Tier`] naming exactly how
+//! the answer was produced. The ladder is fixed: a fresh (or
+//! epoch-verified cached) answer is [`Tier::Exact`]; when the work budget
+//! runs dry the service first tries a labeled second-chance cache entry
+//! ([`Tier::StaleCache`]), then the kernel's best partial result
+//! ([`Tier::Partial`]); if even that is empty the query is shed with a
+//! typed error. A degraded answer is therefore *always labeled* — clients
+//! can never mistake a stale or partial answer for an exact one.
+
+use std::fmt;
+
+/// How a response was produced. Ordered from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Fresh computation (or a cache hit verified against the current
+    /// epoch and membership digest).
+    Exact,
+    /// A second-chance cache entry whose epoch or digest no longer
+    /// matches, served under budget pressure instead of being dropped.
+    StaleCache {
+        /// How many membership epochs old the entry is.
+        age_epochs: u64,
+    },
+    /// The best partial answer found before the work budget ran out.
+    Partial {
+        /// Work units the kernel charged before the cut.
+        pairs_done: u64,
+    },
+}
+
+impl Tier {
+    /// True for every tier other than [`Tier::Exact`].
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, Tier::Exact)
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Exact => write!(f, "exact"),
+            Tier::StaleCache { age_epochs } => {
+                write!(f, "stale-cache(age={age_epochs})")
+            }
+            Tier::Partial { pairs_done } => {
+                write!(f, "partial(pairs={pairs_done})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_exact_is_not_degraded() {
+        assert!(!Tier::Exact.is_degraded());
+        assert!(Tier::StaleCache { age_epochs: 0 }.is_degraded());
+        assert!(Tier::Partial { pairs_done: 0 }.is_degraded());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Tier::Exact.to_string(), "exact");
+        assert_eq!(
+            Tier::StaleCache { age_epochs: 3 }.to_string(),
+            "stale-cache(age=3)"
+        );
+        assert_eq!(
+            Tier::Partial { pairs_done: 128 }.to_string(),
+            "partial(pairs=128)"
+        );
+    }
+}

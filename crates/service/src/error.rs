@@ -20,6 +20,20 @@ pub enum ServiceError {
         in_flight: usize,
         /// The configured queue bound.
         capacity: usize,
+        /// Logical ticks until the queue is expected to have drained
+        /// (queue depth over batch size, rounded up). A hint, not a
+        /// promise — but deterministic, never wall-clock.
+        retry_after: u64,
+    },
+    /// The lane's circuit breaker is open: recent executions on this
+    /// bandwidth class kept exhausting their work budgets, so the service
+    /// sheds new work for the class instead of queueing it. Nothing was
+    /// enqueued.
+    CircuitOpen {
+        /// The bandwidth-class lane whose breaker tripped.
+        lane: usize,
+        /// Logical ticks until the breaker will admit a trial probe.
+        retry_after_ticks: u64,
     },
     /// The request failed library-boundary validation (`k < 2`,
     /// non-positive bandwidth, no matching class, unknown submit node).
@@ -42,9 +56,18 @@ impl fmt::Display for ServiceError {
             ServiceError::Overloaded {
                 in_flight,
                 capacity,
+                retry_after,
             } => write!(
                 f,
-                "service overloaded: {in_flight} queries in flight (capacity {capacity})"
+                "service overloaded: {in_flight} queries in flight (capacity \
+                 {capacity}); retry after {retry_after} ticks"
+            ),
+            ServiceError::CircuitOpen {
+                lane,
+                retry_after_ticks,
+            } => write!(
+                f,
+                "circuit open on lane {lane}: retry after {retry_after_ticks} ticks"
             ),
             ServiceError::Rejected(e) => write!(f, "query rejected: {e}"),
             ServiceError::ZeroQueueCapacity => write!(f, "queue_capacity must be at least 1"),
@@ -71,8 +94,17 @@ mod tests {
         let e = ServiceError::Overloaded {
             in_flight: 8,
             capacity: 8,
+            retry_after: 1,
         };
         assert!(e.to_string().contains("overloaded"));
+        assert!(e.to_string().contains("retry after 1"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ServiceError::CircuitOpen {
+            lane: 2,
+            retry_after_ticks: 3,
+        };
+        assert!(e.to_string().contains("lane 2"));
+        assert!(e.to_string().contains("retry after 3"));
         assert!(std::error::Error::source(&e).is_none());
         let e = ServiceError::from(QueryError::InvalidSizeConstraint { k: 1 });
         assert!(e.to_string().contains("at least 2"));

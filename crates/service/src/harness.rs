@@ -14,13 +14,16 @@
 
 use bcc_core::BandwidthClasses;
 use bcc_metric::{BandwidthMatrix, NodeId, RationalTransform};
+use bcc_simnet::chaos::{slow_lane_cost, slow_window_active};
 use bcc_simnet::{
     generate_schedule, ChaosConfig, ChaosEvent, DynamicSystem, FaultPlan, SystemConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::breaker::BreakerStats;
 use crate::cache::CacheStats;
+use crate::degrade::Tier;
 use crate::service::{ClusterQuery, ClusterService, ServiceConfig, ServiceStats};
 
 /// Access-link capacities the harness universes draw from (Mbps) — the
@@ -262,6 +265,472 @@ pub fn serve_chaos(seed: u64, cfg: &ServeChaosConfig) -> ServeChaosReport {
     report
 }
 
+// ---------------------------------------------------------------------------
+// Degradation chaos: slow-lane / stall nemeses against the budgeted service
+// ---------------------------------------------------------------------------
+
+/// The work-cost nemesis family driven by [`degrade_chaos`]. Both are
+/// pure functions of the step index (period and window from
+/// `bcc_simnet::chaos`), so the overload windows provably end and every
+/// run replays byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeNemesis {
+    /// Inflates the per-pair work cost by a step-derived factor (8–128×)
+    /// inside each window: queries exhaust their budgets *sometimes*,
+    /// exercising the whole fallback ladder.
+    SlowLane,
+    /// Saturates the per-pair cost inside each window: every budgeted
+    /// query exhausts almost immediately, the worst case for breakers.
+    Stall,
+}
+
+impl DegradeNemesis {
+    /// The nemesis's wire name (matches the chaos-bin nemesis flags).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradeNemesis::SlowLane => "slow-lane",
+            DegradeNemesis::Stall => "stall",
+        }
+    }
+
+    /// Parses a wire name back into the nemesis.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "slow-lane" => Some(DegradeNemesis::SlowLane),
+            "stall" => Some(DegradeNemesis::Stall),
+            _ => None,
+        }
+    }
+
+    /// The per-pair work cost this nemesis imposes at schedule step
+    /// `step`.
+    fn cost(&self, step: usize) -> u64 {
+        match self {
+            DegradeNemesis::SlowLane => slow_lane_cost(step),
+            DegradeNemesis::Stall => {
+                if slow_window_active(step) {
+                    u64::MAX
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// Tunables for [`degrade_chaos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeChaosConfig {
+    /// Hosts in the measurement universe.
+    pub universe: usize,
+    /// Random schedule events (each under the nemesis's step cost).
+    pub steps: usize,
+    /// Repeated-workload queries submitted after every schedule event.
+    pub queries_per_step: usize,
+    /// Work budget every query runs under (`ServiceConfig::work_budget`).
+    /// Must be generous enough that queries complete at cost 1 (so the
+    /// re-close oracle can succeed once the nemesis ends) but below the
+    /// severe end of the slow-lane cost ramp, so the worst window steps
+    /// refuse even a single node visit and the ladder actually engages.
+    pub budget: u64,
+    /// Which work-cost nemesis drives the run.
+    pub nemesis: DegradeNemesis,
+}
+
+impl Default for DegradeChaosConfig {
+    fn default() -> Self {
+        DegradeChaosConfig {
+            universe: 8,
+            steps: 24,
+            queries_per_step: 6,
+            budget: 96,
+            nemesis: DegradeNemesis::SlowLane,
+        }
+    }
+}
+
+/// Rounds of post-nemesis recovery traffic every opened breaker must
+/// re-close within (each round is ≥ 1 logical tick plus a workload burst,
+/// so this comfortably covers `open_ticks` + one probe execution).
+pub const RECLOSE_BOUND: usize = 32;
+
+/// What one [`degrade_chaos`] run did and proved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeChaosReport {
+    /// Schedule events applied.
+    pub events: usize,
+    /// Responses returned over the whole run (schedule + recovery).
+    pub responses: u64,
+    /// Responses labeled [`Tier::Exact`].
+    pub exact: u64,
+    /// Responses labeled [`Tier::StaleCache`].
+    pub stale_cache: u64,
+    /// Responses labeled [`Tier::Partial`].
+    pub partial: u64,
+    /// **Oracle (must be 0):** responses claiming [`Tier::Exact`] whose
+    /// outcome did not bit-match an immediate fresh unbudgeted
+    /// recomputation — an unlabeled degraded answer, or a stale answer
+    /// served as exact.
+    pub unlabeled_degraded: u64,
+    /// **Oracle (must be 0):** lanes whose breaker failed to re-close
+    /// within [`RECLOSE_BOUND`] recovery rounds after the nemesis ended.
+    pub stuck_open: u64,
+    /// Recovery rounds pumped until every lane's breaker was Closed
+    /// (0 when no breaker ever opened; `RECLOSE_BOUND` when stuck).
+    pub reclose_rounds: u64,
+    /// Aggregate breaker transition counters over every lane.
+    pub breaker: BreakerStats,
+    /// Aggregate service counters at the end of the run.
+    pub service: ServiceStats,
+    /// Cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// FNV-1a digest over the full ordered response stream (ticket, lane,
+    /// tier and outcome of every response) — the replay fingerprint that
+    /// must match across runs and thread counts.
+    pub digest: u64,
+}
+
+/// FNV-1a over a byte slice, accumulated into `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Folds one response into the run digest.
+fn digest_response(h: u64, r: &crate::service::ServiceResponse) -> u64 {
+    let line = format!(
+        "{}|{}|{}|{:?}|{:?}\n",
+        r.ticket, r.class_idx, r.cached, r.tier, r.outcome
+    );
+    fnv1a(h, line.as_bytes())
+}
+
+/// Number of bandwidth-class lanes the service runs.
+fn lane_count(service: &ClusterService) -> usize {
+    let mut n = 0;
+    while service.breaker_state(n).is_some() {
+        n += 1;
+    }
+    n
+}
+
+/// True when every lane's breaker is Closed.
+fn all_breakers_closed(service: &ClusterService) -> bool {
+    (0..lane_count(service))
+        .all(|l| service.breaker_state(l) == Some(crate::breaker::BreakerState::Closed))
+}
+
+/// Drains the service and folds every response into the report and
+/// digest, checking the labeling oracle against an immediate fresh
+/// unbudgeted recomputation (the overlay is untouched between execution
+/// and audit, so the recompute sees the same state). When nothing was
+/// enqueued (e.g. every submission shed by an open breaker) the clock is
+/// still advanced one tick so breaker windows can age out — `drain` alone
+/// never ticks an empty queue.
+fn pump(service: &mut ClusterService, report: &mut DegradeChaosReport) {
+    if service.in_flight() == 0 {
+        let idle = service.tick();
+        debug_assert!(idle.is_empty(), "empty queue cannot produce responses");
+        return;
+    }
+    for response in service.drain() {
+        report.responses += 1;
+        match response.tier {
+            Tier::Exact => report.exact += 1,
+            Tier::StaleCache { .. } => report.stale_cache += 1,
+            Tier::Partial { .. } => report.partial += 1,
+        }
+        if !response.tier.is_degraded() {
+            let fresh = service.system().query_resilient(
+                response.query.submit_node,
+                response.query.k,
+                response.query.bandwidth,
+                &service.config().retry,
+            );
+            if fresh != response.outcome {
+                report.unlabeled_degraded += 1;
+            }
+        }
+        report.digest = digest_response(report.digest, &response);
+    }
+}
+
+/// Runs the degradation chaos harness for one seed: a churn-and-fault
+/// schedule executes under a work-cost nemesis while a budgeted repeated
+/// workload hammers the service, every response is tier-audited, and
+/// after the nemesis ends the run proves every opened breaker re-closes
+/// within [`RECLOSE_BOUND`] recovery rounds.
+///
+/// Deterministic: the same `(seed, cfg)` produces the same report — for
+/// any `bcc-par` thread count.
+pub fn degrade_chaos(seed: u64, cfg: &DegradeChaosConfig) -> DegradeChaosReport {
+    let chaos_cfg = ChaosConfig {
+        universe: cfg.universe,
+        steps: cfg.steps,
+    };
+    let schedule = generate_schedule(seed, &chaos_cfg);
+    let mut service = seeded_service(
+        seed,
+        cfg.universe,
+        ServiceConfig {
+            work_budget: Some(cfg.budget),
+            // Deliberately smaller than the repeated-workload key pool:
+            // with everything cached an overload window would only see
+            // hits, never a budgeted execution, and the nemesis could
+            // not bite. Evictions keep real executions flowing.
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        },
+    );
+    // Bring the whole universe up before the nemesis starts: slow-lane
+    // degradation needs scans big enough to cross a budget block
+    // boundary, which a cold overlay (schedules start join-heavy) would
+    // only reach after the first overload window has already passed.
+    for host in 0..cfg.universe {
+        drop(service.join(NodeId::new(host)));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDE64_ADE5);
+    let mut report = DegradeChaosReport {
+        digest: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
+        ..DegradeChaosReport::default()
+    };
+
+    for (step, event) in schedule.iter().enumerate() {
+        let cost = cfg.nemesis.cost(step);
+        service.with_system_mut(|sys| sys.set_work_cost(cost));
+        let plan_seed = seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        apply_event(&mut service, event, plan_seed);
+        submit_workload(&mut service, &mut rng, cfg.queries_per_step);
+        pump(&mut service, &mut report);
+        report.events += 1;
+    }
+
+    // Nemesis over: work costs return to 1 and recovery traffic must
+    // re-close every opened breaker within the bound. Bring hosts back
+    // first so every lane can actually execute a probe.
+    service.with_system_mut(|sys| sys.set_work_cost(1));
+    for host in 0..cfg.universe {
+        let node = NodeId::new(host);
+        drop(service.recover(node));
+        drop(service.join(node));
+    }
+    let mut reclosed_at = None;
+    for round in 0..RECLOSE_BOUND {
+        if all_breakers_closed(&service) {
+            reclosed_at = Some(round);
+            break;
+        }
+        submit_workload(&mut service, &mut rng, cfg.queries_per_step);
+        pump(&mut service, &mut report);
+    }
+    match reclosed_at {
+        Some(rounds) => report.reclose_rounds = rounds as u64,
+        None => {
+            report.reclose_rounds = RECLOSE_BOUND as u64;
+            report.stuck_open = (0..lane_count(&service))
+                .filter(|&l| service.breaker_state(l) != Some(crate::breaker::BreakerState::Closed))
+                .count() as u64;
+        }
+    }
+
+    report.breaker = service.breaker_stats();
+    report.service = service.stats();
+    report.cache = service.cache_stats();
+    report
+}
+
+/// A replayable JSON record of one [`degrade_chaos`] run: the full input
+/// (seed + config) plus the output fingerprint. Stored under
+/// `tests/chaos_corpus/` and in bench artifacts; replaying re-runs the
+/// harness from the inputs and demands a bit-identical report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradeArtifact {
+    /// Schema version (currently 1).
+    pub version: u32,
+    /// Harness seed.
+    pub seed: u64,
+    /// Universe size.
+    pub universe: usize,
+    /// Schedule steps.
+    pub steps: usize,
+    /// Workload queries per step.
+    pub queries_per_step: usize,
+    /// Per-query work budget.
+    pub budget: u64,
+    /// Nemesis the run executed under.
+    pub nemesis: DegradeNemesis,
+    /// Responses served.
+    pub responses: u64,
+    /// [`Tier::Exact`] responses.
+    pub exact: u64,
+    /// [`Tier::StaleCache`] responses.
+    pub stale_cache: u64,
+    /// [`Tier::Partial`] responses.
+    pub partial: u64,
+    /// Breaker open transitions.
+    pub breaker_opened: u64,
+    /// Breaker re-close transitions.
+    pub breaker_closed: u64,
+    /// Recovery rounds until every breaker re-closed.
+    pub reclose_rounds: u64,
+    /// Response-stream digest.
+    pub digest: u64,
+}
+
+impl DegradeArtifact {
+    /// Captures a run as a replayable artifact.
+    pub fn capture(seed: u64, cfg: &DegradeChaosConfig) -> (Self, DegradeChaosReport) {
+        let report = degrade_chaos(seed, cfg);
+        let artifact = DegradeArtifact {
+            version: 1,
+            seed,
+            universe: cfg.universe,
+            steps: cfg.steps,
+            queries_per_step: cfg.queries_per_step,
+            budget: cfg.budget,
+            nemesis: cfg.nemesis,
+            responses: report.responses,
+            exact: report.exact,
+            stale_cache: report.stale_cache,
+            partial: report.partial,
+            breaker_opened: report.breaker.opened,
+            breaker_closed: report.breaker.closed,
+            reclose_rounds: report.reclose_rounds,
+            digest: report.digest,
+        };
+        (artifact, report)
+    }
+
+    /// The artifact's config half.
+    pub fn config(&self) -> DegradeChaosConfig {
+        DegradeChaosConfig {
+            universe: self.universe,
+            steps: self.steps,
+            queries_per_step: self.queries_per_step,
+            budget: self.budget,
+            nemesis: self.nemesis,
+        }
+    }
+
+    /// Re-runs the harness from the artifact's inputs and checks every
+    /// recorded field, the digest included.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first mismatching field.
+    pub fn replay(&self) -> Result<DegradeChaosReport, String> {
+        let report = degrade_chaos(self.seed, &self.config());
+        let checks: [(&str, u64, u64); 8] = [
+            ("responses", self.responses, report.responses),
+            ("exact", self.exact, report.exact),
+            ("stale_cache", self.stale_cache, report.stale_cache),
+            ("partial", self.partial, report.partial),
+            ("breaker_opened", self.breaker_opened, report.breaker.opened),
+            ("breaker_closed", self.breaker_closed, report.breaker.closed),
+            ("reclose_rounds", self.reclose_rounds, report.reclose_rounds),
+            ("digest", self.digest, report.digest),
+        ];
+        for (field, want, got) in checks {
+            if want != got {
+                return Err(format!(
+                    "degrade replay diverged on {field}: artifact {want}, replay {got}"
+                ));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Serializes to the corpus JSON format (stable field order, 2-space
+    /// indent; the digest is a string, matching the simnet corpus
+    /// convention for u64 fidelity).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"version\": {},\n  \"kind\": \"degrade\",\n  \"seed\": {},\n  \
+             \"universe\": {},\n  \"steps\": {},\n  \"queries_per_step\": {},\n  \
+             \"budget\": {},\n  \"nemesis\": \"{}\",\n  \"responses\": {},\n  \
+             \"exact\": {},\n  \"stale_cache\": {},\n  \"partial\": {},\n  \
+             \"breaker_opened\": {},\n  \"breaker_closed\": {},\n  \
+             \"reclose_rounds\": {},\n  \"digest\": \"{}\"\n}}\n",
+            self.version,
+            self.seed,
+            self.universe,
+            self.steps,
+            self.queries_per_step,
+            self.budget,
+            self.nemesis.as_str(),
+            self.responses,
+            self.exact,
+            self.stale_cache,
+            self.partial,
+            self.breaker_opened,
+            self.breaker_closed,
+            self.reclose_rounds,
+            self.digest,
+        )
+    }
+
+    /// Parses the corpus JSON format written by
+    /// [`to_json`](DegradeArtifact::to_json).
+    ///
+    /// # Errors
+    ///
+    /// A description of the missing or malformed field.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let kind = json_field(src, "kind")?;
+        if kind != "degrade" {
+            return Err(format!("expected kind \"degrade\", got \"{kind}\""));
+        }
+        let nemesis_name = json_field(src, "nemesis")?;
+        let nemesis = DegradeNemesis::from_name(&nemesis_name)
+            .ok_or_else(|| format!("unknown nemesis \"{nemesis_name}\""))?;
+        let num = |key: &str| -> Result<u64, String> {
+            json_field(src, key)?
+                .parse::<u64>()
+                .map_err(|e| format!("field \"{key}\": {e}"))
+        };
+        Ok(DegradeArtifact {
+            version: num("version")? as u32,
+            seed: num("seed")?,
+            universe: num("universe")? as usize,
+            steps: num("steps")? as usize,
+            queries_per_step: num("queries_per_step")? as usize,
+            budget: num("budget")?,
+            nemesis,
+            responses: num("responses")?,
+            exact: num("exact")?,
+            stale_cache: num("stale_cache")?,
+            partial: num("partial")?,
+            breaker_opened: num("breaker_opened")?,
+            breaker_closed: num("breaker_closed")?,
+            reclose_rounds: num("reclose_rounds")?,
+            digest: num("digest")?,
+        })
+    }
+}
+
+/// Extracts the value of `"key": <value>` from a flat JSON object,
+/// stripping quotes when present. Only suitable for the artifact's own
+/// flat format.
+fn json_field(src: &str, key: &str) -> Result<String, String> {
+    let needle = format!("\"{key}\"");
+    let at = src
+        .find(&needle)
+        .ok_or_else(|| format!("missing field \"{key}\""))?;
+    let rest = &src[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed field \"{key}\""))?
+        .trim_start();
+    let end = rest
+        .find([',', '\n', '}'])
+        .ok_or_else(|| format!("unterminated field \"{key}\""))?;
+    Ok(rest[..end].trim().trim_matches('"').to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +762,101 @@ mod tests {
             "repeated workload should produce cache hits, got {report:?}"
         );
         assert_eq!(report.stale_hits, 0);
+    }
+
+    fn small_degrade_cfg(nemesis: DegradeNemesis) -> DegradeChaosConfig {
+        DegradeChaosConfig {
+            nemesis,
+            ..DegradeChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn degrade_chaos_passes_every_oracle_for_both_nemeses() {
+        for nemesis in [DegradeNemesis::SlowLane, DegradeNemesis::Stall] {
+            for seed in 0..4 {
+                let report = degrade_chaos(seed, &small_degrade_cfg(nemesis));
+                assert!(report.responses > 0, "{nemesis:?}/{seed}: no traffic");
+                assert_eq!(
+                    report.unlabeled_degraded, 0,
+                    "{nemesis:?}/{seed}: degraded response served unlabeled"
+                );
+                assert_eq!(
+                    report.stuck_open, 0,
+                    "{nemesis:?}/{seed}: breaker failed to re-close: {report:?}"
+                );
+                assert_eq!(
+                    report.responses,
+                    report.exact + report.stale_cache + report.partial,
+                    "tier counts partition the responses"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_nemeses_actually_degrade_and_recover() {
+        // Aggregated over a few seeds each nemesis must produce degraded
+        // tiers and breaker activity — otherwise the harness is not
+        // exercising the ladder at all and the oracles pass vacuously.
+        for nemesis in [DegradeNemesis::Stall, DegradeNemesis::SlowLane] {
+            let cfg = small_degrade_cfg(nemesis);
+            let mut partial = 0;
+            let mut stale = 0;
+            let mut opened = 0;
+            let mut closed = 0;
+            for seed in 0..6 {
+                let r = degrade_chaos(seed, &cfg);
+                partial += r.partial;
+                stale += r.stale_cache;
+                opened += r.breaker.opened;
+                closed += r.breaker.closed;
+            }
+            assert!(
+                partial > 0,
+                "{nemesis:?} windows must force partial answers"
+            );
+            assert!(
+                stale > 0,
+                "{nemesis:?} windows must serve labeled stale-cache answers"
+            );
+            assert!(opened > 0, "{nemesis:?} windows must trip breakers");
+            assert!(
+                closed > 0,
+                "{nemesis:?}: tripped breakers must re-close after recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn degrade_chaos_is_deterministic() {
+        let cfg = small_degrade_cfg(DegradeNemesis::SlowLane);
+        let a = degrade_chaos(11, &cfg);
+        let b = degrade_chaos(11, &cfg);
+        assert_eq!(a, b, "same seed must reproduce the same report");
+    }
+
+    #[test]
+    fn degrade_artifact_round_trips_and_replays() {
+        let cfg = small_degrade_cfg(DegradeNemesis::Stall);
+        let (artifact, report) = DegradeArtifact::capture(5, &cfg);
+        let json = artifact.to_json();
+        let parsed = DegradeArtifact::from_json(&json).expect("parse own output");
+        assert_eq!(parsed, artifact, "JSON round trip");
+        assert_eq!(parsed.to_json(), json, "serialization fixpoint");
+        let replayed = parsed.replay().expect("replay must match");
+        assert_eq!(replayed, report, "replay reproduces the full report");
+        // A corrupted digest must be detected.
+        let mut bad = parsed.clone();
+        bad.digest ^= 1;
+        assert!(bad.replay().is_err(), "digest divergence must be caught");
+    }
+
+    #[test]
+    fn degrade_nemesis_names_round_trip() {
+        for n in [DegradeNemesis::SlowLane, DegradeNemesis::Stall] {
+            assert_eq!(DegradeNemesis::from_name(n.as_str()), Some(n));
+        }
+        assert_eq!(DegradeNemesis::from_name("no-such"), None);
     }
 }

@@ -26,20 +26,42 @@
 //!   served, and the [`serve_chaos`] harness audits exactly that claim by
 //!   recomputing every cached answer under churn-heavy chaos schedules.
 //!
+//! - **Graceful degradation** ([`Tier`], [`CircuitBreaker`]): queries may
+//!   carry a *work budget* in deterministic work units (pairs examined,
+//!   never wall-clock). When the budget runs dry the service walks a fixed
+//!   fallback ladder — a labeled second-chance stale cache entry
+//!   ([`Tier::StaleCache`]), then the kernel's best partial answer
+//!   ([`Tier::Partial`]) — and per-class-lane circuit breakers shed
+//!   follow-on work with [`ServiceError::CircuitOpen`] after repeated
+//!   exhaustions, re-closing via a logical-tick HalfOpen probe. Every
+//!   response is labeled with its [`Tier`]; a degraded answer can never
+//!   masquerade as exact.
+//!
 //! Determinism is load-bearing throughout: cached and uncached serving
-//! produce bit-identical responses (see `tests/proptest_service.rs`), and
-//! the chaos harness reports are reproducible from their seed.
+//! produce bit-identical responses (see `tests/proptest_service.rs`), the
+//! chaos harness reports are reproducible from their seed, and degraded
+//! runs replay byte-identically because budgets are counted in work, not
+//! time.
 
 #![warn(missing_docs)]
 
 mod batch;
+mod breaker;
+mod budget;
 mod cache;
+mod degrade;
 mod error;
 mod harness;
 mod service;
 
 pub use batch::{plan, BatchJob, BatchLane};
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
+pub use budget::{effective_budget, Budgeted, WorkMeter, BUDGET_BLOCK};
 pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use degrade::Tier;
 pub use error::ServiceError;
-pub use harness::{seeded_service, serve_chaos, ServeChaosConfig, ServeChaosReport};
+pub use harness::{
+    degrade_chaos, seeded_service, serve_chaos, DegradeArtifact, DegradeChaosConfig,
+    DegradeChaosReport, DegradeNemesis, ServeChaosConfig, ServeChaosReport, RECLOSE_BOUND,
+};
 pub use service::{ClusterQuery, ClusterService, ServiceConfig, ServiceResponse, ServiceStats};

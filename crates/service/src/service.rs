@@ -8,8 +8,17 @@ use bcc_metric::NodeId;
 use bcc_simnet::{ChurnError, DynamicSystem};
 
 use crate::batch::{self, BatchJob};
+use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
+use crate::budget::effective_budget;
 use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::degrade::Tier;
 use crate::error::ServiceError;
+use bcc_core::Budgeted;
+
+/// Per-position batch slot: (outcome, served-from-cache, tier).
+type BatchSlot = Option<(Result<QueryOutcome, QueryError>, bool, Tier)>;
+/// One lane's results: (job index, budgeted outcome) in lane job order.
+type LaneResults = Vec<(usize, Result<Budgeted<QueryOutcome>, QueryError>)>;
 
 /// One cluster query as submitted by a client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,16 +30,28 @@ pub struct ClusterQuery {
     /// Requested bandwidth constraint (positive, finite; snapped up to a
     /// class by the service).
     pub bandwidth: f64,
+    /// Optional per-query work budget in deterministic work units (pairs
+    /// examined, cost-inflated by the system); overrides
+    /// [`ServiceConfig::work_budget`]. `None` defers to the config
+    /// default; if that is also `None`, execution is unbudgeted.
+    pub budget: Option<u64>,
 }
 
 impl ClusterQuery {
-    /// Convenience constructor.
+    /// Convenience constructor (no per-query budget).
     pub fn new(submit_node: NodeId, k: usize, bandwidth: f64) -> Self {
         ClusterQuery {
             submit_node,
             k,
             bandwidth,
+            budget: None,
         }
+    }
+
+    /// This query with an explicit work budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
     }
 }
 
@@ -53,6 +74,12 @@ pub struct ServiceConfig {
     /// by default (it defeats the point of caching); benches and chaos
     /// harnesses turn it on to prove the invalidation story.
     pub verify_cached: bool,
+    /// Default work budget for queries that carry none. `None` (the
+    /// default) keeps execution unbudgeted and the service behavior
+    /// byte-identical to the pre-degradation layer.
+    pub work_budget: Option<u64>,
+    /// Per-lane circuit-breaker tuning (shared by every lane).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +90,8 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             retry: RetryPolicy::default(),
             verify_cached: false,
+            work_budget: None,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -104,8 +133,12 @@ pub struct ServiceResponse {
     /// The decentralized query result, or the execution error (e.g. the
     /// submit node crashed between admission and execution).
     pub outcome: Result<QueryOutcome, QueryError>,
-    /// Whether the answer came from the churn-aware cache.
+    /// Whether the answer came from the churn-aware cache (a fresh
+    /// epoch-verified hit, or a labeled stale serve — see `tier`).
     pub cached: bool,
+    /// How the answer was produced. Anything but [`Tier::Exact`] is a
+    /// degraded answer and is always labeled as such.
+    pub tier: Tier,
 }
 
 /// Aggregate serving counters.
@@ -128,6 +161,14 @@ pub struct ServiceStats {
     /// impossible by construction, and this counter (populated only under
     /// [`ServiceConfig::verify_cached`]) is the proof.
     pub stale_hits: u64,
+    /// Responses served from the second-chance stale tier
+    /// ([`Tier::StaleCache`]) after budget exhaustion.
+    pub degraded_stale: u64,
+    /// Responses served as budgeted partial answers ([`Tier::Partial`]).
+    pub degraded_partial: u64,
+    /// Submissions shed by an open (or probing) circuit breaker with
+    /// [`ServiceError::CircuitOpen`].
+    pub breaker_shed: u64,
 }
 
 impl ServiceStats {
@@ -148,6 +189,9 @@ impl ServiceStats {
             ("executed", self.executed),
             ("coalesced", self.coalesced),
             ("stale_hits", self.stale_hits),
+            ("degraded_stale", self.degraded_stale),
+            ("degraded_partial", self.degraded_partial),
+            ("breaker_shed", self.breaker_shed),
         ] {
             reg.gauge(&format!("{prefix}.{field}")).set(value);
         }
@@ -173,6 +217,11 @@ pub struct ClusterService {
     cache: ResultCache,
     stats: ServiceStats,
     next_ticket: u64,
+    /// One circuit breaker per bandwidth-class lane, indexed by class.
+    breakers: Vec<CircuitBreaker>,
+    /// Logical clock: batches executed so far. Drives every breaker
+    /// window; wall-clock never enters the picture.
+    ticks: u64,
 }
 
 impl ClusterService {
@@ -184,6 +233,8 @@ impl ClusterService {
     pub fn new(system: DynamicSystem, config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
         let cache = ResultCache::new(config.cache_capacity);
+        let lanes = system.config().protocol.classes.len();
+        let breakers = vec![CircuitBreaker::new(config.breaker); lanes];
         Ok(ClusterService {
             system,
             config,
@@ -191,6 +242,8 @@ impl ClusterService {
             cache,
             stats: ServiceStats::default(),
             next_ticket: 0,
+            breakers,
+            ticks: 0,
         })
     }
 
@@ -201,6 +254,9 @@ impl ClusterService {
     /// - [`ServiceError::Rejected`] when the query fails library-boundary
     ///   validation (`k < 2`, non-positive/non-finite bandwidth, no class
     ///   can satisfy it, submit node outside the universe);
+    /// - [`ServiceError::CircuitOpen`] when the lane's breaker refuses
+    ///   admission — recent executions on the class kept exhausting their
+    ///   work budgets; retry after the hinted number of ticks;
     /// - [`ServiceError::Overloaded`] when the bounded queue is full —
     ///   nothing is enqueued and the caller should back off.
     pub fn submit(&mut self, query: ClusterQuery) -> Result<u64, ServiceError> {
@@ -218,6 +274,20 @@ impl ClusterService {
             return Err(ServiceError::Overloaded {
                 in_flight: self.queue.len(),
                 capacity: self.config.queue_capacity,
+                retry_after: (self.queue.len() as u64)
+                    .div_ceil(self.config.batch_max as u64)
+                    .max(1),
+            });
+        }
+        // Breaker admission runs after the capacity check: `admit` has
+        // side effects (HalfOpen probe reservation), so it must only see
+        // queries that will actually be enqueued.
+        if let Err(retry_after_ticks) = self.breakers[class_idx].admit(self.ticks) {
+            self.stats.breaker_shed += 1;
+            bcc_obs::inc!("service.breaker_shed");
+            return Err(ServiceError::CircuitOpen {
+                lane: class_idx,
+                retry_after_ticks,
             });
         }
         let ticket = self.next_ticket;
@@ -230,7 +300,11 @@ impl ClusterService {
 
     /// Executes one batch (up to `batch_max` queued queries) and returns
     /// its responses in submission order. Empty queue → empty vec.
+    ///
+    /// Every call advances the logical clock, even on an empty queue —
+    /// an idle service must still age out open breaker windows.
     pub fn tick(&mut self) -> Vec<ServiceResponse> {
+        self.ticks += 1;
         let take = self.queue.len().min(self.config.batch_max);
         if take == 0 {
             return Vec::new();
@@ -259,8 +333,7 @@ impl ClusterService {
         // cached.
         let digest = self.system.live_digest().unwrap_or(u64::MAX);
 
-        let mut outcomes: Vec<Option<(Result<QueryOutcome, QueryError>, bool)>> =
-            vec![None; batch.len()];
+        let mut outcomes: Vec<BatchSlot> = vec![None; batch.len()];
         let mut misses: Vec<(usize, CacheKey)> = Vec::new();
         for (pos, (_, query, class_idx)) in batch.iter().enumerate() {
             let key = CacheKey {
@@ -269,7 +342,14 @@ impl ClusterService {
                 class_idx: *class_idx,
             };
             match self.cache.lookup(&key, epoch, digest) {
-                Some(hit) => outcomes[pos] = Some((Ok(hit.clone()), true)),
+                Some(hit) => {
+                    outcomes[pos] = Some((Ok(hit.clone()), true, Tier::Exact));
+                    // A served hit is a successful lane outcome. Without
+                    // this a HalfOpen probe that resolves as a cache hit
+                    // would leave its reservation in flight forever and
+                    // wedge the lane.
+                    self.breakers[*class_idx].on_success();
+                }
                 None => misses.push((pos, key)),
             }
         }
@@ -283,38 +363,81 @@ impl ClusterService {
         };
 
         // One worker per lane; lanes run serially inside, so the result
-        // set is identical for any thread count.
+        // set is identical for any thread count. A coalesced job runs
+        // under its representative's budget (first submitter wins), which
+        // is deterministic because representatives follow submission
+        // order.
         let system = &self.system;
         let retry = &self.config.retry;
-        let lane_results: Vec<Vec<(usize, Result<QueryOutcome, QueryError>)>> =
-            bcc_par::par_map(lanes.len(), |l| {
-                lanes[l]
-                    .jobs
-                    .iter()
-                    .map(|&j| {
-                        let BatchJob { key, .. } = &jobs[j];
-                        let rep = batch[jobs[j].positions[0]].1;
-                        debug_assert_eq!(rep.submit_node, key.start);
-                        let _query = bcc_obs::span!("service.query");
-                        (
-                            j,
-                            system.query_resilient(rep.submit_node, rep.k, rep.bandwidth, retry),
-                        )
-                    })
-                    .collect()
-            });
+        let default_budget = self.config.work_budget;
+        let lane_results: Vec<LaneResults> = bcc_par::par_map(lanes.len(), |l| {
+            lanes[l]
+                .jobs
+                .iter()
+                .map(|&j| {
+                    let BatchJob { key, .. } = &jobs[j];
+                    let rep = batch[jobs[j].positions[0]].1;
+                    debug_assert_eq!(rep.submit_node, key.start);
+                    let _query = bcc_obs::span!("service.query");
+                    let result = match effective_budget(rep.budget, default_budget) {
+                        None => system
+                            .query_resilient(rep.submit_node, rep.k, rep.bandwidth, retry)
+                            .map(Budgeted::Done),
+                        Some(budget) => system.query_budgeted(
+                            rep.submit_node,
+                            rep.k,
+                            rep.bandwidth,
+                            retry,
+                            budget,
+                        ),
+                    };
+                    (j, result)
+                })
+                .collect()
+        });
 
+        // Sequential accounting in deterministic lane order: breaker
+        // transitions, the fallback ladder (which may consume stale
+        // entries) and cache fills never happen inside the parallel
+        // region, so they replay identically for any thread count.
         for (j, result) in lane_results.into_iter().flatten() {
             self.stats.executed += 1;
             bcc_obs::inc!("service.executed");
-            if let Ok(outcome) = &result {
-                self.cache
-                    .insert(jobs[j].key, epoch, digest, outcome.clone());
-            }
+            let lane = jobs[j].key.class_idx;
+            let (result, tier, from_cache) = match result {
+                Ok(Budgeted::Done(outcome)) => {
+                    self.breakers[lane].on_success();
+                    self.cache
+                        .insert(jobs[j].key, epoch, digest, outcome.clone());
+                    (Ok(outcome), Tier::Exact, false)
+                }
+                Ok(Budgeted::Exhausted {
+                    pairs_done,
+                    best_partial,
+                }) => {
+                    self.breakers[lane].on_exhaustion(self.ticks);
+                    bcc_obs::inc!("service.budget_exhausted");
+                    // The fallback ladder: a labeled stale answer beats
+                    // the partial one. Degraded answers are never cached.
+                    match self.cache.take_stale(&jobs[j].key, epoch) {
+                        Some((outcome, age_epochs)) => {
+                            (Ok(outcome), Tier::StaleCache { age_epochs }, true)
+                        }
+                        None => (Ok(best_partial), Tier::Partial { pairs_done }, false),
+                    }
+                }
+                // Execution errors are not overload: they resolve a
+                // HalfOpen probe as a success so an erroring lane cannot
+                // wedge its breaker, and they are never cached.
+                Err(e) => {
+                    self.breakers[lane].on_success();
+                    (Err(e), Tier::Exact, false)
+                }
+            };
             self.stats.coalesced += (jobs[j].positions.len() - 1) as u64;
             bcc_obs::add!("service.coalesced", (jobs[j].positions.len() - 1) as u64);
             for &pos in &jobs[j].positions {
-                outcomes[pos] = Some((result.clone(), false));
+                outcomes[pos] = Some((result.clone(), from_cache, tier));
             }
         }
 
@@ -322,8 +445,22 @@ impl ClusterService {
             .into_iter()
             .zip(outcomes)
             .map(|((ticket, query, class_idx), slot)| {
-                let (mut outcome, cached) = slot.expect("every position answered");
-                if cached && self.config.verify_cached {
+                let (mut outcome, cached, tier) = slot.expect("every position answered");
+                match tier {
+                    Tier::Exact => {}
+                    Tier::StaleCache { .. } => {
+                        self.stats.degraded_stale += 1;
+                        bcc_obs::inc!("service.degraded_stale");
+                    }
+                    Tier::Partial { .. } => {
+                        self.stats.degraded_partial += 1;
+                        bcc_obs::inc!("service.degraded_partial");
+                    }
+                }
+                // The audit only applies to answers claiming exactness: a
+                // labeled stale serve is expected to differ from a fresh
+                // recompute.
+                if cached && tier == Tier::Exact && self.config.verify_cached {
                     let fresh = self.system.query_resilient(
                         query.submit_node,
                         query.k,
@@ -341,6 +478,7 @@ impl ClusterService {
                     class_idx,
                     outcome,
                     cached,
+                    tier,
                 }
             })
             .collect()
@@ -415,6 +553,31 @@ impl ClusterService {
         self.cache.stats()
     }
 
+    /// Entries currently in the cache's second-chance stale tier.
+    pub fn stale_len(&self) -> usize {
+        self.cache.stale_len()
+    }
+
+    /// The logical clock: [`tick`](ClusterService::tick) calls so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The breaker state of one bandwidth-class lane (`None` when out of
+    /// range).
+    pub fn breaker_state(&self, lane: usize) -> Option<BreakerState> {
+        self.breakers.get(lane).map(CircuitBreaker::state)
+    }
+
+    /// Breaker transition counters aggregated over every lane.
+    pub fn breaker_stats(&self) -> BreakerStats {
+        let mut total = BreakerStats::default();
+        for b in &self.breakers {
+            total.merge(&b.stats());
+        }
+        total
+    }
+
     /// Drops every cached answer (counters survive).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
@@ -427,5 +590,6 @@ impl ClusterService {
     pub fn publish_obs(&self) {
         self.stats.publish_obs("service.stats");
         self.cache_stats().publish_obs("service.cache.stats");
+        self.breaker_stats().publish_obs("service.breaker.stats");
     }
 }

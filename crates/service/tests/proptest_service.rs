@@ -4,7 +4,9 @@
 //! are deterministic.
 
 use bcc_metric::NodeId;
-use bcc_service::{seeded_service, ClusterQuery, ClusterService, ServiceConfig};
+use bcc_service::{
+    seeded_service, BreakerState, ClusterQuery, ClusterService, ServiceConfig, Tier,
+};
 use proptest::prelude::*;
 
 const THREADS: [usize; 3] = [1, 2, 8];
@@ -66,6 +68,11 @@ fn assert_cache_counter_identities(service: &ClusterService) {
     assert!(
         s.evicted <= s.inserted,
         "can only evict what was stored: {s:?}"
+    );
+    assert!(
+        s.stale_served <= s.invalidated,
+        "the stale tier only holds demoted (invalidated) entries, and \
+         serves each at most once: {s:?}"
     );
 }
 
@@ -161,6 +168,164 @@ proptest! {
         let ra = run_workload(&mut a, &workload);
         let rb = run_workload(&mut b, &workload);
         assert_same_responses(&ra, &rb);
+        bcc_par::set_threads(0);
+    }
+
+    /// A budget generous enough to never exhaust must be invisible: the
+    /// budgeted service returns byte-identical responses to the
+    /// unbudgeted one, all labeled [`Tier::Exact`], for any thread count.
+    #[test]
+    fn budgeted_matches_unbudgeted_when_not_exhausted(
+        seed in 0u64..1_000,
+        workload in arb_workload(10, 20),
+    ) {
+        for threads in THREADS {
+            bcc_par::set_threads(threads);
+            let mut unbudgeted = service_with(seed, 10, 6, ServiceConfig::default());
+            let mut budgeted = service_with(
+                seed,
+                10,
+                6,
+                ServiceConfig {
+                    work_budget: Some(u64::MAX / 2),
+                    ..ServiceConfig::default()
+                },
+            );
+            let u = run_workload(&mut unbudgeted, &workload);
+            let b = run_workload(&mut budgeted, &workload);
+            prop_assert_eq!(u.len(), b.len());
+            for (u, b) in u.iter().zip(&b) {
+                match (u, b) {
+                    (Ok(u), Ok(b)) => {
+                        prop_assert_eq!(u.ticket, b.ticket);
+                        prop_assert_eq!(u.outcome.clone(), b.outcome.clone());
+                        prop_assert_eq!(u.cached, b.cached);
+                        prop_assert_eq!(u.tier, Tier::Exact);
+                        prop_assert_eq!(b.tier, Tier::Exact);
+                    }
+                    (Err(u), Err(b)) => prop_assert_eq!(u, b),
+                    (u, b) => panic!("verdicts diverged: {u:?} vs {b:?}"),
+                }
+            }
+        }
+        bcc_par::set_threads(0);
+    }
+
+    /// Degraded serving is deterministic: under a starvation budget and an
+    /// inflated work cost, two identical runs produce byte-identical
+    /// responses — including tiers and stale-cache labels — for any
+    /// thread count.
+    #[test]
+    fn degraded_serving_is_deterministic(
+        seed in 0u64..1_000,
+        first in arb_workload(8, 12),
+        second in arb_workload(8, 12),
+    ) {
+        let starved = ServiceConfig {
+            work_budget: Some(24),
+            ..ServiceConfig::default()
+        };
+        let mut runs = Vec::new();
+        for threads in THREADS {
+            bcc_par::set_threads(threads);
+            let mut service = service_with(seed, 8, 6, starved.clone());
+            // Warm the cache cheaply, then inflate the work cost so the
+            // second slice exhausts and walks the fallback ladder.
+            let mut all = run_workload(&mut service, &first);
+            service.with_system_mut(|sys| sys.set_work_cost(64));
+            all.extend(run_workload(&mut service, &second));
+            assert_cache_counter_identities(&service);
+            let stats = service.stats();
+            prop_assert_eq!(
+                stats.degraded_stale + stats.degraded_partial,
+                all.iter()
+                    .filter(|r| matches!(r, Ok(resp) if resp.tier.is_degraded()))
+                    .count() as u64,
+                "stats must agree with the labeled responses"
+            );
+            runs.push(all);
+        }
+        for pair in runs.windows(2) {
+            prop_assert_eq!(pair[0].len(), pair[1].len());
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a.ticket, b.ticket);
+                        prop_assert_eq!(a.outcome.clone(), b.outcome.clone());
+                        prop_assert_eq!(a.cached, b.cached);
+                        prop_assert_eq!(a.tier, b.tier);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (a, b) => panic!("verdicts diverged across runs: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        bcc_par::set_threads(0);
+    }
+
+    /// Admission through an open breaker is impossible: every successful
+    /// submission leaves its lane in a non-Open state, and every
+    /// [`bcc_service::ServiceError::CircuitOpen`] shed really came from a
+    /// lane that was refusing traffic.
+    #[test]
+    fn breaker_never_serves_from_an_open_lane(
+        seed in 0u64..1_000,
+        // One-class workload (b below the first class bound) so every
+        // query rides lane 0 and lane state is observable around each
+        // submission.
+        workload in proptest::collection::vec((0usize..6, 2usize..5, 5.0f64..24.0), 8..=40),
+    ) {
+        bcc_par::set_threads(2);
+        // A zero budget exhausts every execution at the first node visit,
+        // so the lane trips as fast as the breaker config allows.
+        let mut service = service_with(
+            seed,
+            6,
+            6,
+            ServiceConfig {
+                work_budget: Some(0),
+                ..ServiceConfig::default()
+            },
+        );
+        let mut sheds = 0u64;
+        for &(start, k, b) in &workload {
+            let before = service.breaker_state(0).expect("lane 0 exists");
+            match service.submit(ClusterQuery::new(NodeId::new(start), k, b)) {
+                Ok(_) => {
+                    prop_assert_ne!(
+                        service.breaker_state(0).expect("lane 0 exists"),
+                        BreakerState::Open,
+                        "an admitted query may not leave its lane Open"
+                    );
+                }
+                Err(bcc_service::ServiceError::CircuitOpen { lane, retry_after_ticks }) => {
+                    sheds += 1;
+                    prop_assert_eq!(lane, 0);
+                    prop_assert!(retry_after_ticks >= 1);
+                    prop_assert_ne!(
+                        before,
+                        BreakerState::Closed,
+                        "a Closed lane never sheds"
+                    );
+                }
+                Err(bcc_service::ServiceError::Rejected(_)) => {}
+                Err(other) => panic!("unexpected submit error: {other:?}"),
+            }
+            // Execute immediately so breaker transitions interleave with
+            // admissions as tightly as possible.
+            for resp in service.tick() {
+                // Everything that did execute must carry a truthful label:
+                // a zero budget can never produce an exact uncached answer.
+                if !resp.cached {
+                    prop_assert!(
+                        resp.tier.is_degraded() || resp.outcome.is_err(),
+                        "zero-budget execution served as exact: {resp:?}"
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(service.stats().breaker_shed, sheds);
+        assert_cache_counter_identities(&service);
         bcc_par::set_threads(0);
     }
 }

@@ -146,7 +146,8 @@ fn admission_sheds_beyond_queue_capacity() {
             shed,
             Err(bcc_service::ServiceError::Overloaded {
                 in_flight: 2,
-                capacity: 2
+                capacity: 2,
+                retry_after: 1
             })
         ),
         "third submission must shed, got {shed:?}"

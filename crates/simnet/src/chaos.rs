@@ -846,6 +846,8 @@ pub fn shrink_schedule(
 pub fn nemesis_hook(name: &str) -> Option<fn(&mut DynamicSystem, usize)> {
     match name {
         "crt-stale" => Some(crt_stale_nemesis),
+        "slow-lane" => Some(slow_lane_nemesis),
+        "stall" => Some(stall_nemesis),
         _ => None,
     }
 }
@@ -865,6 +867,52 @@ fn crt_stale_nemesis(sys: &mut DynamicSystem, _step: usize) {
         let bogus = vec![999_999; class_count];
         let _ = net.nodes_mut()[idx].receive_crt(from, bogus);
     }
+}
+
+/// Length of the repeating slow/stall window pattern, in steps.
+const SLOW_PERIOD: usize = 12;
+/// Steps per period during which the slow/stall nemeses are active.
+const SLOW_WINDOW: usize = 6;
+
+/// `true` on the steps where the slow/stall nemeses inflate work cost.
+/// Deterministic in the step index alone, so a run replays byte-identically
+/// and the window provably *ends* — the liveness oracle for breaker
+/// re-close depends on that.
+pub fn slow_window_active(step: usize) -> bool {
+    step % SLOW_PERIOD < SLOW_WINDOW
+}
+
+/// The work-cost factor the `slow-lane` nemesis applies at `step`: inside
+/// the window, a geometric step-derived ramp in `{8, 16, 32, 64, 128}`;
+/// outside, the neutral cost `1`. The ramp is deliberately steep: the
+/// mild end leaves most queries exact while the severe end exhausts
+/// modest budgets mid-scan, so one window exercises the whole ladder.
+pub fn slow_lane_cost(step: usize) -> u64 {
+    if slow_window_active(step) {
+        8u64 << (step % 5)
+    } else {
+        1
+    }
+}
+
+/// Inflates the work cost of budgeted queries by a step-seeded factor
+/// during a fixed periodic window (a "slow region"): queries spend their
+/// budget 8–128× faster and degrade *sometimes*, while unbudgeted queries
+/// and protocol state are untouched — the digest oracles must keep
+/// passing.
+fn slow_lane_nemesis(sys: &mut DynamicSystem, step: usize) {
+    sys.set_work_cost(slow_lane_cost(step));
+}
+
+/// The stall variant: inside the window the work cost is `u64::MAX`, so
+/// any finite budget exhausts at the first block boundary — the analogue
+/// of a hung shard that answers nothing until the window passes.
+fn stall_nemesis(sys: &mut DynamicSystem, step: usize) {
+    sys.set_work_cost(if slow_window_active(step) {
+        u64::MAX
+    } else {
+        1
+    });
 }
 
 /// Highest-level entry: generate the seed's schedule, run it (optionally
@@ -1222,6 +1270,52 @@ fn event_from_json(v: &Json) -> Result<ChaosEvent, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slow_and_stall_nemeses_pass_every_oracle() {
+        // Work-cost inflation degrades *budgeted* queries only; protocol
+        // state, the unbudgeted safety oracle and the cold-restart digest
+        // must be untouched, so these nemeses are valid regression pins.
+        let cfg = ChaosConfig {
+            universe: 6,
+            steps: 12,
+        };
+        for nemesis in ["slow-lane", "stall"] {
+            for seed in 0..4u64 {
+                let artifact = capture(seed, &cfg, Some(nemesis)).unwrap();
+                assert!(
+                    artifact.violation.is_none(),
+                    "{nemesis} seed {seed}: {:?}",
+                    artifact.violation
+                );
+                artifact.replay().expect("replays bit-identically");
+            }
+        }
+        assert!(nemesis_hook("no-such-nemesis").is_none());
+    }
+
+    #[test]
+    fn slow_window_is_periodic_and_always_ends() {
+        let mut saw_active = false;
+        let mut saw_idle = false;
+        for step in 0..SLOW_PERIOD {
+            if slow_window_active(step) {
+                saw_active = true;
+                assert!(slow_lane_cost(step) >= 8 && slow_lane_cost(step) <= 128);
+            } else {
+                saw_idle = true;
+                assert_eq!(slow_lane_cost(step), 1);
+            }
+        }
+        assert!(saw_active && saw_idle, "window must open and close");
+        // Periodicity: the pattern repeats exactly.
+        for step in 0..3 * SLOW_PERIOD {
+            assert_eq!(
+                slow_window_active(step),
+                slow_window_active(step % SLOW_PERIOD)
+            );
+        }
+    }
 
     #[test]
     fn schedule_generation_is_deterministic() {

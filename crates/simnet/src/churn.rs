@@ -16,7 +16,7 @@
 
 use std::collections::BTreeSet;
 
-use bcc_core::{ClusterError, QueryOutcome, RetryPolicy};
+use bcc_core::{Budgeted, ClusterError, QueryOutcome, RetryPolicy, WorkMeter};
 use bcc_embed::{EmbedError, PredictionFramework};
 use bcc_metric::{BandwidthMatrix, DistanceMatrix, NodeId};
 
@@ -86,6 +86,10 @@ pub struct DynamicSystem {
     active: BTreeSet<NodeId>,
     crashed: BTreeSet<NodeId>,
     last_convergence_rounds: Option<usize>,
+    /// Work units charged per pair examined by budgeted queries (>= 1).
+    /// Chaos nemeses inflate this to model a slow region deterministically
+    /// — logical cost, never wall-clock.
+    work_cost: u64,
 }
 
 impl DynamicSystem {
@@ -119,7 +123,20 @@ impl DynamicSystem {
             active: BTreeSet::new(),
             crashed: BTreeSet::new(),
             last_convergence_rounds: None,
+            work_cost: 1,
         })
+    }
+
+    /// The work-cost factor budgeted queries are charged per pair (>= 1).
+    pub fn work_cost(&self) -> u64 {
+        self.work_cost
+    }
+
+    /// Sets the work-cost factor (clamped to >= 1). A slow-lane nemesis
+    /// raises it during its window and restores it afterwards; unbudgeted
+    /// queries are unaffected.
+    pub fn set_work_cost(&mut self, cost: u64) {
+        self.work_cost = cost.max(1);
     }
 
     /// Hosts currently participating.
@@ -283,6 +300,40 @@ impl DynamicSystem {
         }
         match &self.network {
             Some(net) => net.query_resilient(start, k, bandwidth, retry),
+            None => Err(ClusterError::UnknownNeighbor {
+                neighbor: start.index(),
+            }),
+        }
+    }
+
+    /// [`DynamicSystem::query_resilient`] under a work budget: the query
+    /// may charge at most `budget` units, where each pair examined costs
+    /// the system's current [`DynamicSystem::work_cost`] — so a slow-lane
+    /// nemesis makes the same query exhaust sooner, deterministically.
+    /// Returns [`Budgeted::Exhausted`] with the degraded outcome when the
+    /// budget runs dry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSystem::query`].
+    pub fn query_budgeted(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        retry: &RetryPolicy,
+        budget: u64,
+    ) -> Result<Budgeted<QueryOutcome>, ClusterError> {
+        if self.crashed.contains(&start) {
+            return Err(ClusterError::NodeUnavailable {
+                node: start.index(),
+            });
+        }
+        match &self.network {
+            Some(net) => {
+                let mut meter = WorkMeter::with_cost(budget, self.work_cost);
+                net.query_resilient_budgeted(start, k, bandwidth, retry, &mut meter)
+            }
             None => Err(ClusterError::UnknownNeighbor {
                 neighbor: start.index(),
             }),

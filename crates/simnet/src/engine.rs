@@ -22,8 +22,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use bcc_core::{
-    process_query, process_query_resilient, ClusterNode, ProtocolConfig, QueryOutcome, RetryPolicy,
-    RoutePolicy,
+    process_query, process_query_resilient, process_query_resilient_budgeted, Budgeted,
+    ClusterNode, ProtocolConfig, QueryOutcome, RetryPolicy, RoutePolicy, WorkMeter,
 };
 use bcc_embed::AnchorTree;
 use bcc_metric::{DistanceMatrix, NodeId};
@@ -500,6 +500,36 @@ impl SimNetwork {
             RoutePolicy::FirstFit,
             retry,
             |u| !self.is_down(u),
+        )
+    }
+
+    /// [`SimNetwork::query_resilient`] under a caller-supplied
+    /// [`WorkMeter`]: the walk's local cluster searches charge the meter
+    /// and the query degrades to [`Budgeted::Exhausted`] when it runs dry
+    /// (see [`bcc_core::process_query_resilient_budgeted`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`bcc_core::process_query_resilient`].
+    pub fn query_resilient_budgeted(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        retry: &RetryPolicy,
+        meter: &mut WorkMeter,
+    ) -> Result<Budgeted<QueryOutcome>, bcc_core::ClusterError> {
+        process_query_resilient_budgeted(
+            &self.nodes,
+            start,
+            k,
+            bandwidth,
+            &self.config.classes,
+            self.predicted_dist(),
+            RoutePolicy::FirstFit,
+            retry,
+            |u| !self.is_down(u),
+            meter,
         )
     }
 

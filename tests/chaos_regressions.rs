@@ -13,6 +13,7 @@
 //!     --seed <seed> --save tests/chaos_corpus/seed<seed>.json
 //! ```
 
+use bcc_service::DegradeArtifact;
 use bcc_simnet::chaos::ReplayArtifact;
 
 #[test]
@@ -45,5 +46,55 @@ fn corpus_replays_bit_identically() {
     assert!(
         replayed >= 3,
         "corpus unexpectedly small: {replayed} artifacts"
+    );
+}
+
+/// The `degrade/` sub-corpus pins whole degraded serving runs: each
+/// artifact records a seed, nemesis and budget plus the expected tier mix,
+/// breaker transitions and response-stream digest. Replay re-executes the
+/// run through `bcc-service` and must land on every recorded counter —
+/// and replay must agree across thread counts, because budgets are logical
+/// work units, never wall-clock.
+///
+/// To record a new pin after an intentional change to the degradation
+/// model:
+///
+/// ```sh
+/// cargo run --release -p bcc-bench --bin degrade -- \
+///     --seed <seed> --nemesis <slow-lane|stall> \
+///     --save tests/chaos_corpus/degrade/<name>.json
+/// ```
+#[test]
+fn degrade_corpus_replays_bit_identically() {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/chaos_corpus/degrade");
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus)
+        .expect("degrade corpus directory exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        let artifact = DegradeArtifact::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed artifact: {e}", path.display()));
+        for threads in [1usize, 2, 8] {
+            bcc_par::set_threads(threads);
+            artifact
+                .replay()
+                .unwrap_or_else(|e| panic!("{} under {threads} thread(s): {e}", path.display()));
+        }
+        bcc_par::set_threads(0);
+        assert_eq!(
+            artifact.to_json(),
+            text,
+            "{}: artifact is not byte-stable under parse → render",
+            path.display()
+        );
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 2,
+        "degrade corpus unexpectedly small: {replayed} artifacts"
     );
 }
