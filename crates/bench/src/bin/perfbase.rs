@@ -1,30 +1,44 @@
-//! `perfbase` — the serial-vs-parallel baseline for the clustering hot
-//! paths, checked in as `BENCH_clustering.json` so perf regressions show up
-//! as a diff.
+//! `perfbase` — the serial-vs-parallel-vs-indexed baseline for the
+//! clustering hot paths, checked in as `BENCH_clustering.json` so perf
+//! regressions show up as a diff.
 //!
 //! ```sh
 //! cargo run --release -p bcc-bench --bin perfbase
 //! cargo run --release -p bcc-bench --bin perfbase -- --smoke
-//! cargo run --release -p bcc-bench --bin perfbase -- --json out.json
+//! cargo run --release -p bcc-bench --bin perfbase -- --smoke --stable --json run.json
+//! cargo run --release -p bcc-bench --bin perfbase -- --large 8192 --probe-budget-ms 60000
 //! ```
 //!
 //! Seeded workloads over the synthetic dataset family:
 //!
 //! - Algorithm 1 (`find_cluster`) with a satisfiable query (early exit) and
 //!   an unsatisfiable one (`k = n`, forces the full `O(n³)` scan), plus
-//!   `max_cluster_size`, at n ∈ {128, 256, 512, 1024};
-//! - the exact `O(n⁴)` treeness statistics (`epsilon_avg_exact`,
-//!   `epsilon_max_exact`, `delta_hyperbolicity_exact`,
-//!   `satisfies_four_point`) at n = 128.
+//!   `max_cluster_size`, at n ∈ {128, 256, 512, 1024} — each as the
+//!   pair-sweep kernel *and* the `ClusterIndex` range-scan kernel;
+//! - an indexed-only probe at `--large N` (default 8192 in full mode),
+//!   where the pair sweep is no longer affordable;
+//! - the exact `O(n⁴)` treeness statistics at n = 128.
 //!
-//! Every kernel runs both serial and on the `bcc-par` pool; the binary
-//! asserts the two agree bit-for-bit and records wall times, speedup and
-//! the thread count (speedups near 1 are expected on single-core runners —
-//! compare like with like).
+//! Every kernel records a thread-scaling curve ({1,2,4,8} full, {1,2}
+//! smoke): the serial entry point once, then the `_par` twin at each pool
+//! width. The binary asserts serial, every curve point, and (at n ≤ 1024)
+//! the brute-force pair-sweep oracle all agree bit-for-bit. Indexed
+//! entries also record `sweep_ms`/`gain` — the pair-sweep serial time at
+//! the same n and the resulting indexed speedup. Speedups near 1 across
+//! the curve are expected on single-core runners — compare like with like.
+//!
+//! `--stable` zeroes every wall-time field after the identity checks so
+//! two runs emit byte-identical JSON (the CI determinism gate).
+//! `--probe-budget-ms M` asserts each large-n indexed probe finished
+//! within M ms (the CI time-budget gate).
 
 use std::time::Instant;
 
-use bcc_core::{find_cluster, find_cluster_par, max_cluster_size, max_cluster_size_par};
+use bcc_core::{
+    find_cluster, find_cluster_indexed, find_cluster_indexed_par, find_cluster_par,
+    max_cluster_size, max_cluster_size_indexed, max_cluster_size_indexed_par, max_cluster_size_par,
+    ClusterIndex,
+};
 use bcc_datasets::{generate, SynthConfig};
 use bcc_metric::fourpoint::{
     epsilon_avg_exact, epsilon_avg_exact_par, epsilon_max_exact, epsilon_max_exact_par,
@@ -41,22 +55,56 @@ fn dataset(n: usize) -> DistanceMatrix {
     RationalTransform::default().distance_matrix(&generate(&cfg))
 }
 
-/// One measured kernel: serial and parallel wall times plus an agreement
-/// flag (bit-identical results).
+/// One measured kernel: serial wall time, a threads → wall-time curve,
+/// an agreement flag (bit-identical results across serial, every curve
+/// point, and — for indexed kernels at oracle-affordable n — the
+/// pair-sweep oracle), and the oracle's own wall time when measured.
 struct Entry {
-    kernel: &'static str,
+    kernel: String,
     n: usize,
     serial_ms: f64,
-    parallel_ms: f64,
+    curve: Vec<(usize, f64)>,
     identical: bool,
+    sweep_ms: Option<f64>,
 }
 
 impl Entry {
+    /// Best wall time across the thread curve (serial time when the
+    /// kernel has no parallel twin).
+    fn parallel_ms(&self) -> f64 {
+        self.curve
+            .iter()
+            .map(|&(_, ms)| ms)
+            .fold(f64::INFINITY, f64::min)
+            .min(self.serial_ms)
+    }
+
     fn speedup(&self) -> f64 {
-        if self.parallel_ms > 0.0 {
-            self.serial_ms / self.parallel_ms
+        let p = self.parallel_ms();
+        if p > 0.0 {
+            self.serial_ms / p
         } else {
-            f64::INFINITY
+            0.0
+        }
+    }
+
+    /// Pair-sweep serial time / indexed serial time, when the sweep ran.
+    fn gain(&self) -> Option<f64> {
+        let sweep = self.sweep_ms?;
+        if self.serial_ms > 0.0 {
+            Some(sweep / self.serial_ms)
+        } else {
+            Some(0.0)
+        }
+    }
+
+    fn zero_times(&mut self) {
+        self.serial_ms = 0.0;
+        for point in &mut self.curve {
+            point.1 = 0.0;
+        }
+        if self.sweep_ms.is_some() {
+            self.sweep_ms = Some(0.0);
         }
     }
 }
@@ -74,40 +122,73 @@ fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, out.expect("at least one rep"))
 }
 
+/// Measures `serial` (best-of-`reps`) and `parallel` once per pool width
+/// in `threads`, checking every result against the serial one — and
+/// against a pre-measured oracle `(ms, value)` when given.
 fn measure<T: PartialEq>(
-    kernel: &'static str,
+    kernel: &str,
     n: usize,
     reps: usize,
+    threads: &[usize],
     serial: impl FnMut() -> T,
-    parallel: impl FnMut() -> T,
+    mut parallel: impl FnMut() -> T,
+    oracle: Option<(f64, T)>,
 ) -> Entry {
     let (serial_ms, s) = time(reps, serial);
-    let (parallel_ms, p) = time(reps, parallel);
+    let mut identical = true;
+    let mut curve = Vec::with_capacity(threads.len());
+    for &t in threads {
+        bcc_par::set_threads(t);
+        let (ms, p) = time(1, &mut parallel);
+        identical &= p == s;
+        curve.push((t, ms));
+    }
+    bcc_par::set_threads(0);
+    let sweep_ms = oracle.map(|(ms, value)| {
+        identical &= value == s;
+        ms
+    });
     Entry {
-        kernel,
+        kernel: kernel.to_string(),
         n,
         serial_ms,
-        parallel_ms,
-        identical: s == p,
+        curve,
+        identical,
+        sweep_ms,
     }
 }
 
-fn to_json(entries: &[Entry], smoke: bool) -> String {
+fn to_json(entries: &[Entry], smoke: bool, stable: bool) -> String {
     let mut out = String::from("{\n  \"bench\": \"perfbase\",\n");
     out.push_str(&format!("  \"seed\": {SEED},\n"));
-    out.push_str(&format!("  \"threads\": {},\n", bcc_par::current_threads()));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"stable\": {stable},\n"));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let curve = e
+            .curve
+            .iter()
+            .map(|&(t, ms)| format!("{{\"threads\": {t}, \"ms\": {ms:.3}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let sweep = match (e.sweep_ms, e.gain()) {
+            (Some(ms), Some(gain)) => {
+                format!(", \"sweep_ms\": {ms:.3}, \"gain\": {gain:.3}")
+            }
+            _ => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"n\": {}, \"serial_ms\": {:.3}, \
-             \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}{}, \
+             \"curve\": [{}]}}{}\n",
             e.kernel,
             e.n,
             e.serial_ms,
-            e.parallel_ms,
+            e.parallel_ms(),
             e.speedup(),
             e.identical,
+            sweep,
+            curve,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -117,22 +198,35 @@ fn to_json(entries: &[Entry], smoke: bool) -> String {
 
 fn main() {
     let args = bcc_bench::BenchArgs::from_env();
+    args.expect_known(
+        &["--smoke", "--stable"],
+        &["--json", "--large", "--probe-budget-ms"],
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
     let smoke = args.flag("--smoke");
+    let stable = args.flag("--stable");
     let json_path = args
         .value("--json")
         .unwrap_or("BENCH_clustering.json")
         .to_string();
+    let large: usize = args
+        .parsed_or("--large", if smoke { 0 } else { 8192 })
+        .unwrap_or_else(|e| panic!("{e}"));
+    let probe_budget_ms: f64 = args
+        .parsed_or("--probe-budget-ms", 0.0)
+        .unwrap_or_else(|e| panic!("{e}"));
 
     let (sizes, treeness_n, reps): (&[usize], usize, usize) = if smoke {
         (&[64, 128], 48, 1)
     } else {
         (&[128, 256, 512, 1024], 128, 3)
     };
+    let threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
 
-    println!("=== perfbase — serial vs parallel clustering kernels ===");
+    println!("=== perfbase — pair-sweep vs indexed clustering kernels ===");
     println!(
-        "threads = {}, smoke = {smoke}, reps = {reps} (best-of)",
-        bcc_par::current_threads()
+        "smoke = {smoke}, stable = {stable}, reps = {reps} (best-of), \
+         thread curve = {threads:?}, large = {large}",
     );
     println!();
 
@@ -141,35 +235,148 @@ fn main() {
 
     for &n in sizes {
         let d = dataset(n);
-        // Satisfiable: k = 5 % of n at a generous constraint — measures
-        // the early-exit path.
         let k_sat = (n / 20).max(2);
         let l_sat = t.distance_constraint(20.0);
+        let l_unsat = t.distance_constraint(30.0);
+
+        // Pair-sweep kernels: satisfiable (early exit), unsatisfiable
+        // (k = n, the full O(n³) scan), and the maximization variant.
         entries.push(measure(
             "find_cluster_sat",
             n,
             reps,
+            threads,
             || find_cluster(&d, k_sat, l_sat),
             || find_cluster_par(&d, k_sat, l_sat),
+            None,
         ));
-        // Unsatisfiable: k = n with a mid-range constraint — every
-        // qualifying pair is checked against all n hosts, the full O(n³)
-        // scan of Algorithm 1.
-        let l_unsat = t.distance_constraint(30.0);
         entries.push(measure(
             "find_cluster_unsat",
             n,
             reps,
+            threads,
             || find_cluster(&d, n, l_unsat),
             || find_cluster_par(&d, n, l_unsat),
+            None,
         ));
         entries.push(measure(
             "max_cluster_size",
             n,
             reps,
+            threads,
             || max_cluster_size(&d, l_unsat),
             || max_cluster_size_par(&d, l_unsat),
+            None,
         ));
+
+        // The indexed kernels answer the same probes from sorted
+        // distance labels. Build once, probe many.
+        let (build_ms, index) = time(reps, || ClusterIndex::from_metric(&d));
+        entries.push(Entry {
+            kernel: "index_build".to_string(),
+            n,
+            serial_ms: build_ms,
+            curve: Vec::new(),
+            identical: index.digest() == ClusterIndex::from_metric(&d).digest(),
+            sweep_ms: None,
+        });
+        let sweep_at = |entries: &[Entry], kernel: &str| {
+            entries
+                .iter()
+                .find(|e| e.kernel == kernel && e.n == n)
+                .map(|e| e.serial_ms)
+                .expect("sweep entry measured above")
+        };
+        let sat_sweep = sweep_at(&entries, "find_cluster_sat");
+        let unsat_sweep = sweep_at(&entries, "find_cluster_unsat");
+        let mcs_sweep = sweep_at(&entries, "max_cluster_size");
+        entries.push(measure(
+            "find_cluster_sat_indexed",
+            n,
+            reps,
+            threads,
+            || find_cluster_indexed(&d, &index, k_sat, l_sat),
+            || find_cluster_indexed_par(&d, &index, k_sat, l_sat),
+            Some((sat_sweep, find_cluster(&d, k_sat, l_sat))),
+        ));
+        entries.push(measure(
+            "find_cluster_unsat_indexed",
+            n,
+            reps,
+            threads,
+            || find_cluster_indexed(&d, &index, n, l_unsat),
+            || find_cluster_indexed_par(&d, &index, n, l_unsat),
+            Some((unsat_sweep, find_cluster(&d, n, l_unsat))),
+        ));
+        entries.push(measure(
+            "max_cluster_size_indexed",
+            n,
+            reps,
+            threads,
+            || max_cluster_size_indexed(&d, &index, l_unsat),
+            || max_cluster_size_indexed_par(&d, &index, l_unsat),
+            Some((mcs_sweep, max_cluster_size(&d, l_unsat))),
+        ));
+    }
+
+    // Indexed-only probes beyond the pair-sweep horizon: no oracle, the
+    // identity check is indexed-serial vs indexed-par.
+    let mut large_probe_ms: Vec<(String, f64)> = Vec::new();
+    if large > 0 {
+        let d = dataset(large);
+        let k_sat = (large / 20).max(2);
+        let l_sat = t.distance_constraint(20.0);
+        let l_unsat = t.distance_constraint(30.0);
+        let (build_ms, index) = time(1, || ClusterIndex::from_metric(&d));
+        entries.push(Entry {
+            kernel: "index_build".to_string(),
+            n: large,
+            serial_ms: build_ms,
+            curve: Vec::new(),
+            identical: true,
+            sweep_ms: None,
+        });
+        for (kernel, entry) in [
+            (
+                "find_cluster_sat_indexed",
+                measure(
+                    "find_cluster_sat_indexed",
+                    large,
+                    1,
+                    threads,
+                    || find_cluster_indexed(&d, &index, k_sat, l_sat),
+                    || find_cluster_indexed_par(&d, &index, k_sat, l_sat),
+                    None,
+                ),
+            ),
+            (
+                "find_cluster_unsat_indexed",
+                measure(
+                    "find_cluster_unsat_indexed",
+                    large,
+                    1,
+                    threads,
+                    || find_cluster_indexed(&d, &index, large, l_unsat),
+                    || find_cluster_indexed_par(&d, &index, large, l_unsat),
+                    None,
+                ),
+            ),
+            (
+                "max_cluster_size_indexed",
+                measure(
+                    "max_cluster_size_indexed",
+                    large,
+                    1,
+                    threads,
+                    || max_cluster_size_indexed(&d, &index, l_unsat),
+                    || max_cluster_size_indexed_par(&d, &index, l_unsat),
+                    None,
+                ),
+            ),
+        ] {
+            large_probe_ms.push((kernel.to_string(), entry.serial_ms));
+            entries.push(entry);
+        }
     }
 
     // Exact O(n⁴) treeness statistics. Compare by bit pattern — the whole
@@ -179,52 +386,100 @@ fn main() {
         "epsilon_avg_exact",
         treeness_n,
         reps,
+        threads,
         || epsilon_avg_exact(&d).to_bits(),
         || epsilon_avg_exact_par(&d).to_bits(),
+        None,
     ));
     entries.push(measure(
         "epsilon_max_exact",
         treeness_n,
         reps,
+        threads,
         || epsilon_max_exact(&d).to_bits(),
         || epsilon_max_exact_par(&d).to_bits(),
+        None,
     ));
     entries.push(measure(
         "delta_hyperbolicity",
         treeness_n,
         reps,
+        threads,
         || delta_hyperbolicity_exact(&d).to_bits(),
         || delta_hyperbolicity_exact_par(&d).to_bits(),
+        None,
     ));
     // Huge tolerance: no quartet violates, so the scan cannot early-exit.
     entries.push(measure(
         "satisfies_four_point",
         treeness_n,
         reps,
+        threads,
         || satisfies_four_point(&d, 1e9),
         || satisfies_four_point_par(&d, 1e9),
+        None,
     ));
 
     println!(
-        "{:<22} {:>6} {:>12} {:>12} {:>9} {:>10}",
-        "kernel", "n", "serial (ms)", "par (ms)", "speedup", "identical"
+        "{:<28} {:>6} {:>12} {:>12} {:>9} {:>9} {:>10}",
+        "kernel", "n", "serial (ms)", "par (ms)", "speedup", "gain", "identical"
     );
     let mut all_identical = true;
     for e in &entries {
         all_identical &= e.identical;
+        let gain = e
+            .gain()
+            .map(|g| format!("{g:>8.2}x"))
+            .unwrap_or_else(|| format!("{:>9}", "-"));
         println!(
-            "{:<22} {:>6} {:>12.3} {:>12.3} {:>8.2}x {:>10}",
+            "{:<28} {:>6} {:>12.3} {:>12.3} {:>8.2}x {gain} {:>10}",
             e.kernel,
             e.n,
             e.serial_ms,
-            e.parallel_ms,
+            e.parallel_ms(),
             e.speedup(),
             e.identical
         );
     }
     println!();
 
-    let json = to_json(&entries, smoke);
+    // Perf gates — only meaningful on a real timed full run.
+    if !smoke && !stable {
+        for e in entries.iter().filter(|e| e.kernel == "find_cluster_sat") {
+            assert!(
+                e.speedup() >= 0.1,
+                "find_cluster_sat n={} parallel pessimization: speedup {:.3} < 0.1",
+                e.n,
+                e.speedup()
+            );
+        }
+        for kernel in ["find_cluster_unsat_indexed", "max_cluster_size_indexed"] {
+            let gain = entries
+                .iter()
+                .find(|e| e.kernel == kernel && e.n == 1024)
+                .and_then(Entry::gain)
+                .expect("n=1024 indexed entry present in full mode");
+            assert!(
+                gain >= 10.0,
+                "{kernel} n=1024 gain {gain:.2}x < 10x over the pair sweep"
+            );
+        }
+    }
+    if probe_budget_ms > 0.0 {
+        for (kernel, ms) in &large_probe_ms {
+            assert!(
+                *ms <= probe_budget_ms,
+                "{kernel} n={large} took {ms:.1} ms > budget {probe_budget_ms:.1} ms"
+            );
+        }
+    }
+
+    if stable {
+        for e in &mut entries {
+            e.zero_times();
+        }
+    }
+    let json = to_json(&entries, smoke, stable);
     if json_path == "-" {
         println!("{json}");
     } else {
@@ -234,6 +489,6 @@ fn main() {
 
     assert!(
         all_identical,
-        "a parallel kernel diverged from its serial twin"
+        "a parallel or indexed kernel diverged from its serial twin"
     );
 }

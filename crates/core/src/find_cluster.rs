@@ -390,8 +390,9 @@ fn sort_by_distance(pairs: &mut [(usize, usize, f64)]) {
 /// Builds `S*_pq` into `scratch` (cleared first) and returns `true` once it
 /// reaches `k` members. The caller-provided buffer keeps the `O(n²)` pair
 /// loop from allocating per pair; the caller has already checked
-/// `d(p, q) ≤ l`.
-fn check_pair<M: FiniteMetric>(
+/// `d(p, q) ≤ l`. Shared with the indexed kernels so their surviving pairs
+/// run the very same membership test the sweep runs.
+pub(crate) fn check_pair<M: FiniteMetric>(
     metric: &M,
     p: usize,
     q: usize,
@@ -416,7 +417,7 @@ fn check_pair<M: FiniteMetric>(
 /// bounds-asserted `distance()` lookups per candidate. Same values, same
 /// order, so it fills `scratch` exactly like the generic path on any
 /// symmetric metric.
-fn check_pair_rows(
+pub(crate) fn check_pair_rows(
     d: &DistanceMatrix,
     p: usize,
     q: usize,
@@ -439,6 +440,30 @@ fn check_pair_rows(
     false
 }
 
+/// Total pair count at or below which every `_par` kernel runs its serial
+/// twin outright.
+///
+/// Forking the pool costs roughly half a millisecond of dispatch and joins
+/// regardless of how little work each worker receives; a full serial sweep
+/// of 2048 pairs costs a few microseconds. Below this floor parallelism is
+/// pure overhead — the `find_cluster_sat` perfbase rows used to report
+/// ~500× *slowdowns* at small `n` for exactly this reason. The `_par`
+/// results are bit-identical either way; the cutoff only moves the
+/// crossover, and perfbase asserts the sat-probe speedup stays sane.
+pub const PAR_SERIAL_CUTOFF: usize = 2048;
+
+/// Pairs scanned serially *before* the pool forks in the hybrid `_par`
+/// search kernels.
+///
+/// Satisfiable probes usually exit within the first few hundred pairs in
+/// scan order; paying pool dispatch for those is the second half of the
+/// sat-probe pessimization (the first is [`PAR_SERIAL_CUTOFF`]). The
+/// prefix is scanned in exact serial order, so an early hit returns the
+/// bit-identical serial winner without waking a single worker; only scans
+/// that survive the prefix — the genuinely hard ones — fan out over the
+/// remaining pairs.
+pub(crate) const PAR_SERIAL_PREFIX: usize = 4096;
+
 /// Parallel Algorithm 1 on the `bcc-par` pool. See [`find_cluster`]; returns
 /// exactly the cluster the serial scan returns — the pool races pair checks
 /// but always keeps the lowest pair in scan order (deterministic early
@@ -450,18 +475,24 @@ pub fn find_cluster_par<M: FiniteMetric>(metric: &M, k: usize, l: f64) -> Option
 
 /// Parallel [`find_cluster_ordered`]: materializes the metric into a dense
 /// matrix once, pre-filters and (for
-/// [`PairOrder::AscendingDiameter`]) sorts the pair list, then scans it on
-/// the pool with per-worker scratch buffers and atomic early exit on the
-/// first (lowest-index) satisfying pair.
+/// [`PairOrder::AscendingDiameter`]) sorts the pair list, then scans a
+/// serial prefix ([`PAR_SERIAL_PREFIX`]) before fanning the remainder out
+/// on the pool with per-worker scratch buffers and atomic early exit on the
+/// first (lowest-index) satisfying pair. Spaces of at most
+/// [`PAR_SERIAL_CUTOFF`] total pairs delegate to the serial kernel
+/// entirely; either way the result is bit-identical to the serial scan.
 pub fn find_cluster_ordered_par<M: FiniteMetric>(
     metric: &M,
     k: usize,
     l: f64,
     order: PairOrder,
 ) -> Option<Vec<usize>> {
+    let n = metric.len();
+    if n * n.saturating_sub(1) / 2 <= PAR_SERIAL_CUTOFF {
+        return find_cluster_ordered(metric, k, l, order);
+    }
     let _span = bcc_obs::span!("core.find_cluster");
     bcc_obs::inc!("core.find_cluster.calls");
-    let n = metric.len();
     if k > n || k == 0 {
         return None;
     }
@@ -473,11 +504,24 @@ pub fn find_cluster_ordered_par<M: FiniteMetric>(
     if order == PairOrder::AscendingDiameter {
         sort_by_distance(&mut pairs);
     }
+    // Serial prefix: sat probes that exit early pay zero pool dispatch and
+    // return the serial winner directly.
+    let prefix = pairs.len().min(PAR_SERIAL_PREFIX);
+    let mut scratch = Vec::with_capacity(k);
+    for &(p, q, dpq) in &pairs[..prefix] {
+        if check_pair_rows(&d, p, q, dpq, k, &mut scratch) {
+            return Some(scratch);
+        }
+    }
+    let rest = &pairs[prefix..];
+    if rest.is_empty() {
+        return None;
+    }
     bcc_par::par_find_first_with(
-        pairs.len(),
+        rest.len(),
         || Vec::with_capacity(k),
         |scratch, i| {
-            let (p, q, dpq) = pairs[i];
+            let (p, q, dpq) = rest[i];
             check_pair_rows(&d, p, q, dpq, k, scratch).then(|| scratch.clone())
         },
     )
@@ -525,12 +569,17 @@ pub fn min_diameter_cluster<M: FiniteMetric>(metric: &M, k: usize) -> Option<(Ve
 
 /// Parallel [`min_diameter_cluster`] on the `bcc-par` pool: pairs sorted by
 /// ascending diameter, scanned with deterministic early exit, so the
-/// returned cluster and diameter match the serial scan bit for bit.
+/// returned cluster and diameter match the serial scan bit for bit. Small
+/// spaces and early hits stay serial, like
+/// [`find_cluster_ordered_par`].
 pub fn min_diameter_cluster_par<M: FiniteMetric>(
     metric: &M,
     k: usize,
 ) -> Option<(Vec<usize>, f64)> {
     let n = metric.len();
+    if n * n.saturating_sub(1) / 2 <= PAR_SERIAL_CUTOFF {
+        return min_diameter_cluster(metric, k);
+    }
     if k > n || k == 0 {
         return None;
     }
@@ -540,11 +589,22 @@ pub fn min_diameter_cluster_par<M: FiniteMetric>(
     let d = metric.to_matrix();
     let mut pairs = pairs_within(&d, f64::INFINITY);
     sort_by_distance(&mut pairs);
+    let prefix = pairs.len().min(PAR_SERIAL_PREFIX);
+    let mut scratch = Vec::with_capacity(k);
+    for &(p, q, dpq) in &pairs[..prefix] {
+        if check_pair_rows(&d, p, q, dpq, k, &mut scratch) {
+            return Some((scratch, dpq));
+        }
+    }
+    let rest = &pairs[prefix..];
+    if rest.is_empty() {
+        return None;
+    }
     bcc_par::par_find_first_with(
-        pairs.len(),
+        rest.len(),
         || Vec::with_capacity(k),
         |scratch, i| {
-            let (p, q, dpq) = pairs[i];
+            let (p, q, dpq) = rest[i];
             check_pair_rows(&d, p, q, dpq, k, scratch).then(|| (scratch.clone(), dpq))
         },
     )
@@ -579,14 +639,15 @@ pub fn max_cluster_size<M: FiniteMetric>(metric: &M, l: f64) -> usize {
 
 /// Parallel [`max_cluster_size`]: `max |S*_pq|` over the pre-filtered pair
 /// list, chunked across the `bcc-par` pool. `max` reduces exactly, so the
-/// result equals the serial scan's for any thread count.
+/// result equals the serial scan's for any thread count. Spaces of at most
+/// [`PAR_SERIAL_CUTOFF`] total pairs run the serial scan outright.
 pub fn max_cluster_size_par<M: FiniteMetric>(metric: &M, l: f64) -> usize {
+    let n = metric.len();
+    if n * n.saturating_sub(1) / 2 <= PAR_SERIAL_CUTOFF {
+        return max_cluster_size(metric, l);
+    }
     let _span = bcc_obs::span!("core.max_cluster_size");
     bcc_obs::inc!("core.max_cluster_size.calls");
-    let n = metric.len();
-    if n == 0 {
-        return 0;
-    }
     let d = metric.to_matrix();
     let pairs = pairs_within(&d, l);
     if pairs.is_empty() {
@@ -1026,6 +1087,55 @@ mod tests {
                 );
             }
             for l in [0.1, 0.5, 1.0, 4.0, 6.5, 15.0, 100.0] {
+                assert_eq!(
+                    max_cluster_size(&d, l),
+                    max_cluster_size_par(&d, l),
+                    "l={l} threads={threads}"
+                );
+            }
+        }
+        bcc_par::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_path_beyond_prefix_matches_serial() {
+        // n = 128 gives 8128 pairs: above PAR_SERIAL_CUTOFF (so the pool
+        // path runs, not the serial delegation) and above
+        // PAR_SERIAL_PREFIX (so the fan-out actually executes). The only
+        // satisfying cluster sits at the highest indices, whose pairs fall
+        // past the serial prefix in row-major order.
+        let n = 128usize;
+        assert!(n * (n - 1) / 2 > PAR_SERIAL_CUTOFF.max(PAR_SERIAL_PREFIX));
+        let pos: Vec<f64> = (0..n)
+            .map(|i| {
+                if i < n - 4 {
+                    i as f64 * 100.0
+                } else {
+                    (n - 4) as f64 * 100.0 + (i - (n - 4)) as f64
+                }
+            })
+            .collect();
+        let d = line(&pos);
+        for threads in [1, 2, 8] {
+            bcc_par::set_threads(threads);
+            for (k, l) in [(4, 3.0), (3, 2.0), (5, 3.0), (2, 0.5)] {
+                assert_eq!(
+                    find_cluster(&d, k, l),
+                    find_cluster_par(&d, k, l),
+                    "k={k} l={l} threads={threads}"
+                );
+                assert_eq!(
+                    find_cluster_ordered(&d, k, l, PairOrder::AscendingDiameter),
+                    find_cluster_ordered_par(&d, k, l, PairOrder::AscendingDiameter),
+                    "asc k={k} l={l} threads={threads}"
+                );
+            }
+            assert_eq!(
+                min_diameter_cluster(&d, 4),
+                min_diameter_cluster_par(&d, 4),
+                "threads={threads}"
+            );
+            for l in [0.5, 3.0, 150.0] {
                 assert_eq!(
                     max_cluster_size(&d, l),
                     max_cluster_size_par(&d, l),

@@ -50,6 +50,7 @@ mod classes;
 mod error;
 mod euclidean;
 mod find_cluster;
+mod index;
 mod node;
 mod query;
 
@@ -61,10 +62,16 @@ pub use find_cluster::{
     find_cluster_ordered, find_cluster_ordered_par, find_cluster_par, max_cluster_size,
     max_cluster_size_binary_search, max_cluster_size_budgeted, max_cluster_size_par,
     min_diameter_cluster, min_diameter_cluster_par, Budgeted, PairOrder, Query, WorkMeter,
-    BUDGET_BLOCK,
+    BUDGET_BLOCK, PAR_SERIAL_CUTOFF,
+};
+pub use index::{
+    find_cluster_indexed, find_cluster_indexed_budgeted, find_cluster_indexed_par,
+    max_cluster_size_indexed, max_cluster_size_indexed_budgeted, max_cluster_size_indexed_par,
+    ClusterIndex, IndexStats,
 };
 pub use node::{ClusterNode, ProtocolConfig, RoutePolicy};
 pub use query::{
-    process_query, process_query_resilient, process_query_resilient_budgeted,
-    process_query_with_policy, Degradation, QueryOutcome, QueryRequest, RetryPolicy,
+    process_query, process_query_indexed, process_query_resilient,
+    process_query_resilient_budgeted, process_query_with_policy, Degradation, QueryOutcome,
+    QueryRequest, RetryPolicy,
 };

@@ -275,6 +275,32 @@ impl ClusterNode {
             .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
     }
 
+    /// [`ClusterNode::answer_locally`] through a [`crate::ClusterIndex`]
+    /// built over the local clustering space: the same CRT gate, the same
+    /// space, and a bit-identical answer — the indexed kernel prunes rows
+    /// and pairs through ball-size bounds but runs the identical membership
+    /// test on the survivors. Local spaces are small (close nodes only), so
+    /// the index is built per call; the win is the pruned scan on gossip-
+    /// inflated spaces, and the shared code path with the system-wide
+    /// indexed probes.
+    pub fn answer_locally_indexed(
+        &self,
+        k: usize,
+        class_idx: usize,
+        classes: &BandwidthClasses,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Option<Vec<NodeId>> {
+        if k == 0 || k > self.own_max[class_idx] {
+            return None;
+        }
+        let space = self.clustering_space();
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        let index = crate::ClusterIndex::from_metric(&local);
+        let l = classes.distance_of(class_idx);
+        crate::find_cluster_indexed(&local, &index, k, l)
+            .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
+    }
+
     /// [`ClusterNode::answer_locally`] restricted to hosts the caller
     /// believes alive — the failure-recovery variant used by
     /// [`crate::process_query_resilient`].

@@ -266,6 +266,74 @@ pub fn process_query_with_policy(
     }
 }
 
+/// [`process_query`] answering each local probe through a per-node
+/// [`crate::ClusterIndex`] over the clustering space
+/// ([`ClusterNode::answer_locally_indexed`]) instead of the pair sweep.
+///
+/// The walk — validation, CRT gates, forwarding, hop accounting — is the
+/// same code shape as [`process_query_with_policy`] with
+/// [`RoutePolicy::FirstFit`], and the indexed local answer is bit-identical
+/// to the swept one, so the outcome (cluster members, hops, path) matches
+/// [`process_query`] exactly; only the local scan cost changes.
+///
+/// # Errors
+///
+/// Same as [`process_query`].
+pub fn process_query_indexed(
+    nodes: &[ClusterNode],
+    start: NodeId,
+    k: usize,
+    bandwidth: f64,
+    classes: &BandwidthClasses,
+    mut dist: impl FnMut(NodeId, NodeId) -> f64,
+) -> Result<QueryOutcome, ClusterError> {
+    let class_idx = QueryRequest::new(start, k, bandwidth).validate(classes, nodes.len())?;
+
+    let mut current = start;
+    let mut previous: Option<NodeId> = None;
+    let mut path = vec![start];
+    let mut hops = 0;
+
+    loop {
+        let node = &nodes[current.index()];
+        debug_assert_eq!(node.id(), current, "nodes must be indexed by id");
+        if let Some(cluster) = node.answer_locally_indexed(k, class_idx, classes, &mut dist) {
+            return Ok(QueryOutcome {
+                cluster: Some(cluster),
+                hops,
+                path,
+                degradation: Degradation::default(),
+            });
+        }
+        match node.route_with_policy(k, class_idx, previous, RoutePolicy::FirstFit) {
+            Some(next) => {
+                previous = Some(current);
+                current = next;
+                hops += 1;
+                path.push(current);
+                // Safety net: on a tree overlay the no-backtrack walk is a
+                // simple path, so it can never exceed the node count.
+                if hops > nodes.len() {
+                    return Ok(QueryOutcome {
+                        cluster: None,
+                        hops,
+                        path,
+                        degradation: Degradation::default(),
+                    });
+                }
+            }
+            None => {
+                return Ok(QueryOutcome {
+                    cluster: None,
+                    hops,
+                    path,
+                    degradation: Degradation::default(),
+                })
+            }
+        }
+    }
+}
+
 /// [`process_query`] hardened against crashed hosts: Algorithm 4 with
 /// retry, hop-budget timeouts and rerouting around dead anchor-tree
 /// neighbors.
@@ -543,6 +611,28 @@ mod tests {
         assert_eq!(out.path, vec![n(0), n(1), n(2), n(3)]);
         let cluster = out.cluster.unwrap();
         assert_eq!(cluster.len(), 2);
+    }
+
+    #[test]
+    fn indexed_query_identical_to_swept() {
+        let nodes = path_overlay();
+        for start in 0..4 {
+            for k in 2..=4 {
+                let swept = process_query(&nodes, n(start), k, 50.0, &classes(), line_dist);
+                let indexed =
+                    process_query_indexed(&nodes, n(start), k, 50.0, &classes(), line_dist);
+                assert_eq!(swept, indexed, "start={start} k={k}");
+            }
+        }
+        // Validation errors surface identically too.
+        assert!(matches!(
+            process_query_indexed(&nodes, n(0), 1, 50.0, &classes(), line_dist),
+            Err(ClusterError::InvalidSizeConstraint { .. })
+        ));
+        assert!(matches!(
+            process_query_indexed(&nodes, n(9), 2, 50.0, &classes(), line_dist),
+            Err(ClusterError::UnknownNeighbor { .. })
+        ));
     }
 
     #[test]

@@ -444,8 +444,25 @@ impl PredictionFramework {
     pub fn leave(
         &mut self,
         x: NodeId,
-        mut oracle: impl FnMut(NodeId, NodeId) -> f64,
+        oracle: impl FnMut(NodeId, NodeId) -> f64,
     ) -> Result<(), EmbedError> {
+        self.leave_reporting(x, oracle).map(|_| ())
+    }
+
+    /// [`PredictionFramework::leave`] that also reports which hosts were
+    /// re-embedded: the orphaned anchor-subtree descendants of `x`, whose
+    /// labels (and therefore label distances) changed. Every host outside
+    /// the returned set keeps its label bit-for-bit, which is what lets a
+    /// label-distance index update only the affected slices after a leave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::UnknownHost`] if `x` never joined.
+    pub fn leave_reporting(
+        &mut self,
+        x: NodeId,
+        mut oracle: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Result<Vec<NodeId>, EmbedError> {
         let _span = bcc_obs::span!("embed.leave");
         if !self.tree.contains(x) {
             return Err(EmbedError::UnknownHost(x));
@@ -461,11 +478,12 @@ impl PredictionFramework {
         self.join_order.retain(|h| !subtree.contains(h));
         // Re-join the orphaned descendants (everything but x itself), in
         // their original BFS order so anchors are available again.
-        for &h in subtree.iter().filter(|&&h| h != x) {
+        let orphans: Vec<NodeId> = subtree.into_iter().filter(|&h| h != x).collect();
+        for &h in &orphans {
             self.attach(h, &mut oracle)?;
         }
         self.revision += 1;
-        Ok(())
+        Ok(orphans)
     }
 
     /// Predicted tree distance `d_T(u, v)`, or `None` if either host is

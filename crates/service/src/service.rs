@@ -332,6 +332,13 @@ impl ClusterService {
         // because execution can only fail then, and failures are never
         // cached.
         let digest = self.system.live_digest().unwrap_or(u64::MAX);
+        // The cluster index rides the same epoch discipline: a cache entry
+        // stamped at this epoch is exactly as fresh as the index.
+        debug_assert_eq!(
+            self.system.index_stamp().0,
+            epoch,
+            "cluster index epoch must track the cache epoch"
+        );
 
         let mut outcomes: Vec<BatchSlot> = vec![None; batch.len()];
         let mut misses: Vec<(usize, CacheKey)> = Vec::new();
@@ -531,6 +538,15 @@ impl ClusterService {
     /// every lookup is validated against.
     pub fn with_system_mut<R>(&mut self, f: impl FnOnce(&mut DynamicSystem) -> R) -> R {
         f(&mut self.system)
+    }
+
+    /// The `(epoch, digest)` stamp of the system's incrementally-maintained
+    /// cluster index (see [`DynamicSystem::index_stamp`]). The epoch half
+    /// is the same value cache keys are validated against, so the service
+    /// adopts the index transparently: any churn that would invalidate
+    /// cached answers also moves this stamp, and vice versa.
+    pub fn index_stamp(&self) -> (u64, u64) {
+        self.system.index_stamp()
     }
 
     /// The serving configuration.

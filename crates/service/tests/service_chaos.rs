@@ -106,6 +106,38 @@ fn fault_disturbance_without_membership_change_still_invalidates() {
 }
 
 #[test]
+fn index_stamp_moves_in_lockstep_with_cache_epoch() {
+    let mut service = verified_service(17, 8);
+    let query = ClusterQuery::new(NodeId::new(0), 2, 20.0);
+
+    serve_one(&mut service, query);
+    let (epoch0, digest0) = service.index_stamp();
+    assert_eq!(epoch0, service.system().epoch());
+
+    // Churn: any op that invalidates cache entries must also move the
+    // index stamp, so callers can adopt the index under the exact same
+    // freshness discipline.
+    service.crash(NodeId::new(3)).expect("crash active host");
+    let (epoch1, digest1) = service.index_stamp();
+    assert_eq!(epoch1, service.system().epoch());
+    assert!(epoch1 > epoch0);
+    assert_ne!(digest1, digest0, "membership change moves the index digest");
+
+    // The post-churn index is still exactly the cold-rebuild state, and
+    // was maintained without a hot-path rebuild.
+    let sys = service.system();
+    assert_eq!(
+        sys.cluster_index().digest(),
+        sys.rebuild_index_cold().digest()
+    );
+    assert_eq!(sys.cluster_index().stats().full_builds, 0);
+
+    // Serving still works against the post-churn index epoch.
+    let after = serve_one(&mut service, query);
+    assert!(!after.cached, "churn invalidated the cached answer");
+}
+
+#[test]
 fn serving_chaos_stays_stale_free_across_seeds() {
     for seed in [1u64, 2, 3] {
         let report = serve_chaos(

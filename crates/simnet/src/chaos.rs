@@ -793,6 +793,38 @@ fn check_oracles(sys: &DynamicSystem, step: usize) -> Result<(), Violation> {
             ),
         });
     }
+
+    // Index oracle: the incrementally-maintained cluster index must hold
+    // exactly the state a from-scratch rebuild of the current membership
+    // produces, and it must have gotten there without ever taking the
+    // O(n² log n) rebuild path.
+    let index = Violation {
+        step,
+        oracle: "index".into(),
+        detail: String::new(),
+    };
+    let live_index = sys.cluster_index();
+    let cold_index = sys.rebuild_index_cold();
+    if live_index.digest() != cold_index.digest() {
+        return Err(Violation {
+            detail: format!(
+                "incremental index digest {} differs from the cold-rebuild digest {}",
+                live_index.digest(),
+                cold_index.digest()
+            ),
+            ..index
+        });
+    }
+    if live_index.stats().full_builds != 0 {
+        return Err(Violation {
+            detail: format!(
+                "the live index was rebuilt from scratch {} time(s) — churn must \
+                 maintain it incrementally",
+                live_index.stats().full_builds
+            ),
+            ..index
+        });
+    }
     Ok(())
 }
 

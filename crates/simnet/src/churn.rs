@@ -16,9 +16,9 @@
 
 use std::collections::BTreeSet;
 
-use bcc_core::{Budgeted, ClusterError, QueryOutcome, RetryPolicy, WorkMeter};
+use bcc_core::{Budgeted, ClusterError, ClusterIndex, QueryOutcome, RetryPolicy, WorkMeter};
 use bcc_embed::{EmbedError, PredictionFramework};
-use bcc_metric::{BandwidthMatrix, DistanceMatrix, NodeId};
+use bcc_metric::{BandwidthMatrix, DistanceMatrix, FiniteMetric, NodeId};
 
 use crate::config::ConfigError;
 use crate::engine::SimNetwork;
@@ -72,6 +72,42 @@ impl std::error::Error for ChurnError {
     }
 }
 
+/// Canonical predicted distance for the cluster index: the *label*
+/// distance between two universe ids, always evaluated in `(lo, hi)`
+/// order so both index construction paths (incremental, cold rebuild)
+/// see bit-identical values regardless of argument order.
+///
+/// Label distances depend only on the two endpoints' labels, and churn
+/// of *other* hosts never touches an untouched host's label — which is
+/// exactly what makes incremental index maintenance sound: a membership
+/// delta can only change distances involving the delta's own hosts.
+fn fw_label_dist(fw: &PredictionFramework, a: u32, b: u32) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    fw.label_distance(NodeId::new(lo as usize), NodeId::new(hi as usize))
+        .unwrap_or(0.0)
+}
+
+/// The predicted label-distance metric over the index's active members,
+/// renumbered to index slots — the space the system-wide `_indexed`
+/// probes run on.
+struct ActiveLabelMetric<'a> {
+    fw: &'a PredictionFramework,
+    ids: &'a [u32],
+}
+
+impl FiniteMetric for ActiveLabelMetric<'_> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        fw_label_dist(self.fw, self.ids[i], self.ids[j])
+    }
+}
+
 /// A clustering system whose membership changes over time.
 ///
 /// The full host population and their pairwise bandwidth are fixed up
@@ -90,6 +126,11 @@ pub struct DynamicSystem {
     /// Chaos nemeses inflate this to model a slow region deterministically
     /// — logical cost, never wall-clock.
     work_cost: u64,
+    /// Sorted distance labels over the active membership, maintained
+    /// incrementally on every churn op — never rebuilt from scratch on the
+    /// hot path (asserted by the chaos oracles via
+    /// [`bcc_core::IndexStats::full_builds`]).
+    index: ClusterIndex,
 }
 
 impl DynamicSystem {
@@ -114,6 +155,7 @@ impl DynamicSystem {
         config.validate()?;
         let real_distance = config.transform.distance_matrix(&bandwidth);
         let framework = PredictionFramework::new(config.framework);
+        let index = ClusterIndex::empty(bandwidth.len());
         Ok(DynamicSystem {
             bandwidth,
             real_distance,
@@ -124,6 +166,7 @@ impl DynamicSystem {
             crashed: BTreeSet::new(),
             last_convergence_rounds: None,
             work_cost: 1,
+            index,
         })
     }
 
@@ -183,6 +226,10 @@ impl DynamicSystem {
         self.active.insert(host);
         // Joining is also how a crashed host comes back.
         self.crashed.remove(&host);
+        // One new labeled host: splice its distances into every index row.
+        let fw = &self.framework;
+        self.index
+            .apply_churn(&[], &[host.index() as u32], |a, b| fw_label_dist(fw, a, b));
         self.rebuild()
     }
 
@@ -195,11 +242,31 @@ impl DynamicSystem {
     /// host is not active; [`ChurnError::Convergence`] if the overlay fails
     /// to re-converge.
     pub fn leave(&mut self, host: NodeId) -> Result<(), ChurnError> {
-        let real = &self.real_distance;
-        self.framework
-            .leave(host, |a, b| real.get(a.index(), b.index()))?;
+        let orphans = self.detach(host)?;
         self.active.remove(&host);
+        self.update_index_after_departure(host, &orphans);
         self.rebuild()
+    }
+
+    /// The shared framework-departure step of [`DynamicSystem::leave`] and
+    /// [`DynamicSystem::crash`]: detaches `host`, re-embeds its orphaned
+    /// anchor descendants and reports them.
+    fn detach(&mut self, host: NodeId) -> Result<Vec<NodeId>, ChurnError> {
+        let real = &self.real_distance;
+        Ok(self
+            .framework
+            .leave_reporting(host, |a, b| real.get(a.index(), b.index()))?)
+    }
+
+    /// Incremental index delta for a departure: the departed host's rows
+    /// and entries vanish, the re-embedded orphans' distances are
+    /// recomputed; every other row slice survives untouched.
+    fn update_index_after_departure(&mut self, host: NodeId, orphans: &[NodeId]) {
+        let removed = [host.index() as u32];
+        let reembedded: Vec<u32> = orphans.iter().map(|h| h.index() as u32).collect();
+        let fw = &self.framework;
+        self.index
+            .apply_churn(&removed, &reembedded, |a, b| fw_label_dist(fw, a, b));
     }
 
     /// Crashes a host: an *involuntary* departure. Its anchor descendants
@@ -214,11 +281,10 @@ impl DynamicSystem {
     /// host is not active; [`ChurnError::Convergence`] if the overlay fails
     /// to re-converge.
     pub fn crash(&mut self, host: NodeId) -> Result<(), ChurnError> {
-        let real = &self.real_distance;
-        self.framework
-            .leave(host, |a, b| real.get(a.index(), b.index()))?;
+        let orphans = self.detach(host)?;
         self.active.remove(&host);
         self.crashed.insert(host);
+        self.update_index_after_departure(host, &orphans);
         self.rebuild()
     }
 
@@ -274,6 +340,33 @@ impl DynamicSystem {
         }
         match &self.network {
             Some(net) => net.query(start, k, bandwidth),
+            None => Err(ClusterError::UnknownNeighbor {
+                neighbor: start.index(),
+            }),
+        }
+    }
+
+    /// [`DynamicSystem::query`] with every node's local probe answered
+    /// through a per-node cluster index
+    /// (see [`bcc_core::process_query_indexed`]): bit-identical outcomes,
+    /// sub-cubic local scans.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSystem::query`].
+    pub fn query_indexed(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+    ) -> Result<QueryOutcome, ClusterError> {
+        if self.crashed.contains(&start) {
+            return Err(ClusterError::NodeUnavailable {
+                node: start.index(),
+            });
+        }
+        match &self.network {
+            Some(net) => net.query_indexed(start, k, bandwidth),
             None => Err(ClusterError::UnknownNeighbor {
                 neighbor: start.index(),
             }),
@@ -385,6 +478,73 @@ impl DynamicSystem {
     /// [`DynamicSystem::network_mut`].
     pub fn live_digest(&self) -> Option<u64> {
         self.network.as_ref().map(SimNetwork::digest)
+    }
+
+    /// The incrementally-maintained cluster index over the active
+    /// membership: one sorted distance row per active host in the
+    /// predicted (label) metric, slot order = ascending host id.
+    pub fn cluster_index(&self) -> &ClusterIndex {
+        &self.index
+    }
+
+    /// The `(epoch, digest)` stamp of the live index — the same discipline
+    /// the service cache keys results by: the epoch is
+    /// [`DynamicSystem::epoch`] and the digest is the index content digest,
+    /// so a stamp match means the index answers are valid for the cached
+    /// membership.
+    pub fn index_stamp(&self) -> (u64, u64) {
+        (self.epoch(), self.index.digest())
+    }
+
+    /// Builds the index the current membership would get *from scratch* —
+    /// the `O(n² log n)` cold path the incremental maintenance avoids.
+    /// Chaos oracles compare its digest against the live
+    /// [`DynamicSystem::cluster_index`] after every churn schedule; the
+    /// two are equal because untouched hosts keep their labels bit-for-bit
+    /// across other hosts' churn.
+    pub fn rebuild_index_cold(&self) -> ClusterIndex {
+        let ids: Vec<u32> = self.active.iter().map(|h| h.index() as u32).collect();
+        let fw = &self.framework;
+        ClusterIndex::build(self.bandwidth.len(), &ids, |a, b| fw_label_dist(fw, a, b))
+    }
+
+    /// Centralized indexed probe: `k` active hosts with predicted pairwise
+    /// bandwidth ≥ `bandwidth`, answered through the live index in its
+    /// slot order (ascending host id) — bit-identical members to the
+    /// brute-force pair sweep over the same predicted metric. Returns
+    /// `None` when no such cluster exists (or `bandwidth` is not positive
+    /// and finite).
+    pub fn find_cluster_indexed(&self, k: usize, bandwidth: f64) -> Option<Vec<NodeId>> {
+        if !bandwidth.is_finite() || bandwidth <= 0.0 {
+            return None;
+        }
+        let l = self.config.transform.distance_constraint(bandwidth);
+        let metric = ActiveLabelMetric {
+            fw: &self.framework,
+            ids: self.index.ids(),
+        };
+        bcc_core::find_cluster_indexed(&metric, &self.index, k, l).map(|slots| {
+            slots
+                .into_iter()
+                .map(|s| NodeId::new(self.index.ids()[s] as usize))
+                .collect()
+        })
+    }
+
+    /// Centralized indexed `max_cluster_size` over the active membership:
+    /// the largest `k` for which [`DynamicSystem::find_cluster_indexed`]
+    /// would succeed at `bandwidth`. `0` when the system is empty or the
+    /// bandwidth is invalid.
+    pub fn max_cluster_size_indexed(&self, bandwidth: f64) -> usize {
+        if !bandwidth.is_finite() || bandwidth <= 0.0 || self.index.is_empty() {
+            return 0;
+        }
+        let l = self.config.transform.distance_constraint(bandwidth);
+        let metric = ActiveLabelMetric {
+            fw: &self.framework,
+            ids: self.index.ids(),
+        };
+        bcc_core::max_cluster_size_indexed(&metric, &self.index, l)
     }
 
     /// The gossip digest a *cold restart* of the current membership would
@@ -630,6 +790,97 @@ mod tests {
             "no faults → no degradation: {:?}",
             out.degradation
         );
+    }
+
+    #[test]
+    fn index_tracks_churn_incrementally() {
+        let mut s = dynamic();
+        // Every kind of churn op, with the digest checked against a cold
+        // rebuild after each one.
+        let check = |s: &DynamicSystem, what: &str| {
+            let cold = s.rebuild_index_cold();
+            assert_eq!(
+                s.cluster_index().digest(),
+                cold.digest(),
+                "incremental digest diverged after {what}"
+            );
+            assert_eq!(
+                s.cluster_index().ids().len(),
+                s.len(),
+                "index membership mismatch after {what}"
+            );
+        };
+        for i in 0..5 {
+            s.join(n(i)).unwrap();
+            check(&s, "join");
+        }
+        s.leave(n(1)).unwrap();
+        check(&s, "leave");
+        s.crash(n(0)).unwrap();
+        check(&s, "crash of the overlay root");
+        s.recover(n(0)).unwrap();
+        check(&s, "recover");
+        s.join(n(5)).unwrap();
+        s.leave(n(3)).unwrap();
+        check(&s, "mixed churn");
+        // The live index was never rebuilt from scratch: every op was an
+        // incremental delta. 5 joins + leave + crash + recover + join +
+        // leave = 10 updates.
+        let stats = s.cluster_index().stats();
+        assert_eq!(
+            stats.full_builds, 0,
+            "no O(n² log n) rebuild on the hot path"
+        );
+        assert_eq!(stats.incremental_updates, 10);
+    }
+
+    #[test]
+    fn index_stamp_follows_epoch() {
+        let mut s = dynamic();
+        assert_eq!(s.index_stamp(), (0, s.cluster_index().digest()));
+        s.join(n(0)).unwrap();
+        s.join(n(2)).unwrap();
+        let (epoch, digest) = s.index_stamp();
+        assert_eq!(epoch, s.epoch());
+        assert_eq!(digest, s.cluster_index().digest());
+        let before = s.index_stamp();
+        s.leave(n(2)).unwrap();
+        assert_ne!(s.index_stamp(), before, "churn moves the stamp");
+    }
+
+    #[test]
+    fn indexed_probe_matches_pair_sweep_on_live_metric() {
+        use bcc_core::{find_cluster, max_cluster_size};
+        let mut s = dynamic();
+        for i in 0..6 {
+            s.join(n(i)).unwrap();
+        }
+        s.leave(n(4)).unwrap();
+        // Materialize the same predicted label metric the index serves,
+        // in index slot order, and compare against the brute-force oracle.
+        let ids: Vec<u32> = s.cluster_index().ids().to_vec();
+        let fw = s.framework();
+        let d = DistanceMatrix::from_fn(ids.len(), |i, j| fw_label_dist(fw, ids[i], ids[j]));
+        for bw in [10.0, 30.0, 40.0, 80.0, 100.0] {
+            let l = s.config().transform.distance_constraint(bw);
+            for k in 2..=ids.len() {
+                let expect = find_cluster(&d, k, l).map(|slots| {
+                    slots
+                        .into_iter()
+                        .map(|i| n(ids[i] as usize))
+                        .collect::<Vec<_>>()
+                });
+                assert_eq!(s.find_cluster_indexed(k, bw), expect, "k={k} bw={bw}");
+            }
+            assert_eq!(
+                s.max_cluster_size_indexed(bw),
+                max_cluster_size(&d, l),
+                "bw={bw}"
+            );
+        }
+        // Invalid bandwidths degrade to the empty answer, not a panic.
+        assert_eq!(s.find_cluster_indexed(2, f64::NAN), None);
+        assert_eq!(s.max_cluster_size_indexed(-1.0), 0);
     }
 
     #[test]

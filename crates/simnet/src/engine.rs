@@ -452,6 +452,30 @@ impl SimNetwork {
         )
     }
 
+    /// [`SimNetwork::query`] answering each node's local probe through a
+    /// [`bcc_core::ClusterIndex`] over its clustering space (see
+    /// [`bcc_core::process_query_indexed`]) — the outcome is bit-identical
+    /// to [`SimNetwork::query`]; only the per-node scan cost changes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimNetwork::query`].
+    pub fn query_indexed(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+    ) -> Result<QueryOutcome, bcc_core::ClusterError> {
+        bcc_core::process_query_indexed(
+            &self.nodes,
+            start,
+            k,
+            bandwidth,
+            &self.config.classes,
+            self.predicted_dist(),
+        )
+    }
+
     /// [`SimNetwork::query`] with an explicit forwarding policy.
     ///
     /// # Errors

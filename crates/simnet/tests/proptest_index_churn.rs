@@ -1,0 +1,75 @@
+//! Property test: under arbitrary churn schedules the incrementally
+//! maintained cluster index stays digest-identical to a from-scratch
+//! rebuild of the live membership, without ever taking a full rebuild
+//! on the churn hot path.
+
+use bcc_core::BandwidthClasses;
+use bcc_metric::{BandwidthMatrix, NodeId, RationalTransform};
+use bcc_simnet::{DynamicSystem, SystemConfig};
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 8;
+
+fn system_from_caps(caps: &[f64]) -> DynamicSystem {
+    let bandwidth = BandwidthMatrix::from_fn(caps.len(), |i, j| caps[i].min(caps[j]));
+    let classes = BandwidthClasses::new(vec![40.0, 80.0], RationalTransform::default());
+    DynamicSystem::new(bandwidth, SystemConfig::new(classes))
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Join(usize),
+    Leave(usize),
+    Crash(usize),
+    Recover(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0usize..4, 0usize..UNIVERSE).prop_map(|(kind, host)| match kind {
+        0 => Op::Join(host),
+        1 => Op::Leave(host),
+        2 => Op::Crash(host),
+        _ => Op::Recover(host),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_index_matches_cold_rebuild_under_churn(
+        caps in proptest::collection::vec(10.0f64..100.0, UNIVERSE),
+        ops in proptest::collection::vec(arb_op(), 1..24),
+    ) {
+        let mut sys = system_from_caps(&caps);
+        let mut applied = 0u64;
+        for op in ops {
+            let result = match op {
+                Op::Join(h) => sys.join(NodeId::new(h)),
+                Op::Leave(h) => sys.leave(NodeId::new(h)),
+                Op::Crash(h) => sys.crash(NodeId::new(h)),
+                Op::Recover(h) => sys.recover(NodeId::new(h)),
+            };
+            // Invalid transitions (double-join, leave of an absent host,
+            // recover of a non-crashed host, ...) are rejected and must
+            // leave the index untouched; valid ones must keep it exactly
+            // at the cold-rebuild state.
+            if result.is_ok() {
+                applied += 1;
+            }
+            prop_assert_eq!(
+                sys.cluster_index().digest(),
+                sys.rebuild_index_cold().digest(),
+                "digest diverged after {:?}", op
+            );
+        }
+        let stats = sys.cluster_index().stats();
+        prop_assert_eq!(stats.full_builds, 0, "churn path took a full rebuild");
+        prop_assert!(
+            stats.incremental_updates >= applied,
+            "expected at least {} incremental updates, saw {}",
+            applied,
+            stats.incremental_updates
+        );
+    }
+}
