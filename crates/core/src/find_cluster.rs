@@ -457,7 +457,7 @@ pub const PAR_SERIAL_CUTOFF: usize = 2048;
 ///
 /// Satisfiable probes usually exit within the first few hundred pairs in
 /// scan order; paying pool dispatch for those is the second half of the
-/// sat-probe pessimization (the first is [`PAR_SERIAL_CUTOFF`]). The
+/// sat-probe pessimization (the first is `PAR_SERIAL_CUTOFF`). The
 /// prefix is scanned in exact serial order, so an early hit returns the
 /// bit-identical serial winner without waking a single worker; only scans
 /// that survive the prefix — the genuinely hard ones — fan out over the
@@ -476,10 +476,10 @@ pub fn find_cluster_par<M: FiniteMetric>(metric: &M, k: usize, l: f64) -> Option
 /// Parallel [`find_cluster_ordered`]: materializes the metric into a dense
 /// matrix once, pre-filters and (for
 /// [`PairOrder::AscendingDiameter`]) sorts the pair list, then scans a
-/// serial prefix ([`PAR_SERIAL_PREFIX`]) before fanning the remainder out
+/// serial prefix (`PAR_SERIAL_PREFIX`) before fanning the remainder out
 /// on the pool with per-worker scratch buffers and atomic early exit on the
 /// first (lowest-index) satisfying pair. Spaces of at most
-/// [`PAR_SERIAL_CUTOFF`] total pairs delegate to the serial kernel
+/// `PAR_SERIAL_CUTOFF` total pairs delegate to the serial kernel
 /// entirely; either way the result is bit-identical to the serial scan.
 pub fn find_cluster_ordered_par<M: FiniteMetric>(
     metric: &M,
@@ -640,7 +640,7 @@ pub fn max_cluster_size<M: FiniteMetric>(metric: &M, l: f64) -> usize {
 /// Parallel [`max_cluster_size`]: `max |S*_pq|` over the pre-filtered pair
 /// list, chunked across the `bcc-par` pool. `max` reduces exactly, so the
 /// result equals the serial scan's for any thread count. Spaces of at most
-/// [`PAR_SERIAL_CUTOFF`] total pairs run the serial scan outright.
+/// `PAR_SERIAL_CUTOFF` total pairs run the serial scan outright.
 pub fn max_cluster_size_par<M: FiniteMetric>(metric: &M, l: f64) -> usize {
     let n = metric.len();
     if n * n.saturating_sub(1) / 2 <= PAR_SERIAL_CUTOFF {

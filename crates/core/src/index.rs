@@ -182,6 +182,98 @@ impl ClusterIndex {
         })
     }
 
+    /// Rebuilds an index from exported parts: the universe bound, the
+    /// ascending member ids, and each member's sorted row as parallel
+    /// `(distances, ids)` vectors (the exact shape [`ClusterIndex::row`]
+    /// exposes). Restoring a snapshot this way costs `O(m·n)` — no
+    /// re-sorting — and counts as **neither** a build nor an update:
+    /// `full_builds` stays 0, which is how a warm-restart oracle proves no
+    /// `O(n² log n)` rebuild ran.
+    ///
+    /// The resulting [`ClusterIndex::digest`] is recomputed from the rows,
+    /// so it equals the exporting index's digest exactly when the rows
+    /// round-tripped bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation when the parts are not
+    /// a valid index: unsorted/duplicate/out-of-universe ids, row count or
+    /// length mismatches, non-finite or negative distances, entries out of
+    /// canonical `(d, id)` order, or row entries that are not members.
+    pub fn from_parts(
+        universe: usize,
+        ids: Vec<u32>,
+        rows: Vec<(Vec<f64>, Vec<u32>)>,
+    ) -> Result<Self, String> {
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err("member ids must be strictly ascending".into());
+        }
+        if let Some(&id) = ids.last() {
+            if id as usize >= universe {
+                return Err(format!("id {id} outside universe {universe}"));
+            }
+        }
+        if rows.len() != ids.len() {
+            return Err(format!("{} rows for {} members", rows.len(), ids.len()));
+        }
+        let mut slot_of = vec![ABSENT; universe];
+        for (slot, &id) in ids.iter().enumerate() {
+            slot_of[id as usize] = slot as u32;
+        }
+        let mut checked = Vec::with_capacity(rows.len());
+        // `last_seen[id] == slot` marks `id` as already present in `slot`'s
+        // row — a duplicate would shadow a missing member (lengths match).
+        let mut last_seen = vec![ABSENT; universe];
+        for (slot, (d, id)) in rows.into_iter().enumerate() {
+            let owner = ids[slot];
+            if d.len() != ids.len() || id.len() != ids.len() {
+                return Err(format!(
+                    "row of {owner} has {}/{} entries for {} members",
+                    d.len(),
+                    id.len(),
+                    ids.len()
+                ));
+            }
+            for (pos, (&dv, &iv)) in d.iter().zip(&id).enumerate() {
+                if !dv.is_finite() || dv < 0.0 {
+                    return Err(format!("row of {owner} has invalid distance {dv}"));
+                }
+                if (iv as usize) >= universe || slot_of[iv as usize] == ABSENT {
+                    return Err(format!("row of {owner} references non-member {iv}"));
+                }
+                if last_seen[iv as usize] == slot as u32 {
+                    return Err(format!("row of {owner} lists member {iv} twice"));
+                }
+                last_seen[iv as usize] = slot as u32;
+                if pos > 0 {
+                    let prev = (d[pos - 1], id[pos - 1]);
+                    if prev.0.total_cmp(&dv).then(prev.1.cmp(&iv)).is_ge() {
+                        return Err(format!(
+                            "row of {owner} breaks canonical (d, id) order at entry {pos}"
+                        ));
+                    }
+                }
+            }
+            checked.push(Row { d, id });
+        }
+        let mut index = ClusterIndex {
+            universe,
+            ids,
+            slot_of,
+            rows: checked,
+            row_digest: Vec::new(),
+            digest: 0,
+            stats: IndexStats::default(),
+        };
+        index.rebuild_digests();
+        Ok(index)
+    }
+
+    /// The id bound the index was created with: all member ids are below it.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
     /// Number of members.
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -1024,6 +1116,83 @@ mod tests {
         // Different membership digests differ.
         let other = ClusterIndex::build(pos.len(), &[0, 1, 2, 3], dist);
         assert_ne!(c.digest(), other.digest());
+    }
+
+    #[test]
+    fn from_parts_round_trips_digest_without_builds() {
+        let pos = [0.0f64, 2.0, 3.0, 7.0, 8.0, 8.5];
+        let dist = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
+        let mut idx = ClusterIndex::build(pos.len(), &[0, 1, 2, 3, 4, 5], dist);
+        idx.apply_churn(&[2], &[], dist);
+
+        let parts: Vec<(Vec<f64>, Vec<u32>)> = (0..idx.len())
+            .map(|s| {
+                let (d, id) = idx.row(s);
+                (d.to_vec(), id.to_vec())
+            })
+            .collect();
+        let restored = ClusterIndex::from_parts(idx.universe(), idx.ids().to_vec(), parts).unwrap();
+        assert_eq!(restored.digest(), idx.digest());
+        assert_eq!(restored.ids(), idx.ids());
+        assert_eq!(restored.stats().full_builds, 0, "a restore is not a build");
+        assert_eq!(restored.stats().incremental_updates, 0);
+        // Restored index keeps answering incrementally.
+        let mut restored = restored;
+        restored.apply_churn(&[], &[2], dist);
+        let mut live = idx;
+        live.apply_churn(&[], &[2], dist);
+        assert_eq!(restored.digest(), live.digest());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_rows() {
+        let mk = || {
+            let pos = [0.0f64, 2.0, 5.0];
+            let dist = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
+            let idx = ClusterIndex::build(3, &[0, 1, 2], dist);
+            let parts: Vec<(Vec<f64>, Vec<u32>)> = (0..idx.len())
+                .map(|s| {
+                    let (d, id) = idx.row(s);
+                    (d.to_vec(), id.to_vec())
+                })
+                .collect();
+            (idx.ids().to_vec(), parts)
+        };
+
+        let (ids, parts) = mk();
+        assert!(ClusterIndex::from_parts(3, ids, parts).is_ok());
+
+        // Unsorted ids.
+        let (_, parts) = mk();
+        assert!(ClusterIndex::from_parts(3, vec![1, 0, 2], parts).is_err());
+
+        // Entry order violation.
+        let (ids, mut parts) = mk();
+        parts[0].0.swap(1, 2);
+        parts[0].1.swap(1, 2);
+        let err = ClusterIndex::from_parts(3, ids, parts).unwrap_err();
+        assert!(err.contains("canonical"), "{err}");
+
+        // Non-member reference.
+        let (ids, mut parts) = mk();
+        parts[1].1[2] = 9;
+        assert!(ClusterIndex::from_parts(16, ids, parts).is_err());
+
+        // Duplicate member in a row.
+        let (ids, mut parts) = mk();
+        parts[2].1[1] = parts[2].1[0];
+        parts[2].0[1] = parts[2].0[0];
+        assert!(ClusterIndex::from_parts(3, ids, parts).is_err());
+
+        // Row count mismatch.
+        let (ids, mut parts) = mk();
+        parts.pop();
+        assert!(ClusterIndex::from_parts(3, ids, parts).is_err());
+
+        // NaN distance.
+        let (ids, mut parts) = mk();
+        parts[0].0[2] = f64::NAN;
+        assert!(ClusterIndex::from_parts(3, ids, parts).is_err());
     }
 
     #[test]

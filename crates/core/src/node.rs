@@ -189,6 +189,25 @@ impl ClusterNode {
         &self.own_max
     }
 
+    /// Restores `aggrCRT[x]` from a checkpoint without recomputing it —
+    /// the warm-restart path, which must reproduce the exporting node's
+    /// state bit-for-bit (and skip the local cluster searches
+    /// [`ClusterNode::recompute_own_max`] would run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoMatchingClass`] if the row length does not
+    /// match the class count.
+    pub fn restore_own_max(&mut self, own_max: Vec<usize>) -> Result<(), ClusterError> {
+        if own_max.len() != self.class_count {
+            return Err(ClusterError::NoMatchingClass {
+                bandwidth: f64::NAN,
+            });
+        }
+        self.own_max = own_max;
+        Ok(())
+    }
+
     /// Algorithm 3, sender side: the `propCRT` row for neighbor `to` —
     /// per class, the best cluster size among this node and every direction
     /// except `to`.

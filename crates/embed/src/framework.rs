@@ -26,7 +26,8 @@ use crate::anchor::AnchorTree;
 use crate::error::EmbedError;
 use crate::grow;
 use crate::label::DistanceLabel;
-use crate::tree::PredictionTree;
+use crate::state::{EdgeState, FrameworkState};
+use crate::tree::{Edge, PredictionTree};
 
 /// Median of a sample (in-place partial sort); `0` for an empty slice.
 fn median(values: &mut [f64]) -> f64 {
@@ -612,6 +613,172 @@ impl PredictionFramework {
         Ok(())
     }
 
+    /// Exports the complete framework state as plain data.
+    ///
+    /// The snapshot is exact: feeding it back through
+    /// [`PredictionFramework::from_state`] (with the same config) yields a
+    /// framework whose every future operation — joins, leaves, digests,
+    /// randomized base selections — proceeds bit-identically to this one.
+    pub fn export_state(&self) -> FrameworkState {
+        FrameworkState {
+            vertices: self.tree.vertices.clone(),
+            edges: self
+                .tree
+                .edges
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|e| EdgeState {
+                        a: e.a,
+                        b: e.b,
+                        weight: e.weight,
+                        owner: e.owner,
+                    })
+                })
+                .collect(),
+            adj: self.tree.adj.clone(),
+            leaf_of: self.tree.leaf_of.clone(),
+            anchor: self
+                .anchor
+                .bfs_order()
+                .into_iter()
+                .map(|h| (h, self.anchor.parent(h)))
+                .collect(),
+            labels: self.labels.clone(),
+            join_order: self.join_order.clone(),
+            probes: self.probes,
+            revision: self.revision,
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Rebuilds a framework from an exported [`FrameworkState`].
+    ///
+    /// `config` is not part of the snapshot; callers supply the same
+    /// configuration the exporting framework ran with (it lives in the
+    /// system config alongside the snapshot).
+    ///
+    /// Validation is structural and `O(V + E)`: arena index bounds, tree
+    /// invariants, anchor invariants, and host-set/label agreement. The
+    /// `O(n²)` label-vs-tree distance audit of
+    /// [`PredictionFramework::check_integrity`] is deliberately *not* run
+    /// here — warm restarts must stay cheap, and persisted payloads are
+    /// already checksum-guarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::Inconsistent`] describing the first violation.
+    pub fn from_state(state: FrameworkState, config: FrameworkConfig) -> Result<Self, EmbedError> {
+        let bad = |detail: String| EmbedError::Inconsistent(detail);
+        let n_vertices = state.vertices.len();
+        let n_edges = state.edges.len();
+        if state.adj.len() != n_vertices {
+            return Err(bad(format!(
+                "adjacency has {} rows for {n_vertices} vertices",
+                state.adj.len()
+            )));
+        }
+        for (vi, row) in state.adj.iter().enumerate() {
+            for &ei in row {
+                if ei >= n_edges {
+                    return Err(bad(format!(
+                        "vertex {vi} references edge {ei} of {n_edges}"
+                    )));
+                }
+            }
+        }
+        let edges: Vec<Option<Edge>> = state
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(ei, slot)| {
+                slot.as_ref()
+                    .map(|e| {
+                        if e.a >= n_vertices || e.b >= n_vertices {
+                            return Err(bad(format!("edge {ei} endpoint out of bounds")));
+                        }
+                        Ok(Edge {
+                            a: e.a,
+                            b: e.b,
+                            weight: e.weight,
+                            owner: e.owner,
+                        })
+                    })
+                    .transpose()
+            })
+            .collect::<Result<_, _>>()?;
+        for (hid, slot) in state.leaf_of.iter().enumerate() {
+            if let Some(l) = slot {
+                if *l >= n_vertices {
+                    return Err(bad(format!("leaf_of[n{hid}] = {l} out of bounds")));
+                }
+            }
+        }
+        let tree = PredictionTree {
+            vertices: state.vertices,
+            edges,
+            adj: state.adj,
+            leaf_of: state.leaf_of,
+        };
+        tree.check_invariants()
+            .map_err(|detail| bad(format!("prediction tree: {detail}")))?;
+
+        let mut anchor = AnchorTree::new();
+        for &(host, parent) in &state.anchor {
+            match parent {
+                None => anchor.add_root(host)?,
+                Some(p) => anchor.add_child(host, p)?,
+            }
+        }
+        anchor.check_invariants()?;
+
+        let hosts = tree.hosts();
+        if hosts.len() != anchor.len() {
+            return Err(bad(format!(
+                "prediction tree has {} hosts, anchor tree has {}",
+                hosts.len(),
+                anchor.len()
+            )));
+        }
+        let labeled = state.labels.iter().filter(|slot| slot.is_some()).count();
+        if labeled != hosts.len() {
+            return Err(bad(format!("{labeled} labels for {} hosts", hosts.len())));
+        }
+        for &h in &hosts {
+            if !anchor.contains(h) {
+                return Err(bad(format!(
+                    "host {h} embedded but missing from the anchor tree"
+                )));
+            }
+            match state.labels.get(h.index()).and_then(Option::as_ref) {
+                None => return Err(bad(format!("host {h} has no label"))),
+                Some(label) if label.host() != h => {
+                    return Err(bad(format!(
+                        "label at slot {h} belongs to {}",
+                        label.host()
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        let mut order_sorted = state.join_order.clone();
+        order_sorted.sort_unstable();
+        order_sorted.dedup();
+        if order_sorted != hosts {
+            return Err(bad("join order does not match the embedded host set".into()));
+        }
+
+        Ok(PredictionFramework {
+            tree,
+            anchor,
+            labels: state.labels,
+            config,
+            rng: StdRng::from_state(state.rng),
+            join_order: state.join_order,
+            probes: state.probes,
+            revision: state.revision,
+        })
+    }
+
     fn set_label(&mut self, host: NodeId, label: DistanceLabel) {
         if self.labels.len() <= host.index() {
             self.labels.resize(host.index() + 1, None);
@@ -901,6 +1068,73 @@ mod tests {
         let err = fw.check_integrity().unwrap_err();
         assert!(matches!(err, EmbedError::Inconsistent(_)));
         assert!(err.to_string().contains("label"));
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let d = caterpillar(12);
+        let oracle = |a: NodeId, b: NodeId| d.get(a.index(), b.index());
+        let cfg = FrameworkConfig {
+            base: BaseStrategy::Random, // consume RNG so its state matters
+            seed: 7,
+            ..Default::default()
+        };
+        let mut fw = PredictionFramework::build_from_matrix(&d, cfg);
+        fw.leave(n(4), oracle).unwrap(); // leave dead arena slots behind
+        let restored = PredictionFramework::from_state(fw.export_state(), cfg).unwrap();
+        assert_eq!(restored.revision(), fw.revision());
+        assert_eq!(restored.probe_count(), fw.probe_count());
+        assert_eq!(restored.structure_digest(), fw.structure_digest());
+        restored.check_integrity().unwrap();
+        for i in 0..12 {
+            for j in 0..12 {
+                let a = fw.distance(n(i), n(j)).map(f64::to_bits);
+                let b = restored.distance(n(i), n(j)).map(f64::to_bits);
+                assert_eq!(a, b, "distance ({i},{j}) must match bit-for-bit");
+            }
+        }
+        // Future randomized operations proceed identically.
+        fw.join(n(4), oracle).unwrap();
+        let mut restored = restored;
+        restored.join(n(4), oracle).unwrap();
+        assert_eq!(fw.structure_digest(), restored.structure_digest());
+        assert_eq!(
+            fw.distance(n(4), n(7)).map(f64::to_bits),
+            restored.distance(n(4), n(7)).map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn from_state_rejects_corruption() {
+        let d = caterpillar(6);
+        let cfg = FrameworkConfig::default();
+        let fw = PredictionFramework::build_from_matrix(&d, cfg);
+
+        // Out-of-bounds adjacency entry.
+        let mut s = fw.export_state();
+        s.adj[0].push(9999);
+        assert!(matches!(
+            PredictionFramework::from_state(s, cfg),
+            Err(EmbedError::Inconsistent(_))
+        ));
+
+        // Missing label.
+        let mut s = fw.export_state();
+        s.labels[2] = None;
+        let err = PredictionFramework::from_state(s, cfg).unwrap_err();
+        assert!(err.to_string().contains("label"));
+
+        // Join order drift.
+        let mut s = fw.export_state();
+        s.join_order.pop();
+        assert!(PredictionFramework::from_state(s, cfg).is_err());
+
+        // Broken tree (dangling edge endpoint).
+        let mut s = fw.export_state();
+        if let Some(e) = s.edges.iter_mut().flatten().next() {
+            e.a = usize::MAX;
+        }
+        assert!(PredictionFramework::from_state(s, cfg).is_err());
     }
 
     #[test]

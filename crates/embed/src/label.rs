@@ -63,6 +63,32 @@ impl DistanceLabel {
         DistanceLabel { entries }
     }
 
+    /// Rebuilds a label from a previously exported entry chain (see
+    /// [`DistanceLabel::entries`]). Deserializers use this to restore labels
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation if the chain is empty or any
+    /// entry carries a negative or non-finite `pos`/`leaf_weight`.
+    pub fn from_entries(entries: Vec<LabelEntry>) -> Result<Self, String> {
+        if entries.is_empty() {
+            return Err("label entry chain is empty".into());
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if !e.pos.is_finite() || e.pos < 0.0 {
+                return Err(format!("entry {i} has invalid pos {}", e.pos));
+            }
+            if !e.leaf_weight.is_finite() || e.leaf_weight < 0.0 {
+                return Err(format!(
+                    "entry {i} has invalid leaf weight {}",
+                    e.leaf_weight
+                ));
+            }
+        }
+        Ok(DistanceLabel { entries })
+    }
+
     /// The host this label belongs to.
     pub fn host(&self) -> NodeId {
         self.entries.last().expect("labels are non-empty").host

@@ -40,6 +40,7 @@ mod framework;
 mod grow;
 mod label;
 mod oracle;
+mod state;
 mod tree;
 
 pub use anchor::AnchorTree;
@@ -49,4 +50,5 @@ pub use framework::{BaseStrategy, EndStrategy, FrameworkConfig, PredictionFramew
 pub use grow::{select_end_exact, Placement};
 pub use label::{DistanceLabel, LabelEntry};
 pub use oracle::MeasurementModel;
+pub use state::{EdgeState, FrameworkState};
 pub use tree::{PredictionTree, Vertex};

@@ -1,0 +1,66 @@
+//! Plain-data checkpoint types for a [`PredictionFramework`].
+//!
+//! [`FrameworkState`] captures everything a framework needs to resume
+//! *bit-for-bit*: the prediction-tree arena (including dead slots, whose
+//! indices future splits depend on), the anchor overlay in BFS order, every
+//! distance label, the join order, probe/revision counters, and the raw
+//! words of the base-selection RNG. Serializers outside this crate (the
+//! persistence layer in `bcc-simnet`) read these fields directly and
+//! rebuild through [`PredictionFramework::from_state`].
+//!
+//! [`PredictionFramework`]: crate::framework::PredictionFramework
+//! [`PredictionFramework::from_state`]: crate::framework::PredictionFramework::from_state
+
+use bcc_metric::NodeId;
+
+use crate::label::DistanceLabel;
+use crate::tree::Vertex;
+
+/// One edge of the prediction-tree arena, with public fields so external
+/// serializers can copy it out verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeState {
+    /// Arena index of one endpoint.
+    pub a: usize,
+    /// Arena index of the other endpoint.
+    pub b: usize,
+    /// Non-negative edge weight. Persist layers must round-trip this through
+    /// [`f64::to_bits`]/[`f64::from_bits`] to keep restores bit-identical.
+    pub weight: f64,
+    /// Host whose join created (the pre-split version of) this edge.
+    pub owner: NodeId,
+}
+
+/// A complete, self-contained checkpoint of a
+/// [`PredictionFramework`](crate::framework::PredictionFramework).
+///
+/// The arena vectors mirror the tree's internal layout exactly: `None`
+/// entries are *dead slots* left by departures and must be preserved, since
+/// live indices (and therefore all future growth) are positions in these
+/// vectors. Adjacency lists keep their order — gossip neighbor iteration
+/// and edge splits both depend on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkState {
+    /// Vertex arena; `None` marks a dead slot.
+    pub vertices: Vec<Option<Vertex>>,
+    /// Edge arena; `None` marks a dead slot.
+    pub edges: Vec<Option<EdgeState>>,
+    /// Adjacency: vertex index → incident edge indices, in creation order.
+    pub adj: Vec<Vec<usize>>,
+    /// Host id → leaf vertex index, `None` for absent hosts.
+    pub leaf_of: Vec<Option<usize>>,
+    /// Anchor overlay as `(host, parent)` pairs in BFS order from the root
+    /// (the root's parent is `None`). Replaying child insertions in this
+    /// order reproduces every child list exactly.
+    pub anchor: Vec<(NodeId, Option<NodeId>)>,
+    /// Host id → distance label, `None` for absent hosts.
+    pub labels: Vec<Option<DistanceLabel>>,
+    /// Hosts in the order they joined (departures removed).
+    pub join_order: Vec<NodeId>,
+    /// Total measurements performed across all joins.
+    pub probes: u64,
+    /// Monotone membership revision (the serving epoch).
+    pub revision: u64,
+    /// Raw xoshiro256++ state of the base-selection RNG.
+    pub rng: [u64; 4],
+}

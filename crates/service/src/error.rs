@@ -3,6 +3,7 @@
 use std::fmt;
 
 use bcc_core::QueryError;
+use bcc_simnet::PersistError;
 
 /// An error from the serving front end.
 ///
@@ -42,11 +43,20 @@ pub enum ServiceError {
     ZeroQueueCapacity,
     /// `batch_max` must allow at least one query per batch.
     ZeroBatchMax,
+    /// Warm-restarting the service from durable storage failed (see
+    /// [`ClusterService::recover_from`](crate::ClusterService::recover_from)).
+    Persist(PersistError),
 }
 
 impl From<QueryError> for ServiceError {
     fn from(e: QueryError) -> Self {
         ServiceError::Rejected(e)
+    }
+}
+
+impl From<PersistError> for ServiceError {
+    fn from(e: PersistError) -> Self {
+        ServiceError::Persist(e)
     }
 }
 
@@ -72,6 +82,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Rejected(e) => write!(f, "query rejected: {e}"),
             ServiceError::ZeroQueueCapacity => write!(f, "queue_capacity must be at least 1"),
             ServiceError::ZeroBatchMax => write!(f, "batch_max must be at least 1"),
+            ServiceError::Persist(e) => write!(f, "warm restart failed: {e}"),
         }
     }
 }
@@ -80,6 +91,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Rejected(e) => Some(e),
+            ServiceError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -111,5 +123,11 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         assert!(ServiceError::ZeroQueueCapacity.to_string().contains("1"));
         assert!(ServiceError::ZeroBatchMax.to_string().contains("1"));
+        let e = ServiceError::from(PersistError::NoValidSnapshot);
+        assert_eq!(
+            e.to_string(),
+            "warm restart failed: no valid snapshot generation to recover from"
+        );
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

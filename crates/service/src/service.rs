@@ -4,8 +4,8 @@
 use std::collections::VecDeque;
 
 use bcc_core::{QueryError, QueryOutcome, QueryRequest, RetryPolicy};
-use bcc_metric::NodeId;
-use bcc_simnet::{ChurnError, DynamicSystem};
+use bcc_metric::{BandwidthMatrix, NodeId};
+use bcc_simnet::{ChurnError, DynamicSystem, RecoveryReport, SnapshotStore, Storage, SystemConfig};
 
 use crate::batch::{self, BatchJob};
 use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
@@ -245,6 +245,28 @@ impl ClusterService {
             breakers,
             ticks: 0,
         })
+    }
+
+    /// Warm-restarts the service from durable storage: recovers the
+    /// system via [`SnapshotStore::recover`] and wraps it in a fresh
+    /// service (empty queue, cold cache, zeroed counters, closed
+    /// breakers). The recovered system carries the pre-kill membership
+    /// epoch and overlay digest, so answers cached by a *previous*
+    /// incarnation would still have validated — the fresh cache makes
+    /// the restart boundary explicit instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persist`] when recovery fails; propagates
+    /// [`ServiceConfig::validate`] failures.
+    pub fn recover_from<S: Storage>(
+        store: &SnapshotStore<S>,
+        bandwidth: &BandwidthMatrix,
+        sys_config: &SystemConfig,
+        config: ServiceConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let (system, report) = store.recover(bandwidth, sys_config)?;
+        Ok((Self::new(system, config)?, report))
     }
 
     /// Admits one query, returning its ticket.

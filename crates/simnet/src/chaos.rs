@@ -41,6 +41,7 @@ use rand::{Rng, SeedableRng};
 use crate::churn::{ChurnError, DynamicSystem};
 use crate::fault::FaultPlan;
 use crate::json::{self, Json};
+use crate::persist::PersistError;
 use crate::system::SystemConfig;
 
 /// Access-link capacities hosts are drawn from (Mbps), mirroring the
@@ -203,6 +204,9 @@ pub enum ChaosError {
         /// What was wrong with the artifact text.
         detail: String,
     },
+    /// The durability layer failed during a kill-restart run: snapshot
+    /// decode, journal replay, or recovery-fallback exhaustion.
+    Persist(PersistError),
 }
 
 impl ChaosError {
@@ -237,11 +241,25 @@ impl std::fmt::Display for ChaosError {
                 "replay diverged:\n  recorded: {recorded:?}\n  got:      {got:?}"
             ),
             ChaosError::Artifact { detail } => f.write_str(detail),
+            ChaosError::Persist(e) => write!(f, "persistence failure: {e}"),
         }
     }
 }
 
-impl std::error::Error for ChaosError {}
+impl std::error::Error for ChaosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChaosError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for ChaosError {
+    fn from(e: PersistError) -> ChaosError {
+        ChaosError::Persist(e)
+    }
+}
 
 impl From<ChaosError> for String {
     fn from(e: ChaosError) -> String {
@@ -278,7 +296,7 @@ pub enum ChaosOutcome {
 }
 
 /// Expands a seed into the universe's ground-truth bandwidth matrix.
-fn universe_bandwidth(seed: u64, universe: usize) -> BandwidthMatrix {
+pub(crate) fn universe_bandwidth(seed: u64, universe: usize) -> BandwidthMatrix {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBCC0_CAB5);
     let caps: Vec<f64> = (0..universe)
         .map(|_| CAPS[rng.gen_range(0..CAPS.len())])
@@ -286,7 +304,7 @@ fn universe_bandwidth(seed: u64, universe: usize) -> BandwidthMatrix {
     BandwidthMatrix::from_fn(universe, |i, j| caps[i].min(caps[j]))
 }
 
-fn chaos_classes() -> BandwidthClasses {
+pub(crate) fn chaos_classes() -> BandwidthClasses {
     BandwidthClasses::new(CLASS_BOUNDS.to_vec(), RationalTransform::default())
 }
 
@@ -410,19 +428,76 @@ pub fn run_schedule_with(
     seed: u64,
     cfg: &ChaosConfig,
     events: &[ChaosEvent],
-    mut nemesis: impl FnMut(&mut DynamicSystem, usize),
+    nemesis: impl FnMut(&mut DynamicSystem, usize),
 ) -> ChaosOutcome {
+    run_schedule_with_stats(seed, cfg, events, nemesis).0
+}
+
+/// Counters for the per-step oracle work: how often the cold-restart
+/// reference (overlay fixpoint + index rebuild) was served from the
+/// per-epoch memo versus recomputed.
+///
+/// A schedule with `c` churn events recomputes at most `c + 1` times —
+/// the reference depends only on the membership epoch, so every
+/// non-churn step must hit. The kill-restart tier asserts this rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleStats {
+    /// Steps whose cold reference came from the per-epoch memo.
+    pub cold_hits: u64,
+    /// Steps that had to recompute the cold reference (epoch changed).
+    pub cold_misses: u64,
+}
+
+impl OracleStats {
+    /// Fraction of steps served from the memo (`0.0` for an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cold_hits + self.cold_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cold_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-epoch memo of the liveness/index oracles' cold references.
+///
+/// Both references — the cold-restart overlay fixpoint and the
+/// from-scratch index rebuild — are functions of the membership epoch
+/// alone (labels and membership are frozen between churn events), so
+/// recomputing them on every step of a schedule was pure waste. Errors
+/// are never cached.
+#[derive(Debug, Default)]
+struct ColdCache {
+    epoch: Option<u64>,
+    cold_digest: Option<u64>,
+    cold_index_digest: u64,
+    stats: OracleStats,
+}
+
+/// [`run_schedule_with`], additionally reporting the oracle-work
+/// counters ([`OracleStats`]) the run accumulated.
+pub fn run_schedule_with_stats(
+    seed: u64,
+    cfg: &ChaosConfig,
+    events: &[ChaosEvent],
+    mut nemesis: impl FnMut(&mut DynamicSystem, usize),
+) -> (ChaosOutcome, OracleStats) {
     let bandwidth = universe_bandwidth(seed, cfg.universe);
     let sys_cfg = SystemConfig::new(chaos_classes());
     let max_rounds = sys_cfg.max_rounds;
+    let mut cache = ColdCache::default();
     let mut sys = match DynamicSystem::try_new(bandwidth, sys_cfg) {
         Ok(sys) => sys,
         Err(e) => {
-            return ChaosOutcome::Violated(Violation {
-                step: 0,
-                oracle: "consistency".into(),
-                detail: format!("chaos config rejected: {e}"),
-            });
+            return (
+                ChaosOutcome::Violated(Violation {
+                    step: 0,
+                    oracle: "consistency".into(),
+                    detail: format!("chaos config rejected: {e}"),
+                }),
+                cache.stats,
+            );
         }
     };
     let retry = RetryPolicy::default();
@@ -434,17 +509,20 @@ pub fn run_schedule_with(
         let plan_seed = seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         if let Err(v) = apply_event(&mut sys, step, event, plan_seed, max_rounds, &retry) {
             note_violation(&v);
-            return ChaosOutcome::Violated(v);
+            return (ChaosOutcome::Violated(v), cache.stats);
         }
         nemesis(&mut sys, step);
-        if let Err(v) = check_oracles(&sys, step) {
+        if let Err(v) = check_oracles(&sys, step, &mut cache) {
             note_violation(&v);
-            return ChaosOutcome::Violated(v);
+            return (ChaosOutcome::Violated(v), cache.stats);
         }
     }
-    ChaosOutcome::Passed {
-        final_digest: sys.network().map(|net| net.digest()),
-    }
+    (
+        ChaosOutcome::Passed {
+            final_digest: sys.network().map(|net| net.digest()),
+        },
+        cache.stats,
+    )
 }
 
 /// Tags the violation by oracle family in the obs registry
@@ -660,7 +738,7 @@ fn check_query(
 }
 
 /// Consistency + liveness oracles over the post-step fixpoint.
-fn check_oracles(sys: &DynamicSystem, step: usize) -> Result<(), Violation> {
+fn check_oracles(sys: &DynamicSystem, step: usize, cache: &mut ColdCache) -> Result<(), Violation> {
     let consistency = |detail: String| Violation {
         step,
         oracle: "consistency".into(),
@@ -778,11 +856,25 @@ fn check_oracles(sys: &DynamicSystem, step: usize) -> Result<(), Violation> {
 
     // Liveness: the settled overlay must sit on the exact fixpoint a cold
     // restart of the same membership reaches (PR 1's recovery criterion).
-    let expected = sys.cold_restart_digest().map_err(|e| Violation {
-        step,
-        oracle: "liveness".into(),
-        detail: format!("cold-restart reference did not converge: {e}"),
-    })?;
+    // Both cold references are functions of the membership epoch alone,
+    // so they are memoized per epoch instead of recomputed every step.
+    let epoch = sys.epoch();
+    let (expected, cold_index_digest) = if cache.epoch == Some(epoch) {
+        cache.stats.cold_hits += 1;
+        (cache.cold_digest, cache.cold_index_digest)
+    } else {
+        cache.stats.cold_misses += 1;
+        let expected = sys.cold_restart_digest().map_err(|e| Violation {
+            step,
+            oracle: "liveness".into(),
+            detail: format!("cold-restart reference did not converge: {e}"),
+        })?;
+        let cold_index_digest = sys.rebuild_index_cold().digest();
+        cache.epoch = Some(epoch);
+        cache.cold_digest = expected;
+        cache.cold_index_digest = cold_index_digest;
+        (expected, cold_index_digest)
+    };
     let live = net.digest();
     if expected != Some(live) {
         return Err(Violation {
@@ -804,13 +896,12 @@ fn check_oracles(sys: &DynamicSystem, step: usize) -> Result<(), Violation> {
         detail: String::new(),
     };
     let live_index = sys.cluster_index();
-    let cold_index = sys.rebuild_index_cold();
-    if live_index.digest() != cold_index.digest() {
+    if live_index.digest() != cold_index_digest {
         return Err(Violation {
             detail: format!(
                 "incremental index digest {} differs from the cold-rebuild digest {}",
                 live_index.digest(),
-                cold_index.digest()
+                cold_index_digest
             ),
             ..index
         });
@@ -1347,6 +1438,66 @@ mod tests {
                 slow_window_active(step % SLOW_PERIOD)
             );
         }
+    }
+
+    #[test]
+    fn cold_reference_memo_hits_on_every_non_churn_step() {
+        let cfg = ChaosConfig {
+            universe: 6,
+            steps: 16,
+        };
+        for seed in 0..4u64 {
+            let schedule = generate_schedule(seed, &cfg);
+            let churn_steps = schedule
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        ChaosEvent::Join { .. }
+                            | ChaosEvent::Leave { .. }
+                            | ChaosEvent::Crash { .. }
+                            | ChaosEvent::Recover { .. }
+                    )
+                })
+                .count() as u64;
+            let (outcome, stats) = run_schedule_with_stats(seed, &cfg, &schedule, |_, _| {});
+            assert!(
+                matches!(outcome, ChaosOutcome::Passed { .. }),
+                "{outcome:?}"
+            );
+            assert_eq!(
+                stats.cold_hits + stats.cold_misses,
+                schedule.len() as u64,
+                "every step consults the cold reference"
+            );
+            // Benign skips (double joins etc.) leave the epoch unchanged,
+            // so churn *steps* bound the misses, they don't equal them.
+            assert!(
+                stats.cold_misses <= churn_steps,
+                "seed {seed}: {} misses for {churn_steps} churn steps",
+                stats.cold_misses
+            );
+            assert!(
+                stats.hit_rate() > 0.0,
+                "seed {seed}: query/fault steps must hit the memo"
+            );
+        }
+        assert_eq!(OracleStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn persist_errors_thread_through_chaos_error() {
+        let err = ChaosError::from(PersistError::NoValidSnapshot);
+        assert_eq!(
+            err.to_string(),
+            "persistence failure: no valid snapshot generation to recover from"
+        );
+        assert_eq!(err.oracle(), None);
+        let source = std::error::Error::source(&err).expect("persist source");
+        assert_eq!(
+            source.to_string(),
+            "no valid snapshot generation to recover from"
+        );
     }
 
     #[test]

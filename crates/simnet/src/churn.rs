@@ -21,8 +21,23 @@ use bcc_embed::{EmbedError, PredictionFramework};
 use bcc_metric::{BandwidthMatrix, DistanceMatrix, FiniteMetric, NodeId};
 
 use crate::config::ConfigError;
-use crate::engine::SimNetwork;
+use crate::engine::{NodeGossipState, SimNetwork};
 use crate::system::SystemConfig;
+
+/// Everything [`DynamicSystem::from_restored_parts`] needs to reassemble
+/// a system from a checkpoint: the caller-supplied ground truth
+/// (`bandwidth`, `config`) plus the checkpointed runtime state.
+pub(crate) struct RestoredParts {
+    pub bandwidth: BandwidthMatrix,
+    pub config: SystemConfig,
+    pub framework: PredictionFramework,
+    pub active: BTreeSet<NodeId>,
+    pub crashed: BTreeSet<NodeId>,
+    pub index: ClusterIndex,
+    pub gossip: Vec<NodeGossipState>,
+    pub work_cost: u64,
+    pub last_convergence_rounds: Option<usize>,
+}
 
 /// An error from a membership operation on a [`DynamicSystem`].
 ///
@@ -88,6 +103,28 @@ fn fw_label_dist(fw: &PredictionFramework, a: u32, b: u32) -> f64 {
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
     fw.label_distance(NodeId::new(lo as usize), NodeId::new(hi as usize))
         .unwrap_or(0.0)
+}
+
+/// The predicted metric over the whole universe, materialized with one
+/// prediction-tree BFS per embedded host instead of one per pair.
+/// `distances_from` accumulates edge weights in the exact order the
+/// pairwise BFS in `tree.distance` does (outward from `i` along the
+/// unique tree path), so every entry is bit-identical to the
+/// `from_fn(|i, j| fw.distance(i, j))` formulation at a factor-n less
+/// work. Hosts outside the framework keep distance 0.0; their rows are
+/// never read while they are inactive.
+fn predicted_universe_matrix(fw: &PredictionFramework, n: usize) -> DistanceMatrix {
+    let mut m = DistanceMatrix::new(n);
+    for i in 0..n {
+        if let Some(row) = fw.tree().distances_from(NodeId::new(i)) {
+            for (j, &d) in row.iter().enumerate().take(n).skip(i + 1) {
+                if !d.is_nan() {
+                    m.set(i, j, d);
+                }
+            }
+        }
+    }
+    m
 }
 
 /// The predicted label-distance metric over the index's active members,
@@ -166,6 +203,121 @@ impl DynamicSystem {
             crashed: BTreeSet::new(),
             last_convergence_rounds: None,
             work_cost: 1,
+            index,
+        })
+    }
+
+    /// Builds a fully-joined system in one shot: every host in `hosts`
+    /// joins the prediction framework, the cluster index is built once,
+    /// and the overlay converges once at the end.
+    ///
+    /// This is the cheapest possible *cold restart* of a membership — no
+    /// per-join overlay re-convergence, no incremental index splicing —
+    /// and therefore the honest baseline the recovery benchmark compares
+    /// warm (snapshot-restore) restarts against.
+    ///
+    /// # Errors
+    ///
+    /// [`ChurnError::Embed`] if a host is outside the universe or listed
+    /// twice; [`ChurnError::Convergence`] if the overlay fails to
+    /// converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration, like [`DynamicSystem::new`].
+    pub fn bootstrap(
+        bandwidth: BandwidthMatrix,
+        config: SystemConfig,
+        hosts: &[NodeId],
+    ) -> Result<Self, ChurnError> {
+        let mut sys = Self::new(bandwidth, config);
+        for &h in hosts {
+            if h.index() >= sys.bandwidth.len() {
+                return Err(EmbedError::UnknownHost(h).into());
+            }
+            let real = &sys.real_distance;
+            sys.framework
+                .join(h, |a, b| real.get(a.index(), b.index()))?;
+            sys.active.insert(h);
+        }
+        let ids: Vec<u32> = sys.active.iter().map(|h| h.index() as u32).collect();
+        let fw = &sys.framework;
+        sys.index = ClusterIndex::build(sys.bandwidth.len(), &ids, |a, b| fw_label_dist(fw, a, b));
+        sys.rebuild()?;
+        Ok(sys)
+    }
+
+    /// Reassembles a system from checkpointed parts without re-running
+    /// any of the expensive construction paths: the framework arrives
+    /// bit-identical (restructure revision, RNG state and all), the index
+    /// is installed as-is (no full build is counted), and the overlay is
+    /// recreated by importing the checkpointed gossip state instead of
+    /// re-converging. The persist layer is the only caller; it guards the
+    /// inputs with per-section checksums before trusting them here.
+    pub(crate) fn from_restored_parts(parts: RestoredParts) -> Result<Self, String> {
+        let RestoredParts {
+            bandwidth,
+            config,
+            framework,
+            active,
+            crashed,
+            index,
+            gossip,
+            work_cost,
+            last_convergence_rounds,
+        } = parts;
+        config.validate().map_err(|e| e.to_string())?;
+        if index.universe() != bandwidth.len() {
+            return Err(format!(
+                "index universe {} does not match bandwidth universe {}",
+                index.universe(),
+                bandwidth.len()
+            ));
+        }
+        let ids: Vec<u32> = active.iter().map(|h| h.index() as u32).collect();
+        if let Some(&id) = ids.last() {
+            if id as usize >= bandwidth.len() {
+                return Err(format!("active host {id} outside the universe"));
+            }
+        }
+        if index.ids() != ids.as_slice() {
+            return Err("index membership does not match the active set".into());
+        }
+        let mut fw_hosts = framework.tree().hosts();
+        fw_hosts.sort_unstable();
+        if fw_hosts != active.iter().copied().collect::<Vec<_>>() {
+            return Err("framework membership does not match the active set".into());
+        }
+        if let Some(&h) = crashed.iter().next_back() {
+            if h.index() >= bandwidth.len() {
+                return Err(format!("crashed host {h} outside the universe"));
+            }
+        }
+        if !active.is_disjoint(&crashed) {
+            return Err("a host is both active and crashed".into());
+        }
+        let real_distance = config.transform.distance_matrix(&bandwidth);
+        let network = if active.is_empty() {
+            if !gossip.is_empty() {
+                return Err("gossip state present for an empty membership".into());
+            }
+            None
+        } else {
+            let predicted = predicted_universe_matrix(&framework, bandwidth.len());
+            let mut net = SimNetwork::new(framework.anchor(), predicted, config.protocol.clone());
+            net.import_gossip(gossip)?;
+            Some(net)
+        };
+        Ok(DynamicSystem {
+            bandwidth,
+            real_distance,
+            config,
+            framework,
+            network,
+            active,
+            crashed,
+            last_convergence_rounds,
+            work_cost: work_cost.max(1),
             index,
         })
     }
@@ -569,11 +721,8 @@ impl DynamicSystem {
     /// returning it with the rounds it needed.
     fn fresh_network(&self) -> Result<(SimNetwork, usize), ChurnError> {
         // Predicted distances indexed by universe id; inactive rows unused.
-        let n = self.bandwidth.len();
         let fw = &self.framework;
-        let predicted = DistanceMatrix::from_fn(n, |i, j| {
-            fw.distance(NodeId::new(i), NodeId::new(j)).unwrap_or(0.0)
-        });
+        let predicted = predicted_universe_matrix(fw, self.bandwidth.len());
         let mut net = SimNetwork::new(fw.anchor(), predicted, self.config.protocol.clone());
         let rounds =
             net.run_to_convergence(self.config.max_rounds)
@@ -881,6 +1030,36 @@ mod tests {
         // Invalid bandwidths degrade to the empty answer, not a panic.
         assert_eq!(s.find_cluster_indexed(2, f64::NAN), None);
         assert_eq!(s.max_cluster_size_indexed(-1.0), 0);
+    }
+
+    #[test]
+    fn bootstrap_matches_sequential_joins() {
+        let cls = BandwidthClasses::new(vec![40.0, 80.0], RationalTransform::default());
+        let hosts: Vec<NodeId> = (0..5).map(n).collect();
+        let boot = DynamicSystem::bootstrap(universe(), SystemConfig::new(cls), &hosts).unwrap();
+        let mut seq = dynamic();
+        for &h in &hosts {
+            seq.join(h).unwrap();
+        }
+        // Same framework joins in the same order: identical embedding,
+        // overlay fixpoint and index content — only the construction cost
+        // differs (one convergence and one index build instead of five).
+        assert_eq!(boot.epoch(), seq.epoch());
+        assert_eq!(boot.live_digest(), seq.live_digest());
+        assert_eq!(boot.cluster_index().digest(), seq.cluster_index().digest());
+        assert_eq!(boot.cluster_index().stats().full_builds, 1);
+        assert_eq!(boot.cluster_index().stats().incremental_updates, 0);
+        // Bad memberships are rejected, not embedded.
+        let cls = BandwidthClasses::new(vec![40.0, 80.0], RationalTransform::default());
+        assert!(matches!(
+            DynamicSystem::bootstrap(universe(), SystemConfig::new(cls), &[n(0), n(99)]),
+            Err(ChurnError::Embed(EmbedError::UnknownHost(_)))
+        ));
+        let cls = BandwidthClasses::new(vec![40.0, 80.0], RationalTransform::default());
+        assert!(matches!(
+            DynamicSystem::bootstrap(universe(), SystemConfig::new(cls), &[n(0), n(0)]),
+            Err(ChurnError::Embed(EmbedError::HostExists(_)))
+        ));
     }
 
     #[test]

@@ -53,6 +53,26 @@ struct PendingDelivery {
     msg: Message,
 }
 
+/// Plain-data gossip state of one node — everything
+/// [`SimNetwork::digest`] covers for it, keyed by overlay neighbor.
+///
+/// Exported by [`SimNetwork::export_gossip`] and restored by
+/// [`SimNetwork::import_gossip`]; the persistence layer serializes these
+/// records so a warm restart reproduces the pre-kill digest with zero
+/// gossip rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeGossipState {
+    /// `aggrNode[v]` records, in overlay-neighbor order (only directions a
+    /// message has actually arrived from).
+    pub aggr_node: Vec<(NodeId, Vec<NodeId>)>,
+    /// `aggrCRT[x]`: the locally-computed maximum cluster size per class.
+    pub own_max: Vec<usize>,
+    /// `aggrCRT[v]` rows, one per overlay neighbor. Directions that never
+    /// delivered a row export as zeros — the protocol treats a zero row and
+    /// an absent row identically (max-fold and routing gates ignore both).
+    pub crt: Vec<(NodeId, Vec<usize>)>,
+}
+
 /// The simulated overlay network running the clustering protocol.
 #[derive(Debug, Clone)]
 pub struct SimNetwork {
@@ -557,6 +577,74 @@ impl SimNetwork {
         )
     }
 
+    /// Exports every node's aggregated gossip state as plain data, in node
+    /// order. Together with the overlay (anchor tree) and the predicted
+    /// matrix this is the network's complete protocol state: feeding it
+    /// back through [`SimNetwork::import_gossip`] on a freshly-built
+    /// network reproduces [`SimNetwork::digest`] exactly, without running
+    /// a single round.
+    pub fn export_gossip(&self) -> Vec<NodeGossipState> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let classes = node.class_count();
+                NodeGossipState {
+                    aggr_node: node
+                        .neighbors()
+                        .iter()
+                        .filter_map(|&v| node.aggr_node_for(v).map(|rec| (v, rec.to_vec())))
+                        .collect(),
+                    own_max: node.own_max().to_vec(),
+                    crt: node
+                        .neighbors()
+                        .iter()
+                        .map(|&v| (v, (0..classes).map(|c| node.crt_entry(v, c)).collect()))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Restores gossip state captured by [`SimNetwork::export_gossip`] into
+    /// this network, which must have been built over the same overlay (same
+    /// anchor tree, same id space). Local maxima are installed verbatim —
+    /// no cluster searches run — and the per-node change-detection digests
+    /// are refreshed so the next round does not mistake the restored spaces
+    /// for fresh information.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch (wrong node count, a
+    /// record naming a non-neighbor, a CRT row of the wrong width) —
+    /// symptoms of restoring against a different overlay than the one
+    /// exported from.
+    pub fn import_gossip(&mut self, states: Vec<NodeGossipState>) -> Result<(), String> {
+        if states.len() != self.nodes.len() {
+            return Err(format!(
+                "{} gossip records for {} nodes",
+                states.len(),
+                self.nodes.len()
+            ));
+        }
+        for (i, st) in states.into_iter().enumerate() {
+            let node = &mut self.nodes[i];
+            for (v, rec) in st.aggr_node {
+                node.receive_node_info(v, rec)
+                    .map_err(|e| format!("node {i}: {e}"))?;
+            }
+            for (v, row) in st.crt {
+                node.receive_crt(v, row)
+                    .map_err(|e| format!("node {i}: {e}"))?;
+            }
+            node.restore_own_max(st.own_max)
+                .map_err(|e| format!("node {i}: {e}"))?;
+            let mut h = DefaultHasher::new();
+            self.nodes[i].clustering_space().hash(&mut h);
+            self.space_digest[i] = h.finish();
+        }
+        Ok(())
+    }
+
     /// Hash of all protocol state (spaces + CRTs), used for convergence
     /// detection and determinism tests.
     pub fn digest(&self) -> u64 {
@@ -684,6 +772,51 @@ mod tests {
         for ((a, b), _) in trace.per_edge_counts() {
             assert!(trace.per_edge_counts().contains_key(&(b, a)));
         }
+    }
+
+    #[test]
+    fn gossip_export_import_reproduces_digest_without_rounds() {
+        let mut live = build(8, 3, vec![25.0, 50.0]);
+        live.run_to_convergence(100).unwrap();
+
+        let d = line_matrix(8);
+        let fw = PredictionFramework::build_from_matrix(&d, FrameworkConfig::default());
+        let cls = BandwidthClasses::new(vec![25.0, 50.0], RationalTransform::new(100.0));
+        let mut fresh = SimNetwork::new(
+            fw.anchor(),
+            fw.predicted_matrix(),
+            ProtocolConfig::new(3, cls),
+        );
+        assert_ne!(fresh.digest(), live.digest(), "cold network starts blank");
+
+        fresh.import_gossip(live.export_gossip()).unwrap();
+        assert_eq!(fresh.rounds_run(), 0, "no rounds ran");
+        assert_eq!(fresh.digest(), live.digest(), "warm restore is exact");
+        // The restored network is at the same fixpoint: a round is a no-op,
+        // and both continue identically.
+        assert!(!fresh.run_round());
+        assert!(!live.run_round());
+        assert_eq!(fresh.digest(), live.digest());
+        // Queries answer identically.
+        assert_eq!(
+            fresh.query(n(2), 2, 50.0).unwrap().cluster,
+            live.query(n(2), 2, 50.0).unwrap().cluster
+        );
+    }
+
+    #[test]
+    fn gossip_import_rejects_mismatched_overlay() {
+        let mut live = build(6, 3, vec![25.0, 50.0]);
+        live.run_to_convergence(100).unwrap();
+        let exported = live.export_gossip();
+
+        // Wrong node count.
+        let mut other = build(5, 3, vec![25.0, 50.0]);
+        assert!(other.import_gossip(exported.clone()).is_err());
+
+        // Wrong class count: CRT rows are too wide.
+        let mut other = build(6, 3, vec![25.0]);
+        assert!(other.import_gossip(exported).is_err());
     }
 
     #[test]

@@ -79,20 +79,27 @@ mod engine;
 mod event;
 mod fault;
 mod json;
+pub mod persist;
 mod system;
 mod trace;
 mod wire;
 
 pub use chaos::{
-    capture, generate_schedule, nemesis_hook, run_schedule, run_schedule_with, shrink_schedule,
-    ChaosConfig, ChaosError, ChaosEvent, ChaosOutcome, ReplayArtifact, Violation,
+    capture, generate_schedule, nemesis_hook, run_schedule, run_schedule_with,
+    run_schedule_with_stats, shrink_schedule, ChaosConfig, ChaosError, ChaosEvent, ChaosOutcome,
+    OracleStats, ReplayArtifact, Violation,
 };
 pub use churn::{ChurnError, DynamicSystem};
 pub use config::ConfigError;
-pub use engine::{SimNetwork, TrafficStats};
+pub use engine::{NodeGossipState, SimNetwork, TrafficStats};
 pub use event::{AsyncConfig, AsyncNetwork};
 pub use fault::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultTransition, MessageFate, PlannedInjector,
+};
+pub use persist::{
+    run_recovery_schedule, ChurnOp, FaultyStorage, JournalRecord, MemStorage, PersistError,
+    RecoveryArtifact, RecoveryConfig, RecoveryOutcome, RecoveryReport, SnapshotStore, Storage,
+    StorageFaultPlan, SystemSnapshot,
 };
 pub use system::{ClusterSystem, SystemConfig};
 pub use trace::{Trace, TraceEvent, TraceKind};

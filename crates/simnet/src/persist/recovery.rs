@@ -1,0 +1,573 @@
+//! Kill-restart chaos tier: crash the process, recover from storage,
+//! keep running the schedule.
+//!
+//! [`run_recovery_schedule`] executes an ordinary chaos schedule while a
+//! recovery nemesis snapshots periodically, journals every churn event,
+//! and — on a fixed cadence — *kills* the live [`DynamicSystem`] and
+//! replaces it with one recovered from the (optionally fault-injecting)
+//! storage. The recovery oracles require the recovered system to be
+//! bit-identical to the one that was killed: same epoch, same live
+//! overlay digest, same cold-restart fixpoint, same index stamp, and
+//! zero from-scratch index builds. The per-step chaos oracles then keep
+//! running against the recovered system, so any post-restart drift is
+//! caught on the very next step.
+//!
+//! Runs are fully deterministic (seeded schedules, seeded storage
+//! faults), so a [`RecoveryArtifact`] pins a run's counters and final
+//! digest the same way chaos [`ReplayArtifact`]s pin schedules.
+//!
+//! [`ReplayArtifact`]: crate::chaos::ReplayArtifact
+
+use bcc_metric::NodeId;
+
+use super::error::PersistError;
+use super::journal::ChurnOp;
+use super::storage::{FaultyStorage, StorageFaultPlan};
+use super::store::SnapshotStore;
+use crate::chaos::{
+    chaos_classes, generate_schedule, run_schedule_with_stats, universe_bandwidth, ChaosConfig,
+    ChaosError, ChaosEvent, ChaosOutcome, OracleStats,
+};
+use crate::churn::DynamicSystem;
+use crate::json::{self, Json};
+use crate::system::SystemConfig;
+
+/// Cadences and fault plan for the kill-restart tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// A snapshot is taken every this many steps (step 0 included, so a
+    /// recovery base always exists before the first kill).
+    pub snapshot_every: usize,
+    /// The live system is killed and recovered every this many steps.
+    pub kill_every: usize,
+    /// Storage corruption to inject, if any.
+    pub storage_faults: Option<StorageFaultPlan>,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            snapshot_every: 4,
+            kill_every: 7,
+            storage_faults: None,
+        }
+    }
+}
+
+/// Everything one kill-restart run produced: the underlying chaos
+/// outcome, the oracle-work counters, and the recovery bookkeeping.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// Outcome of the schedule itself (per-step chaos oracles).
+    pub outcome: ChaosOutcome,
+    /// Cold-reference memo counters from the per-step oracles.
+    pub oracle_stats: OracleStats,
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Kill-restart cycles performed.
+    pub kills: u64,
+    /// Recoveries that had to fall back past a corrupted newest
+    /// generation.
+    pub fallback_recoveries: u64,
+    /// Snapshot generations skipped because their bytes failed
+    /// verification (summed across all recoveries).
+    pub corruption_detected: u64,
+    /// Snapshot writes the fault plan actually corrupted.
+    pub corrupted_writes: u64,
+    /// Journal records replayed across all recoveries.
+    pub replayed_ops: u64,
+    /// Recovery-oracle failures (empty on a clean run).
+    pub failures: Vec<String>,
+    /// A recovery that failed outright, if one did.
+    pub persist_error: Option<PersistError>,
+}
+
+impl RecoveryOutcome {
+    /// `true` when the schedule passed every oracle, every recovery
+    /// oracle held, and no recovery failed.
+    pub fn passed(&self) -> bool {
+        matches!(self.outcome, ChaosOutcome::Passed { .. })
+            && self.failures.is_empty()
+            && self.persist_error.is_none()
+    }
+
+    /// The final overlay digest, for passing runs.
+    pub fn final_digest(&self) -> Option<u64> {
+        match self.outcome {
+            ChaosOutcome::Passed { final_digest } => final_digest,
+            ChaosOutcome::Violated(_) => None,
+        }
+    }
+}
+
+/// The churn op a schedule event journals, if it is one.
+fn as_churn(event: &ChaosEvent) -> Option<(ChurnOp, usize)> {
+    match event {
+        ChaosEvent::Join { host } => Some((ChurnOp::Join, *host)),
+        ChaosEvent::Leave { host } => Some((ChurnOp::Leave, *host)),
+        ChaosEvent::Crash { host } => Some((ChurnOp::Crash, *host)),
+        ChaosEvent::Recover { host } => Some((ChurnOp::Recover, *host)),
+        _ => None,
+    }
+}
+
+/// Runs `seed`'s chaos schedule under the kill-restart nemesis.
+///
+/// # Panics
+///
+/// Panics if either cadence in `rcfg` is zero.
+pub fn run_recovery_schedule(
+    seed: u64,
+    cfg: &ChaosConfig,
+    rcfg: &RecoveryConfig,
+) -> RecoveryOutcome {
+    assert!(
+        rcfg.snapshot_every > 0 && rcfg.kill_every > 0,
+        "recovery cadences must be positive"
+    );
+    let schedule = generate_schedule(seed, cfg);
+    let bandwidth = universe_bandwidth(seed, cfg.universe);
+    let sys_cfg = SystemConfig::new(chaos_classes());
+    // Always run through the fault-injecting storage; a plan with zero
+    // probabilities never corrupts, so the clean tier is the same code.
+    let plan = rcfg
+        .storage_faults
+        .unwrap_or_else(|| StorageFaultPlan::new(seed));
+    let mut store = SnapshotStore::new(FaultyStorage::new(plan));
+
+    let mut snapshots = 0u64;
+    let mut kills = 0u64;
+    let mut fallback_recoveries = 0u64;
+    let mut corruption_detected = 0u64;
+    let mut replayed_ops = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+    let mut persist_error: Option<PersistError> = None;
+
+    let nemesis = |sys: &mut DynamicSystem, step: usize| {
+        if persist_error.is_some() {
+            return; // a failed recovery already ended the experiment
+        }
+        if let Some((op, host)) = as_churn(&schedule[step]) {
+            // Journal the op even when the live system skipped it
+            // benignly (e.g. a double join): replay skips it the same
+            // way, and the recorded post-op epoch pins that equivalence.
+            store.log(op, NodeId::new(host), sys.epoch());
+        }
+        if step.is_multiple_of(rcfg.snapshot_every) {
+            store.snapshot(sys);
+            snapshots += 1;
+        }
+        if step % rcfg.kill_every == rcfg.kill_every - 1 {
+            kills += 1;
+            let pre_epoch = sys.epoch();
+            let pre_digest = sys.live_digest();
+            let pre_stamp = sys.index_stamp();
+            match store.recover(&bandwidth, &sys_cfg) {
+                Ok((recovered, report)) => {
+                    replayed_ops += report.replayed_ops as u64;
+                    if !report.skipped_generations.is_empty() {
+                        fallback_recoveries += 1;
+                        corruption_detected += report.skipped_generations.len() as u64;
+                    }
+                    let mut fail = |detail: String| {
+                        failures.push(format!("step {step}: {detail}"));
+                    };
+                    if recovered.epoch() != pre_epoch {
+                        fail(format!(
+                            "recovered epoch {} != pre-kill epoch {pre_epoch}",
+                            recovered.epoch()
+                        ));
+                    }
+                    if recovered.live_digest() != pre_digest {
+                        fail(format!(
+                            "recovered digest {:?} != pre-kill digest {pre_digest:?}",
+                            recovered.live_digest()
+                        ));
+                    }
+                    match recovered.cold_restart_digest() {
+                        Ok(cold) if cold == pre_digest => {}
+                        Ok(cold) => fail(format!(
+                            "cold-restart digest {cold:?} != pre-kill digest {pre_digest:?}"
+                        )),
+                        Err(e) => fail(format!("cold-restart reference failed: {e}")),
+                    }
+                    if recovered.index_stamp() != pre_stamp {
+                        fail(format!(
+                            "recovered index stamp {:?} != pre-kill stamp {pre_stamp:?}",
+                            recovered.index_stamp()
+                        ));
+                    }
+                    let full_builds = recovered.cluster_index().stats().full_builds;
+                    if full_builds != 0 {
+                        fail(format!(
+                            "warm recovery took {full_builds} from-scratch index build(s)"
+                        ));
+                    }
+                    *sys = recovered;
+                }
+                Err(e) => {
+                    failures.push(format!("step {step}: recovery failed: {e}"));
+                    persist_error = Some(e);
+                }
+            }
+        }
+    };
+    let (outcome, oracle_stats) = run_schedule_with_stats(seed, cfg, &schedule, nemesis);
+    let corrupted_writes = store.storage().injected();
+
+    // Satellite oracle: the cold-reference memo must actually be
+    // memoizing — misses are bounded by the schedule's churn steps.
+    let churn_steps = schedule.iter().filter(|e| as_churn(e).is_some()).count() as u64;
+    if oracle_stats.cold_misses > churn_steps + 1 {
+        failures.push(format!(
+            "cold-reference memo missed {} times for {churn_steps} churn steps",
+            oracle_stats.cold_misses
+        ));
+    }
+
+    RecoveryOutcome {
+        outcome,
+        oracle_stats,
+        snapshots,
+        kills,
+        fallback_recoveries,
+        corruption_detected,
+        corrupted_writes,
+        replayed_ops,
+        failures,
+        persist_error,
+    }
+}
+
+/// A pinned, re-runnable record of one kill-restart run: the inputs
+/// (seed, sizes, cadences, fault probabilities) and the outputs the
+/// rerun must reproduce exactly (counters and final digest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryArtifact {
+    /// The run seed.
+    pub seed: u64,
+    /// Universe size.
+    pub universe: usize,
+    /// Schedule length.
+    pub steps: usize,
+    /// Snapshot cadence.
+    pub snapshot_every: usize,
+    /// Kill cadence.
+    pub kill_every: usize,
+    /// Storage-fault probabilities `(torn_write, bit_flip)`, if faults
+    /// were injected (the plan's seed is the run seed).
+    pub faults: Option<(f64, f64)>,
+    /// Kill-restart cycles the run must perform.
+    pub kills: u64,
+    /// Fallback recoveries the run must perform.
+    pub fallback_recoveries: u64,
+    /// Snapshot writes the fault plan must corrupt.
+    pub corrupted_writes: u64,
+    /// Journal records the run must replay.
+    pub replayed_ops: u64,
+    /// Final overlay digest the run must reproduce.
+    pub final_digest: Option<u64>,
+}
+
+impl RecoveryArtifact {
+    /// The chaos/recovery configs this artifact encodes.
+    fn configs(&self) -> (ChaosConfig, RecoveryConfig) {
+        let steps = self.steps.saturating_sub(self.universe.min(4));
+        (
+            ChaosConfig {
+                universe: self.universe,
+                steps,
+            },
+            RecoveryConfig {
+                snapshot_every: self.snapshot_every,
+                kill_every: self.kill_every,
+                storage_faults: self.faults.map(|(torn, flip)| {
+                    StorageFaultPlan::new(self.seed)
+                        .torn_write(torn)
+                        .bit_flip(flip)
+                }),
+            },
+        )
+    }
+
+    /// Captures a run of `seed` under the given configs as an artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Persist`] if a recovery failed outright;
+    /// [`ChaosError::Artifact`] if the run violated a chaos or recovery
+    /// oracle (kill-restart pins are for passing runs).
+    pub fn capture(
+        seed: u64,
+        cfg: &ChaosConfig,
+        rcfg: &RecoveryConfig,
+    ) -> Result<Self, ChaosError> {
+        let out = run_recovery_schedule(seed, cfg, rcfg);
+        if let Some(e) = out.persist_error {
+            return Err(ChaosError::Persist(e));
+        }
+        if !out.passed() {
+            return Err(ChaosError::Artifact {
+                detail: format!(
+                    "run did not pass: outcome {:?}, failures {:?}",
+                    out.outcome, out.failures
+                ),
+            });
+        }
+        Ok(RecoveryArtifact {
+            seed,
+            universe: cfg.universe,
+            steps: cfg.steps + cfg.universe.min(4),
+            snapshot_every: rcfg.snapshot_every,
+            kill_every: rcfg.kill_every,
+            faults: rcfg.storage_faults.map(|p| (p.torn_write, p.bit_flip)),
+            kills: out.kills,
+            fallback_recoveries: out.fallback_recoveries,
+            corrupted_writes: out.corrupted_writes,
+            replayed_ops: out.replayed_ops,
+            final_digest: out.final_digest(),
+        })
+    }
+
+    /// Re-runs the pinned configuration and verifies every recorded
+    /// counter and the final digest reproduce exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Persist`] if a recovery failed;
+    /// [`ChaosError::Artifact`] describing any divergence.
+    pub fn replay(&self) -> Result<(), ChaosError> {
+        let (cfg, rcfg) = self.configs();
+        let out = run_recovery_schedule(self.seed, &cfg, &rcfg);
+        if let Some(e) = out.persist_error {
+            return Err(ChaosError::Persist(e));
+        }
+        let diverged = |what: &str, recorded: String, got: String| {
+            Err(ChaosError::Artifact {
+                detail: format!(
+                    "kill-restart replay diverged on {what}: recorded {recorded}, got {got}"
+                ),
+            })
+        };
+        if !out.passed() {
+            return diverged("outcome", "passed".into(), format!("{:?}", out.failures));
+        }
+        let checks: [(&str, u64, u64); 4] = [
+            ("kills", self.kills, out.kills),
+            (
+                "fallback_recoveries",
+                self.fallback_recoveries,
+                out.fallback_recoveries,
+            ),
+            (
+                "corrupted_writes",
+                self.corrupted_writes,
+                out.corrupted_writes,
+            ),
+            ("replayed_ops", self.replayed_ops, out.replayed_ops),
+        ];
+        for (what, recorded, got) in checks {
+            if recorded != got {
+                return diverged(what, recorded.to_string(), got.to_string());
+            }
+        }
+        if out.final_digest() != self.final_digest {
+            return diverged(
+                "final_digest",
+                format!("{:?}", self.final_digest),
+                format!("{:?}", out.final_digest()),
+            );
+        }
+        Ok(())
+    }
+
+    /// Serializes to deterministic, diff-friendly JSON.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("version".to_string(), Json::from_usize(1)),
+            ("seed".to_string(), Json::from_u64(self.seed)),
+            ("universe".to_string(), Json::from_usize(self.universe)),
+            ("steps".to_string(), Json::from_usize(self.steps)),
+            (
+                "snapshot_every".to_string(),
+                Json::from_usize(self.snapshot_every),
+            ),
+            ("kill_every".to_string(), Json::from_usize(self.kill_every)),
+        ];
+        if let Some((torn, flip)) = self.faults {
+            fields.push(("torn_write".to_string(), Json::from_f64(torn)));
+            fields.push(("bit_flip".to_string(), Json::from_f64(flip)));
+        }
+        fields.push(("kills".to_string(), Json::from_u64(self.kills)));
+        fields.push((
+            "fallback_recoveries".to_string(),
+            Json::from_u64(self.fallback_recoveries),
+        ));
+        fields.push((
+            "corrupted_writes".to_string(),
+            Json::from_u64(self.corrupted_writes),
+        ));
+        fields.push((
+            "replayed_ops".to_string(),
+            Json::from_u64(self.replayed_ops),
+        ));
+        // Stored as a string: the digest is a full u64 and must survive
+        // f64-based JSON tooling.
+        if let Some(d) = self.final_digest {
+            fields.push(("final_digest".to_string(), Json::from_str(&d.to_string())));
+        }
+        Json::Obj(fields).render()
+    }
+
+    /// Parses an artifact produced by [`RecoveryArtifact::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Artifact`] describes the malformed field.
+    pub fn from_json(text: &str) -> Result<Self, ChaosError> {
+        let doc = json::parse(text)?;
+        let req_u64 = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ChaosError::Artifact {
+                    detail: format!("recovery artifact missing u64 '{name}'"),
+                })
+        };
+        let req_usize = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ChaosError::Artifact {
+                    detail: format!("recovery artifact missing '{name}'"),
+                })
+        };
+        let faults = match (doc.get("torn_write"), doc.get("bit_flip")) {
+            (None, None) => None,
+            (torn, flip) => Some((
+                torn.and_then(Json::as_f64)
+                    .ok_or("recovery artifact fault fields must be paired numbers")?,
+                flip.and_then(Json::as_f64)
+                    .ok_or("recovery artifact fault fields must be paired numbers")?,
+            )),
+        };
+        let final_digest = match doc.get("final_digest") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("'final_digest' must be a string")?
+                    .parse::<u64>()
+                    .map_err(|e| ChaosError::Artifact {
+                        detail: format!("bad final_digest: {e}"),
+                    })?,
+            ),
+        };
+        Ok(RecoveryArtifact {
+            seed: req_u64("seed")?,
+            universe: req_usize("universe")?,
+            steps: req_usize("steps")?,
+            snapshot_every: req_usize("snapshot_every")?,
+            kill_every: req_usize("kill_every")?,
+            faults,
+            kills: req_u64("kills")?,
+            fallback_recoveries: req_u64("fallback_recoveries")?,
+            corrupted_writes: req_u64("corrupted_writes")?,
+            replayed_ops: req_u64("replayed_ops")?,
+            final_digest,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(steps: usize) -> ChaosConfig {
+        ChaosConfig { universe: 6, steps }
+    }
+
+    #[test]
+    fn clean_kill_restart_runs_pass_deterministically() {
+        let rcfg = RecoveryConfig::default();
+        for seed in 0..4u64 {
+            let out = run_recovery_schedule(seed, &cfg(14), &rcfg);
+            assert!(
+                out.passed(),
+                "seed {seed}: {:?} {:?}",
+                out.outcome,
+                out.failures
+            );
+            assert!(out.kills >= 2, "seed {seed} must kill at least twice");
+            assert_eq!(out.corrupted_writes, 0);
+            assert_eq!(out.fallback_recoveries, 0);
+            let again = run_recovery_schedule(seed, &cfg(14), &rcfg);
+            assert_eq!(out.final_digest(), again.final_digest());
+            assert_eq!(out.replayed_ops, again.replayed_ops);
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_detected_and_fallen_back_from() {
+        // High fault probabilities: most eligible snapshot writes are
+        // corrupted, yet the interlock guarantees a valid generation, so
+        // every run must still pass — recovering through fallback.
+        let mut saw_fallback = false;
+        for seed in 0..8u64 {
+            let rcfg = RecoveryConfig {
+                storage_faults: Some(StorageFaultPlan::new(seed).torn_write(0.6).bit_flip(0.6)),
+                ..RecoveryConfig::default()
+            };
+            let out = run_recovery_schedule(seed, &cfg(14), &rcfg);
+            assert!(
+                out.passed(),
+                "seed {seed}: {:?} {:?}",
+                out.outcome,
+                out.failures
+            );
+            assert_eq!(
+                out.fallback_recoveries > 0,
+                out.corruption_detected > 0,
+                "fallbacks and detections move together"
+            );
+            saw_fallback |= out.fallback_recoveries > 0;
+        }
+        assert!(
+            saw_fallback,
+            "8 seeds at 60% corruption must exercise fallback at least once"
+        );
+    }
+
+    #[test]
+    fn artifacts_round_trip_and_replay() {
+        let rcfg = RecoveryConfig {
+            storage_faults: Some(StorageFaultPlan::new(5).torn_write(0.5).bit_flip(0.5)),
+            ..RecoveryConfig::default()
+        };
+        let artifact = RecoveryArtifact::capture(5, &cfg(14), &rcfg).unwrap();
+        let text = artifact.to_json();
+        let back = RecoveryArtifact::from_json(&text).unwrap();
+        assert_eq!(back, artifact);
+        back.replay().unwrap();
+
+        // Tampering any pinned counter must make replay diverge.
+        let mut tampered = artifact.clone();
+        tampered.replayed_ops += 1;
+        let err = tampered.replay().unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn malformed_recovery_artifacts_are_rejected() {
+        for bad in [
+            "{}",
+            r#"{"seed": 1, "universe": 6}"#,
+            r#"{"seed": 1, "universe": 6, "steps": 18, "snapshot_every": 4,
+                "kill_every": 7, "kills": 2, "fallback_recoveries": 0,
+                "corrupted_writes": 0, "replayed_ops": 4, "final_digest": 7}"#,
+            "nope",
+        ] {
+            assert!(
+                RecoveryArtifact::from_json(bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Hermetic storage backends for snapshots and journals.
+//!
+//! The durability layer talks to a tiny key-value [`Storage`] trait
+//! instead of the filesystem, so every recovery path — including the
+//! corruption-tolerance ones — runs deterministically in tests.
+//! [`MemStorage`] is the plain backend; [`FaultyStorage`] wraps it with a
+//! seeded [`StorageFaultPlan`] that injects torn writes and bit flips the
+//! way a crashing disk would.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::store::SNAPSHOT_PREFIX;
+
+/// A minimal key-value store: whole-object `put` (snapshots) plus
+/// append-only `append` (the op journal).
+pub trait Storage: std::fmt::Debug {
+    /// Replaces the value at `key`.
+    fn put(&mut self, key: &str, bytes: Vec<u8>);
+
+    /// Appends to the value at `key` (creating it when absent).
+    fn append(&mut self, key: &str, bytes: &[u8]);
+
+    /// Reads the value at `key`.
+    fn get(&self, key: &str) -> Option<Vec<u8>>;
+
+    /// Removes `key`, if present.
+    fn delete(&mut self, key: &str);
+
+    /// Every stored key, sorted.
+    fn keys(&self) -> Vec<String>;
+}
+
+/// In-memory [`Storage`]: a `BTreeMap` of byte blobs.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    map: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    /// Total bytes stored across all keys.
+    pub fn total_bytes(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+}
+
+impl Storage for MemStorage {
+    fn put(&mut self, key: &str, bytes: Vec<u8>) {
+        self.map.insert(key.to_string(), bytes);
+    }
+
+    fn append(&mut self, key: &str, bytes: &[u8]) {
+        self.map
+            .entry(key.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+    }
+
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    fn delete(&mut self, key: &str) {
+        self.map.remove(key);
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.map.keys().cloned().collect()
+    }
+}
+
+/// A seeded, [`crate::FaultPlan`]-style schedule of storage corruption:
+/// each snapshot write is independently torn (truncated at a random
+/// byte) or bit-flipped with the configured probabilities.
+///
+/// Two interlocks keep chaos runs honest without losing determinism:
+/// the first snapshot write always lands clean (so a recovery base
+/// exists), and two *consecutive* snapshot writes are never both
+/// corrupted (so the retained-generation fallback always has somewhere
+/// to land). Journal appends are never disturbed — torn journal tails
+/// are exercised separately, byte-for-byte, by the journal tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageFaultPlan {
+    /// Seed for all corruption randomness.
+    pub seed: u64,
+    /// Probability a snapshot write is truncated at a random offset.
+    pub torn_write: f64,
+    /// Probability a snapshot write has one random bit flipped.
+    pub bit_flip: f64,
+}
+
+impl StorageFaultPlan {
+    /// A plan with no corruption; enable kinds with the builder methods.
+    pub fn new(seed: u64) -> Self {
+        StorageFaultPlan {
+            seed,
+            torn_write: 0.0,
+            bit_flip: 0.0,
+        }
+    }
+
+    /// Sets the torn-write probability (clamped to `[0, 1]`).
+    pub fn torn_write(mut self, p: f64) -> Self {
+        self.torn_write = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the bit-flip probability (clamped to `[0, 1]`).
+    pub fn bit_flip(mut self, p: f64) -> Self {
+        self.bit_flip = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// [`MemStorage`] behind a corruption injector driven by a
+/// [`StorageFaultPlan`]. Only writes to snapshot keys are disturbed;
+/// reads always return exactly what the (possibly corrupted) write
+/// stored, the way a real medium would.
+#[derive(Debug, Clone)]
+pub struct FaultyStorage {
+    inner: MemStorage,
+    plan: StorageFaultPlan,
+    rng: StdRng,
+    injected: u64,
+    last_write_corrupted: bool,
+    first_write_done: bool,
+}
+
+impl FaultyStorage {
+    /// An empty faulty store driven by `plan`.
+    pub fn new(plan: StorageFaultPlan) -> Self {
+        FaultyStorage {
+            inner: MemStorage::new(),
+            plan,
+            rng: StdRng::seed_from_u64(plan.seed ^ 0x5708_4A6E_D1B2_C3F4),
+            injected: 0,
+            last_write_corrupted: false,
+            first_write_done: false,
+        }
+    }
+
+    /// Snapshot writes corrupted so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn corrupt(&mut self, bytes: &mut Vec<u8>) -> bool {
+        if bytes.is_empty() {
+            return false;
+        }
+        let torn = self.rng.gen_bool(self.plan.torn_write);
+        let flip = self.rng.gen_bool(self.plan.bit_flip);
+        if torn {
+            let keep = self.rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+        }
+        if flip && !bytes.is_empty() {
+            let byte = self.rng.gen_range(0..bytes.len());
+            let bit = self.rng.gen_range(0..8u32);
+            bytes[byte] ^= 1 << bit;
+        }
+        torn || flip
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn put(&mut self, key: &str, mut bytes: Vec<u8>) {
+        if key.starts_with(SNAPSHOT_PREFIX) {
+            let eligible = self.first_write_done && !self.last_write_corrupted;
+            self.first_write_done = true;
+            // The RNG draws happen in `corrupt`, gated by eligibility, so
+            // a run's corruption pattern depends only on the seed and the
+            // sequence of snapshot writes.
+            let corrupted = eligible && self.corrupt(&mut bytes);
+            if corrupted {
+                self.injected += 1;
+            }
+            self.last_write_corrupted = corrupted;
+        }
+        self.inner.put(key, bytes);
+    }
+
+    fn append(&mut self, key: &str, bytes: &[u8]) {
+        self.inner.append(key, bytes);
+    }
+
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.inner.get(key)
+    }
+
+    fn delete(&mut self, key: &str) {
+        self.inner.delete(key);
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.inner.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_put_append_get_delete() {
+        let mut s = MemStorage::new();
+        assert_eq!(s.get("a"), None);
+        s.put("a", vec![1, 2]);
+        s.append("a", &[3]);
+        s.append("b", &[9]);
+        assert_eq!(s.get("a"), Some(vec![1, 2, 3]));
+        assert_eq!(s.get("b"), Some(vec![9]));
+        assert_eq!(s.keys(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.total_bytes(), 4);
+        s.delete("a");
+        assert_eq!(s.get("a"), None);
+    }
+
+    #[test]
+    fn faulty_storage_corrupts_deterministically_with_interlocks() {
+        let plan = StorageFaultPlan::new(7).torn_write(0.8).bit_flip(0.8);
+        let run = || {
+            let mut s = FaultyStorage::new(plan);
+            let payload: Vec<u8> = (0..64).collect();
+            let mut stored = Vec::new();
+            for i in 0..12 {
+                s.put(&format!("{SNAPSHOT_PREFIX}{i:020}"), payload.clone());
+                stored.push(s.get(&format!("{SNAPSHOT_PREFIX}{i:020}")).unwrap());
+            }
+            (stored, s.injected())
+        };
+        let (a, injected) = run();
+        let (b, _) = run();
+        assert_eq!(a, b, "same plan, same corruption");
+        assert!(injected > 0, "high probabilities must inject something");
+        // First write is always clean, and no two consecutive writes are
+        // both corrupted.
+        let payload: Vec<u8> = (0..64).collect();
+        assert_eq!(a[0], payload);
+        for w in a.windows(2) {
+            assert!(
+                w[0] == payload || w[1] == payload,
+                "two consecutive snapshot writes corrupted"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_storage_leaves_journals_and_other_keys_alone() {
+        let plan = StorageFaultPlan::new(3).torn_write(1.0).bit_flip(1.0);
+        let mut s = FaultyStorage::new(plan);
+        s.put("journal.00000000000000000001", vec![1, 2, 3]);
+        s.append("journal.00000000000000000001", &[4]);
+        s.put("unrelated", vec![5]);
+        assert_eq!(
+            s.get("journal.00000000000000000001"),
+            Some(vec![1, 2, 3, 4])
+        );
+        assert_eq!(s.get("unrelated"), Some(vec![5]));
+        assert_eq!(s.injected(), 0);
+    }
+}

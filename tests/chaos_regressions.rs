@@ -15,6 +15,7 @@
 
 use bcc_service::DegradeArtifact;
 use bcc_simnet::chaos::ReplayArtifact;
+use bcc_simnet::RecoveryArtifact;
 
 #[test]
 fn corpus_replays_bit_identically() {
@@ -96,5 +97,52 @@ fn degrade_corpus_replays_bit_identically() {
     assert!(
         replayed >= 2,
         "degrade corpus unexpectedly small: {replayed} artifacts"
+    );
+}
+
+/// The `recovery/` sub-corpus pins whole kill-restart runs against
+/// deliberately faulty storage: each artifact records a seed, the
+/// snapshot/kill cadence, torn-write and bit-flip probabilities, and the
+/// expected fallback/corruption counters plus the final membership
+/// digest. Replay re-executes the schedule through the persistence layer
+/// — every injected corruption must be detected, every restart must land
+/// on the recorded digest.
+///
+/// To record a new pin after an intentional change to the snapshot or
+/// journal format:
+///
+/// ```sh
+/// cargo run --release -p bcc-bench --bin recovery -- \
+///     --seed <seed> --torn 0.5 --flip 0.5 \
+///     --save tests/chaos_corpus/recovery/<name>.json
+/// ```
+#[test]
+fn recovery_corpus_replays_bit_identically() {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/chaos_corpus/recovery");
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus)
+        .expect("recovery corpus directory exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        let artifact = RecoveryArtifact::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed artifact: {e}", path.display()));
+        artifact
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            artifact.to_json(),
+            text,
+            "{}: artifact is not byte-stable under parse → render",
+            path.display()
+        );
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 2,
+        "recovery corpus unexpectedly small: {replayed} artifacts"
     );
 }

@@ -109,6 +109,28 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpoint/restore.
+        ///
+        /// Round-tripping through [`StdRng::from_state`] reproduces the
+        /// generator bit-for-bit, so a restored process continues the
+        /// exact random stream the snapshotted one would have produced.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`] output.
+        ///
+        /// The all-zero state is a xoshiro fixpoint and is remapped the
+        /// same way [`SeedableRng::from_seed`] remaps an all-zero seed.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
