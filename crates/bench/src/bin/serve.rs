@@ -20,6 +20,11 @@
 //!   hammers the cache, every cached answer audited against a fresh
 //!   recomputation. The binary exits non-zero if any audited hit was
 //!   stale.
+//!
+//! The obs snapshot additionally carries a sharded-deployment section: a
+//! small [`bcc_shard::Coordinator`] serves a deterministic region-query
+//! stream and publishes its `shard.<id>.*` gauges (queries, forwarded,
+//! merge_candidates, epoch) plus the `coord.*` totals.
 
 use std::time::Instant;
 
@@ -180,6 +185,34 @@ fn main() {
         std::fs::write(&json_path, json).expect("write JSON output");
         println!("wrote {json_path}");
     }
+
+    // Sharded deployment gauges: a 4-shard coordinator over a small
+    // universe serves every live host once per class, then publishes its
+    // per-shard gauges into the same registry the snapshot below reads.
+    // Counters only — deterministic at a fixed seed and thread count.
+    let mut coord = bcc_shard::harness::seeded_coordinator(SEED, 12, 4);
+    for h in 0..12 {
+        coord.join(NodeId::new(h)).expect("join fresh host");
+    }
+    let mut shard_exact = 0u64;
+    for h in 0..12 {
+        for b in [24.0, 59.0] {
+            let resp = coord
+                .cluster_near(NodeId::new(h), 3, b)
+                .expect("live start");
+            if resp.outcome.is_exact() {
+                shard_exact += 1;
+            }
+        }
+    }
+    coord.publish_obs();
+    let coord_stats = coord.stats();
+    println!(
+        "shard: 4 shards over 12 hosts, {} queries ({shard_exact} exact, {} cache hits, \
+         {} pruned)",
+        coord_stats.queries, coord_stats.cache_hits, coord_stats.pruned
+    );
+    println!();
 
     // Unified observability snapshot: the instrumented hot paths' counters
     // and latency histograms, plus the ServiceStats/CacheStats bridge.

@@ -82,6 +82,30 @@ pub fn find_cluster<M: FiniteMetric>(metric: &M, k: usize, l: f64) -> Option<Vec
     find_cluster_ordered(metric, k, l, PairOrder::RowMajor)
 }
 
+/// Algorithm 1 over an explicit candidate set of universe ids: builds the
+/// sub-metric spanned by `ids` (in the given order) and runs
+/// [`find_cluster`] on it, mapping the answer back to ids.
+///
+/// This is the *shared merge kernel* of region-scoped serving: both the
+/// unsharded baseline and the sharded coordinator reduce a query to a
+/// candidate id set, and as long as the two sets are equal and presented
+/// in the same order (callers pass ids ascending), this kernel makes their
+/// answers bit-identical by construction — the scan order, tie-breaks and
+/// float comparisons are all decided here, once.
+pub fn find_cluster_among(
+    ids: &[u32],
+    k: usize,
+    l: f64,
+    mut dist: impl FnMut(u32, u32) -> f64,
+) -> Option<Vec<u32>> {
+    debug_assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "candidate ids must be strictly ascending for canonical answers"
+    );
+    let local = DistanceMatrix::from_fn(ids.len(), |i, j| dist(ids[i], ids[j]));
+    find_cluster(&local, k, l).map(|idxs| idxs.into_iter().map(|i| ids[i]).collect())
+}
+
 /// Algorithm 1 with an explicit pair scan order. See [`find_cluster`].
 pub fn find_cluster_ordered<M: FiniteMetric>(
     metric: &M,

@@ -309,6 +309,16 @@ impl ClusterIndex {
         (&self.rows[slot].d, &self.rows[slot].id)
     }
 
+    /// The closed ball `B(ids()[slot], l)` as a row prefix: every member
+    /// within distance `l` of the row owner (the owner itself included),
+    /// as parallel `(distances, ids)` slices still ascending by `(d, id)`.
+    /// One binary search, no scan — the boundary-ball candidate enumeration
+    /// primitive of region-scoped (sharded) serving.
+    pub fn ball(&self, slot: usize, l: f64) -> (&[f64], &[u32]) {
+        let reach = self.count_within(slot, l);
+        (&self.rows[slot].d[..reach], &self.rows[slot].id[..reach])
+    }
+
     /// Content digest: equal for equal (membership, distances) regardless
     /// of whether the index was built from scratch or maintained
     /// incrementally — the churn-correctness oracle.

@@ -58,7 +58,7 @@ pub use classes::BandwidthClasses;
 pub use error::{ClusterError, QueryError};
 pub use euclidean::{find_cluster_euclidean, max_cluster_size_euclidean};
 pub use find_cluster::{
-    diameter, exists_cluster_brute_force, find_cluster, find_cluster_budgeted,
+    diameter, exists_cluster_brute_force, find_cluster, find_cluster_among, find_cluster_budgeted,
     find_cluster_ordered, find_cluster_ordered_par, find_cluster_par, max_cluster_size,
     max_cluster_size_binary_search, max_cluster_size_budgeted, max_cluster_size_par,
     min_diameter_cluster, min_diameter_cluster_par, Budgeted, PairOrder, Query, WorkMeter,
@@ -72,6 +72,6 @@ pub use index::{
 pub use node::{ClusterNode, ProtocolConfig, RoutePolicy};
 pub use query::{
     process_query, process_query_indexed, process_query_resilient,
-    process_query_resilient_budgeted, process_query_with_policy, Degradation, QueryOutcome,
-    QueryRequest, RetryPolicy,
+    process_query_resilient_budgeted, process_query_resilient_indexed, process_query_with_policy,
+    Degradation, QueryOutcome, QueryRequest, RetryPolicy,
 };

@@ -354,6 +354,39 @@ impl ClusterNode {
             .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
     }
 
+    /// [`ClusterNode::answer_locally_filtered`] through a per-call
+    /// [`crate::ClusterIndex`] over the live part of the clustering space:
+    /// the same CRT gate, the same liveness filter, and a bit-identical
+    /// answer — [`crate::find_cluster_indexed`] returns exactly what the
+    /// pair sweep would on the same sub-metric. This is the local kernel
+    /// the indexed resilient walk
+    /// ([`crate::process_query_resilient_indexed`]) runs at every node.
+    pub fn answer_locally_filtered_indexed(
+        &self,
+        k: usize,
+        class_idx: usize,
+        classes: &BandwidthClasses,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+        mut alive: impl FnMut(NodeId) -> bool,
+    ) -> Option<Vec<NodeId>> {
+        if k == 0 || k > self.own_max[class_idx] {
+            return None;
+        }
+        let space: Vec<NodeId> = self
+            .clustering_space()
+            .into_iter()
+            .filter(|&u| alive(u))
+            .collect();
+        if space.len() < k {
+            return None;
+        }
+        let local = DistanceMatrix::from_fn(space.len(), |i, j| dist(space[i], space[j]));
+        let index = crate::ClusterIndex::from_metric(&local);
+        let l = classes.distance_of(class_idx);
+        crate::find_cluster_indexed(&local, &index, k, l)
+            .map(|idxs| idxs.into_iter().map(|i| space[i]).collect())
+    }
+
     /// [`ClusterNode::answer_locally_filtered`] under a [`WorkMeter`]: the
     /// local cluster search charges the meter per pair examined, and on
     /// exhaustion reports the largest live subset (size ≥ 2) assembled so

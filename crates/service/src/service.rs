@@ -55,6 +55,25 @@ impl ClusterQuery {
     }
 }
 
+/// How unbudgeted batch lanes execute their local cluster searches.
+///
+/// Both modes produce bit-identical [`ServiceResponse`]s — the service
+/// proptests pin that — so this is purely a cost knob. Budgeted queries
+/// always use the pair sweep (the work meter charges per pair examined,
+/// which the indexed scan order would change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Answer each node's local probe through a per-call cluster index
+    /// (see [`bcc_core::process_query_resilient_indexed`]): sub-cubic
+    /// local scans, the default.
+    #[default]
+    Indexed,
+    /// The original `O(n³)` pair sweep
+    /// (see [`bcc_core::process_query_resilient`]) — kept behind this
+    /// flag as the oracle the indexed path is pinned against.
+    PairSweep,
+}
+
 /// Tuning knobs of a [`ClusterService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -80,6 +99,10 @@ pub struct ServiceConfig {
     pub work_budget: Option<u64>,
     /// Per-lane circuit-breaker tuning (shared by every lane).
     pub breaker: BreakerConfig,
+    /// Execution mode for unbudgeted queries (and the `verify_cached`
+    /// audit recompute). [`ExecMode::Indexed`] by default; flip to
+    /// [`ExecMode::PairSweep`] to run the original pair sweep.
+    pub exec: ExecMode,
 }
 
 impl Default for ServiceConfig {
@@ -92,6 +115,7 @@ impl Default for ServiceConfig {
             verify_cached: false,
             work_budget: None,
             breaker: BreakerConfig::default(),
+            exec: ExecMode::default(),
         }
     }
 }
@@ -269,6 +293,37 @@ impl ClusterService {
         Ok((Self::new(system, config)?, report))
     }
 
+    /// Warm-restarts *this* service from durable storage, in place: the
+    /// recovered system replaces the live one, the queue is dropped (those
+    /// clients never got a response and must resubmit), the cache is
+    /// cleared — second-chance stale tier included, so a pre-kill answer
+    /// can never resurface as a [`Tier::StaleCache`] serve — and every
+    /// lane's circuit breaker is recreated closed, because breaker state
+    /// describes the *dead* incarnation's load, not the recovered one's.
+    ///
+    /// Cumulative [`ServiceStats`], the admission ticket sequence and the
+    /// logical clock survive: they describe the service's whole history
+    /// across incarnations, and a restart must not reissue tickets.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persist`] when recovery fails; the live service is
+    /// left untouched.
+    pub fn recover_in_place<S: Storage>(
+        &mut self,
+        store: &SnapshotStore<S>,
+        bandwidth: &BandwidthMatrix,
+        sys_config: &SystemConfig,
+    ) -> Result<RecoveryReport, ServiceError> {
+        let (system, report) = store.recover(bandwidth, sys_config)?;
+        let lanes = system.config().protocol.classes.len();
+        self.system = system;
+        self.queue.clear();
+        self.cache.clear();
+        self.breakers = vec![CircuitBreaker::new(self.config.breaker); lanes];
+        Ok(report)
+    }
+
     /// Admits one query, returning its ticket.
     ///
     /// # Errors
@@ -399,6 +454,7 @@ impl ClusterService {
         let system = &self.system;
         let retry = &self.config.retry;
         let default_budget = self.config.work_budget;
+        let exec = self.config.exec;
         let lane_results: Vec<LaneResults> = bcc_par::par_map(lanes.len(), |l| {
             lanes[l]
                 .jobs
@@ -409,9 +465,19 @@ impl ClusterService {
                     debug_assert_eq!(rep.submit_node, key.start);
                     let _query = bcc_obs::span!("service.query");
                     let result = match effective_budget(rep.budget, default_budget) {
-                        None => system
-                            .query_resilient(rep.submit_node, rep.k, rep.bandwidth, retry)
-                            .map(Budgeted::Done),
+                        None => match exec {
+                            ExecMode::Indexed => system
+                                .query_resilient_indexed(
+                                    rep.submit_node,
+                                    rep.k,
+                                    rep.bandwidth,
+                                    retry,
+                                )
+                                .map(Budgeted::Done),
+                            ExecMode::PairSweep => system
+                                .query_resilient(rep.submit_node, rep.k, rep.bandwidth, retry)
+                                .map(Budgeted::Done),
+                        },
                         Some(budget) => system.query_budgeted(
                             rep.submit_node,
                             rep.k,
@@ -490,12 +556,20 @@ impl ClusterService {
                 // labeled stale serve is expected to differ from a fresh
                 // recompute.
                 if cached && tier == Tier::Exact && self.config.verify_cached {
-                    let fresh = self.system.query_resilient(
-                        query.submit_node,
-                        query.k,
-                        query.bandwidth,
-                        &self.config.retry,
-                    );
+                    let fresh = match self.config.exec {
+                        ExecMode::Indexed => self.system.query_resilient_indexed(
+                            query.submit_node,
+                            query.k,
+                            query.bandwidth,
+                            &self.config.retry,
+                        ),
+                        ExecMode::PairSweep => self.system.query_resilient(
+                            query.submit_node,
+                            query.k,
+                            query.bandwidth,
+                            &self.config.retry,
+                        ),
+                    };
                     if fresh != outcome {
                         self.stats.stale_hits += 1;
                         outcome = fresh;

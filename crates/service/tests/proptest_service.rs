@@ -5,7 +5,7 @@
 
 use bcc_metric::NodeId;
 use bcc_service::{
-    seeded_service, BreakerState, ClusterQuery, ClusterService, ServiceConfig, Tier,
+    seeded_service, BreakerState, ClusterQuery, ClusterService, ExecMode, ServiceConfig, Tier,
 };
 use proptest::prelude::*;
 
@@ -259,6 +259,46 @@ proptest! {
                     (a, b) => panic!("verdicts diverged across runs: {a:?} vs {b:?}"),
                 }
             }
+        }
+        bcc_par::set_threads(0);
+    }
+
+    /// The default indexed executor and the pair-sweep oracle return
+    /// bit-identical responses — including under mid-workload churn —
+    /// for any thread count. This is ROADMAP item 2c's safety net: the
+    /// service may route unbudgeted lanes through
+    /// [`bcc_core::process_query_resilient_indexed`] precisely because
+    /// nothing downstream can tell.
+    #[test]
+    fn indexed_exec_matches_pair_sweep(
+        seed in 0u64..1_000,
+        first in arb_workload(10, 12),
+        second in arb_workload(10, 12),
+        crash_host in 0usize..6,
+    ) {
+        for threads in THREADS {
+            bcc_par::set_threads(threads);
+            let mut indexed = service_with(seed, 10, 6, ServiceConfig::default());
+            let mut swept = service_with(
+                seed,
+                10,
+                6,
+                ServiceConfig {
+                    exec: ExecMode::PairSweep,
+                    ..ServiceConfig::default()
+                },
+            );
+            let i1 = run_workload(&mut indexed, &first);
+            let s1 = run_workload(&mut swept, &first);
+            assert_same_responses(&i1, &s1);
+
+            let a = indexed.crash(NodeId::new(crash_host));
+            let b = swept.crash(NodeId::new(crash_host));
+            prop_assert_eq!(a.is_ok(), b.is_ok());
+
+            let i2 = run_workload(&mut indexed, &second);
+            let s2 = run_workload(&mut swept, &second);
+            assert_same_responses(&i2, &s2);
         }
         bcc_par::set_threads(0);
     }

@@ -142,6 +142,79 @@ fn warm_recovery_is_transparent_to_the_cache_and_churn_still_invalidates() {
 }
 
 #[test]
+fn in_place_recovery_resets_breakers_and_stale_tier_with_the_cache() {
+    use bcc_service::{BreakerState, Tier};
+
+    let (mut service, bandwidth, sys_cfg) = live_service(8, 6);
+    let mut store = SnapshotStore::new(MemStorage::new());
+    store.snapshot(service.system());
+
+    // Populate the cache, then churn and re-ask so the old entries are
+    // demoted into the second-chance stale tier.
+    for q in queries() {
+        service.submit(q).unwrap();
+        service.drain();
+    }
+    service.join(NodeId::new(6)).unwrap();
+    for q in queries() {
+        service.submit(q).unwrap();
+        service.drain();
+    }
+    assert!(
+        service.stale_len() > 0,
+        "demoted entries feed the stale tier"
+    );
+
+    // Trip lane 0: three zero-budget executions on fresh keys are three
+    // consecutive exhaustions, the default failure threshold.
+    for start in 0..3 {
+        service
+            .submit(ClusterQuery::new(NodeId::new(start), 4, 25.0).with_budget(0))
+            .unwrap();
+        service.drain();
+    }
+    assert_eq!(service.breaker_state(0), Some(BreakerState::Open));
+
+    // Leave one admitted query in flight across the kill (lane 1 — lane 0
+    // is refusing traffic now).
+    service
+        .submit(ClusterQuery::new(NodeId::new(0), 2, 60.0))
+        .unwrap();
+    assert_eq!(service.in_flight(), 1);
+    let pre_kill_submitted = service.stats().submitted;
+
+    // The kill-restart boundary, in place.
+    let report = service
+        .recover_in_place(&store, &bandwidth, &sys_cfg)
+        .unwrap();
+    assert_eq!(report.generation, 1);
+
+    // Every piece of dead-incarnation serving state is gone...
+    assert_eq!(service.breaker_state(0), Some(BreakerState::Closed));
+    assert_eq!(service.breaker_state(1), Some(BreakerState::Closed));
+    assert_eq!(service.stale_len(), 0, "stale tier resets with the cache");
+    assert_eq!(service.in_flight(), 0, "queued queries are dropped");
+    // ...while the cumulative history survives.
+    assert_eq!(service.stats().submitted, pre_kill_submitted);
+
+    // The recovered service serves lane 0 exactly — the breaker that was
+    // Open pre-kill admits immediately and the answer is fresh.
+    let ticket = service
+        .submit(ClusterQuery::new(NodeId::new(0), 2, 25.0))
+        .expect("recovered breaker admits");
+    let resp = service.drain().remove(0);
+    assert_eq!(resp.ticket, ticket);
+    assert_eq!(resp.tier, Tier::Exact);
+    assert!(!resp.cached, "the restart cache is cold");
+    assert!(resp.outcome.is_ok());
+    assert!(
+        resp.ticket >= pre_kill_submitted,
+        "tickets are never reissued across a restart"
+    );
+    assert_eq!(service.stats().stale_hits, 0);
+}
+
+#[test]
 fn unrecoverable_storage_surfaces_a_typed_service_error() {
     let (service, bandwidth, sys_cfg) = live_service(6, 4);
     drop(service);

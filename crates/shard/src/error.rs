@@ -1,0 +1,71 @@
+//! Typed construction errors for the sharded serving layer.
+//!
+//! Queries and churn deliberately do **not** get their own error type:
+//! [`crate::Coordinator`] returns the same [`bcc_core::ClusterError`] /
+//! [`bcc_simnet::ChurnError`] values the unsharded baseline does, because
+//! error parity is part of the bit-identity contract the proptests pin.
+
+use bcc_service::ServiceError;
+use bcc_simnet::{ChurnError, ConfigError};
+
+/// An error assembling a [`crate::Coordinator`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// The shared [`bcc_simnet::SystemConfig`] failed validation.
+    Config(ConfigError),
+    /// A per-shard [`bcc_service::ClusterService`] rejected its config.
+    Service(ServiceError),
+    /// A bootstrap membership operation failed.
+    Churn(ChurnError),
+    /// The shard plan was drawn over a different universe than the
+    /// bandwidth matrix.
+    PlanMismatch {
+        /// Universe size the plan partitions.
+        plan: usize,
+        /// Universe size of the bandwidth matrix.
+        universe: usize,
+    },
+}
+
+impl From<ConfigError> for ShardError {
+    fn from(e: ConfigError) -> Self {
+        ShardError::Config(e)
+    }
+}
+
+impl From<ServiceError> for ShardError {
+    fn from(e: ServiceError) -> Self {
+        ShardError::Service(e)
+    }
+}
+
+impl From<ChurnError> for ShardError {
+    fn from(e: ChurnError) -> Self {
+        ShardError::Churn(e)
+    }
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Config(e) => write!(f, "invalid system config: {e}"),
+            ShardError::Service(e) => write!(f, "invalid shard service: {e}"),
+            ShardError::Churn(e) => write!(f, "bootstrap membership failed: {e}"),
+            ShardError::PlanMismatch { plan, universe } => write!(
+                f,
+                "shard plan partitions a universe of {plan}, bandwidth matrix has {universe}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Config(e) => Some(e),
+            ShardError::Service(e) => Some(e),
+            ShardError::Churn(e) => Some(e),
+            ShardError::PlanMismatch { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Static universe partitioning: which shard owns which host.
+//!
+//! A [`ShardPlan`] is a total, deterministic function `universe id →
+//! shard id`, fixed at coordinator construction. Correctness never
+//! depends on *which* plan is chosen: the coordinator's region-scoped
+//! answers are membership-pure (the candidate set is defined by global
+//! label distances alone), so every plan yields bit-identical responses
+//! and the plan is purely a *locality* knob — a good plan keeps anchor-
+//! tree neighborhoods together so most query balls stay inside one shard
+//! and cross-shard scatter prunes early.
+
+use bcc_metric::NodeId;
+
+/// A total assignment of universe hosts to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    owners: Vec<u16>,
+    shard_count: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `universe` ids into `shard_count` contiguous id ranges
+    /// of near-equal size (the first `universe % shard_count` shards get
+    /// one extra host). Contiguous ranges are the natural anchor-tree
+    /// lane split: hosts join in id order in every harness, so subtree
+    /// neighborhoods land in the same range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count == 0` or `shard_count > u16::MAX + 1`.
+    pub fn contiguous(universe: usize, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        assert!(shard_count <= (u16::MAX as usize) + 1, "too many shards");
+        let base = universe / shard_count;
+        let extra = universe % shard_count;
+        let mut owners = Vec::with_capacity(universe);
+        for s in 0..shard_count {
+            let len = base + usize::from(s < extra);
+            owners.extend(std::iter::repeat_n(s as u16, len));
+        }
+        debug_assert_eq!(owners.len(), universe);
+        ShardPlan {
+            owners,
+            shard_count,
+        }
+    }
+
+    /// A plan from an explicit owner table (`owners[id] = shard`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count == 0` or an owner is out of range.
+    pub fn from_owners(owners: Vec<u16>, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        assert!(
+            owners.iter().all(|&s| (s as usize) < shard_count),
+            "owner out of range"
+        );
+        ShardPlan {
+            owners,
+            shard_count,
+        }
+    }
+
+    /// The shard owning `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is outside the universe — callers validate ids
+    /// first (the coordinator does, before ever routing).
+    pub fn owner(&self, host: NodeId) -> usize {
+        self.owners[host.index()] as usize
+    }
+
+    /// The shard owning universe id `id` (the `u32` twin of
+    /// [`ShardPlan::owner`]).
+    pub fn owner_of_id(&self, id: u32) -> usize {
+        self.owners[id as usize] as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Universe size the plan partitions.
+    pub fn universe(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// The universe ids owned by `shard`, ascending.
+    pub fn members_of(&self, shard: usize) -> Vec<u32> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s as usize == shard)
+            .map(|(id, _)| id as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_covers_the_universe_evenly() {
+        let plan = ShardPlan::contiguous(10, 4);
+        assert_eq!(plan.universe(), 10);
+        assert_eq!(plan.shard_count(), 4);
+        // 10 = 3 + 3 + 2 + 2, contiguous ranges.
+        assert_eq!(plan.members_of(0), vec![0, 1, 2]);
+        assert_eq!(plan.members_of(1), vec![3, 4, 5]);
+        assert_eq!(plan.members_of(2), vec![6, 7]);
+        assert_eq!(plan.members_of(3), vec![8, 9]);
+        for id in 0..10u32 {
+            assert!(plan.members_of(plan.owner_of_id(id)).contains(&id));
+        }
+        assert_eq!(plan.owner(NodeId::new(5)), 1);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let plan = ShardPlan::contiguous(7, 1);
+        assert_eq!(plan.members_of(0).len(), 7);
+    }
+
+    #[test]
+    fn more_shards_than_hosts_leaves_trailing_shards_empty() {
+        let plan = ShardPlan::contiguous(2, 4);
+        assert_eq!(plan.members_of(0), vec![0]);
+        assert_eq!(plan.members_of(1), vec![1]);
+        assert!(plan.members_of(2).is_empty());
+        assert!(plan.members_of(3).is_empty());
+    }
+
+    #[test]
+    fn from_owners_round_trips() {
+        let plan = ShardPlan::from_owners(vec![1, 0, 1, 0], 2);
+        assert_eq!(plan.members_of(0), vec![1, 3]);
+        assert_eq!(plan.members_of(1), vec![0, 2]);
+    }
+}

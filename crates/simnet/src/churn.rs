@@ -96,7 +96,7 @@ impl std::error::Error for ChurnError {
 /// of *other* hosts never touches an untouched host's label — which is
 /// exactly what makes incremental index maintenance sound: a membership
 /// delta can only change distances involving the delta's own hosts.
-fn fw_label_dist(fw: &PredictionFramework, a: u32, b: u32) -> f64 {
+pub fn fw_label_dist(fw: &PredictionFramework, a: u32, b: u32) -> f64 {
     if a == b {
         return 0.0;
     }
@@ -549,6 +549,84 @@ impl DynamicSystem {
                 neighbor: start.index(),
             }),
         }
+    }
+
+    /// [`DynamicSystem::query_resilient`] with every node's local probe
+    /// answered through a per-call cluster index (see
+    /// [`bcc_core::process_query_resilient_indexed`]): bit-identical
+    /// outcomes, sub-cubic local scans.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSystem::query`].
+    pub fn query_resilient_indexed(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        retry: &RetryPolicy,
+    ) -> Result<QueryOutcome, ClusterError> {
+        if self.crashed.contains(&start) {
+            return Err(ClusterError::NodeUnavailable {
+                node: start.index(),
+            });
+        }
+        match &self.network {
+            Some(net) => net.query_resilient_indexed(start, k, bandwidth, retry),
+            None => Err(ClusterError::UnknownNeighbor {
+                neighbor: start.index(),
+            }),
+        }
+    }
+
+    /// Region-scoped query: `k` active hosts with predicted pairwise
+    /// bandwidth ≥ the class `bandwidth` snaps up to, drawn from the ball
+    /// `B(start, 2l)` in the label metric (`l` the snapped class's
+    /// distance constraint). The triangle inequality guarantees the ball
+    /// covers *every* diameter-`≤ l` cluster that intersects
+    /// `B(start, l)`, so the answer depends only on membership and
+    /// labels — never on how the membership is partitioned. That
+    /// membership-purity is exactly what lets a sharded coordinator
+    /// reproduce it bit for bit from per-shard region indexes
+    /// (see `bcc-shard`).
+    ///
+    /// Candidates are enumerated from the live [`ClusterIndex`] row of
+    /// `start` and canonicalized to ascending id order before the shared
+    /// merge kernel [`bcc_core::find_cluster_among`] runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NodeUnavailable`] when `start` is crashed, the
+    /// validation errors of [`bcc_core::QueryRequest::validate`], and
+    /// [`ClusterError::UnknownNeighbor`] when `start` is not active.
+    pub fn cluster_near(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+    ) -> Result<Option<Vec<NodeId>>, ClusterError> {
+        if self.crashed.contains(&start) {
+            return Err(ClusterError::NodeUnavailable {
+                node: start.index(),
+            });
+        }
+        let classes = &self.config.protocol.classes;
+        let class_idx = bcc_core::QueryRequest::new(start, k, bandwidth)
+            .validate(classes, self.bandwidth.len())?;
+        let Some(slot) = self.index.slot(start.index() as u32) else {
+            return Err(ClusterError::UnknownNeighbor {
+                neighbor: start.index(),
+            });
+        };
+        let l = classes.distance_of(class_idx);
+        let (_, ids) = self.index.ball(slot, 2.0 * l);
+        let mut ids = ids.to_vec();
+        ids.sort_unstable();
+        let fw = &self.framework;
+        Ok(
+            bcc_core::find_cluster_among(&ids, k, l, |a, b| fw_label_dist(fw, a, b))
+                .map(|c| c.into_iter().map(|id| NodeId::new(id as usize)).collect()),
+        )
     }
 
     /// [`DynamicSystem::query_resilient`] under a work budget: the query
@@ -1059,6 +1137,98 @@ mod tests {
         assert!(matches!(
             DynamicSystem::bootstrap(universe(), SystemConfig::new(cls), &[n(0), n(0)]),
             Err(ChurnError::Embed(EmbedError::HostExists(_)))
+        ));
+    }
+
+    #[test]
+    fn resilient_indexed_matches_pair_sweep_under_churn() {
+        let mut s = dynamic();
+        for i in 0..6 {
+            s.join(n(i)).unwrap();
+        }
+        s.leave(n(4)).unwrap();
+        s.crash(n(5)).unwrap();
+        let retry = RetryPolicy::default();
+        for start in 0..4 {
+            for k in 2..=4 {
+                for bw in [40.0, 80.0] {
+                    assert_eq!(
+                        s.query_resilient(n(start), k, bw, &retry),
+                        s.query_resilient_indexed(n(start), k, bw, &retry),
+                        "start={start} k={k} bw={bw}"
+                    );
+                }
+            }
+        }
+        // Error paths align too.
+        assert!(matches!(
+            s.query_resilient_indexed(n(5), 2, 40.0, &retry),
+            Err(ClusterError::NodeUnavailable { node: 5 })
+        ));
+    }
+
+    #[test]
+    fn cluster_near_matches_brute_force_ball() {
+        let mut s = dynamic();
+        for i in 0..6 {
+            s.join(n(i)).unwrap();
+        }
+        s.leave(n(4)).unwrap();
+        let classes = &s.config().protocol.classes;
+        let members: Vec<u32> = s.cluster_index().ids().to_vec();
+        for &start in &members {
+            for k in 2..=4 {
+                for bw in [40.0, 80.0] {
+                    let class_idx = classes.snap_up(bw).unwrap();
+                    let l = classes.distance_of(class_idx);
+                    // Oracle: linear scan of the whole membership for the
+                    // 2l-ball, then the same kernel.
+                    let fw = s.framework();
+                    let ball: Vec<u32> = members
+                        .iter()
+                        .copied()
+                        .filter(|&x| fw_label_dist(fw, start, x) <= 2.0 * l)
+                        .collect();
+                    let expect =
+                        bcc_core::find_cluster_among(&ball, k, l, |a, b| fw_label_dist(fw, a, b))
+                            .map(|c| c.into_iter().map(|id| n(id as usize)).collect::<Vec<_>>());
+                    assert_eq!(
+                        s.cluster_near(n(start as usize), k, bw).unwrap(),
+                        expect,
+                        "start={start} k={k} bw={bw}"
+                    );
+                }
+            }
+        }
+        // Every found cluster satisfies the constraint for real.
+        if let Some(c) = s.cluster_near(n(0), 3, 80.0).unwrap() {
+            let fw = s.framework();
+            for i in 0..c.len() {
+                for j in i + 1..c.len() {
+                    let d = fw_label_dist(fw, c[i].index() as u32, c[j].index() as u32);
+                    let l = classes.distance_of(classes.snap_up(80.0).unwrap());
+                    assert!(d <= l, "cluster pair exceeds the constraint");
+                }
+            }
+        }
+        // Error-order parity with the serving layers: crashed first, then
+        // validation, then membership.
+        s.crash(n(3)).unwrap();
+        assert!(matches!(
+            s.cluster_near(n(3), 2, 40.0),
+            Err(ClusterError::NodeUnavailable { node: 3 })
+        ));
+        assert!(matches!(
+            s.cluster_near(n(4), 1, 40.0),
+            Err(ClusterError::InvalidSizeConstraint { k: 1 })
+        ));
+        assert!(matches!(
+            s.cluster_near(n(4), 2, -1.0),
+            Err(ClusterError::InvalidBandwidthConstraint { .. })
+        ));
+        assert!(matches!(
+            s.cluster_near(n(4), 2, 40.0),
+            Err(ClusterError::UnknownNeighbor { neighbor: 4 })
         ));
     }
 

@@ -22,8 +22,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use bcc_core::{
-    process_query, process_query_resilient, process_query_resilient_budgeted, Budgeted,
-    ClusterNode, ProtocolConfig, QueryOutcome, RetryPolicy, RoutePolicy, WorkMeter,
+    process_query, process_query_resilient, process_query_resilient_budgeted,
+    process_query_resilient_indexed, Budgeted, ClusterNode, ProtocolConfig, QueryOutcome,
+    RetryPolicy, RoutePolicy, WorkMeter,
 };
 use bcc_embed::AnchorTree;
 use bcc_metric::{DistanceMatrix, NodeId};
@@ -535,6 +536,35 @@ impl SimNetwork {
         retry: &RetryPolicy,
     ) -> Result<QueryOutcome, bcc_core::ClusterError> {
         process_query_resilient(
+            &self.nodes,
+            start,
+            k,
+            bandwidth,
+            &self.config.classes,
+            self.predicted_dist(),
+            RoutePolicy::FirstFit,
+            retry,
+            |u| !self.is_down(u),
+        )
+    }
+
+    /// [`SimNetwork::query_resilient`] with every node's local probe
+    /// answered through a per-call [`bcc_core::ClusterIndex`] over its
+    /// alive-filtered clustering space (see
+    /// [`bcc_core::process_query_resilient_indexed`]) — bit-identical
+    /// outcomes, sub-cubic local scans.
+    ///
+    /// # Errors
+    ///
+    /// See [`bcc_core::process_query_resilient`].
+    pub fn query_resilient_indexed(
+        &self,
+        start: NodeId,
+        k: usize,
+        bandwidth: f64,
+        retry: &RetryPolicy,
+    ) -> Result<QueryOutcome, bcc_core::ClusterError> {
+        process_query_resilient_indexed(
             &self.nodes,
             start,
             k,

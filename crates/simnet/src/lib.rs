@@ -89,7 +89,7 @@ pub use chaos::{
     run_schedule_with_stats, shrink_schedule, ChaosConfig, ChaosError, ChaosEvent, ChaosOutcome,
     OracleStats, ReplayArtifact, Violation,
 };
-pub use churn::{ChurnError, DynamicSystem};
+pub use churn::{fw_label_dist, ChurnError, DynamicSystem};
 pub use config::ConfigError;
 pub use engine::{NodeGossipState, SimNetwork, TrafficStats};
 pub use event::{AsyncConfig, AsyncNetwork};

@@ -14,6 +14,7 @@
 //! ```
 
 use bcc_service::DegradeArtifact;
+use bcc_shard::harness::ShardArtifact;
 use bcc_simnet::chaos::ReplayArtifact;
 use bcc_simnet::RecoveryArtifact;
 
@@ -97,6 +98,57 @@ fn degrade_corpus_replays_bit_identically() {
     assert!(
         replayed >= 2,
         "degrade corpus unexpectedly small: {replayed} artifacts"
+    );
+}
+
+/// The `shard/` sub-corpus pins whole sharded-coordinator chaos runs:
+/// each artifact records a seed and schedule shape plus the expected
+/// exact/degraded/cache-hit/pruned counters and the answer-stream digest
+/// accumulated across shard counts {1, 2, 4}. Replay re-executes the run
+/// through `bcc-shard` against the unsharded baseline and must land on
+/// every recorded counter with zero stale hits and zero divergences —
+/// under every thread count, because the scatter–gather merge is
+/// canonical and cannot depend on scheduling.
+///
+/// To record a new pin after an intentional change to the sharding
+/// model:
+///
+/// ```sh
+/// cargo run --release -p bcc-bench --bin shard -- \
+///     --smoke --seed <seed> --save tests/chaos_corpus/shard/<name>.json
+/// ```
+#[test]
+fn shard_corpus_replays_bit_identically() {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/chaos_corpus/shard");
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus)
+        .expect("shard corpus directory exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        let artifact = ShardArtifact::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed artifact: {e}", path.display()));
+        for threads in [1usize, 2, 8] {
+            bcc_par::set_threads(threads);
+            artifact
+                .replay()
+                .unwrap_or_else(|e| panic!("{} under {threads} thread(s): {e}", path.display()));
+        }
+        bcc_par::set_threads(0);
+        assert_eq!(
+            artifact.to_json(),
+            text,
+            "{}: artifact is not byte-stable under parse → render",
+            path.display()
+        );
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 2,
+        "shard corpus unexpectedly small: {replayed} artifacts"
     );
 }
 
