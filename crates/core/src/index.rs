@@ -96,6 +96,37 @@ pub struct IndexStats {
     pub rows_rebuilt: u64,
 }
 
+/// Typed rejection of an invalid churn delta — the library-boundary
+/// contract of [`ClusterIndex::apply_churn`], mirroring how
+/// `QueryRequest::validate` rejects malformed queries instead of letting
+/// them panic deep inside a kernel. An `Err` guarantees the index (and its
+/// [`IndexStats`]) was left exactly as it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexError {
+    /// A `removed` id is not currently an index member.
+    NotAMember(u32),
+    /// An id lies outside the fixed universe the index was created over.
+    OutOfUniverse {
+        /// The offending id.
+        id: u32,
+        /// The universe bound the index was created with.
+        universe: usize,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::NotAMember(id) => write!(f, "removed id {id} is not an index member"),
+            IndexError::OutOfUniverse { id, universe } => {
+                write!(f, "id {id} outside universe {universe}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
 /// Sorted per-node distance labels over a membership of universe ids.
 ///
 /// Row `slot` belongs to member `ids()[slot]`; members are kept in
@@ -344,36 +375,45 @@ impl ClusterIndex {
     /// orientation [`ClusterIndex::build`] uses — so an asymmetric oracle
     /// stays consistent between the two construction paths.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when a `removed` id is not a member, or any id is
-    /// `>= universe`.
+    /// Rejects the delta — leaving the index and its [`IndexStats`]
+    /// untouched — when a `removed` id is not a member
+    /// ([`IndexError::NotAMember`]) or any id is `>= universe`
+    /// ([`IndexError::OutOfUniverse`]).
     pub fn apply_churn(
         &mut self,
         removed: &[u32],
         reembedded: &[u32],
         mut dist: impl FnMut(u32, u32) -> f64,
-    ) {
+    ) -> Result<(), IndexError> {
+        // Validate before mutating anything, counters included: an Err
+        // must leave the instance bit-identical to its pre-call state.
+        for &id in removed.iter().chain(reembedded) {
+            if id as usize >= self.universe {
+                return Err(IndexError::OutOfUniverse {
+                    id,
+                    universe: self.universe,
+                });
+            }
+        }
+        for &id in removed {
+            if self.slot(id).is_none() {
+                return Err(IndexError::NotAMember(id));
+            }
+        }
         let _span = bcc_obs::span!("core.index.update");
         bcc_obs::inc!("core.index.incremental_updates");
         self.stats.incremental_updates += 1;
         // `touched[id]`: entries to strip out of every surviving row
         // (removed members and stale rows of re-embedded members alike).
+        // Only the removed ids are marked before the survivor filter, so
+        // membership costs one bitmap probe per member instead of an
+        // O(|removed|) scan; re-embedded ids are folded in afterwards —
+        // marking them first would make the filter drop re-embedded
+        // *existing* members as if they had departed.
         let mut touched = vec![false; self.universe];
         for &id in removed {
-            assert!(
-                self.slot(id).is_some(),
-                "removed id {id} is not an index member"
-            );
-            touched[id as usize] = true;
-        }
-        for &id in reembedded {
-            assert!(
-                (id as usize) < self.universe,
-                "id {} outside universe {}",
-                id,
-                self.universe
-            );
             touched[id as usize] = true;
         }
 
@@ -382,9 +422,10 @@ impl ClusterIndex {
             .ids
             .iter()
             .copied()
-            .filter(|&id| !removed.contains(&id))
+            .filter(|&id| !touched[id as usize])
             .collect();
         for &id in reembedded {
+            touched[id as usize] = true;
             if self.slot(id).is_none() {
                 new_ids.push(id);
             }
@@ -429,6 +470,7 @@ impl ClusterIndex {
         self.rebuild_digests();
         self.stats.rows_rebuilt += rebuilt;
         bcc_obs::add!("core.index.rows_rebuilt", rebuilt);
+        Ok(())
     }
 
     fn rebuild_digests(&mut self) {
@@ -1066,7 +1108,7 @@ mod tests {
         let dist = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
         let mut idx = ClusterIndex::empty(pos.len());
         for i in 0..pos.len() as u32 {
-            idx.apply_churn(&[], &[i], dist);
+            idx.apply_churn(&[], &[i], dist).unwrap();
             let members: Vec<u32> = (0..=i).collect();
             let fresh = ClusterIndex::build(pos.len(), &members, dist);
             assert_eq!(idx.digest(), fresh.digest(), "after inserting {i}");
@@ -1083,7 +1125,7 @@ mod tests {
         let mut idx = ClusterIndex::build(pos.len(), &all, base);
 
         // Remove host 2; membership {0,1,3,4,5}.
-        idx.apply_churn(&[2], &[], base);
+        idx.apply_churn(&[2], &[], base).unwrap();
         let fresh = ClusterIndex::build(pos.len(), &[0, 1, 3, 4, 5], base);
         assert_eq!(idx.digest(), fresh.digest());
         assert_eq!(idx.ids(), &[0, 1, 3, 4, 5]);
@@ -1093,7 +1135,7 @@ mod tests {
         // one delta — the shape a leave-with-orphans produces.
         let moved = [0.0f64, 2.0, 3.5, 7.0, 1.0, 8.5];
         let shifted = |a: u32, b: u32| (moved[a as usize] - moved[b as usize]).abs();
-        idx.apply_churn(&[], &[2, 4], shifted);
+        idx.apply_churn(&[], &[2, 4], shifted).unwrap();
         let fresh = ClusterIndex::build(pos.len(), &all, shifted);
         assert_eq!(idx.digest(), fresh.digest());
 
@@ -1114,11 +1156,11 @@ mod tests {
         let dist = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
         // Path A: build {0,1,2,3,4} then remove 3.
         let mut a = ClusterIndex::build(pos.len(), &[0, 1, 2, 3, 4], dist);
-        a.apply_churn(&[3], &[], dist);
+        a.apply_churn(&[3], &[], dist).unwrap();
         // Path B: grow {0,2} then {1,4} incrementally.
         let mut b = ClusterIndex::empty(pos.len());
-        b.apply_churn(&[], &[0, 2], dist);
-        b.apply_churn(&[], &[4, 1], dist);
+        b.apply_churn(&[], &[0, 2], dist).unwrap();
+        b.apply_churn(&[], &[4, 1], dist).unwrap();
         // Path C: from scratch.
         let c = ClusterIndex::build(pos.len(), &[0, 1, 2, 4], dist);
         assert_eq!(a.digest(), c.digest());
@@ -1133,7 +1175,7 @@ mod tests {
         let pos = [0.0f64, 2.0, 3.0, 7.0, 8.0, 8.5];
         let dist = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
         let mut idx = ClusterIndex::build(pos.len(), &[0, 1, 2, 3, 4, 5], dist);
-        idx.apply_churn(&[2], &[], dist);
+        idx.apply_churn(&[2], &[], dist).unwrap();
 
         let parts: Vec<(Vec<f64>, Vec<u32>)> = (0..idx.len())
             .map(|s| {
@@ -1148,9 +1190,9 @@ mod tests {
         assert_eq!(restored.stats().incremental_updates, 0);
         // Restored index keeps answering incrementally.
         let mut restored = restored;
-        restored.apply_churn(&[], &[2], dist);
+        restored.apply_churn(&[], &[2], dist).unwrap();
         let mut live = idx;
-        live.apply_churn(&[], &[2], dist);
+        live.apply_churn(&[], &[2], dist).unwrap();
         assert_eq!(restored.digest(), live.digest());
     }
 
@@ -1206,10 +1248,58 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not an index member")]
-    fn removing_a_non_member_panics() {
-        let mut idx = ClusterIndex::empty(4);
-        idx.apply_churn(&[1], &[], |_, _| 1.0);
+    fn invalid_churn_is_rejected_without_mutation() {
+        let pos = [0.0f64, 2.0, 5.0];
+        let dist = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
+        let mut idx = ClusterIndex::build(3, &[0, 1, 2], dist);
+        let digest = idx.digest();
+        let stats = idx.stats();
+
+        // Removing a non-member (in-universe but never joined a 4-universe
+        // sibling, and plain absent here).
+        let mut empty = ClusterIndex::empty(4);
+        assert_eq!(
+            empty.apply_churn(&[1], &[], |_, _| 1.0),
+            Err(IndexError::NotAMember(1))
+        );
+        assert_eq!(empty.stats(), IndexStats::default(), "rejection is free");
+
+        // Out-of-universe ids on either side of the delta.
+        assert_eq!(
+            idx.apply_churn(&[7], &[], dist),
+            Err(IndexError::OutOfUniverse { id: 7, universe: 3 })
+        );
+        assert_eq!(
+            idx.apply_churn(&[], &[3], dist),
+            Err(IndexError::OutOfUniverse { id: 3, universe: 3 })
+        );
+        // An Err leaves the index bit-identical: digest, membership, stats.
+        assert_eq!(idx.digest(), digest);
+        assert_eq!(idx.stats(), stats);
+        assert_eq!(idx.ids(), &[0, 1, 2]);
+
+        let shown = format!("{}", IndexError::NotAMember(1));
+        assert!(shown.contains("not an index member"), "{shown}");
+        let shown = format!("{}", IndexError::OutOfUniverse { id: 3, universe: 3 });
+        assert!(shown.contains("outside universe"), "{shown}");
+    }
+
+    #[test]
+    fn removal_and_reembedding_in_one_delta_keeps_existing_members() {
+        // A leave with orphans produces removed = [x] plus reembedded ids
+        // that are *already members*: the survivor filter must not confuse
+        // the two classes of touched ids and drop the re-embedded hosts.
+        let pos = [0.0f64, 2.0, 3.0, 7.0, 8.0];
+        let base = |a: u32, b: u32| (pos[a as usize] - pos[b as usize]).abs();
+        let all: Vec<u32> = (0..pos.len() as u32).collect();
+        let mut idx = ClusterIndex::build(pos.len(), &all, base);
+
+        let moved = [0.0f64, 2.0, 3.5, 6.0, 8.0];
+        let shifted = |a: u32, b: u32| (moved[a as usize] - moved[b as usize]).abs();
+        idx.apply_churn(&[4], &[2, 3], shifted).unwrap();
+        assert_eq!(idx.ids(), &[0, 1, 2, 3], "re-embedded members survive");
+        let fresh = ClusterIndex::build(pos.len(), &[0, 1, 2, 3], shifted);
+        assert_eq!(idx.digest(), fresh.digest());
     }
 
     #[test]

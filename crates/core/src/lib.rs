@@ -67,7 +67,7 @@ pub use find_cluster::{
 pub use index::{
     find_cluster_indexed, find_cluster_indexed_budgeted, find_cluster_indexed_par,
     max_cluster_size_indexed, max_cluster_size_indexed_budgeted, max_cluster_size_indexed_par,
-    ClusterIndex, IndexStats,
+    ClusterIndex, IndexError, IndexStats,
 };
 pub use node::{ClusterNode, ProtocolConfig, RoutePolicy};
 pub use query::{

@@ -93,6 +93,21 @@ impl ClusterNode {
         self.own_max = vec![0; self.class_count];
     }
 
+    /// Replaces the overlay neighbor list (an anchor-tree edit adjacent to
+    /// this host) and drops the aggregated records of any direction that no
+    /// longer exists — stale `aggrNode[v]`/`aggrCRT[v]` entries for a
+    /// departed neighbor would otherwise keep polluting
+    /// [`ClusterNode::clustering_space`] and the CRT folds forever.
+    ///
+    /// Records for neighbors that remain are kept as-is: they stay valid
+    /// gossip state and focused reconvergence refreshes them only where the
+    /// senders' reports actually changed.
+    pub fn set_neighbors(&mut self, neighbors: Vec<NodeId>) {
+        self.aggr_node.retain(|v, _| neighbors.contains(v));
+        self.aggr_crt.retain(|v, _| neighbors.contains(v));
+        self.neighbors = neighbors;
+    }
+
     /// Algorithm 2, sender side: the `propNode` message for neighbor `to` —
     /// the `n_cut` candidates closest to `to` among `{self} ∪
     /// ⋃_{v ≠ to} aggrNode[v]`.
@@ -729,6 +744,27 @@ mod tests {
         assert_eq!(x.clustering_space(), vec![n(0)]);
         assert_eq!(x.own_max(), &[0, 0]);
         assert_eq!(x.crt_entry(n(1), 0), 0);
+    }
+
+    #[test]
+    fn set_neighbors_prunes_stale_directions() {
+        let mut x = ClusterNode::new(n(1), vec![n(0), n(2)], 2);
+        x.receive_node_info(n(0), vec![n(0), n(9)]).unwrap();
+        x.receive_node_info(n(2), vec![n(2), n(3)]).unwrap();
+        x.receive_crt(n(0), vec![5, 4]).unwrap();
+        x.receive_crt(n(2), vec![2, 2]).unwrap();
+        // An anchor edit swaps neighbor 0 for neighbor 4: records from the
+        // kept direction survive, the departed direction's vanish — from
+        // the clustering space and the CRT folds alike.
+        x.set_neighbors(vec![n(2), n(4)]);
+        assert_eq!(x.neighbors(), &[n(2), n(4)]);
+        assert_eq!(x.clustering_space(), vec![n(1), n(2), n(3)]);
+        assert_eq!(x.crt_entry(n(0), 0), 0);
+        assert_eq!(x.crt_entry(n(2), 0), 2);
+        assert_eq!(x.aggr_node_for(n(0)), None);
+        assert_eq!(x.aggr_node_for(n(2)), Some([n(2), n(3)].as_slice()));
+        // Gossip toward the new neighbor works immediately.
+        assert!(x.node_info_for(n(4), 2, line_dist).is_ok());
     }
 
     #[test]

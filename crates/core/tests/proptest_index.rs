@@ -153,10 +153,10 @@ proptest! {
             let id = (raw % n) as u32;
             let present = members.contains(&id);
             if insert && !present {
-                live.apply_churn(&[], &[id], dist);
+                live.apply_churn(&[], &[id], dist).unwrap();
                 members.push(id);
             } else if !insert && present {
-                live.apply_churn(&[id], &[], dist);
+                live.apply_churn(&[id], &[], dist).unwrap();
                 members.retain(|&m| m != id);
             } else {
                 continue;

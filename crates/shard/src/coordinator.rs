@@ -252,7 +252,7 @@ impl Coordinator {
         let fw = &self.framework;
         self.shards[owner]
             .region
-            .apply_churn(&[], &[host.index() as u32], |a, b| fw_label_dist(fw, a, b));
+            .apply_churn(&[], &[host.index() as u32], |a, b| fw_label_dist(fw, a, b))?;
         Ok(())
     }
 
@@ -310,7 +310,7 @@ impl Coordinator {
                 continue;
             }
             sh.region
-                .apply_churn(removed, &per_shard[s], |a, b| fw_label_dist(fw, a, b));
+                .apply_churn(removed, &per_shard[s], |a, b| fw_label_dist(fw, a, b))?;
         }
         Ok(())
     }

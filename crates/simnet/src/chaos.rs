@@ -38,7 +38,7 @@ use bcc_metric::{BandwidthMatrix, DistanceMatrix, NodeId, RationalTransform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::churn::{ChurnError, DynamicSystem};
+use crate::churn::{fw_label_dist, ChurnError, DynamicSystem};
 use crate::fault::FaultPlan;
 use crate::json::{self, Json};
 use crate::persist::PersistError;
@@ -553,6 +553,14 @@ fn apply_event(
     let churn = |r: Result<(), ChurnError>| match r {
         Ok(()) | Err(ChurnError::Embed(_)) => Ok(()),
         Err(e @ ChurnError::Convergence { .. }) => Err(liveness(e.to_string())),
+        // The churn paths validate membership before building index deltas,
+        // so an index rejection means the maintenance machinery itself is
+        // broken — an oracle violation, never a benign skip.
+        Err(e @ ChurnError::Index(_)) => Err(Violation {
+            step,
+            oracle: "index".into(),
+            detail: e.to_string(),
+        }),
     };
     match event {
         ChaosEvent::Join { host } => churn(sys.join(NodeId::new(*host))),
@@ -721,11 +729,15 @@ fn check_query(
     let bound = classes.distance_of(class_idx);
     for (i, &u) in cluster.iter().enumerate() {
         for &v in &cluster[i + 1..] {
-            let Some(d) = sys.framework().distance(u, v) else {
+            // The overlay predicts with label distances (canonical order),
+            // so the bound must be checked in the same metric.
+            let fw = sys.framework();
+            if fw.distance(u, v).is_none() {
                 return Err(safety(format!(
                     "no predicted distance between members {u} and {v}"
                 )));
-            };
+            }
+            let d = fw_label_dist(fw, u.index() as u32, v.index() as u32);
             if d > bound + 1e-9 {
                 return Err(safety(format!(
                     "members {u}, {v} at predicted distance {d} exceed the \
@@ -783,13 +795,12 @@ fn check_oracles(sys: &DynamicSystem, step: usize, cache: &mut ColdCache) -> Res
     let classes = &sys.config().protocol.classes;
     let n_cut = sys.config().protocol.n_cut;
     let nodes = net.nodes();
-    // Recompute through the same symmetrized matrix construction the
-    // overlay was built with: framework tree distances can differ by an
-    // ULP between directions (path-summation order), and the engine only
-    // ever sees the `i < j` triangle.
-    let predicted = DistanceMatrix::from_fn(nodes.len(), |i, j| {
-        fw.distance(NodeId::new(i), NodeId::new(j)).unwrap_or(0.0)
-    });
+    // Recompute through the exact metric the overlay predicts with: label
+    // distances in canonical `(lo, hi)` order. Tree-BFS distances would
+    // differ by ULPs (fold order moves with every splice), which is why
+    // the dynamic overlay does not use them.
+    let predicted =
+        DistanceMatrix::from_fn(nodes.len(), |i, j| fw_label_dist(fw, i as u32, j as u32));
     let dist = |a: NodeId, b: NodeId| predicted.get(a.index(), b.index());
     for host in sys.active() {
         let node = &nodes[host.index()];
@@ -914,6 +925,23 @@ fn check_oracles(sys: &DynamicSystem, step: usize, cache: &mut ColdCache) -> Res
                 live_index.stats().full_builds
             ),
             ..index
+        });
+    }
+
+    // Overlay oracle: the gossip-side twin of the index discipline. Every
+    // churn op must have repaired the overlay incrementally — a nonzero
+    // full-reconvergence count means some op fell back to rebuilding the
+    // whole overlay from blank.
+    let overlay = sys.overlay_stats();
+    if overlay.full_reconvergences != 0 {
+        return Err(Violation {
+            step,
+            oracle: "overlay".into(),
+            detail: format!(
+                "the overlay was rebuilt from blank {} time(s) — churn must \
+                 re-converge only the disturbed region",
+                overlay.full_reconvergences
+            ),
         });
     }
     Ok(())

@@ -4,8 +4,17 @@
 //! membership adapt as network conditions change. [`DynamicSystem`] layers
 //! that on top of the static stack: the prediction framework restructures
 //! incrementally on every join/leave (re-embedding orphaned anchor
-//! subtrees), and the gossip overlay re-converges afterwards, so queries
-//! always reflect the current membership.
+//! subtrees), and the gossip overlay repairs itself *incrementally* — only
+//! the aggregation state along the anchor-tree paths the op actually
+//! touched is rebuilt, and gossip re-converges over that disturbed region
+//! alone ([`SimNetwork::reconverge_focused`]) instead of restarting the
+//! whole overlay from blank. The fixpoint reached is bit-identical to a
+//! cold restart of the same membership (the chaos liveness oracle), because
+//! the dynamic overlay's predicted metric is the *label* distance
+//! ([`fw_label_dist`]): a host's label is immutable while it stays
+//! embedded, so churn of other hosts can never move an untouched pair's
+//! distance — the same property that makes the cluster index's incremental
+//! maintenance sound.
 //!
 //! Failures reuse the same machinery: [`DynamicSystem::crash`] is an
 //! *involuntary* departure — the host's anchor descendants are re-adopted
@@ -16,12 +25,14 @@
 
 use std::collections::BTreeSet;
 
-use bcc_core::{Budgeted, ClusterError, ClusterIndex, QueryOutcome, RetryPolicy, WorkMeter};
+use bcc_core::{
+    Budgeted, ClusterError, ClusterIndex, IndexError, QueryOutcome, RetryPolicy, WorkMeter,
+};
 use bcc_embed::{EmbedError, PredictionFramework};
 use bcc_metric::{BandwidthMatrix, DistanceMatrix, FiniteMetric, NodeId};
 
 use crate::config::ConfigError;
-use crate::engine::{NodeGossipState, SimNetwork};
+use crate::engine::{NodeGossipState, OverlayDelta, SimNetwork};
 use crate::system::SystemConfig;
 
 /// Everything [`DynamicSystem::from_restored_parts`] needs to reassemble
@@ -56,11 +67,23 @@ pub enum ChurnError {
         /// The round cap that was exhausted.
         max_rounds: usize,
     },
+    /// The cluster index rejected the membership delta
+    /// ([`bcc_core::IndexError`]). Unreachable through the public churn
+    /// methods — they validate membership before building the delta — but
+    /// propagated as a typed error rather than a panic so the library
+    /// boundary stays honest.
+    Index(IndexError),
 }
 
 impl From<EmbedError> for ChurnError {
     fn from(e: EmbedError) -> Self {
         ChurnError::Embed(e)
+    }
+}
+
+impl From<IndexError> for ChurnError {
+    fn from(e: IndexError) -> Self {
+        ChurnError::Index(e)
     }
 }
 
@@ -74,6 +97,7 @@ impl std::fmt::Display for ChurnError {
                     "overlay did not re-converge within {max_rounds} rounds after churn"
                 )
             }
+            ChurnError::Index(e) => write!(f, "cluster index rejected the churn delta: {e}"),
         }
     }
 }
@@ -83,8 +107,55 @@ impl std::error::Error for ChurnError {
         match self {
             ChurnError::Embed(e) => Some(e),
             ChurnError::Convergence { .. } => None,
+            ChurnError::Index(e) => Some(e),
         }
     }
+}
+
+/// Lifetime overlay-maintenance counters of one [`DynamicSystem`] — the
+/// gossip-side mirror of [`bcc_core::IndexStats`]. Instance-local, so a
+/// chaos oracle can assert *this* system never took the full-rebuild path
+/// (`full_reconvergences` stays 0 across churn) without cross-talk.
+///
+/// Not persisted: a snapshot restore starts the counters at zero, exactly
+/// like the index's `full_builds` discipline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlayStats {
+    /// Cold from-blank overlay convergences. Only
+    /// [`DynamicSystem::bootstrap`] takes this path; every join, leave,
+    /// crash and recovery on a live system repairs incrementally and
+    /// reports 0 here forever — the "no full rebuild on the hot path"
+    /// guarantee the chaos `overlay` oracle pins.
+    pub full_reconvergences: u64,
+    /// Incremental churn repairs ([focused reconvergence]
+    /// (`SimNetwork::reconverge_focused`)).
+    pub incremental_ops: u64,
+    /// Focused gossip rounds of the most recent churn op.
+    pub last_rounds: u64,
+    /// Gossip messages the most recent churn op sent.
+    pub last_messages: u64,
+    /// Predicted-matrix entries the most recent churn op rewrote.
+    pub last_predicted_entries: u64,
+    /// Seed hosts of the most recent churn op's disturbed region.
+    pub last_region: u64,
+    /// Gossip messages across all churn ops.
+    pub messages: u64,
+    /// Predicted-matrix entries rewritten across all churn ops.
+    pub predicted_entries: u64,
+}
+
+/// Measured cost of one *full rebuild* of the overlay — the cold path
+/// incremental maintenance replaced, in the same units [`OverlayStats`]
+/// reports for the incremental path. Benchmarks compare the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildCost {
+    /// Gossip rounds a blank overlay needs to converge.
+    pub rounds: u64,
+    /// Gossip messages sent on the way there.
+    pub messages: u64,
+    /// Predicted-matrix entries a cold rebuild computes (all active
+    /// pairs).
+    pub predicted_entries: u64,
 }
 
 /// Canonical predicted distance for the cluster index: the *label*
@@ -105,23 +176,25 @@ pub fn fw_label_dist(fw: &PredictionFramework, a: u32, b: u32) -> f64 {
         .unwrap_or(0.0)
 }
 
-/// The predicted metric over the whole universe, materialized with one
-/// prediction-tree BFS per embedded host instead of one per pair.
-/// `distances_from` accumulates edge weights in the exact order the
-/// pairwise BFS in `tree.distance` does (outward from `i` along the
-/// unique tree path), so every entry is bit-identical to the
-/// `from_fn(|i, j| fw.distance(i, j))` formulation at a factor-n less
-/// work. Hosts outside the framework keep distance 0.0; their rows are
-/// never read while they are inactive.
-fn predicted_universe_matrix(fw: &PredictionFramework, n: usize) -> DistanceMatrix {
-    let mut m = DistanceMatrix::new(n);
-    for i in 0..n {
-        if let Some(row) = fw.tree().distances_from(NodeId::new(i)) {
-            for (j, &d) in row.iter().enumerate().take(n).skip(i + 1) {
-                if !d.is_nan() {
-                    m.set(i, j, d);
-                }
-            }
+/// The dynamic overlay's predicted metric: a universe-indexed matrix
+/// whose *active × active* block holds label distances and whose inactive
+/// rows stay 0.0 (never read while their host is out). Filling only the
+/// live pairs keeps a cold build `O(|active|²)` even when the membership
+/// is a sliver of the universe, and the label metric (unlike a tree BFS,
+/// whose fold order moves with every splice) makes each entry a pure
+/// function of its two endpoints' immutable labels — the property that
+/// lets incremental maintenance rewrite only the touched rows and still
+/// land bit-identical to this cold fill.
+fn label_universe_matrix(
+    fw: &PredictionFramework,
+    universe: usize,
+    active: &BTreeSet<NodeId>,
+) -> DistanceMatrix {
+    let mut m = DistanceMatrix::new(universe);
+    let ids: Vec<u32> = active.iter().map(|h| h.index() as u32).collect();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            m.set(a as usize, b as usize, fw_label_dist(fw, a, b));
         }
     }
     m
@@ -168,6 +241,9 @@ pub struct DynamicSystem {
     /// hot path (asserted by the chaos oracles via
     /// [`bcc_core::IndexStats::full_builds`]).
     index: ClusterIndex,
+    /// Overlay-maintenance counters — the gossip-side `full_builds == 0`
+    /// discipline (asserted by the chaos `overlay` oracle).
+    overlay_stats: OverlayStats,
 }
 
 impl DynamicSystem {
@@ -204,6 +280,7 @@ impl DynamicSystem {
             last_convergence_rounds: None,
             work_cost: 1,
             index,
+            overlay_stats: OverlayStats::default(),
         })
     }
 
@@ -303,7 +380,7 @@ impl DynamicSystem {
             }
             None
         } else {
-            let predicted = predicted_universe_matrix(&framework, bandwidth.len());
+            let predicted = label_universe_matrix(&framework, bandwidth.len(), &active);
             let mut net = SimNetwork::new(framework.anchor(), predicted, config.protocol.clone());
             net.import_gossip(gossip)?;
             Some(net)
@@ -319,6 +396,7 @@ impl DynamicSystem {
             last_convergence_rounds,
             work_cost: work_cost.max(1),
             index,
+            overlay_stats: OverlayStats::default(),
         })
     }
 
@@ -381,8 +459,8 @@ impl DynamicSystem {
         // One new labeled host: splice its distances into every index row.
         let fw = &self.framework;
         self.index
-            .apply_churn(&[], &[host.index() as u32], |a, b| fw_label_dist(fw, a, b));
-        self.rebuild()
+            .apply_churn(&[], &[host.index() as u32], |a, b| fw_label_dist(fw, a, b))?;
+        self.reconverge_after_churn(&[host], None)
     }
 
     /// Removes a host; its anchor descendants are re-embedded
@@ -396,8 +474,8 @@ impl DynamicSystem {
     pub fn leave(&mut self, host: NodeId) -> Result<(), ChurnError> {
         let orphans = self.detach(host)?;
         self.active.remove(&host);
-        self.update_index_after_departure(host, &orphans);
-        self.rebuild()
+        self.update_index_after_departure(host, &orphans)?;
+        self.reconverge_after_churn(&orphans, Some(host))
     }
 
     /// The shared framework-departure step of [`DynamicSystem::leave`] and
@@ -413,12 +491,17 @@ impl DynamicSystem {
     /// Incremental index delta for a departure: the departed host's rows
     /// and entries vanish, the re-embedded orphans' distances are
     /// recomputed; every other row slice survives untouched.
-    fn update_index_after_departure(&mut self, host: NodeId, orphans: &[NodeId]) {
+    fn update_index_after_departure(
+        &mut self,
+        host: NodeId,
+        orphans: &[NodeId],
+    ) -> Result<(), ChurnError> {
         let removed = [host.index() as u32];
         let reembedded: Vec<u32> = orphans.iter().map(|h| h.index() as u32).collect();
         let fw = &self.framework;
         self.index
-            .apply_churn(&removed, &reembedded, |a, b| fw_label_dist(fw, a, b));
+            .apply_churn(&removed, &reembedded, |a, b| fw_label_dist(fw, a, b))?;
+        Ok(())
     }
 
     /// Crashes a host: an *involuntary* departure. Its anchor descendants
@@ -436,8 +519,8 @@ impl DynamicSystem {
         let orphans = self.detach(host)?;
         self.active.remove(&host);
         self.crashed.insert(host);
-        self.update_index_after_departure(host, &orphans);
-        self.rebuild()
+        self.update_index_after_departure(host, &orphans)?;
+        self.reconverge_after_churn(&orphans, Some(host))
     }
 
     /// Brings a crashed host back: a cold restart through the ordinary
@@ -800,7 +883,7 @@ impl DynamicSystem {
     fn fresh_network(&self) -> Result<(SimNetwork, usize), ChurnError> {
         // Predicted distances indexed by universe id; inactive rows unused.
         let fw = &self.framework;
-        let predicted = predicted_universe_matrix(fw, self.bandwidth.len());
+        let predicted = label_universe_matrix(fw, self.bandwidth.len(), &self.active);
         let mut net = SimNetwork::new(fw.anchor(), predicted, self.config.protocol.clone());
         let rounds =
             net.run_to_convergence(self.config.max_rounds)
@@ -810,6 +893,11 @@ impl DynamicSystem {
         Ok((net, rounds))
     }
 
+    /// Full from-blank overlay convergence — the cold path. Only
+    /// [`DynamicSystem::bootstrap`] calls this; churn on a live system goes
+    /// through [`DynamicSystem::reconverge_after_churn`] instead, and the
+    /// `full_reconvergences` counter bumped here is the tripwire proving
+    /// it stays that way.
     fn rebuild(&mut self) -> Result<(), ChurnError> {
         if self.active.is_empty() {
             self.network = None;
@@ -817,9 +905,144 @@ impl DynamicSystem {
             return Ok(());
         }
         let (net, rounds) = self.fresh_network()?;
+        self.overlay_stats.full_reconvergences += 1;
         self.last_convergence_rounds = Some(rounds);
         self.network = Some(net);
         Ok(())
+    }
+
+    /// Incremental overlay repair after one membership op — the hot path
+    /// that replaced the per-op full rebuild.
+    ///
+    /// `touched` is the set of hosts whose labels were (re)computed by the
+    /// framework restructure: the joiner on a join, the re-embedded
+    /// orphans on a leave/crash. `departed` is the host that left, if any.
+    /// The repair is three cheap steps against the *persistent* overlay:
+    ///
+    /// 1. rewrite the predicted-matrix rows of `touched` against the live
+    ///    membership (`O(|touched| · |active|)` — untouched pairs keep
+    ///    their label distances bit-for-bit, so nothing else moved);
+    /// 2. build an [`OverlayDelta`]: reset the touched + departed hosts'
+    ///    aggregation state, splice the anchor adjacency edits (every
+    ///    added or removed anchor edge has a touched/departed endpoint, so
+    ///    comparing old overlay lists against the new anchor around that
+    ///    set covers all edits);
+    /// 3. re-converge *focused* on the disturbed region
+    ///    ([`SimNetwork::reconverge_focused`]): change-driven gossip that
+    ///    expands exactly as far as records differ from the old fixpoint
+    ///    and lands on the unique fixpoint a cold restart would reach —
+    ///    the `live digest == cold_restart_digest` invariant the chaos
+    ///    liveness oracle pins after every op.
+    fn reconverge_after_churn(
+        &mut self,
+        touched: &[NodeId],
+        departed: Option<NodeId>,
+    ) -> Result<(), ChurnError> {
+        if self.active.is_empty() {
+            self.network = None;
+            self.last_convergence_rounds = None;
+            self.overlay_stats.incremental_ops += 1;
+            self.overlay_stats.last_rounds = 0;
+            self.overlay_stats.last_messages = 0;
+            self.overlay_stats.last_predicted_entries = 0;
+            self.overlay_stats.last_region = 0;
+            return Ok(());
+        }
+        if self.network.is_none() {
+            // First host: a blank overlay (no gossip state to preserve, so
+            // nothing to repair — the focused pass below converges it).
+            self.network = Some(SimNetwork::new(
+                self.framework.anchor(),
+                DistanceMatrix::new(self.bandwidth.len()),
+                self.config.protocol.clone(),
+            ));
+        }
+        let active: Vec<NodeId> = self.active.iter().copied().collect();
+        let fw = &self.framework;
+        let anchor = fw.anchor();
+        let net = self.network.as_mut().expect("overlay exists");
+
+        let entries = net.update_predicted_rows(touched, &active, |a, b| {
+            fw_label_dist(fw, a.index() as u32, b.index() as u32)
+        });
+
+        let mut delta = OverlayDelta {
+            reset: touched.to_vec(),
+            neighbors: Vec::new(),
+        };
+        if let Some(d) = departed {
+            delta.reset.push(d);
+        }
+        // Hosts whose anchor adjacency could have changed: the reset hosts
+        // themselves plus their overlay neighbors old and new. Every
+        // spliced edge has a reset endpoint, so this closure is complete.
+        let mut affected: BTreeSet<NodeId> = BTreeSet::new();
+        for &h in &delta.reset {
+            affected.insert(h);
+            affected.extend(net.nodes()[h.index()].neighbors().iter().copied());
+            if anchor.contains(h) {
+                affected.extend(anchor.neighbors(h));
+            }
+        }
+        for &a in &affected {
+            let new_list = if anchor.contains(a) {
+                anchor.neighbors(a)
+            } else {
+                Vec::new()
+            };
+            if net.nodes()[a.index()].neighbors() != new_list.as_slice() {
+                delta.neighbors.push((a, new_list));
+            }
+        }
+
+        let messages_before = net.traffic().messages;
+        let seeds = net.apply_churn_delta(&delta, &active);
+        let rounds = net
+            .reconverge_focused(&seeds, self.config.max_rounds)
+            .ok_or(ChurnError::Convergence {
+                max_rounds: self.config.max_rounds,
+            })?;
+        let messages = net.traffic().messages - messages_before;
+
+        self.last_convergence_rounds = Some(rounds);
+        let st = &mut self.overlay_stats;
+        st.incremental_ops += 1;
+        st.last_rounds = rounds as u64;
+        st.last_messages = messages;
+        st.last_predicted_entries = entries;
+        st.last_region = seeds.len() as u64;
+        st.messages += messages;
+        st.predicted_entries += entries;
+        Ok(())
+    }
+
+    /// Lifetime overlay-maintenance counters of this system (see
+    /// [`OverlayStats`]). `full_reconvergences` stays 0 across arbitrary
+    /// churn on a live system — only [`DynamicSystem::bootstrap`]'s single
+    /// cold convergence counts there.
+    pub fn overlay_stats(&self) -> OverlayStats {
+        self.overlay_stats
+    }
+
+    /// Measures what one *full rebuild* of the current overlay costs — the
+    /// cold path every churn op used to pay before incremental maintenance
+    /// — without touching the live system. `None` when nobody is active.
+    ///
+    /// # Errors
+    ///
+    /// [`ChurnError::Convergence`] if the probe overlay fails to converge
+    /// within [`SystemConfig::max_rounds`].
+    pub fn rebuild_cost_probe(&self) -> Result<Option<RebuildCost>, ChurnError> {
+        if self.active.is_empty() {
+            return Ok(None);
+        }
+        let (net, rounds) = self.fresh_network()?;
+        let a = self.active.len() as u64;
+        Ok(Some(RebuildCost {
+            rounds: rounds as u64,
+            messages: net.traffic().messages,
+            predicted_entries: a * (a - 1) / 2,
+        }))
     }
 }
 
@@ -918,6 +1141,10 @@ mod tests {
         let e = ChurnError::Convergence { max_rounds: 64 };
         assert!(e.to_string().contains("64"));
         assert!(std::error::Error::source(&e).is_none());
+        let e = ChurnError::from(bcc_core::IndexError::NotAMember(9));
+        assert!(e.to_string().contains("index"));
+        assert!(e.to_string().contains('9'));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]
@@ -1127,6 +1354,10 @@ mod tests {
         assert_eq!(boot.cluster_index().digest(), seq.cluster_index().digest());
         assert_eq!(boot.cluster_index().stats().full_builds, 1);
         assert_eq!(boot.cluster_index().stats().incremental_updates, 0);
+        assert_eq!(boot.overlay_stats().full_reconvergences, 1);
+        assert_eq!(boot.overlay_stats().incremental_ops, 0);
+        assert_eq!(seq.overlay_stats().full_reconvergences, 0);
+        assert_eq!(seq.overlay_stats().incremental_ops, 5);
         // Bad memberships are rejected, not embedded.
         let cls = BandwidthClasses::new(vec![40.0, 80.0], RationalTransform::default());
         assert!(matches!(
@@ -1230,6 +1461,132 @@ mod tests {
             s.cluster_near(n(4), 2, 40.0),
             Err(ClusterError::UnknownNeighbor { neighbor: 4 })
         ));
+    }
+
+    #[test]
+    fn overlay_repairs_incrementally_and_lands_on_the_cold_fixpoint() {
+        let mut s = dynamic();
+        let check = |s: &DynamicSystem, what: &str| {
+            assert_eq!(
+                s.live_digest(),
+                s.cold_restart_digest().unwrap(),
+                "live overlay diverged from the cold-restart fixpoint after {what}"
+            );
+        };
+        for i in 0..5 {
+            s.join(n(i)).unwrap();
+            check(&s, "join");
+        }
+        s.leave(n(1)).unwrap();
+        check(&s, "leave");
+        s.crash(n(0)).unwrap();
+        check(&s, "crash of the overlay root");
+        s.recover(n(0)).unwrap();
+        check(&s, "recover");
+        s.join(n(5)).unwrap();
+        s.leave(n(3)).unwrap();
+        check(&s, "mixed churn");
+        // Every one of the 10 ops repaired the overlay in place: the only
+        // gossip run since construction was change-driven and focused.
+        let stats = s.overlay_stats();
+        assert_eq!(
+            stats.full_reconvergences, 0,
+            "no from-blank overlay rebuild on the hot path"
+        );
+        assert_eq!(stats.incremental_ops, 10);
+        assert!(stats.last_rounds >= 1, "churn forces re-convergence");
+        assert!(stats.last_region >= 1);
+        assert!(stats.messages >= 1);
+        // Draining the membership drops the overlay without a rebuild.
+        for h in s.active().collect::<Vec<_>>() {
+            s.leave(h).unwrap();
+        }
+        assert_eq!(s.live_digest(), None);
+        assert_eq!(s.cold_restart_digest().unwrap(), None);
+        assert_eq!(s.overlay_stats().full_reconvergences, 0);
+        // And the system comes back from empty on the incremental path too.
+        s.join(n(2)).unwrap();
+        s.join(n(4)).unwrap();
+        check(&s, "rejoin after draining");
+        assert_eq!(s.overlay_stats().full_reconvergences, 0);
+    }
+
+    #[test]
+    fn rebuild_cost_probe_reports_the_cold_path() {
+        let mut s = dynamic();
+        assert_eq!(s.rebuild_cost_probe().unwrap(), None);
+        for i in 0..6 {
+            s.join(n(i)).unwrap();
+        }
+        let cost = s.rebuild_cost_probe().unwrap().unwrap();
+        assert!(cost.rounds >= 2);
+        assert!(cost.messages > 0);
+        assert_eq!(cost.predicted_entries, 15, "6 active hosts = 15 pairs");
+        // The probe is read-only: the live overlay and counters are
+        // untouched, and a single-host op costs less than the full rebuild
+        // it replaced.
+        let before = s.overlay_stats();
+        let digest = s.live_digest();
+        assert_eq!(s.rebuild_cost_probe().unwrap().unwrap(), cost);
+        assert_eq!(s.overlay_stats(), before);
+        assert_eq!(s.live_digest(), digest);
+        s.leave(n(5)).unwrap();
+        assert!(
+            s.overlay_stats().last_messages < cost.messages,
+            "incremental repair ({} msgs) must beat the cold rebuild ({} msgs)",
+            s.overlay_stats().last_messages,
+            cost.messages
+        );
+    }
+
+    #[test]
+    fn op_cost_is_independent_of_universe_size() {
+        // Two universes, 24 and 96 potential hosts, agreeing on the
+        // bandwidth of every pair the schedule ever activates. The same
+        // churn schedule must cost the same in both: per-op work scales
+        // with the live membership and the disturbed region, never with
+        // the universe.
+        let cap = |i: usize| -> f64 {
+            match i % 3 {
+                0 => 100.0,
+                1 => 30.0,
+                _ => 10.0,
+            }
+        };
+        let mk = |universe: usize| {
+            let bw = BandwidthMatrix::from_fn(universe, |i, j| cap(i).min(cap(j)));
+            let cls = BandwidthClasses::new(vec![40.0, 80.0], RationalTransform::default());
+            DynamicSystem::new(bw, SystemConfig::new(cls))
+        };
+        let mut small = mk(24);
+        let mut large = mk(96);
+        let op = |small: &mut DynamicSystem,
+                  large: &mut DynamicSystem,
+                  f: &dyn Fn(&mut DynamicSystem) -> Result<(), ChurnError>,
+                  what: &str| {
+            f(small).unwrap();
+            f(large).unwrap();
+            assert_eq!(
+                small.overlay_stats(),
+                large.overlay_stats(),
+                "overlay op cost moved with the universe size after {what}"
+            );
+            assert_eq!(
+                small.last_convergence_rounds(),
+                large.last_convergence_rounds(),
+                "round count moved with the universe size after {what}"
+            );
+        };
+        for i in 0..12 {
+            op(&mut small, &mut large, &|s| s.join(n(i)), "join");
+        }
+        op(&mut small, &mut large, &|s| s.leave(n(3)), "leave");
+        op(&mut small, &mut large, &|s| s.crash(n(5)), "crash");
+        op(&mut small, &mut large, &|s| s.recover(n(5)), "recover");
+        op(&mut small, &mut large, &|s| s.leave(n(0)), "root leave");
+        // Both systems also hold the digest invariant independently.
+        assert_eq!(small.live_digest(), small.cold_restart_digest().unwrap());
+        assert_eq!(large.live_digest(), large.cold_restart_digest().unwrap());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! recorded in the [`Trace`] when tracing is enabled.
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
 use bcc_core::{
@@ -74,6 +75,22 @@ pub struct NodeGossipState {
     pub crt: Vec<(NodeId, Vec<usize>)>,
 }
 
+/// One churn op's disturbance, in engine terms: which hosts must restart
+/// their gossip state and which hosts' overlay neighbor lists changed.
+/// Built by [`crate::DynamicSystem`] from an anchor-tree edit and applied
+/// with [`SimNetwork::apply_churn_delta`].
+#[derive(Debug, Clone, Default)]
+pub struct OverlayDelta {
+    /// Hosts whose gossip state is stale beyond repair — re-embedded
+    /// orphans, a fresh joiner, or the departed host's placeholder. Each is
+    /// reset to blank exactly like a crash recovery.
+    pub reset: Vec<NodeId>,
+    /// Hosts whose overlay neighbor list changed, with the new list (empty
+    /// for a departed host). Aggregated records of dropped directions are
+    /// pruned.
+    pub neighbors: Vec<(NodeId, Vec<NodeId>)>,
+}
+
 /// The simulated overlay network running the clustering protocol.
 #[derive(Debug, Clone)]
 pub struct SimNetwork {
@@ -99,14 +116,27 @@ impl SimNetwork {
     pub fn new(anchor: &AnchorTree, predicted: DistanceMatrix, config: ProtocolConfig) -> Self {
         let n = predicted.len();
         let mut nodes = Vec::with_capacity(n);
-        for i in 0..n {
+        let mut space_digest = vec![0u64; n];
+        for (i, digest) in space_digest.iter_mut().enumerate() {
             let id = NodeId::new(i);
             let neighbors = if anchor.contains(id) {
                 anchor.neighbors(id)
             } else {
                 Vec::new()
             };
-            nodes.push(ClusterNode::new(id, neighbors, config.classes.len()));
+            let mut node = ClusterNode::new(id, neighbors, config.classes.len());
+            // A blank node is already at its fixpoint for the singleton
+            // space {self}: a cluster of one per class. Computing that here
+            // (and priming the space-change gate to match) means nodes no
+            // round ever visits — isolated placeholders in a persistent
+            // dynamic overlay — hold the exact state a cold convergence
+            // would leave them with. Active nodes' spaces grow on their
+            // first delivery, so the gate re-fires for them as before.
+            node.recompute_own_max(&config.classes, |a, b| predicted.get(a.index(), b.index()));
+            let mut h = DefaultHasher::new();
+            node.clustering_space().hash(&mut h);
+            *digest = h.finish();
+            nodes.push(node);
         }
         SimNetwork {
             nodes,
@@ -114,7 +144,7 @@ impl SimNetwork {
             config,
             rounds_run: 0,
             traffic: TrafficStats::default(),
-            space_digest: vec![0; n],
+            space_digest,
             trace: None,
             injector: None,
             pending: Vec::new(),
@@ -607,6 +637,207 @@ impl SimNetwork {
         )
     }
 
+    /// Rewrites the predicted-distance rows of `touched` hosts against
+    /// every host in `targets` (both orientations — the matrix is
+    /// symmetric). Returns the number of entries written, the churn-cost
+    /// unit the benches report.
+    ///
+    /// This is the incremental counterpart of rebuilding the whole matrix:
+    /// a membership change re-embeds only `touched` hosts, so only their
+    /// rows can differ — `O(|touched| · |targets|)` work instead of
+    /// `O(n²)`.
+    pub fn update_predicted_rows(
+        &mut self,
+        touched: &[NodeId],
+        targets: &[NodeId],
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> u64 {
+        let mut entries = 0u64;
+        for &t in touched {
+            for &u in targets {
+                if t == u {
+                    continue;
+                }
+                self.predicted.set(t.index(), u.index(), dist(t, u));
+                entries += 1;
+            }
+        }
+        entries
+    }
+
+    /// Applies one churn op's disturbance to the live overlay and returns
+    /// the seed set for [`SimNetwork::reconverge_focused`] — every host
+    /// whose local gossip inputs changed:
+    ///
+    /// - the reset and neighbor-edited hosts themselves;
+    /// - neighbors of reset hosts (they must re-send their reports so a
+    ///   blank host can rebuild its records, and their reports toward a
+    ///   re-embedded host sort by that host's new distance row);
+    /// - every host in `scan` whose clustering space intersects the reset
+    ///   set — a changed distance row silently invalidates its local
+    ///   maxima, which the space-hash gate alone cannot see, so those
+    ///   hosts get their change-detection digest zeroed to force one
+    ///   recomputation.
+    ///
+    /// Every other host's reports, local maxima and CRT rows are
+    /// bit-identical to the pre-churn fixpoint (untouched label distances
+    /// are bit-stable across churn), so focused gossip from these seeds
+    /// reaches the same fixpoint a cold restart would — change detection
+    /// carries the wave exactly as far as records actually differ.
+    ///
+    /// `scan` is the *live membership* (the caller's active list), not the
+    /// id universe: per-op cost scales with the number of participating
+    /// hosts, never with the universe size.
+    ///
+    /// Wire state from before the membership change is void: in-flight
+    /// deliveries are cleared and any fault injector is removed, matching
+    /// the semantics of the full-rebuild path this replaces (which dropped
+    /// the whole network).
+    pub fn apply_churn_delta(&mut self, delta: &OverlayDelta, scan: &[NodeId]) -> Vec<NodeId> {
+        self.injector = None;
+        self.pending.clear();
+
+        let mut seeds: BTreeSet<usize> = BTreeSet::new();
+        for (id, list) in &delta.neighbors {
+            self.nodes[id.index()].set_neighbors(list.clone());
+            self.space_digest[id.index()] = 0;
+            seeds.insert(id.index());
+        }
+        for &id in &delta.reset {
+            self.nodes[id.index()].reset();
+            self.space_digest[id.index()] = 0;
+            seeds.insert(id.index());
+        }
+        // Neighbors of reset hosts (collected after the neighbor edits, so
+        // these are the *new* overlay edges).
+        let mut reset_neighbors: Vec<usize> = Vec::new();
+        for &id in &delta.reset {
+            reset_neighbors.extend(self.nodes[id.index()].neighbors().iter().map(|v| v.index()));
+        }
+        seeds.extend(reset_neighbors);
+
+        let disturbed: BTreeSet<NodeId> = delta.reset.iter().copied().collect();
+        for &i in scan {
+            if seeds.contains(&i.index()) && self.space_digest[i.index()] == 0 {
+                continue;
+            }
+            if self.nodes[i.index()]
+                .clustering_space()
+                .iter()
+                .any(|u| disturbed.contains(u))
+            {
+                self.space_digest[i.index()] = 0;
+                seeds.insert(i.index());
+            }
+        }
+        seeds.into_iter().map(NodeId::new).collect()
+    }
+
+    /// Runs focused gossip rounds over the disturbed region until no
+    /// seeded or newly-disturbed host changes state, up to `max_rounds`.
+    /// Returns the number of rounds executed, or `None` at the cap.
+    ///
+    /// Each round mirrors [`SimNetwork::run_round`]'s two phases but only
+    /// *dirty* hosts send; a receiver joins the next round's dirty set
+    /// exactly when a delivered record, its local maxima, or a stored CRT
+    /// entry actually changed. Fault-free by construction —
+    /// [`SimNetwork::apply_churn_delta`] cleared the injector — so every
+    /// message delivers immediately and the fixpoint reached is the unique
+    /// one a cold restart of the same membership computes.
+    pub fn reconverge_focused(&mut self, seeds: &[NodeId], max_rounds: usize) -> Option<usize> {
+        let _span = bcc_obs::span!("simnet.reconverge_focused");
+        let start = self.rounds_run;
+        let mut dirty: BTreeSet<usize> = seeds.iter().map(|s| s.index()).collect();
+        while !dirty.is_empty() {
+            if self.rounds_run - start >= max_rounds {
+                return None;
+            }
+            dirty = self.run_focused_round(&dirty);
+        }
+        let rounds = self.rounds_run - start;
+        bcc_obs::observe!("simnet.focused_rounds", rounds as u64);
+        Some(rounds)
+    }
+
+    /// One focused round: dirty hosts send, receivers that changed come
+    /// back as the next dirty set.
+    fn run_focused_round(&mut self, dirty: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let n_cut = self.config.n_cut;
+        let mut next: BTreeSet<usize> = BTreeSet::new();
+
+        // Phase 1: NodeInfo from every dirty sender, produced from the
+        // pre-round state (synchronous rounds, like `run_round`).
+        let mut deliveries: Vec<(usize, NodeId, Message)> = Vec::new();
+        for &m in dirty {
+            let sender = &self.nodes[m];
+            for &x in sender.neighbors() {
+                let info = sender
+                    .node_info_for(x, n_cut, |a, b| self.predicted.get(a.index(), b.index()))
+                    .expect("overlay neighbors are mutual");
+                deliveries.push((x.index(), sender.id(), Message::NodeInfo { nodes: info }));
+            }
+        }
+        for (to, from, msg) in deliveries {
+            let before = self.nodes[to].aggr_node_for(from).map(<[NodeId]>::to_vec);
+            self.send(to, from, msg);
+            if self.nodes[to].aggr_node_for(from).map(<[NodeId]>::to_vec) != before {
+                next.insert(to);
+            }
+        }
+
+        // Phase 2: recompute local maxima where the clustering space
+        // changed — dirty senders and every receiver phase 1 just updated.
+        let mut check: BTreeSet<usize> = dirty.clone();
+        check.extend(next.iter().copied());
+        for &i in &check {
+            let space = self.nodes[i].clustering_space();
+            let mut h = DefaultHasher::new();
+            space.hash(&mut h);
+            let d = h.finish();
+            if d != self.space_digest[i] {
+                self.space_digest[i] = d;
+                let before = self.nodes[i].own_max().to_vec();
+                let predicted = &self.predicted;
+                self.nodes[i].recompute_own_max(&self.config.classes, |a, b| {
+                    predicted.get(a.index(), b.index())
+                });
+                if self.nodes[i].own_max() != before.as_slice() {
+                    next.insert(i);
+                }
+            }
+        }
+
+        // Phase 3: CrtRow from every host whose CRT inputs may have moved
+        // this round (the check set covers both last round's receivers and
+        // this round's own-max changes).
+        let mut deliveries: Vec<(usize, NodeId, Message)> = Vec::new();
+        for &m in &check {
+            let sender = &self.nodes[m];
+            for &x in sender.neighbors() {
+                let row = sender.crt_for(x).expect("overlay neighbors are mutual");
+                let sizes = row
+                    .iter()
+                    .map(|&s| u32::try_from(s).expect("cluster size fits u32"))
+                    .collect();
+                deliveries.push((x.index(), sender.id(), Message::CrtRow { sizes }));
+            }
+        }
+        let classes = self.config.classes.len();
+        for (to, from, msg) in deliveries {
+            let before: Vec<usize> = (0..classes)
+                .map(|c| self.nodes[to].crt_entry(from, c))
+                .collect();
+            self.send(to, from, msg);
+            let changed = (0..classes).any(|c| self.nodes[to].crt_entry(from, c) != before[c]);
+            if changed {
+                next.insert(to);
+            }
+        }
+
+        self.rounds_run += 1;
+        next
+    }
+
     /// Exports every node's aggregated gossip state as plain data, in node
     /// order. Together with the overlay (anchor tree) and the predicted
     /// matrix this is the network's complete protocol state: feeding it
@@ -905,6 +1136,32 @@ mod tests {
             reference.digest(),
             "cold restart must rebuild the same fixpoint"
         );
+    }
+
+    #[test]
+    fn churn_delta_reset_reconverges_to_cold_fixpoint() {
+        let mut reference = build(8, 3, vec![25.0, 50.0]);
+        reference.run_to_convergence(100).unwrap();
+
+        let mut net = build(8, 3, vec![25.0, 50.0]);
+        net.run_to_convergence(100).unwrap();
+        // Blow away one host's gossip state through the churn-delta path
+        // (the shape of a re-embedding) and heal it with focused rounds.
+        let delta = OverlayDelta {
+            reset: vec![n(4)],
+            neighbors: vec![],
+        };
+        let scan: Vec<NodeId> = (0..8).map(n).collect();
+        let seeds = net.apply_churn_delta(&delta, &scan);
+        assert!(seeds.contains(&n(4)), "reset host seeds itself");
+        let before_messages = net.traffic().messages;
+        let rounds = net
+            .reconverge_focused(&seeds, 100)
+            .expect("focused gossip settles");
+        assert!(rounds >= 1);
+        assert_eq!(net.digest(), reference.digest(), "same fixpoint as cold");
+        // Focused repair talks less than the full re-convergence did.
+        assert!(net.traffic().messages - before_messages < reference.traffic().messages);
     }
 
     #[test]

@@ -89,9 +89,9 @@ pub use chaos::{
     run_schedule_with_stats, shrink_schedule, ChaosConfig, ChaosError, ChaosEvent, ChaosOutcome,
     OracleStats, ReplayArtifact, Violation,
 };
-pub use churn::{fw_label_dist, ChurnError, DynamicSystem};
+pub use churn::{fw_label_dist, ChurnError, DynamicSystem, OverlayStats, RebuildCost};
 pub use config::ConfigError;
-pub use engine::{NodeGossipState, SimNetwork, TrafficStats};
+pub use engine::{NodeGossipState, OverlayDelta, SimNetwork, TrafficStats};
 pub use event::{AsyncConfig, AsyncNetwork};
 pub use fault::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultTransition, MessageFate, PlannedInjector,

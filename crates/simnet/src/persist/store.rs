@@ -196,7 +196,7 @@ fn replay_op(sys: &mut DynamicSystem, rec: &JournalRecord) -> Result<(), Persist
     };
     match outcome {
         Ok(()) | Err(ChurnError::Embed(_)) => {}
-        Err(e @ ChurnError::Convergence { .. }) => {
+        Err(e @ (ChurnError::Convergence { .. } | ChurnError::Index(_))) => {
             return Err(PersistError::Malformed {
                 detail: format!("journal replay failed: {e}"),
             });
